@@ -1,0 +1,158 @@
+// Shared helpers for the paper-figure benchmark harnesses (header-only so
+// build/bench/ contains nothing but runnable binaries).
+//
+// Conventions: every harness prints (1) its figure/table id and workload,
+// (2) one table in the paper's row/series layout, (3) a SHAPE-CHECK block
+// restating the qualitative claims the paper makes for that experiment and
+// whether this run reproduced them. EXPERIMENTS.md aggregates those.
+
+#ifndef GPM_BENCH_BENCH_UTIL_H_
+#define GPM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "graph/graph.h"
+#include "isomorphism/mcs.h"
+#include "isomorphism/tale.h"
+#include "isomorphism/vf2.h"
+#include "matching/simulation.h"
+#include "matching/strong_simulation.h"
+#include "quality/closeness.h"
+#include "quality/workloads.h"
+
+namespace gpm::bench {
+
+/// Wall-clock of one call.
+inline double TimeIt(const std::function<void()>& fn) {
+  Timer timer;
+  fn();
+  return timer.Seconds();
+}
+
+/// Caps that keep VF2 enumeration bounded on large inputs (the paper
+/// likewise could not run VF2 to completion at scale).
+inline Vf2Options BoundedVf2() {
+  Vf2Options options;
+  options.max_matches = 20000;
+  options.time_budget_seconds = 10.0;
+  return options;
+}
+
+/// \brief Quality numbers of every algorithm on one (pattern, data) pair.
+struct QualityPoint {
+  double closeness_vf2 = 1.0;
+  double closeness_match = 0;
+  double closeness_mcs = 0;
+  double closeness_tale = 0;
+  double closeness_sim = 0;
+  size_t subgraphs_vf2 = 0;
+  size_t subgraphs_match = 0;
+  size_t subgraphs_mcs = 0;
+  size_t subgraphs_tale = 0;
+  bool vf2_exhausted = true;  ///< false if VF2 hit its cap/budget
+};
+
+/// Runs VF2 / Match / MCS / TALE / Sim on one pair and derives the Exp-1
+/// metrics.
+inline QualityPoint MeasureQuality(const Graph& q, const Graph& g) {
+  QualityPoint point;
+  Vf2Result iso = Vf2Enumerate(q, g, BoundedVf2());
+  point.vf2_exhausted = !iso.hit_match_cap && !iso.timed_out;
+  const std::vector<NodeId> iso_nodes = MatchedNodes(iso.matches);
+  point.subgraphs_vf2 = CountDistinctSubgraphs(iso.matches);
+
+  auto strong = MatchStrong(q, g, MatchPlusOptions());
+  if (strong.ok()) {
+    point.closeness_match = Closeness(iso_nodes, MatchedNodes(*strong));
+    point.subgraphs_match = CountDistinctSubgraphs(*strong);
+  }
+  const auto sim_nodes = MatchedNodes(ComputeSimulation(q, g));
+  point.closeness_sim = Closeness(iso_nodes, sim_nodes);
+
+  const auto tale = TaleMatch(q, g);
+  point.closeness_tale = Closeness(iso_nodes, MatchedNodes(tale));
+  point.subgraphs_tale = CountDistinctSubgraphs(tale);
+
+  const auto mcs = McsMatch(q, g);
+  point.closeness_mcs = Closeness(iso_nodes, MatchedNodes(mcs));
+  point.subgraphs_mcs = CountDistinctSubgraphs(mcs);
+  return point;
+}
+
+/// Averages quality points over a pattern workload.
+inline QualityPoint AverageQuality(const std::vector<Graph>& patterns,
+                                   const Graph& g) {
+  QualityPoint avg;
+  if (patterns.empty()) return avg;
+  avg.closeness_vf2 = 0;
+  for (const Graph& q : patterns) {
+    const QualityPoint p = MeasureQuality(q, g);
+    avg.closeness_vf2 += p.closeness_vf2;
+    avg.closeness_match += p.closeness_match;
+    avg.closeness_mcs += p.closeness_mcs;
+    avg.closeness_tale += p.closeness_tale;
+    avg.closeness_sim += p.closeness_sim;
+    avg.subgraphs_vf2 += p.subgraphs_vf2;
+    avg.subgraphs_match += p.subgraphs_match;
+    avg.subgraphs_mcs += p.subgraphs_mcs;
+    avg.subgraphs_tale += p.subgraphs_tale;
+    avg.vf2_exhausted = avg.vf2_exhausted && p.vf2_exhausted;
+  }
+  const double inv = 1.0 / static_cast<double>(patterns.size());
+  avg.closeness_vf2 *= inv;
+  avg.closeness_match *= inv;
+  avg.closeness_mcs *= inv;
+  avg.closeness_tale *= inv;
+  avg.closeness_sim *= inv;
+  avg.subgraphs_vf2 = static_cast<size_t>(avg.subgraphs_vf2 * inv);
+  avg.subgraphs_match = static_cast<size_t>(avg.subgraphs_match * inv);
+  avg.subgraphs_mcs = static_cast<size_t>(avg.subgraphs_mcs * inv);
+  avg.subgraphs_tale = static_cast<size_t>(avg.subgraphs_tale * inv);
+  return avg;
+}
+
+/// \brief Runtimes of the Fig. 8 algorithm set on one pair.
+struct TimingPoint {
+  double vf2_seconds = -1;  ///< -1 = not run (paper skips VF2 at scale)
+  double match_seconds = 0;
+  double match_plus_seconds = 0;
+  double sim_seconds = 0;
+};
+
+inline TimingPoint MeasureTimings(const Graph& q, const Graph& g,
+                                  bool run_vf2) {
+  TimingPoint point;
+  if (run_vf2) {
+    // Fig. 8 measures full enumeration (the paper let VF2 run for hours);
+    // only a wall-clock budget bounds pathological cases.
+    Vf2Options uncapped;
+    uncapped.time_budget_seconds = 15.0;
+    point.vf2_seconds = TimeIt([&] { Vf2Enumerate(q, g, uncapped); });
+  }
+  point.match_seconds = TimeIt([&] { (void)MatchStrong(q, g); });
+  point.match_plus_seconds = TimeIt([&] { (void)MatchStrongPlus(q, g); });
+  point.sim_seconds = TimeIt([&] { ComputeSimulation(q, g); });
+  return point;
+}
+
+/// One line of the SHAPE-CHECK block.
+inline void ShapeCheck(bool ok, const std::string& claim) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "MISS", claim.c_str());
+}
+
+inline void PrintHeader(const std::string& id, const std::string& what,
+                        const BenchScale& scale) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("scale: %s (set GPM_SCALE=full for paper-sized runs)\n",
+              scale.full ? "full" : "small");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace gpm::bench
+
+#endif  // GPM_BENCH_BENCH_UTIL_H_

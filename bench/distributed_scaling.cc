@@ -1,0 +1,78 @@
+// §4.3: distributed strong simulation — scaling with site count and the
+// data-locality bound (bytes shipped vs cross-fragment structure).
+//
+// The paper only outlines this algorithm (no figure); this harness
+// quantifies its two claims: (1) partial results union to the centralized
+// answer, (2) data shipment is bounded by the cross-fragment balls, so
+// locality-aware partitioning ships less.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "distributed/distributed_match.h"
+#include "quality/table_printer.h"
+
+int main() {
+  using namespace gpm;
+  const BenchScale scale = BenchScale::FromEnv();
+  bench::PrintHeader("Distributed (§4.3)",
+                     "site-count scaling and data shipment", scale);
+
+  const uint32_t n = scale.Pick(4000, 50000);
+  const Graph g = MakeDataset(DatasetKind::kAmazonLike, n, /*seed=*/47);
+  auto patterns = MakePatternWorkload(g, 6, 1, /*seed=*/11000);
+  if (patterns.empty()) {
+    std::printf("no pattern could be extracted; dataset too fragmented\n");
+    return 1;
+  }
+  const Graph& q = patterns[0];
+  std::printf("amazon-like |V| = %s, |E| = %s, |Vq| = 6\n",
+              WithThousandsSeparators(g.num_nodes()).c_str(),
+              WithThousandsSeparators(g.num_edges()).c_str());
+
+  auto central = MatchStrong(q, g);
+  const size_t expected = central.ok() ? central->size() : 0;
+  std::printf("centralized Match: %zu perfect subgraphs\n\n", expected);
+
+  TablePrinter table({"sites", "partition", "time(s)", "results", "cut edges",
+                      "record MB", "total MB"});
+  bool all_correct = true;
+  uint64_t hash_bytes = 0, bfs_bytes = 0;
+  for (uint32_t k : {1u, 2u, 4u, 8u}) {
+    for (PartitionStrategy strategy :
+         {PartitionStrategy::kHash, PartitionStrategy::kBfs}) {
+      DistributedOptions options;
+      options.num_sites = k;
+      options.strategy = strategy;
+      DistributedStats stats;
+      auto result = MatchStrongDistributed(q, g, options, &stats);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      all_correct = all_correct && result->size() == expected;
+      const char* pname =
+          strategy == PartitionStrategy::kHash ? "hash" : "bfs";
+      table.AddRow({std::to_string(k), pname, FormatDouble(stats.seconds, 3),
+                    std::to_string(result->size()),
+                    WithThousandsSeparators(stats.cut_edges),
+                    FormatDouble(static_cast<double>(stats.bytes_node_records) /
+                                     (1024.0 * 1024.0),
+                                 2),
+                    FormatDouble(static_cast<double>(stats.bytes_total) /
+                                     (1024.0 * 1024.0),
+                                 2)});
+      if (k == 8 && strategy == PartitionStrategy::kHash)
+        hash_bytes = stats.bytes_node_records;
+      if (k == 8 && strategy == PartitionStrategy::kBfs)
+        bfs_bytes = stats.bytes_node_records;
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  bench::ShapeCheck(all_correct,
+                    "every configuration unions to the centralized answer");
+  bench::ShapeCheck(bfs_bytes <= hash_bytes,
+                    "locality-aware partitioning ships fewer record bytes");
+  return 0;
+}

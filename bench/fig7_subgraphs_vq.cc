@@ -1,0 +1,81 @@
+// Figure 7(i)(j)(k): number of matched subgraphs vs |Vq|, for TALE / MCS /
+// VF2 / Match.
+//
+// Paper shape: TALE > MCS > VF2 > Match at every point; Match returns
+// ~25-38% of VF2's count; counts fall as |Vq| grows.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "quality/table_printer.h"
+
+namespace gpm {
+namespace {
+
+void RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale) {
+  const Graph g = MakeDataset(kind, n, /*seed=*/17, 1.2, ScaledLabelCount(n));
+  std::printf("\n[%s] |V| = %s, |E| = %s\n", DatasetName(kind),
+              WithThousandsSeparators(g.num_nodes()).c_str(),
+              WithThousandsSeparators(g.num_edges()).c_str());
+  TablePrinter table({"|Vq|", "TALE", "MCS", "VF2", "Match", "Match/VF2"});
+  const size_t patterns_per_point = scale.full ? 5 : 3;
+  size_t points = 0;
+  double ratio_sum = 0;
+  size_t ratio_points = 0;
+  size_t first_match = 0, last_match = 0;
+  size_t tale_total = 0, match_total = 0, vf2_total = 0;
+  for (uint32_t nq = 4; nq <= (scale.full ? 20u : 12u); nq += 4) {
+    auto patterns =
+        MakePatternWorkload(g, nq, patterns_per_point, /*seed=*/3000 + nq);
+    if (patterns.empty()) continue;
+    const bench::QualityPoint p = bench::AverageQuality(patterns, g);
+    const double ratio =
+        p.subgraphs_vf2 == 0
+            ? 0.0
+            : static_cast<double>(p.subgraphs_match) /
+                  static_cast<double>(p.subgraphs_vf2);
+    table.AddRow({std::to_string(nq), std::to_string(p.subgraphs_tale),
+                  std::to_string(p.subgraphs_mcs),
+                  std::to_string(p.subgraphs_vf2),
+                  std::to_string(p.subgraphs_match), FormatDouble(ratio, 2)});
+    tale_total += p.subgraphs_tale;
+    match_total += p.subgraphs_match;
+    vf2_total += p.subgraphs_vf2;
+    if (p.subgraphs_vf2 > 0) {
+      ratio_sum += ratio;
+      ++ratio_points;
+    }
+    if (points == 0) first_match = p.subgraphs_match;
+    last_match = p.subgraphs_match;
+    ++points;
+  }
+  std::printf("%s", table.Render().c_str());
+  bench::ShapeCheck(match_total <= vf2_total,
+                    "Match returns no more subgraphs than VF2 overall");
+  bench::ShapeCheck(match_total <= tale_total,
+                    "Match returns fewer subgraphs than TALE overall");
+  if (ratio_points > 0) {
+    bench::ShapeCheck(ratio_sum / ratio_points < 1.0,
+                      "Match returns fewer subgraphs than VF2 "
+                      "(paper: 25%-38%)");
+  }
+  bench::ShapeCheck(last_match <= first_match,
+                    "counts do not grow with |Vq|");
+}
+
+}  // namespace
+}  // namespace gpm
+
+int main() {
+  const gpm::BenchScale scale = gpm::BenchScale::FromEnv();
+  gpm::bench::PrintHeader("Figure 7(i)(j)(k)",
+                          "# matched subgraphs vs |Vq| for TALE/MCS/VF2/Match",
+                          scale);
+  gpm::RunDataset(gpm::DatasetKind::kAmazonLike, scale.Pick(3000, 31245),
+                  scale);
+  gpm::RunDataset(gpm::DatasetKind::kYouTubeLike, scale.Pick(1200, 9368),
+                  scale);
+  gpm::RunDataset(gpm::DatasetKind::kUniform, scale.Pick(4000, 100000), scale);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 8(a)(b)(c): runtime vs pattern size |Vq| for VF2 / Match /
+// Match+ / Sim on the Amazon-like, YouTube-like and synthetic datasets.
+//
+// Paper shape: Sim < Match+ < Match << VF2 (VF2 ~100x slower for
+// |Vq| >= 4); all but VF2 scale smoothly with |Vq|.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "quality/table_printer.h"
+
+namespace gpm {
+namespace {
+
+void RunDataset(DatasetKind kind, uint32_t n, bool run_vf2,
+                const BenchScale& scale) {
+  const Graph g = MakeDataset(kind, n, /*seed=*/29, 1.2, ScaledLabelCount(n));
+  std::printf("\n[%s] |V| = %s, |E| = %s%s\n", DatasetName(kind),
+              WithThousandsSeparators(g.num_nodes()).c_str(),
+              WithThousandsSeparators(g.num_edges()).c_str(),
+              run_vf2 ? "" : "  (VF2 skipped at this scale, as in the paper)");
+  TablePrinter table({"|Vq|", "VF2(s)", "Match(s)", "Match+(s)", "Sim(s)"});
+  double plus_total = 0, match_total = 0;
+  size_t sim_fastest = 0, points = 0;
+  for (uint32_t nq = 4; nq <= (scale.full ? 20u : 12u); nq += 4) {
+    auto patterns = MakePatternWorkload(g, nq, 1, /*seed=*/6000 + nq);
+    if (patterns.empty()) continue;
+    const bench::TimingPoint t =
+        bench::MeasureTimings(patterns[0], g, run_vf2);
+    table.AddRow({std::to_string(nq),
+                  t.vf2_seconds < 0 ? "-" : FormatDouble(t.vf2_seconds, 3),
+                  FormatDouble(t.match_seconds, 3),
+                  FormatDouble(t.match_plus_seconds, 3),
+                  FormatDouble(t.sim_seconds, 3)});
+    plus_total += t.match_plus_seconds;
+    match_total += t.match_seconds;
+    if (t.sim_seconds <= t.match_plus_seconds) ++sim_fastest;
+    ++points;
+  }
+  std::printf("%s", table.Render().c_str());
+  bench::ShapeCheck(plus_total < match_total,
+                    "Match+ beats Match (paper: ~2/3 of Match's time)");
+  bench::ShapeCheck(sim_fastest == points,
+                    "Sim is the fastest (price of topology preservation)");
+}
+
+}  // namespace
+}  // namespace gpm
+
+int main() {
+  const gpm::BenchScale scale = gpm::BenchScale::FromEnv();
+  gpm::bench::PrintHeader("Figure 8(a)(b)(c)",
+                          "runtime vs |Vq| for VF2/Match/Match+/Sim", scale);
+  gpm::RunDataset(gpm::DatasetKind::kAmazonLike, scale.Pick(3000, 30000),
+                  /*run_vf2=*/true, scale);
+  gpm::RunDataset(gpm::DatasetKind::kYouTubeLike, scale.Pick(1200, 10000),
+                  /*run_vf2=*/true, scale);
+  gpm::RunDataset(gpm::DatasetKind::kUniform, scale.Pick(4000, 500000),
+                  /*run_vf2=*/false, scale);
+  return 0;
+}

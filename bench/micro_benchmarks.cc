@@ -1,0 +1,129 @@
+// google-benchmark microbenches of the core primitives every paper
+// experiment is built from: ball construction, the dual-simulation
+// refinement, match-graph building, query minimization, serialization.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "graph/diameter.h"
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "matching/ball.h"
+#include "matching/dual_simulation.h"
+#include "matching/match_relation.h"
+#include "matching/query_minimization.h"
+#include "matching/simulation.h"
+#include "matching/strong_simulation.h"
+
+namespace gpm {
+namespace {
+
+const Graph& SharedData(int64_t n) {
+  static std::unordered_map<int64_t, Graph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, MakeAmazonLike(static_cast<uint32_t>(n), 51)).first;
+  }
+  return it->second;
+}
+
+Graph SharedPattern(const Graph& g, uint32_t nq) {
+  Rng rng(52);
+  auto q = ExtractPattern(g, nq, &rng);
+  GPM_CHECK(q.ok());
+  return std::move(*q);
+}
+
+void BM_BallConstruction(benchmark::State& state) {
+  const Graph& g = SharedData(state.range(0));
+  BallBuilder builder(g);
+  Ball ball;
+  NodeId center = 0;
+  for (auto _ : state) {
+    builder.Build(center, 3, &ball);
+    center = (center + 97) % g.num_nodes();
+    benchmark::DoNotOptimize(ball.graph.num_nodes());
+  }
+}
+BENCHMARK(BM_BallConstruction)->Arg(10000)->Arg(50000);
+
+void BM_DualSimulationGlobal(benchmark::State& state) {
+  const Graph& g = SharedData(state.range(0));
+  const Graph q = SharedPattern(g, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeDualSimulation(q, g).NumPairs());
+  }
+}
+BENCHMARK(BM_DualSimulationGlobal)->Arg(10000)->Arg(50000);
+
+void BM_SimulationGlobal(benchmark::State& state) {
+  const Graph& g = SharedData(state.range(0));
+  const Graph q = SharedPattern(g, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSimulation(q, g).NumPairs());
+  }
+}
+BENCHMARK(BM_SimulationGlobal)->Arg(10000)->Arg(50000);
+
+void BM_MatchGraphBuild(benchmark::State& state) {
+  const Graph& g = SharedData(state.range(0));
+  const Graph q = SharedPattern(g, 8);
+  const MatchRelation s = ComputeDualSimulation(q, g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildMatchGraph(q, g, s).edges.size());
+  }
+}
+BENCHMARK(BM_MatchGraphBuild)->Arg(10000)->Arg(50000);
+
+void BM_QueryMinimization(benchmark::State& state) {
+  // A pattern with collapsible twin branches, scaled by the arg.
+  Graph q;
+  const int branches = static_cast<int>(state.range(0));
+  NodeId root = q.AddNode(0);
+  for (int i = 0; i < branches; ++i) {
+    NodeId b = q.AddNode(1);
+    NodeId c = q.AddNode(2);
+    q.AddEdge(root, b);
+    q.AddEdge(b, c);
+  }
+  q.Finalize();
+  for (auto _ : state) {
+    auto mq = MinimizeQuery(q);
+    benchmark::DoNotOptimize(mq->minimized.num_nodes());
+  }
+}
+BENCHMARK(BM_QueryMinimization)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MatchStrongPlusEndToEnd(benchmark::State& state) {
+  const Graph& g = SharedData(state.range(0));
+  const Graph q = SharedPattern(g, 6);
+  for (auto _ : state) {
+    auto result = MatchStrongPlus(q, g);
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_MatchStrongPlusEndToEnd)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_GraphSerialization(benchmark::State& state) {
+  const Graph& g = SharedData(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializeGraph(g).size());
+  }
+}
+BENCHMARK(BM_GraphSerialization)->Arg(10000)->Arg(50000);
+
+void BM_PatternDiameter(benchmark::State& state) {
+  const Graph& g = SharedData(10000);
+  const Graph q = SharedPattern(g, static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*Diameter(q));
+  }
+}
+BENCHMARK(BM_PatternDiameter)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace gpm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Table 3: sizes of the matched subgraphs returned by Match on the
+// largest Exp-1 datasets, bucketed [0,9] [10,19] [20,29] [30,39] [40,49]
+// >=50 — plus the Sim comparison point (a single huge match graph).
+//
+// Paper shape: every Match subgraph has < 50 nodes; > 80% have < 30;
+// Sim's single match graph has hundreds of nodes.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "graph/generator.h"
+#include "matching/dual_simulation.h"
+#include "quality/histograms.h"
+#include "quality/table_printer.h"
+
+namespace gpm {
+namespace {
+
+struct DatasetResult {
+  SizeHistogram histogram;
+  size_t sim_match_nodes = 0;
+  size_t max_match_size = 0;
+};
+
+DatasetResult RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale) {
+  DatasetResult result;
+  // Table 3 is about match sizes under the paper's exact label regime
+  // (l = 200); scaled-down label counts would merge label classes and
+  // inflate subgraphs beyond the paper's buckets.
+  const Graph g = MakeDataset(kind, n, /*seed=*/23, 1.2, kDefaultNumLabels);
+  const size_t num_patterns = scale.full ? 10 : 4;
+  auto patterns = MakePatternWorkload(g, 10, num_patterns, /*seed=*/5000);
+  for (const Graph& q : patterns) {
+    auto strong = MatchStrong(q, g, MatchPlusOptions());
+    if (strong.ok()) {
+      result.histogram.AddAll(*strong);
+      for (const auto& pg : *strong) {
+        result.max_match_size = std::max(result.max_match_size,
+                                         pg.nodes.size());
+      }
+    }
+    const auto sim_nodes = MatchedNodes(ComputeSimulation(q, g));
+    result.sim_match_nodes = std::max(result.sim_match_nodes, sim_nodes.size());
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace gpm
+
+int main() {
+  using namespace gpm;
+  const BenchScale scale = BenchScale::FromEnv();
+  bench::PrintHeader("Table 3", "sizes of matched subgraphs (Match, |Vq|=10)",
+                     scale);
+
+  struct Row {
+    const char* name;
+    DatasetKind kind;
+    uint32_t n;
+  };
+  const Row rows[] = {
+      {"Amazon", DatasetKind::kAmazonLike, scale.Pick(3000, 31245)},
+      {"YouTube", DatasetKind::kYouTubeLike, scale.Pick(1200, 9368)},
+      {"Synthetic", DatasetKind::kUniform, scale.Pick(4000, 100000)},
+  };
+
+  std::vector<std::string> headers{"#nodes"};
+  for (const char* bucket : SizeHistogram::BucketNames())
+    headers.push_back(bucket);
+  headers.push_back("Sim(1 graph)");
+  TablePrinter table(headers);
+
+  bool all_below_50 = true;
+  bool most_below_30 = true;
+  bool sim_dwarfs_match = true;
+  for (const Row& row : rows) {
+    const DatasetResult r = RunDataset(row.kind, row.n, scale);
+    std::vector<std::string> cells{row.name};
+    for (size_t b = 0; b < SizeHistogram::kNumBuckets; ++b) {
+      cells.push_back(std::to_string(r.histogram.Count(b)));
+    }
+    cells.push_back(std::to_string(r.sim_match_nodes) + " nodes");
+    table.AddRow(cells);
+    all_below_50 = all_below_50 && r.histogram.Count(5) == 0;
+    most_below_30 = most_below_30 && r.histogram.FractionBelow(30) > 0.8;
+    // Sim returns ONE relation covering more nodes than any single
+    // bounded Match subgraph (the paper's 103/177/311-node contrast).
+    sim_dwarfs_match = sim_dwarfs_match && r.sim_match_nodes > r.max_match_size;
+  }
+  std::printf("%s", table.Render().c_str());
+  bench::ShapeCheck(all_below_50,
+                    "all Match subgraphs have < 50 nodes (paper: same)");
+  bench::ShapeCheck(most_below_30,
+                    "> 80% of Match subgraphs have < 30 nodes (paper: same)");
+  bench::ShapeCheck(sim_dwarfs_match,
+                    "Sim's single match graph exceeds any Match subgraph "
+                    "(paper: 103/177/311 nodes vs <50)");
+  return 0;
+}

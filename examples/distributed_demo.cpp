@@ -1,0 +1,64 @@
+// §4.3: strong simulation over a partitioned graph. Partitions an
+// Amazon-like network across 4 simulated sites, runs the BSP distributed
+// Match, and reports the data-shipment breakdown next to the centralized
+// answer it must (and does) reproduce.
+
+#include <cstdio>
+
+#include "distributed/distributed_match.h"
+#include "graph/generator.h"
+#include "matching/strong_simulation.h"
+#include "quality/workloads.h"
+
+int main() {
+  using namespace gpm;
+
+  Graph g = MakeAmazonLike(10000, /*seed=*/71);
+  auto patterns = MakePatternWorkload(g, 6, 1, /*seed=*/72);
+  if (patterns.empty()) {
+    std::printf("could not extract a pattern\n");
+    return 1;
+  }
+  const Graph& q = patterns[0];
+  std::printf("data graph: %zu nodes, %zu edges; pattern: %zu nodes\n\n",
+              g.num_nodes(), g.num_edges(), q.num_nodes());
+
+  auto central = MatchStrong(q, g);
+  if (!central.ok()) {
+    std::printf("error: %s\n", central.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("centralized Match: %zu perfect subgraphs\n\n", central->size());
+
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kHash, PartitionStrategy::kBfs}) {
+    DistributedOptions options;
+    options.num_sites = 4;
+    options.strategy = strategy;
+    DistributedStats stats;
+    auto result = MatchStrongDistributed(q, g, options, &stats);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[%s partition, 4 sites]\n",
+                strategy == PartitionStrategy::kHash ? "hash" : "bfs");
+    std::printf("  results: %zu (%s centralized)\n", result->size(),
+                result->size() == central->size() ? "==" : "!=");
+    std::printf("  cut edges: %zu, halo rounds: %u\n", stats.cut_edges,
+                stats.halo_rounds);
+    std::printf("  bytes shipped: %.2f MB total (records %.2f MB, "
+                "requests %.2f MB, results %.2f MB)\n",
+                stats.bytes_total / (1024.0 * 1024.0),
+                stats.bytes_node_records / (1024.0 * 1024.0),
+                stats.bytes_node_requests / (1024.0 * 1024.0),
+                stats.bytes_partial_results / (1024.0 * 1024.0));
+    std::printf("  balls per site: ");
+    for (size_t b : stats.balls_per_site) std::printf("%zu ", b);
+    std::printf("\n\n");
+  }
+  std::printf("note: plain simulation cannot be evaluated this way — its\n");
+  std::printf("matches have no locality, so fragments cannot decide\n");
+  std::printf("membership without reassembling the whole graph (Example 7).\n");
+  return 0;
+}

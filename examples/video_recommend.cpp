@@ -1,0 +1,98 @@
+// Exp-1's YouTube scenario (Fig. 7(b)): the QY pattern — Entertainment
+// videos related to Film & Animation and Music videos, with a Sports
+// video related to the same two — on a YouTube-like related-video
+// network. Shows strong simulation returning one compact result where VF2
+// returns a pile of overlapping embeddings (the paper's Fig. 7(b) point:
+// "reduces the sizes of matches ... without loss of information").
+
+#include <cstdio>
+
+#include "graph/generator.h"
+#include "graph/paper_graphs.h"
+#include "isomorphism/vf2.h"
+#include "matching/strong_simulation.h"
+#include "quality/closeness.h"
+#include "quality/histograms.h"
+
+int main() {
+  using namespace gpm;
+  paper::Example qy = paper::YouTubeQY();
+  // The fixture interns its labels from 0, which collides with the
+  // generator's frequent Zipf labels; shift the four categories into a
+  // label range the generator never emits (>= kDefaultNumLabels).
+  {
+    Graph shifted;
+    for (NodeId u = 0; u < qy.pattern.num_nodes(); ++u) {
+      shifted.AddNode(qy.pattern.label(u) + kDefaultNumLabels);
+    }
+    for (NodeId u = 0; u < qy.pattern.num_nodes(); ++u) {
+      for (NodeId v : qy.pattern.OutNeighbors(u)) shifted.AddEdge(u, v);
+    }
+    shifted.Finalize();
+    qy.pattern = std::move(shifted);
+  }
+
+  // Plant QY instances sparsely: relabel disjoint quadruples of videos
+  // with QY's four category labels and wire the pattern's edges, so the
+  // pattern occurs in realistic surroundings but its labels stay rare.
+  // Some instances share their FA/M videos across two E/S pairs — VF2
+  // reports those as separate embeddings, Match as one compact subgraph.
+  Graph base = MakeYouTubeLike(4000, /*seed=*/67);
+  std::vector<Label> labels(base.num_nodes());
+  for (NodeId v = 0; v < base.num_nodes(); ++v) labels[v] = base.label(v);
+  std::vector<std::pair<NodeId, NodeId>> extra;
+  for (NodeId at = 0; at + 500 < base.num_nodes(); at += 500) {
+    const NodeId ent = at, fa = at + 100, mu = at + 200, sp = at + 300;
+    const NodeId ent2 = at + 400;  // second E sharing the same FA/M
+    labels[ent] = qy.pattern.label(qy.PatternNode("E"));
+    labels[ent2] = qy.pattern.label(qy.PatternNode("E"));
+    labels[fa] = qy.pattern.label(qy.PatternNode("FA"));
+    labels[mu] = qy.pattern.label(qy.PatternNode("M"));
+    labels[sp] = qy.pattern.label(qy.PatternNode("S"));
+    extra.emplace_back(ent, fa);
+    extra.emplace_back(ent, mu);
+    extra.emplace_back(ent2, fa);
+    extra.emplace_back(ent2, mu);
+    extra.emplace_back(sp, fa);
+    extra.emplace_back(sp, mu);
+  }
+  Graph g;
+  for (NodeId v = 0; v < base.num_nodes(); ++v) g.AddNode(labels[v]);
+  for (NodeId u = 0; u < base.num_nodes(); ++u) {
+    for (NodeId v : base.OutNeighbors(u)) g.AddEdge(u, v);
+  }
+  for (const auto& [u, v] : extra) g.AddEdge(u, v);
+  g.Finalize();
+  std::printf("related-video network: %zu videos, %zu edges\n\n",
+              g.num_nodes(), g.num_edges());
+
+  Vf2Options caps;
+  caps.max_matches = 100000;
+  auto iso = Vf2Enumerate(qy.pattern, g, caps);
+  std::printf("VF2:   %zu embeddings, %zu distinct subgraphs\n",
+              iso.matches.size(), CountDistinctSubgraphs(iso.matches));
+
+  auto strong = MatchStrong(qy.pattern, g, MatchPlusOptions());
+  if (!strong.ok()) {
+    std::printf("error: %s\n", strong.status().ToString().c_str());
+    return 1;
+  }
+  SizeHistogram sizes;
+  sizes.AddAll(*strong);
+  std::printf("Match: %zu perfect subgraphs; all sizes < 50 nodes: %s\n",
+              strong->size(), sizes.Count(5) == 0 ? "yes" : "no");
+
+  const NodeId ent = qy.PatternNode("E");
+  size_t shown = 0;
+  for (const PerfectSubgraph& pg : *strong) {
+    if (shown++ == 5) {
+      std::printf("  ... and %zu more\n", strong->size() - 5);
+      break;
+    }
+    std::printf("  entertainment videos { ");
+    for (NodeId v : pg.relation.sim[ent]) std::printf("#%u ", v);
+    std::printf("} with their FA/Music/Sports context (%zu videos total)\n",
+                pg.nodes.size());
+  }
+  return 0;
+}

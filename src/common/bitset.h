@@ -1,0 +1,101 @@
+// DynamicBitset: a compact set over [0, n) used for candidate sets and
+// query-node membership masks. Pattern graphs in this library are small
+// (tens of nodes), so most masks fit in one or two words; the type still
+// supports arbitrary sizes.
+
+#ifndef GPM_COMMON_BITSET_H_
+#define GPM_COMMON_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gpm {
+
+/// \brief Fixed-universe bitset with word-parallel set algebra.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  /// Universe [0, size); all bits initially clear.
+  explicit DynamicBitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i) {
+    GPM_CHECK_LT(i, size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void Clear(size_t i) {
+    GPM_CHECK_LT(i, size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  bool Test(size_t i) const {
+    GPM_CHECK_LT(i, size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Clears every bit, keeping the universe size.
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+    return n;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_)
+      if (w) return true;
+    return false;
+  }
+  bool None() const { return !Any(); }
+
+  /// True iff this and `other` share a set bit. Universes must match.
+  bool Intersects(const DynamicBitset& other) const {
+    GPM_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & other.words_[i]) return true;
+    return false;
+  }
+
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    GPM_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+  DynamicBitset& operator&=(const DynamicBitset& other) {
+    GPM_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Invokes `fn(i)` for every set bit i, in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w) {
+        int bit = std::countr_zero(w);
+        fn(wi * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_COMMON_BITSET_H_

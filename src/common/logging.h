@@ -1,0 +1,83 @@
+// Minimal leveled logging and CHECK macros (Arrow-style).
+//
+// GPM_CHECK* abort on violation and are enabled in all build types: the
+// invariants they guard (index bounds, algorithm pre/post-conditions) are
+// programming errors, not recoverable conditions.
+
+#ifndef GPM_COMMON_LOGGING_H_
+#define GPM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gpm {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// A kFatal message aborts the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a disabled log statement without evaluating the stream.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define GPM_LOG(level) \
+  ::gpm::internal::LogMessage(::gpm::LogLevel::k##level, __FILE__, __LINE__)
+
+#define GPM_CHECK(cond)                                          \
+  if (!(cond))                                                   \
+  GPM_LOG(Fatal) << "Check failed: " #cond " "
+
+#define GPM_CHECK_OP(lhs, rhs, op)                                         \
+  if (!((lhs)op(rhs)))                                                     \
+  GPM_LOG(Fatal) << "Check failed: " #lhs " " #op " " #rhs " "
+
+#define GPM_CHECK_EQ(lhs, rhs) GPM_CHECK_OP(lhs, rhs, ==)
+#define GPM_CHECK_NE(lhs, rhs) GPM_CHECK_OP(lhs, rhs, !=)
+#define GPM_CHECK_LT(lhs, rhs) GPM_CHECK_OP(lhs, rhs, <)
+#define GPM_CHECK_LE(lhs, rhs) GPM_CHECK_OP(lhs, rhs, <=)
+#define GPM_CHECK_GT(lhs, rhs) GPM_CHECK_OP(lhs, rhs, >)
+#define GPM_CHECK_GE(lhs, rhs) GPM_CHECK_OP(lhs, rhs, >=)
+
+/// Checks that a Status-returning expression is OK; aborts otherwise.
+#define GPM_CHECK_OK(expr)                                      \
+  do {                                                          \
+    ::gpm::Status _gpm_check_status = (expr);                   \
+    GPM_CHECK(_gpm_check_status.ok())                           \
+        << _gpm_check_status.ToString();                        \
+  } while (false)
+
+}  // namespace gpm
+
+#endif  // GPM_COMMON_LOGGING_H_

@@ -1,0 +1,107 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace gpm {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  GPM_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  GPM_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  GPM_CHECK_GT(n, 0u);
+  if (s <= 0.0) return Uniform(n);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = acc;
+    }
+    for (auto& v : zipf_cdf_) v /= acc;
+  }
+  double u = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return n - 1;
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  if (k >= n) {
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: k iterations, each inserting a distinct value.
+  std::unordered_set<uint64_t> chosen;
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = Uniform(j + 1);
+    if (chosen.count(t)) t = j;
+    chosen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace gpm

@@ -1,0 +1,68 @@
+// Deterministic PRNG (xoshiro256**) used by all generators and samplers.
+//
+// A fixed seed produces the same stream on every platform, which the
+// experiment harness relies on: paper-figure benches are reproducible
+// run-to-run.
+
+#ifndef GPM_COMMON_RANDOM_H_
+#define GPM_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gpm {
+
+/// \brief xoshiro256** 1.0 by Blackman & Vigna: fast, high-quality,
+/// 256-bit state, suitable for simulation workloads (not cryptography).
+class Rng {
+ public:
+  /// Seeds the state via splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+
+  /// Uniform in [0, bound); bound must be > 0. Uses Lemire rejection to
+  /// avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed value in [0, n) with exponent s (s >= 0; s == 0 is
+  /// uniform). Uses an inverse-CDF table built lazily per (n, s).
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct values from [0, n) in O(k) expected time
+  /// (Floyd's algorithm). Returns fewer than k only if k > n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t state_[4];
+
+  // Lazily built Zipf inverse-CDF cache for the last (n, s) pair.
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_COMMON_RANDOM_H_

@@ -1,0 +1,73 @@
+// Result<T>: a value-or-Status carrier, the companion to status.h.
+
+#ifndef GPM_COMMON_RESULT_H_
+#define GPM_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace gpm {
+
+/// \brief Holds either a T (success) or a non-OK Status (failure).
+///
+/// Accessing the value of a failed Result aborts; callers must test ok()
+/// first or use GPM_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK Status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) std::abort();  // OK is not a failure.
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the computation; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Alias mirroring std::expected / absl::StatusOr spelling.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates a Result<T> expression; on failure returns its Status from the
+/// enclosing function, otherwise moves the value into `lhs`.
+#define GPM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)     \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define GPM_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define GPM_ASSIGN_OR_RETURN_NAME(x, y) GPM_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define GPM_ASSIGN_OR_RETURN(lhs, expr) \
+  GPM_ASSIGN_OR_RETURN_IMPL(            \
+      GPM_ASSIGN_OR_RETURN_NAME(_gpm_result_, __COUNTER__), lhs, expr)
+
+}  // namespace gpm
+
+#endif  // GPM_COMMON_RESULT_H_

@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace gpm {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kNotImplemented:
+      return "not implemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace gpm

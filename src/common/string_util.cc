@@ -1,0 +1,81 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace gpm {
+
+std::vector<std::string_view> SplitString(std::string_view input,
+                                          std::string_view delims) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || delims.find(input[i]) != std::string_view::npos) {
+      if (i > start) out.push_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view TrimString(std::string_view input) {
+  size_t b = 0;
+  size_t e = input.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(input[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(input[e - 1]))) --e;
+  return input.substr(b, e - b);
+}
+
+Result<uint64_t> ParseUint64(std::string_view token) {
+  if (token.empty()) return Status::InvalidArgument("empty integer token");
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9')
+      return Status::InvalidArgument("not a non-negative integer: '" +
+                                     std::string(token) + "'");
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10)
+      return Status::OutOfRange("integer overflow: '" + std::string(token) + "'");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view token) {
+  if (token.empty()) return Status::InvalidArgument("empty double token");
+  std::string buf(token);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) return Status::OutOfRange("double overflow: '" + buf + "'");
+  if (end != buf.c_str() + buf.size())
+    return Status::InvalidArgument("not a double: '" + buf + "'");
+  return value;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string WithThousandsSeparators(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace gpm

@@ -1,0 +1,39 @@
+// Small string helpers shared by I/O, logging and the table printer.
+
+#ifndef GPM_COMMON_STRING_UTIL_H_
+#define GPM_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gpm {
+
+/// Splits on any character in `delims`, dropping empty tokens.
+std::vector<std::string_view> SplitString(std::string_view input,
+                                          std::string_view delims = " \t");
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view TrimString(std::string_view input);
+
+/// Parses a non-negative integer; rejects trailing garbage.
+Result<uint64_t> ParseUint64(std::string_view token);
+
+/// Parses a double; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view token);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// "1234567" -> "1,234,567" (used by table output).
+std::string WithThousandsSeparators(uint64_t value);
+
+/// Fixed-precision formatting, e.g. FormatDouble(0.7312, 2) == "0.73".
+std::string FormatDouble(double value, int precision);
+
+}  // namespace gpm
+
+#endif  // GPM_COMMON_STRING_UTIL_H_

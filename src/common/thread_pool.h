@@ -1,0 +1,55 @@
+// Fixed-size worker pool. Used by the distributed runtime (one worker per
+// simulated site) and by parallel ball processing in benchmarks.
+
+#ifndef GPM_COMMON_THREAD_POOL_H_
+#define GPM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpm {
+
+/// \brief A minimal fixed-capacity thread pool with a Wait() barrier.
+///
+/// Tasks are void() callables; exceptions must not escape a task (the
+/// library itself never throws — see DESIGN.md error-handling policy).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_COMMON_THREAD_POOL_H_

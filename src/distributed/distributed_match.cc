@@ -1,0 +1,353 @@
+#include "distributed/distributed_match.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "distributed/fragment.h"
+#include "distributed/message_bus.h"
+#include "graph/components.h"
+#include "graph/diameter.h"
+#include "graph/graph_io.h"
+#include "matching/ball.h"
+
+namespace gpm {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+Result<uint32_t> GetU32(const std::string& in, size_t* pos) {
+  if (*pos + 4 > in.size())
+    return Status::Corruption("truncated result payload");
+  uint32_t v;
+  std::memcpy(&v, in.data() + *pos, 4);
+  *pos += 4;
+  return v;
+}
+
+// --- PerfectSubgraph wire format -------------------------------------------
+
+std::string EncodeSubgraphs(const std::vector<PerfectSubgraph>& subgraphs) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(subgraphs.size()));
+  for (const PerfectSubgraph& pg : subgraphs) {
+    PutU32(&out, pg.center);
+    PutU32(&out, pg.radius);
+    PutU32(&out, static_cast<uint32_t>(pg.nodes.size()));
+    for (NodeId v : pg.nodes) PutU32(&out, v);
+    PutU32(&out, static_cast<uint32_t>(pg.edges.size()));
+    for (const auto& [a, b] : pg.edges) {
+      PutU32(&out, a);
+      PutU32(&out, b);
+    }
+    PutU32(&out, static_cast<uint32_t>(pg.relation.sim.size()));
+    for (const auto& list : pg.relation.sim) {
+      PutU32(&out, static_cast<uint32_t>(list.size()));
+      for (NodeId v : list) PutU32(&out, v);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<PerfectSubgraph>> DecodeSubgraphs(const std::string& bytes) {
+  size_t pos = 0;
+  GPM_ASSIGN_OR_RETURN(uint32_t count, GetU32(bytes, &pos));
+  std::vector<PerfectSubgraph> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PerfectSubgraph pg;
+    GPM_ASSIGN_OR_RETURN(pg.center, GetU32(bytes, &pos));
+    GPM_ASSIGN_OR_RETURN(pg.radius, GetU32(bytes, &pos));
+    GPM_ASSIGN_OR_RETURN(uint32_t num_nodes, GetU32(bytes, &pos));
+    pg.nodes.reserve(num_nodes);
+    for (uint32_t j = 0; j < num_nodes; ++j) {
+      GPM_ASSIGN_OR_RETURN(uint32_t v, GetU32(bytes, &pos));
+      pg.nodes.push_back(v);
+    }
+    GPM_ASSIGN_OR_RETURN(uint32_t num_edges, GetU32(bytes, &pos));
+    pg.edges.reserve(num_edges);
+    for (uint32_t j = 0; j < num_edges; ++j) {
+      GPM_ASSIGN_OR_RETURN(uint32_t a, GetU32(bytes, &pos));
+      GPM_ASSIGN_OR_RETURN(uint32_t b, GetU32(bytes, &pos));
+      pg.edges.emplace_back(a, b);
+    }
+    GPM_ASSIGN_OR_RETURN(uint32_t nq, GetU32(bytes, &pos));
+    pg.relation = MatchRelation(nq);
+    for (uint32_t u = 0; u < nq; ++u) {
+      GPM_ASSIGN_OR_RETURN(uint32_t len, GetU32(bytes, &pos));
+      pg.relation.sim[u].reserve(len);
+      for (uint32_t j = 0; j < len; ++j) {
+        GPM_ASSIGN_OR_RETURN(uint32_t v, GetU32(bytes, &pos));
+        pg.relation.sim[u].push_back(v);
+      }
+    }
+    out.push_back(std::move(pg));
+  }
+  if (pos != bytes.size())
+    return Status::Corruption("trailing bytes in result payload");
+  return out;
+}
+
+// --- Per-site state ---------------------------------------------------------
+
+struct SiteState {
+  Fragment fragment;
+  Graph pattern;                 // deserialized from the broadcast
+  uint32_t radius = 0;           // pattern diameter
+  std::unordered_set<Label> pattern_labels;
+  // Halo BFS bookkeeping.
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> frontier;
+  size_t foreign_records = 0;
+  // Results.
+  std::vector<PerfectSubgraph> partial;
+  Status status;  // sticky first error
+
+  SiteState(const Graph& g, const PartitionAssignment& assignment,
+            uint32_t site)
+      : fragment(g, assignment, site) {}
+};
+
+// Builds a ball around `center` from the fragment's accumulated records.
+// All nodes within `radius` are known after the halo rounds.
+void BuildBallFromRecords(const Fragment& fragment, NodeId center,
+                          uint32_t radius, Ball* ball) {
+  ball->center = center;
+  ball->radius = radius;
+  ball->graph = Graph();
+  ball->to_global.clear();
+  ball->is_border.clear();
+
+  std::unordered_map<NodeId, NodeId> local;
+  std::vector<NodeId> order;       // BFS order, global ids
+  std::vector<uint32_t> distance;  // aligned with order
+  order.push_back(center);
+  distance.push_back(0);
+  local.emplace(center, 0);
+  for (size_t head = 0; head < order.size(); ++head) {
+    if (distance[head] >= radius) continue;
+    const NodeRecord& record = fragment.Record(order[head]);
+    auto visit = [&](NodeId w) {
+      if (local.count(w)) return;
+      local.emplace(w, static_cast<NodeId>(order.size()));
+      order.push_back(w);
+      distance.push_back(distance[head] + 1);
+    };
+    for (NodeId w : record.out) visit(w);
+    for (NodeId w : record.in) visit(w);
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    ball->graph.AddNode(fragment.Record(order[i]).label);
+    ball->to_global.push_back(order[i]);
+    ball->is_border.push_back(distance[i] == radius);
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (NodeId w : fragment.Record(order[i]).out) {
+      auto it = local.find(w);
+      if (it != local.end()) {
+        ball->graph.AddEdge(static_cast<NodeId>(i), it->second);
+      }
+    }
+  }
+  ball->graph.Finalize();
+}
+
+}  // namespace
+
+Result<std::vector<PerfectSubgraph>> MatchStrongDistributed(
+    const Graph& q, const Graph& g, const DistributedOptions& options,
+    DistributedStats* stats) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  if (options.num_sites == 0)
+    return Status::InvalidArgument("need at least one site");
+  if (q.num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  if (!IsConnected(q))
+    return Status::InvalidArgument("pattern graph must be connected");
+  GPM_ASSIGN_OR_RETURN(uint32_t radius, Diameter(q));
+
+  Timer timer;
+  DistributedStats local_stats;
+
+  PartitionAssignment assignment;
+  switch (options.strategy) {
+    case PartitionStrategy::kHash:
+      assignment =
+          HashPartition(g.num_nodes(), options.num_sites, options.partition_seed);
+      break;
+    case PartitionStrategy::kChunk:
+      assignment = ChunkPartition(g.num_nodes(), options.num_sites);
+      break;
+    case PartitionStrategy::kBfs:
+      assignment = BfsPartition(g, options.num_sites);
+      break;
+  }
+  local_stats.cut_edges = CountCutEdges(g, assignment);
+
+  const uint32_t k = options.num_sites;
+  MessageBus bus(k);
+  ThreadPool pool(options.parallel ? k : 1);
+
+  // Site construction (fragment = owned records only).
+  std::vector<SiteState> sites;
+  sites.reserve(k);
+  for (uint32_t s = 0; s < k; ++s) sites.emplace_back(g, assignment, s);
+
+  auto for_each_site = [&](const std::function<void(uint32_t)>& fn) {
+    if (options.parallel) {
+      for (uint32_t s = 0; s < k; ++s) {
+        pool.Submit([&fn, s] { fn(s); });
+      }
+      pool.Wait();
+    } else {
+      for (uint32_t s = 0; s < k; ++s) fn(s);
+    }
+  };
+
+  // --- Step 1: pattern broadcast -------------------------------------------
+  const std::string pattern_blob = SerializeGraph(q);
+  for (uint32_t s = 0; s < k; ++s) {
+    bus.Send(bus.coordinator_id(), s, MessageKind::kPatternBroadcast,
+             pattern_blob);
+  }
+  for_each_site([&](uint32_t s) {
+    SiteState& site = sites[s];
+    for (Message& m : bus.Drain(s)) {
+      auto parsed = DeserializeGraph(m.payload);
+      if (!parsed.ok()) {
+        site.status = parsed.status();
+        return;
+      }
+      site.pattern = std::move(*parsed);
+    }
+    site.radius = radius;
+    for (NodeId u = 0; u < site.pattern.num_nodes(); ++u) {
+      site.pattern_labels.insert(site.pattern.label(u));
+    }
+    // Halo BFS starts from all owned nodes.
+    site.seen.insert(site.fragment.owned().begin(), site.fragment.owned().end());
+    site.frontier = site.fragment.owned();
+  });
+  for (const SiteState& site : sites) GPM_RETURN_NOT_OK(site.status);
+
+  // --- Step 2: dQ halo-exchange supersteps ---------------------------------
+  for (uint32_t round = 0; round < radius; ++round) {
+    ++local_stats.halo_rounds;
+    // 2a. Each site expands its frontier and requests unknown records.
+    for_each_site([&](uint32_t s) {
+      SiteState& site = sites[s];
+      std::vector<NodeId> next;
+      std::unordered_map<uint32_t, std::vector<NodeId>> requests;
+      for (NodeId v : site.frontier) {
+        if (!site.fragment.Knows(v)) continue;  // fetched next superstep
+        const NodeRecord& record = site.fragment.Record(v);
+        auto visit = [&](NodeId w) {
+          if (!site.seen.insert(w).second) return;
+          next.push_back(w);
+          if (!site.fragment.Knows(w)) {
+            requests[assignment.owner[w]].push_back(w);
+          }
+        };
+        for (NodeId w : record.out) visit(w);
+        for (NodeId w : record.in) visit(w);
+      }
+      site.frontier = std::move(next);
+      for (auto& [owner, ids] : requests) {
+        bus.Send(s, owner, MessageKind::kNodeRequest,
+                 Fragment::EncodeIdList(ids));
+      }
+    });
+    // 2b. Owners answer with record batches. (DrainKind: a fast peer may
+    // already have pushed kNodeRecords into this mailbox.)
+    for_each_site([&](uint32_t s) {
+      SiteState& site = sites[s];
+      for (Message& m : bus.DrainKind(s, MessageKind::kNodeRequest)) {
+        auto ids = Fragment::DecodeIdList(m.payload);
+        if (!ids.ok()) {
+          site.status = ids.status();
+          return;
+        }
+        bus.Send(s, m.from, MessageKind::kNodeRecords,
+                 site.fragment.EncodeRecords(*ids));
+      }
+    });
+    // 2c. Requesters ingest the records.
+    for_each_site([&](uint32_t s) {
+      SiteState& site = sites[s];
+      for (Message& m : bus.DrainKind(s, MessageKind::kNodeRecords)) {
+        auto records = Fragment::DecodeRecords(m.payload);
+        if (!records.ok()) {
+          site.status = records.status();
+          return;
+        }
+        for (auto& [id, record] : *records) {
+          site.fragment.AddRecord(id, std::move(record));
+          ++site.foreign_records;
+        }
+      }
+    });
+    for (const SiteState& site : sites) GPM_RETURN_NOT_OK(site.status);
+  }
+
+  // --- Step 3: local Match over owned centers ------------------------------
+  for_each_site([&](uint32_t s) {
+    SiteState& site = sites[s];
+    Ball ball;
+    for (NodeId center : site.fragment.owned()) {
+      // A perfect subgraph needs its center matched, so centers whose
+      // label is absent from Q cannot produce one.
+      if (!site.pattern_labels.count(site.fragment.Record(center).label))
+        continue;
+      BuildBallFromRecords(site.fragment, center, site.radius, &ball);
+      if (auto pg = MatchSingleBall(site.pattern, ball)) {
+        site.partial.push_back(std::move(*pg));
+      }
+    }
+    bus.Send(s, bus.coordinator_id(), MessageKind::kPartialResult,
+             EncodeSubgraphs(site.partial));
+  });
+  for (const SiteState& site : sites) GPM_RETURN_NOT_OK(site.status);
+
+  // --- Step 4: coordinator union + dedup -----------------------------------
+  std::vector<PerfectSubgraph> results;
+  std::unordered_set<uint64_t> seen_hashes;
+  for (Message& m : bus.Drain(bus.coordinator_id())) {
+    GPM_ASSIGN_OR_RETURN(std::vector<PerfectSubgraph> partial,
+                         DecodeSubgraphs(m.payload));
+    for (PerfectSubgraph& pg : partial) {
+      if (seen_hashes.insert(pg.ContentHash()).second) {
+        results.push_back(std::move(pg));
+      }
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const PerfectSubgraph& a, const PerfectSubgraph& b) {
+              return a.center < b.center;
+            });
+
+  local_stats.bytes_total = bus.TotalBytes();
+  local_stats.bytes_pattern_broadcast =
+      bus.BytesOf(MessageKind::kPatternBroadcast);
+  local_stats.bytes_node_requests = bus.BytesOf(MessageKind::kNodeRequest);
+  local_stats.bytes_node_records = bus.BytesOf(MessageKind::kNodeRecords);
+  local_stats.bytes_partial_results = bus.BytesOf(MessageKind::kPartialResult);
+  local_stats.messages = bus.MessageCount();
+  for (const SiteState& site : sites) {
+    local_stats.balls_per_site.push_back(site.partial.size());
+    local_stats.foreign_records_per_site.push_back(site.foreign_records);
+  }
+  local_stats.seconds = timer.Seconds();
+  if (stats != nullptr) *stats = std::move(local_stats);
+  return results;
+}
+
+}  // namespace gpm

@@ -1,0 +1,127 @@
+#include "distributed/fragment.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gpm {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+Result<uint32_t> GetU32(const std::string& in, size_t* pos) {
+  if (*pos + 4 > in.size())
+    return Status::Corruption("truncated distributed payload");
+  uint32_t v;
+  std::memcpy(&v, in.data() + *pos, 4);
+  *pos += 4;
+  return v;
+}
+
+}  // namespace
+
+Fragment::Fragment(const Graph& g, const PartitionAssignment& assignment,
+                   uint32_t site)
+    : site_(site) {
+  GPM_CHECK_EQ(assignment.owner.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (assignment.owner[v] != site) continue;
+    owned_.push_back(v);
+    NodeRecord record;
+    record.label = g.label(v);
+    auto out_nbrs = g.OutNeighbors(v);
+    auto in_nbrs = g.InNeighbors(v);
+    record.out.assign(out_nbrs.begin(), out_nbrs.end());
+    record.in.assign(in_nbrs.begin(), in_nbrs.end());
+    records_.emplace(v, std::move(record));
+  }
+}
+
+const NodeRecord& Fragment::Record(NodeId v) const {
+  auto it = records_.find(v);
+  GPM_CHECK(it != records_.end()) << "site " << site_ << " lacks node " << v;
+  return it->second;
+}
+
+void Fragment::AddRecord(NodeId v, NodeRecord record) {
+  records_.emplace(v, std::move(record));
+}
+
+std::string Fragment::EncodeIdList(const std::vector<NodeId>& ids) {
+  std::string out;
+  out.reserve(4 + ids.size() * 4);
+  PutU32(&out, static_cast<uint32_t>(ids.size()));
+  for (NodeId v : ids) PutU32(&out, v);
+  return out;
+}
+
+Result<std::vector<NodeId>> Fragment::DecodeIdList(const std::string& bytes) {
+  size_t pos = 0;
+  GPM_ASSIGN_OR_RETURN(uint32_t count, GetU32(bytes, &pos));
+  std::vector<NodeId> ids;
+  ids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    GPM_ASSIGN_OR_RETURN(uint32_t v, GetU32(bytes, &pos));
+    ids.push_back(v);
+  }
+  if (pos != bytes.size())
+    return Status::Corruption("trailing bytes in id list");
+  return ids;
+}
+
+std::string Fragment::EncodeRecords(const std::vector<NodeId>& ids) const {
+  std::string out;
+  uint32_t encoded = 0;
+  std::string body;
+  for (NodeId v : ids) {
+    auto it = records_.find(v);
+    if (it == records_.end()) continue;  // not ours — requester's error
+    const NodeRecord& r = it->second;
+    PutU32(&body, v);
+    PutU32(&body, r.label);
+    PutU32(&body, static_cast<uint32_t>(r.out.size()));
+    PutU32(&body, static_cast<uint32_t>(r.in.size()));
+    for (NodeId w : r.out) PutU32(&body, w);
+    for (NodeId w : r.in) PutU32(&body, w);
+    ++encoded;
+  }
+  PutU32(&out, encoded);
+  out += body;
+  return out;
+}
+
+Result<std::vector<std::pair<NodeId, NodeRecord>>> Fragment::DecodeRecords(
+    const std::string& bytes) {
+  size_t pos = 0;
+  GPM_ASSIGN_OR_RETURN(uint32_t count, GetU32(bytes, &pos));
+  std::vector<std::pair<NodeId, NodeRecord>> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    GPM_ASSIGN_OR_RETURN(uint32_t id, GetU32(bytes, &pos));
+    NodeRecord r;
+    GPM_ASSIGN_OR_RETURN(r.label, GetU32(bytes, &pos));
+    GPM_ASSIGN_OR_RETURN(uint32_t out_count, GetU32(bytes, &pos));
+    GPM_ASSIGN_OR_RETURN(uint32_t in_count, GetU32(bytes, &pos));
+    r.out.reserve(out_count);
+    for (uint32_t j = 0; j < out_count; ++j) {
+      GPM_ASSIGN_OR_RETURN(uint32_t w, GetU32(bytes, &pos));
+      r.out.push_back(w);
+    }
+    r.in.reserve(in_count);
+    for (uint32_t j = 0; j < in_count; ++j) {
+      GPM_ASSIGN_OR_RETURN(uint32_t w, GetU32(bytes, &pos));
+      r.in.push_back(w);
+    }
+    out.emplace_back(id, std::move(r));
+  }
+  if (pos != bytes.size())
+    return Status::Corruption("trailing bytes in record batch");
+  return out;
+}
+
+}  // namespace gpm

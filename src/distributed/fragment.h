@@ -1,0 +1,69 @@
+// A site's local view of the data graph: the records of the nodes it
+// owns, plus whatever foreign records it has fetched over the bus. Sites
+// never touch the global Graph during the algorithm — everything foreign
+// arrives as serialized NodeRecords, so byte counts are honest.
+
+#ifndef GPM_DISTRIBUTED_FRAGMENT_H_
+#define GPM_DISTRIBUTED_FRAGMENT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "distributed/partition.h"
+#include "graph/graph.h"
+
+namespace gpm {
+
+/// \brief One node's shippable description: label and adjacency in global
+/// ids.
+struct NodeRecord {
+  Label label = 0;
+  std::vector<NodeId> out;
+  std::vector<NodeId> in;
+
+  /// Serialized size: id + label + counts + neighbor ids (4 bytes each).
+  size_t WireSize() const { return 4 * (4 + out.size() + in.size()); }
+};
+
+/// \brief Per-site graph knowledge.
+class Fragment {
+ public:
+  /// Seeds the fragment with records of the nodes `site` owns.
+  Fragment(const Graph& g, const PartitionAssignment& assignment,
+           uint32_t site);
+
+  uint32_t site() const { return site_; }
+  const std::vector<NodeId>& owned() const { return owned_; }
+
+  bool Knows(NodeId v) const { return records_.count(v) > 0; }
+  const NodeRecord& Record(NodeId v) const;
+
+  /// Adds a fetched foreign record (idempotent).
+  void AddRecord(NodeId v, NodeRecord record);
+
+  size_t num_known() const { return records_.size(); }
+
+  // --- wire encoding -------------------------------------------------------
+
+  /// Encodes a batch of node ids (a kNodeRequest payload).
+  static std::string EncodeIdList(const std::vector<NodeId>& ids);
+  static Result<std::vector<NodeId>> DecodeIdList(const std::string& bytes);
+
+  /// Encodes records for the requested ids this fragment knows
+  /// (a kNodeRecords payload).
+  std::string EncodeRecords(const std::vector<NodeId>& ids) const;
+  /// Decodes a record batch into (id, record) pairs.
+  static Result<std::vector<std::pair<NodeId, NodeRecord>>> DecodeRecords(
+      const std::string& bytes);
+
+ private:
+  uint32_t site_;
+  std::vector<NodeId> owned_;
+  std::unordered_map<NodeId, NodeRecord> records_;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_DISTRIBUTED_FRAGMENT_H_

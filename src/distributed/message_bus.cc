@@ -1,0 +1,63 @@
+#include "distributed/message_bus.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/logging.h"
+
+namespace gpm {
+
+MessageBus::MessageBus(uint32_t num_sites)
+    : num_sites_(num_sites), mailboxes_(num_sites + 1) {  // +1: coordinator
+  GPM_CHECK_GT(num_sites, 0u);
+}
+
+void MessageBus::Send(uint32_t from, uint32_t to, MessageKind kind,
+                      std::string payload) {
+  GPM_CHECK_LE(from, num_sites_);
+  GPM_CHECK_LE(to, num_sites_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  bytes_by_kind_[static_cast<int>(kind)] += payload.size();
+  ++message_count_;
+  mailboxes_[to].push_back(Message{from, to, kind, std::move(payload)});
+}
+
+std::vector<Message> MessageBus::Drain(uint32_t site) {
+  GPM_CHECK_LE(site, num_sites_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Message> out;
+  out.swap(mailboxes_[site]);
+  return out;
+}
+
+std::vector<Message> MessageBus::DrainKind(uint32_t site, MessageKind kind) {
+  GPM_CHECK_LE(site, num_sites_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Message> out;
+  auto& box = mailboxes_[site];
+  auto it = std::stable_partition(
+      box.begin(), box.end(),
+      [kind](const Message& m) { return m.kind != kind; });
+  out.assign(std::make_move_iterator(it), std::make_move_iterator(box.end()));
+  box.erase(it, box.end());
+  return out;
+}
+
+uint64_t MessageBus::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (uint64_t b : bytes_by_kind_) total += b;
+  return total;
+}
+
+uint64_t MessageBus::BytesOf(MessageKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_by_kind_[static_cast<int>(kind)];
+}
+
+uint64_t MessageBus::MessageCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return message_count_;
+}
+
+}  // namespace gpm

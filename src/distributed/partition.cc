@@ -1,0 +1,124 @@
+#include "distributed/partition.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace gpm {
+
+std::vector<NodeId> PartitionAssignment::NodesOf(uint32_t site) const {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < owner.size(); ++v) {
+    if (owner[v] == site) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+PartitionAssignment HashPartition(size_t num_nodes, uint32_t num_fragments,
+                                  uint64_t seed) {
+  GPM_CHECK_GT(num_fragments, 0u);
+  PartitionAssignment out;
+  out.num_fragments = num_fragments;
+  out.owner.resize(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    // splitmix-style mix of (v, seed).
+    uint64_t x = v + seed * 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    out.owner[v] = static_cast<uint32_t>((x ^ (x >> 31)) % num_fragments);
+  }
+  return out;
+}
+
+PartitionAssignment ChunkPartition(size_t num_nodes, uint32_t num_fragments) {
+  GPM_CHECK_GT(num_fragments, 0u);
+  PartitionAssignment out;
+  out.num_fragments = num_fragments;
+  out.owner.resize(num_nodes);
+  const size_t chunk = (num_nodes + num_fragments - 1) / num_fragments;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    out.owner[v] = static_cast<uint32_t>(v / std::max<size_t>(chunk, 1));
+  }
+  return out;
+}
+
+PartitionAssignment BfsPartition(const Graph& g, uint32_t num_fragments) {
+  GPM_CHECK_GT(num_fragments, 0u);
+  const size_t n = g.num_nodes();
+  PartitionAssignment out;
+  out.num_fragments = num_fragments;
+  out.owner.assign(n, UINT32_MAX);
+  const size_t target = (n + num_fragments - 1) / num_fragments;
+
+  uint32_t site = 0;
+  size_t in_site = 0;
+  std::deque<NodeId> queue;
+  NodeId scan = 0;
+  auto advance_site = [&] {
+    if (in_site >= target && site + 1 < num_fragments) {
+      ++site;
+      in_site = 0;
+    }
+  };
+  while (true) {
+    if (queue.empty()) {
+      while (scan < n && out.owner[scan] != UINT32_MAX) ++scan;
+      if (scan == n) break;
+      queue.push_back(scan);
+      out.owner[scan] = site;
+      ++in_site;
+      advance_site();
+    }
+    const NodeId v = queue.front();
+    queue.pop_front();
+    auto visit = [&](NodeId w) {
+      if (out.owner[w] != UINT32_MAX) return;
+      out.owner[w] = site;
+      ++in_site;
+      advance_site();
+      queue.push_back(w);
+    };
+    for (NodeId w : g.OutNeighbors(v)) visit(w);
+    for (NodeId w : g.InNeighbors(v)) visit(w);
+  }
+  return out;
+}
+
+size_t CountCutEdges(const Graph& g, const PartitionAssignment& assignment) {
+  GPM_CHECK_EQ(assignment.owner.size(), g.num_nodes());
+  size_t cut = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (assignment.owner[u] != assignment.owner[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+std::vector<NodeId> BorderNodes(const Graph& g,
+                                const PartitionAssignment& assignment,
+                                uint32_t site) {
+  std::vector<NodeId> border;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (assignment.owner[v] != site) continue;
+    bool is_border = false;
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (assignment.owner[w] != site) {
+        is_border = true;
+        break;
+      }
+    }
+    if (!is_border) {
+      for (NodeId w : g.InNeighbors(v)) {
+        if (assignment.owner[w] != site) {
+          is_border = true;
+          break;
+        }
+      }
+    }
+    if (is_border) border.push_back(v);
+  }
+  return border;
+}
+
+}  // namespace gpm

@@ -1,0 +1,50 @@
+// Graph partitioning for the distributed runtime (§4.3): assigns every
+// node an owning site. The distributed Match algorithm is correct for any
+// assignment ("it is generic: applicable to any G regardless of how G is
+// partitioned"); partition quality only affects shipped bytes.
+
+#ifndef GPM_DISTRIBUTED_PARTITION_H_
+#define GPM_DISTRIBUTED_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gpm {
+
+/// \brief A node-to-site assignment.
+struct PartitionAssignment {
+  std::vector<uint32_t> owner;  ///< owner[v] in [0, num_fragments)
+  uint32_t num_fragments = 0;
+
+  /// Nodes owned by `site`, sorted.
+  std::vector<NodeId> NodesOf(uint32_t site) const;
+};
+
+/// Pseudo-random assignment (hash of node id + seed): the worst case for
+/// locality, the usual baseline.
+PartitionAssignment HashPartition(size_t num_nodes, uint32_t num_fragments,
+                                  uint64_t seed);
+
+/// Contiguous id ranges: cheap and, for generators that allocate related
+/// ids nearby (copying models), surprisingly locality-friendly.
+PartitionAssignment ChunkPartition(size_t num_nodes, uint32_t num_fragments);
+
+/// BFS-clustered assignment: grows fragments as connected chunks, cutting
+/// far fewer edges on well-clustered graphs.
+PartitionAssignment BfsPartition(const Graph& g, uint32_t num_fragments);
+
+/// Number of directed edges whose endpoints live on different sites.
+size_t CountCutEdges(const Graph& g, const PartitionAssignment& assignment);
+
+/// Nodes with at least one neighbor (either direction) on another site —
+/// §4.3's shipment-bound vocabulary.
+std::vector<NodeId> BorderNodes(const Graph& g,
+                                const PartitionAssignment& assignment,
+                                uint32_t site);
+
+}  // namespace gpm
+
+#endif  // GPM_DISTRIBUTED_PARTITION_H_

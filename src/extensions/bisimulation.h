@@ -1,0 +1,48 @@
+// Bisimulation (paper §3.2): the notion "one might be tempted to use"
+// instead of simulation. Graph bisimulation is PTIME (partition
+// refinement, below); *subgraph* bisimulation — finding a subgraph Gs of G
+// with Q ∼ Gs — is NP-hard (Dovier & Piazza), which is exactly why the
+// paper stops at strong simulation. Both sides of that boundary are
+// executable here: the PTIME partition refinement, and a small-instance
+// exhaustive subgraph-bisimulation search for tests.
+
+#ifndef GPM_EXTENSIONS_BISIMULATION_H_
+#define GPM_EXTENSIONS_BISIMULATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gpm {
+
+/// \brief Partition of one graph's nodes into bisimulation equivalence
+/// classes.
+struct BisimulationPartition {
+  /// block_of[v] in [0, num_blocks): v's equivalence class.
+  std::vector<uint32_t> block_of;
+  uint32_t num_blocks = 0;
+};
+
+/// Coarsest bisimulation partition of g: u ~ v iff same label, and their
+/// child (and parent) block multisets agree, recursively. Kanellakis-
+/// Smolka style refinement, O((|V|+|E|) · |V|) worst case — plenty for
+/// pattern-scale graphs and fine for data graphs in the benches.
+BisimulationPartition ComputeBisimulationPartition(const Graph& g);
+
+/// True iff a and b are bisimilar as whole graphs: the paper's Q ∼ Gs —
+/// Q ≺ Gs with maximum relation S, and Gs ≺ Q with S⁻ as *its* maximum
+/// relation (computed on the disjoint union, then compared).
+bool AreBisimilar(const Graph& a, const Graph& b);
+
+/// Exhaustive subgraph-bisimulation check: does G contain a subgraph Gs
+/// (any node subset, any edge subset over it) with Q ∼ Gs? Exponential —
+/// the NP-hard side of the §3.2 boundary; refuses graphs beyond
+/// `max_nodes` (default 12) to stay test-sized.
+bool SubgraphBisimulationExists(const Graph& q, const Graph& g,
+                                size_t max_nodes = 12);
+
+}  // namespace gpm
+
+#endif  // GPM_EXTENSIONS_BISIMULATION_H_

@@ -1,0 +1,162 @@
+#include "extensions/incremental.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "graph/components.h"
+#include "graph/diameter.h"
+#include "graph/traversal.h"
+#include "matching/ball.h"
+
+namespace gpm {
+
+Result<IncrementalMatcher> IncrementalMatcher::Create(const Graph& q,
+                                                      const Graph& g) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  if (q.num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  if (!IsConnected(q))
+    return Status::InvalidArgument("pattern graph must be connected");
+  GPM_ASSIGN_OR_RETURN(uint32_t radius, Diameter(q));
+
+  // Copy the pattern (Graph is move-only across this boundary via the
+  // serialize-free route: rebuild node/edge lists).
+  Graph pattern_copy;
+  for (NodeId u = 0; u < q.num_nodes(); ++u) pattern_copy.AddNode(q.label(u));
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    for (NodeId v : q.OutNeighbors(u)) pattern_copy.AddEdge(u, v);
+  }
+  pattern_copy.Finalize();
+
+  IncrementalMatcher matcher(std::move(pattern_copy), radius);
+  matcher.labels_.resize(g.num_nodes());
+  matcher.out_.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    matcher.labels_[v] = g.label(v);
+    auto nbrs = g.OutNeighbors(v);
+    auto elabels = g.OutEdgeLabels(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      matcher.out_[v].emplace_back(nbrs[i], elabels[i]);
+    }
+  }
+  matcher.Materialize();
+  matcher.FullRecompute();
+  return matcher;
+}
+
+IncrementalMatcher::IncrementalMatcher(Graph q, uint32_t radius)
+    : pattern_(std::move(q)), radius_(radius) {
+  for (NodeId u = 0; u < pattern_.num_nodes(); ++u) {
+    pattern_labels_.insert(pattern_.label(u));
+  }
+}
+
+void IncrementalMatcher::Materialize() {
+  Graph g;
+  for (Label l : labels_) g.AddNode(l);
+  for (NodeId v = 0; v < out_.size(); ++v) {
+    for (const auto& [w, elabel] : out_[v]) g.AddEdge(v, w, elabel);
+  }
+  g.Finalize();
+  data_ = std::move(g);
+}
+
+void IncrementalMatcher::FullRecompute() {
+  by_center_.clear();
+  std::set<NodeId> all;
+  for (NodeId v = 0; v < data_.num_nodes(); ++v) all.insert(v);
+  RecomputeCenters(all);
+}
+
+void IncrementalMatcher::RecomputeCenters(const std::set<NodeId>& centers) {
+  BallBuilder builder(data_);
+  Ball ball;
+  for (NodeId center : centers) {
+    by_center_.erase(center);
+    if (!pattern_labels_.count(labels_[center])) continue;
+    builder.Build(center, radius_, &ball);
+    if (auto pg = MatchSingleBall(pattern_, ball)) {
+      by_center_.emplace(center, std::move(*pg));
+    }
+  }
+}
+
+void IncrementalMatcher::CollectNearbyCenters(NodeId v,
+                                              std::set<NodeId>* centers) const {
+  for (const BfsEntry& e :
+       Bfs(data_, v, EdgeDirection::kUndirected, radius_)) {
+    centers->insert(e.node);
+  }
+}
+
+Status IncrementalMatcher::InsertEdge(NodeId from, NodeId to, EdgeLabel label) {
+  if (from >= labels_.size() || to >= labels_.size())
+    return Status::InvalidArgument("edge endpoint does not exist");
+  for (const auto& [w, l] : out_[from]) {
+    if (w == to) return Status::AlreadyExists("edge already present");
+  }
+  Timer timer;
+  // Affected centers: within radius of either endpoint, in the old graph
+  // (balls that may lose nothing but gain the edge / new reachability)
+  // and in the new graph (balls the new edge pulls nodes into).
+  std::set<NodeId> centers;
+  CollectNearbyCenters(from, &centers);
+  CollectNearbyCenters(to, &centers);
+  out_[from].emplace_back(to, label);
+  Materialize();
+  CollectNearbyCenters(from, &centers);
+  CollectNearbyCenters(to, &centers);
+  RecomputeCenters(centers);
+  last_update_ = {centers.size(), data_.num_nodes(), timer.Seconds()};
+  return Status::OK();
+}
+
+Status IncrementalMatcher::RemoveEdge(NodeId from, NodeId to) {
+  if (from >= labels_.size() || to >= labels_.size())
+    return Status::InvalidArgument("edge endpoint does not exist");
+  auto& nbrs = out_[from];
+  auto it = std::find_if(nbrs.begin(), nbrs.end(),
+                         [to](const auto& p) { return p.first == to; });
+  if (it == nbrs.end()) return Status::NotFound("edge not present");
+  Timer timer;
+  std::set<NodeId> centers;
+  CollectNearbyCenters(from, &centers);  // old graph: balls that shrink
+  CollectNearbyCenters(to, &centers);
+  nbrs.erase(it);
+  Materialize();
+  CollectNearbyCenters(from, &centers);
+  CollectNearbyCenters(to, &centers);
+  RecomputeCenters(centers);
+  last_update_ = {centers.size(), data_.num_nodes(), timer.Seconds()};
+  return Status::OK();
+}
+
+NodeId IncrementalMatcher::AddNode(Label label) {
+  const NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  out_.emplace_back();
+  Materialize();
+  // An isolated node can only match a single-node pattern via its own
+  // radius-0 ball.
+  std::set<NodeId> centers{id};
+  RecomputeCenters(centers);
+  last_update_ = {1, data_.num_nodes(), 0};
+  return id;
+}
+
+std::vector<PerfectSubgraph> IncrementalMatcher::CurrentMatches() const {
+  std::vector<PerfectSubgraph> out;
+  std::set<uint64_t> seen;
+  std::vector<NodeId> centers;
+  centers.reserve(by_center_.size());
+  for (const auto& [center, pg] : by_center_) centers.push_back(center);
+  std::sort(centers.begin(), centers.end());
+  for (NodeId center : centers) {
+    const PerfectSubgraph& pg = by_center_.at(center);
+    if (seen.insert(pg.ContentHash()).second) out.push_back(pg);
+  }
+  return out;
+}
+
+}  // namespace gpm

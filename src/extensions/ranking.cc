@@ -1,0 +1,70 @@
+#include "extensions/ranking.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpm {
+
+double ScoreMatch(const Graph& q, const PerfectSubgraph& subgraph,
+                  const RankingWeights& weights) {
+  GPM_CHECK(q.finalized());
+  GPM_CHECK_EQ(subgraph.relation.sim.size(), q.num_nodes());
+  if (subgraph.nodes.empty()) return 0;
+
+  const double compactness =
+      std::min(1.0, static_cast<double>(q.num_nodes()) /
+                        static_cast<double>(subgraph.nodes.size()));
+
+  double specificity = 0;
+  for (const auto& list : subgraph.relation.sim) {
+    if (!list.empty()) specificity += 1.0 / static_cast<double>(list.size());
+  }
+  specificity /= static_cast<double>(q.num_nodes());
+
+  const double tightness =
+      subgraph.edges.empty()
+          ? 1.0
+          : std::min(1.0, static_cast<double>(q.num_edges()) /
+                              static_cast<double>(subgraph.edges.size()));
+
+  const double total_weight =
+      weights.compactness + weights.specificity + weights.tightness;
+  if (total_weight <= 0) return 0;
+  return (weights.compactness * compactness +
+          weights.specificity * specificity + weights.tightness * tightness) /
+         total_weight;
+}
+
+std::vector<RankedMatch> RankMatches(
+    const Graph& q, const std::vector<PerfectSubgraph>& subgraphs,
+    const RankingWeights& weights) {
+  std::vector<RankedMatch> ranked;
+  ranked.reserve(subgraphs.size());
+  for (size_t i = 0; i < subgraphs.size(); ++i) {
+    ranked.push_back({i, ScoreMatch(q, subgraphs[i], weights)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const RankedMatch& a, const RankedMatch& b) {
+              if (a.score != b.score) return a.score > b.score;
+              const auto& sa = subgraphs[a.index];
+              const auto& sb = subgraphs[b.index];
+              if (sa.nodes.size() != sb.nodes.size())
+                return sa.nodes.size() < sb.nodes.size();
+              return sa.center < sb.center;
+            });
+  return ranked;
+}
+
+std::vector<PerfectSubgraph> TopKMatches(
+    const Graph& q, const std::vector<PerfectSubgraph>& subgraphs, size_t k,
+    const RankingWeights& weights) {
+  std::vector<RankedMatch> ranked = RankMatches(q, subgraphs, weights);
+  std::vector<PerfectSubgraph> top;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    top.push_back(subgraphs[ranked[i].index]);
+  }
+  return top;
+}
+
+}  // namespace gpm

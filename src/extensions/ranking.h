@@ -1,0 +1,54 @@
+// Match ranking (paper §6, third future-work item: "find metrics to rank
+// matches found by strong simulation, to return top-ranked matches
+// only").
+//
+// Three signals, each in [0, 1], combined by configurable weights:
+//   compactness  — |Vq| / |Vs|: how close the match is to pattern-sized;
+//   specificity  — mean over query nodes of 1/|sim(u)|: how unambiguous
+//                  the per-node assignment is;
+//   tightness    — |Eq| / |Es|: how little extra wiring the match graph
+//                  carries beyond the pattern's own edges.
+// Exact isomorphic embeddings score 1.0 on all three.
+
+#ifndef GPM_EXTENSIONS_RANKING_H_
+#define GPM_EXTENSIONS_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "matching/strong_simulation.h"
+
+namespace gpm {
+
+/// \brief Relative importance of the three signals (need not sum to 1).
+struct RankingWeights {
+  double compactness = 1.0;
+  double specificity = 1.0;
+  double tightness = 0.5;
+};
+
+/// \brief One scored match.
+struct RankedMatch {
+  size_t index = 0;  ///< into the input subgraph vector
+  double score = 0;  ///< in [0, 1]
+};
+
+/// Score of a single perfect subgraph.
+double ScoreMatch(const Graph& q, const PerfectSubgraph& subgraph,
+                  const RankingWeights& weights = {});
+
+/// All matches scored and sorted best-first (ties broken by smaller
+/// subgraph, then by center id for determinism).
+std::vector<RankedMatch> RankMatches(const Graph& q,
+                                     const std::vector<PerfectSubgraph>& subgraphs,
+                                     const RankingWeights& weights = {});
+
+/// Convenience: the k best perfect subgraphs, best-first.
+std::vector<PerfectSubgraph> TopKMatches(
+    const Graph& q, const std::vector<PerfectSubgraph>& subgraphs, size_t k,
+    const RankingWeights& weights = {});
+
+}  // namespace gpm
+
+#endif  // GPM_EXTENSIONS_RANKING_H_

@@ -1,0 +1,158 @@
+#include "extensions/regex_pattern.h"
+
+#include <algorithm>
+
+#include "common/bitset.h"
+#include "common/logging.h"
+
+namespace gpm {
+
+RegexQuery::RegexQuery(Graph pattern) : pattern_(std::move(pattern)) {
+  GPM_CHECK(pattern_.finalized());
+  default_constraint_ = {RegexAtom{kAnyEdgeLabel, 1, 1}};
+}
+
+Status RegexQuery::SetConstraint(NodeId u, NodeId v, RegexPath path) {
+  if (u >= pattern_.num_nodes() || v >= pattern_.num_nodes() ||
+      !pattern_.HasEdge(u, v)) {
+    return Status::InvalidArgument("no pattern edge (" + std::to_string(u) +
+                                   ", " + std::to_string(v) + ")");
+  }
+  if (path.empty()) return Status::InvalidArgument("empty regex path");
+  for (const RegexAtom& atom : path) {
+    if (atom.min_reps > atom.max_reps)
+      return Status::InvalidArgument("regex atom has min_reps > max_reps");
+    // The witness search keeps one state per (node, hop) pair; cap the
+    // bounded-repetition range so that stays memory-proportional.
+    const uint32_t effective =
+        atom.max_reps == kUnboundedReps ? atom.min_reps : atom.max_reps;
+    if (effective > 4096)
+      return Status::InvalidArgument("regex repetition bound too large (>4096)");
+  }
+  constraints_[{u, v}] = std::move(path);
+  return Status::OK();
+}
+
+const RegexPath& RegexQuery::ConstraintFor(NodeId u, NodeId v) const {
+  auto it = constraints_.find({u, v});
+  return it == constraints_.end() ? default_constraint_ : it->second;
+}
+
+namespace {
+
+// Set-propagation over one atom: the nodes reachable from `current` by a
+// path of between min_reps and max_reps edges carrying atom.label.
+//
+// Exact counted-state BFS over (node, hops) pairs. For unbounded max the
+// hop counter saturates at min_reps — once a node is reached with >= min
+// hops it is accepted, and saturation keeps the state space finite while
+// remaining exact (cycles with awkward periods included).
+DynamicBitset ConsumeAtom(const Graph& g, const DynamicBitset& current,
+                          const RegexAtom& atom) {
+  const size_t n = g.num_nodes();
+  DynamicBitset result(n);
+  const bool unbounded = atom.max_reps == kUnboundedReps;
+  const uint32_t cap = unbounded ? atom.min_reps : atom.max_reps;
+
+  std::vector<bool> visited(n * (static_cast<size_t>(cap) + 1), false);
+  std::vector<std::pair<NodeId, uint32_t>> queue;
+  auto accept = [&](NodeId v, uint32_t hops) {
+    if (hops >= atom.min_reps) result.Set(v);
+  };
+  current.ForEach([&](size_t v) {
+    const NodeId node = static_cast<NodeId>(v);
+    if (!visited[v * (cap + 1)]) {
+      visited[v * (cap + 1)] = true;
+      queue.emplace_back(node, 0);
+      accept(node, 0);
+    }
+  });
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const auto [v, hops] = queue[head];
+    if (!unbounded && hops == cap) continue;  // no more edges allowed
+    const uint32_t next_hops = std::min(hops + 1, cap);  // saturating
+    auto nbrs = g.OutNeighbors(v);
+    auto labels = g.OutEdgeLabels(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (atom.label != kAnyEdgeLabel && labels[i] != atom.label) continue;
+      const size_t state = static_cast<size_t>(nbrs[i]) * (cap + 1) + next_hops;
+      if (visited[state]) continue;
+      visited[state] = true;
+      queue.emplace_back(nbrs[i], next_hops);
+      accept(nbrs[i], next_hops);
+    }
+  }
+  return result;
+}
+
+// True iff some word of L(path) labels a data path from `from` ending in
+// `targets`.
+bool RegexWitness(const Graph& g, NodeId from, const RegexPath& path,
+                  const DynamicBitset& targets) {
+  DynamicBitset current(g.num_nodes());
+  current.Set(from);
+  for (const RegexAtom& atom : path) {
+    current = ConsumeAtom(g, current, atom);
+    if (current.None()) return false;
+  }
+  return current.Intersects(targets);
+}
+
+}  // namespace
+
+MatchRelation ComputeRegexSimulation(const RegexQuery& query, const Graph& g) {
+  const Graph& q = query.pattern();
+  GPM_CHECK(g.finalized());
+  const size_t nq = q.num_nodes();
+  MatchRelation rel(nq);
+  std::vector<DynamicBitset> member(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    auto cls = g.NodesWithLabel(q.label(u));
+    rel.sim[u].assign(cls.begin(), cls.end());
+    member[u] = DynamicBitset(g.num_nodes());
+    for (NodeId v : cls) member[u].Set(v);
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u = 0; u < nq; ++u) {
+      auto& sim_u = rel.sim[u];
+      const size_t before = sim_u.size();
+      std::erase_if(sim_u, [&](NodeId v) {
+        for (NodeId u2 : q.OutNeighbors(u)) {
+          if (!RegexWitness(g, v, query.ConstraintFor(u, u2), member[u2])) {
+            member[u].Clear(v);
+            return true;
+          }
+        }
+        return false;
+      });
+      if (sim_u.size() != before) changed = true;
+    }
+  }
+  return rel;
+}
+
+bool RegexSimulates(const RegexQuery& query, const Graph& g) {
+  return ComputeRegexSimulation(query, g).IsTotal();
+}
+
+namespace internal {
+
+std::vector<NodeId> RegexReachableSet(const Graph& g, NodeId from,
+                                      const RegexPath& path) {
+  DynamicBitset current(g.num_nodes());
+  current.Set(from);
+  for (const RegexAtom& atom : path) {
+    current = ConsumeAtom(g, current, atom);
+    if (current.None()) break;
+  }
+  std::vector<NodeId> out;
+  current.ForEach([&](size_t v) { out.push_back(static_cast<NodeId>(v)); });
+  return out;
+}
+
+}  // namespace internal
+
+}  // namespace gpm

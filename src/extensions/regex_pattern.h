@@ -1,0 +1,85 @@
+// Regular-expression pattern edges, after Fan et al.'s graph pattern
+// queries (ICDE 2011 — the paper's [18], and its §6 first future-work
+// item): a pattern edge carries a bounded regular expression over *edge
+// labels*, and matches any data path spelling a word of that language.
+//
+// The [18] fragment is concatenations of bounded repetitions
+// l^{min..max}; that is exactly RegexPath below. Matching stays cubic:
+// the child-condition witness check walks a layered product of the data
+// graph with the (linear) regex automaton.
+
+#ifndef GPM_EXTENSIONS_REGEX_PATTERN_H_
+#define GPM_EXTENSIONS_REGEX_PATTERN_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "matching/match_relation.h"
+
+namespace gpm {
+
+/// Wildcard edge label (matches any label) inside regex atoms.
+inline constexpr EdgeLabel kAnyEdgeLabel = 0xFFFFFFFEu;
+
+/// Unbounded repetition count (the Kleene-ish upper bound).
+inline constexpr uint32_t kUnboundedReps = 0xFFFFFFFFu;
+
+/// \brief One bounded repetition l^{min..max}.
+struct RegexAtom {
+  EdgeLabel label = kAnyEdgeLabel;
+  uint32_t min_reps = 1;
+  uint32_t max_reps = 1;
+};
+
+/// A concatenation of atoms — the [18] regex fragment.
+using RegexPath = std::vector<RegexAtom>;
+
+/// \brief A pattern whose edges carry RegexPath constraints.
+///
+/// Edges without an explicit constraint default to one wildcard hop
+/// (ordinary edge semantics), so a RegexQuery over a plain pattern
+/// behaves exactly like graph simulation.
+class RegexQuery {
+ public:
+  /// The pattern must be finalized.
+  explicit RegexQuery(Graph pattern);
+
+  /// Attaches a constraint to pattern edge (u, v); the edge must exist
+  /// and the path must be non-empty with min <= max per atom.
+  Status SetConstraint(NodeId u, NodeId v, RegexPath path);
+
+  const RegexPath& ConstraintFor(NodeId u, NodeId v) const;
+  const Graph& pattern() const { return pattern_; }
+
+ private:
+  Graph pattern_;
+  std::map<std::pair<NodeId, NodeId>, RegexPath> constraints_;
+  RegexPath default_constraint_;
+};
+
+/// Maximum regex-simulation relation: (u, v) ∈ S iff labels agree and for
+/// every pattern edge (u, u') with constraint R there is a data path from
+/// v spelling a word of L(R) that ends at some v' ∈ S(u'). Fixpoint with
+/// product-automaton reachability witnesses.
+MatchRelation ComputeRegexSimulation(const RegexQuery& query, const Graph& g);
+
+/// True iff the regex pattern matches g (relation total).
+bool RegexSimulates(const RegexQuery& query, const Graph& g);
+
+namespace internal {
+
+/// Nodes reachable from `from` by a data path spelling a word of L(path)
+/// (exact counted-state BFS; see regex_pattern.cc). Exposed for the
+/// regex-strong-simulation extension's match-graph construction.
+std::vector<NodeId> RegexReachableSet(const Graph& g, NodeId from,
+                                      const RegexPath& path);
+
+}  // namespace internal
+
+}  // namespace gpm
+
+#endif  // GPM_EXTENSIONS_REGEX_PATTERN_H_

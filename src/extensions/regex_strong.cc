@@ -1,0 +1,236 @@
+#include "extensions/regex_strong.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bitset.h"
+#include "common/logging.h"
+#include "graph/components.h"
+#include "matching/ball.h"
+
+namespace gpm {
+
+namespace {
+
+// Reverses a constraint: parent witnesses walk the reversed graph, so the
+// atom order flips (labels and repetition bounds are unchanged).
+RegexPath ReversePath(const RegexPath& path) {
+  return RegexPath(path.rbegin(), path.rend());
+}
+
+}  // namespace
+
+MatchRelation ComputeRegexDualSimulation(const RegexQuery& query,
+                                         const Graph& g) {
+  const Graph& q = query.pattern();
+  GPM_CHECK(g.finalized());
+  const size_t nq = q.num_nodes();
+  const Graph reversed = g.Reversed();  // carries edge labels
+
+  MatchRelation rel(nq);
+  std::vector<DynamicBitset> member(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    auto cls = g.NodesWithLabel(q.label(u));
+    rel.sim[u].assign(cls.begin(), cls.end());
+    member[u] = DynamicBitset(g.num_nodes());
+    for (NodeId v : cls) member[u].Set(v);
+  }
+
+  auto has_forward_witness = [&](NodeId v, const RegexPath& path,
+                                 const DynamicBitset& targets) {
+    for (NodeId w : internal::RegexReachableSet(g, v, path)) {
+      if (targets.Test(w)) return true;
+    }
+    return false;
+  };
+  auto has_backward_witness = [&](NodeId v, const RegexPath& path,
+                                  const DynamicBitset& sources) {
+    // A path from some source to v spelling `path` is a reversed-graph
+    // path from v spelling the reversed atom sequence.
+    for (NodeId w :
+         internal::RegexReachableSet(reversed, v, ReversePath(path))) {
+      if (sources.Test(w)) return true;
+    }
+    return false;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u = 0; u < nq; ++u) {
+      auto& sim_u = rel.sim[u];
+      const size_t before = sim_u.size();
+      std::erase_if(sim_u, [&](NodeId v) {
+        for (NodeId u2 : q.OutNeighbors(u)) {
+          if (!has_forward_witness(v, query.ConstraintFor(u, u2),
+                                   member[u2])) {
+            member[u].Clear(v);
+            return true;
+          }
+        }
+        for (NodeId u2 : q.InNeighbors(u)) {
+          if (!has_backward_witness(v, query.ConstraintFor(u2, u),
+                                    member[u2])) {
+            member[u].Clear(v);
+            return true;
+          }
+        }
+        return false;
+      });
+      if (sim_u.size() != before) changed = true;
+    }
+  }
+  return rel;
+}
+
+uint32_t DefaultRegexRadius(const RegexQuery& query, uint32_t unbounded_cap) {
+  const Graph& q = query.pattern();
+  const size_t nq = q.num_nodes();
+  if (nq == 0) return 0;
+  auto edge_weight = [&](NodeId u, NodeId u2) -> uint64_t {
+    uint64_t total = 0;
+    for (const RegexAtom& atom : query.ConstraintFor(u, u2)) {
+      total += atom.max_reps == kUnboundedReps
+                   ? std::max(atom.min_reps, unbounded_cap)
+                   : atom.max_reps;
+    }
+    return std::max<uint64_t>(total, 1);
+  };
+
+  // Floyd-Warshall over the undirected weighted pattern (patterns are
+  // small; §2.1 assumes them connected).
+  constexpr uint64_t kInf = UINT64_MAX / 4;
+  std::vector<std::vector<uint64_t>> dist(nq, std::vector<uint64_t>(nq, kInf));
+  for (NodeId u = 0; u < nq; ++u) dist[u][u] = 0;
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId u2 : q.OutNeighbors(u)) {
+      const uint64_t w = edge_weight(u, u2);
+      dist[u][u2] = std::min(dist[u][u2], w);
+      dist[u2][u] = std::min(dist[u2][u], w);
+    }
+  }
+  for (size_t k = 0; k < nq; ++k) {
+    for (size_t i = 0; i < nq; ++i) {
+      for (size_t j = 0; j < nq; ++j) {
+        dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+      }
+    }
+  }
+  uint64_t diameter = 0;
+  for (size_t i = 0; i < nq; ++i) {
+    for (size_t j = 0; j < nq; ++j) {
+      if (dist[i][j] < kInf) diameter = std::max(diameter, dist[i][j]);
+    }
+  }
+  return static_cast<uint32_t>(diameter);
+}
+
+Result<std::vector<PerfectSubgraph>> MatchStrongRegex(const RegexQuery& query,
+                                                      const Graph& g,
+                                                      uint32_t radius) {
+  const Graph& q = query.pattern();
+  GPM_CHECK(g.finalized());
+  if (q.num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  if (!IsConnected(q))
+    return Status::InvalidArgument("pattern graph must be connected");
+  if (radius == 0) radius = DefaultRegexRadius(query);
+
+  std::unordered_set<Label> q_labels;
+  for (NodeId u = 0; u < q.num_nodes(); ++u) q_labels.insert(q.label(u));
+
+  std::vector<PerfectSubgraph> results;
+  std::unordered_set<uint64_t> seen_hashes;
+  BallBuilder builder(g);
+  Ball ball;
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
+    // A perfect subgraph needs its center matched.
+    if (!q_labels.count(g.label(w))) continue;
+    builder.Build(w, radius, &ball);
+
+    const MatchRelation sw = ComputeRegexDualSimulation(query, ball.graph);
+    if (!sw.IsTotal()) continue;
+    const NodeId center = ball.LocalCenter();
+    bool center_matched = false;
+    for (const auto& list : sw.sim) {
+      if (std::binary_search(list.begin(), list.end(), center)) {
+        center_matched = true;
+        break;
+      }
+    }
+    if (!center_matched) continue;
+
+    // Virtual match graph: (v, v') for every regex witness pair.
+    std::vector<DynamicBitset> member(q.num_nodes());
+    for (NodeId u = 0; u < q.num_nodes(); ++u) {
+      member[u] = DynamicBitset(ball.graph.num_nodes());
+      for (NodeId v : sw.sim[u]) member[u].Set(v);
+    }
+    std::unordered_map<NodeId, std::vector<NodeId>> adj;  // undirected
+    std::vector<std::pair<NodeId, NodeId>> virtual_edges;
+    for (NodeId u = 0; u < q.num_nodes(); ++u) {
+      for (NodeId u2 : q.OutNeighbors(u)) {
+        const RegexPath& path = query.ConstraintFor(u, u2);
+        for (NodeId v : sw.sim[u]) {
+          for (NodeId t :
+               internal::RegexReachableSet(ball.graph, v, path)) {
+            if (!member[u2].Test(t)) continue;
+            virtual_edges.emplace_back(v, t);
+            adj[v].push_back(t);
+            adj[t].push_back(v);
+          }
+        }
+      }
+    }
+
+    // Component of the center over virtual edges.
+    DynamicBitset in_component(ball.graph.num_nodes());
+    in_component.Set(center);
+    std::vector<NodeId> stack{center};
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      auto it = adj.find(v);
+      if (it == adj.end()) continue;
+      for (NodeId x : it->second) {
+        if (!in_component.Test(x)) {
+          in_component.Set(x);
+          stack.push_back(x);
+        }
+      }
+    }
+
+    PerfectSubgraph pg;
+    pg.center = w;
+    pg.radius = radius;
+    pg.relation = MatchRelation(q.num_nodes());
+    for (NodeId u = 0; u < q.num_nodes(); ++u) {
+      for (NodeId v : sw.sim[u]) {
+        if (in_component.Test(v)) {
+          pg.relation.sim[u].push_back(ball.to_global[v]);
+          pg.nodes.push_back(ball.to_global[v]);
+        }
+      }
+      std::sort(pg.relation.sim[u].begin(), pg.relation.sim[u].end());
+    }
+    std::sort(pg.nodes.begin(), pg.nodes.end());
+    pg.nodes.erase(std::unique(pg.nodes.begin(), pg.nodes.end()),
+                   pg.nodes.end());
+    for (const auto& [a, b] : virtual_edges) {
+      if (in_component.Test(a) && in_component.Test(b)) {
+        pg.edges.emplace_back(ball.to_global[a], ball.to_global[b]);
+      }
+    }
+    std::sort(pg.edges.begin(), pg.edges.end());
+    pg.edges.erase(std::unique(pg.edges.begin(), pg.edges.end()),
+                   pg.edges.end());
+
+    if (seen_hashes.insert(pg.ContentHash()).second) {
+      results.push_back(std::move(pg));
+    }
+  }
+  return results;
+}
+
+}  // namespace gpm

@@ -1,0 +1,52 @@
+// Strong simulation with regular-expression edges — the paper's first §6
+// future-work item ("extend strong simulation by incorporating regular
+// expressions on edge types, along the same lines as [18]"), realized:
+// dual regex-simulation (child AND parent regex witnesses) evaluated in
+// balls, with the perfect subgraph extracted from the *virtual* match
+// graph whose edges connect regex-witness pairs.
+//
+// Notes vs the plain-edge case:
+//  - intermediate path nodes are not part of a match (only matched nodes
+//    are, as in [18]'s result graphs);
+//  - the ball radius must account for edge-constraint path lengths;
+//    DefaultRegexRadius computes the weighted pattern diameter, counting
+//    each constraint as the sum of its atoms' maximum repetitions
+//    (unbounded atoms counted as max(min_reps, unbounded_cap)).
+
+#ifndef GPM_EXTENSIONS_REGEX_STRONG_H_
+#define GPM_EXTENSIONS_REGEX_STRONG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "extensions/regex_pattern.h"
+#include "matching/strong_simulation.h"
+
+namespace gpm {
+
+/// Maximum dual regex-simulation relation: ComputeRegexSimulation's child
+/// condition plus the parent condition — for every pattern edge (u2, u)
+/// with constraint R, a match v of u needs an *incoming* path spelling a
+/// word of L(R) from some match of u2.
+MatchRelation ComputeRegexDualSimulation(const RegexQuery& query,
+                                         const Graph& g);
+
+/// Weighted pattern diameter used as the ball radius: undirected
+/// all-pairs over the pattern with edge weight = total maximum length of
+/// the edge's constraint.
+uint32_t DefaultRegexRadius(const RegexQuery& query,
+                            uint32_t unbounded_cap = 4);
+
+/// Strong simulation under regex constraints: one maximum perfect
+/// subgraph per ball whose center is matched; `radius` 0 means
+/// DefaultRegexRadius. PerfectSubgraph::edges holds the *virtual*
+/// regex-witness edges between matched nodes. InvalidArgument if the
+/// pattern is empty or disconnected.
+Result<std::vector<PerfectSubgraph>> MatchStrongRegex(const RegexQuery& query,
+                                                      const Graph& g,
+                                                      uint32_t radius = 0);
+
+}  // namespace gpm
+
+#endif  // GPM_EXTENSIONS_REGEX_STRONG_H_

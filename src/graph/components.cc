@@ -1,0 +1,162 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gpm {
+
+std::vector<NodeId> ComponentSet::NodesIn(uint32_t c) const {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < component_of.size(); ++v) {
+    if (component_of[v] == c) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+ComponentSet ConnectedComponents(const Graph& g) {
+  ComponentSet result;
+  const size_t n = g.num_nodes();
+  result.component_of.assign(n, UINT32_MAX);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (result.component_of[start] != UINT32_MAX) continue;
+    const uint32_t c = result.num_components++;
+    result.component_of[start] = c;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      auto visit = [&](NodeId w) {
+        if (result.component_of[w] == UINT32_MAX) {
+          result.component_of[w] = c;
+          stack.push_back(w);
+        }
+      };
+      for (NodeId w : g.OutNeighbors(v)) visit(w);
+      for (NodeId w : g.InNeighbors(v)) visit(w);
+    }
+  }
+  return result;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.num_nodes() == 0) return false;
+  return ConnectedComponents(g).num_components == 1;
+}
+
+ComponentSet StronglyConnectedComponents(const Graph& g) {
+  // Iterative Tarjan. Frame state: node + position in its out-list.
+  const size_t n = g.num_nodes();
+  ComponentSet result;
+  result.component_of.assign(n, UINT32_MAX);
+
+  std::vector<uint32_t> index(n, UINT32_MAX);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> scc_stack;
+  uint32_t next_index = 0;
+
+  struct Frame {
+    NodeId v;
+    size_t child_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != UINT32_MAX) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const NodeId v = frame.v;
+      auto children = g.OutNeighbors(v);
+      if (frame.child_pos < children.size()) {
+        const NodeId w = children[frame.child_pos++];
+        if (index[w] == UINT32_MAX) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          const uint32_t c = result.num_components++;
+          while (true) {
+            NodeId w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+            result.component_of[w] = c;
+            if (w == v) break;
+          }
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          NodeId parent = call_stack.back().v;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool HasDirectedCycle(const Graph& g) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.HasEdge(v, v)) return true;  // self-loop
+  }
+  ComponentSet sccs = StronglyConnectedComponents(g);
+  std::vector<uint32_t> scc_size(sccs.num_components, 0);
+  for (uint32_t c : sccs.component_of) ++scc_size[c];
+  return std::any_of(scc_size.begin(), scc_size.end(),
+                     [](uint32_t s) { return s > 1; });
+}
+
+namespace {
+// Union-find with path halving.
+struct UnionFind {
+  std::vector<NodeId> parent;
+  explicit UnionFind(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), NodeId{0});
+  }
+  NodeId Find(NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  // Returns false if x and y were already connected.
+  bool Union(NodeId x, NodeId y) {
+    NodeId rx = Find(x), ry = Find(y);
+    if (rx == ry) return false;
+    parent[rx] = ry;
+    return true;
+  }
+};
+}  // namespace
+
+bool HasUndirectedCycle(const Graph& g) {
+  UnionFind uf(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (u == v) return true;  // self-loop: cycle of length 1
+      // An antiparallel pair u->v, v->u is an undirected 2-cycle (the
+      // paper's Q3). Count the pair once (when u < v).
+      if (g.HasEdge(v, u)) {
+        if (u < v) return true;
+        continue;  // the u > v copy was merged when we saw (v, u)
+      }
+      if (!uf.Union(u, v)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gpm

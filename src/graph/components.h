@@ -1,0 +1,48 @@
+// Connected components (undirected) and strongly connected components.
+//
+// ExtractMaxPG (paper Fig. 3) needs the undirected component of the match
+// graph containing the ball center; cycle-preservation checks (Prop 2) need
+// SCCs.
+
+#ifndef GPM_GRAPH_COMPONENTS_H_
+#define GPM_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gpm {
+
+/// \brief Partition of nodes into components.
+struct ComponentSet {
+  /// component_of[v] in [0, num_components).
+  std::vector<uint32_t> component_of;
+  uint32_t num_components = 0;
+
+  /// Nodes of component c, computed on demand.
+  std::vector<NodeId> NodesIn(uint32_t c) const;
+};
+
+/// Undirected (weakly) connected components.
+ComponentSet ConnectedComponents(const Graph& g);
+
+/// True iff g is connected (paper §2.1; the empty graph is not).
+bool IsConnected(const Graph& g);
+
+/// Strongly connected components (Tarjan, iterative — safe for deep graphs).
+/// Component ids are in reverse topological order of the condensation.
+ComponentSet StronglyConnectedComponents(const Graph& g);
+
+/// True iff g has a directed cycle (an SCC with >1 node, or a self-loop).
+bool HasDirectedCycle(const Graph& g);
+
+/// True iff the undirected version of g has a cycle (i.e. g is not a
+/// forest when edge directions are ignored). Parallel edges in opposite
+/// directions (u->v and v->u) count as an undirected cycle of length 2,
+/// matching the paper's Q3 "recommend each other" pattern.
+bool HasUndirectedCycle(const Graph& g);
+
+}  // namespace gpm
+
+#endif  // GPM_GRAPH_COMPONENTS_H_

@@ -1,0 +1,27 @@
+#include "graph/diameter.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+
+namespace gpm {
+
+Result<uint32_t> Eccentricity(const Graph& g, NodeId v) {
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  auto order = Bfs(g, v, EdgeDirection::kUndirected);
+  if (order.size() != g.num_nodes())
+    return Status::InvalidArgument("graph is disconnected");
+  return order.back().distance;  // BFS order is non-decreasing in distance
+}
+
+Result<uint32_t> Diameter(const Graph& g) {
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    GPM_ASSIGN_OR_RETURN(uint32_t ecc, Eccentricity(g, v));
+    best = std::max(best, ecc);
+  }
+  return best;
+}
+
+}  // namespace gpm

@@ -1,0 +1,28 @@
+// Exact diameter of a connected graph (paper §2.1: longest shortest
+// undirected distance over all node pairs).
+//
+// Pattern graphs are small (the paper evaluates |Vq| up to 20), so the
+// all-pairs BFS O(|V|·(|V|+|E|)) cost is negligible. Data-graph diameters
+// are never needed by the algorithms.
+
+#ifndef GPM_GRAPH_DIAMETER_H_
+#define GPM_GRAPH_DIAMETER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace gpm {
+
+/// Exact undirected diameter. InvalidArgument if g is empty or disconnected
+/// (the paper assumes pattern graphs are connected, §2.1).
+Result<uint32_t> Diameter(const Graph& g);
+
+/// Eccentricity of `v`: the largest undirected distance from v to any node.
+/// InvalidArgument if some node is unreachable from v (disconnected graph).
+Result<uint32_t> Eccentricity(const Graph& g, NodeId v);
+
+}  // namespace gpm
+
+#endif  // GPM_GRAPH_DIAMETER_H_

@@ -1,0 +1,203 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "graph/traversal.h"
+
+namespace gpm {
+
+namespace {
+
+// Packs a directed edge into one 64-bit key for dedup sets.
+inline uint64_t EdgeKey(uint32_t u, uint32_t v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+// Zipf exponents tuned so the most frequent label covers a few percent of
+// nodes (mirroring category skew in product/video datasets).
+constexpr double kAmazonLabelSkew = 0.8;
+constexpr double kYouTubeLabelSkew = 0.7;
+
+}  // namespace
+
+Graph MakeUniform(uint32_t n, double alpha, uint32_t num_labels, uint64_t seed) {
+  GPM_CHECK_GT(n, 0u);
+  GPM_CHECK_GT(num_labels, 0u);
+  Rng rng(seed);
+  Graph g;
+  for (uint32_t i = 0; i < n; ++i) {
+    g.AddNode(static_cast<Label>(rng.Uniform(num_labels)));
+  }
+  uint64_t target = static_cast<uint64_t>(
+      std::llround(std::pow(static_cast<double>(n), alpha)));
+  // A simple digraph on n nodes has at most n(n-1) edges.
+  const uint64_t max_edges =
+      static_cast<uint64_t>(n) * (n > 0 ? n - 1 : 0);
+  target = std::min(target, max_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(target * 2);
+  uint64_t added = 0;
+  while (added < target) {
+    uint32_t u = static_cast<uint32_t>(rng.Uniform(n));
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(n));
+    if (u == v) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    g.AddEdge(u, v);
+    ++added;
+  }
+  g.Finalize();
+  return g;
+}
+
+namespace {
+
+// Copying-model generator shared by the Amazon-like and YouTube-like
+// networks. Each new node i draws an out-degree in [min_deg, max_deg] and,
+// per edge, either attaches to a uniform earlier node or copies a random
+// out-neighbor of a uniform earlier node (which yields preferential
+// attachment and heavy-tailed in-degrees).
+Graph CopyingModel(uint32_t n, uint32_t min_deg, uint32_t max_deg,
+                   double copy_prob, double reciprocity, double label_skew,
+                   uint32_t num_labels, uint64_t seed) {
+  GPM_CHECK_GT(n, 0u);
+  Rng rng(seed);
+  Graph g;
+  std::unordered_set<uint64_t> seen;
+  // Flat copy of each node's out-edges so far (the growing graph is still
+  // mutable, so we track adjacency locally).
+  std::vector<std::vector<uint32_t>> out(n);
+  // Per-node draws are interleaved (label, then edges) so that for a
+  // fixed (seed, num_labels) the generator is *prefix-nested*: the first
+  // m nodes of an n-node graph are exactly the m-node graph. The |V|
+  // sweeps in bench/ rely on this to reuse one pattern across sizes.
+  g.AddNode(static_cast<Label>(rng.Zipf(num_labels, label_skew)));
+  for (uint32_t i = 1; i < n; ++i) {
+    g.AddNode(static_cast<Label>(rng.Zipf(num_labels, label_skew)));
+    const uint32_t degree = static_cast<uint32_t>(
+        rng.UniformRange(min_deg, max_deg));
+    for (uint32_t e = 0; e < degree; ++e) {
+      uint32_t target = kInvalidNode;
+      const uint32_t anchor = static_cast<uint32_t>(rng.Uniform(i));
+      if (rng.Bernoulli(copy_prob) && !out[anchor].empty()) {
+        target = out[anchor][rng.Uniform(out[anchor].size())];
+      } else {
+        target = anchor;
+      }
+      if (target == i) continue;
+      if (!seen.insert(EdgeKey(i, target)).second) continue;
+      g.AddEdge(i, target);
+      out[i].push_back(target);
+      if (reciprocity > 0.0 && rng.Bernoulli(reciprocity) &&
+          seen.insert(EdgeKey(target, i)).second) {
+        g.AddEdge(target, i);
+        out[target].push_back(i);
+      }
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace
+
+Graph MakeAmazonLike(uint32_t n, uint64_t seed, uint32_t num_labels) {
+  // Degrees 1..6 average 3.5 ~ the snapshot's 3.26; modest copying, no
+  // forced reciprocity (co-purchase edges are directional).
+  return CopyingModel(n, /*min_deg=*/1, /*max_deg=*/6, /*copy_prob=*/0.5,
+                      /*reciprocity=*/0.05, kAmazonLabelSkew, num_labels,
+                      seed);
+}
+
+Graph MakeYouTubeLike(uint32_t n, uint64_t seed, uint32_t num_labels) {
+  // Degrees 10..30 average 20 ~ the snapshot's 20.0; stronger copying and
+  // 30% reciprocity (related-video links are frequently mutual).
+  return CopyingModel(n, /*min_deg=*/10, /*max_deg=*/30, /*copy_prob=*/0.6,
+                      /*reciprocity=*/0.3, kYouTubeLabelSkew, num_labels,
+                      seed);
+}
+
+Graph RandomPattern(uint32_t nq, double alphaq,
+                    std::span<const Label> label_pool, uint64_t seed) {
+  GPM_CHECK_GT(nq, 0u);
+  GPM_CHECK(!label_pool.empty());
+  Rng rng(seed);
+  Graph q;
+  for (uint32_t i = 0; i < nq; ++i) {
+    q.AddNode(label_pool[rng.Uniform(label_pool.size())]);
+  }
+  std::unordered_set<uint64_t> seen;
+  // Random oriented spanning tree: each node i > 0 links with an earlier
+  // node in a random direction, guaranteeing (undirected) connectivity.
+  for (uint32_t i = 1; i < nq; ++i) {
+    uint32_t j = static_cast<uint32_t>(rng.Uniform(i));
+    uint32_t u = i, v = j;
+    if (rng.Bernoulli(0.5)) std::swap(u, v);
+    seen.insert(EdgeKey(u, v));
+    q.AddEdge(u, v);
+  }
+  uint64_t target = static_cast<uint64_t>(
+      std::llround(std::pow(static_cast<double>(nq), alphaq)));
+  target = std::max<uint64_t>(target, nq > 0 ? nq - 1 : 0);
+  const uint64_t max_edges = static_cast<uint64_t>(nq) * (nq - 1);
+  target = std::min(target, max_edges);
+  uint64_t added = nq - 1;
+  // nq is small (<= dozens); rejection sampling terminates quickly.
+  while (added < target) {
+    uint32_t u = static_cast<uint32_t>(rng.Uniform(nq));
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(nq));
+    if (u == v) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    q.AddEdge(u, v);
+    ++added;
+  }
+  q.Finalize();
+  return q;
+}
+
+Result<Graph> ExtractPattern(const Graph& g, uint32_t nq, Rng* rng) {
+  GPM_CHECK(g.finalized());
+  GPM_CHECK_GT(nq, 0u);
+  if (g.num_nodes() < nq)
+    return Status::InvalidArgument("data graph smaller than requested pattern");
+
+  // Try several random seeds; a seed fails if its undirected component has
+  // fewer than nq nodes.
+  constexpr int kMaxAttempts = 64;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const NodeId seed_node = static_cast<NodeId>(rng->Uniform(g.num_nodes()));
+    std::vector<NodeId> chosen;
+    std::unordered_set<NodeId> in_set;
+    std::vector<NodeId> frontier;  // nodes adjacent to the chosen set
+    chosen.push_back(seed_node);
+    in_set.insert(seed_node);
+    auto push_neighbors = [&](NodeId v) {
+      for (NodeId w : g.OutNeighbors(v))
+        if (!in_set.count(w)) frontier.push_back(w);
+      for (NodeId w : g.InNeighbors(v))
+        if (!in_set.count(w)) frontier.push_back(w);
+    };
+    push_neighbors(seed_node);
+    while (chosen.size() < nq && !frontier.empty()) {
+      // Pick a uniformly random frontier entry (duplicates bias growth
+      // toward well-connected nodes, which mirrors real query shapes).
+      size_t pick = static_cast<size_t>(rng->Uniform(frontier.size()));
+      NodeId v = frontier[pick];
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      if (in_set.count(v)) continue;
+      in_set.insert(v);
+      chosen.push_back(v);
+      push_neighbors(v);
+    }
+    if (chosen.size() == nq) {
+      return g.InducedSubgraph(chosen);
+    }
+  }
+  return Status::InvalidArgument(
+      "no undirected component with >= " + std::to_string(nq) + " nodes found");
+}
+
+}  // namespace gpm

@@ -1,0 +1,60 @@
+// Synthetic workload generators (paper §5 "Experimental setting").
+//
+// The paper generates data/pattern graphs with three knobs: node count n,
+// edge count n^alpha, and label count l (fixed to 200, alpha defaulting to
+// 1.2). The real Amazon / YouTube snapshots are not redistributable, so
+// MakeAmazonLike / MakeYouTubeLike synthesize graphs with the statistics the
+// experiments depend on (scale, density, heavy-tailed degrees, label skew);
+// see DESIGN.md §3 for the substitution rationale.
+
+#ifndef GPM_GRAPH_GENERATOR_H_
+#define GPM_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace gpm {
+
+/// Defaults from the paper: l = 200 labels, alpha = 1.2.
+inline constexpr uint32_t kDefaultNumLabels = 200;
+inline constexpr double kDefaultAlpha = 1.2;
+
+/// The paper's synthetic generator: n nodes, round(n^alpha) distinct
+/// directed edges chosen uniformly (no self-loops), labels uniform in
+/// [0, num_labels). Deterministic in `seed`.
+Graph MakeUniform(uint32_t n, double alpha, uint32_t num_labels, uint64_t seed);
+
+/// Amazon-like co-purchase network: copying-model preferential attachment,
+/// average out-degree ~3.3 (real snapshot: 1,788,725 / 548,552 ~ 3.26),
+/// Zipf-skewed labels over `num_labels` categories (the snapshot has ~200;
+/// scaled-down runs should scale the label count too, keeping |V|/l — and
+/// hence match combinatorics — in the paper's regime).
+Graph MakeAmazonLike(uint32_t n, uint64_t seed,
+                     uint32_t num_labels = kDefaultNumLabels);
+
+/// YouTube-like related-video network: denser copying model, average
+/// out-degree ~20 (real snapshot: 3,110,120 / 155,513 ~ 20), 30% reciprocal
+/// edges, Zipf-skewed labels.
+Graph MakeYouTubeLike(uint32_t n, uint64_t seed,
+                      uint32_t num_labels = kDefaultNumLabels);
+
+/// Random *connected* pattern graph: nq nodes, max(nq-1, round(nq^alphaq))
+/// edges (a random oriented spanning tree plus random extras), labels drawn
+/// uniformly from `label_pool`. Connectivity is an invariant the matching
+/// algorithms assume (§2.1).
+Graph RandomPattern(uint32_t nq, double alphaq,
+                    std::span<const Label> label_pool, uint64_t seed);
+
+/// Extracts a connected pattern from a data graph: grows a random connected
+/// node set of size nq (undirected expansion from a random seed node) and
+/// returns the induced subgraph. Guarantees the data graph contains at least
+/// one subgraph-isomorphic match, which the closeness experiments (Exp-1)
+/// require. Returns InvalidArgument if g has no component with >= nq nodes.
+Result<Graph> ExtractPattern(const Graph& g, uint32_t nq, Rng* rng);
+
+}  // namespace gpm
+
+#endif  // GPM_GRAPH_GENERATOR_H_

@@ -1,0 +1,172 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gpm {
+
+Label LabelDictionary::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  Label id = static_cast<Label>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+Result<Label> LabelDictionary::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return Status::NotFound("label '" + name + "' unknown");
+  return it->second;
+}
+
+const std::string& LabelDictionary::Name(Label id) const {
+  GPM_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+NodeId Graph::AddNode(Label label) {
+  GPM_CHECK(!finalized_) << "AddNode after Finalize()";
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  out_.emplace_back();
+  in_.emplace_back();
+  out_labels_.emplace_back();
+  return id;
+}
+
+void Graph::AddEdge(NodeId u, NodeId v, EdgeLabel label) {
+  GPM_CHECK(!finalized_) << "AddEdge after Finalize()";
+  GPM_CHECK_LT(u, labels_.size());
+  GPM_CHECK_LT(v, labels_.size());
+  out_[u].push_back(v);
+  out_labels_[u].push_back(label);
+  in_[v].push_back(u);
+  ++num_edges_;
+}
+
+void Graph::Finalize() {
+  if (finalized_) return;
+  size_t edges = 0;
+  for (NodeId v = 0; v < labels_.size(); ++v) {
+    // Sort (neighbor, edge label) pairs together, then drop duplicate
+    // neighbors (keeping the first label).
+    auto& nbrs = out_[v];
+    auto& elabels = out_labels_[v];
+    const size_t d = nbrs.size();
+    std::vector<size_t> order(d);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return nbrs[a] != nbrs[b] ? nbrs[a] < nbrs[b] : elabels[a] < elabels[b];
+    });
+    std::vector<NodeId> sorted_nbrs;
+    std::vector<EdgeLabel> sorted_labels;
+    sorted_nbrs.reserve(d);
+    sorted_labels.reserve(d);
+    for (size_t idx : order) {
+      if (!sorted_nbrs.empty() && sorted_nbrs.back() == nbrs[idx]) continue;
+      sorted_nbrs.push_back(nbrs[idx]);
+      sorted_labels.push_back(elabels[idx]);
+    }
+    nbrs = std::move(sorted_nbrs);
+    elabels = std::move(sorted_labels);
+    edges += nbrs.size();
+  }
+  // Rebuild in-adjacency from the dedup'd out-adjacency.
+  for (auto& nbrs : in_) nbrs.clear();
+  for (NodeId u = 0; u < labels_.size(); ++u) {
+    for (NodeId v : out_[u]) in_[v].push_back(u);
+  }
+  for (auto& nbrs : in_) std::sort(nbrs.begin(), nbrs.end());
+  num_edges_ = edges;
+
+  // Label index.
+  label_index_.clear();
+  for (NodeId v = 0; v < labels_.size(); ++v) {
+    label_index_[labels_[v]].push_back(v);
+  }
+  distinct_labels_.clear();
+  distinct_labels_.reserve(label_index_.size());
+  for (const auto& [label, nodes] : label_index_) distinct_labels_.push_back(label);
+  std::sort(distinct_labels_.begin(), distinct_labels_.end());
+
+  finalized_ = true;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  GPM_CHECK(finalized_) << "HasEdge requires Finalize()";
+  GPM_CHECK_LT(u, labels_.size());
+  GPM_CHECK_LT(v, labels_.size());
+  const auto& nbrs = out_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::span<const NodeId> Graph::NodesWithLabel(Label label) const {
+  GPM_CHECK(finalized_) << "NodesWithLabel requires Finalize()";
+  auto it = label_index_.find(label);
+  if (it == label_index_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+Graph Graph::InducedSubgraph(std::span<const NodeId> nodes,
+                             std::vector<NodeId>* to_parent) const {
+  Graph sub;
+  std::unordered_map<NodeId, NodeId> to_local;
+  to_local.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    GPM_CHECK_LT(v, labels_.size());
+    auto [it, inserted] = to_local.emplace(v, static_cast<NodeId>(to_local.size()));
+    GPM_CHECK(inserted) << "duplicate node " << v << " in InducedSubgraph";
+    sub.AddNode(labels_[v]);
+  }
+  for (NodeId v : nodes) {
+    NodeId lv = to_local[v];
+    auto elabels = OutEdgeLabels(v);
+    size_t i = 0;
+    for (NodeId w : OutNeighbors(v)) {
+      auto it = to_local.find(w);
+      if (it != to_local.end()) {
+        sub.AddEdge(lv, it->second, i < elabels.size() ? elabels[i] : 0);
+      }
+      ++i;
+    }
+  }
+  sub.Finalize();
+  if (to_parent != nullptr) {
+    to_parent->assign(nodes.begin(), nodes.end());
+  }
+  return sub;
+}
+
+Graph Graph::Reversed() const {
+  Graph rev;
+  for (NodeId v = 0; v < labels_.size(); ++v) rev.AddNode(labels_[v]);
+  for (NodeId u = 0; u < labels_.size(); ++u) {
+    auto elabels = OutEdgeLabels(u);
+    size_t i = 0;
+    for (NodeId v : out_[u]) {
+      rev.AddEdge(v, u, i < elabels.size() ? elabels[i] : 0);
+      ++i;
+    }
+  }
+  rev.Finalize();
+  return rev;
+}
+
+bool Graph::StructurallyEqual(const Graph& other,
+                              bool compare_edge_labels) const {
+  GPM_CHECK(finalized_ && other.finalized_);
+  if (num_nodes() != other.num_nodes() || num_edges() != other.num_edges())
+    return false;
+  if (labels_ != other.labels_) return false;
+  for (NodeId v = 0; v < labels_.size(); ++v) {
+    if (out_[v] != other.out_[v]) return false;
+    if (compare_edge_labels && out_labels_[v] != other.out_labels_[v])
+      return false;
+  }
+  return true;
+}
+
+}  // namespace gpm

@@ -1,0 +1,162 @@
+#include "graph/graph_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace gpm {
+
+std::string WriteGraphText(const Graph& g) {
+  std::ostringstream out;
+  out << "t " << g.num_nodes() << " " << g.num_edges() << "\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "v " << v << " " << g.label(v) << "\n";
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto elabels = g.OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      out << "e " << u << " " << nbrs[i];
+      if (i < elabels.size() && elabels[i] != 0) out << " " << elabels[i];
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<Graph> ReadGraphText(const std::string& text) {
+  Graph g;
+  std::istringstream in(text);
+  std::string line;
+  size_t declared_nodes = 0;
+  bool saw_header = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = TrimString(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    auto tokens = SplitString(sv);
+    const std::string where = " (line " + std::to_string(line_no) + ")";
+    if (tokens[0] == "t") {
+      if (tokens.size() != 3)
+        return Status::Corruption("bad header" + where);
+      GPM_ASSIGN_OR_RETURN(declared_nodes, ParseUint64(tokens[1]));
+      saw_header = true;
+    } else if (tokens[0] == "v") {
+      if (!saw_header) return Status::Corruption("'v' before header" + where);
+      if (tokens.size() != 3) return Status::Corruption("bad node line" + where);
+      GPM_ASSIGN_OR_RETURN(uint64_t id, ParseUint64(tokens[1]));
+      GPM_ASSIGN_OR_RETURN(uint64_t label, ParseUint64(tokens[2]));
+      if (id != g.num_nodes())
+        return Status::Corruption("node ids must be dense and in order" + where);
+      g.AddNode(static_cast<Label>(label));
+    } else if (tokens[0] == "e") {
+      if (tokens.size() != 3 && tokens.size() != 4)
+        return Status::Corruption("bad edge line" + where);
+      GPM_ASSIGN_OR_RETURN(uint64_t src, ParseUint64(tokens[1]));
+      GPM_ASSIGN_OR_RETURN(uint64_t dst, ParseUint64(tokens[2]));
+      uint64_t elabel = 0;
+      if (tokens.size() == 4) {
+        GPM_ASSIGN_OR_RETURN(elabel, ParseUint64(tokens[3]));
+      }
+      if (src >= g.num_nodes() || dst >= g.num_nodes())
+        return Status::Corruption("edge endpoint out of range" + where);
+      g.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst),
+                static_cast<EdgeLabel>(elabel));
+    } else {
+      return Status::Corruption("unknown record '" + std::string(tokens[0]) +
+                                "'" + where);
+    }
+  }
+  if (!saw_header) return Status::Corruption("missing 't' header");
+  if (g.num_nodes() != declared_nodes)
+    return Status::Corruption("node count mismatch: header says " +
+                              std::to_string(declared_nodes) + ", got " +
+                              std::to_string(g.num_nodes()));
+  g.Finalize();
+  return g;
+}
+
+Status SaveGraph(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const std::string text = WriteGraphText(g);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<Graph> LoadGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadGraphText(buffer.str());
+}
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);  // little-endian hosts only (x86/arm64)
+  out->append(buf, 4);
+}
+
+Result<uint32_t> GetU32(const std::string& in, size_t* pos) {
+  if (*pos + 4 > in.size()) return Status::Corruption("truncated graph blob");
+  uint32_t v;
+  std::memcpy(&v, in.data() + *pos, 4);
+  *pos += 4;
+  return v;
+}
+
+constexpr uint32_t kBinaryMagic = 0x47504D31;  // "GPM1"
+
+}  // namespace
+
+std::string SerializeGraph(const Graph& g) {
+  std::string out;
+  out.reserve(16 + g.num_nodes() * 4 + g.num_edges() * 12);
+  PutU32(&out, kBinaryMagic);
+  PutU32(&out, static_cast<uint32_t>(g.num_nodes()));
+  PutU32(&out, static_cast<uint32_t>(g.num_edges()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) PutU32(&out, g.label(v));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto elabels = g.OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      PutU32(&out, u);
+      PutU32(&out, nbrs[i]);
+      PutU32(&out, i < elabels.size() ? elabels[i] : 0);
+    }
+  }
+  return out;
+}
+
+Result<Graph> DeserializeGraph(const std::string& bytes) {
+  size_t pos = 0;
+  GPM_ASSIGN_OR_RETURN(uint32_t magic, GetU32(bytes, &pos));
+  if (magic != kBinaryMagic) return Status::Corruption("bad graph magic");
+  GPM_ASSIGN_OR_RETURN(uint32_t num_nodes, GetU32(bytes, &pos));
+  GPM_ASSIGN_OR_RETURN(uint32_t num_edges, GetU32(bytes, &pos));
+  Graph g;
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    GPM_ASSIGN_OR_RETURN(uint32_t label, GetU32(bytes, &pos));
+    g.AddNode(label);
+  }
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    GPM_ASSIGN_OR_RETURN(uint32_t src, GetU32(bytes, &pos));
+    GPM_ASSIGN_OR_RETURN(uint32_t dst, GetU32(bytes, &pos));
+    GPM_ASSIGN_OR_RETURN(uint32_t elabel, GetU32(bytes, &pos));
+    if (src >= num_nodes || dst >= num_nodes)
+      return Status::Corruption("edge endpoint out of range in graph blob");
+    g.AddEdge(src, dst, elabel);
+  }
+  if (pos != bytes.size()) return Status::Corruption("trailing bytes in graph blob");
+  g.Finalize();
+  return g;
+}
+
+}  // namespace gpm

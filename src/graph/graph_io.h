@@ -1,0 +1,43 @@
+// Text and binary graph serialization.
+//
+// Text format ("gpm graph v1"), line-oriented:
+//   # comment
+//   t <num_nodes> <num_edges>        header (edge count advisory)
+//   v <id> <label>                   one per node, ids must be dense 0..n-1
+//   e <src> <dst> [edge_label]       one per edge
+//
+// The binary format is a length-prefixed little-endian encoding used for
+// snapshots and for the distributed message bus (its byte counts are the
+// §4.3 data-shipment metric).
+
+#ifndef GPM_GRAPH_GRAPH_IO_H_
+#define GPM_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace gpm {
+
+/// Renders g in the text format above.
+std::string WriteGraphText(const Graph& g);
+
+/// Parses the text format; Corruption on malformed input.
+Result<Graph> ReadGraphText(const std::string& text);
+
+/// Writes g's text form to `path`.
+Status SaveGraph(const Graph& g, const std::string& path);
+
+/// Reads a graph from `path` (text format).
+Result<Graph> LoadGraph(const std::string& path);
+
+/// Compact binary encoding of a finalized graph.
+std::string SerializeGraph(const Graph& g);
+
+/// Inverse of SerializeGraph; Corruption on malformed input.
+Result<Graph> DeserializeGraph(const std::string& bytes);
+
+}  // namespace gpm
+
+#endif  // GPM_GRAPH_GRAPH_IO_H_

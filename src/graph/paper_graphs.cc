@@ -1,0 +1,333 @@
+#include "graph/paper_graphs.h"
+
+#include "common/logging.h"
+
+namespace gpm::paper {
+
+namespace {
+
+// Incremental builder that names nodes as it adds them.
+class NamedGraph {
+ public:
+  explicit NamedGraph(LabelDictionary* dict) : dict_(dict) {}
+
+  NodeId Add(const std::string& name, const std::string& label) {
+    NodeId id = graph_.AddNode(dict_->Intern(label));
+    names_.push_back(name);
+    ids_[name] = id;
+    return id;
+  }
+
+  void Edge(const std::string& from, const std::string& to) {
+    graph_.AddEdge(ids_.at(from), ids_.at(to));
+  }
+
+  Graph Finish(std::vector<std::string>* names_out) {
+    graph_.Finalize();
+    *names_out = names_;
+    return std::move(graph_);
+  }
+
+ private:
+  LabelDictionary* dict_;
+  Graph graph_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> ids_;
+};
+
+NodeId LookupByName(const std::vector<std::string>& names,
+                    const std::string& name) {
+  for (NodeId i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  GPM_LOG(Fatal) << "unknown node name '" << name << "'";
+  return kInvalidNode;
+}
+
+}  // namespace
+
+NodeId Example::DataNode(const std::string& name) const {
+  return LookupByName(data_node_names, name);
+}
+
+NodeId Example::PatternNode(const std::string& name) const {
+  return LookupByName(pattern_node_names, name);
+}
+
+Example Fig1() {
+  Example ex;
+  NamedGraph q(&ex.labels);
+  q.Add("HR", "HR");
+  q.Add("SE", "SE");
+  q.Add("Bio", "Bio");
+  q.Add("DM", "DM");
+  q.Add("AI", "AI");
+  q.Edge("HR", "Bio");
+  q.Edge("SE", "Bio");
+  q.Edge("DM", "Bio");
+  q.Edge("HR", "SE");
+  q.Edge("AI", "DM");
+  q.Edge("DM", "AI");
+  ex.pattern = q.Finish(&ex.pattern_node_names);
+
+  NamedGraph g(&ex.labels);
+  // Component 1: Bio1 recommended by HR only, Bio2 by SE only.
+  g.Add("HR1", "HR");
+  g.Add("SE1", "SE");
+  g.Add("Bio1", "Bio");
+  g.Add("Bio2", "Bio");
+  g.Edge("HR1", "Bio1");
+  g.Edge("HR1", "SE1");
+  g.Edge("SE1", "Bio2");
+  // Component 2: the long cycle AI1,DM1,...,AI3,DM3,AI1 with DMi -> Bio3
+  // (k = 3 instantiates the paper's "AIk, DMk").
+  g.Add("AI1", "AI");
+  g.Add("DM1", "DM");
+  g.Add("AI2", "AI");
+  g.Add("DM2", "DM");
+  g.Add("AI3", "AI");
+  g.Add("DM3", "DM");
+  g.Add("Bio3", "Bio");
+  g.Edge("AI1", "DM1");
+  g.Edge("DM1", "AI2");
+  g.Edge("AI2", "DM2");
+  g.Edge("DM2", "AI3");
+  g.Edge("AI3", "DM3");
+  g.Edge("DM3", "AI1");
+  g.Edge("DM1", "Bio3");
+  g.Edge("DM2", "Bio3");
+  g.Edge("DM3", "Bio3");
+  // Component 3 (Gc): the genuine answer around Bio4.
+  g.Add("HR2", "HR");
+  g.Add("SE2", "SE");
+  g.Add("Bio4", "Bio");
+  g.Add("DM'1", "DM");
+  g.Add("DM'2", "DM");
+  g.Add("AI'1", "AI");
+  g.Add("AI'2", "AI");
+  g.Edge("HR2", "Bio4");
+  g.Edge("HR2", "SE2");
+  g.Edge("SE2", "Bio4");
+  g.Edge("DM'1", "Bio4");
+  g.Edge("DM'2", "Bio4");
+  // AI'/DM' alternating 4-cycle: gives every DM' an AI' child and parent
+  // without creating a directed 2-cycle (so Q1 stays isomorphism-free).
+  g.Edge("AI'1", "DM'1");
+  g.Edge("DM'1", "AI'2");
+  g.Edge("AI'2", "DM'2");
+  g.Edge("DM'2", "AI'1");
+  ex.data = g.Finish(&ex.data_node_names);
+  return ex;
+}
+
+Example Fig2Q2() {
+  Example ex;
+  NamedGraph q(&ex.labels);
+  q.Add("ST", "ST");
+  q.Add("TE", "TE");
+  q.Add("B", "book");
+  q.Edge("ST", "B");
+  q.Edge("TE", "B");
+  ex.pattern = q.Finish(&ex.pattern_node_names);
+
+  NamedGraph g(&ex.labels);
+  g.Add("ST1", "ST");
+  g.Add("ST2", "ST");
+  g.Add("ST3", "ST");
+  g.Add("TE1", "TE");
+  g.Add("book1", "book");
+  g.Add("book2", "book");
+  g.Edge("ST1", "book1");
+  g.Edge("ST2", "book2");
+  g.Edge("ST3", "book2");
+  g.Edge("TE1", "book2");
+  ex.data = g.Finish(&ex.data_node_names);
+  return ex;
+}
+
+Example Fig2Q3() {
+  Example ex;
+  NamedGraph q(&ex.labels);
+  q.Add("P", "P");
+  q.Add("P'", "P");
+  q.Edge("P", "P'");
+  q.Edge("P'", "P");
+  ex.pattern = q.Finish(&ex.pattern_node_names);
+
+  NamedGraph g(&ex.labels);
+  g.Add("P1", "P");
+  g.Add("P2", "P");
+  g.Add("P3", "P");
+  g.Add("P4", "P");
+  g.Edge("P1", "P2");
+  g.Edge("P2", "P1");
+  g.Edge("P2", "P3");
+  g.Edge("P3", "P2");
+  // P4 sits on a directed path P3 -> P4 -> P1: dual-matched globally (it
+  // has a P parent and a P child) but its radius-1 ball severs those
+  // neighbours' own support, so locality excludes it.
+  g.Edge("P3", "P4");
+  g.Edge("P4", "P1");
+  ex.data = g.Finish(&ex.data_node_names);
+  return ex;
+}
+
+Example Fig2Q4() {
+  Example ex;
+  NamedGraph q(&ex.labels);
+  q.Add("db", "db");
+  q.Add("SN", "SN");
+  q.Add("graph", "graph");
+  q.Edge("db", "SN");
+  q.Edge("db", "graph");
+  ex.pattern = q.Finish(&ex.pattern_node_names);
+
+  NamedGraph g(&ex.labels);
+  g.Add("db1", "db");
+  g.Add("db2", "db");
+  g.Add("SN1", "SN");
+  g.Add("SN2", "SN");
+  g.Add("SN3", "SN");
+  g.Add("SN4", "SN");
+  g.Add("graph1", "graph");
+  g.Add("graph2", "graph");
+  g.Edge("db1", "SN1");
+  g.Edge("db2", "SN2");
+  g.Edge("db1", "graph1");
+  g.Edge("db1", "graph2");
+  g.Edge("db2", "graph1");
+  g.Edge("db2", "graph2");
+  // SN3 is cited only by a graph-theory paper; SN4 by nobody.
+  g.Edge("graph1", "SN3");
+  ex.data = g.Finish(&ex.data_node_names);
+  return ex;
+}
+
+Example Fig6aQ5() {
+  Example ex;
+  // `data` is Q5 (input to minQ); `pattern` is the expected quotient Q5m.
+  NamedGraph q5(&ex.labels);
+  q5.Add("R", "R");
+  q5.Add("A", "A");
+  q5.Add("B1", "B");
+  q5.Add("B2", "B");
+  q5.Add("C1", "C");
+  q5.Add("C2", "C");
+  q5.Add("D1", "D");
+  q5.Add("D2", "D");
+  q5.Edge("R", "A");
+  q5.Edge("R", "B1");
+  q5.Edge("R", "B2");
+  q5.Edge("B1", "C1");
+  q5.Edge("B2", "C2");
+  q5.Edge("C1", "D1");
+  q5.Edge("C2", "D2");
+  ex.data = q5.Finish(&ex.data_node_names);
+
+  NamedGraph q5m(&ex.labels);
+  q5m.Add("R", "R");
+  q5m.Add("A", "A");
+  q5m.Add("B", "B");
+  q5m.Add("C", "C");
+  q5m.Add("D", "D");
+  q5m.Edge("R", "A");
+  q5m.Edge("R", "B");
+  q5m.Edge("B", "C");
+  q5m.Edge("C", "D");
+  ex.pattern = q5m.Finish(&ex.pattern_node_names);
+  return ex;
+}
+
+Example Fig6bDualFilter() {
+  Example ex;
+  // Pattern: path A -> B -> C (diameter 2).
+  NamedGraph q(&ex.labels);
+  q.Add("A", "A");
+  q.Add("B", "B");
+  q.Add("C", "C");
+  q.Edge("A", "B");
+  q.Edge("B", "C");
+  ex.pattern = q.Finish(&ex.pattern_node_names);
+
+  // Data: a long chain A1->B1->C1->A2->B2->C2->A3->B3->C3. Globally every
+  // labelled node dual-matches, but e.g. the ball around C1 (radius 2)
+  // clips the chain: its border nodes lose support and the filtering
+  // cascades inward — exactly the dualFilter scenario.
+  NamedGraph g(&ex.labels);
+  const char* names[] = {"A1", "B1", "C1", "A2", "B2", "C2", "A3", "B3", "C3"};
+  const char* labels[] = {"A", "B", "C", "A", "B", "C", "A", "B", "C"};
+  for (int i = 0; i < 9; ++i) g.Add(names[i], labels[i]);
+  for (int i = 0; i + 1 < 9; ++i) g.Edge(names[i], names[i + 1]);
+  // Close the loop so global dual simulation keeps every node (each A has
+  // a B child; each B an A parent and C child; each C a B parent).
+  g.Edge("C3", "A1");
+  ex.data = g.Finish(&ex.data_node_names);
+  return ex;
+}
+
+Example Fig6cPruning() {
+  Example ex;
+  // Pattern: A -> B -> A' -> B' alternating path (diameter 3).
+  NamedGraph q(&ex.labels);
+  q.Add("A1", "A");
+  q.Add("B1", "B");
+  q.Add("A2", "A");
+  q.Add("B2", "B");
+  q.Edge("A1", "B1");
+  q.Edge("B1", "A2");
+  q.Edge("A2", "B2");
+  ex.pattern = q.Finish(&ex.pattern_node_names);
+
+  // Data: two A/B 2-cycles joined by a path of X-labelled nodes. The ball
+  // around A1 (radius 3) reaches the X bridge and beyond, but the
+  // candidate-induced subgraph splits into {A1,B1} and {A2,B2}; pruning
+  // keeps only the component with the center.
+  NamedGraph g(&ex.labels);
+  g.Add("A1", "A");
+  g.Add("B1", "B");
+  g.Add("X1", "X");
+  g.Add("X2", "X");
+  g.Add("A2", "A");
+  g.Add("B2", "B");
+  g.Edge("A1", "B1");
+  g.Edge("B1", "A1");
+  g.Edge("B1", "X1");
+  g.Edge("X1", "X2");
+  g.Edge("X2", "A2");
+  g.Edge("A2", "B2");
+  g.Edge("B2", "A2");
+  ex.data = g.Finish(&ex.data_node_names);
+  return ex;
+}
+
+Example AmazonQA() {
+  Example ex;
+  NamedGraph q(&ex.labels);
+  q.Add("PF", "Parenting&Families");
+  q.Add("CB", "Children'sBooks");
+  q.Add("HG", "Home&Garden");
+  q.Add("HMB", "Health,Mind&Body");
+  q.Edge("PF", "CB");
+  q.Edge("PF", "HG");
+  q.Edge("PF", "HMB");
+  q.Edge("HMB", "PF");
+  ex.pattern = q.Finish(&ex.pattern_node_names);
+  return ex;
+}
+
+Example YouTubeQY() {
+  Example ex;
+  NamedGraph q(&ex.labels);
+  q.Add("E", "Entertainment");
+  q.Add("FA", "Film&Animation");
+  q.Add("M", "Music");
+  q.Add("S", "Sports");
+  q.Edge("E", "FA");
+  q.Edge("E", "M");
+  q.Edge("S", "FA");
+  q.Edge("S", "M");
+  ex.pattern = q.Finish(&ex.pattern_node_names);
+  return ex;
+}
+
+}  // namespace gpm::paper

@@ -1,0 +1,98 @@
+// The paper's running examples (Figures 1, 2, 6 and the Exp-1 pattern
+// shapes QA / QY), reconstructed as reusable fixtures.
+//
+// Every builder returns finalized graphs whose behaviour under the four
+// matching notions reproduces the claims made in the paper's prose; the
+// test suite asserts those claims (tests/paper_examples_test.cc).
+//
+// Figure 6(b)/(c) are only partially recoverable from the text (they are
+// drawings); Fig6b/Fig6c below are faithful to the *described behaviour*
+// (border-driven filtering, candidate-component pruning) rather than to the
+// exact drawing. See each builder's comment.
+
+#ifndef GPM_GRAPH_PAPER_GRAPHS_H_
+#define GPM_GRAPH_PAPER_GRAPHS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gpm::paper {
+
+/// A pattern/data pair plus the label dictionary that names their labels.
+struct Example {
+  Graph pattern;
+  Graph data;
+  LabelDictionary labels;
+  /// Data-graph node names in id order, for readable test failures
+  /// (e.g. "Bio4").
+  std::vector<std::string> data_node_names;
+  /// Pattern node names in id order.
+  std::vector<std::string> pattern_node_names;
+
+  /// Node id of `name` in the data graph; aborts if unknown.
+  NodeId DataNode(const std::string& name) const;
+  /// Node id of `name` in the pattern; aborts if unknown.
+  NodeId PatternNode(const std::string& name) const;
+};
+
+/// Figure 1: the headhunter example. Q1 = {HR->Bio, SE->Bio, DM->Bio,
+/// HR->SE, AI->DM, DM->AI} (diameter 3). G1 has three components:
+///  - {HR1->Bio1, HR1->SE1, SE1->Bio2}                 (Bio1/Bio2: bad)
+///  - the long cycle AI1->DM1->AI2->DM2->AI3->DM3->AI1 with DMi->Bio3
+///  - Gc = {HR2,SE2,Bio4,DM'1,DM'2,AI'1,AI'2}          (Bio4: the answer)
+/// Claims: no isomorphic match anywhere; simulation matches all four Bio
+/// nodes; strong simulation matches only Bio4, with Gc as the sole
+/// perfect subgraph.
+Example Fig1();
+
+/// Figure 2, Q2/G2: book recommended by both students and teachers.
+/// G2 = {ST1->book1, ST2->book2, ST3->book2, TE1->book2}.
+/// Claims: simulation matches book1 and book2; dual/strong simulation and
+/// isomorphism match only book2; isomorphism returns two match graphs,
+/// strong simulation one (per ball, dedup'd).
+Example Fig2Q2();
+
+/// Figure 2, Q3/G3: two people who recommend each other (undirected
+/// 2-cycle pattern, diameter 1). G3 = {P1<->P2, P2<->P3, P3->P4, P4->P1}.
+/// Claims: simulation and dual simulation match P1..P4; strong simulation
+/// and isomorphism match only P1, P2, P3 (P4 is cut by locality).
+Example Fig2Q3();
+
+/// Figure 2, Q4/G4: SN papers cited by db papers that also cite graph
+/// papers. G4 = {db_i -> SN_i, db_i -> graph_j | i,j in [1,2]} plus
+/// graph1->SN3 and an isolated SN4.
+/// Claims: simulation matches SN1..SN4; dual/strong simulation and
+/// isomorphism match only SN1, SN2; isomorphism yields four match graphs.
+Example Fig2Q4();
+
+/// Figure 6(a): the minQ example Q5 (Example 4). Labels R, A, B, C, D;
+/// edges R->A, R->B1, R->B2, B1->C1, B2->C2, C1->D1, C2->D2.
+/// Claim: minQ produces the 5-node quotient R->A, R->B, B->C, C->D.
+/// (`data` here is Q5 itself; `pattern` is the expected minimized Q5m.)
+Example Fig6aQ5();
+
+/// Figure 6(b)-in-spirit: a pattern/data pair where the global dual-sim
+/// relation projected onto one ball is invalidated starting at a border
+/// node, exercising dualFilter's border-first worklist (Prop 5).
+Example Fig6bDualFilter();
+
+/// Figure 6(c)-in-spirit: ball whose candidate-induced subgraph splits into
+/// two components, only one containing the center — connectivity pruning
+/// discards the other without changing results.
+Example Fig6cPruning();
+
+/// Exp-1's QA: Parenting & Families books co-purchased with Children's
+/// Books and Home & Garden books, and mutually co-purchased with Health,
+/// Mind & Body books. (Pattern only; pair it with MakeAmazonLike data.)
+Example AmazonQA();
+
+/// Exp-1's QY: Entertainment videos related to Film & Animation and Music
+/// videos, with a Sports video related to the same two. (Pattern only;
+/// pair it with MakeYouTubeLike data.)
+Example YouTubeQY();
+
+}  // namespace gpm::paper
+
+#endif  // GPM_GRAPH_PAPER_GRAPHS_H_

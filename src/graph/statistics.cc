@@ -1,0 +1,77 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "graph/components.h"
+
+namespace gpm {
+
+GraphStatistics ComputeStatistics(const Graph& g) {
+  GPM_CHECK(g.finalized());
+  GraphStatistics stats;
+  stats.num_nodes = g.num_nodes();
+  stats.num_edges = g.num_edges();
+  if (g.num_nodes() == 0) return stats;
+
+  size_t reciprocal = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    stats.max_out_degree = std::max(stats.max_out_degree, g.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, g.InDegree(v));
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (g.HasEdge(w, v)) ++reciprocal;
+    }
+  }
+  stats.avg_out_degree = static_cast<double>(g.num_edges()) /
+                         static_cast<double>(g.num_nodes());
+  stats.reciprocity = g.num_edges() == 0
+                          ? 0.0
+                          : static_cast<double>(reciprocal) /
+                                static_cast<double>(g.num_edges());
+
+  stats.num_distinct_labels = g.DistinctLabels().size();
+  size_t top_class = 0;
+  for (Label l : g.DistinctLabels()) {
+    top_class = std::max(top_class, g.NodesWithLabel(l).size());
+  }
+  stats.top_label_share =
+      static_cast<double>(top_class) / static_cast<double>(g.num_nodes());
+
+  // Gini of in-degrees: 2*Σ i*x_i / (n*Σ x_i) - (n+1)/n over sorted x.
+  std::vector<size_t> in_degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) in_degrees[v] = g.InDegree(v);
+  std::sort(in_degrees.begin(), in_degrees.end());
+  double weighted = 0, total = 0;
+  for (size_t i = 0; i < in_degrees.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(in_degrees[i]);
+    total += static_cast<double>(in_degrees[i]);
+  }
+  const double n = static_cast<double>(g.num_nodes());
+  stats.in_degree_gini =
+      total == 0 ? 0.0 : (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+
+  stats.num_components = ConnectedComponents(g).num_components;
+  return stats;
+}
+
+std::string RenderStatistics(const GraphStatistics& stats) {
+  std::ostringstream out;
+  out << "nodes:            " << WithThousandsSeparators(stats.num_nodes)
+      << "\n";
+  out << "edges:            " << WithThousandsSeparators(stats.num_edges)
+      << "\n";
+  out << "avg out-degree:   " << FormatDouble(stats.avg_out_degree, 2) << "\n";
+  out << "max out/in deg:   " << stats.max_out_degree << " / "
+      << stats.max_in_degree << "\n";
+  out << "reciprocity:      " << FormatDouble(stats.reciprocity, 3) << "\n";
+  out << "distinct labels:  " << stats.num_distinct_labels << "\n";
+  out << "top label share:  " << FormatDouble(stats.top_label_share, 3) << "\n";
+  out << "in-degree gini:   " << FormatDouble(stats.in_degree_gini, 3) << "\n";
+  out << "components:       " << stats.num_components << "\n";
+  return out.str();
+}
+
+}  // namespace gpm

@@ -1,0 +1,44 @@
+// Dataset statistics: the quantities DESIGN.md's substitution argument
+// rests on (density, degree tails, label skew, reciprocity). Used by the
+// generator tests and the dataset_report tool.
+
+#ifndef GPM_GRAPH_STATISTICS_H_
+#define GPM_GRAPH_STATISTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gpm {
+
+/// \brief Summary statistics of one graph.
+struct GraphStatistics {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  double avg_out_degree = 0;
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  /// Fraction of edges (u,v) with (v,u) also present.
+  double reciprocity = 0;
+  size_t num_distinct_labels = 0;
+  /// Fraction of nodes carrying the most frequent label.
+  double top_label_share = 0;
+  /// Gini coefficient of the in-degree distribution (0 = uniform,
+  /// -> 1 = extremely hub-dominated); the copying models should land
+  /// clearly above a uniform random graph.
+  double in_degree_gini = 0;
+  /// Number of weakly connected components.
+  uint32_t num_components = 0;
+};
+
+/// Computes all statistics in one pass over g (plus a component sweep).
+GraphStatistics ComputeStatistics(const Graph& g);
+
+/// Multi-line human-readable rendering.
+std::string RenderStatistics(const GraphStatistics& stats);
+
+}  // namespace gpm
+
+#endif  // GPM_GRAPH_STATISTICS_H_

@@ -1,0 +1,66 @@
+// Breadth-first traversals: directed/undirected, optionally depth-bounded.
+// Balls (paper §2.2) are built from the undirected bounded variant.
+
+#ifndef GPM_GRAPH_TRAVERSAL_H_
+#define GPM_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gpm {
+
+/// Which adjacency a traversal follows.
+enum class EdgeDirection {
+  kOut,        ///< children only (directed)
+  kIn,         ///< parents only (reverse-directed)
+  kUndirected  ///< both (the paper's undirected paths/distance)
+};
+
+/// \brief One BFS layer entry: a reached node and its hop distance.
+struct BfsEntry {
+  NodeId node;
+  uint32_t distance;
+};
+
+/// Runs BFS from `source` following `direction`, visiting nodes up to
+/// `max_depth` hops away (kInfiniteDistance = unbounded). Returns entries in
+/// BFS (non-decreasing distance) order; the first entry is (source, 0).
+std::vector<BfsEntry> Bfs(const Graph& g, NodeId source,
+                          EdgeDirection direction,
+                          uint32_t max_depth = kInfiniteDistance);
+
+/// Shortest undirected distance between u and v (paper's dist(u, v)), or
+/// kInfiniteDistance if no undirected path exists.
+uint32_t UndirectedDistance(const Graph& g, NodeId u, NodeId v);
+
+/// Distances from `source` to every node (kInfiniteDistance when
+/// unreachable), following `direction`.
+std::vector<uint32_t> SingleSourceDistances(const Graph& g, NodeId source,
+                                            EdgeDirection direction);
+
+/// \brief Reusable BFS scratch space.
+///
+/// Ball construction runs one bounded BFS per data-graph node; reusing the
+/// visited/queue buffers removes the dominant allocation cost. Not
+/// thread-safe; use one Workspace per thread.
+class BfsWorkspace {
+ public:
+  /// Prepares scratch for graphs with up to `num_nodes` nodes.
+  explicit BfsWorkspace(size_t num_nodes);
+
+  /// Like Bfs(), writing results into `*out` (cleared first).
+  void Run(const Graph& g, NodeId source, EdgeDirection direction,
+           uint32_t max_depth, std::vector<BfsEntry>* out);
+
+ private:
+  std::vector<uint32_t> epoch_seen_;  // visitation stamps, avoids clearing
+  uint32_t epoch_ = 0;
+  std::vector<NodeId> queue_;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_GRAPH_TRAVERSAL_H_

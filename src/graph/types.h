@@ -1,0 +1,30 @@
+// Shared vocabulary types for the graph substrate.
+
+#ifndef GPM_GRAPH_TYPES_H_
+#define GPM_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gpm {
+
+/// Dense node identifier: nodes of a Graph are always 0..num_nodes()-1.
+using NodeId = uint32_t;
+
+/// Node label (attribute). Interned via LabelDictionary for string labels.
+using Label = uint32_t;
+
+/// Edge label (type). 0 is the default "untyped" label; only the regex
+/// extension ([18]-style patterns) distinguishes edge labels.
+using EdgeLabel = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "unreachable" in distance computations.
+inline constexpr uint32_t kInfiniteDistance =
+    std::numeric_limits<uint32_t>::max();
+
+}  // namespace gpm
+
+#endif  // GPM_GRAPH_TYPES_H_

@@ -1,0 +1,34 @@
+// Shared types for the approximate matchers (TALE-style and MCS-based),
+// the paper's Exp-1 comparison baselines.
+
+#ifndef GPM_ISOMORPHISM_APPROXIMATE_H_
+#define GPM_ISOMORPHISM_APPROXIMATE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gpm {
+
+/// \brief One approximate embedding. mapping[u] == kInvalidNode means
+/// query node u was left unmatched (a tolerated mismatch).
+struct ApproxMatch {
+  std::vector<NodeId> mapping;
+  /// Number of query nodes actually matched.
+  size_t matched_nodes = 0;
+
+  /// Data nodes used by the embedding, sorted.
+  std::vector<NodeId> MatchedDataNodes() const {
+    std::vector<NodeId> out;
+    for (NodeId v : mapping) {
+      if (v != kInvalidNode) out.push_back(v);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+}  // namespace gpm
+
+#endif  // GPM_ISOMORPHISM_APPROXIMATE_H_

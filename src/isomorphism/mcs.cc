@@ -1,0 +1,189 @@
+#include "isomorphism/mcs.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "graph/traversal.h"
+
+namespace gpm {
+
+namespace {
+
+// One greedy pass: grow a *connected* label-preserving common subgraph
+// pair by pair. A new pair (ua, vb) must attach to the mapped region by an
+// edge present in both graphs in the same direction, so every added node
+// genuinely extends a common subgraph (non-induced, connected — extra
+// edges on either side are allowed, matching MCS node-count semantics
+// without degenerating into "pair every label twin").
+// `a_order` randomizes tie-breaking across restarts.
+size_t GreedyMcsPass(const Graph& a, const Graph& b,
+                     const std::vector<NodeId>& a_order,
+                     size_t seed_rotation) {
+  std::vector<NodeId> a_to_b(a.num_nodes(), kInvalidNode);
+  std::vector<NodeId> b_to_a(b.num_nodes(), kInvalidNode);
+  size_t mapped = 0;
+
+  // Repeatedly try to map the next unmapped a-node (in the given order)
+  // to some unused b-node attached to the mapped image.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (NodeId ua : a_order) {
+      if (a_to_b[ua] != kInvalidNode) continue;
+      NodeId chosen = kInvalidNode;
+      auto try_pool = [&](std::span<const NodeId> pool) {
+        for (NodeId vb : pool) {
+          if (b_to_a[vb] != kInvalidNode) continue;
+          if (a.label(ua) == b.label(vb)) {
+            chosen = vb;
+            return;
+          }
+        }
+      };
+      // Attachment edges: ua2 -> ua in a demands vb2 -> vb in b;
+      // ua -> ua2 demands vb -> vb2.
+      for (NodeId ua2 : a.InNeighbors(ua)) {
+        const NodeId vb2 = a_to_b[ua2];
+        if (vb2 == kInvalidNode) continue;
+        try_pool(b.OutNeighbors(vb2));
+        if (chosen != kInvalidNode) break;
+      }
+      if (chosen == kInvalidNode) {
+        for (NodeId ua2 : a.OutNeighbors(ua)) {
+          const NodeId vb2 = a_to_b[ua2];
+          if (vb2 == kInvalidNode) continue;
+          try_pool(b.InNeighbors(vb2));
+          if (chosen != kInvalidNode) break;
+        }
+      }
+      // Seed pair: only when nothing is mapped yet (keeps the subgraph
+      // connected instead of pairing every label twin).
+      if (chosen == kInvalidNode && mapped == 0) {
+        auto cls = b.NodesWithLabel(a.label(ua));
+        if (!cls.empty()) chosen = cls[seed_rotation % cls.size()];
+      }
+      if (chosen != kInvalidNode) {
+        a_to_b[ua] = chosen;
+        b_to_a[chosen] = ua;
+        ++mapped;
+        progress = true;
+      }
+    }
+  }
+  return mapped;
+}
+
+}  // namespace
+
+size_t ApproximateMcsSize(const Graph& a, const Graph& b, int restarts) {
+  GPM_CHECK(a.finalized() && b.finalized());
+  if (a.num_nodes() == 0 || b.num_nodes() == 0) return 0;
+  std::vector<NodeId> order(a.num_nodes());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) order[u] = u;
+  // First pass: degree-descending (structure-rich nodes first).
+  std::sort(order.begin(), order.end(), [&](NodeId x, NodeId y) {
+    return a.OutDegree(x) + a.InDegree(x) > a.OutDegree(y) + a.InDegree(y);
+  });
+  size_t best = GreedyMcsPass(a, b, order, 0);
+  Rng rng(0x4D435321ULL ^ (a.num_nodes() << 16) ^ b.num_nodes());
+  for (int r = 1; r < restarts; ++r) {
+    rng.Shuffle(&order);
+    // Rotate the seed pair too: a bad first anchor dooms a whole pass.
+    best = std::max(best, GreedyMcsPass(a, b, order, static_cast<size_t>(r)));
+  }
+  return best;
+}
+
+std::vector<ApproxMatch> McsMatch(const Graph& q, const Graph& g,
+                                  const McsOptions& options) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  std::vector<ApproxMatch> results;
+  const size_t nq = q.num_nodes();
+  if (nq == 0 || g.num_nodes() == 0) return results;
+
+  // Seed pool: nodes whose label occurs in the pattern.
+  std::unordered_set<Label> q_labels;
+  for (NodeId u = 0; u < nq; ++u) q_labels.insert(q.label(u));
+
+  std::unordered_set<uint64_t> seen_sets;
+  size_t seeds_used = 0;
+  for (NodeId seed = 0; seed < g.num_nodes(); ++seed) {
+    if (seeds_used >= options.max_seeds) break;
+    if (!q_labels.count(g.label(seed))) continue;
+    ++seeds_used;
+
+    // Candidate subgraph: a connected |Vq|-node subgraph grown from the
+    // seed, label-guided — frontier nodes whose label the pattern still
+    // needs are taken first, so the candidate's label multiset tracks the
+    // pattern's (the paper compares "subgraphs having the same number of
+    // nodes as Q"; aligning labels keeps the comparison meaningful).
+    std::unordered_map<Label, int> needed;
+    for (NodeId u = 0; u < nq; ++u) ++needed[q.label(u)];
+    std::vector<NodeId> members;
+    std::unordered_set<NodeId> in_members;
+    std::vector<NodeId> frontier;
+    auto take = [&](NodeId v) {
+      members.push_back(v);
+      in_members.insert(v);
+      --needed[g.label(v)];
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (!in_members.count(w)) frontier.push_back(w);
+      }
+      for (NodeId w : g.InNeighbors(v)) {
+        if (!in_members.count(w)) frontier.push_back(w);
+      }
+    };
+    take(seed);
+    while (members.size() < nq && !frontier.empty()) {
+      // Prefer a frontier node with a still-needed label.
+      size_t pick = frontier.size();
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        if (in_members.count(frontier[i])) continue;
+        auto it = needed.find(g.label(frontier[i]));
+        if (it != needed.end() && it->second > 0) {
+          pick = i;
+          break;
+        }
+        if (pick == frontier.size()) pick = i;  // fallback: first usable
+      }
+      if (pick == frontier.size()) break;  // frontier all absorbed
+      NodeId v = frontier[pick];
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      if (in_members.count(v)) continue;
+      take(v);
+    }
+    if (members.size() < nq) continue;
+    std::sort(members.begin(), members.end());
+
+    uint64_t h = 14695981039346656037ULL;
+    for (NodeId v : members) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    if (!seen_sets.insert(h).second) continue;
+
+    std::vector<NodeId> to_parent;
+    const Graph gs = g.InducedSubgraph(members, &to_parent);
+    const size_t mcs = ApproximateMcsSize(q, gs, options.restarts);
+    const double ratio = static_cast<double>(mcs) /
+                         static_cast<double>(std::max(nq, gs.num_nodes()));
+    if (ratio < options.threshold) continue;
+
+    ApproxMatch match;
+    match.mapping.assign(nq, kInvalidNode);
+    // Report the candidate subgraph's nodes as the match (the paper counts
+    // nodes of matched subgraphs); the exact pairing is internal to the
+    // greedy pass, so expose the subgraph membership via mapping slots in
+    // query order as far as they go.
+    match.matched_nodes = mcs;
+    for (size_t i = 0; i < nq; ++i) match.mapping[i] = to_parent[i];
+    results.push_back(std::move(match));
+  }
+  return results;
+}
+
+}  // namespace gpm

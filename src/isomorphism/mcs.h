@@ -1,0 +1,44 @@
+// MCS-based approximate matching — the paper's second Exp-1 baseline:
+// "a subgraph Gs of G matches pattern Q if |mcs(Q,Gs)| / max(|Vq|,|Vs|)
+// >= 0.7", with |mcs| computed by an approximation algorithm (the paper
+// cites Kann '92 for approximability of maximum common subgraph).
+//
+// Candidate subgraphs Gs are connected |Vq|-node subgraphs grown around
+// seed nodes whose label occurs in Q — the paper likewise restricts the
+// comparison to "subgraphs of G having the same number of nodes as Q"
+// (exhaustive enumeration being "beyond reach in practice").
+
+#ifndef GPM_ISOMORPHISM_MCS_H_
+#define GPM_ISOMORPHISM_MCS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "isomorphism/approximate.h"
+
+namespace gpm {
+
+/// \brief Knobs for the MCS-based matcher.
+struct McsOptions {
+  /// Acceptance ratio |mcs| / max(|Vq|, |Vs|) — the paper uses 0.7.
+  double threshold = 0.7;
+  /// Cap on candidate seeds explored.
+  size_t max_seeds = 5000;
+  /// Greedy restarts inside the MCS approximation (more = tighter bound).
+  int restarts = 6;
+};
+
+/// Approximate maximum common connected (label- and edge-direction-
+/// preserving, non-induced) subgraph size of a and b, in nodes: a greedy
+/// connectivity-first pairing with seed-rotated restarts. Always a lower
+/// bound on the true MCS size.
+size_t ApproximateMcsSize(const Graph& a, const Graph& b, int restarts = 6);
+
+/// Returns accepted candidate subgraphs as approximate matches (mapping =
+/// the MCS pairing that cleared the threshold), deduplicated by node set.
+std::vector<ApproxMatch> McsMatch(const Graph& q, const Graph& g,
+                                  const McsOptions& options = {});
+
+}  // namespace gpm
+
+#endif  // GPM_ISOMORPHISM_MCS_H_

@@ -1,0 +1,209 @@
+#include "isomorphism/tale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace gpm {
+
+namespace {
+
+// Multiset of neighbor labels (both directions), the in-memory stand-in
+// for TALE's NH-index entry.
+std::unordered_map<Label, uint32_t> NeighborLabelCounts(const Graph& g,
+                                                        NodeId v) {
+  std::unordered_map<Label, uint32_t> counts;
+  for (NodeId w : g.OutNeighbors(v)) ++counts[g.label(w)];
+  for (NodeId w : g.InNeighbors(v)) ++counts[g.label(w)];
+  return counts;
+}
+
+// Number of q-neighbor label occurrences NOT covered by v's neighborhood
+// (TALE's NH-index miss count).
+uint32_t NeighborhoodMisses(
+    const std::unordered_map<Label, uint32_t>& query_counts,
+    const std::unordered_map<Label, uint32_t>& data_counts) {
+  uint32_t misses = 0;
+  for (const auto& [label, count] : query_counts) {
+    auto it = data_counts.find(label);
+    const uint32_t covered =
+        it == data_counts.end() ? 0 : std::min(count, it->second);
+    misses += count - covered;
+  }
+  return misses;
+}
+
+}  // namespace
+
+std::vector<ApproxMatch> TaleMatch(const Graph& q, const Graph& g,
+                                   const TaleOptions& options) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  std::vector<ApproxMatch> results;
+  const size_t nq = q.num_nodes();
+  if (nq == 0) return results;
+  const size_t min_matched = static_cast<size_t>(
+      std::max(1.0, std::ceil((1.0 - options.rho) * static_cast<double>(nq))));
+
+  // Importance order: degree-descending (TALE §4: high-degree query nodes
+  // carry the most structural information).
+  std::vector<NodeId> by_importance(nq);
+  for (NodeId u = 0; u < nq; ++u) by_importance[u] = u;
+  std::sort(by_importance.begin(), by_importance.end(), [&](NodeId a, NodeId b) {
+    return q.OutDegree(a) + q.InDegree(a) > q.OutDegree(b) + q.InDegree(b);
+  });
+  // TALE probes the most *important* query nodes — the top quarter by
+  // degree (at least one) — and extends one embedding per probe hit.
+  const size_t num_anchors = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(0.25 * static_cast<double>(nq))));
+  const size_t probes_per_anchor =
+      std::max<size_t>(1, options.max_probes / num_anchors);
+
+  std::vector<std::pair<NodeId, NodeId>> probes;  // (anchor, data seed)
+  for (size_t a = 0; a < num_anchors; ++a) {
+    const NodeId anchor = by_importance[a];
+    const auto anchor_counts = NeighborLabelCounts(q, anchor);
+    const size_t anchor_deg = q.OutDegree(anchor) + q.InDegree(anchor);
+    // TALE tolerates up to ceil(rho * degree) neighborhood misses.
+    const uint32_t miss_budget = static_cast<uint32_t>(
+        std::ceil(options.rho * static_cast<double>(anchor_deg)));
+    size_t found = 0;
+    for (NodeId v : g.NodesWithLabel(q.label(anchor))) {
+      if (found >= probes_per_anchor) break;
+      const size_t v_deg = g.OutDegree(v) + g.InDegree(v);
+      if (v_deg + miss_budget < anchor_deg) continue;
+      if (NeighborhoodMisses(anchor_counts, NeighborLabelCounts(g, v)) >
+          miss_budget)
+        continue;
+      probes.emplace_back(anchor, v);
+      ++found;
+    }
+  }
+
+  // Extension phase helper: grow from pre-seeded assignments, matching
+  // query nodes adjacent to the already-matched region first, in
+  // importance order. Greedy best-candidate per node; unmatched nodes are
+  // tolerated mismatches.
+  auto greedy_complete = [&](ApproxMatch* match,
+                             std::unordered_set<NodeId>* used) {
+    std::vector<bool> tried(nq, false);
+    for (NodeId u = 0; u < nq; ++u) {
+      tried[u] = match->mapping[u] != kInvalidNode;
+    }
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (NodeId u : by_importance) {
+        if (tried[u]) continue;
+        // Only extend nodes attached to the matched region.
+        std::vector<std::pair<NodeId, bool>> attachments;  // (q-nbr, u->nbr?)
+        for (NodeId u2 : q.OutNeighbors(u)) {
+          if (match->mapping[u2] != kInvalidNode)
+            attachments.emplace_back(u2, true);
+        }
+        for (NodeId u2 : q.InNeighbors(u)) {
+          if (match->mapping[u2] != kInvalidNode)
+            attachments.emplace_back(u2, false);
+        }
+        if (attachments.empty()) continue;
+        tried[u] = true;
+        progress = true;
+
+        // Candidates: correct-direction neighbors of one matched image;
+        // score by how many attachment edges the candidate satisfies.
+        const auto& [u_first, u_first_out] = attachments.front();
+        const NodeId image = match->mapping[u_first];
+        auto pool = u_first_out ? g.InNeighbors(image) : g.OutNeighbors(image);
+        NodeId best = kInvalidNode;
+        size_t best_score = 0;
+        for (NodeId v : pool) {
+          if (g.label(v) != q.label(u) || used->count(v)) continue;
+          size_t score = 0;
+          for (const auto& [u2, u_points_at_u2] : attachments) {
+            const NodeId v2 = match->mapping[u2];
+            if (u_points_at_u2 ? g.HasEdge(v, v2) : g.HasEdge(v2, v)) ++score;
+          }
+          if (score > best_score) {
+            best_score = score;
+            best = v;
+          }
+        }
+        if (best != kInvalidNode) {
+          match->mapping[u] = best;
+          ++match->matched_nodes;
+          used->insert(best);
+        }
+        // else: tolerated mismatch — u stays unmatched.
+      }
+    }
+  };
+
+  std::unordered_set<uint64_t> seen_sets;
+  auto emit = [&](ApproxMatch match) {
+    if (match.matched_nodes < min_matched) return;
+    uint64_t h = 14695981039346656037ULL;  // dedup by matched-node set
+    for (NodeId v : match.MatchedDataNodes()) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    if (!seen_sets.insert(h).second) return;
+    results.push_back(std::move(match));
+  };
+
+  for (const auto& [anchor, seed] : probes) {
+    // Branch over candidates for the anchor's most important attached
+    // neighbor (TALE enumerates alternative extensions; a bounded branch
+    // keeps that behaviour without its full search tree).
+    NodeId branch_node = kInvalidNode;
+    bool anchor_points_at_branch = false;
+    for (NodeId u : by_importance) {
+      if (u == anchor) continue;
+      if (q.HasEdge(anchor, u)) {
+        branch_node = u;
+        anchor_points_at_branch = true;
+        break;
+      }
+      if (q.HasEdge(u, anchor)) {
+        branch_node = u;
+        anchor_points_at_branch = false;
+        break;
+      }
+    }
+
+    std::vector<NodeId> branch_candidates;
+    if (branch_node != kInvalidNode) {
+      auto pool = anchor_points_at_branch ? g.OutNeighbors(seed)
+                                          : g.InNeighbors(seed);
+      for (NodeId v : pool) {
+        if (g.label(v) == q.label(branch_node) && v != seed) {
+          branch_candidates.push_back(v);
+        }
+        if (branch_candidates.size() == options.branch_factor) break;
+      }
+    }
+    if (branch_candidates.empty()) {
+      branch_candidates.push_back(kInvalidNode);  // single unbranched run
+    }
+
+    for (NodeId branch : branch_candidates) {
+      ApproxMatch match;
+      match.mapping.assign(nq, kInvalidNode);
+      std::unordered_set<NodeId> used;
+      match.mapping[anchor] = seed;
+      match.matched_nodes = 1;
+      used.insert(seed);
+      if (branch != kInvalidNode) {
+        match.mapping[branch_node] = branch;
+        ++match.matched_nodes;
+        used.insert(branch);
+      }
+      greedy_complete(&match, &used);
+      emit(std::move(match));
+    }
+  }
+  return results;
+}
+
+}  // namespace gpm

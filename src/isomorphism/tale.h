@@ -1,0 +1,45 @@
+// TALE-style approximate matching (Tian & Patel, ICDE 2008 — the paper's
+// [32]), reimplemented in its probe-and-extend essence:
+//
+//  1. rank query nodes by importance (degree);
+//  2. probe candidates for important nodes via a neighborhood index
+//     (label + degree + neighbor-label containment);
+//  3. greedily extend each probe to a full embedding, tolerating up to a
+//     rho fraction of missing nodes/edges.
+//
+// The original's disk-resident NH-index B+-tree is replaced by in-memory
+// per-node neighborhood signatures; the matching semantics (approximate,
+// importance-first, mismatch-tolerant) follow the paper. The evaluation
+// here only needs TALE's *match sets* for the closeness / #subgraphs
+// comparisons (Fig. 7), which this reproduces.
+
+#ifndef GPM_ISOMORPHISM_TALE_H_
+#define GPM_ISOMORPHISM_TALE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "isomorphism/approximate.h"
+
+namespace gpm {
+
+/// \brief Knobs for the TALE-style matcher.
+struct TaleOptions {
+  /// Fraction of query nodes that may stay unmatched (the paper's setting
+  /// for [32] tolerates roughly a quarter).
+  double rho = 0.25;
+  /// Cap on probe seeds explored per anchor.
+  size_t max_probes = 5000;
+  /// Alternative extensions explored per probe (TALE enumerates competing
+  /// assignments; this bounds that enumeration).
+  size_t branch_factor = 4;
+};
+
+/// Returns approximate embeddings of q in g, one per successful probe,
+/// deduplicated by matched-node set.
+std::vector<ApproxMatch> TaleMatch(const Graph& q, const Graph& g,
+                                   const TaleOptions& options = {});
+
+}  // namespace gpm
+
+#endif  // GPM_ISOMORPHISM_TALE_H_

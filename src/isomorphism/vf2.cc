@@ -1,0 +1,190 @@
+#include "isomorphism/vf2.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace gpm {
+
+namespace {
+
+// Backtracking matcher state. Query nodes are visited in a connectivity-
+// aware static order; candidates for each step come from the mapped
+// neighborhood whenever one exists (the core VF2 idea), otherwise from the
+// label class.
+class Vf2Engine {
+ public:
+  Vf2Engine(const Graph& q, const Graph& g, const Vf2Options& options)
+      : q_(q), g_(g), options_(options) {}
+
+  Vf2Result Run() {
+    Vf2Result result;
+    const size_t nq = q_.num_nodes();
+    GPM_CHECK_GT(nq, 0u);
+    order_ = BuildOrder();
+    mapping_.assign(nq, kInvalidNode);
+    used_.assign(g_.num_nodes(), false);
+    timer_.Reset();
+    Extend(0, &result);
+    result.hit_match_cap = options_.max_matches != 0 &&
+                           result.matches.size() >= options_.max_matches;
+    result.timed_out = options_.time_budget_seconds > 0 &&
+                       timer_.Seconds() > options_.time_budget_seconds;
+    return result;
+  }
+
+ private:
+  // Visit order: start from the query node with the rarest label class,
+  // then repeatedly take an unvisited node with a visited neighbor
+  // (maximizing attachment), breaking ties by smaller candidate class.
+  std::vector<NodeId> BuildOrder() {
+    const size_t nq = q_.num_nodes();
+    std::vector<NodeId> order;
+    std::vector<bool> chosen(nq, false);
+    auto class_size = [&](NodeId u) {
+      return g_.NodesWithLabel(q_.label(u)).size();
+    };
+    auto attachment = [&](NodeId u) {
+      size_t a = 0;
+      for (NodeId u2 : q_.OutNeighbors(u)) a += chosen[u2];
+      for (NodeId u2 : q_.InNeighbors(u)) a += chosen[u2];
+      return a;
+    };
+    for (size_t step = 0; step < nq; ++step) {
+      NodeId best = kInvalidNode;
+      size_t best_attach = 0;
+      size_t best_class = std::numeric_limits<size_t>::max();
+      for (NodeId u = 0; u < nq; ++u) {
+        if (chosen[u]) continue;
+        const size_t a = attachment(u);
+        const size_t c = class_size(u);
+        if (best == kInvalidNode || a > best_attach ||
+            (a == best_attach && c < best_class)) {
+          best = u;
+          best_attach = a;
+          best_class = c;
+        }
+      }
+      chosen[best] = true;
+      order.push_back(best);
+    }
+    return order;
+  }
+
+  bool Feasible(NodeId u, NodeId v) const {
+    if (q_.label(u) != g_.label(v)) return false;
+    if (g_.OutDegree(v) < q_.OutDegree(u)) return false;
+    if (g_.InDegree(v) < q_.InDegree(u)) return false;
+    // Edges to/from already-mapped query nodes must exist in g.
+    for (NodeId u2 : q_.OutNeighbors(u)) {
+      const NodeId v2 = mapping_[u2];
+      if (v2 != kInvalidNode && !g_.HasEdge(v, v2)) return false;
+    }
+    for (NodeId u2 : q_.InNeighbors(u)) {
+      const NodeId v2 = mapping_[u2];
+      if (v2 != kInvalidNode && !g_.HasEdge(v2, v)) return false;
+    }
+    if (options_.induced) {
+      // Non-edges of q must map to non-edges of g (both directions).
+      for (NodeId u2 = 0; u2 < q_.num_nodes(); ++u2) {
+        const NodeId v2 = mapping_[u2];
+        if (v2 == kInvalidNode || u2 == u) continue;
+        if (!q_.HasEdge(u, u2) && g_.HasEdge(v, v2)) return false;
+        if (!q_.HasEdge(u2, u) && g_.HasEdge(v2, v)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Done(const Vf2Result& result) const {
+    if (options_.max_matches != 0 &&
+        result.matches.size() >= options_.max_matches)
+      return true;
+    if (options_.time_budget_seconds > 0 &&
+        timer_.Seconds() > options_.time_budget_seconds)
+      return true;
+    return false;
+  }
+
+  void Extend(size_t depth, Vf2Result* result) {
+    if (Done(*result)) return;
+    if (depth == order_.size()) {
+      result->matches.push_back({mapping_});
+      return;
+    }
+    ++result->states_explored;
+    const NodeId u = order_[depth];
+
+    // Candidate source: the smallest mapped-neighbor adjacency, falling
+    // back to the label class for the (rare) detached step.
+    std::span<const NodeId> candidates = g_.NodesWithLabel(q_.label(u));
+    size_t best_size = candidates.size();
+    for (NodeId u2 : q_.OutNeighbors(u)) {
+      const NodeId v2 = mapping_[u2];
+      if (v2 == kInvalidNode) continue;
+      auto nbrs = g_.InNeighbors(v2);  // v must point at v2
+      if (nbrs.size() < best_size) {
+        candidates = nbrs;
+        best_size = nbrs.size();
+      }
+    }
+    for (NodeId u2 : q_.InNeighbors(u)) {
+      const NodeId v2 = mapping_[u2];
+      if (v2 == kInvalidNode) continue;
+      auto nbrs = g_.OutNeighbors(v2);  // v2 must point at v
+      if (nbrs.size() < best_size) {
+        candidates = nbrs;
+        best_size = nbrs.size();
+      }
+    }
+
+    for (NodeId v : candidates) {
+      if (used_[v]) continue;
+      if (!Feasible(u, v)) continue;
+      mapping_[u] = v;
+      used_[v] = true;
+      Extend(depth + 1, result);
+      used_[v] = false;
+      mapping_[u] = kInvalidNode;
+      if (Done(*result)) return;
+    }
+  }
+
+  const Graph& q_;
+  const Graph& g_;
+  const Vf2Options options_;
+  std::vector<NodeId> order_;
+  std::vector<NodeId> mapping_;
+  std::vector<bool> used_;
+  Timer timer_;
+};
+
+}  // namespace
+
+Vf2Result Vf2Enumerate(const Graph& q, const Graph& g,
+                       const Vf2Options& options) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  if (q.num_nodes() == 0 || q.num_nodes() > g.num_nodes()) return {};
+  return Vf2Engine(q, g, options).Run();
+}
+
+bool Vf2Exists(const Graph& q, const Graph& g, bool induced) {
+  Vf2Options options;
+  options.induced = induced;
+  options.max_matches = 1;
+  return !Vf2Enumerate(q, g, options).matches.empty();
+}
+
+bool AreIsomorphic(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges())
+    return false;
+  if (a.num_nodes() == 0) return true;
+  // Induced + equal sizes + equal edge counts == bijective isomorphism:
+  // an induced embedding of a into b with |Va| = |Vb| is onto, and the
+  // induced condition makes the edge sets correspond exactly.
+  return Vf2Exists(a, b, /*induced=*/true);
+}
+
+}  // namespace gpm

@@ -1,0 +1,65 @@
+// VF2 subgraph matching (Cordella, Foggia, Sansone, Vento 2004) — the
+// paper's subgraph-isomorphism baseline (run through igraph in the
+// original evaluation; reimplemented here from scratch).
+//
+// Modes:
+//  - monomorphism (default): an injective f: Vq -> V with label equality
+//    and (u,u') ∈ Eq ⇒ (f(u),f(u')) ∈ E — the paper's "subgraph of G
+//    matching Q" once the extra edges of the image are dropped.
+//  - induced: additionally (u,u') ∉ Eq ⇒ (f(u),f(u')) ∉ E, i.e. classic
+//    graph-subgraph isomorphism.
+//
+// Enumeration is exponential in the worst case (the paper's motivation for
+// strong simulation); caps on match count and wall-clock time keep the
+// experiment harnesses bounded.
+
+#ifndef GPM_ISOMORPHISM_VF2_H_
+#define GPM_ISOMORPHISM_VF2_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gpm {
+
+/// \brief Knobs for VF2 enumeration.
+struct Vf2Options {
+  /// Induced (graph-subgraph isomorphism) instead of monomorphism.
+  bool induced = false;
+  /// Stop after this many matches; 0 = unlimited.
+  size_t max_matches = 0;
+  /// Stop after this many seconds; 0 = unlimited. When the budget is hit
+  /// the result carries timed_out = true and the matches found so far.
+  double time_budget_seconds = 0;
+};
+
+/// \brief One embedding: mapping[u] is the data node query node u maps to.
+struct Vf2Match {
+  std::vector<NodeId> mapping;
+};
+
+/// \brief Enumeration outcome.
+struct Vf2Result {
+  std::vector<Vf2Match> matches;
+  bool hit_match_cap = false;
+  bool timed_out = false;
+  /// Search-tree nodes visited (work indicator for the Fig. 8 benches).
+  size_t states_explored = 0;
+};
+
+/// Enumerates embeddings of q in g. q must be non-empty.
+Vf2Result Vf2Enumerate(const Graph& q, const Graph& g,
+                       const Vf2Options& options = {});
+
+/// True iff at least one embedding exists.
+bool Vf2Exists(const Graph& q, const Graph& g, bool induced = false);
+
+/// True iff a and b are isomorphic (same size, bijective induced match) —
+/// used to verify minQ's uniqueness-up-to-isomorphism (Lemma 2).
+bool AreIsomorphic(const Graph& a, const Graph& b);
+
+}  // namespace gpm
+
+#endif  // GPM_ISOMORPHISM_VF2_H_

@@ -1,0 +1,55 @@
+// Balls Ĝ[w, r] (paper §2.2): the subgraph induced on all nodes within
+// undirected distance r of w, with border nodes (distance exactly r)
+// marked — dualFilter's worklist starts from them (Prop 5).
+
+#ifndef GPM_MATCHING_BALL_H_
+#define GPM_MATCHING_BALL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/traversal.h"
+#include "graph/types.h"
+
+namespace gpm {
+
+/// \brief One ball: a local graph plus its mapping back into the parent
+/// data graph.
+struct Ball {
+  NodeId center = kInvalidNode;  ///< center, parent-graph id
+  uint32_t radius = 0;
+  Graph graph;                       ///< induced subgraph, local ids
+  std::vector<NodeId> to_global;     ///< local id -> parent-graph id
+  std::vector<bool> is_border;       ///< local id -> (distance == radius)
+
+  NodeId LocalCenter() const { return 0; }  // BFS order: center is first
+
+  /// Local ids of border nodes, sorted.
+  std::vector<NodeId> BorderNodes() const;
+};
+
+/// \brief Builds balls with reusable scratch buffers.
+///
+/// Match (Fig. 3) builds one ball per data node; the builder's epoch-
+/// stamped global-to-local map makes each build O(|ball|) with no
+/// per-ball allocation of |V|-sized state. Not thread-safe; use one
+/// builder per thread.
+class BallBuilder {
+ public:
+  explicit BallBuilder(const Graph& g);
+
+  /// Builds Ĝ[center, radius] into *out (contents replaced).
+  void Build(NodeId center, uint32_t radius, Ball* out);
+
+ private:
+  const Graph& g_;
+  BfsWorkspace bfs_;
+  std::vector<BfsEntry> bfs_out_;
+  std::vector<NodeId> global_to_local_;
+  std::vector<uint32_t> local_epoch_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_MATCHING_BALL_H_

@@ -1,0 +1,102 @@
+#include "matching/bounded_simulation.h"
+
+#include <algorithm>
+
+#include "common/bitset.h"
+#include "common/logging.h"
+
+namespace gpm {
+
+namespace {
+
+// True iff some node of `targets` is reachable from v by a directed path
+// of length in [1, bound]. Reuses caller scratch to avoid per-call
+// allocation.
+bool HasBoundedWitness(const Graph& g, NodeId v, uint32_t bound,
+                       const DynamicBitset& targets,
+                       std::vector<NodeId>* frontier,
+                       std::vector<NodeId>* next,
+                       std::vector<uint32_t>* seen_epoch, uint32_t epoch) {
+  frontier->clear();
+  frontier->push_back(v);
+  // Note: v itself only counts as a witness if re-reached by a path of
+  // length >= 1 (a cycle), which the level-by-level expansion handles
+  // naturally — we never test the level-0 node.
+  (*seen_epoch)[v] = epoch;
+  for (uint32_t depth = 1; depth <= bound && !frontier->empty(); ++depth) {
+    next->clear();
+    for (NodeId x : *frontier) {
+      for (NodeId w : g.OutNeighbors(x)) {
+        if (targets.Test(w)) return true;
+        if ((*seen_epoch)[w] != epoch) {
+          (*seen_epoch)[w] = epoch;
+          next->push_back(w);
+        }
+      }
+    }
+    std::swap(*frontier, *next);
+  }
+  return false;
+}
+
+}  // namespace
+
+MatchRelation ComputeBoundedSimulation(const Graph& q, const Graph& g) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  const size_t nq = q.num_nodes();
+  const size_t n = g.num_nodes();
+  MatchRelation rel(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    auto cls = g.NodesWithLabel(q.label(u));
+    rel.sim[u].assign(cls.begin(), cls.end());
+  }
+
+  // Membership bitmaps, rebuilt incrementally as candidates are deleted.
+  std::vector<DynamicBitset> member(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    member[u] = DynamicBitset(n);
+    for (NodeId v : rel.sim[u]) member[u].Set(v);
+  }
+
+  std::vector<NodeId> frontier, next;
+  std::vector<uint32_t> seen_epoch(n, 0);
+  uint32_t epoch = 0;
+
+  // Fixpoint: delete (u, v) pairs lacking a bounded witness for some
+  // pattern edge. Each deletion can invalidate others, so iterate to
+  // stability; each round is O(|Eq| · Σ_v bounded-BFS(v)).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u = 0; u < nq; ++u) {
+      auto& sim_u = rel.sim[u];
+      auto out_nbrs = q.OutNeighbors(u);
+      auto out_labels = q.OutEdgeLabels(u);
+      const size_t before = sim_u.size();
+      std::erase_if(sim_u, [&](NodeId v) {
+        for (size_t i = 0; i < out_nbrs.size(); ++i) {
+          const uint32_t bound = HopBound(out_labels[i]);
+          ++epoch;
+          if (epoch == 0) {
+            std::fill(seen_epoch.begin(), seen_epoch.end(), 0);
+            epoch = 1;
+          }
+          if (!HasBoundedWitness(g, v, bound, member[out_nbrs[i]], &frontier,
+                                 &next, &seen_epoch, epoch)) {
+            member[u].Clear(v);
+            return true;
+          }
+        }
+        return false;
+      });
+      if (sim_u.size() != before) changed = true;
+    }
+  }
+  return rel;
+}
+
+bool BoundedSimulates(const Graph& q, const Graph& g) {
+  return ComputeBoundedSimulation(q, g).IsTotal();
+}
+
+}  // namespace gpm

@@ -1,0 +1,29 @@
+#include "matching/dual_filter.h"
+
+#include "common/logging.h"
+#include "matching/sim_refiner.h"
+
+namespace gpm {
+
+MatchRelation DualFilterBall(const Graph& q, const Ball& ball,
+                             const MatchRelation& global_relation) {
+  GPM_CHECK_EQ(global_relation.sim.size(), q.num_nodes());
+  const size_t nq = q.num_nodes();
+
+  // Fig. 5 line 1: Sw := project S onto the ball. Local ids are scanned in
+  // increasing order so each candidate list comes out sorted.
+  std::vector<std::vector<NodeId>> cand(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId local = 0; local < ball.graph.num_nodes(); ++local) {
+      if (global_relation.Contains(u, ball.to_global[local]))
+        cand[u].push_back(local);
+    }
+  }
+
+  // Fig. 5 lines 2-16: border-seeded refinement.
+  const std::vector<NodeId> seeds = ball.BorderNodes();
+  return internal::RefineSimulation(q, ball.graph, /*dual=*/true, &cand,
+                                    &seeds);
+}
+
+}  // namespace gpm

@@ -1,0 +1,31 @@
+// Standalone dualFilter (paper Fig. 5): refine a ball's match relation
+// starting from the projection of the *global* dual-simulation relation,
+// seeding the removal worklist with border matches only (Prop 5).
+//
+// MatchStrong(..., options.dual_filter) uses the same engine internally;
+// this header exposes the per-ball primitive for direct use and testing.
+
+#ifndef GPM_MATCHING_DUAL_FILTER_H_
+#define GPM_MATCHING_DUAL_FILTER_H_
+
+#include "graph/graph.h"
+#include "matching/ball.h"
+#include "matching/match_relation.h"
+
+namespace gpm {
+
+/// Projects `global_relation` (the maximum dual match relation of q in the
+/// parent graph of `ball`, in parent-graph ids) onto the ball and refines
+/// it to the ball's maximum dual match relation. Returns the refined
+/// relation in *local ball ids*.
+///
+/// Equivalent to ComputeDualSimulation(q, ball.graph) whenever
+/// global_relation is indeed the parent graph's maximum relation — but
+/// cheaper: candidates start from the projection and only border matches
+/// are scanned for seed violations (Prop 5).
+MatchRelation DualFilterBall(const Graph& q, const Ball& ball,
+                             const MatchRelation& global_relation);
+
+}  // namespace gpm
+
+#endif  // GPM_MATCHING_DUAL_FILTER_H_

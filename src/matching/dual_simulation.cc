@@ -1,0 +1,15 @@
+#include "matching/dual_simulation.h"
+
+#include "matching/sim_refiner.h"
+
+namespace gpm {
+
+MatchRelation ComputeDualSimulation(const Graph& q, const Graph& g) {
+  return internal::RefineSimulation(q, g, /*dual=*/true, nullptr, nullptr);
+}
+
+bool DualSimulates(const Graph& q, const Graph& g) {
+  return ComputeDualSimulation(q, g).IsTotal();
+}
+
+}  // namespace gpm

@@ -1,0 +1,23 @@
+// Dual simulation ≺D (paper §2.2): simulation that preserves both the
+// child and the parent relationship. Lemma 1: a unique maximum match
+// relation exists; this module computes it.
+
+#ifndef GPM_MATCHING_DUAL_SIMULATION_H_
+#define GPM_MATCHING_DUAL_SIMULATION_H_
+
+#include "graph/graph.h"
+#include "matching/match_relation.h"
+
+namespace gpm {
+
+/// Maximum dual-simulation relation of q in g, in
+/// O((|Vq|+|Eq|)(|V|+|E|)) time (the DualSim procedure of Fig. 3, with the
+/// worklist refinement replacing the naive fixpoint loop).
+MatchRelation ComputeDualSimulation(const Graph& q, const Graph& g);
+
+/// True iff Q ≺D G.
+bool DualSimulates(const Graph& q, const Graph& g);
+
+}  // namespace gpm
+
+#endif  // GPM_MATCHING_DUAL_SIMULATION_H_

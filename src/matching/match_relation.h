@@ -1,0 +1,82 @@
+// MatchRelation: the binary relation S ⊆ Vq × V at the heart of every
+// simulation variant, plus the match-graph construction of §2.2.
+
+#ifndef GPM_MATCHING_MATCH_RELATION_H_
+#define GPM_MATCHING_MATCH_RELATION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gpm {
+
+/// \brief S ⊆ Vq × V, stored as one sorted match list per query node.
+struct MatchRelation {
+  /// sim[u] = sorted data-node ids matched to query node u.
+  std::vector<std::vector<NodeId>> sim;
+
+  MatchRelation() = default;
+  explicit MatchRelation(size_t num_query_nodes) : sim(num_query_nodes) {}
+
+  size_t num_query_nodes() const { return sim.size(); }
+
+  /// True iff every query node has at least one match — the condition for
+  /// "Q matches G" under (dual) simulation.
+  bool IsTotal() const;
+
+  /// True iff no query node has any match.
+  bool IsEmpty() const;
+
+  /// Total number of (u, v) pairs.
+  size_t NumPairs() const;
+
+  /// Membership test (binary search).
+  bool Contains(NodeId query_node, NodeId data_node) const;
+
+  /// Clears all matches (the ∅ relation).
+  void Clear();
+
+  bool operator==(const MatchRelation& other) const { return sim == other.sim; }
+
+  /// Restricts the relation to data nodes for which keep(v) is true.
+  template <typename Pred>
+  MatchRelation Filter(Pred&& keep) const {
+    MatchRelation out(sim.size());
+    for (size_t u = 0; u < sim.size(); ++u) {
+      for (NodeId v : sim[u]) {
+        if (keep(v)) out.sim[u].push_back(v);
+      }
+    }
+    return out;
+  }
+};
+
+/// \brief The match graph w.r.t. S (§2.2): nodes are the data nodes
+/// occurring in S; (v, v') is an edge iff some query edge (u, u') has
+/// (u, v) ∈ S and (u', v') ∈ S.
+struct MatchGraph {
+  /// Data-node ids in the match graph, sorted.
+  std::vector<NodeId> nodes;
+  /// Match-graph edges as (src, dst) data-node pairs, lexicographically
+  /// sorted.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+
+  bool Empty() const { return nodes.empty(); }
+};
+
+/// Builds the match graph w.r.t. `relation`. q and g must be finalized and
+/// relation.sim must have q.num_nodes() entries.
+MatchGraph BuildMatchGraph(const Graph& q, const Graph& g,
+                           const MatchRelation& relation);
+
+/// Materializes a MatchGraph as a Graph (labels copied from g). Local ids
+/// follow mg.nodes order; *to_global maps local -> data id if non-null.
+Graph MaterializeMatchGraph(const MatchGraph& mg, const Graph& g,
+                            std::vector<NodeId>* to_global = nullptr);
+
+}  // namespace gpm
+
+#endif  // GPM_MATCHING_MATCH_RELATION_H_

@@ -1,0 +1,145 @@
+#include "matching/parallel_match.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "graph/components.h"
+#include "graph/diameter.h"
+#include "matching/dual_simulation.h"
+#include "matching/query_minimization.h"
+#include "matching/strong_simulation_internal.h"
+
+namespace gpm {
+
+Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
+    const Graph& q, const Graph& g, const MatchOptions& options,
+    size_t num_threads, MatchStats* stats) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  if (q.num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  if (!IsConnected(q))
+    return Status::InvalidArgument(
+        "pattern graph must be connected (paper §2.1)");
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  Timer total_timer;
+  MatchStats totals;
+
+  GPM_ASSIGN_OR_RETURN(uint32_t diameter, Diameter(q));
+  const uint32_t radius =
+      options.radius_override != 0 ? options.radius_override : diameter;
+  totals.pattern_diameter = diameter;
+
+  // Shared preprocessing — identical to the sequential path.
+  Graph qmin_storage;
+  std::vector<NodeId> class_of;
+  const Graph* qeff = &q;
+  if (options.minimize_query) {
+    GPM_ASSIGN_OR_RETURN(MinimizedQuery mq, MinimizeQuery(q));
+    qmin_storage = std::move(mq.minimized);
+    class_of = std::move(mq.class_of);
+    qeff = &qmin_storage;
+    totals.minimized_pattern_size =
+        qmin_storage.num_nodes() + qmin_storage.num_edges();
+  }
+  const size_t nq_eff = qeff->num_nodes();
+
+  MatchRelation global;
+  std::vector<DynamicBitset> global_bits;
+  std::vector<NodeId> centers;
+  if (options.dual_filter) {
+    Timer filter_timer;
+    global = ComputeDualSimulation(*qeff, g);
+    totals.global_filter_seconds = filter_timer.Seconds();
+    if (!global.IsTotal()) {
+      totals.balls_skipped_filter = g.num_nodes();
+      totals.total_seconds = total_timer.Seconds();
+      if (stats != nullptr) *stats = totals;
+      return std::vector<PerfectSubgraph>{};
+    }
+    global_bits.assign(nq_eff, DynamicBitset(g.num_nodes()));
+    DynamicBitset any_match(g.num_nodes());
+    for (size_t u = 0; u < nq_eff; ++u) {
+      for (NodeId v : global.sim[u]) {
+        global_bits[u].Set(v);
+        any_match.Set(v);
+      }
+    }
+    any_match.ForEach(
+        [&](size_t v) { centers.push_back(static_cast<NodeId>(v)); });
+    totals.balls_skipped_filter = g.num_nodes() - centers.size();
+  } else {
+    centers.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) centers[v] = v;
+  }
+
+  internal::MatchContext context;
+  context.original_pattern = &q;
+  context.effective_pattern = qeff;
+  context.class_of = options.minimize_query ? &class_of : nullptr;
+  context.global_bits = options.dual_filter ? &global_bits : nullptr;
+  context.radius = radius;
+  context.options = options;
+
+  // Per-thread shards: contiguous center ranges, one scratch set each.
+  struct Shard {
+    std::vector<PerfectSubgraph> results;
+    MatchStats stats;
+  };
+  const size_t shards_count = std::min(num_threads, std::max<size_t>(
+                                                        1, centers.size()));
+  std::vector<Shard> shards(shards_count);
+  {
+    ThreadPool pool(shards_count);
+    const size_t per_shard = (centers.size() + shards_count - 1) / shards_count;
+    for (size_t s = 0; s < shards_count; ++s) {
+      pool.Submit([&, s] {
+        const size_t begin = s * per_shard;
+        const size_t end = std::min(centers.size(), begin + per_shard);
+        BallBuilder builder(g);
+        Ball ball;
+        for (size_t i = begin; i < end; ++i) {
+          auto pg = internal::ProcessCenter(context, g, centers[i], &builder,
+                                            &ball, &shards[s].stats);
+          if (pg.has_value()) shards[s].results.push_back(std::move(*pg));
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  // Merge + dedup (Theorem 1: the perfect-subgraph set is unique, so
+  // merge order only affects which duplicate instance is kept).
+  std::vector<PerfectSubgraph> results;
+  std::unordered_set<uint64_t> seen_hashes;
+  for (Shard& shard : shards) {
+    totals.balls_considered += shard.stats.balls_considered;
+    totals.balls_skipped_pruning += shard.stats.balls_skipped_pruning;
+    totals.balls_center_unmatched += shard.stats.balls_center_unmatched;
+    totals.subgraphs_found += shard.stats.subgraphs_found;
+    totals.candidate_pairs_refined += shard.stats.candidate_pairs_refined;
+    for (PerfectSubgraph& pg : shard.results) {
+      if (options.dedup && !seen_hashes.insert(pg.ContentHash()).second) {
+        ++totals.duplicates_removed;
+        continue;
+      }
+      results.push_back(std::move(pg));
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const PerfectSubgraph& a, const PerfectSubgraph& b) {
+              return a.center < b.center;
+            });
+
+  totals.total_seconds = total_timer.Seconds();
+  if (stats != nullptr) *stats = totals;
+  return results;
+}
+
+}  // namespace gpm

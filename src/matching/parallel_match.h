@@ -1,0 +1,26 @@
+// Multi-threaded Match: the Fig. 3 loop is embarrassingly parallel over
+// ball centers (every ball is processed independently; Theorem 1 makes
+// the result set order-insensitive). The paper exploits this across
+// machines (§4.3); this executor exploits it across cores, sharing the
+// one-time preprocessing (minQ, global dual filter) and merging per-thread
+// result sets with a final dedup.
+
+#ifndef GPM_MATCHING_PARALLEL_MATCH_H_
+#define GPM_MATCHING_PARALLEL_MATCH_H_
+
+#include <cstddef>
+
+#include "matching/strong_simulation.h"
+
+namespace gpm {
+
+/// MatchStrong semantics, computed with `num_threads` workers
+/// (0 = hardware concurrency). Returns the identical dedup'd result set,
+/// sorted by center for determinism.
+Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
+    const Graph& q, const Graph& g, const MatchOptions& options = {},
+    size_t num_threads = 0, MatchStats* stats = nullptr);
+
+}  // namespace gpm
+
+#endif  // GPM_MATCHING_PARALLEL_MATCH_H_

@@ -1,0 +1,52 @@
+#include "matching/query_minimization.h"
+
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "matching/dual_simulation.h"
+
+namespace gpm {
+
+Result<MinimizedQuery> MinimizeQuery(const Graph& q) {
+  GPM_CHECK(q.finalized());
+  if (q.num_nodes() == 0)
+    return Status::InvalidArgument("cannot minimize an empty pattern");
+
+  // Line 1: maximum dual match relation of Q against itself. It is a
+  // preorder (reflexive: the identity is a dual simulation; transitive:
+  // dual simulations compose), so mutual containment is an equivalence.
+  const MatchRelation s = ComputeDualSimulation(q, q);
+
+  // Line 2: equivalence classes u ≡ v ⇔ (u,v) ∈ S ∧ (v,u) ∈ S.
+  const size_t nq = q.num_nodes();
+  MinimizedQuery out;
+  out.class_of.assign(nq, kInvalidNode);
+  std::vector<NodeId> representatives;
+  for (NodeId u = 0; u < nq; ++u) {
+    if (out.class_of[u] != kInvalidNode) continue;
+    const NodeId cls = static_cast<NodeId>(representatives.size());
+    representatives.push_back(u);
+    out.class_of[u] = cls;
+    for (NodeId v = u + 1; v < nq; ++v) {
+      if (out.class_of[v] != kInvalidNode) continue;
+      if (s.Contains(u, v) && s.Contains(v, u)) out.class_of[v] = cls;
+    }
+  }
+
+  // Lines 3-4: one node per class (labels agree within a class since dual
+  // simulation preserves labels); an edge between classes iff some member
+  // pair has one.
+  for (NodeId rep : representatives) out.minimized.AddNode(q.label(rep));
+  std::set<std::pair<NodeId, NodeId>> quotient_edges;
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId u2 : q.OutNeighbors(u)) {
+      quotient_edges.emplace(out.class_of[u], out.class_of[u2]);
+    }
+  }
+  for (const auto& [a, b] : quotient_edges) out.minimized.AddEdge(a, b);
+  out.minimized.Finalize();
+  return out;
+}
+
+}  // namespace gpm

@@ -1,0 +1,36 @@
+// Query minimization via dual simulation (paper §4.2, Fig. 4, Theorem 6 /
+// Lemma 2): the quotient of Q by the equivalence u ≡ v ⇔ (u,v) ∈ S ∧
+// (v,u) ∈ S, where S is the maximum dual-simulation relation of Q against
+// itself. Quadratic time; the result is the unique (up to isomorphism)
+// minimum pattern equivalent to Q.
+
+#ifndef GPM_MATCHING_QUERY_MINIMIZATION_H_
+#define GPM_MATCHING_QUERY_MINIMIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace gpm {
+
+/// \brief Output of minQ.
+struct MinimizedQuery {
+  /// The quotient pattern Qm.
+  Graph minimized;
+  /// class_of[u] = node of `minimized` that original query node u maps to.
+  std::vector<NodeId> class_of;
+};
+
+/// Runs minQ (Fig. 4). InvalidArgument on an empty pattern.
+///
+/// Guarantee (Lemma 2): for every data graph G, the maximum dual match
+/// relation of Qm satisfies sim_Qm(class_of[u]) == sim_Q(u), hence the two
+/// patterns produce identical match graphs — and, with the ball radius
+/// fixed to Q's diameter, identical strong-simulation results (Lemma 3).
+Result<MinimizedQuery> MinimizeQuery(const Graph& q);
+
+}  // namespace gpm
+
+#endif  // GPM_MATCHING_QUERY_MINIMIZATION_H_

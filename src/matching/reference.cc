@@ -1,0 +1,107 @@
+#include "matching/reference.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpm::reference {
+
+namespace {
+
+// Shared fixpoint: repeatedly delete candidates violating the child (and,
+// if `dual`, parent) condition until stable — Fig. 3 lines 3-10.
+MatchRelation NaiveFixpoint(const Graph& q, const Graph& g, bool dual) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  const size_t nq = q.num_nodes();
+  MatchRelation rel(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    auto cls = g.NodesWithLabel(q.label(u));
+    rel.sim[u].assign(cls.begin(), cls.end());
+  }
+
+  auto has_witness = [&](std::span<const NodeId> nbrs,
+                         const std::vector<NodeId>& sim_set) {
+    return std::any_of(nbrs.begin(), nbrs.end(), [&](NodeId w) {
+      return std::binary_search(sim_set.begin(), sim_set.end(), w);
+    });
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u = 0; u < nq; ++u) {
+      auto& sim_u = rel.sim[u];
+      auto violates = [&](NodeId v) {
+        for (NodeId u2 : q.OutNeighbors(u)) {
+          if (!has_witness(g.OutNeighbors(v), rel.sim[u2])) return true;
+        }
+        if (dual) {
+          for (NodeId u2 : q.InNeighbors(u)) {
+            if (!has_witness(g.InNeighbors(v), rel.sim[u2])) return true;
+          }
+        }
+        return false;
+      };
+      const size_t before = sim_u.size();
+      sim_u.erase(std::remove_if(sim_u.begin(), sim_u.end(), violates),
+                  sim_u.end());
+      if (sim_u.size() != before) changed = true;
+      if (sim_u.empty()) {  // Fig. 3 line 10: "return ∅"
+        rel.Clear();
+        return rel;
+      }
+    }
+  }
+  return rel;
+}
+
+}  // namespace
+
+MatchRelation NaiveDualSimulation(const Graph& q, const Graph& g) {
+  return NaiveFixpoint(q, g, /*dual=*/true);
+}
+
+MatchRelation NaiveSimulation(const Graph& q, const Graph& g) {
+  return NaiveFixpoint(q, g, /*dual=*/false);
+}
+
+namespace {
+
+bool CheckRelation(const Graph& q, const Graph& g, const MatchRelation& s,
+                   bool dual) {
+  if (s.sim.size() != q.num_nodes()) return false;
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    for (NodeId v : s.sim[u]) {
+      if (q.label(u) != g.label(v)) return false;
+      for (NodeId u2 : q.OutNeighbors(u)) {
+        bool found = std::any_of(
+            g.OutNeighbors(v).begin(), g.OutNeighbors(v).end(),
+            [&](NodeId w) { return s.Contains(u2, w); });
+        if (!found) return false;
+      }
+      if (dual) {
+        for (NodeId u2 : q.InNeighbors(u)) {
+          bool found = std::any_of(
+              g.InNeighbors(v).begin(), g.InNeighbors(v).end(),
+              [&](NodeId w) { return s.Contains(u2, w); });
+          if (!found) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsSimulationRelation(const Graph& q, const Graph& g,
+                          const MatchRelation& s) {
+  return CheckRelation(q, g, s, /*dual=*/false);
+}
+
+bool IsDualSimulationRelation(const Graph& q, const Graph& g,
+                              const MatchRelation& s) {
+  return CheckRelation(q, g, s, /*dual=*/true);
+}
+
+}  // namespace gpm::reference

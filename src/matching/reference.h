@@ -1,0 +1,33 @@
+// Naive fixpoint reference implementations, transcribed literally from the
+// paper's Fig. 3 DualSim pseudo-code (and its child-only restriction).
+//
+// These are O(|Vq|·|V|·(|V|+|E|))-ish and exist for differential testing:
+// the optimized worklist engine must agree with them on every input.
+
+#ifndef GPM_MATCHING_REFERENCE_H_
+#define GPM_MATCHING_REFERENCE_H_
+
+#include "graph/graph.h"
+#include "matching/match_relation.h"
+
+namespace gpm::reference {
+
+/// Literal Fig. 3 DualSim fixpoint (lines 1-12).
+MatchRelation NaiveDualSimulation(const Graph& q, const Graph& g);
+
+/// The same loop with the parent condition (lines 7-9) dropped — plain
+/// graph simulation.
+MatchRelation NaiveSimulation(const Graph& q, const Graph& g);
+
+/// Checks that `s` is a valid simulation relation (labels + child
+/// condition for every pair).
+bool IsSimulationRelation(const Graph& q, const Graph& g,
+                          const MatchRelation& s);
+
+/// Checks that `s` is a valid dual-simulation relation.
+bool IsDualSimulationRelation(const Graph& q, const Graph& g,
+                              const MatchRelation& s);
+
+}  // namespace gpm::reference
+
+#endif  // GPM_MATCHING_REFERENCE_H_

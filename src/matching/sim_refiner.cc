@@ -1,0 +1,169 @@
+#include "matching/sim_refiner.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/bitset.h"
+#include "common/logging.h"
+
+namespace gpm::internal {
+
+namespace {
+
+// One flattened query edge.
+struct QueryEdge {
+  NodeId src;
+  NodeId dst;
+};
+
+}  // namespace
+
+MatchRelation RefineSimulation(const Graph& q, const Graph& g, bool dual,
+                               const std::vector<std::vector<NodeId>>* initial,
+                               const std::vector<NodeId>* seeds) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  const size_t nq = q.num_nodes();
+  const size_t n = g.num_nodes();
+  MatchRelation result(nq);
+  if (nq == 0) return result;
+
+  // --- Query edge tables -------------------------------------------------
+  std::vector<QueryEdge> qedges;
+  std::vector<std::vector<uint32_t>> out_eids(nq);  // edges with src == u
+  std::vector<std::vector<uint32_t>> in_eids(nq);   // edges with dst == u
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId u2 : q.OutNeighbors(u)) {
+      const uint32_t eid = static_cast<uint32_t>(qedges.size());
+      qedges.push_back({u, u2});
+      out_eids[u].push_back(eid);
+      in_eids[u2].push_back(eid);
+    }
+  }
+
+  // --- Candidates ----------------------------------------------------------
+  // cand[u] ⊆ label-class(l(u)); counters are indexed by the candidate's
+  // rank inside its *full* label class so that all query nodes sharing a
+  // label share one rank array.
+  std::vector<uint32_t> class_rank(n, 0);
+  for (Label label : g.DistinctLabels()) {
+    auto cls = g.NodesWithLabel(label);
+    for (uint32_t i = 0; i < cls.size(); ++i) class_rank[cls[i]] = i;
+  }
+
+  std::vector<std::vector<NodeId>> cand(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    if (initial != nullptr) {
+      GPM_CHECK_EQ(initial->size(), nq);
+      cand[u] = (*initial)[u];
+      GPM_CHECK(std::is_sorted(cand[u].begin(), cand[u].end()));
+      for (NodeId v : cand[u]) GPM_CHECK_EQ(g.label(v), q.label(u));
+    } else {
+      auto cls = g.NodesWithLabel(q.label(u));
+      cand[u].assign(cls.begin(), cls.end());
+    }
+  }
+
+  // in_sim[u]: current membership bitmap over data nodes.
+  std::vector<DynamicBitset> in_sim(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    in_sim[u] = DynamicBitset(n);
+    for (NodeId v : cand[u]) in_sim[u].Set(v);
+  }
+
+  // --- Support counters ----------------------------------------------------
+  // out_cnt[e][rank(v)] = |succ(v) ∩ sim(dst)| for v ∈ cand(src):
+  //   reaching 0 violates the child condition for (src, v).
+  // in_cnt[e][rank(v')] = |pred(v') ∩ sim(src)| for v' ∈ cand(dst):
+  //   reaching 0 violates the parent condition for (dst, v') (dual only).
+  std::vector<std::vector<uint32_t>> out_cnt(qedges.size());
+  std::vector<std::vector<uint32_t>> in_cnt(dual ? qedges.size() : 0);
+  for (uint32_t e = 0; e < qedges.size(); ++e) {
+    const QueryEdge& qe = qedges[e];
+    out_cnt[e].assign(g.NodesWithLabel(q.label(qe.src)).size(), 0);
+    for (NodeId v : cand[qe.src]) {
+      uint32_t c = 0;
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (in_sim[qe.dst].Test(w)) ++c;
+      }
+      out_cnt[e][class_rank[v]] = c;
+    }
+    if (dual) {
+      in_cnt[e].assign(g.NodesWithLabel(q.label(qe.dst)).size(), 0);
+      for (NodeId v2 : cand[qe.dst]) {
+        uint32_t c = 0;
+        for (NodeId w : g.InNeighbors(v2)) {
+          if (in_sim[qe.src].Test(w)) ++c;
+        }
+        in_cnt[e][class_rank[v2]] = c;
+      }
+    }
+  }
+
+  // --- Seed violations -------------------------------------------------------
+  std::deque<std::pair<NodeId, NodeId>> worklist;  // (query node, data node)
+  auto violates = [&](NodeId u, NodeId v) {
+    for (uint32_t e : out_eids[u]) {
+      if (out_cnt[e][class_rank[v]] == 0) return true;
+    }
+    if (dual) {
+      for (uint32_t e : in_eids[u]) {
+        if (in_cnt[e][class_rank[v]] == 0) return true;
+      }
+    }
+    return false;
+  };
+  auto remove_pair = [&](NodeId u, NodeId v) {
+    in_sim[u].Clear(v);
+    worklist.emplace_back(u, v);
+  };
+
+  if (seeds != nullptr) {
+    for (NodeId v : *seeds) {
+      for (NodeId u = 0; u < nq; ++u) {
+        if (in_sim[u].Test(v) && violates(u, v)) remove_pair(u, v);
+      }
+    }
+  } else {
+    for (NodeId u = 0; u < nq; ++u) {
+      for (NodeId v : cand[u]) {
+        if (in_sim[u].Test(v) && violates(u, v)) remove_pair(u, v);
+      }
+    }
+  }
+
+  // --- Propagation -----------------------------------------------------------
+  while (!worklist.empty()) {
+    auto [u, v] = worklist.front();
+    worklist.pop_front();
+    // v no longer matches u: every data parent v2 that matched a query
+    // parent u2 of u loses one unit of child support on edge (u2, u) ...
+    for (uint32_t e : in_eids[u]) {
+      const NodeId u2 = qedges[e].src;
+      for (NodeId v2 : g.InNeighbors(v)) {
+        if (!in_sim[u2].Test(v2)) continue;
+        if (--out_cnt[e][class_rank[v2]] == 0) remove_pair(u2, v2);
+      }
+    }
+    // ... and (dual) every data child v3 matching a query child u3 of u
+    // loses one unit of parent support on edge (u, u3).
+    if (dual) {
+      for (uint32_t e : out_eids[u]) {
+        const NodeId u3 = qedges[e].dst;
+        for (NodeId v3 : g.OutNeighbors(v)) {
+          if (!in_sim[u3].Test(v3)) continue;
+          if (--in_cnt[e][class_rank[v3]] == 0) remove_pair(u3, v3);
+        }
+      }
+    }
+  }
+
+  // --- Collect ---------------------------------------------------------------
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId v : cand[u]) {
+      if (in_sim[u].Test(v)) result.sim[u].push_back(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace gpm::internal

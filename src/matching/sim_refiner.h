@@ -1,0 +1,44 @@
+// Internal engine shared by graph simulation, dual simulation and the
+// dualFilter optimization: a worklist refinement with per-(query-edge,
+// candidate) support counters, achieving the O((|Vq|+|Eq|)(|V|+|E|)) bound
+// the paper inherits from HHK'95.
+//
+// Not part of the public API; include simulation.h / dual_simulation.h
+// instead.
+
+#ifndef GPM_MATCHING_SIM_REFINER_H_
+#define GPM_MATCHING_SIM_REFINER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "matching/match_relation.h"
+
+namespace gpm::internal {
+
+/// Computes the maximum (dual) simulation relation of q in g.
+///
+/// \param dual      if true, parent support is enforced too (dual
+///                  simulation); otherwise only child support (plain
+///                  simulation).
+/// \param initial   optional initial candidate sets, one sorted unique list
+///                  per query node; every candidate of u must carry u's
+///                  label (checked). nullptr means "the label class of u" —
+///                  the standard initialization.
+/// \param seeds     optional sorted list of data nodes whose pairs are
+///                  scanned for initial violations. nullptr scans all
+///                  pairs. Passing only ball-border nodes implements
+///                  Proposition 5 (dualFilter): interior pairs of a
+///                  projected globally-consistent relation cannot be
+///                  initially violated, only invalidated transitively.
+///
+/// The returned relation is maximal w.r.t. the initial candidates. If some
+/// query node ends with no matches and q is connected, cascading empties
+/// the whole relation (the paper's "return ∅").
+MatchRelation RefineSimulation(const Graph& q, const Graph& g, bool dual,
+                               const std::vector<std::vector<NodeId>>* initial,
+                               const std::vector<NodeId>* seeds);
+
+}  // namespace gpm::internal
+
+#endif  // GPM_MATCHING_SIM_REFINER_H_

@@ -1,0 +1,15 @@
+#include "matching/simulation.h"
+
+#include "matching/sim_refiner.h"
+
+namespace gpm {
+
+MatchRelation ComputeSimulation(const Graph& q, const Graph& g) {
+  return internal::RefineSimulation(q, g, /*dual=*/false, nullptr, nullptr);
+}
+
+bool GraphSimulates(const Graph& q, const Graph& g) {
+  return ComputeSimulation(q, g).IsTotal();
+}
+
+}  // namespace gpm

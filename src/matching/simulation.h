@@ -1,0 +1,23 @@
+// Graph simulation (Milner; algorithm of Henzinger-Henzinger-Kopke '95):
+// the paper's baseline notion ≺, preserving labels and the child
+// relationship only.
+
+#ifndef GPM_MATCHING_SIMULATION_H_
+#define GPM_MATCHING_SIMULATION_H_
+
+#include "graph/graph.h"
+#include "matching/match_relation.h"
+
+namespace gpm {
+
+/// Maximum simulation relation of q in g, in
+/// O((|Vq|+|Eq|)(|V|+|E|)) time. If q does not match g the returned
+/// relation is empty for some (hence, q connected, every) query node.
+MatchRelation ComputeSimulation(const Graph& q, const Graph& g);
+
+/// True iff Q ≺ G (every query node has at least one match).
+bool GraphSimulates(const Graph& q, const Graph& g);
+
+}  // namespace gpm
+
+#endif  // GPM_MATCHING_SIMULATION_H_

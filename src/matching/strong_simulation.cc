@@ -1,0 +1,379 @@
+#include "matching/strong_simulation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bitset.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "graph/components.h"
+#include "graph/diameter.h"
+#include "matching/ball.h"
+#include "matching/dual_simulation.h"
+#include "matching/query_minimization.h"
+#include "matching/sim_refiner.h"
+#include "matching/strong_simulation_internal.h"
+
+namespace gpm {
+
+uint64_t PerfectSubgraph::ContentHash() const {
+  // FNV-1a over the node list and edge list.
+  uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(nodes.size());
+  for (NodeId v : nodes) mix(v);
+  mix(edges.size());
+  for (const auto& [a, b] : edges) mix((static_cast<uint64_t>(a) << 32) | b);
+  return h;
+}
+
+Graph PerfectSubgraph::AsGraph(const Graph& g) const {
+  Graph out;
+  std::unordered_map<NodeId, NodeId> local;
+  local.reserve(nodes.size());
+  for (NodeId v : nodes) local.emplace(v, out.AddNode(g.label(v)));
+  for (const auto& [a, b] : edges) out.AddEdge(local.at(a), local.at(b));
+  out.Finalize();
+  return out;
+}
+
+namespace {
+
+// Restricts per-query-node candidate lists (local ball ids) to the
+// undirected connected component — within the candidate-induced subgraph
+// of the ball — that contains the center (§4.2 connectivity pruning,
+// justified by Theorem 2). Returns false if the center is not a candidate
+// at all (the ball cannot yield a perfect subgraph).
+bool PruneToCenterComponent(const Ball& ball,
+                            std::vector<std::vector<NodeId>>* cand) {
+  const size_t bn = ball.graph.num_nodes();
+  DynamicBitset is_candidate(bn);
+  for (const auto& list : *cand) {
+    for (NodeId v : list) is_candidate.Set(v);
+  }
+  const NodeId center = ball.LocalCenter();
+  if (!is_candidate.Test(center)) return false;
+
+  // BFS over candidate nodes only (edges of the candidate-induced
+  // subgraph), undirected.
+  DynamicBitset in_component(bn);
+  in_component.Set(center);
+  std::vector<NodeId> stack{center};
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    auto visit = [&](NodeId w) {
+      if (is_candidate.Test(w) && !in_component.Test(w)) {
+        in_component.Set(w);
+        stack.push_back(w);
+      }
+    };
+    for (NodeId w : ball.graph.OutNeighbors(v)) visit(w);
+    for (NodeId w : ball.graph.InNeighbors(v)) visit(w);
+  }
+
+  for (auto& list : *cand) {
+    std::erase_if(list, [&](NodeId v) { return !in_component.Test(v); });
+  }
+  return true;
+}
+
+// ExtractMaxPG (Fig. 3): the connected component containing the center of
+// the match graph w.r.t. Sw. Returns false if the center is unmatched.
+bool ExtractMaxPG(const Graph& qeff, const Ball& ball, const MatchRelation& sw,
+                  std::vector<NodeId>* nodes_out,
+                  std::vector<std::pair<NodeId, NodeId>>* edges_out,
+                  DynamicBitset* component_out) {
+  const NodeId center = ball.LocalCenter();
+  bool center_matched = false;
+  for (const auto& list : sw.sim) {
+    if (std::binary_search(list.begin(), list.end(), center)) {
+      center_matched = true;
+      break;
+    }
+  }
+  if (!center_matched) return false;
+
+  const MatchGraph mg = BuildMatchGraph(qeff, ball.graph, sw);
+
+  // Undirected component of `center` inside the match graph.
+  std::unordered_map<NodeId, std::vector<NodeId>> adj;
+  adj.reserve(mg.nodes.size());
+  for (const auto& [a, b] : mg.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  DynamicBitset in_component(ball.graph.num_nodes());
+  in_component.Set(center);
+  std::vector<NodeId> stack{center};
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    auto it = adj.find(v);
+    if (it == adj.end()) continue;
+    for (NodeId w : it->second) {
+      if (!in_component.Test(w)) {
+        in_component.Set(w);
+        stack.push_back(w);
+      }
+    }
+  }
+
+  nodes_out->clear();
+  for (NodeId v : mg.nodes) {
+    if (in_component.Test(v)) nodes_out->push_back(v);
+  }
+  edges_out->clear();
+  for (const auto& [a, b] : mg.edges) {
+    if (in_component.Test(a) && in_component.Test(b))
+      edges_out->emplace_back(a, b);
+  }
+  *component_out = std::move(in_component);
+  return true;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
+                                             const Graph& /*g*/, NodeId center,
+                                             BallBuilder* builder, Ball* ball,
+                                             MatchStats* stats) {
+  const Graph& qeff = *context.effective_pattern;
+  const Graph& q = *context.original_pattern;
+  const size_t nq_eff = qeff.num_nodes();
+  const MatchOptions& options = context.options;
+
+  builder->Build(center, context.radius, ball);
+  ++stats->balls_considered;
+
+  // Candidate sets (local ids). With the dual filter on, project the
+  // global relation into the ball; otherwise label classes.
+  std::vector<std::vector<NodeId>> cand(nq_eff);
+  if (context.global_bits != nullptr) {
+    for (size_t u = 0; u < nq_eff; ++u) {
+      const DynamicBitset& bits = (*context.global_bits)[u];
+      for (NodeId local = 0; local < ball->graph.num_nodes(); ++local) {
+        if (bits.Test(ball->to_global[local])) cand[u].push_back(local);
+      }
+    }
+  } else {
+    for (size_t u = 0; u < nq_eff; ++u) {
+      auto cls = ball->graph.NodesWithLabel(qeff.label(static_cast<NodeId>(u)));
+      cand[u].assign(cls.begin(), cls.end());
+    }
+  }
+
+  if (options.connectivity_pruning) {
+    if (!PruneToCenterComponent(*ball, &cand)) {
+      ++stats->balls_skipped_pruning;
+      return std::nullopt;
+    }
+  }
+  for (const auto& list : cand) stats->candidate_pairs_refined += list.size();
+
+  // Refine. With the dual filter on, only border nodes can seed
+  // violations (Prop 5 / Fig. 5 dualFilter).
+  MatchRelation sw;
+  if (context.global_bits != nullptr) {
+    const std::vector<NodeId> seeds = ball->BorderNodes();
+    sw = RefineSimulation(qeff, ball->graph, /*dual=*/true, &cand, &seeds);
+  } else {
+    sw = RefineSimulation(qeff, ball->graph, /*dual=*/true, &cand, nullptr);
+  }
+  if (!sw.IsTotal()) {
+    ++stats->balls_center_unmatched;
+    return std::nullopt;
+  }
+
+  std::vector<NodeId> pg_nodes;
+  std::vector<std::pair<NodeId, NodeId>> pg_edges;
+  DynamicBitset component;
+  if (!ExtractMaxPG(qeff, *ball, sw, &pg_nodes, &pg_edges, &component)) {
+    ++stats->balls_center_unmatched;
+    return std::nullopt;
+  }
+  ++stats->subgraphs_found;
+
+  PerfectSubgraph pg;
+  pg.center = center;
+  pg.radius = context.radius;
+  pg.nodes.reserve(pg_nodes.size());
+  for (NodeId v : pg_nodes) pg.nodes.push_back(ball->to_global[v]);
+  std::sort(pg.nodes.begin(), pg.nodes.end());
+  pg.edges.reserve(pg_edges.size());
+  for (const auto& [a, b] : pg_edges) {
+    pg.edges.emplace_back(ball->to_global[a], ball->to_global[b]);
+  }
+  std::sort(pg.edges.begin(), pg.edges.end());
+
+  // Relation restricted to the component, expanded to original query
+  // nodes when minimization ran, translated to global ids.
+  pg.relation = MatchRelation(q.num_nodes());
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    const NodeId ue =
+        context.class_of != nullptr ? (*context.class_of)[u] : u;
+    for (NodeId v : sw.sim[ue]) {
+      if (component.Test(v)) pg.relation.sim[u].push_back(ball->to_global[v]);
+    }
+    std::sort(pg.relation.sim[u].begin(), pg.relation.sim[u].end());
+  }
+  return pg;
+}
+
+}  // namespace internal
+
+Result<std::vector<PerfectSubgraph>> MatchStrong(const Graph& q,
+                                                 const Graph& g,
+                                                 const MatchOptions& options,
+                                                 MatchStats* stats) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  if (q.num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  if (!IsConnected(q))
+    return Status::InvalidArgument(
+        "pattern graph must be connected (paper §2.1)");
+
+  Timer total_timer;
+  MatchStats local_stats;
+
+  // Ball radius: the pattern diameter dQ (before any minimization —
+  // Lemma 3 fixes the radius).
+  GPM_ASSIGN_OR_RETURN(uint32_t diameter, Diameter(q));
+  const uint32_t radius =
+      options.radius_override != 0 ? options.radius_override : diameter;
+  local_stats.pattern_diameter = diameter;
+
+  // Optional minQ. Results are expanded back to original query nodes.
+  Graph qmin_storage;
+  std::vector<NodeId> class_of;
+  const Graph* qeff = &q;
+  if (options.minimize_query) {
+    GPM_ASSIGN_OR_RETURN(MinimizedQuery mq, MinimizeQuery(q));
+    qmin_storage = std::move(mq.minimized);
+    class_of = std::move(mq.class_of);
+    qeff = &qmin_storage;
+    local_stats.minimized_pattern_size =
+        qmin_storage.num_nodes() + qmin_storage.num_edges();
+  }
+  const size_t nq_eff = qeff->num_nodes();
+
+  // Optional global dual-simulation filter.
+  MatchRelation global;
+  std::vector<DynamicBitset> global_bits;  // per qeff node, over |V|
+  std::vector<NodeId> centers;
+  if (options.dual_filter) {
+    Timer filter_timer;
+    global = ComputeDualSimulation(*qeff, g);
+    local_stats.global_filter_seconds = filter_timer.Seconds();
+    if (!global.IsTotal()) {
+      if (stats != nullptr) {
+        local_stats.total_seconds = total_timer.Seconds();
+        local_stats.balls_skipped_filter = g.num_nodes();
+        *stats = local_stats;
+      }
+      return std::vector<PerfectSubgraph>{};
+    }
+    global_bits.assign(nq_eff, DynamicBitset(g.num_nodes()));
+    DynamicBitset any_match(g.num_nodes());
+    for (size_t u = 0; u < nq_eff; ++u) {
+      for (NodeId v : global.sim[u]) {
+        global_bits[u].Set(v);
+        any_match.Set(v);
+      }
+    }
+    any_match.ForEach([&](size_t v) { centers.push_back(static_cast<NodeId>(v)); });
+    local_stats.balls_skipped_filter = g.num_nodes() - centers.size();
+  } else {
+    centers.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) centers[v] = v;
+  }
+
+  internal::MatchContext context;
+  context.original_pattern = &q;
+  context.effective_pattern = qeff;
+  context.class_of = options.minimize_query ? &class_of : nullptr;
+  context.global_bits = options.dual_filter ? &global_bits : nullptr;
+  context.radius = radius;
+  context.options = options;
+
+  std::vector<PerfectSubgraph> results;
+  std::unordered_set<uint64_t> seen_hashes;
+  BallBuilder builder(g);
+  Ball ball;
+  for (NodeId w : centers) {
+    auto pg = internal::ProcessCenter(context, g, w, &builder, &ball,
+                                      &local_stats);
+    if (!pg.has_value()) continue;
+    if (options.dedup && !seen_hashes.insert(pg->ContentHash()).second) {
+      ++local_stats.duplicates_removed;
+      continue;
+    }
+    results.push_back(std::move(*pg));
+  }
+
+  local_stats.total_seconds = total_timer.Seconds();
+  if (stats != nullptr) *stats = local_stats;
+  return results;
+}
+
+Result<std::vector<PerfectSubgraph>> MatchStrongPlus(const Graph& q,
+                                                     const Graph& g,
+                                                     MatchStats* stats) {
+  return MatchStrong(q, g, MatchPlusOptions(), stats);
+}
+
+std::optional<PerfectSubgraph> MatchSingleBall(const Graph& q,
+                                               const Ball& ball) {
+  GPM_CHECK(q.finalized());
+  const size_t nq = q.num_nodes();
+  std::vector<std::vector<NodeId>> cand(nq);
+  for (size_t u = 0; u < nq; ++u) {
+    auto cls = ball.graph.NodesWithLabel(q.label(static_cast<NodeId>(u)));
+    cand[u].assign(cls.begin(), cls.end());
+  }
+  MatchRelation sw =
+      internal::RefineSimulation(q, ball.graph, /*dual=*/true, &cand, nullptr);
+  if (!sw.IsTotal()) return std::nullopt;
+
+  std::vector<NodeId> pg_nodes;
+  std::vector<std::pair<NodeId, NodeId>> pg_edges;
+  DynamicBitset component;
+  if (!ExtractMaxPG(q, ball, sw, &pg_nodes, &pg_edges, &component))
+    return std::nullopt;
+
+  PerfectSubgraph pg;
+  pg.center = ball.center;
+  pg.radius = ball.radius;
+  for (NodeId v : pg_nodes) pg.nodes.push_back(ball.to_global[v]);
+  std::sort(pg.nodes.begin(), pg.nodes.end());
+  for (const auto& [a, b] : pg_edges) {
+    pg.edges.emplace_back(ball.to_global[a], ball.to_global[b]);
+  }
+  std::sort(pg.edges.begin(), pg.edges.end());
+  pg.relation = MatchRelation(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId v : sw.sim[u]) {
+      if (component.Test(v)) pg.relation.sim[u].push_back(ball.to_global[v]);
+    }
+    std::sort(pg.relation.sim[u].begin(), pg.relation.sim[u].end());
+  }
+  return pg;
+}
+
+Result<bool> StronglySimulates(const Graph& q, const Graph& g) {
+  // The dual filter short-circuits the common negative case.
+  MatchOptions options = MatchPlusOptions();
+  GPM_ASSIGN_OR_RETURN(std::vector<PerfectSubgraph> subgraphs,
+                       MatchStrong(q, g, options));
+  return !subgraphs.empty();
+}
+
+}  // namespace gpm

@@ -1,0 +1,126 @@
+// Strong simulation ≺LD (paper §2.2) and the Match algorithm (Fig. 3),
+// together with the §4.2 optimizations (query minimization, dual-simulation
+// filtering, connectivity pruning), each independently toggleable.
+//
+//   MatchStrong(q, g)      — the baseline Match algorithm
+//   MatchStrongPlus(q, g)  — Match+ with all optimizations enabled
+//
+// Every option combination returns the same set of maximum perfect
+// subgraphs (Theorem 1 uniqueness; the test suite asserts equality).
+
+#ifndef GPM_MATCHING_STRONG_SIMULATION_H_
+#define GPM_MATCHING_STRONG_SIMULATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "matching/match_relation.h"
+
+namespace gpm {
+
+/// \brief One maximum perfect subgraph Gs: the connected component
+/// containing the ball center of the match graph w.r.t. the maximum dual
+/// match relation on the ball (Theorems 1-2).
+struct PerfectSubgraph {
+  NodeId center = kInvalidNode;  ///< ball center (data-graph id)
+  uint32_t radius = 0;           ///< ball radius used (= dQ by default)
+  std::vector<NodeId> nodes;     ///< Gs nodes, data-graph ids, sorted
+  /// Gs edges (match-graph edges), data-graph ids, sorted.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  /// Match relation restricted to Gs, in terms of the *original* pattern's
+  /// query nodes (even when query minimization ran) and data-graph ids.
+  MatchRelation relation;
+
+  /// Stable content hash over (nodes, edges) — the dedup key.
+  uint64_t ContentHash() const;
+
+  /// True iff this and `other` have identical node and edge sets.
+  bool SameSubgraph(const PerfectSubgraph& other) const {
+    return nodes == other.nodes && edges == other.edges;
+  }
+
+  /// Materializes Gs as a Graph (labels from g); local ids follow `nodes`
+  /// order.
+  Graph AsGraph(const Graph& g) const;
+};
+
+/// \brief Knobs for Match. Defaults reproduce the un-optimized Fig. 3
+/// algorithm; MatchPlusOptions() enables all §4.2 optimizations.
+struct MatchOptions {
+  /// §4.2 "query minimization": run minQ first, expand the relation back
+  /// to original query nodes in the results. Ball radius stays the
+  /// original diameter (Lemma 3).
+  bool minimize_query = false;
+  /// §4.2 "dual simulation filtering": compute dual simulation once on the
+  /// whole data graph, only build balls around matched centers, project the
+  /// global relation into each ball, and re-refine from border nodes only
+  /// (Prop 5, Fig. 5).
+  bool dual_filter = false;
+  /// §4.2 "connectivity pruning": inside each ball, keep only candidates in
+  /// the connected component (of the candidate-induced subgraph) that
+  /// contains the center (Theorem 2).
+  bool connectivity_pruning = false;
+  /// Report each distinct perfect subgraph once (Θ is a set). Disable to
+  /// get the raw one-result-per-ball stream.
+  bool dedup = true;
+  /// Overrides the ball radius; 0 means "use the pattern diameter dQ".
+  /// (Lemma 3 equivalences are stated for a fixed radius.)
+  uint32_t radius_override = 0;
+};
+
+/// All §4.2 optimizations on — the paper's Match+.
+inline MatchOptions MatchPlusOptions() {
+  MatchOptions o;
+  o.minimize_query = true;
+  o.dual_filter = true;
+  o.connectivity_pruning = true;
+  return o;
+}
+
+/// \brief Observability counters for one Match run (ablation benches).
+struct MatchStats {
+  size_t balls_considered = 0;       ///< centers for which a ball was built
+  size_t balls_skipped_filter = 0;   ///< centers skipped by dual filter
+  size_t balls_skipped_pruning = 0;  ///< centers skipped by pruning
+  size_t balls_center_unmatched = 0; ///< Sw empty or center not in Sw
+  size_t subgraphs_found = 0;        ///< pre-dedup perfect subgraphs
+  size_t duplicates_removed = 0;
+  size_t candidate_pairs_refined = 0;  ///< Σ per-ball initial candidates
+  double global_filter_seconds = 0;
+  double total_seconds = 0;
+  uint32_t pattern_diameter = 0;
+  size_t minimized_pattern_size = 0;  ///< |Qm| when minimization ran
+};
+
+/// Computes the set Θ of maximum perfect subgraphs of g w.r.t. q
+/// (Fig. 3 / Theorem 5; cubic time). The pattern must be non-empty and
+/// connected (§2.1) — InvalidArgument otherwise. `stats` is optional.
+Result<std::vector<PerfectSubgraph>> MatchStrong(
+    const Graph& q, const Graph& g, const MatchOptions& options = {},
+    MatchStats* stats = nullptr);
+
+/// Match with all optimizations (the paper's Match+).
+Result<std::vector<PerfectSubgraph>> MatchStrongPlus(
+    const Graph& q, const Graph& g, MatchStats* stats = nullptr);
+
+/// True iff Q ≺LD G (at least one perfect subgraph exists).
+Result<bool> StronglySimulates(const Graph& q, const Graph& g);
+
+// Forward declaration; defined in matching/ball.h.
+struct Ball;
+
+/// Processes one prebuilt ball (lines 3-5 of Fig. 3): dual simulation on
+/// the ball, then ExtractMaxPG. Returns the ball's maximum perfect
+/// subgraph — with node ids translated back through ball.to_global — or
+/// nullopt if the center is unmatched. The distributed runtime (§4.3)
+/// feeds remotely-assembled balls through this.
+std::optional<PerfectSubgraph> MatchSingleBall(const Graph& q,
+                                               const Ball& ball);
+
+}  // namespace gpm
+
+#endif  // GPM_MATCHING_STRONG_SIMULATION_H_

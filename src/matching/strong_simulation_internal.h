@@ -1,0 +1,43 @@
+// Internal per-center pipeline shared by the sequential MatchStrong loop
+// and the multi-threaded executor (matching/parallel_match.h). Not part of
+// the public API.
+
+#ifndef GPM_MATCHING_STRONG_SIMULATION_INTERNAL_H_
+#define GPM_MATCHING_STRONG_SIMULATION_INTERNAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/bitset.h"
+#include "matching/ball.h"
+#include "matching/strong_simulation.h"
+
+namespace gpm::internal {
+
+/// Immutable preprocessing shared by every center of one Match run:
+/// effective (possibly minimized) pattern, ball radius, and the global
+/// dual-filter bitmaps when that optimization is on.
+struct MatchContext {
+  const Graph* original_pattern = nullptr;
+  const Graph* effective_pattern = nullptr;  // == original unless minimized
+  const std::vector<NodeId>* class_of = nullptr;  // minQ classes, or null
+  const std::vector<DynamicBitset>* global_bits = nullptr;  // filter, or null
+  uint32_t radius = 0;
+  MatchOptions options;
+};
+
+/// Runs lines 2-5 of Fig. 3 for one center: ball construction, candidate
+/// selection (projection under the dual filter, label classes otherwise),
+/// optional connectivity pruning, dual refinement (border-seeded under the
+/// filter), ExtractMaxPG, and relation expansion to the original pattern.
+/// Returns nullopt when the center yields no perfect subgraph.
+/// `builder`/`ball` are caller-owned scratch (one pair per thread);
+/// `stats` accumulates the per-center counters (never the timing fields).
+std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
+                                             const Graph& g, NodeId center,
+                                             BallBuilder* builder, Ball* ball,
+                                             MatchStats* stats);
+
+}  // namespace gpm::internal
+
+#endif  // GPM_MATCHING_STRONG_SIMULATION_INTERNAL_H_

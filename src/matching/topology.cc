@@ -1,0 +1,133 @@
+#include "matching/topology.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/components.h"
+#include "graph/diameter.h"
+#include "graph/traversal.h"
+
+namespace gpm {
+
+bool ChildrenPreserved(const Graph& q, const Graph& g,
+                       const MatchRelation& s) {
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    for (NodeId v : s.sim[u]) {
+      for (NodeId u2 : q.OutNeighbors(u)) {
+        const auto nbrs = g.OutNeighbors(v);
+        const bool found =
+            std::any_of(nbrs.begin(), nbrs.end(),
+                        [&](NodeId w) { return s.Contains(u2, w); });
+        if (!found) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ParentsPreserved(const Graph& q, const Graph& g, const MatchRelation& s) {
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    for (NodeId v : s.sim[u]) {
+      for (NodeId u2 : q.InNeighbors(u)) {
+        const auto nbrs = g.InNeighbors(v);
+        const bool found =
+            std::any_of(nbrs.begin(), nbrs.end(),
+                        [&](NodeId w) { return s.Contains(u2, w); });
+        if (!found) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ConnectivityPreserved(const Graph& q, const Graph& g,
+                           const MatchRelation& s) {
+  if (s.IsEmpty()) return true;
+  const MatchGraph mg = BuildMatchGraph(q, g, s);
+  std::vector<NodeId> to_global;
+  const Graph local = MaterializeMatchGraph(mg, g, &to_global);
+  const ComponentSet ccs = ConnectedComponents(local);
+
+  // For each component: the relation restricted to it must be total and
+  // every pair must keep child+parent witnesses *inside the component,
+  // along match-graph edges*.
+  for (uint32_t c = 0; c < ccs.num_components; ++c) {
+    const std::vector<NodeId> comp_local = ccs.NodesIn(c);
+    // Restricted relation in local ids.
+    MatchRelation restricted(q.num_nodes());
+    for (NodeId lv : comp_local) {
+      const NodeId gv = to_global[lv];
+      for (NodeId u = 0; u < q.num_nodes(); ++u) {
+        if (s.Contains(u, gv)) restricted.sim[u].push_back(lv);
+      }
+    }
+    for (auto& list : restricted.sim) std::sort(list.begin(), list.end());
+    if (!restricted.IsTotal()) return false;
+    for (NodeId u = 0; u < q.num_nodes(); ++u) {
+      for (NodeId lv : restricted.sim[u]) {
+        for (NodeId u2 : q.OutNeighbors(u)) {
+          const auto nbrs = local.OutNeighbors(lv);
+          if (!std::any_of(nbrs.begin(), nbrs.end(), [&](NodeId w) {
+                return restricted.Contains(u2, w);
+              }))
+            return false;
+        }
+        for (NodeId u2 : q.InNeighbors(u)) {
+          const auto nbrs = local.InNeighbors(lv);
+          if (!std::any_of(nbrs.begin(), nbrs.end(), [&](NodeId w) {
+                return restricted.Contains(u2, w);
+              }))
+            return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool DirectedCyclesPreserved(const Graph& q, const Graph& g,
+                             const MatchRelation& s) {
+  if (!HasDirectedCycle(q)) return true;
+  if (s.IsEmpty()) return true;
+  const MatchGraph mg = BuildMatchGraph(q, g, s);
+  const Graph local = MaterializeMatchGraph(mg, g, nullptr);
+  return HasDirectedCycle(local);
+}
+
+bool UndirectedCyclesPreserved(const Graph& q, const Graph& g,
+                               const MatchRelation& s) {
+  if (!HasUndirectedCycle(q)) return true;
+  if (s.IsEmpty()) return true;
+  const MatchGraph mg = BuildMatchGraph(q, g, s);
+  const Graph local = MaterializeMatchGraph(mg, g, nullptr);
+  return HasUndirectedCycle(local);
+}
+
+bool LocalityBounded(const Graph& q, const Graph& g,
+                     const std::vector<PerfectSubgraph>& subgraphs) {
+  // Prop 3's bound is about distances in G: every node of a perfect
+  // subgraph lies within dQ of the ball center, so any two nodes are
+  // within 2·dQ of each other *in G*. (The match graph itself may have a
+  // larger intrinsic diameter, since it drops non-matched connecting
+  // nodes.)
+  auto dq = Diameter(q);
+  if (!dq.ok()) return false;
+  for (const PerfectSubgraph& pg : subgraphs) {
+    std::vector<bool> within(g.num_nodes(), false);
+    for (const BfsEntry& e :
+         Bfs(g, pg.center, EdgeDirection::kUndirected, *dq)) {
+      within[e.node] = true;
+    }
+    for (NodeId v : pg.nodes) {
+      if (!within[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool MatchCountBounded(const Graph& g,
+                       const std::vector<PerfectSubgraph>& subgraphs) {
+  return subgraphs.size() <= g.num_nodes();
+}
+
+}  // namespace gpm

@@ -1,0 +1,54 @@
+// Topology-preservation criteria of paper §3.1 (the rows of Table 2),
+// expressed as executable checkers. The property tests run them against
+// all four matching notions; bench/table2_topology regenerates the table
+// empirically.
+
+#ifndef GPM_MATCHING_TOPOLOGY_H_
+#define GPM_MATCHING_TOPOLOGY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "matching/match_relation.h"
+#include "matching/strong_simulation.h"
+
+namespace gpm {
+
+/// Criterion 1 (children): every match of u has, for each query child u'
+/// of u, a child matching u'.
+bool ChildrenPreserved(const Graph& q, const Graph& g, const MatchRelation& s);
+
+/// Criterion 2 (parents): every match of u has, for each query parent u'
+/// of u, a parent matching u'.
+bool ParentsPreserved(const Graph& q, const Graph& g, const MatchRelation& s);
+
+/// Criterion 3 (connectivity), in the per-component form of Theorem 2:
+/// every connected component of the match graph w.r.t. s is, on its own, a
+/// total dual match of the (connected) pattern. Plain simulation violates
+/// this (Example 1); dual simulation satisfies it.
+bool ConnectivityPreserved(const Graph& q, const Graph& g,
+                           const MatchRelation& s);
+
+/// Criterion 4a (Prop 2): if q has a directed cycle, the match graph
+/// w.r.t. s contains one. Vacuously true when q is acyclic or s is empty.
+bool DirectedCyclesPreserved(const Graph& q, const Graph& g,
+                             const MatchRelation& s);
+
+/// Criterion 4b (Thm 3): if q has an undirected cycle, the match graph
+/// w.r.t. s contains one. Vacuously true when q has none or s is empty.
+bool UndirectedCyclesPreserved(const Graph& q, const Graph& g,
+                               const MatchRelation& s);
+
+/// Criterion 5 (Prop 3 locality): every perfect subgraph fits in the ball
+/// of radius dQ around its center, hence any two of its nodes are within
+/// 2 * dQ of each other in G.
+bool LocalityBounded(const Graph& q, const Graph& g,
+                     const std::vector<PerfectSubgraph>& subgraphs);
+
+/// Criterion 6 (Prop 4 bounded matches): |Θ| <= |V|.
+bool MatchCountBounded(const Graph& g,
+                       const std::vector<PerfectSubgraph>& subgraphs);
+
+}  // namespace gpm
+
+#endif  // GPM_MATCHING_TOPOLOGY_H_

@@ -1,0 +1,92 @@
+#include "quality/closeness.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace gpm {
+
+namespace {
+
+std::vector<NodeId> SortedUnique(std::vector<NodeId> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+uint64_t NodeSetHash(const std::vector<NodeId>& sorted_nodes) {
+  uint64_t h = 14695981039346656037ULL;
+  for (NodeId v : sorted_nodes) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<NodeId> MatchedNodes(const std::vector<Vf2Match>& matches) {
+  std::vector<NodeId> nodes;
+  for (const auto& m : matches) {
+    nodes.insert(nodes.end(), m.mapping.begin(), m.mapping.end());
+  }
+  return SortedUnique(std::move(nodes));
+}
+
+std::vector<NodeId> MatchedNodes(
+    const std::vector<PerfectSubgraph>& subgraphs) {
+  std::vector<NodeId> nodes;
+  for (const auto& pg : subgraphs) {
+    nodes.insert(nodes.end(), pg.nodes.begin(), pg.nodes.end());
+  }
+  return SortedUnique(std::move(nodes));
+}
+
+std::vector<NodeId> MatchedNodes(const MatchRelation& relation) {
+  std::vector<NodeId> nodes;
+  for (const auto& list : relation.sim) {
+    nodes.insert(nodes.end(), list.begin(), list.end());
+  }
+  return SortedUnique(std::move(nodes));
+}
+
+std::vector<NodeId> MatchedNodes(const std::vector<ApproxMatch>& matches) {
+  std::vector<NodeId> nodes;
+  for (const auto& m : matches) {
+    for (NodeId v : m.mapping) {
+      if (v != kInvalidNode) nodes.push_back(v);
+    }
+  }
+  return SortedUnique(std::move(nodes));
+}
+
+double Closeness(const std::vector<NodeId>& iso_nodes,
+                 const std::vector<NodeId>& algo_nodes) {
+  if (algo_nodes.empty()) return iso_nodes.empty() ? 1.0 : 0.0;
+  return static_cast<double>(iso_nodes.size()) /
+         static_cast<double>(algo_nodes.size());
+}
+
+size_t CountDistinctSubgraphs(const std::vector<Vf2Match>& matches) {
+  std::unordered_set<uint64_t> seen;
+  for (const auto& m : matches) {
+    std::vector<NodeId> nodes = m.mapping;
+    std::sort(nodes.begin(), nodes.end());
+    seen.insert(NodeSetHash(nodes));
+  }
+  return seen.size();
+}
+
+size_t CountDistinctSubgraphs(const std::vector<PerfectSubgraph>& subgraphs) {
+  std::unordered_set<uint64_t> seen;
+  for (const auto& pg : subgraphs) seen.insert(NodeSetHash(pg.nodes));
+  return seen.size();
+}
+
+size_t CountDistinctSubgraphs(const std::vector<ApproxMatch>& matches) {
+  std::unordered_set<uint64_t> seen;
+  for (const auto& m : matches) seen.insert(NodeSetHash(m.MatchedDataNodes()));
+  return seen.size();
+}
+
+}  // namespace gpm

@@ -1,0 +1,47 @@
+// The Exp-1 match-quality metrics (paper §5):
+//
+//   closeness = #matches_subIso / #matches_found
+//
+// where both counts are total numbers of (distinct) nodes in the matches
+// found by VF2 and by the algorithm under comparison. VF2's own closeness
+// is 1 by construction; Prop 1 puts Match and Sim at <= 1.
+
+#ifndef GPM_QUALITY_CLOSENESS_H_
+#define GPM_QUALITY_CLOSENESS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "isomorphism/approximate.h"
+#include "isomorphism/vf2.h"
+#include "matching/match_relation.h"
+#include "matching/strong_simulation.h"
+
+namespace gpm {
+
+/// Distinct data nodes across VF2 embeddings, sorted.
+std::vector<NodeId> MatchedNodes(const std::vector<Vf2Match>& matches);
+
+/// Distinct data nodes across perfect subgraphs, sorted.
+std::vector<NodeId> MatchedNodes(const std::vector<PerfectSubgraph>& subgraphs);
+
+/// Distinct data nodes in a match relation, sorted.
+std::vector<NodeId> MatchedNodes(const MatchRelation& relation);
+
+/// Distinct data nodes across approximate matches, sorted.
+std::vector<NodeId> MatchedNodes(const std::vector<ApproxMatch>& matches);
+
+/// closeness = |iso_nodes| / |algo_nodes|. Conventions: 1 when both are
+/// empty (vacuous agreement), 0 when only the algorithm found nothing.
+double Closeness(const std::vector<NodeId>& iso_nodes,
+                 const std::vector<NodeId>& algo_nodes);
+
+/// Number of distinct matched subgraphs (the Fig. 7(i)-(n) metric),
+/// deduplicated by node set.
+size_t CountDistinctSubgraphs(const std::vector<Vf2Match>& matches);
+size_t CountDistinctSubgraphs(const std::vector<PerfectSubgraph>& subgraphs);
+size_t CountDistinctSubgraphs(const std::vector<ApproxMatch>& matches);
+
+}  // namespace gpm
+
+#endif  // GPM_QUALITY_CLOSENESS_H_

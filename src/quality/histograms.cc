@@ -1,0 +1,42 @@
+#include "quality/histograms.h"
+
+#include <algorithm>
+
+namespace gpm {
+
+size_t SizeHistogram::BucketOf(size_t size) {
+  if (size >= 50) return 5;
+  return size / 10;
+}
+
+const std::array<const char*, SizeHistogram::kNumBuckets>&
+SizeHistogram::BucketNames() {
+  static const std::array<const char*, kNumBuckets> kNames = {
+      "[0,9]", "[10,19]", "[20,29]", "[30,39]", "[40,49]", ">=50"};
+  return kNames;
+}
+
+void SizeHistogram::Add(size_t size) {
+  ++counts_[BucketOf(size)];
+  raw_sizes_.push_back(size);
+}
+
+void SizeHistogram::AddAll(const std::vector<PerfectSubgraph>& subgraphs) {
+  for (const auto& pg : subgraphs) Add(pg.nodes.size());
+}
+
+size_t SizeHistogram::Total() const {
+  size_t total = 0;
+  for (size_t c : counts_) total += c;
+  return total;
+}
+
+double SizeHistogram::FractionBelow(size_t limit) const {
+  if (raw_sizes_.empty()) return 0.0;
+  const size_t below = static_cast<size_t>(
+      std::count_if(raw_sizes_.begin(), raw_sizes_.end(),
+                    [limit](size_t s) { return s < limit; }));
+  return static_cast<double>(below) / static_cast<double>(raw_sizes_.size());
+}
+
+}  // namespace gpm

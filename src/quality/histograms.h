@@ -1,0 +1,46 @@
+// Size histogram with the paper's Table 3 buckets:
+// [0,9] [10,19] [20,29] [30,39] [40,49] >=50.
+
+#ifndef GPM_QUALITY_HISTOGRAMS_H_
+#define GPM_QUALITY_HISTOGRAMS_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "matching/strong_simulation.h"
+
+namespace gpm {
+
+/// \brief Fixed-bucket histogram of matched-subgraph sizes (node counts).
+class SizeHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 6;
+
+  /// Bucket index for a subgraph of `size` nodes.
+  static size_t BucketOf(size_t size);
+
+  /// Bucket labels as printed in Table 3.
+  static const std::array<const char*, kNumBuckets>& BucketNames();
+
+  void Add(size_t size);
+
+  /// Records the node count of every perfect subgraph.
+  void AddAll(const std::vector<PerfectSubgraph>& subgraphs);
+
+  size_t Count(size_t bucket) const { return counts_[bucket]; }
+  size_t Total() const;
+
+  /// Fraction of recorded sizes strictly below `limit` nodes (the paper's
+  /// "over 80% of matches have less than 30 nodes" claim).
+  double FractionBelow(size_t limit) const;
+
+ private:
+  std::array<size_t, kNumBuckets> counts_{};
+  std::vector<size_t> raw_sizes_;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_QUALITY_HISTOGRAMS_H_

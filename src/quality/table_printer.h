@@ -1,0 +1,30 @@
+// Aligned plain-text tables for the benchmark harnesses' paper-style
+// output.
+
+#ifndef GPM_QUALITY_TABLE_PRINTER_H_
+#define GPM_QUALITY_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace gpm {
+
+/// \brief Collects rows, then renders with per-column padding.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Number of cells must equal the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline; every column right-padded.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_QUALITY_TABLE_PRINTER_H_

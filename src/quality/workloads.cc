@@ -1,0 +1,63 @@
+#include "quality/workloads.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "graph/generator.h"
+
+namespace gpm {
+
+const char* DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kAmazonLike:
+      return "amazon-like";
+    case DatasetKind::kYouTubeLike:
+      return "youtube-like";
+    case DatasetKind::kUniform:
+      return "synthetic";
+  }
+  return "?";
+}
+
+BenchScale BenchScale::FromEnv() {
+  BenchScale scale;
+  const char* env = std::getenv("GPM_SCALE");
+  scale.full = env != nullptr && std::strcmp(env, "full") == 0;
+  return scale;
+}
+
+uint32_t ScaledLabelCount(uint32_t n) {
+  // Paper scale: 200 labels over ~10^5 nodes -> classes of ~500. Keep the
+  // class size comparable when n shrinks.
+  const uint32_t proportional = n / 400;
+  return std::clamp<uint32_t>(proportional, 8, kDefaultNumLabels);
+}
+
+Graph MakeDataset(DatasetKind kind, uint32_t n, uint64_t seed, double alpha,
+                  uint32_t num_labels) {
+  if (num_labels == 0) num_labels = kDefaultNumLabels;
+  switch (kind) {
+    case DatasetKind::kAmazonLike:
+      return MakeAmazonLike(n, seed, num_labels);
+    case DatasetKind::kYouTubeLike:
+      return MakeYouTubeLike(n, seed, num_labels);
+    case DatasetKind::kUniform:
+      return MakeUniform(n, alpha, num_labels, seed);
+  }
+  return Graph();
+}
+
+std::vector<Graph> MakePatternWorkload(const Graph& g, uint32_t nq,
+                                       size_t count, uint64_t seed) {
+  std::vector<Graph> patterns;
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    auto q = ExtractPattern(g, nq, &rng);
+    if (!q.ok()) break;
+    patterns.push_back(std::move(*q));
+  }
+  return patterns;
+}
+
+}  // namespace gpm

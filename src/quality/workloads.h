@@ -1,0 +1,58 @@
+// Shared experiment scaffolding for the bench/ harnesses: dataset
+// construction, pattern workloads and the GPM_SCALE environment knob.
+//
+// Default ("small") sizes keep the full bench sweep in laptop-scale
+// minutes; GPM_SCALE=full approaches the paper's dataset sizes.
+
+#ifndef GPM_QUALITY_WORKLOADS_H_
+#define GPM_QUALITY_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace gpm {
+
+/// Which data-graph family an experiment runs on.
+enum class DatasetKind {
+  kAmazonLike,   ///< co-purchase network stand-in (see DESIGN.md §3)
+  kYouTubeLike,  ///< related-video network stand-in
+  kUniform,      ///< the paper's synthetic generator (n, n^alpha, l)
+};
+
+const char* DatasetName(DatasetKind kind);
+
+/// \brief Scale selector: reads GPM_SCALE ("small" default, "full" for
+/// paper-sized runs).
+struct BenchScale {
+  bool full = false;
+  static BenchScale FromEnv();
+  /// Picks between the small and full variant of a size parameter.
+  uint32_t Pick(uint32_t small, uint32_t full_size) const {
+    return full ? full_size : small;
+  }
+};
+
+/// Builds a dataset of the given kind and size, deterministically in seed.
+/// For kUniform, alpha is the density exponent (edges = n^alpha).
+/// num_labels == 0 means "the paper's 200".
+Graph MakeDataset(DatasetKind kind, uint32_t n, uint64_t seed,
+                  double alpha = 1.2, uint32_t num_labels = 0);
+
+/// Label count that keeps |V|/l (label-class size, hence match
+/// combinatorics) in the paper's regime: 200 labels at paper scale
+/// (>= 80k nodes), proportionally fewer below, never under 8.
+uint32_t ScaledLabelCount(uint32_t n);
+
+/// Extracts `count` connected patterns of `nq` nodes from g (guaranteeing
+/// isomorphic matches exist); falls back to fewer patterns if g is too
+/// fragmented.
+std::vector<Graph> MakePatternWorkload(const Graph& g, uint32_t nq,
+                                       size_t count, uint64_t seed);
+
+}  // namespace gpm
+
+#endif  // GPM_QUALITY_WORKLOADS_H_

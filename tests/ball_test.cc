@@ -1,0 +1,113 @@
+#include "matching/ball.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.h"
+#include "graph/traversal.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(BallTest, RadiusZeroIsJustTheCenter) {
+  Graph g = MakeGraph({0, 0}, {{0, 1}});
+  BallBuilder builder(g);
+  Ball ball;
+  builder.Build(0, 0, &ball);
+  EXPECT_EQ(ball.graph.num_nodes(), 1u);
+  EXPECT_EQ(ball.to_global[ball.LocalCenter()], 0u);
+  EXPECT_TRUE(ball.is_border[0]);  // distance 0 == radius 0
+}
+
+TEST(BallTest, UsesUndirectedDistance) {
+  // 0 <- 1 -> 2: ball around 0 with radius 1 contains 1 (in-neighbor).
+  Graph g = MakeGraph({0, 0, 0}, {{1, 0}, {1, 2}});
+  BallBuilder builder(g);
+  Ball ball;
+  builder.Build(0, 1, &ball);
+  std::set<NodeId> nodes(ball.to_global.begin(), ball.to_global.end());
+  EXPECT_EQ(nodes, (std::set<NodeId>{0, 1}));
+}
+
+TEST(BallTest, KeepsAllInducedEdges) {
+  // Triangle plus a pendant; ball of radius 1 around node 0 keeps every
+  // edge among {0,1,2} including 1->2, which no BFS tree would contain.
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  BallBuilder builder(g);
+  Ball ball;
+  builder.Build(0, 1, &ball);
+  EXPECT_EQ(ball.graph.num_nodes(), 3u);
+  EXPECT_EQ(ball.graph.num_edges(), 3u);
+}
+
+TEST(BallTest, BorderMarksExactRadiusNodes) {
+  // Chain 0-1-2-3: radius-2 ball around 0 = {0,1,2}, border = {2}.
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}});
+  BallBuilder builder(g);
+  Ball ball;
+  builder.Build(0, 2, &ball);
+  ASSERT_EQ(ball.graph.num_nodes(), 3u);
+  std::vector<NodeId> border = ball.BorderNodes();
+  ASSERT_EQ(border.size(), 1u);
+  EXPECT_EQ(ball.to_global[border[0]], 2u);
+}
+
+TEST(BallTest, LargeRadiusCapturesComponentOnly) {
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {2, 3}});
+  BallBuilder builder(g);
+  Ball ball;
+  builder.Build(0, 100, &ball);
+  EXPECT_EQ(ball.graph.num_nodes(), 2u);
+  EXPECT_TRUE(ball.BorderNodes().empty());  // nothing at distance 100
+}
+
+TEST(BallTest, CenterIsLocalZero) {
+  Graph g = MakeUniform(200, 1.2, 5, 3);
+  BallBuilder builder(g);
+  Ball ball;
+  for (NodeId w : {0u, 17u, 93u, 199u}) {
+    builder.Build(w, 2, &ball);
+    EXPECT_EQ(ball.to_global[ball.LocalCenter()], w);
+  }
+}
+
+TEST(BallTest, BuilderReusableAndConsistentWithBfs) {
+  Graph g = MakeUniform(300, 1.25, 5, 11);
+  BallBuilder builder(g);
+  Ball ball;
+  for (NodeId w = 0; w < 50; ++w) {
+    builder.Build(w, 2, &ball);
+    auto bfs = Bfs(g, w, EdgeDirection::kUndirected, 2);
+    EXPECT_EQ(ball.graph.num_nodes(), bfs.size()) << "center " << w;
+    // Border flags match BFS distances.
+    std::set<NodeId> expected_border;
+    for (const auto& e : bfs) {
+      if (e.distance == 2) expected_border.insert(e.node);
+    }
+    std::set<NodeId> actual_border;
+    for (NodeId b : ball.BorderNodes()) actual_border.insert(ball.to_global[b]);
+    EXPECT_EQ(actual_border, expected_border) << "center " << w;
+  }
+}
+
+TEST(BallTest, InducedEdgeCountMatchesManualFilter) {
+  Graph g = MakeUniform(200, 1.3, 4, 13);
+  BallBuilder builder(g);
+  Ball ball;
+  builder.Build(42, 2, &ball);
+  std::set<NodeId> members(ball.to_global.begin(), ball.to_global.end());
+  size_t expected_edges = 0;
+  for (NodeId u : members) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (members.count(v)) ++expected_edges;
+    }
+  }
+  EXPECT_EQ(ball.graph.num_edges(), expected_edges);
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,90 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gpm {
+namespace {
+
+TEST(DynamicBitsetTest, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+}
+
+TEST(DynamicBitsetTest, SetTestClear) {
+  DynamicBitset b(130);  // spans three words
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, ResetClearsAll) {
+  DynamicBitset b(70);
+  b.Set(5);
+  b.Set(69);
+  b.Reset();
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.size(), 70u);
+}
+
+TEST(DynamicBitsetTest, IntersectsDetectsSharedBit) {
+  DynamicBitset a(200), b(200);
+  a.Set(150);
+  b.Set(151);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(150);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(DynamicBitsetTest, OrAndOperators) {
+  DynamicBitset a(80), b(80);
+  a.Set(1);
+  a.Set(70);
+  b.Set(70);
+  b.Set(2);
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_TRUE(u.Test(1));
+  EXPECT_TRUE(u.Test(2));
+  EXPECT_TRUE(u.Test(70));
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_FALSE(i.Test(1));
+  EXPECT_FALSE(i.Test(2));
+  EXPECT_TRUE(i.Test(70));
+}
+
+TEST(DynamicBitsetTest, ForEachVisitsInOrder) {
+  DynamicBitset b(300);
+  std::vector<size_t> expected{0, 63, 64, 128, 299};
+  for (size_t i : expected) b.Set(i);
+  std::vector<size_t> seen;
+  b.ForEach([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynamicBitsetTest, EqualityComparesContentAndSize) {
+  DynamicBitset a(64), b(64), c(65);
+  a.Set(10);
+  b.Set(10);
+  EXPECT_EQ(a, b);
+  b.Set(11);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,116 @@
+#include "matching/bounded_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "matching/simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MatchesOf;
+
+// Builds a pattern with explicit hop bounds on edges.
+Graph BoundedPattern(
+    std::initializer_list<Label> labels,
+    std::initializer_list<std::tuple<NodeId, NodeId, EdgeLabel>> edges) {
+  Graph q;
+  for (Label l : labels) q.AddNode(l);
+  for (const auto& [u, v, b] : edges) q.AddEdge(u, v, b);
+  q.Finalize();
+  return q;
+}
+
+TEST(BoundedSimulationTest, BoundOneEqualsPlainSimulation) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Graph g = MakeUniform(60, 1.3, 3, seed);
+    std::vector<Label> pool{0, 1, 2};
+    Graph q = RandomPattern(4, 1.25, pool, seed + 900);
+    // RandomPattern emits edge label 0 == bound 1 everywhere.
+    auto bounded = ComputeBoundedSimulation(q, g);
+    auto plain = ComputeSimulation(q, g);
+    EXPECT_EQ(bounded.sim, plain.sim) << "seed " << seed;
+  }
+}
+
+TEST(BoundedSimulationTest, TwoHopEdgeMatchesPath) {
+  // a -[<=2]-> b across a chain a -> x -> b.
+  Graph q = BoundedPattern({1, 2}, {{0, 1, 2}});
+  Graph g = testutil::MakeGraph({1, 9, 2}, {{0, 1}, {1, 2}});
+  auto s = ComputeBoundedSimulation(q, g);
+  EXPECT_TRUE(s.IsTotal());
+  EXPECT_EQ(MatchesOf(s, 0), (std::set<NodeId>{0}));
+  // Plain simulation rejects: no direct edge.
+  Graph q1 = BoundedPattern({1, 2}, {{0, 1, 0}});
+  EXPECT_FALSE(GraphSimulates(q1, g));
+}
+
+TEST(BoundedSimulationTest, BoundIsRespected) {
+  // a -[<=2]-> b but the only b is 3 hops away.
+  Graph q = BoundedPattern({1, 2}, {{0, 1, 2}});
+  Graph g = testutil::MakeGraph({1, 9, 9, 2}, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_FALSE(ComputeBoundedSimulation(q, g).IsTotal());
+}
+
+TEST(BoundedSimulationTest, UnboundedEdgeIsReachability) {
+  Graph q = BoundedPattern({1, 2}, {{0, 1, kUnboundedHops}});
+  Graph far = testutil::MakeGraph({1, 9, 9, 9, 2},
+                                  {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_TRUE(ComputeBoundedSimulation(q, far).IsTotal());
+  Graph unreachable = testutil::MakeGraph({1, 2}, {{1, 0}});
+  EXPECT_FALSE(ComputeBoundedSimulation(q, unreachable).IsTotal());
+}
+
+TEST(BoundedSimulationTest, CycleSatisfiesSelfEdge) {
+  // a -[<=3]-> a: needs a directed cycle of length <= 3 through label a...
+  Graph q = BoundedPattern({1}, {{0, 0, 3}});
+  Graph triangle = testutil::MakeGraph({1, 1, 1}, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_TRUE(ComputeBoundedSimulation(q, triangle).IsTotal());
+  Graph chain = testutil::MakeGraph({1, 1, 1}, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(ComputeBoundedSimulation(q, chain).IsTotal());
+}
+
+TEST(BoundedSimulationTest, WitnessMustBeMatchedNotJustLabelled) {
+  // a -[<=2]-> b, b -> c. A b-node without a c-child is not a witness.
+  Graph q = BoundedPattern({1, 2, 3}, {{0, 1, 2}, {1, 2, 0}});
+  // Node 1 is a b reachable in 1 hop but has no c-child; node 3 is a b
+  // reachable in 2 hops with a c-child.
+  Graph g = testutil::MakeGraph({1, 2, 9, 2, 3},
+                                {{0, 1}, {0, 2}, {2, 3}, {3, 4}});
+  auto s = ComputeBoundedSimulation(q, g);
+  ASSERT_TRUE(s.IsTotal());
+  EXPECT_EQ(MatchesOf(s, 1), (std::set<NodeId>{3}));
+}
+
+TEST(BoundedSimulationTest, HopBoundHelper) {
+  EXPECT_EQ(HopBound(0), 1u);
+  EXPECT_EQ(HopBound(5), 5u);
+  EXPECT_EQ(HopBound(kUnboundedHops), kUnboundedHops);
+}
+
+TEST(BoundedSimulationTest, LooserBoundsMatchMore) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = MakeUniform(60, 1.3, 3, seed);
+    // Same shape, bounds 1 vs 3 on every edge.
+    std::vector<Label> pool{0, 1, 2};
+    Graph base = RandomPattern(4, 1.25, pool, seed + 950);
+    Graph loose;
+    for (NodeId v = 0; v < base.num_nodes(); ++v) loose.AddNode(base.label(v));
+    for (NodeId u = 0; u < base.num_nodes(); ++u) {
+      for (NodeId v : base.OutNeighbors(u)) loose.AddEdge(u, v, 3);
+    }
+    loose.Finalize();
+    auto tight_rel = ComputeBoundedSimulation(base, g);
+    auto loose_rel = ComputeBoundedSimulation(loose, g);
+    if (!tight_rel.IsTotal()) continue;
+    for (NodeId u = 0; u < base.num_nodes(); ++u) {
+      for (NodeId v : tight_rel.sim[u]) {
+        EXPECT_TRUE(loose_rel.Contains(u, v)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpm

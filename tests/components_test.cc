@@ -1,0 +1,110 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  Graph g = MakeGraph({0, 0, 0}, {{0, 1}, {2, 1}});
+  auto cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 1u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ConnectedComponentsTest, MultipleComponents) {
+  Graph g = MakeGraph({0, 0, 0, 0, 0}, {{0, 1}, {2, 3}});
+  auto cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 3u);
+  EXPECT_EQ(cc.component_of[0], cc.component_of[1]);
+  EXPECT_EQ(cc.component_of[2], cc.component_of[3]);
+  EXPECT_NE(cc.component_of[0], cc.component_of[2]);
+  EXPECT_NE(cc.component_of[4], cc.component_of[0]);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ConnectedComponentsTest, EmptyGraphIsNotConnected) {
+  Graph g;
+  g.Finalize();
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_EQ(ConnectedComponents(g).num_components, 0u);
+}
+
+TEST(ConnectedComponentsTest, NodesInRecoversMembers) {
+  Graph g = MakeGraph({0, 0, 0}, {{0, 2}});
+  auto cc = ConnectedComponents(g);
+  auto members = cc.NodesIn(cc.component_of[0]);
+  EXPECT_EQ(members, (std::vector<NodeId>{0, 2}));
+}
+
+TEST(SccTest, CycleIsOneScc) {
+  Graph g = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {2, 0}});
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(SccTest, DagHasSingletonSccs) {
+  Graph g = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 3u);
+}
+
+TEST(SccTest, MixedGraph) {
+  // SCCs: {0,1} (2-cycle), {2}, {3,4,5} (3-cycle).
+  Graph g = MakeGraph({0, 0, 0, 0, 0, 0},
+                      {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 3}});
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 3u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[3], scc.component_of[4]);
+  EXPECT_EQ(scc.component_of[3], scc.component_of[5]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[2]);
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  Graph g;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) g.AddNode(0);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  g.Finalize();
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, static_cast<uint32_t>(n));
+}
+
+TEST(DirectedCycleTest, DetectsCycleAndSelfLoop) {
+  EXPECT_TRUE(HasDirectedCycle(
+      MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {2, 0}})));
+  EXPECT_TRUE(HasDirectedCycle(MakeGraph({0}, {{0, 0}})));
+  EXPECT_FALSE(HasDirectedCycle(MakeGraph({0, 0, 0}, {{0, 1}, {0, 2}, {1, 2}})));
+}
+
+TEST(DirectedCycleTest, TwoCycle) {
+  EXPECT_TRUE(HasDirectedCycle(MakeGraph({0, 0}, {{0, 1}, {1, 0}})));
+}
+
+TEST(UndirectedCycleTest, TreeHasNone) {
+  EXPECT_FALSE(
+      HasUndirectedCycle(MakeGraph({0, 0, 0, 0}, {{0, 1}, {0, 2}, {2, 3}})));
+}
+
+TEST(UndirectedCycleTest, DiamondHasOne) {
+  // 0->1, 0->2, 1->3, 2->3: undirected cycle 0-1-3-2-0.
+  EXPECT_TRUE(HasUndirectedCycle(
+      MakeGraph({0, 0, 0, 0}, {{0, 1}, {0, 2}, {1, 3}, {2, 3}})));
+}
+
+TEST(UndirectedCycleTest, AntiparallelPairCounts) {
+  // The paper's Q3: u <-> v is an undirected 2-cycle.
+  EXPECT_TRUE(HasUndirectedCycle(MakeGraph({0, 0}, {{0, 1}, {1, 0}})));
+}
+
+TEST(UndirectedCycleTest, SelfLoopCounts) {
+  EXPECT_TRUE(HasUndirectedCycle(MakeGraph({0}, {{0, 0}})));
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,80 @@
+#include "graph/csr_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(CsrGraphTest, EmptyGraph) {
+  Graph g;
+  g.Finalize();
+  CsrGraph csr = CsrGraph::FromGraph(g);
+  EXPECT_EQ(csr.num_nodes(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+TEST(CsrGraphTest, PreservesAdjacency) {
+  Graph g = MakeGraph({1, 2, 3}, {{0, 1}, {0, 2}, {2, 1}});
+  CsrGraph csr = CsrGraph::FromGraph(g);
+  EXPECT_EQ(csr.num_nodes(), 3u);
+  EXPECT_EQ(csr.num_edges(), 3u);
+  EXPECT_EQ(csr.label(2), 3u);
+  auto out0 = csr.OutNeighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(out0.begin(), out0.end()),
+            (std::vector<NodeId>{1, 2}));
+  auto in1 = csr.InNeighbors(1);
+  EXPECT_EQ(std::vector<NodeId>(in1.begin(), in1.end()),
+            (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(csr.OutDegree(0), 2u);
+  EXPECT_EQ(csr.InDegree(1), 2u);
+  EXPECT_TRUE(csr.HasEdge(0, 2));
+  EXPECT_FALSE(csr.HasEdge(1, 0));
+}
+
+TEST(CsrGraphTest, PreservesEdgeLabels) {
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(0);
+  g.AddEdge(0, 1, 7);
+  g.Finalize();
+  CsrGraph csr = CsrGraph::FromGraph(g);
+  ASSERT_EQ(csr.OutEdgeLabels(0).size(), 1u);
+  EXPECT_EQ(csr.OutEdgeLabels(0)[0], 7u);
+}
+
+TEST(CsrGraphTest, RoundTripThroughGraph) {
+  Graph g = MakeAmazonLike(2000, 5);
+  CsrGraph csr = CsrGraph::FromGraph(g);
+  Graph back = csr.ToGraph();
+  EXPECT_TRUE(g.StructurallyEqual(back, /*compare_edge_labels=*/true));
+}
+
+TEST(CsrGraphTest, AgreesWithGraphOnRandomQueries) {
+  Graph g = MakeUniform(500, 1.3, 5, 9);
+  CsrGraph csr = CsrGraph::FromGraph(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(csr.OutDegree(v), g.OutDegree(v));
+    EXPECT_EQ(csr.InDegree(v), g.InDegree(v));
+    EXPECT_EQ(csr.label(v), g.label(v));
+    auto a = csr.OutNeighbors(v);
+    auto b = g.OutNeighbors(v);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(CsrGraphTest, MemoryFootprintIsReported) {
+  Graph g = MakeAmazonLike(5000, 11);
+  CsrGraph csr = CsrGraph::FromGraph(g);
+  const size_t bytes = csr.MemoryBytes();
+  // Lower bound: labels + both target arrays.
+  EXPECT_GE(bytes, g.num_nodes() * sizeof(Label) +
+                       2 * g.num_edges() * sizeof(NodeId));
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,72 @@
+#include "graph/diameter.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/paper_graphs.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(DiameterTest, SingleNodeIsZero) {
+  Graph g = MakeGraph({0}, {});
+  ASSERT_TRUE(Diameter(g).ok());
+  EXPECT_EQ(*Diameter(g), 0u);
+}
+
+TEST(DiameterTest, DirectedChainUsesUndirectedDistance) {
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(*Diameter(g), 3u);
+}
+
+TEST(DiameterTest, OppositeArcsStillCount) {
+  // 0 -> 1 <- 2: undirected path 0-1-2 gives diameter 2.
+  Graph g = MakeGraph({0, 0, 0}, {{0, 1}, {2, 1}});
+  EXPECT_EQ(*Diameter(g), 2u);
+}
+
+TEST(DiameterTest, CycleOfFive) {
+  Graph g = MakeGraph({0, 0, 0, 0, 0},
+                      {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  EXPECT_EQ(*Diameter(g), 2u);
+}
+
+TEST(DiameterTest, StarIsTwo) {
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(*Diameter(g), 2u);
+}
+
+TEST(DiameterTest, DisconnectedIsError) {
+  Graph g = MakeGraph({0, 0}, {});
+  EXPECT_FALSE(Diameter(g).ok());
+  EXPECT_TRUE(Diameter(g).status().IsInvalidArgument());
+}
+
+TEST(DiameterTest, EmptyIsError) {
+  Graph g;
+  g.Finalize();
+  EXPECT_FALSE(Diameter(g).ok());
+}
+
+TEST(EccentricityTest, CenterOfStarIsOne) {
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(*Eccentricity(g, 0), 1u);
+  EXPECT_EQ(*Eccentricity(g, 1), 2u);
+}
+
+TEST(DiameterTest, PaperQ1HasDiameterThree) {
+  EXPECT_EQ(*Diameter(paper::Fig1().pattern), 3u);
+}
+
+TEST(DiameterTest, PaperQ3HasDiameterOne) {
+  EXPECT_EQ(*Diameter(paper::Fig2Q3().pattern), 1u);
+}
+
+TEST(DiameterTest, PaperQ4HasDiameterTwo) {
+  EXPECT_EQ(*Diameter(paper::Fig2Q4().pattern), 2u);
+}
+
+}  // namespace
+}  // namespace gpm

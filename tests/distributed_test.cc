@@ -1,0 +1,149 @@
+#include "distributed/distributed_match.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "graph/paper_graphs.h"
+#include "matching/strong_simulation.h"
+#include "quality/workloads.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::CanonicalResult;
+
+void ExpectMatchesCentralized(const Graph& q, const Graph& g,
+                              const DistributedOptions& options) {
+  auto central = MatchStrong(q, g);
+  ASSERT_TRUE(central.ok());
+  auto distributed = MatchStrongDistributed(q, g, options);
+  ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+  EXPECT_EQ(CanonicalResult(*distributed), CanonicalResult(*central));
+}
+
+TEST(DistributedMatchTest, RejectsBadInputs) {
+  Graph q = testutil::MakeGraph({1}, {});
+  Graph g = testutil::MakeGraph({1}, {});
+  DistributedOptions zero_sites;
+  zero_sites.num_sites = 0;
+  EXPECT_TRUE(
+      MatchStrongDistributed(q, g, zero_sites).status().IsInvalidArgument());
+  Graph disconnected = testutil::MakeGraph({1, 2}, {});
+  EXPECT_TRUE(
+      MatchStrongDistributed(disconnected, g).status().IsInvalidArgument());
+}
+
+TEST(DistributedMatchTest, SingleSiteEqualsCentralized) {
+  paper::Example ex = paper::Fig1();
+  DistributedOptions options;
+  options.num_sites = 1;
+  ExpectMatchesCentralized(ex.pattern, ex.data, options);
+}
+
+TEST(DistributedMatchTest, PaperFig1AcrossSiteCounts) {
+  paper::Example ex = paper::Fig1();
+  for (uint32_t k : {2u, 3u, 5u}) {
+    DistributedOptions options;
+    options.num_sites = k;
+    ExpectMatchesCentralized(ex.pattern, ex.data, options);
+  }
+}
+
+TEST(DistributedMatchTest, AllPartitionStrategiesAgree) {
+  Graph g = MakeAmazonLike(600, 3);
+  auto patterns = MakePatternWorkload(g, 4, 2, 4);
+  ASSERT_FALSE(patterns.empty());
+  for (const Graph& q : patterns) {
+    for (PartitionStrategy strategy :
+         {PartitionStrategy::kHash, PartitionStrategy::kChunk,
+          PartitionStrategy::kBfs}) {
+      DistributedOptions options;
+      options.num_sites = 4;
+      options.strategy = strategy;
+      ExpectMatchesCentralized(q, g, options);
+    }
+  }
+}
+
+TEST(DistributedMatchTest, RandomGraphSweep) {
+  std::vector<Label> pool{0, 1, 2};
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = MakeUniform(150, 1.3, 3, seed);
+    Graph q = RandomPattern(4, 1.25, pool, seed + 5000);
+    DistributedOptions options;
+    options.num_sites = 3;
+    options.partition_seed = seed;
+    ExpectMatchesCentralized(q, g, options);
+  }
+}
+
+TEST(DistributedMatchTest, SequentialModeMatchesParallel) {
+  Graph g = MakeYouTubeLike(300, 7);
+  auto patterns = MakePatternWorkload(g, 4, 1, 8);
+  ASSERT_FALSE(patterns.empty());
+  DistributedOptions par, seq;
+  par.num_sites = seq.num_sites = 4;
+  seq.parallel = false;
+  auto a = MatchStrongDistributed(patterns[0], g, par);
+  auto b = MatchStrongDistributed(patterns[0], g, seq);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(CanonicalResult(*a), CanonicalResult(*b));
+}
+
+TEST(DistributedMatchTest, StatsAccounting) {
+  Graph g = MakeAmazonLike(500, 9);
+  auto patterns = MakePatternWorkload(g, 4, 1, 10);
+  ASSERT_FALSE(patterns.empty());
+  DistributedOptions options;
+  options.num_sites = 4;
+  DistributedStats stats;
+  auto result = MatchStrongDistributed(patterns[0], g, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.balls_per_site.size(), 4u);
+  EXPECT_GT(stats.bytes_pattern_broadcast, 0u);
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_EQ(stats.bytes_total,
+            stats.bytes_pattern_broadcast + stats.bytes_node_requests +
+                stats.bytes_node_records + stats.bytes_partial_results);
+  EXPECT_GT(stats.halo_rounds, 0u);
+  EXPECT_GT(stats.cut_edges, 0u);
+}
+
+TEST(DistributedMatchTest, SingleSiteShipsNoNeighborData) {
+  // Data locality: with one site there are no cross-fragment balls, so no
+  // node records move at all — only the broadcast and the final results.
+  Graph g = MakeAmazonLike(400, 11);
+  auto patterns = MakePatternWorkload(g, 4, 1, 12);
+  ASSERT_FALSE(patterns.empty());
+  DistributedOptions options;
+  options.num_sites = 1;
+  DistributedStats stats;
+  auto result = MatchStrongDistributed(patterns[0], g, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.bytes_node_requests, 0u);
+  EXPECT_EQ(stats.bytes_node_records, 0u);
+  EXPECT_EQ(stats.cut_edges, 0u);
+}
+
+TEST(DistributedMatchTest, FewerCutEdgesShipFewerBytes) {
+  // BFS partitioning cuts fewer edges than hash partitioning on clustered
+  // data, so its halo exchange ships fewer record bytes.
+  Graph g = MakeAmazonLike(2000, 13);
+  auto patterns = MakePatternWorkload(g, 4, 1, 14);
+  ASSERT_FALSE(patterns.empty());
+  DistributedStats hash_stats, bfs_stats;
+  DistributedOptions hash_opt, bfs_opt;
+  hash_opt.num_sites = bfs_opt.num_sites = 4;
+  hash_opt.strategy = PartitionStrategy::kHash;
+  bfs_opt.strategy = PartitionStrategy::kBfs;
+  ASSERT_TRUE(
+      MatchStrongDistributed(patterns[0], g, hash_opt, &hash_stats).ok());
+  ASSERT_TRUE(MatchStrongDistributed(patterns[0], g, bfs_opt, &bfs_stats).ok());
+  EXPECT_LT(bfs_stats.cut_edges, hash_stats.cut_edges);
+  EXPECT_LT(bfs_stats.bytes_node_records, hash_stats.bytes_node_records);
+}
+
+}  // namespace
+}  // namespace gpm

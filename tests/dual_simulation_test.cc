@@ -1,0 +1,122 @@
+#include "matching/dual_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "graph/generator.h"
+#include "matching/reference.h"
+#include "matching/simulation.h"
+#include "matching/topology.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+using testutil::MatchesOf;
+
+TEST(DualSimulationTest, ParentConditionFilters) {
+  // Pattern a -> b: under dual simulation a b-match needs an a-parent.
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2, 2}, {{0, 1}});  // node 2 is an orphan b
+  auto s = ComputeDualSimulation(q, g);
+  EXPECT_EQ(MatchesOf(s, 1), (std::set<NodeId>{1}));
+}
+
+TEST(DualSimulationTest, ContainedInSimulation) {
+  // Prop 1(3): ≺D ⊆ ≺.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Graph g = MakeUniform(80, 1.25, 4, seed);
+    std::vector<Label> pool{0, 1, 2, 3};
+    Graph q = RandomPattern(5, 1.25, pool, seed + 2000);
+    auto dual = ComputeDualSimulation(q, g);
+    auto sim = ComputeSimulation(q, g);
+    for (NodeId u = 0; u < q.num_nodes(); ++u) {
+      for (NodeId v : dual.sim[u]) {
+        EXPECT_TRUE(sim.Contains(u, v))
+            << "dual pair (" << u << "," << v << ") missing from simulation";
+      }
+    }
+  }
+}
+
+TEST(DualSimulationTest, MatchesReferenceOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Graph g = MakeUniform(60, 1.25, 4, seed);
+    std::vector<Label> pool{0, 1, 2, 3};
+    Graph q = RandomPattern(4, 1.3, pool, seed + 3000);
+    auto fast = ComputeDualSimulation(q, g);
+    auto naive = reference::NaiveDualSimulation(q, g);
+    EXPECT_EQ(fast.sim, naive.sim) << "seed " << seed;
+    EXPECT_TRUE(reference::IsDualSimulationRelation(q, g, fast));
+  }
+}
+
+TEST(DualSimulationTest, MaximumRelationIsUnique) {
+  // Lemma 1: re-running yields the same relation; any valid relation is
+  // contained in it.
+  Graph g = MakeUniform(100, 1.2, 3, 5);
+  std::vector<Label> pool{0, 1, 2};
+  Graph q = RandomPattern(4, 1.2, pool, 6);
+  auto s1 = ComputeDualSimulation(q, g);
+  auto s2 = ComputeDualSimulation(q, g);
+  EXPECT_EQ(s1.sim, s2.sim);
+}
+
+TEST(DualSimulationTest, SelfMatchIsReflexive) {
+  // The identity is always a dual simulation of Q in itself.
+  std::vector<Label> pool{0, 1, 2};
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph q = RandomPattern(6, 1.3, pool, seed);
+    auto s = ComputeDualSimulation(q, q);
+    for (NodeId u = 0; u < q.num_nodes(); ++u) {
+      EXPECT_TRUE(s.Contains(u, u)) << "(u,u) missing for u=" << u;
+    }
+  }
+}
+
+TEST(DualSimulationTest, Theorem2ComponentsAreSelfContained) {
+  // Every connected component of the match graph is itself a total dual
+  // match (Theorem 2).
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Graph g = MakeUniform(80, 1.3, 3, seed);
+    std::vector<Label> pool{0, 1, 2};
+    Graph q = RandomPattern(4, 1.25, pool, seed + 500);
+    auto s = ComputeDualSimulation(q, g);
+    if (!s.IsTotal()) continue;
+    EXPECT_TRUE(ConnectivityPreserved(q, g, s)) << "seed " << seed;
+  }
+}
+
+TEST(DualSimulationTest, UndirectedCyclePreserved) {
+  // Theorem 3 counterexample check: tree data cannot dual-match a cyclic
+  // pattern. Pattern: undirected triangle a->b, a->c, b->c.
+  Graph q = MakeGraph({1, 2, 3}, {{0, 1}, {0, 2}, {1, 2}});
+  // Tree: a with children b, c; b with child c' — no undirected cycle.
+  Graph tree = MakeGraph({1, 2, 3, 3}, {{0, 1}, {0, 2}, {1, 3}});
+  auto s = ComputeDualSimulation(q, tree);
+  EXPECT_FALSE(s.IsTotal());
+  // But plain simulation accepts it (b maps to node 1, c to both 2 and 3).
+  EXPECT_TRUE(GraphSimulates(q, tree));
+}
+
+TEST(DualSimulationTest, DisconnectedDataStillMatchesPerComponent) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2, 1, 2}, {{0, 1}, {2, 3}});
+  auto s = ComputeDualSimulation(q, g);
+  EXPECT_TRUE(s.IsTotal());
+  EXPECT_EQ(MatchesOf(s, 0), (std::set<NodeId>{0, 2}));
+  EXPECT_EQ(MatchesOf(s, 1), (std::set<NodeId>{1, 3}));
+}
+
+TEST(DualSimulationTest, CascadeEmptiesConnectedPattern) {
+  // If one query node loses all candidates, a connected pattern's whole
+  // relation empties.
+  Graph q = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});
+  Graph g = MakeGraph({1, 2}, {{0, 1}});  // no label-3 node at all
+  auto s = ComputeDualSimulation(q, g);
+  EXPECT_TRUE(s.IsEmpty());
+}
+
+}  // namespace
+}  // namespace gpm

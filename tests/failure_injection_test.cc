@@ -1,0 +1,129 @@
+// Failure injection: corrupted inputs and hostile parameters must come
+// back as Status errors (or bounded results), never crashes.
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+#include "distributed/fragment.h"
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "isomorphism/vf2.h"
+#include "matching/strong_simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(FailureInjectionTest, BinaryGraphTruncationSweep) {
+  // Every prefix of a valid blob must decode to an error, not a crash.
+  Graph g = MakeUniform(50, 1.3, 4, 3);
+  const std::string blob = SerializeGraph(g);
+  for (size_t cut = 0; cut < blob.size(); cut += 7) {
+    auto decoded = DeserializeGraph(blob.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << cut;
+  }
+}
+
+TEST(FailureInjectionTest, BinaryGraphBitFlipSweep) {
+  // Single-byte mutations either decode to *some* graph (the format has
+  // no checksum — that is documented) or fail cleanly; index fields that
+  // go out of range must produce Corruption.
+  Graph g = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});
+  const std::string blob = SerializeGraph(g);
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = blob;
+    const size_t pos = static_cast<size_t>(rng.Uniform(mutated.size()));
+    mutated[pos] = static_cast<char>(rng.Uniform(256));
+    auto decoded = DeserializeGraph(mutated);  // must not crash
+    if (decoded.ok()) {
+      EXPECT_LE(decoded->num_nodes(), 0xFFFFu);  // sane small graph
+    }
+  }
+}
+
+TEST(FailureInjectionTest, TextGraphGarbageLines) {
+  const char* cases[] = {
+      "t x y\n",
+      "t 1 0\nv 0\n",
+      "t 1 0\nv 0 1 2 3\n",
+      "t 1 1\nv 0 1\ne 0\n",
+      "t 1 1\nv 0 1\ne 0 0 0 0\n",
+      "t 18446744073709551616 0\n",
+      "v 0 1\nt 1 0\n",
+      "t 2 0\nv 0 1\nv 2 1\n",
+  };
+  for (const char* text : cases) {
+    auto parsed = ReadGraphText(text);
+    EXPECT_FALSE(parsed.ok()) << "input: " << text;
+  }
+}
+
+TEST(FailureInjectionTest, FragmentPayloadCorruptionSweep) {
+  Graph g = MakeUniform(30, 1.3, 3, 5);
+  PartitionAssignment p;
+  p.num_fragments = 1;
+  p.owner.assign(g.num_nodes(), 0);
+  Fragment fragment(g, p, 0);
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all.push_back(v);
+  const std::string records = fragment.EncodeRecords(all);
+  for (size_t cut = 0; cut < records.size(); cut += 5) {
+    EXPECT_FALSE(Fragment::DecodeRecords(records.substr(0, cut)).ok());
+  }
+  const std::string ids = Fragment::EncodeIdList(all);
+  for (size_t cut = 1; cut < ids.size(); cut += 3) {
+    EXPECT_FALSE(Fragment::DecodeIdList(ids.substr(0, cut)).ok());
+  }
+}
+
+TEST(FailureInjectionTest, Vf2TimeBudgetIsHonored) {
+  // A pattern with massive multiplicity on a single-label graph: full
+  // enumeration is astronomically large; the budget must cut it off.
+  Graph g = MakeUniform(3000, 1.3, 1, 7);  // one label: total ambiguity
+  Graph q = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  Vf2Options options;
+  options.time_budget_seconds = 0.2;
+  Timer timer;
+  auto result = Vf2Enumerate(q, g, options);
+  EXPECT_TRUE(result.timed_out || result.matches.size() < 100000000);
+  EXPECT_LT(timer.Seconds(), 5.0);
+}
+
+TEST(FailureInjectionTest, HugeRadiusOverrideIsSafe) {
+  // A radius far beyond the graph diameter just makes every ball the
+  // whole component; results must match the component-sized answer, not
+  // overflow or hang.
+  Graph q = MakeGraph({1, 1}, {{0, 1}});
+  Graph g = MakeGraph({1, 1, 1}, {{0, 1}, {1, 2}});
+  MatchOptions options;
+  options.radius_override = 1000000;
+  auto result = MatchStrong(q, g, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->empty());
+  EXPECT_EQ((*result)[0].nodes.size(), 3u);
+}
+
+TEST(FailureInjectionTest, SelfLoopHeavyGraphDoesNotConfuseMatching) {
+  Graph q = MakeGraph({1}, {{0, 0}});
+  Graph g;
+  for (int i = 0; i < 10; ++i) g.AddNode(1);
+  for (NodeId i = 0; i < 10; ++i) g.AddEdge(i, i);
+  g.Finalize();
+  auto result = MatchStrong(q, g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 10u);  // each self-loop node matches alone
+}
+
+TEST(FailureInjectionTest, PatternLargerThanAnyComponent) {
+  Graph q = MakeGraph({1, 1, 1, 1}, {{0, 1}, {1, 2}, {2, 3}});
+  Graph g = MakeGraph({1, 1}, {{0, 1}});  // too small
+  auto result = MatchStrong(q, g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,131 @@
+#include "graph/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/components.h"
+#include "graph/diameter.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+TEST(MakeUniformTest, HitsRequestedSizes) {
+  const uint32_t n = 1000;
+  Graph g = MakeUniform(n, 1.2, 50, /*seed=*/1);
+  EXPECT_EQ(g.num_nodes(), n);
+  const auto expected =
+      static_cast<size_t>(std::llround(std::pow(double{n}, 1.2)));
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+TEST(MakeUniformTest, DeterministicInSeed) {
+  Graph a = MakeUniform(500, 1.2, 20, 99);
+  Graph b = MakeUniform(500, 1.2, 20, 99);
+  EXPECT_TRUE(a.StructurallyEqual(b));
+  Graph c = MakeUniform(500, 1.2, 20, 100);
+  EXPECT_FALSE(a.StructurallyEqual(c));
+}
+
+TEST(MakeUniformTest, NoSelfLoopsNoParallelEdges) {
+  Graph g = MakeUniform(300, 1.3, 10, 7);
+  size_t edges = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], u);
+      if (i > 0) {
+        EXPECT_LT(nbrs[i - 1], nbrs[i]);  // sorted & distinct
+      }
+    }
+    edges += nbrs.size();
+  }
+  EXPECT_EQ(edges, g.num_edges());
+}
+
+TEST(MakeUniformTest, LabelsWithinRange) {
+  Graph g = MakeUniform(200, 1.1, 5, 3);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_LT(g.label(v), 5u);
+}
+
+TEST(MakeUniformTest, CapsAtCompleteDigraph) {
+  // n^alpha would exceed n(n-1): generator must cap, not loop forever.
+  Graph g = MakeUniform(5, 3.0, 2, 11);
+  EXPECT_EQ(g.num_edges(), 20u);
+}
+
+TEST(MakeAmazonLikeTest, DensityMatchesSnapshot) {
+  Graph g = MakeAmazonLike(20000, 5);
+  const double avg_deg =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  EXPECT_GT(avg_deg, 2.0);
+  EXPECT_LT(avg_deg, 4.5);  // snapshot is ~3.26
+}
+
+TEST(MakeYouTubeLikeTest, DensityMatchesSnapshot) {
+  Graph g = MakeYouTubeLike(5000, 5);
+  const double avg_deg =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  EXPECT_GT(avg_deg, 14.0);
+  EXPECT_LT(avg_deg, 30.0);  // snapshot is ~20
+}
+
+TEST(MakeYouTubeLikeTest, HasReciprocalEdges) {
+  Graph g = MakeYouTubeLike(2000, 9);
+  size_t reciprocal = 0, total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      ++total;
+      if (g.HasEdge(v, u)) ++reciprocal;
+    }
+  }
+  EXPECT_GT(static_cast<double>(reciprocal) / static_cast<double>(total), 0.2);
+}
+
+TEST(CopyingModelTest, InDegreesAreHeavyTailed) {
+  Graph g = MakeAmazonLike(20000, 13);
+  size_t max_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  // Preferential attachment produces hubs far above the ~3 average.
+  EXPECT_GT(max_in, 50u);
+}
+
+TEST(RandomPatternTest, ConnectedWithRequestedNodes) {
+  std::vector<Label> pool{1, 2, 3, 4, 5};
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Graph q = RandomPattern(8, 1.2, pool, seed);
+    EXPECT_EQ(q.num_nodes(), 8u);
+    EXPECT_TRUE(IsConnected(q)) << "seed " << seed;
+    EXPECT_TRUE(Diameter(q).ok());
+  }
+}
+
+TEST(RandomPatternTest, SingleNodePattern) {
+  std::vector<Label> pool{7};
+  Graph q = RandomPattern(1, 1.2, pool, 0);
+  EXPECT_EQ(q.num_nodes(), 1u);
+  EXPECT_EQ(q.num_edges(), 0u);
+}
+
+TEST(ExtractPatternTest, InducedAndConnected) {
+  Graph g = MakeAmazonLike(5000, 17);
+  Rng rng(23);
+  for (int i = 0; i < 10; ++i) {
+    auto q = ExtractPattern(g, 10, &rng);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_EQ(q->num_nodes(), 10u);
+    EXPECT_TRUE(IsConnected(*q));
+  }
+}
+
+TEST(ExtractPatternTest, FailsOnTooSmallGraph) {
+  Graph g = MakeUniform(5, 1.0, 2, 1);
+  Rng rng(1);
+  EXPECT_FALSE(ExtractPattern(g, 10, &rng).ok());
+}
+
+}  // namespace
+}  // namespace gpm

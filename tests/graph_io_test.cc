@@ -1,0 +1,115 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "graph/generator.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(GraphTextIOTest, RoundTrip) {
+  Graph g = MakeGraph({3, 1, 4, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  auto parsed = ReadGraphText(WriteGraphText(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(g.StructurallyEqual(*parsed));
+}
+
+TEST(GraphTextIOTest, RoundTripWithEdgeLabels) {
+  Graph g;
+  g.AddNode(1);
+  g.AddNode(2);
+  g.AddEdge(0, 1, 7);
+  g.Finalize();
+  auto parsed = ReadGraphText(WriteGraphText(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(g.StructurallyEqual(*parsed, /*compare_edge_labels=*/true));
+}
+
+TEST(GraphTextIOTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "t 2 1\n"
+      "\n"
+      "v 0 10\n"
+      "v 1 20\n"
+      "# another\n"
+      "e 0 1\n";
+  auto parsed = ReadGraphText(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_nodes(), 2u);
+  EXPECT_TRUE(parsed->HasEdge(0, 1));
+}
+
+TEST(GraphTextIOTest, RejectsMissingHeader) {
+  EXPECT_TRUE(ReadGraphText("v 0 1\n").status().IsCorruption());
+}
+
+TEST(GraphTextIOTest, RejectsOutOfOrderNodeIds) {
+  EXPECT_TRUE(
+      ReadGraphText("t 2 0\nv 1 0\nv 0 0\n").status().IsCorruption());
+}
+
+TEST(GraphTextIOTest, RejectsEdgeOutOfRange) {
+  EXPECT_TRUE(
+      ReadGraphText("t 1 1\nv 0 0\ne 0 5\n").status().IsCorruption());
+}
+
+TEST(GraphTextIOTest, RejectsNodeCountMismatch) {
+  EXPECT_TRUE(ReadGraphText("t 3 0\nv 0 0\n").status().IsCorruption());
+}
+
+TEST(GraphTextIOTest, RejectsUnknownRecord) {
+  EXPECT_TRUE(ReadGraphText("t 0 0\nx 1 2\n").status().IsCorruption());
+}
+
+TEST(GraphTextIOTest, RejectsNonNumericFields) {
+  EXPECT_TRUE(ReadGraphText("t 1 0\nv 0 abc\n").status().IsInvalidArgument());
+}
+
+TEST(GraphBinaryIOTest, RoundTrip) {
+  Graph g = MakeUniform(200, 1.2, 10, /*seed=*/42);
+  auto parsed = DeserializeGraph(SerializeGraph(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(g.StructurallyEqual(*parsed, /*compare_edge_labels=*/true));
+}
+
+TEST(GraphBinaryIOTest, RejectsBadMagic) {
+  std::string blob = SerializeGraph(MakeGraph({0}, {}));
+  blob[0] = 'X';
+  EXPECT_TRUE(DeserializeGraph(blob).status().IsCorruption());
+}
+
+TEST(GraphBinaryIOTest, RejectsTruncation) {
+  std::string blob = SerializeGraph(MakeGraph({0, 0}, {{0, 1}}));
+  blob.resize(blob.size() - 3);
+  EXPECT_TRUE(DeserializeGraph(blob).status().IsCorruption());
+}
+
+TEST(GraphBinaryIOTest, RejectsTrailingBytes) {
+  std::string blob = SerializeGraph(MakeGraph({0}, {}));
+  blob += "junk";
+  EXPECT_TRUE(DeserializeGraph(blob).status().IsCorruption());
+}
+
+TEST(GraphFileIOTest, SaveAndLoad) {
+  Graph g = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});
+  const std::string path = ::testing::TempDir() + "/gpm_io_test.graph";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(g.StructurallyEqual(*loaded));
+  std::remove(path.c_str());
+}
+
+TEST(GraphFileIOTest, LoadMissingFileIsIOError) {
+  EXPECT_TRUE(LoadGraph("/nonexistent/gpm.graph").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,161 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(LabelDictionaryTest, InternIsIdempotent) {
+  LabelDictionary dict;
+  Label a = dict.Intern("alpha");
+  Label b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alpha"), a);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(a), "alpha");
+  ASSERT_TRUE(dict.Find("beta").ok());
+  EXPECT_EQ(*dict.Find("beta"), b);
+  EXPECT_FALSE(dict.Find("gamma").ok());
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  g.Finalize();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.DistinctLabels().empty());
+}
+
+TEST(GraphTest, AddNodesAndEdges) {
+  Graph g = MakeGraph({1, 2, 1}, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.Size(), 6u);
+  EXPECT_EQ(g.label(0), 1u);
+  EXPECT_EQ(g.label(1), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(2, 0));
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+}
+
+TEST(GraphTest, FinalizeDedupsParallelEdges) {
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(0);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+}
+
+TEST(GraphTest, SelfLoopsAreKept) {
+  Graph g;
+  g.AddNode(3);
+  g.AddEdge(0, 0);
+  g.Finalize();
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(GraphTest, AdjacencyIsSortedAfterFinalize) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode(0);
+  g.AddEdge(0, 4);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(0, 1);
+  g.Finalize();
+  auto nbrs = g.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphTest, LabelIndex) {
+  Graph g = MakeGraph({5, 7, 5, 5}, {});
+  auto fives = g.NodesWithLabel(5);
+  ASSERT_EQ(fives.size(), 3u);
+  EXPECT_EQ(fives[0], 0u);
+  EXPECT_EQ(fives[1], 2u);
+  EXPECT_EQ(fives[2], 3u);
+  EXPECT_EQ(g.NodesWithLabel(7).size(), 1u);
+  EXPECT_TRUE(g.NodesWithLabel(99).empty());
+  auto labels = g.DistinctLabels();
+  EXPECT_EQ(std::vector<Label>(labels.begin(), labels.end()),
+            (std::vector<Label>{5, 7}));
+}
+
+TEST(GraphTest, EdgeLabelsAlignAfterFinalize) {
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(0);
+  g.AddNode(0);
+  g.AddEdge(0, 2, 9);
+  g.AddEdge(0, 1, 4);
+  g.Finalize();
+  auto nbrs = g.OutNeighbors(0);
+  auto labels = g.OutEdgeLabels(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(labels[0], 4u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(labels[1], 9u);
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  //    0 -> 1 -> 2
+  //    |_________^
+  Graph g = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}, {0, 2}});
+  std::vector<NodeId> pick{0, 2};
+  std::vector<NodeId> to_parent;
+  Graph sub = g.InducedSubgraph(pick, &to_parent);
+  EXPECT_EQ(sub.num_nodes(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);  // only 0->2 survives
+  EXPECT_EQ(to_parent, pick);
+  EXPECT_EQ(sub.label(0), 1u);
+  EXPECT_EQ(sub.label(1), 3u);
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+}
+
+TEST(GraphTest, ReversedFlipsEdges) {
+  Graph g = MakeGraph({1, 2}, {{0, 1}});
+  Graph r = g.Reversed();
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_FALSE(r.HasEdge(0, 1));
+  EXPECT_EQ(r.label(0), 1u);
+}
+
+TEST(GraphTest, StructurallyEqual) {
+  Graph a = MakeGraph({1, 2}, {{0, 1}});
+  Graph b = MakeGraph({1, 2}, {{0, 1}});
+  Graph c = MakeGraph({1, 2}, {{1, 0}});
+  Graph d = MakeGraph({2, 1}, {{0, 1}});
+  EXPECT_TRUE(a.StructurallyEqual(b));
+  EXPECT_FALSE(a.StructurallyEqual(c));
+  EXPECT_FALSE(a.StructurallyEqual(d));
+}
+
+TEST(GraphTest, StructurallyEqualWithEdgeLabels) {
+  Graph a, b;
+  a.AddNode(0);
+  a.AddNode(0);
+  a.AddEdge(0, 1, 5);
+  a.Finalize();
+  b.AddNode(0);
+  b.AddNode(0);
+  b.AddEdge(0, 1, 6);
+  b.Finalize();
+  EXPECT_TRUE(a.StructurallyEqual(b));  // labels ignored by default
+  EXPECT_FALSE(a.StructurallyEqual(b, /*compare_edge_labels=*/true));
+}
+
+}  // namespace
+}  // namespace gpm

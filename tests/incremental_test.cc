@@ -1,0 +1,124 @@
+#include "extensions/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "matching/strong_simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::CanonicalResult;
+using testutil::MakeGraph;
+
+// The maintained result must always equal a from-scratch MatchStrong on
+// the current graph.
+void ExpectConsistent(const IncrementalMatcher& matcher) {
+  auto scratch = MatchStrong(matcher.pattern(), matcher.data());
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(CanonicalResult(matcher.CurrentMatches()),
+            CanonicalResult(*scratch));
+}
+
+TEST(IncrementalTest, CreateRunsInitialMatch) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2, 1}, {{0, 1}});
+  auto matcher = IncrementalMatcher::Create(q, g);
+  ASSERT_TRUE(matcher.ok());
+  ExpectConsistent(*matcher);
+  EXPECT_EQ(matcher->CurrentMatches().size(), 1u);
+}
+
+TEST(IncrementalTest, CreateRejectsBadPattern) {
+  Graph q = MakeGraph({1, 2}, {});
+  Graph g = MakeGraph({1}, {});
+  EXPECT_TRUE(IncrementalMatcher::Create(q, g).status().IsInvalidArgument());
+}
+
+TEST(IncrementalTest, InsertCreatesMatch) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2}, {});  // no edge yet
+  auto matcher = IncrementalMatcher::Create(q, g);
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_TRUE(matcher->CurrentMatches().empty());
+  ASSERT_TRUE(matcher->InsertEdge(0, 1).ok());
+  ExpectConsistent(*matcher);
+  EXPECT_EQ(matcher->CurrentMatches().size(), 1u);
+}
+
+TEST(IncrementalTest, RemoveDestroysMatch) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2}, {{0, 1}});
+  auto matcher = IncrementalMatcher::Create(q, g);
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_EQ(matcher->CurrentMatches().size(), 1u);
+  ASSERT_TRUE(matcher->RemoveEdge(0, 1).ok());
+  ExpectConsistent(*matcher);
+  EXPECT_TRUE(matcher->CurrentMatches().empty());
+}
+
+TEST(IncrementalTest, EdgeValidation) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2}, {{0, 1}});
+  auto matcher = IncrementalMatcher::Create(q, g);
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_TRUE(matcher->InsertEdge(0, 9).IsInvalidArgument());
+  EXPECT_TRUE(matcher->InsertEdge(0, 1).code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(matcher->RemoveEdge(1, 0).IsNotFound());
+}
+
+TEST(IncrementalTest, AddNodeMatchesSingleNodePattern) {
+  Graph q = MakeGraph({7}, {});
+  Graph g = MakeGraph({8}, {});
+  auto matcher = IncrementalMatcher::Create(q, g);
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_TRUE(matcher->CurrentMatches().empty());
+  const NodeId v = matcher->AddNode(7);
+  EXPECT_EQ(v, 1u);
+  ExpectConsistent(*matcher);
+  EXPECT_EQ(matcher->CurrentMatches().size(), 1u);
+}
+
+TEST(IncrementalTest, RandomUpdateSequenceStaysConsistent) {
+  Graph g = MakeUniform(80, 1.25, 3, 11);
+  std::vector<Label> pool{0, 1, 2};
+  Graph q = RandomPattern(3, 1.2, pool, 12);
+  auto matcher = IncrementalMatcher::Create(q, g);
+  ASSERT_TRUE(matcher.ok());
+  ExpectConsistent(*matcher);
+
+  Rng rng(13);
+  size_t applied = 0;
+  for (int step = 0; step < 25; ++step) {
+    const NodeId a = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+    const NodeId b = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+    if (a == b) continue;
+    if (rng.Bernoulli(0.5)) {
+      if (matcher->InsertEdge(a, b).ok()) ++applied;
+    } else {
+      if (matcher->RemoveEdge(a, b).ok()) ++applied;
+    }
+    ExpectConsistent(*matcher);
+  }
+  EXPECT_GT(applied, 0u);
+}
+
+TEST(IncrementalTest, UpdatesTouchOnlyNearbyCenters) {
+  // On a sparse graph, the locality argument keeps the affected-center
+  // count far below |V|.
+  Graph g = MakeAmazonLike(3000, 17);
+  std::vector<Label> pool{0, 1, 2};
+  Graph q = RandomPattern(3, 1.2, pool, 18);
+  auto matcher = IncrementalMatcher::Create(q, g);
+  ASSERT_TRUE(matcher.ok());
+  ASSERT_TRUE(matcher->InsertEdge(10, 20).ok() ||
+              matcher->InsertEdge(10, 21).ok());
+  const auto& stats = matcher->last_update();
+  EXPECT_GT(stats.affected_centers, 0u);
+  EXPECT_LT(stats.affected_centers, stats.total_centers / 2);
+}
+
+}  // namespace
+}  // namespace gpm

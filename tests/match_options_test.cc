@@ -1,0 +1,152 @@
+// Focused tests of MatchOptions interactions and MatchStats reporting —
+// the knobs the ablation bench turns, pinned down individually.
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "graph/paper_graphs.h"
+#include "matching/strong_simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::CanonicalResult;
+using testutil::MakeGraph;
+
+TEST(MatchOptionsTest, MatchPlusEnablesEverything) {
+  const MatchOptions options = MatchPlusOptions();
+  EXPECT_TRUE(options.minimize_query);
+  EXPECT_TRUE(options.dual_filter);
+  EXPECT_TRUE(options.connectivity_pruning);
+  EXPECT_TRUE(options.dedup);
+}
+
+TEST(MatchOptionsTest, MinimizationReportsMinimizedSize) {
+  // Pattern with twin branches: minQ must shrink it and the stats must
+  // say so.
+  Graph q = MakeGraph({9, 1, 2, 1, 2}, {{0, 1}, {1, 2}, {0, 3}, {3, 4}});
+  Graph g = MakeGraph({9, 1, 2}, {{0, 1}, {1, 2}});
+  MatchOptions options;
+  options.minimize_query = true;
+  MatchStats stats;
+  auto result = MatchStrong(q, g, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.minimized_pattern_size, 3u + 2u);
+  // The relation must still be expressed over the ORIGINAL 5 query nodes.
+  ASSERT_FALSE(result->empty());
+  EXPECT_EQ((*result)[0].relation.sim.size(), q.num_nodes());
+}
+
+TEST(MatchOptionsTest, MinimizedTwinsGetIdenticalMatches) {
+  Graph q = MakeGraph({9, 1, 2, 1, 2}, {{0, 1}, {1, 2}, {0, 3}, {3, 4}});
+  Graph g = MakeGraph({9, 1, 2}, {{0, 1}, {1, 2}});
+  MatchOptions options;
+  options.minimize_query = true;
+  auto result = MatchStrong(q, g, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->empty());
+  // Twin query nodes 1/3 and 2/4 collapse to one class each, so their
+  // match lists coincide (Lemma 2).
+  EXPECT_EQ((*result)[0].relation.sim[1], (*result)[0].relation.sim[3]);
+  EXPECT_EQ((*result)[0].relation.sim[2], (*result)[0].relation.sim[4]);
+}
+
+TEST(MatchOptionsTest, FilterShortCircuitsOnGlobalMiss) {
+  // No label-3 node anywhere: the global dual filter must answer without
+  // building a single ball.
+  Graph q = MakeGraph({1, 3}, {{0, 1}});
+  Graph g = MakeGraph({1, 2, 1}, {{0, 1}, {2, 1}});
+  MatchOptions options;
+  options.dual_filter = true;
+  MatchStats stats;
+  auto result = MatchStrong(q, g, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  EXPECT_EQ(stats.balls_considered, 0u);
+  EXPECT_EQ(stats.balls_skipped_filter, g.num_nodes());
+}
+
+TEST(MatchOptionsTest, FilterSecondsAreRecorded) {
+  Graph g = MakeUniform(300, 1.25, 3, 3);
+  std::vector<Label> pool{0, 1, 2};
+  Graph q = RandomPattern(3, 1.2, pool, 4);
+  MatchOptions options;
+  options.dual_filter = true;
+  MatchStats stats;
+  ASSERT_TRUE(MatchStrong(q, g, options, &stats).ok());
+  EXPECT_GE(stats.global_filter_seconds, 0.0);
+  EXPECT_LE(stats.global_filter_seconds, stats.total_seconds);
+}
+
+TEST(MatchOptionsTest, RadiusOverrideAppliesWithAllOptimizations) {
+  Graph q = MakeGraph({1, 1}, {{0, 1}});
+  Graph g = MakeGraph({1, 1, 1, 1, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  for (int mask = 0; mask < 8; ++mask) {
+    MatchOptions options;
+    options.minimize_query = mask & 1;
+    options.dual_filter = mask & 2;
+    options.connectivity_pruning = mask & 4;
+    options.radius_override = 4;
+    auto result = MatchStrong(q, g, options);
+    ASSERT_TRUE(result.ok());
+    size_t max_size = 0;
+    for (const auto& pg : *result) max_size = std::max(max_size, pg.nodes.size());
+    EXPECT_EQ(max_size, 5u) << "mask " << mask;
+    for (const auto& pg : *result) EXPECT_EQ(pg.radius, 4u);
+  }
+}
+
+TEST(MatchOptionsTest, DuplicatesRemovedCountsMatchDedup) {
+  paper::Example ex = paper::Fig1();
+  MatchStats raw_stats, dedup_stats;
+  MatchOptions raw;
+  raw.dedup = false;
+  auto with_dups = MatchStrong(ex.pattern, ex.data, raw, &raw_stats);
+  auto deduped = MatchStrong(ex.pattern, ex.data, {}, &dedup_stats);
+  ASSERT_TRUE(with_dups.ok());
+  ASSERT_TRUE(deduped.ok());
+  EXPECT_EQ(with_dups->size(),
+            deduped->size() + dedup_stats.duplicates_removed);
+  EXPECT_EQ(raw_stats.duplicates_removed, 0u);
+}
+
+TEST(MatchOptionsTest, SubgraphsFoundCountsPreDedup) {
+  paper::Example ex = paper::Fig1();
+  MatchStats stats;
+  ASSERT_TRUE(MatchStrong(ex.pattern, ex.data, {}, &stats).ok());
+  // Gc has 7 nodes; each of its nodes is a ball center yielding the same
+  // perfect subgraph.
+  EXPECT_EQ(stats.subgraphs_found, 7u);
+  EXPECT_EQ(stats.duplicates_removed, 6u);
+}
+
+TEST(MatchOptionsTest, FilterAndPruningComposeOnPaperExample) {
+  paper::Example ex = paper::Fig1();
+  const auto canonical = CanonicalResult(*MatchStrong(ex.pattern, ex.data));
+  MatchOptions both;
+  both.dual_filter = true;
+  both.connectivity_pruning = true;
+  MatchStats stats;
+  auto result = MatchStrong(ex.pattern, ex.data, both, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(CanonicalResult(*result), canonical);
+  // Components 1 and 2 of G1 die in the global filter: only Gc's 7 nodes
+  // get balls.
+  EXPECT_EQ(stats.balls_considered, 7u);
+  EXPECT_EQ(stats.balls_skipped_filter, ex.data.num_nodes() - 7u);
+}
+
+TEST(MatchOptionsTest, PatternDiameterAlwaysReported) {
+  paper::Example ex = paper::Fig2Q4();
+  for (bool minimize : {false, true}) {
+    MatchOptions options;
+    options.minimize_query = minimize;
+    MatchStats stats;
+    ASSERT_TRUE(MatchStrong(ex.pattern, ex.data, options, &stats).ok());
+    EXPECT_EQ(stats.pattern_diameter, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace gpm

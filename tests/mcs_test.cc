@@ -1,0 +1,92 @@
+#include "isomorphism/mcs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(McsSizeTest, IdenticalGraphsGiveFullSize) {
+  Graph a = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(ApproximateMcsSize(a, a), 3u);
+}
+
+TEST(McsSizeTest, DisjointLabelsGiveZero) {
+  Graph a = MakeGraph({1, 2}, {{0, 1}});
+  Graph b = MakeGraph({3, 4}, {{0, 1}});
+  EXPECT_EQ(ApproximateMcsSize(a, b), 0u);
+}
+
+TEST(McsSizeTest, PartialOverlap) {
+  // Common induced part: a->b (2 nodes); the c-branches differ by label.
+  Graph a = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});
+  Graph b = MakeGraph({1, 2, 9}, {{0, 1}, {1, 2}});
+  size_t size = ApproximateMcsSize(a, b);
+  EXPECT_EQ(size, 2u);
+}
+
+TEST(McsSizeTest, NeverExceedsEitherGraph) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph a = MakeUniform(12, 1.2, 3, seed);
+    Graph b = MakeUniform(15, 1.2, 3, seed + 50);
+    size_t size = ApproximateMcsSize(a, b);
+    EXPECT_LE(size, a.num_nodes());
+    EXPECT_LE(size, b.num_nodes());
+  }
+}
+
+TEST(McsSizeTest, SubgraphOfItselfIsLowerBounded) {
+  // The greedy grows one *connected* common subgraph, so compare a
+  // connected graph with itself: identity pairs are always available and
+  // the degree-ordered pass should recover at least half the nodes.
+  std::vector<Label> pool{0, 1};
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph a = RandomPattern(10, 1.25, pool, seed);
+    EXPECT_GE(ApproximateMcsSize(a, a), a.num_nodes() / 2) << "seed " << seed;
+  }
+}
+
+TEST(McsMatchTest, ExactCopyClearsThreshold) {
+  Graph q = MakeGraph({1, 2, 3, 4}, {{0, 1}, {1, 2}, {2, 3}});
+  // Data = the same chain plus distractor nodes.
+  Graph g = MakeGraph({1, 2, 3, 4, 9, 9},
+                      {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  auto matches = McsMatch(q, g);
+  EXPECT_FALSE(matches.empty());
+}
+
+TEST(McsMatchTest, ThresholdRejectsWeakCandidates) {
+  // Data shares only 1 of 4 labels: ratio 0.25 < 0.7.
+  Graph q = MakeGraph({1, 2, 3, 4}, {{0, 1}, {1, 2}, {2, 3}});
+  Graph g = MakeGraph({1, 8, 8, 8}, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(McsMatch(q, g).empty());
+}
+
+TEST(McsMatchTest, ThresholdIsMonotone) {
+  Graph g = MakeAmazonLike(800, 21);
+  Rng rng(22);
+  auto q = ExtractPattern(g, 5, &rng);
+  ASSERT_TRUE(q.ok());
+  McsOptions loose;
+  loose.threshold = 0.5;
+  McsOptions tight;
+  tight.threshold = 0.9;
+  EXPECT_GE(McsMatch(*q, g, loose).size(), McsMatch(*q, g, tight).size());
+}
+
+TEST(McsMatchTest, SeedCapBoundsWork) {
+  Graph g = MakeAmazonLike(2000, 23);
+  Rng rng(24);
+  auto q = ExtractPattern(g, 5, &rng);
+  ASSERT_TRUE(q.ok());
+  McsOptions capped;
+  capped.max_seeds = 10;
+  EXPECT_LE(McsMatch(*q, g, capped).size(), 10u);
+}
+
+}  // namespace
+}  // namespace gpm

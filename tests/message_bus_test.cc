@@ -1,0 +1,104 @@
+#include "distributed/message_bus.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "distributed/fragment.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+TEST(MessageBusTest, DeliversToMailbox) {
+  MessageBus bus(2);
+  bus.Send(0, 1, MessageKind::kNodeRequest, "abc");
+  auto inbox = bus.Drain(1);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].from, 0u);
+  EXPECT_EQ(inbox[0].payload, "abc");
+  EXPECT_TRUE(bus.Drain(1).empty());  // drained
+  EXPECT_TRUE(bus.Drain(0).empty());  // wrong mailbox untouched
+}
+
+TEST(MessageBusTest, CountsBytesByKind) {
+  MessageBus bus(2);
+  bus.Send(0, 1, MessageKind::kNodeRequest, "1234");
+  bus.Send(1, 0, MessageKind::kNodeRecords, "123456");
+  bus.Send(0, bus.coordinator_id(), MessageKind::kPartialResult, "12");
+  EXPECT_EQ(bus.BytesOf(MessageKind::kNodeRequest), 4u);
+  EXPECT_EQ(bus.BytesOf(MessageKind::kNodeRecords), 6u);
+  EXPECT_EQ(bus.BytesOf(MessageKind::kPartialResult), 2u);
+  EXPECT_EQ(bus.TotalBytes(), 12u);
+  EXPECT_EQ(bus.MessageCount(), 3u);
+}
+
+TEST(MessageBusTest, CoordinatorHasOwnMailbox) {
+  MessageBus bus(3);
+  EXPECT_EQ(bus.coordinator_id(), 3u);
+  bus.Send(2, bus.coordinator_id(), MessageKind::kPartialResult, "x");
+  EXPECT_EQ(bus.Drain(bus.coordinator_id()).size(), 1u);
+}
+
+TEST(MessageBusTest, ThreadSafeUnderConcurrentSends) {
+  MessageBus bus(4);
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&bus, t] {
+      for (int i = 0; i < 1000; ++i) {
+        bus.Send(t, (t + 1) % 4, MessageKind::kNodeRequest, "pp");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bus.MessageCount(), 4000u);
+  EXPECT_EQ(bus.TotalBytes(), 8000u);
+  size_t delivered = 0;
+  for (uint32_t s = 0; s < 4; ++s) delivered += bus.Drain(s).size();
+  EXPECT_EQ(delivered, 4000u);
+}
+
+TEST(FragmentWireTest, IdListRoundTrip) {
+  std::vector<NodeId> ids{5, 17, 99, 0};
+  auto decoded = Fragment::DecodeIdList(Fragment::EncodeIdList(ids));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, ids);
+}
+
+TEST(FragmentWireTest, IdListRejectsTruncation) {
+  std::string blob = Fragment::EncodeIdList({1, 2, 3});
+  blob.resize(blob.size() - 2);
+  EXPECT_FALSE(Fragment::DecodeIdList(blob).ok());
+}
+
+TEST(FragmentWireTest, RecordsRoundTrip) {
+  Graph g = testutil::MakeGraph({7, 8, 9}, {{0, 1}, {1, 2}, {2, 0}});
+  PartitionAssignment p;
+  p.num_fragments = 1;
+  p.owner = {0, 0, 0};
+  Fragment fragment(g, p, 0);
+  auto decoded = Fragment::DecodeRecords(fragment.EncodeRecords({0, 1, 2}));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].second.label, 7u);
+  EXPECT_EQ((*decoded)[0].second.out, (std::vector<NodeId>{1}));
+  EXPECT_EQ((*decoded)[0].second.in, (std::vector<NodeId>{2}));
+}
+
+TEST(FragmentTest, OwnsOnlyAssignedNodes) {
+  Graph g = testutil::MakeGraph({1, 1, 1, 1}, {{0, 1}, {2, 3}});
+  PartitionAssignment p;
+  p.num_fragments = 2;
+  p.owner = {0, 0, 1, 1};
+  Fragment f0(g, p, 0);
+  EXPECT_EQ(f0.owned(), (std::vector<NodeId>{0, 1}));
+  EXPECT_TRUE(f0.Knows(0));
+  EXPECT_FALSE(f0.Knows(2));
+  NodeRecord r;
+  r.label = 1;
+  f0.AddRecord(2, r);
+  EXPECT_TRUE(f0.Knows(2));
+}
+
+}  // namespace
+}  // namespace gpm

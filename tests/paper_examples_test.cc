@@ -1,0 +1,209 @@
+// End-to-end checks of every claim the paper makes about its running
+// examples (Example 1 / Fig. 1, Example 2 / Fig. 2, Example 4 / Fig. 6a,
+// Examples 5-6 / Fig. 6b-c).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/components.h"
+#include "graph/diameter.h"
+#include "graph/paper_graphs.h"
+#include "matching/dual_simulation.h"
+#include "matching/query_minimization.h"
+#include "matching/simulation.h"
+#include "matching/strong_simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::AllNodes;
+using testutil::MatchesOf;
+
+// ---------------------------------------------------------------- Fig. 1 --
+
+class Fig1Test : public ::testing::Test {
+ protected:
+  paper::Example ex_ = paper::Fig1();
+};
+
+TEST_F(Fig1Test, PatternDiameterIsThree) {
+  auto d = Diameter(ex_.pattern);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 3u);
+}
+
+TEST_F(Fig1Test, DataGraphIsDisconnectedWithThreeComponents) {
+  EXPECT_FALSE(IsConnected(ex_.data));
+  EXPECT_EQ(ConnectedComponents(ex_.data).num_components, 3u);
+}
+
+TEST_F(Fig1Test, SimulationMatchesAllFourBiologists) {
+  const MatchRelation s = ComputeSimulation(ex_.pattern, ex_.data);
+  ASSERT_TRUE(s.IsTotal());
+  const std::set<NodeId> bios = MatchesOf(s, ex_.PatternNode("Bio"));
+  EXPECT_EQ(bios, (std::set<NodeId>{
+                      ex_.DataNode("Bio1"), ex_.DataNode("Bio2"),
+                      ex_.DataNode("Bio3"), ex_.DataNode("Bio4")}));
+}
+
+TEST_F(Fig1Test, SimulationMatchRelationCoversEntireGraph) {
+  // "the match relation of simulation ... is the entire graph G1".
+  const MatchRelation s = ComputeSimulation(ex_.pattern, ex_.data);
+  EXPECT_EQ(testutil::AllMatchedNodes(s).size(), ex_.data.num_nodes());
+}
+
+TEST_F(Fig1Test, DualSimulationKeepsOnlyBio4Component) {
+  const MatchRelation s = ComputeDualSimulation(ex_.pattern, ex_.data);
+  ASSERT_TRUE(s.IsTotal());
+  EXPECT_EQ(MatchesOf(s, ex_.PatternNode("Bio")),
+            (std::set<NodeId>{ex_.DataNode("Bio4")}));
+  EXPECT_EQ(MatchesOf(s, ex_.PatternNode("HR")),
+            (std::set<NodeId>{ex_.DataNode("HR2")}));
+  EXPECT_EQ(MatchesOf(s, ex_.PatternNode("SE")),
+            (std::set<NodeId>{ex_.DataNode("SE2")}));
+  EXPECT_EQ(MatchesOf(s, ex_.PatternNode("DM")),
+            (std::set<NodeId>{ex_.DataNode("DM'1"), ex_.DataNode("DM'2")}));
+  EXPECT_EQ(MatchesOf(s, ex_.PatternNode("AI")),
+            (std::set<NodeId>{ex_.DataNode("AI'1"), ex_.DataNode("AI'2")}));
+}
+
+TEST_F(Fig1Test, StrongSimulationFindsExactlyGc) {
+  auto result = MatchStrong(ex_.pattern, ex_.data);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u) << "Gc is the only perfect subgraph";
+  const PerfectSubgraph& gc = (*result)[0];
+  const std::set<NodeId> expected = {
+      ex_.DataNode("HR2"),   ex_.DataNode("SE2"),  ex_.DataNode("Bio4"),
+      ex_.DataNode("DM'1"),  ex_.DataNode("DM'2"), ex_.DataNode("AI'1"),
+      ex_.DataNode("AI'2")};
+  EXPECT_EQ(std::set<NodeId>(gc.nodes.begin(), gc.nodes.end()), expected);
+  // Example 2(3): Bio in Q1 maps only to Bio4.
+  EXPECT_EQ(MatchesOf(*result, ex_.PatternNode("Bio")),
+            (std::set<NodeId>{ex_.DataNode("Bio4")}));
+}
+
+TEST_F(Fig1Test, StrongSimulationResultIsConnected) {
+  auto result = MatchStrong(ex_.pattern, ex_.data);
+  ASSERT_TRUE(result.ok());
+  for (const auto& pg : *result) {
+    EXPECT_TRUE(IsConnected(pg.AsGraph(ex_.data)));
+  }
+}
+
+// ------------------------------------------------------------- Fig. 2 Q2 --
+
+TEST(Fig2Q2Test, SimulationMatchesBothBooksButDualOnlyBook2) {
+  paper::Example ex = paper::Fig2Q2();
+  const NodeId book = ex.PatternNode("B");
+
+  const MatchRelation sim = ComputeSimulation(ex.pattern, ex.data);
+  EXPECT_EQ(MatchesOf(sim, book),
+            (std::set<NodeId>{ex.DataNode("book1"), ex.DataNode("book2")}));
+
+  const MatchRelation dual = ComputeDualSimulation(ex.pattern, ex.data);
+  EXPECT_EQ(MatchesOf(dual, book), (std::set<NodeId>{ex.DataNode("book2")}));
+}
+
+TEST(Fig2Q2Test, StrongSimulationReturnsOneMatchGraphWithBook2) {
+  paper::Example ex = paper::Fig2Q2();
+  auto result = MatchStrong(ex.pattern, ex.data);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u)
+      << "strong simulation returns the union as a single match graph";
+  EXPECT_EQ(MatchesOf(*result, ex.PatternNode("B")),
+            (std::set<NodeId>{ex.DataNode("book2")}));
+  EXPECT_EQ(AllNodes(*result),
+            (std::set<NodeId>{ex.DataNode("ST2"), ex.DataNode("ST3"),
+                              ex.DataNode("TE1"), ex.DataNode("book2")}));
+}
+
+// ------------------------------------------------------------- Fig. 2 Q3 --
+
+TEST(Fig2Q3Test, DualSimulationMatchesAllFourPeople) {
+  paper::Example ex = paper::Fig2Q3();
+  const MatchRelation dual = ComputeDualSimulation(ex.pattern, ex.data);
+  EXPECT_EQ(testutil::AllMatchedNodes(dual).size(), 4u);
+}
+
+TEST(Fig2Q3Test, StrongSimulationExcludesP4ByLocality) {
+  paper::Example ex = paper::Fig2Q3();
+  auto result = MatchStrong(ex.pattern, ex.data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(AllNodes(*result),
+            (std::set<NodeId>{ex.DataNode("P1"), ex.DataNode("P2"),
+                              ex.DataNode("P3")}));
+}
+
+// ------------------------------------------------------------- Fig. 2 Q4 --
+
+TEST(Fig2Q4Test, SimulationMatchesAllSNButDualOnlySN1SN2) {
+  paper::Example ex = paper::Fig2Q4();
+  const NodeId sn = ex.PatternNode("SN");
+
+  const MatchRelation sim = ComputeSimulation(ex.pattern, ex.data);
+  EXPECT_EQ(MatchesOf(sim, sn),
+            (std::set<NodeId>{ex.DataNode("SN1"), ex.DataNode("SN2"),
+                              ex.DataNode("SN3"), ex.DataNode("SN4")}));
+
+  const MatchRelation dual = ComputeDualSimulation(ex.pattern, ex.data);
+  EXPECT_EQ(MatchesOf(dual, sn),
+            (std::set<NodeId>{ex.DataNode("SN1"), ex.DataNode("SN2")}));
+}
+
+TEST(Fig2Q4Test, StrongSimulationMatchesSN1AndSN2) {
+  paper::Example ex = paper::Fig2Q4();
+  auto result = MatchStrong(ex.pattern, ex.data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(MatchesOf(*result, ex.PatternNode("SN")),
+            (std::set<NodeId>{ex.DataNode("SN1"), ex.DataNode("SN2")}));
+}
+
+// ------------------------------------------------------------- Fig. 6(a) --
+
+TEST(Fig6aTest, MinQProducesTheFiveNodeQuotient) {
+  paper::Example ex = paper::Fig6aQ5();  // data = Q5, pattern = expected Q5m
+  auto mq = MinimizeQuery(ex.data);
+  ASSERT_TRUE(mq.ok());
+  EXPECT_EQ(mq->minimized.num_nodes(), 5u);
+  EXPECT_EQ(mq->minimized.num_edges(), 4u);
+  // B1/B2, C1/C2, D1/D2 collapse pairwise.
+  EXPECT_EQ(mq->class_of[ex.DataNode("B1")], mq->class_of[ex.DataNode("B2")]);
+  EXPECT_EQ(mq->class_of[ex.DataNode("C1")], mq->class_of[ex.DataNode("C2")]);
+  EXPECT_EQ(mq->class_of[ex.DataNode("D1")], mq->class_of[ex.DataNode("D2")]);
+  EXPECT_NE(mq->class_of[ex.DataNode("R")], mq->class_of[ex.DataNode("A")]);
+}
+
+// ---------------------------------------------------------- Fig. 6(b)(c) --
+
+TEST(Fig6bTest, DualFilterOptionAgreesWithPlainMatch) {
+  paper::Example ex = paper::Fig6bDualFilter();
+  auto plain = MatchStrong(ex.pattern, ex.data);
+  MatchOptions filter_only;
+  filter_only.dual_filter = true;
+  auto filtered = MatchStrong(ex.pattern, ex.data, filter_only);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(testutil::CanonicalResult(*plain),
+            testutil::CanonicalResult(*filtered));
+}
+
+TEST(Fig6cTest, ConnectivityPruningAgreesWithPlainMatchAndSkipsWork) {
+  paper::Example ex = paper::Fig6cPruning();
+  MatchStats plain_stats, pruned_stats;
+  auto plain = MatchStrong(ex.pattern, ex.data, {}, &plain_stats);
+  MatchOptions prune_only;
+  prune_only.connectivity_pruning = true;
+  auto pruned = MatchStrong(ex.pattern, ex.data, prune_only, &pruned_stats);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(testutil::CanonicalResult(*plain),
+            testutil::CanonicalResult(*pruned));
+  // Pruning must reduce the candidate pairs fed into refinement.
+  EXPECT_LT(pruned_stats.candidate_pairs_refined,
+            plain_stats.candidate_pairs_refined);
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,95 @@
+#include "matching/parallel_match.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "graph/paper_graphs.h"
+#include "quality/workloads.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::CanonicalResult;
+
+TEST(ParallelMatchTest, RejectsBadPattern) {
+  Graph q = testutil::MakeGraph({1, 2}, {});
+  Graph g = testutil::MakeGraph({1, 2}, {{0, 1}});
+  EXPECT_TRUE(MatchStrongParallel(q, g).status().IsInvalidArgument());
+}
+
+TEST(ParallelMatchTest, SingleThreadEqualsSequential) {
+  paper::Example ex = paper::Fig1();
+  auto seq = MatchStrong(ex.pattern, ex.data);
+  auto par = MatchStrongParallel(ex.pattern, ex.data, {}, 1);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(CanonicalResult(*seq), CanonicalResult(*par));
+}
+
+TEST(ParallelMatchTest, ManyThreadsEqualSequentialAcrossOptions) {
+  Graph g = MakeAmazonLike(800, 3);
+  auto patterns = MakePatternWorkload(g, 5, 2, 4);
+  ASSERT_FALSE(patterns.empty());
+  for (const Graph& q : patterns) {
+    for (int mask = 0; mask < 8; ++mask) {
+      MatchOptions options;
+      options.minimize_query = mask & 1;
+      options.dual_filter = mask & 2;
+      options.connectivity_pruning = mask & 4;
+      auto seq = MatchStrong(q, g, options);
+      auto par = MatchStrongParallel(q, g, options, 8);
+      ASSERT_TRUE(seq.ok());
+      ASSERT_TRUE(par.ok());
+      EXPECT_EQ(CanonicalResult(*seq), CanonicalResult(*par))
+          << "option mask " << mask;
+    }
+  }
+}
+
+TEST(ParallelMatchTest, MoreThreadsThanCenters) {
+  Graph q = testutil::MakeGraph({1, 2}, {{0, 1}});
+  Graph g = testutil::MakeGraph({1, 2}, {{0, 1}});
+  auto par = MatchStrongParallel(q, g, {}, 64);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(par->size(), 1u);
+}
+
+TEST(ParallelMatchTest, StatsAggregateAcrossShards) {
+  Graph g = MakeUniform(300, 1.25, 3, 5);
+  std::vector<Label> pool{0, 1, 2};
+  Graph q = RandomPattern(3, 1.2, pool, 6);
+  MatchStats seq_stats, par_stats;
+  auto seq = MatchStrong(q, g, {}, &seq_stats);
+  auto par = MatchStrongParallel(q, g, {}, 4, &par_stats);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(par_stats.balls_considered, seq_stats.balls_considered);
+  EXPECT_EQ(par_stats.subgraphs_found, seq_stats.subgraphs_found);
+  EXPECT_EQ(par_stats.candidate_pairs_refined,
+            seq_stats.candidate_pairs_refined);
+}
+
+TEST(ParallelMatchTest, ResultsSortedByCenter) {
+  Graph g = MakeUniform(400, 1.3, 2, 9);
+  std::vector<Label> pool{0, 1};
+  Graph q = RandomPattern(3, 1.2, pool, 10);
+  auto par = MatchStrongParallel(q, g, {}, 4);
+  ASSERT_TRUE(par.ok());
+  for (size_t i = 1; i < par->size(); ++i) {
+    EXPECT_LT((*par)[i - 1].center, (*par)[i].center);
+  }
+}
+
+TEST(ParallelMatchTest, DedupOffKeepsPerBallResults) {
+  Graph q = testutil::MakeGraph({1, 2}, {{0, 1}});
+  Graph g = testutil::MakeGraph({1, 2}, {{0, 1}});
+  MatchOptions raw;
+  raw.dedup = false;
+  auto par = MatchStrongParallel(q, g, raw, 4);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(par->size(), 2u);  // one per matched center
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,76 @@
+#include "distributed/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+TEST(HashPartitionTest, CoversAllSitesAndNodes) {
+  auto p = HashPartition(10000, 8, 1);
+  EXPECT_EQ(p.owner.size(), 10000u);
+  std::set<uint32_t> sites(p.owner.begin(), p.owner.end());
+  EXPECT_EQ(sites.size(), 8u);
+  for (uint32_t s : p.owner) EXPECT_LT(s, 8u);
+}
+
+TEST(HashPartitionTest, RoughlyBalanced) {
+  auto p = HashPartition(80000, 4, 7);
+  for (uint32_t s = 0; s < 4; ++s) {
+    const size_t size = p.NodesOf(s).size();
+    EXPECT_GT(size, 18000u);
+    EXPECT_LT(size, 22000u);
+  }
+}
+
+TEST(HashPartitionTest, DeterministicInSeed) {
+  auto a = HashPartition(1000, 4, 5);
+  auto b = HashPartition(1000, 4, 5);
+  auto c = HashPartition(1000, 4, 6);
+  EXPECT_EQ(a.owner, b.owner);
+  EXPECT_NE(a.owner, c.owner);
+}
+
+TEST(ChunkPartitionTest, ContiguousRanges) {
+  auto p = ChunkPartition(10, 3);
+  EXPECT_EQ(p.owner, (std::vector<uint32_t>{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}));
+}
+
+TEST(BfsPartitionTest, AssignsEveryNode) {
+  Graph g = MakeAmazonLike(5000, 3);
+  auto p = BfsPartition(g, 4);
+  for (uint32_t s : p.owner) EXPECT_LT(s, 4u);
+  size_t total = 0;
+  for (uint32_t s = 0; s < 4; ++s) total += p.NodesOf(s).size();
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(BfsPartitionTest, CutsFewerEdgesThanHashOnClusteredGraph) {
+  Graph g = MakeAmazonLike(5000, 11);
+  auto hash = HashPartition(g.num_nodes(), 4, 1);
+  auto bfs = BfsPartition(g, 4);
+  EXPECT_LT(CountCutEdges(g, bfs), CountCutEdges(g, hash));
+}
+
+TEST(CutEdgesTest, SingleSiteCutsNothing) {
+  Graph g = MakeUniform(500, 1.2, 5, 9);
+  auto p = ChunkPartition(g.num_nodes(), 1);
+  EXPECT_EQ(CountCutEdges(g, p), 0u);
+}
+
+TEST(BorderNodesTest, IdentifiesCrossFragmentNodes) {
+  // 0 -> 1 -> 2 -> 3, split {0,1} | {2,3}: borders are 1 and 2.
+  Graph g = testutil::MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}});
+  PartitionAssignment p;
+  p.num_fragments = 2;
+  p.owner = {0, 0, 1, 1};
+  EXPECT_EQ(BorderNodes(g, p, 0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(BorderNodes(g, p, 1), (std::vector<NodeId>{2}));
+}
+
+}  // namespace
+}  // namespace gpm

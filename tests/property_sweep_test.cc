@@ -1,0 +1,153 @@
+// Cross-algorithm invariants swept over realistic generator workloads:
+// every (dataset family × pattern size) combination must satisfy the
+// paper's containment, determinism and consistency guarantees.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/logging.h"
+#include "distributed/distributed_match.h"
+#include "graph/generator.h"
+#include "graph/traversal.h"
+#include "isomorphism/vf2.h"
+#include "matching/dual_simulation.h"
+#include "matching/parallel_match.h"
+#include "matching/simulation.h"
+#include "matching/strong_simulation.h"
+#include "quality/closeness.h"
+#include "quality/workloads.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::CanonicalResult;
+
+struct SweepCase {
+  DatasetKind kind;
+  uint32_t num_nodes;
+  uint32_t pattern_nodes;
+};
+
+class GeneratorSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t>> {
+ protected:
+  SweepCase Case() const {
+    static const DatasetKind kKinds[] = {DatasetKind::kAmazonLike,
+                                         DatasetKind::kYouTubeLike,
+                                         DatasetKind::kUniform};
+    const DatasetKind kind = kKinds[std::get<0>(GetParam())];
+    const uint32_t nq = std::get<1>(GetParam());
+    const uint32_t n = kind == DatasetKind::kYouTubeLike ? 300u : 600u;
+    return {kind, n, nq};
+  }
+
+  void Prepare() {
+    const SweepCase c = Case();
+    data_ = MakeDataset(c.kind, c.num_nodes, /*seed=*/77, 1.2,
+                        ScaledLabelCount(c.num_nodes));
+    Rng rng(99);
+    auto q = ExtractPattern(data_, c.pattern_nodes, &rng);
+    GPM_CHECK(q.ok());
+    pattern_ = std::move(*q);
+  }
+
+  Graph data_;
+  Graph pattern_;
+};
+
+std::string SweepName(
+    const ::testing::TestParamInfo<std::tuple<int, uint32_t>>& info) {
+  static const char* kNames[] = {"Amazon", "YouTube", "Synthetic"};
+  return std::string(kNames[std::get<0>(info.param)]) + "q" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, GeneratorSweepTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(3u, 5u, 7u)),
+                         SweepName);
+
+TEST_P(GeneratorSweepTest, ContainmentChainAcrossNotions) {
+  Prepare();
+  // Prop 1: iso nodes ⊆ strong nodes ⊆ dual nodes ⊆ sim nodes.
+  Vf2Options caps;
+  caps.max_matches = 5000;
+  caps.time_budget_seconds = 5;
+  const auto iso_nodes = MatchedNodes(Vf2Enumerate(pattern_, data_, caps).matches);
+  auto strong = MatchStrong(pattern_, data_);
+  ASSERT_TRUE(strong.ok());
+  const auto strong_nodes = MatchedNodes(*strong);
+  const auto dual_nodes = MatchedNodes(ComputeDualSimulation(pattern_, data_));
+  const auto sim_nodes = MatchedNodes(ComputeSimulation(pattern_, data_));
+  EXPECT_TRUE(std::includes(strong_nodes.begin(), strong_nodes.end(),
+                            iso_nodes.begin(), iso_nodes.end()));
+  EXPECT_TRUE(std::includes(dual_nodes.begin(), dual_nodes.end(),
+                            strong_nodes.begin(), strong_nodes.end()));
+  EXPECT_TRUE(std::includes(sim_nodes.begin(), sim_nodes.end(),
+                            dual_nodes.begin(), dual_nodes.end()));
+}
+
+TEST_P(GeneratorSweepTest, MatchIsDeterministic) {
+  Prepare();
+  auto a = MatchStrong(pattern_, data_);
+  auto b = MatchStrong(pattern_, data_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(CanonicalResult(*a), CanonicalResult(*b));
+}
+
+TEST_P(GeneratorSweepTest, OptimizationsAndParallelismAgree) {
+  Prepare();
+  auto baseline = MatchStrong(pattern_, data_);
+  ASSERT_TRUE(baseline.ok());
+  const auto canonical = CanonicalResult(*baseline);
+  auto plus = MatchStrongPlus(pattern_, data_);
+  ASSERT_TRUE(plus.ok());
+  EXPECT_EQ(CanonicalResult(*plus), canonical);
+  auto parallel = MatchStrongParallel(pattern_, data_, MatchPlusOptions(), 4);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(CanonicalResult(*parallel), canonical);
+}
+
+TEST_P(GeneratorSweepTest, DistributedAgrees) {
+  Prepare();
+  auto central = MatchStrong(pattern_, data_);
+  ASSERT_TRUE(central.ok());
+  DistributedOptions options;
+  options.num_sites = 3;
+  auto dist = MatchStrongDistributed(pattern_, data_, options);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(CanonicalResult(*dist), CanonicalResult(*central));
+}
+
+TEST_P(GeneratorSweepTest, EveryPerfectSubgraphIsWithinItsBall) {
+  Prepare();
+  auto strong = MatchStrong(pattern_, data_);
+  ASSERT_TRUE(strong.ok());
+  for (const auto& pg : *strong) {
+    std::vector<bool> within(data_.num_nodes(), false);
+    for (const BfsEntry& e :
+         Bfs(data_, pg.center, EdgeDirection::kUndirected, pg.radius)) {
+      within[e.node] = true;
+    }
+    for (NodeId v : pg.nodes) EXPECT_TRUE(within[v]);
+    // And every match-graph edge is a real data edge.
+    for (const auto& [a, b] : pg.edges) EXPECT_TRUE(data_.HasEdge(a, b));
+  }
+}
+
+TEST_P(GeneratorSweepTest, ExtractedPatternAlwaysHasMatches) {
+  Prepare();
+  // The pattern is an induced subgraph of the data, so strong simulation
+  // must find at least one perfect subgraph (the planted one survives
+  // dual refinement: the identity assignment is a dual simulation into
+  // the ball around any planted node... via the full graph's relation).
+  auto strong = MatchStrong(pattern_, data_);
+  ASSERT_TRUE(strong.ok());
+  EXPECT_FALSE(strong->empty());
+}
+
+}  // namespace
+}  // namespace gpm

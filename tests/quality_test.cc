@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "isomorphism/vf2.h"
+#include "matching/dual_simulation.h"
+#include "matching/simulation.h"
+#include "matching/strong_simulation.h"
+#include "quality/closeness.h"
+#include "quality/histograms.h"
+#include "quality/table_printer.h"
+#include "quality/workloads.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+TEST(ClosenessTest, ConventionsAtEmpty) {
+  EXPECT_DOUBLE_EQ(Closeness({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Closeness({1, 2}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Closeness({}, {1, 2}), 0.0);
+}
+
+TEST(ClosenessTest, RatioOfNodeCounts) {
+  EXPECT_DOUBLE_EQ(Closeness({1, 2, 3}, {1, 2, 3, 4}), 0.75);
+  EXPECT_DOUBLE_EQ(Closeness({1, 2}, {1, 2}), 1.0);
+}
+
+TEST(ClosenessTest, Proposition1OrdersClosenessOnRealWorkload) {
+  // VF2 nodes ⊆ strong-sim nodes ⊆ dual ⊆ sim (Prop 1), so closeness is
+  // monotone: VF2 (1.0) >= Match >= Sim.
+  Graph g = MakeDataset(DatasetKind::kAmazonLike, 1500, 31);
+  auto patterns = MakePatternWorkload(g, 5, 3, 32);
+  ASSERT_FALSE(patterns.empty());
+  for (const Graph& q : patterns) {
+    Vf2Options cap;
+    cap.max_matches = 20000;
+    auto iso_nodes = MatchedNodes(Vf2Enumerate(q, g, cap).matches);
+    auto strong = MatchStrong(q, g);
+    ASSERT_TRUE(strong.ok());
+    auto strong_nodes = MatchedNodes(*strong);
+    auto sim_nodes = MatchedNodes(ComputeSimulation(q, g));
+    const double c_match = Closeness(iso_nodes, strong_nodes);
+    const double c_sim = Closeness(iso_nodes, sim_nodes);
+    EXPECT_LE(c_match, 1.0 + 1e-9);
+    EXPECT_GE(c_match, c_sim);
+  }
+}
+
+TEST(MatchedNodesTest, DeduplicatesAcrossMatches) {
+  std::vector<Vf2Match> matches;
+  matches.push_back({{1, 2}});
+  matches.push_back({{2, 3}});
+  EXPECT_EQ(MatchedNodes(matches), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(CountDistinctSubgraphsTest, NodeSetDedup) {
+  std::vector<Vf2Match> matches;
+  matches.push_back({{1, 2}});
+  matches.push_back({{2, 1}});  // same node set, different mapping
+  matches.push_back({{3, 4}});
+  EXPECT_EQ(CountDistinctSubgraphs(matches), 2u);
+}
+
+TEST(SizeHistogramTest, BucketBoundaries) {
+  EXPECT_EQ(SizeHistogram::BucketOf(0), 0u);
+  EXPECT_EQ(SizeHistogram::BucketOf(9), 0u);
+  EXPECT_EQ(SizeHistogram::BucketOf(10), 1u);
+  EXPECT_EQ(SizeHistogram::BucketOf(29), 2u);
+  EXPECT_EQ(SizeHistogram::BucketOf(49), 4u);
+  EXPECT_EQ(SizeHistogram::BucketOf(50), 5u);
+  EXPECT_EQ(SizeHistogram::BucketOf(5000), 5u);
+}
+
+TEST(SizeHistogramTest, CountsAndFractions) {
+  SizeHistogram h;
+  for (size_t s : {3u, 12u, 15u, 27u, 55u}) h.Add(s);
+  EXPECT_EQ(h.Total(), 5u);
+  EXPECT_EQ(h.Count(0), 1u);
+  EXPECT_EQ(h.Count(1), 2u);
+  EXPECT_EQ(h.Count(2), 1u);
+  EXPECT_EQ(h.Count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(30), 0.8);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"algo", "time"});
+  t.AddRow({"Match", "1.5"});
+  t.AddRow({"Match+", "1.0"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("algo"), std::string::npos);
+  EXPECT_NE(out.find("Match+"), std::string::npos);
+  // All lines (header, underline, rows) end flush: every row printed.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(BenchScaleTest, DefaultsToSmall) {
+  // The test environment does not set GPM_SCALE=full.
+  BenchScale scale = BenchScale::FromEnv();
+  EXPECT_EQ(scale.Pick(10, 100), scale.full ? 100u : 10u);
+}
+
+TEST(WorkloadsTest, DatasetsHaveRequestedSizes) {
+  for (DatasetKind kind : {DatasetKind::kAmazonLike, DatasetKind::kYouTubeLike,
+                           DatasetKind::kUniform}) {
+    Graph g = MakeDataset(kind, 500, 41);
+    EXPECT_EQ(g.num_nodes(), 500u) << DatasetName(kind);
+    EXPECT_GT(g.num_edges(), 0u);
+  }
+}
+
+TEST(WorkloadsTest, PatternWorkloadRespectsCountAndSize) {
+  Graph g = MakeDataset(DatasetKind::kYouTubeLike, 800, 43);
+  auto patterns = MakePatternWorkload(g, 6, 4, 44);
+  EXPECT_EQ(patterns.size(), 4u);
+  for (const auto& q : patterns) EXPECT_EQ(q.num_nodes(), 6u);
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,116 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace gpm {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversSmallRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(11);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextDoubleIsUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallValues) {
+  Rng rng(19);
+  int small = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Zipf(200, 1.0) < 10) ++small;
+  }
+  // With s=1.0, the first 10 of 200 ranks carry ~half the mass.
+  EXPECT_GT(small, 3000);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform) {
+  Rng rng(21);
+  int small = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Zipf(100, 0.0) < 10) ++small;
+  }
+  EXPECT_NEAR(small / 10000.0, 0.1, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(23);
+  auto sample = rng.SampleWithoutReplacement(1000, 50);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), 50u);
+  EXPECT_EQ(unique.size(), 50u);
+  for (uint64_t v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(RngTest, SampleAllWhenKExceedsN) {
+  Rng rng(29);
+  auto sample = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,111 @@
+#include "extensions/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "matching/strong_simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(RankingTest, ExactEmbeddingScoresOne) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2}, {{0, 1}});
+  auto result = MatchStrong(q, g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_DOUBLE_EQ(ScoreMatch(q, (*result)[0]), 1.0);
+}
+
+TEST(RankingTest, SmallerAndTighterScoresHigher) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  // Data: one exact pair, and one blob where the b is shared by three a's
+  // (bigger subgraph, more ambiguity).
+  Graph g = MakeGraph({1, 2, 1, 1, 1, 2},
+                      {{0, 1}, {2, 5}, {3, 5}, {4, 5}});
+  auto result = MatchStrong(q, g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->size(), 2u);
+  auto ranked = RankMatches(q, *result);
+  EXPECT_GT(ranked.front().score, ranked.back().score);
+  // A pattern-sized exact match ranks first; the 4-node blob last.
+  EXPECT_EQ((*result)[ranked.front().index].nodes.size(), 2u);
+  EXPECT_EQ((*result)[ranked.back().index].nodes.size(), 4u);
+}
+
+TEST(RankingTest, ScoresAreInUnitInterval) {
+  Graph g = MakeUniform(200, 1.3, 3, 5);
+  Rng rng(6);
+  auto q = ExtractPattern(g, 4, &rng);
+  ASSERT_TRUE(q.ok());
+  auto result = MatchStrong(*q, g);
+  ASSERT_TRUE(result.ok());
+  for (const auto& rm : RankMatches(*q, *result)) {
+    EXPECT_GE(rm.score, 0.0);
+    EXPECT_LE(rm.score, 1.0);
+  }
+}
+
+TEST(RankingTest, RankingIsSortedAndStable) {
+  Graph g = MakeUniform(300, 1.3, 3, 7);
+  Rng rng(8);
+  auto q = ExtractPattern(g, 4, &rng);
+  ASSERT_TRUE(q.ok());
+  auto result = MatchStrong(*q, g);
+  ASSERT_TRUE(result.ok());
+  auto ranked = RankMatches(*q, *result);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+  // Deterministic: same input, same order.
+  auto ranked2 = RankMatches(*q, *result);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].index, ranked2[i].index);
+  }
+}
+
+TEST(RankingTest, TopKTruncates) {
+  Graph q = MakeGraph({7}, {});
+  Graph g = MakeGraph({7, 7, 7, 7}, {});
+  auto result = MatchStrong(q, g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 4u);
+  EXPECT_EQ(TopKMatches(q, *result, 2).size(), 2u);
+  EXPECT_EQ(TopKMatches(q, *result, 10).size(), 4u);
+  EXPECT_TRUE(TopKMatches(q, *result, 0).empty());
+}
+
+TEST(RankingTest, WeightsShiftTheWinner) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2, 1, 1, 2},
+                      {{0, 1}, {2, 4}, {3, 4}});
+  auto result = MatchStrong(q, g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->size(), 2u);
+  // With zero weight on everything but specificity, the exact pair (one
+  // candidate per query node) still wins; sanity-check the knob plumbing
+  // by ensuring scores change when weights change.
+  RankingWeights only_compact;
+  only_compact.compactness = 1.0;
+  only_compact.specificity = 0.0;
+  only_compact.tightness = 0.0;
+  RankingWeights only_specific;
+  only_specific.compactness = 0.0;
+  only_specific.specificity = 1.0;
+  only_specific.tightness = 0.0;
+  // The 3-node blob {2,3,4}: compactness 2/3, specificity
+  // (1/2 + 1) / 2 = 0.75.
+  const PerfectSubgraph* blob = nullptr;
+  for (const auto& pg : *result) {
+    if (pg.nodes.size() == 3) blob = &pg;
+  }
+  ASSERT_NE(blob, nullptr);
+  EXPECT_NEAR(ScoreMatch(q, *blob, only_compact), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(ScoreMatch(q, *blob, only_specific), 0.75, 1e-9);
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,122 @@
+#include "extensions/regex_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+using testutil::MatchesOf;
+
+// Data graph with labeled edges.
+Graph EdgeLabeledGraph(
+    std::initializer_list<Label> labels,
+    std::initializer_list<std::tuple<NodeId, NodeId, EdgeLabel>> edges) {
+  Graph g;
+  for (Label l : labels) g.AddNode(l);
+  for (const auto& [u, v, el] : edges) g.AddEdge(u, v, el);
+  g.Finalize();
+  return g;
+}
+
+TEST(RegexQueryTest, DefaultConstraintIsPlainSimulation) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2, 2}, {{0, 1}});
+  RegexQuery query(std::move(q));
+  Graph q2 = MakeGraph({1, 2}, {{0, 1}});
+  auto regex_rel = ComputeRegexSimulation(query, g);
+  auto plain_rel = ComputeSimulation(q2, g);
+  EXPECT_EQ(regex_rel.sim, plain_rel.sim);
+}
+
+TEST(RegexQueryTest, SetConstraintValidation) {
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  EXPECT_TRUE(query.SetConstraint(0, 1, {RegexAtom{5, 1, 3}}).ok());
+  EXPECT_TRUE(query.SetConstraint(1, 0, {}).IsInvalidArgument());
+  EXPECT_TRUE(query.SetConstraint(0, 1, {}).IsInvalidArgument());
+  EXPECT_TRUE(
+      query.SetConstraint(0, 1, {RegexAtom{5, 3, 1}}).IsInvalidArgument());
+  EXPECT_TRUE(query.SetConstraint(0, 1, {RegexAtom{5, 1, 100000}})
+                  .IsInvalidArgument());
+}
+
+TEST(RegexQueryTest, SingleLabelAtomFollowsOnlyThatLabel) {
+  // a -[x]-> b: edge labeled x reaches b; edge labeled y must not.
+  Graph g = EdgeLabeledGraph({1, 2, 2}, {{0, 1, /*x=*/5}, {0, 2, /*y=*/6}});
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(query.SetConstraint(0, 1, {RegexAtom{5, 1, 1}}).ok());
+  auto rel = ComputeRegexSimulation(query, g);
+  ASSERT_TRUE(rel.IsTotal());
+  // Only node 1 is a valid witness, but both b-nodes stay in sim(b)
+  // since b has no out-constraints; the a-node matched via label 5.
+  EXPECT_EQ(MatchesOf(rel, 0), (std::set<NodeId>{0}));
+}
+
+TEST(RegexQueryTest, BoundedRepetition) {
+  // a -[x^{2..3}]-> b over an x-chain of length 2: ok. Length 1: not ok.
+  Graph chain2 = EdgeLabeledGraph({1, 9, 2}, {{0, 1, 5}, {1, 2, 5}});
+  Graph chain1 = EdgeLabeledGraph({1, 2}, {{0, 1, 5}});
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(query.SetConstraint(0, 1, {RegexAtom{5, 2, 3}}).ok());
+  EXPECT_TRUE(RegexSimulates(query, chain2));
+  EXPECT_FALSE(RegexSimulates(query, chain1));
+}
+
+TEST(RegexQueryTest, ConcatenationOfAtoms) {
+  // a -[x then y]-> b.
+  Graph good = EdgeLabeledGraph({1, 9, 2}, {{0, 1, 5}, {1, 2, 6}});
+  Graph wrong_order = EdgeLabeledGraph({1, 9, 2}, {{0, 1, 6}, {1, 2, 5}});
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(
+      query.SetConstraint(0, 1, {RegexAtom{5, 1, 1}, RegexAtom{6, 1, 1}}).ok());
+  EXPECT_TRUE(RegexSimulates(query, good));
+  EXPECT_FALSE(RegexSimulates(query, wrong_order));
+}
+
+TEST(RegexQueryTest, UnboundedRepetitionReachesFar) {
+  Graph far = EdgeLabeledGraph(
+      {1, 9, 9, 9, 2}, {{0, 1, 5}, {1, 2, 5}, {2, 3, 5}, {3, 4, 5}});
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(
+      query.SetConstraint(0, 1, {RegexAtom{5, 1, kUnboundedReps}}).ok());
+  EXPECT_TRUE(RegexSimulates(query, far));
+}
+
+TEST(RegexQueryTest, UnboundedWithMinRepsOnAwkwardCycle) {
+  // min 5 reps of x over a 2-cycle: hops 5, 7, 9... land alternately; the
+  // counted-state search must find the witness at hop >= 5.
+  Graph g = EdgeLabeledGraph({1, 2}, {{0, 1, 5}, {1, 0, 5}});
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(
+      query.SetConstraint(0, 1, {RegexAtom{5, 5, kUnboundedReps}}).ok());
+  auto rel = ComputeRegexSimulation(query, g);
+  EXPECT_TRUE(rel.IsTotal());  // b reached at hops 5, 7, ...
+}
+
+TEST(RegexQueryTest, ZeroMinRepsAllowsSkippingAtom) {
+  // a -[x^{0..1} then y]-> b: y alone suffices.
+  Graph g = EdgeLabeledGraph({1, 2}, {{0, 1, 6}});
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(
+      query.SetConstraint(0, 1, {RegexAtom{5, 0, 1}, RegexAtom{6, 1, 1}}).ok());
+  EXPECT_TRUE(RegexSimulates(query, g));
+}
+
+TEST(RegexQueryTest, WitnessMustBeMatchedNode) {
+  // a -[x^{1..2}]-> b -> c: the b reached must itself have a c-child.
+  Graph g = EdgeLabeledGraph({1, 2, 2, 3},
+                             {{0, 1, 5}, {1, 2, 5}, {2, 3, 0}});
+  // Node 1 (b, 1 hop) has no c-child; node 2 (b, 2 hops) does.
+  Graph q = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});
+  RegexQuery query(std::move(q));
+  ASSERT_TRUE(query.SetConstraint(0, 1, {RegexAtom{5, 1, 2}}).ok());
+  auto rel = ComputeRegexSimulation(query, g);
+  ASSERT_TRUE(rel.IsTotal());
+  EXPECT_EQ(MatchesOf(rel, 1), (std::set<NodeId>{2}));
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,142 @@
+#include "extensions/regex_strong.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/dual_simulation.h"
+#include "matching/strong_simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+using testutil::MatchesOf;
+
+Graph EdgeLabeledGraph(
+    std::initializer_list<Label> labels,
+    std::initializer_list<std::tuple<NodeId, NodeId, EdgeLabel>> edges) {
+  Graph g;
+  for (Label l : labels) g.AddNode(l);
+  for (const auto& [u, v, el] : edges) g.AddEdge(u, v, el);
+  g.Finalize();
+  return g;
+}
+
+TEST(RegexDualSimTest, DefaultConstraintsEqualPlainDualSimulation) {
+  Graph g = MakeGraph({1, 2, 2}, {{0, 1}});  // orphan b at node 2
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  Graph q2 = MakeGraph({1, 2}, {{0, 1}});
+  auto regex_rel = ComputeRegexDualSimulation(query, g);
+  auto plain_rel = ComputeDualSimulation(q2, g);
+  EXPECT_EQ(regex_rel.sim, plain_rel.sim);
+}
+
+TEST(RegexDualSimTest, ParentConditionUsesReversedWitness) {
+  // a -[x^{1..2}]-> b: b-matches need an *incoming* x-path of length <= 2
+  // from an a-match.
+  Graph g = EdgeLabeledGraph({1, 9, 2, 2},
+                             {{0, 1, 5}, {1, 2, 5}});  // node 3: orphan b
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(query.SetConstraint(0, 1, {RegexAtom{5, 1, 2}}).ok());
+  auto rel = ComputeRegexDualSimulation(query, g);
+  ASSERT_TRUE(rel.IsTotal());
+  EXPECT_EQ(MatchesOf(rel, 1), (std::set<NodeId>{2}));  // orphan filtered
+}
+
+TEST(RegexDualSimTest, ContainedInRegexSimulation) {
+  Graph g = EdgeLabeledGraph({1, 2, 2, 1},
+                             {{0, 1, 5}, {3, 2, 6}});
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(query.SetConstraint(0, 1, {RegexAtom{5, 1, 1}}).ok());
+  auto dual = ComputeRegexDualSimulation(query, g);
+  auto plain = ComputeRegexSimulation(query, g);
+  for (NodeId u = 0; u < 2; ++u) {
+    for (NodeId v : dual.sim[u]) EXPECT_TRUE(plain.Contains(u, v));
+  }
+}
+
+TEST(DefaultRegexRadiusTest, PlainEdgesGiveOrdinaryDiameter) {
+  RegexQuery query(MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}}));
+  EXPECT_EQ(DefaultRegexRadius(query), 2u);
+}
+
+TEST(DefaultRegexRadiusTest, BoundsStretchTheRadius) {
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(query.SetConstraint(0, 1, {RegexAtom{5, 1, 3}}).ok());
+  EXPECT_EQ(DefaultRegexRadius(query), 3u);
+  RegexQuery unbounded(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(
+      unbounded.SetConstraint(0, 1, {RegexAtom{5, 1, kUnboundedReps}}).ok());
+  EXPECT_EQ(DefaultRegexRadius(unbounded, /*unbounded_cap=*/6), 6u);
+}
+
+TEST(MatchStrongRegexTest, PlainEdgesMatchClassicStrongSimulationNodes) {
+  // With single-hop wildcard constraints, the matched node sets coincide
+  // with classic strong simulation (virtual edges == real edges).
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2, 1, 2}, {{0, 1}, {2, 3}, {3, 2}});
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  auto regex_result = MatchStrongRegex(query, g);
+  auto classic = MatchStrong(q, g);
+  ASSERT_TRUE(regex_result.ok());
+  ASSERT_TRUE(classic.ok());
+  EXPECT_EQ(testutil::AllNodes(*regex_result), testutil::AllNodes(*classic));
+}
+
+TEST(MatchStrongRegexTest, TwoHopConstraintMatchesThroughIntermediary) {
+  // a -[x^{1..2}]-> b across a -> m -> b; the intermediary m is not part
+  // of the match.
+  Graph g = EdgeLabeledGraph({1, 9, 2}, {{0, 1, 5}, {1, 2, 5}});
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(query.SetConstraint(0, 1, {RegexAtom{5, 1, 2}}).ok());
+  auto result = MatchStrongRegex(query, g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].nodes, (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ((*result)[0].edges,
+            (std::vector<std::pair<NodeId, NodeId>>{{0, 2}}));
+}
+
+TEST(MatchStrongRegexTest, LocalityStillExcludesFarMatches) {
+  // Pattern a <-> b with 1-hop constraints (radius 1): a far-apart
+  // alternating 8-cycle must be rejected, exactly like classic strong
+  // simulation's Q3 example... but here the cycle nodes ARE within each
+  // other's radius only pairwise; the 8-cycle still dual-matches globally
+  // and fails per-ball.
+  Graph q = MakeGraph({1, 2}, {{0, 1}, {1, 0}});
+  Graph g;
+  for (int i = 0; i < 8; ++i) g.AddNode(i % 2 == 0 ? 1 : 2);
+  for (int i = 0; i < 8; ++i) g.AddEdge(i, (i + 1) % 8);
+  g.Finalize();
+  RegexQuery query(std::move(q));
+  auto result = MatchStrongRegex(query, g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(MatchStrongRegexTest, RejectsDisconnectedPattern) {
+  RegexQuery query(MakeGraph({1, 2}, {}));
+  Graph g = MakeGraph({1, 2}, {{0, 1}});
+  EXPECT_TRUE(MatchStrongRegex(query, g).status().IsInvalidArgument());
+}
+
+TEST(MatchStrongRegexTest, EdgeTypedSocialExample) {
+  // "find a person who *follows* someone within two hops who *employs*
+  // them back" — follows = label 1, employs = label 2.
+  Graph q = MakeGraph({7, 8}, {{0, 1}, {1, 0}});
+  RegexQuery query(std::move(q));
+  ASSERT_TRUE(query.SetConstraint(0, 1, {RegexAtom{1, 1, 2}}).ok());
+  ASSERT_TRUE(query.SetConstraint(1, 0, {RegexAtom{2, 1, 1}}).ok());
+  // person(0) -follows-> person(9, wrong label) -follows-> boss(2);
+  // boss(2) -employs-> person(0). Plus a decoy boss without employs.
+  Graph g = EdgeLabeledGraph({7, 7, 8, 8},
+                             {{0, 1, 1}, {1, 2, 1}, {2, 0, 2}});
+  auto result = MatchStrongRegex(query, g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(testutil::MatchesOf(*result, 0), (std::set<NodeId>{0}));
+  EXPECT_EQ(testutil::MatchesOf(*result, 1), (std::set<NodeId>{2}));
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,77 @@
+#include "graph/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(StatisticsTest, EmptyGraph) {
+  Graph g;
+  g.Finalize();
+  auto stats = ComputeStatistics(g);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+}
+
+TEST(StatisticsTest, BasicCounts) {
+  Graph g = MakeGraph({1, 1, 2}, {{0, 1}, {1, 0}, {0, 2}});
+  auto stats = ComputeStatistics(g);
+  EXPECT_EQ(stats.num_nodes, 3u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_NEAR(stats.avg_out_degree, 1.0, 1e-9);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.max_in_degree, 1u);
+  // 2 of 3 edges are reciprocated (0<->1).
+  EXPECT_NEAR(stats.reciprocity, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.num_distinct_labels, 2u);
+  EXPECT_NEAR(stats.top_label_share, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.num_components, 1u);
+}
+
+TEST(StatisticsTest, GiniZeroForUniformDegrees) {
+  // Directed 4-cycle: every in-degree is 1.
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  auto stats = ComputeStatistics(g);
+  EXPECT_NEAR(stats.in_degree_gini, 0.0, 1e-9);
+}
+
+TEST(StatisticsTest, GiniHighForStar) {
+  Graph g;
+  for (int i = 0; i < 21; ++i) g.AddNode(0);
+  for (NodeId i = 1; i <= 20; ++i) g.AddEdge(i, 0);
+  g.Finalize();
+  auto stats = ComputeStatistics(g);
+  EXPECT_GT(stats.in_degree_gini, 0.9);
+}
+
+TEST(StatisticsTest, CopyingModelIsMoreSkewedThanUniform) {
+  // The DESIGN.md substitution claim: the Amazon-like generator has
+  // heavy-tailed in-degrees; the uniform generator does not.
+  auto amazon = ComputeStatistics(MakeAmazonLike(10000, 3));
+  auto uniform = ComputeStatistics(MakeUniform(10000, 1.2, 200, 3));
+  EXPECT_GT(amazon.in_degree_gini, uniform.in_degree_gini + 0.1);
+  EXPECT_GT(amazon.max_in_degree, uniform.max_in_degree);
+}
+
+TEST(StatisticsTest, YouTubeLikeIsReciprocal) {
+  auto youtube = ComputeStatistics(MakeYouTubeLike(3000, 5));
+  auto amazon = ComputeStatistics(MakeAmazonLike(3000, 5));
+  EXPECT_GT(youtube.reciprocity, 0.2);
+  EXPECT_LT(amazon.reciprocity, 0.15);
+}
+
+TEST(StatisticsTest, RenderContainsKeyFields) {
+  Graph g = MakeGraph({1, 2}, {{0, 1}});
+  const std::string text = RenderStatistics(ComputeStatistics(g));
+  EXPECT_NE(text.find("nodes:"), std::string::npos);
+  EXPECT_NE(text.find("reciprocity:"), std::string::npos);
+  EXPECT_NE(text.find("gini"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,95 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace gpm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad pattern");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad pattern");
+  EXPECT_EQ(s.ToString(), "invalid argument: bad pattern");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::IOError("disk");
+  Status t = s;
+  EXPECT_TRUE(t.IsIOError());
+  EXPECT_EQ(t.message(), "disk");
+  EXPECT_TRUE(s.IsIOError());  // source unchanged
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status s = Status::Corruption("torn page");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.IsCorruption());
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::NotFound("gone"); };
+  auto wrapper = [&]() -> Status {
+    GPM_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto make = [](bool good) -> Result<int> {
+    if (good) return 7;
+    return Status::Internal("boom");
+  };
+  auto sum = [&](bool good) -> Result<int> {
+    int a = 0;
+    GPM_ASSIGN_OR_RETURN(a, make(good));
+    return a + 1;
+  };
+  ASSERT_TRUE(sum(true).ok());
+  EXPECT_EQ(*sum(true), 8);
+  EXPECT_FALSE(sum(false).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueOrDie();
+  EXPECT_EQ(*p, 5);
+}
+
+}  // namespace
+}  // namespace gpm

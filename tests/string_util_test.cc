@@ -1,0 +1,69 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace gpm {
+namespace {
+
+TEST(SplitStringTest, SplitsOnWhitespaceDroppingEmpties) {
+  auto tokens = SplitString("  a\tbb   c ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "bb");
+  EXPECT_EQ(tokens[2], "c");
+}
+
+TEST(SplitStringTest, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(SplitString("").empty());
+  EXPECT_TRUE(SplitString("   ").empty());
+}
+
+TEST(TrimStringTest, StripsBothEnds) {
+  EXPECT_EQ(TrimString("  x y  "), "x y");
+  EXPECT_EQ(TrimString("\t\n"), "");
+  EXPECT_EQ(TrimString("abc"), "abc");
+}
+
+TEST(ParseUint64Test, ParsesValidIntegers) {
+  ASSERT_TRUE(ParseUint64("0").ok());
+  EXPECT_EQ(*ParseUint64("0"), 0u);
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("12x").ok());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());  // overflow
+}
+
+TEST(ParseDoubleTest, ParsesAndRejects) {
+  ASSERT_TRUE(ParseDouble("1.25").ok());
+  EXPECT_DOUBLE_EQ(*ParseDouble("1.25"), 1.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-3e2"), -300.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(ThousandsSeparatorsTest, GroupsDigits) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(1234567), "1,234,567");
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(0.7312, 2), "0.73");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,203 @@
+#include "matching/strong_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "graph/diameter.h"
+#include "graph/generator.h"
+#include "matching/dual_simulation.h"
+#include "matching/topology.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::CanonicalResult;
+using testutil::MakeGraph;
+
+TEST(StrongSimulationTest, RejectsEmptyPattern) {
+  Graph q;
+  q.Finalize();
+  Graph g = MakeGraph({1}, {});
+  EXPECT_TRUE(MatchStrong(q, g).status().IsInvalidArgument());
+}
+
+TEST(StrongSimulationTest, RejectsDisconnectedPattern) {
+  Graph q = MakeGraph({1, 2}, {});
+  Graph g = MakeGraph({1, 2}, {{0, 1}});
+  EXPECT_TRUE(MatchStrong(q, g).status().IsInvalidArgument());
+}
+
+TEST(StrongSimulationTest, SingleNodePatternMatchesEachLabelNode) {
+  Graph q = MakeGraph({7}, {});
+  Graph g = MakeGraph({7, 7, 8}, {{0, 2}, {2, 1}});
+  auto result = MatchStrong(q, g);
+  ASSERT_TRUE(result.ok());
+  // Radius 0 balls: every label-7 node is its own perfect subgraph.
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(testutil::AllNodes(*result), (std::set<NodeId>{0, 1}));
+}
+
+TEST(StrongSimulationTest, ExactMatchIsFound) {
+  Graph q = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});
+  Graph g = MakeGraph({1, 2, 3, 9}, {{0, 1}, {1, 2}, {2, 3}});
+  auto result = MatchStrong(q, g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].nodes, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(StrongSimulationTest, NoMatchReturnsEmpty) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 1}, {{0, 1}});
+  auto result = MatchStrong(q, g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(StrongSimulationTest, PerfectSubgraphsAreConnected) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = MakeUniform(150, 1.25, 4, seed);
+    std::vector<Label> pool{0, 1, 2, 3};
+    Graph q = RandomPattern(4, 1.2, pool, seed + 100);
+    auto result = MatchStrong(q, g);
+    ASSERT_TRUE(result.ok());
+    for (const auto& pg : *result) {
+      EXPECT_TRUE(IsConnected(pg.AsGraph(g))) << "seed " << seed;
+    }
+  }
+}
+
+TEST(StrongSimulationTest, Proposition3DiameterBound) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = MakeUniform(150, 1.3, 3, seed);
+    std::vector<Label> pool{0, 1, 2};
+    Graph q = RandomPattern(4, 1.25, pool, seed + 200);
+    auto result = MatchStrong(q, g);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(LocalityBounded(q, g, *result)) << "seed " << seed;
+  }
+}
+
+TEST(StrongSimulationTest, Proposition4CountBound) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = MakeUniform(120, 1.3, 3, seed);
+    std::vector<Label> pool{0, 1, 2};
+    Graph q = RandomPattern(3, 1.3, pool, seed + 300);
+    auto result = MatchStrong(q, g);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(MatchCountBounded(g, *result));
+  }
+}
+
+TEST(StrongSimulationTest, RelationWithinSubgraphIsDualConsistent) {
+  Graph g = MakeUniform(150, 1.25, 3, 7);
+  std::vector<Label> pool{0, 1, 2};
+  Graph q = RandomPattern(4, 1.2, pool, 77);
+  auto result = MatchStrong(q, g);
+  ASSERT_TRUE(result.ok());
+  for (const auto& pg : *result) {
+    // Every query node matched, all matched nodes inside pg.nodes.
+    EXPECT_TRUE(pg.relation.IsTotal());
+    std::set<NodeId> members(pg.nodes.begin(), pg.nodes.end());
+    for (const auto& list : pg.relation.sim) {
+      for (NodeId v : list) EXPECT_TRUE(members.count(v));
+    }
+    EXPECT_TRUE(members.count(pg.center));
+  }
+}
+
+TEST(StrongSimulationTest, AllOptimizationCombinationsAgree) {
+  // Theorem 1 (unique set of maximum perfect subgraphs): every optimization
+  // combination must produce the identical result set.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = MakeUniform(120, 1.3, 3, seed);
+    std::vector<Label> pool{0, 1, 2};
+    Graph q = RandomPattern(4, 1.3, pool, seed + 400);
+    auto baseline = MatchStrong(q, g);
+    ASSERT_TRUE(baseline.ok());
+    const auto canonical = CanonicalResult(*baseline);
+    for (int mask = 1; mask < 8; ++mask) {
+      MatchOptions options;
+      options.minimize_query = mask & 1;
+      options.dual_filter = mask & 2;
+      options.connectivity_pruning = mask & 4;
+      auto variant = MatchStrong(q, g, options);
+      ASSERT_TRUE(variant.ok());
+      EXPECT_EQ(CanonicalResult(*variant), canonical)
+          << "seed " << seed << " option mask " << mask;
+    }
+  }
+}
+
+TEST(StrongSimulationTest, DedupOffYieldsPerBallResults) {
+  // A 2-node pattern on its own copy: every matched center yields the same
+  // subgraph; dedup collapses them.
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2}, {{0, 1}});
+  MatchOptions raw;
+  raw.dedup = false;
+  auto with_dups = MatchStrong(q, g, raw);
+  auto deduped = MatchStrong(q, g);
+  ASSERT_TRUE(with_dups.ok());
+  ASSERT_TRUE(deduped.ok());
+  EXPECT_EQ(with_dups->size(), 2u);  // one per ball center
+  EXPECT_EQ(deduped->size(), 1u);
+}
+
+TEST(StrongSimulationTest, RadiusOverrideChangesLocality) {
+  // Chain data longer than the pattern diameter: a larger radius admits a
+  // bigger perfect subgraph (the paper fixes radius = dQ; the override
+  // exists for Lemma 3-style experiments).
+  Graph q = MakeGraph({1, 1}, {{0, 1}});  // diameter 1
+  Graph g = MakeGraph({1, 1, 1, 1, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto narrow = MatchStrong(q, g);
+  MatchOptions wide;
+  wide.radius_override = 4;
+  auto wider = MatchStrong(q, g, wide);
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wider.ok());
+  size_t max_narrow = 0, max_wide = 0;
+  for (const auto& pg : *narrow) max_narrow = std::max(max_narrow, pg.nodes.size());
+  for (const auto& pg : *wider) max_wide = std::max(max_wide, pg.nodes.size());
+  EXPECT_LT(max_narrow, max_wide);
+}
+
+TEST(StrongSimulationTest, StatsAreFilled) {
+  Graph g = MakeUniform(100, 1.2, 3, 1);
+  std::vector<Label> pool{0, 1, 2};
+  Graph q = RandomPattern(3, 1.2, pool, 2);
+  MatchStats stats;
+  auto result = MatchStrong(q, g, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.balls_considered, g.num_nodes());
+  EXPECT_GT(stats.pattern_diameter, 0u);
+  EXPECT_GE(stats.total_seconds, 0.0);
+}
+
+TEST(StrongSimulationTest, DualFilterSkipsBalls) {
+  Graph g = MakeUniform(200, 1.2, 10, 3);
+  std::vector<Label> pool{0, 1, 2};
+  Graph q = RandomPattern(3, 1.2, pool, 4);
+  MatchStats plain_stats, filtered_stats;
+  auto plain = MatchStrong(q, g, {}, &plain_stats);
+  MatchOptions filt;
+  filt.dual_filter = true;
+  auto filtered = MatchStrong(q, g, filt, &filtered_stats);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(CanonicalResult(*plain), CanonicalResult(*filtered));
+  EXPECT_LT(filtered_stats.balls_considered, plain_stats.balls_considered);
+}
+
+TEST(StrongSimulationTest, StronglySimulatesAgreesWithMatch) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph yes = MakeGraph({1, 2}, {{0, 1}});
+  Graph no = MakeGraph({1, 2}, {{1, 0}});
+  ASSERT_TRUE(StronglySimulates(q, yes).ok());
+  EXPECT_TRUE(*StronglySimulates(q, yes));
+  EXPECT_FALSE(*StronglySimulates(q, no));
+}
+
+}  // namespace
+}  // namespace gpm

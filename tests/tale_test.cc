@@ -1,0 +1,93 @@
+#include "isomorphism/tale.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "isomorphism/vf2.h"
+#include "quality/closeness.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(TaleTest, ExactMatchIsFound) {
+  Graph q = MakeGraph({1, 2, 3}, {{0, 1}, {0, 2}});
+  Graph g = MakeGraph({1, 2, 3, 9}, {{0, 1}, {0, 2}, {2, 3}});
+  auto matches = TaleMatch(q, g);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].matched_nodes, 3u);
+}
+
+TEST(TaleTest, ToleratesMissingNode) {
+  // Pattern a->{b,c,d}; data lacks d. With rho = 0.25, 3 of 4 matched
+  // nodes suffice.
+  Graph q = MakeGraph({1, 2, 3, 4}, {{0, 1}, {0, 2}, {0, 3}});
+  Graph g = MakeGraph({1, 2, 3}, {{0, 1}, {0, 2}});
+  TaleOptions loose;
+  loose.rho = 0.25;
+  auto matches = TaleMatch(q, g, loose);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].matched_nodes, 3u);
+  EXPECT_EQ(matches[0].mapping[3], kInvalidNode);
+}
+
+TEST(TaleTest, StrictRhoRejectsPartialMatch) {
+  Graph q = MakeGraph({1, 2, 3, 4}, {{0, 1}, {0, 2}, {0, 3}});
+  Graph g = MakeGraph({1, 2, 3}, {{0, 1}, {0, 2}});
+  TaleOptions strict;
+  strict.rho = 0.0;
+  EXPECT_TRUE(TaleMatch(q, g, strict).empty());
+}
+
+TEST(TaleTest, NoLabelOverlapMeansNoMatches) {
+  Graph q = MakeGraph({7, 8}, {{0, 1}});
+  Graph g = MakeGraph({1, 2}, {{0, 1}});
+  EXPECT_TRUE(TaleMatch(q, g).empty());
+}
+
+TEST(TaleTest, FindsSupersetOfIsomorphismNodes) {
+  // Approximate matching is more permissive than exact matching: wherever
+  // VF2 embeds an extracted pattern, TALE should match around there too
+  // (it probes by anchor label and tolerates slack). We check TALE finds
+  // at least as many distinct subgraphs.
+  Graph g = MakeAmazonLike(1500, 7);
+  Rng rng(8);
+  auto q = ExtractPattern(g, 5, &rng);
+  ASSERT_TRUE(q.ok());
+  auto tale = TaleMatch(*q, g);
+  Vf2Options cap;
+  cap.max_matches = 10000;
+  auto iso = Vf2Enumerate(*q, g, cap);
+  EXPECT_GE(CountDistinctSubgraphs(tale),
+            std::min<size_t>(1, iso.matches.size()));
+}
+
+TEST(TaleTest, ProbeCapBoundsWork) {
+  Graph g = MakeYouTubeLike(2000, 9);
+  Rng rng(10);
+  auto q = ExtractPattern(g, 6, &rng);
+  ASSERT_TRUE(q.ok());
+  TaleOptions capped;
+  capped.max_probes = 5;
+  auto matches = TaleMatch(*q, g, capped);
+  EXPECT_LE(matches.size(), 5u);
+}
+
+TEST(TaleTest, MappingsAreInjectiveOnMatchedNodes) {
+  Graph g = MakeAmazonLike(1000, 11);
+  Rng rng(12);
+  auto q = ExtractPattern(g, 5, &rng);
+  ASSERT_TRUE(q.ok());
+  for (const auto& m : TaleMatch(*q, g)) {
+    auto nodes = m.MatchedDataNodes();
+    for (size_t i = 1; i < nodes.size(); ++i) {
+      EXPECT_LT(nodes[i - 1], nodes[i]);  // sorted & distinct
+    }
+    EXPECT_EQ(nodes.size(), m.matched_nodes);
+  }
+}
+
+}  // namespace
+}  // namespace gpm

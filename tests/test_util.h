@@ -1,0 +1,72 @@
+// Shared helpers for the gpm test suite.
+
+#ifndef GPM_TESTS_TEST_UTIL_H_
+#define GPM_TESTS_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "matching/match_relation.h"
+#include "matching/strong_simulation.h"
+
+namespace gpm::testutil {
+
+/// Builds a finalized graph from per-node labels and an edge list.
+inline Graph MakeGraph(std::initializer_list<Label> labels,
+                       std::initializer_list<std::pair<NodeId, NodeId>> edges) {
+  Graph g;
+  for (Label l : labels) g.AddNode(l);
+  for (const auto& [u, v] : edges) g.AddEdge(u, v);
+  g.Finalize();
+  return g;
+}
+
+/// The set of data nodes matched to `query_node` across a relation.
+inline std::set<NodeId> MatchesOf(const MatchRelation& s, NodeId query_node) {
+  return {s.sim[query_node].begin(), s.sim[query_node].end()};
+}
+
+/// Union of all data nodes appearing in the relation.
+inline std::set<NodeId> AllMatchedNodes(const MatchRelation& s) {
+  std::set<NodeId> out;
+  for (const auto& list : s.sim) out.insert(list.begin(), list.end());
+  return out;
+}
+
+/// Union of all nodes across perfect subgraphs.
+inline std::set<NodeId> AllNodes(const std::vector<PerfectSubgraph>& pgs) {
+  std::set<NodeId> out;
+  for (const auto& pg : pgs) out.insert(pg.nodes.begin(), pg.nodes.end());
+  return out;
+}
+
+/// Union of data nodes matched to `query_node` across perfect subgraphs.
+inline std::set<NodeId> MatchesOf(const std::vector<PerfectSubgraph>& pgs,
+                                  NodeId query_node) {
+  std::set<NodeId> out;
+  for (const auto& pg : pgs) {
+    out.insert(pg.relation.sim[query_node].begin(),
+               pg.relation.sim[query_node].end());
+  }
+  return out;
+}
+
+/// Canonical form of a result set for cross-option equality checks:
+/// the sorted set of (nodes, edges) pairs.
+inline std::set<std::pair<std::vector<NodeId>,
+                          std::vector<std::pair<NodeId, NodeId>>>>
+CanonicalResult(const std::vector<PerfectSubgraph>& pgs) {
+  std::set<std::pair<std::vector<NodeId>,
+                     std::vector<std::pair<NodeId, NodeId>>>>
+      out;
+  for (const auto& pg : pgs) out.emplace(pg.nodes, pg.edges);
+  return out;
+}
+
+}  // namespace gpm::testutil
+
+#endif  // GPM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,157 @@
+// Randomized property suite for §3.1: the Table 2 criteria and the
+// Prop 1 containment chain across matching notions.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "graph/generator.h"
+#include "matching/dual_simulation.h"
+#include "matching/simulation.h"
+#include "matching/strong_simulation.h"
+#include "matching/topology.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+struct Workload {
+  Graph data;
+  Graph pattern;
+};
+
+// A seeded data/pattern pair; patterns are extracted so matches exist.
+Workload MakeWorkload(uint64_t seed, uint32_t nq = 4) {
+  Workload w;
+  w.data = MakeUniform(120, 1.3, 3, seed);
+  Rng rng(seed + 1);
+  auto q = ExtractPattern(w.data, nq, &rng);
+  GPM_CHECK(q.ok());
+  w.pattern = std::move(*q);
+  return w;
+}
+
+class TopologySweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologySweepTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST_P(TopologySweepTest, SimulationPreservesChildrenOnly) {
+  Workload w = MakeWorkload(GetParam());
+  auto s = ComputeSimulation(w.pattern, w.data);
+  if (!s.IsTotal()) GTEST_SKIP();
+  EXPECT_TRUE(ChildrenPreserved(w.pattern, w.data, s));
+  // Parents preservation is NOT guaranteed for plain simulation; no
+  // assertion either way (Table 2 row 1: ×). Counterexamples are pinned
+  // in the deterministic tests below.
+}
+
+TEST_P(TopologySweepTest, DualSimulationPreservesChildrenAndParents) {
+  Workload w = MakeWorkload(GetParam());
+  auto s = ComputeDualSimulation(w.pattern, w.data);
+  if (!s.IsTotal()) GTEST_SKIP();
+  EXPECT_TRUE(ChildrenPreserved(w.pattern, w.data, s));
+  EXPECT_TRUE(ParentsPreserved(w.pattern, w.data, s));
+  EXPECT_TRUE(ConnectivityPreserved(w.pattern, w.data, s));
+  EXPECT_TRUE(DirectedCyclesPreserved(w.pattern, w.data, s));
+  EXPECT_TRUE(UndirectedCyclesPreserved(w.pattern, w.data, s));
+}
+
+TEST_P(TopologySweepTest, StrongContainedInDualContainedInSim) {
+  // Prop 1 (2)(3): every strong-simulation match pair appears in the dual
+  // relation; every dual pair appears in the simulation relation.
+  Workload w = MakeWorkload(GetParam());
+  auto strong = MatchStrong(w.pattern, w.data);
+  ASSERT_TRUE(strong.ok());
+  auto dual = ComputeDualSimulation(w.pattern, w.data);
+  auto sim = ComputeSimulation(w.pattern, w.data);
+  for (const auto& pg : *strong) {
+    for (NodeId u = 0; u < w.pattern.num_nodes(); ++u) {
+      for (NodeId v : pg.relation.sim[u]) {
+        EXPECT_TRUE(dual.Contains(u, v));
+      }
+    }
+  }
+  for (NodeId u = 0; u < w.pattern.num_nodes(); ++u) {
+    for (NodeId v : dual.sim[u]) EXPECT_TRUE(sim.Contains(u, v));
+  }
+}
+
+TEST_P(TopologySweepTest, StrongSimulationSatisfiesAllCriteria) {
+  Workload w = MakeWorkload(GetParam());
+  auto strong = MatchStrong(w.pattern, w.data);
+  ASSERT_TRUE(strong.ok());
+  EXPECT_TRUE(LocalityBounded(w.pattern, w.data, *strong));
+  EXPECT_TRUE(MatchCountBounded(w.data, *strong));
+  for (const auto& pg : *strong) {
+    EXPECT_TRUE(ChildrenPreserved(w.pattern, w.data, pg.relation));
+    // Parent witnesses inside a perfect subgraph are constrained to the
+    // match-graph edges; ParentsPreserved checks against g, which is
+    // implied.
+    EXPECT_TRUE(ParentsPreserved(w.pattern, w.data, pg.relation));
+  }
+}
+
+// --- Deterministic counterexamples pinning the × entries of Table 2 -----
+
+TEST(TopologyCounterexamples, SimulationViolatesParents) {
+  // a -> b pattern, orphan b in data: simulation keeps it.
+  Graph q = testutil::MakeGraph({1, 2}, {{0, 1}});
+  Graph g = testutil::MakeGraph({1, 2, 2}, {{0, 1}});
+  auto s = ComputeSimulation(q, g);
+  ASSERT_TRUE(s.IsTotal());
+  EXPECT_FALSE(ParentsPreserved(q, g, s));
+}
+
+TEST(TopologyCounterexamples, SimulationViolatesConnectivity) {
+  // Connected pattern, match graph spans two components with the second
+  // missing a-parents: plain simulation accepts, per-component dual check
+  // fails.
+  Graph q = testutil::MakeGraph({1, 2}, {{0, 1}});
+  Graph g = testutil::MakeGraph({1, 2, 2}, {{0, 1}});
+  auto s = ComputeSimulation(q, g);
+  ASSERT_TRUE(s.IsTotal());
+  EXPECT_FALSE(ConnectivityPreserved(q, g, s));
+}
+
+TEST(TopologyCounterexamples, SimulationViolatesUndirectedCycles) {
+  // Undirected triangle pattern vs tree data (cf. Example 1): simulation
+  // matches, but no undirected cycle exists in the match graph.
+  Graph q = testutil::MakeGraph({1, 2, 3}, {{0, 1}, {0, 2}, {1, 2}});
+  Graph tree = testutil::MakeGraph({1, 2, 3, 3}, {{0, 1}, {0, 2}, {1, 3}});
+  auto s = ComputeSimulation(q, tree);
+  ASSERT_TRUE(s.IsTotal());
+  EXPECT_FALSE(UndirectedCyclesPreserved(q, tree, s));
+}
+
+TEST(TopologyCounterexamples, DualSimulationViolatesLocality) {
+  // Q3-style 2-cycle pattern vs a long alternating cycle: dual simulation
+  // matches the entire cycle — unbounded diameter, no locality. Strong
+  // simulation rejects exactly this (Example 2(5) analogue).
+  Graph q = testutil::MakeGraph({1, 2}, {{0, 1}, {1, 0}});
+  Graph g;  // alternating 12-cycle
+  for (int i = 0; i < 12; ++i) g.AddNode(i % 2 == 0 ? 1 : 2);
+  for (int i = 0; i < 12; ++i) g.AddEdge(i, (i + 1) % 12);
+  g.Finalize();
+  auto dual = ComputeDualSimulation(q, g);
+  EXPECT_TRUE(dual.IsTotal());  // all 12 nodes match
+  EXPECT_EQ(dual.NumPairs(), 12u);
+  auto strong = MatchStrong(q, g);
+  ASSERT_TRUE(strong.ok());
+  EXPECT_TRUE(strong->empty());  // locality kills the long cycle
+}
+
+TEST(TopologyCounterexamples, DirectedCyclePreservedEvenBySimulation) {
+  // Prop 2: a directed cycle in Q forces one in the match graph, already
+  // under plain simulation.
+  Graph q = testutil::MakeGraph({1, 2}, {{0, 1}, {1, 0}});
+  Graph g;  // alternating 8-cycle
+  for (int i = 0; i < 8; ++i) g.AddNode(i % 2 == 0 ? 1 : 2);
+  for (int i = 0; i < 8; ++i) g.AddEdge(i, (i + 1) % 8);
+  g.Finalize();
+  auto s = ComputeSimulation(q, g);
+  ASSERT_TRUE(s.IsTotal());
+  EXPECT_TRUE(DirectedCyclesPreserved(q, g, s));
+}
+
+}  // namespace
+}  // namespace gpm

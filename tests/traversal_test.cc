@@ -1,0 +1,109 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+// 0 -> 1 -> 2 -> 3, plus 4 isolated.
+Graph Chain() {
+  return MakeGraph({0, 0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}});
+}
+
+TEST(BfsTest, DirectedFollowsOutEdges) {
+  Graph g = Chain();
+  auto order = Bfs(g, 0, EdgeDirection::kOut);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0].node, 0u);
+  EXPECT_EQ(order[0].distance, 0u);
+  EXPECT_EQ(order[3].node, 3u);
+  EXPECT_EQ(order[3].distance, 3u);
+}
+
+TEST(BfsTest, ReverseFollowsInEdges) {
+  Graph g = Chain();
+  auto order = Bfs(g, 3, EdgeDirection::kIn);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.back().node, 0u);
+  EXPECT_EQ(order.back().distance, 3u);
+}
+
+TEST(BfsTest, DirectedMissesUpstreamNodes) {
+  Graph g = Chain();
+  auto order = Bfs(g, 2, EdgeDirection::kOut);
+  EXPECT_EQ(order.size(), 2u);  // 2, 3 only
+}
+
+TEST(BfsTest, UndirectedReachesBothDirections) {
+  Graph g = Chain();
+  auto order = Bfs(g, 2, EdgeDirection::kUndirected);
+  EXPECT_EQ(order.size(), 4u);  // everything but the isolated node
+}
+
+TEST(BfsTest, MaxDepthTruncates) {
+  Graph g = Chain();
+  auto order = Bfs(g, 0, EdgeDirection::kOut, 1);
+  EXPECT_EQ(order.size(), 2u);
+  for (const auto& e : order) EXPECT_LE(e.distance, 1u);
+}
+
+TEST(BfsTest, DepthZeroIsJustTheSource) {
+  Graph g = Chain();
+  auto order = Bfs(g, 1, EdgeDirection::kUndirected, 0);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0].node, 1u);
+}
+
+TEST(BfsTest, DistancesAreNonDecreasing) {
+  Graph g = MakeGraph({0, 0, 0, 0, 0, 0},
+                      {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}});
+  auto order = Bfs(g, 0, EdgeDirection::kUndirected);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(order[i].distance, order[i - 1].distance);
+  }
+}
+
+TEST(UndirectedDistanceTest, ShortestPathIgnoresDirection) {
+  // 0 -> 1 <- 2: undirected distance 0..2 is 2.
+  Graph g = MakeGraph({0, 0, 0}, {{0, 1}, {2, 1}});
+  EXPECT_EQ(UndirectedDistance(g, 0, 2), 2u);
+  EXPECT_EQ(UndirectedDistance(g, 0, 0), 0u);
+}
+
+TEST(UndirectedDistanceTest, UnreachableIsInfinite) {
+  Graph g = MakeGraph({0, 0}, {});
+  EXPECT_EQ(UndirectedDistance(g, 0, 1), kInfiniteDistance);
+}
+
+TEST(SingleSourceDistancesTest, MarksUnreachable) {
+  Graph g = Chain();
+  auto dist = SingleSourceDistances(g, 0, EdgeDirection::kOut);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], kInfiniteDistance);
+}
+
+TEST(BfsWorkspaceTest, ReusableAcrossRuns) {
+  Graph g = Chain();
+  BfsWorkspace ws(g.num_nodes());
+  std::vector<BfsEntry> out;
+  ws.Run(g, 0, EdgeDirection::kOut, kInfiniteDistance, &out);
+  EXPECT_EQ(out.size(), 4u);
+  ws.Run(g, 4, EdgeDirection::kOut, kInfiniteDistance, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].node, 4u);
+  ws.Run(g, 0, EdgeDirection::kOut, 2, &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(BfsTest, HandlesCycles) {
+  Graph g = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {2, 0}});
+  auto order = Bfs(g, 0, EdgeDirection::kOut);
+  EXPECT_EQ(order.size(), 3u);  // no infinite loop, each node once
+}
+
+}  // namespace
+}  // namespace gpm

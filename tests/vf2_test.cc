@@ -1,0 +1,145 @@
+#include "isomorphism/vf2.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.h"
+#include "graph/paper_graphs.h"
+#include "matching/query_minimization.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(Vf2Test, SingleNodeByLabel) {
+  Graph q = MakeGraph({5}, {});
+  Graph g = MakeGraph({5, 6, 5}, {});
+  auto result = Vf2Enumerate(q, g);
+  ASSERT_EQ(result.matches.size(), 2u);
+  std::set<NodeId> images;
+  for (const auto& m : result.matches) images.insert(m.mapping[0]);
+  EXPECT_EQ(images, (std::set<NodeId>{0, 2}));
+}
+
+TEST(Vf2Test, EdgeMustBePreserved) {
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph forward = MakeGraph({1, 2}, {{0, 1}});
+  Graph backward = MakeGraph({1, 2}, {{1, 0}});
+  EXPECT_TRUE(Vf2Exists(q, forward));
+  EXPECT_FALSE(Vf2Exists(q, backward));
+}
+
+TEST(Vf2Test, InjectivityEnforced) {
+  // Two query a-nodes pointing at one b need two distinct data a-nodes.
+  Graph q = MakeGraph({1, 1, 2}, {{0, 2}, {1, 2}});
+  Graph one_parent = MakeGraph({1, 2}, {{0, 1}});
+  Graph two_parents = MakeGraph({1, 1, 2}, {{0, 2}, {1, 2}});
+  EXPECT_FALSE(Vf2Exists(q, one_parent));
+  EXPECT_TRUE(Vf2Exists(q, two_parents));
+}
+
+TEST(Vf2Test, MonomorphismIgnoresExtraEdges) {
+  // Pattern path a->b->c embeds into a triangle with the extra edge c->a.
+  Graph q = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});
+  Graph g = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_TRUE(Vf2Exists(q, g, /*induced=*/false));
+  // Induced mode rejects: (c,a) is a non-edge of q mapped onto an edge.
+  EXPECT_FALSE(Vf2Exists(q, g, /*induced=*/true));
+}
+
+TEST(Vf2Test, CountsAllEmbeddingsOfTriangleInK4Pattern) {
+  // Directed 3-cycle in a graph holding two of them sharing no nodes.
+  Graph q = MakeGraph({1, 1, 1}, {{0, 1}, {1, 2}, {2, 0}});
+  Graph g = MakeGraph({1, 1, 1, 1, 1, 1},
+                      {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  auto result = Vf2Enumerate(q, g);
+  // Each 3-cycle admits 3 rotations: 6 embeddings total.
+  EXPECT_EQ(result.matches.size(), 6u);
+}
+
+TEST(Vf2Test, MatchCapStopsEnumeration) {
+  Graph q = MakeGraph({1}, {});
+  Graph g = MakeGraph({1, 1, 1, 1, 1}, {});
+  Vf2Options options;
+  options.max_matches = 3;
+  auto result = Vf2Enumerate(q, g, options);
+  EXPECT_EQ(result.matches.size(), 3u);
+  EXPECT_TRUE(result.hit_match_cap);
+}
+
+TEST(Vf2Test, PatternLargerThanDataNeverMatches) {
+  Graph q = MakeGraph({1, 1}, {{0, 1}});
+  Graph g = MakeGraph({1}, {});
+  EXPECT_TRUE(Vf2Enumerate(q, g).matches.empty());
+}
+
+TEST(Vf2Test, Fig1HasNoIsomorphicMatch) {
+  // Example 1: "no subgraph of G1 is isomorphic to Q1" — the DM<->AI
+  // 2-cycle has no counterpart.
+  paper::Example ex = paper::Fig1();
+  EXPECT_FALSE(Vf2Exists(ex.pattern, ex.data));
+}
+
+TEST(Vf2Test, Fig2Q2HasTwoMatchGraphs) {
+  paper::Example ex = paper::Fig2Q2();
+  auto result = Vf2Enumerate(ex.pattern, ex.data);
+  EXPECT_EQ(result.matches.size(), 2u);
+}
+
+TEST(Vf2Test, Fig2Q4HasFourMatchGraphs) {
+  paper::Example ex = paper::Fig2Q4();
+  auto result = Vf2Enumerate(ex.pattern, ex.data);
+  EXPECT_EQ(result.matches.size(), 4u);
+}
+
+TEST(Vf2Test, ExtractedPatternAlwaysEmbeds) {
+  // ExtractPattern returns induced subgraphs: the identity embedding
+  // exists, so VF2 must find at least one match.
+  Graph g = MakeAmazonLike(2000, 3);
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    auto q = ExtractPattern(g, 6, &rng);
+    ASSERT_TRUE(q.ok());
+    EXPECT_TRUE(Vf2Exists(*q, g)) << "iteration " << i;
+  }
+}
+
+TEST(Vf2Test, EmbeddingsAreValid) {
+  Graph g = MakeUniform(200, 1.3, 3, 5);
+  std::vector<Label> pool{0, 1, 2};
+  Graph q = RandomPattern(4, 1.3, pool, 6);
+  auto result = Vf2Enumerate(q, g);
+  for (const auto& m : result.matches) {
+    std::set<NodeId> distinct(m.mapping.begin(), m.mapping.end());
+    EXPECT_EQ(distinct.size(), q.num_nodes());  // injective
+    for (NodeId u = 0; u < q.num_nodes(); ++u) {
+      EXPECT_EQ(q.label(u), g.label(m.mapping[u]));
+      for (NodeId u2 : q.OutNeighbors(u)) {
+        EXPECT_TRUE(g.HasEdge(m.mapping[u], m.mapping[u2]));
+      }
+    }
+  }
+}
+
+TEST(AreIsomorphicTest, DetectsIsomorphicAndNot) {
+  Graph a = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});
+  Graph b = MakeGraph({3, 2, 1}, {{2, 1}, {1, 0}});  // same shape, renumbered
+  Graph c = MakeGraph({1, 2, 3}, {{0, 1}, {2, 1}});
+  EXPECT_TRUE(AreIsomorphic(a, b));
+  EXPECT_FALSE(AreIsomorphic(a, c));
+}
+
+TEST(AreIsomorphicTest, MinQResultIsCanonicalUpToIsomorphism) {
+  // Lemma 2: the minimum equivalent pattern is unique up to isomorphism;
+  // minimizing a pattern and a node-renumbered copy must agree.
+  paper::Example ex = paper::Fig6aQ5();
+  auto mq = MinimizeQuery(ex.data);
+  ASSERT_TRUE(mq.ok());
+  EXPECT_TRUE(AreIsomorphic(mq->minimized, ex.pattern));
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,212 @@
+// gpm command-line tool: generate datasets, inspect them, and run any of
+// the library's matchers from the shell.
+//
+//   gpm_cli generate --kind amazon --nodes 10000 --seed 7 --out data.g
+//   gpm_cli stats data.g
+//   gpm_cli extract --nodes 6 --seed 3 --graph data.g --out pattern.g
+//   gpm_cli match --algo strong+ --pattern pattern.g --graph data.g
+//   gpm_cli minimize --pattern pattern.g
+//
+// Graphs use the text format of graph/graph_io.h.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "extensions/ranking.h"
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "graph/statistics.h"
+#include "matching/dual_simulation.h"
+#include "matching/parallel_match.h"
+#include "matching/query_minimization.h"
+#include "matching/simulation.h"
+#include "matching/strong_simulation.h"
+#include "quality/closeness.h"
+
+namespace gpm {
+namespace {
+
+// Minimal --flag value parser: flags[name] = value; positionals in order.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  static Args Parse(int argc, char** argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) == 0 && i + 1 < argc) {
+        args.flags[token.substr(2)] = argv[++i];
+      } else {
+        args.positional.push_back(std::move(token));
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  gpm_cli generate --kind amazon|youtube|uniform --nodes N\n"
+               "          [--seed S] [--labels L] [--alpha A] --out FILE\n"
+               "  gpm_cli stats FILE\n"
+               "  gpm_cli extract --graph FILE --nodes N [--seed S] --out FILE\n"
+               "  gpm_cli match --algo sim|dual|strong|strong+|parallel\n"
+               "          --pattern FILE --graph FILE [--top K]\n"
+               "  gpm_cli minimize --pattern FILE [--out FILE]\n");
+  return 2;
+}
+
+int RunGenerate(const Args& args) {
+  const std::string kind = args.Get("kind", "uniform");
+  auto nodes = ParseUint64(args.Get("nodes", "1000"));
+  auto seed = ParseUint64(args.Get("seed", "1"));
+  auto labels = ParseUint64(args.Get("labels", "200"));
+  auto alpha = ParseDouble(args.Get("alpha", "1.2"));
+  const std::string out = args.Get("out", "");
+  if (!nodes.ok() || !seed.ok() || !labels.ok() || !alpha.ok())
+    return Fail("bad numeric flag");
+  if (out.empty()) return Fail("--out is required");
+
+  Graph g;
+  if (kind == "amazon") {
+    g = MakeAmazonLike(static_cast<uint32_t>(*nodes), *seed,
+                       static_cast<uint32_t>(*labels));
+  } else if (kind == "youtube") {
+    g = MakeYouTubeLike(static_cast<uint32_t>(*nodes), *seed,
+                        static_cast<uint32_t>(*labels));
+  } else if (kind == "uniform") {
+    g = MakeUniform(static_cast<uint32_t>(*nodes), *alpha,
+                    static_cast<uint32_t>(*labels), *seed);
+  } else {
+    return Fail("unknown --kind '" + kind + "'");
+  }
+  Status s = SaveGraph(g, out);
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("wrote %zu nodes, %zu edges to %s\n", g.num_nodes(),
+              g.num_edges(), out.c_str());
+  return 0;
+}
+
+int RunStats(const Args& args) {
+  if (args.positional.empty()) return Fail("stats needs a graph file");
+  auto g = LoadGraph(args.positional[0]);
+  if (!g.ok()) return Fail(g.status().ToString());
+  std::printf("%s", RenderStatistics(ComputeStatistics(*g)).c_str());
+  return 0;
+}
+
+int RunExtract(const Args& args) {
+  auto nodes = ParseUint64(args.Get("nodes", "6"));
+  auto seed = ParseUint64(args.Get("seed", "1"));
+  const std::string graph_path = args.Get("graph", "");
+  const std::string out = args.Get("out", "");
+  if (!nodes.ok() || !seed.ok()) return Fail("bad numeric flag");
+  if (graph_path.empty() || out.empty())
+    return Fail("--graph and --out are required");
+  auto g = LoadGraph(graph_path);
+  if (!g.ok()) return Fail(g.status().ToString());
+  Rng rng(*seed);
+  auto q = ExtractPattern(*g, static_cast<uint32_t>(*nodes), &rng);
+  if (!q.ok()) return Fail(q.status().ToString());
+  Status s = SaveGraph(*q, out);
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("extracted a %zu-node pattern to %s\n", q->num_nodes(),
+              out.c_str());
+  return 0;
+}
+
+int RunMatch(const Args& args) {
+  const std::string algo = args.Get("algo", "strong+");
+  const std::string pattern_path = args.Get("pattern", "");
+  const std::string graph_path = args.Get("graph", "");
+  auto top_k = ParseUint64(args.Get("top", "0"));
+  if (pattern_path.empty() || graph_path.empty())
+    return Fail("--pattern and --graph are required");
+  if (!top_k.ok()) return Fail("bad --top");
+  auto q = LoadGraph(pattern_path);
+  if (!q.ok()) return Fail(q.status().ToString());
+  auto g = LoadGraph(graph_path);
+  if (!g.ok()) return Fail(g.status().ToString());
+
+  if (algo == "sim" || algo == "dual") {
+    const MatchRelation rel = algo == "sim" ? ComputeSimulation(*q, *g)
+                                            : ComputeDualSimulation(*q, *g);
+    std::printf("match %s: %zu pairs across %zu data nodes\n",
+                rel.IsTotal() ? "succeeds" : "fails", rel.NumPairs(),
+                MatchedNodes(rel).size());
+    return 0;
+  }
+
+  Result<std::vector<PerfectSubgraph>> result =
+      std::vector<PerfectSubgraph>{};
+  if (algo == "strong") {
+    result = MatchStrong(*q, *g);
+  } else if (algo == "strong+") {
+    result = MatchStrongPlus(*q, *g);
+  } else if (algo == "parallel") {
+    result = MatchStrongParallel(*q, *g, MatchPlusOptions());
+  } else {
+    return Fail("unknown --algo '" + algo + "'");
+  }
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  std::vector<PerfectSubgraph> shown = *result;
+  if (*top_k > 0) shown = TopKMatches(*q, *result, *top_k);
+  std::printf("%zu perfect subgraph(s)%s\n", result->size(),
+              *top_k > 0 ? " (showing top-ranked)" : "");
+  for (const PerfectSubgraph& pg : shown) {
+    std::printf("  center %u: %zu nodes, %zu edges, score %.3f\n", pg.center,
+                pg.nodes.size(), pg.edges.size(), ScoreMatch(*q, pg));
+  }
+  return 0;
+}
+
+int RunMinimize(const Args& args) {
+  const std::string pattern_path = args.Get("pattern", "");
+  if (pattern_path.empty()) return Fail("--pattern is required");
+  auto q = LoadGraph(pattern_path);
+  if (!q.ok()) return Fail(q.status().ToString());
+  auto mq = MinimizeQuery(*q);
+  if (!mq.ok()) return Fail(mq.status().ToString());
+  std::printf("|Q| = %zu+%zu  ->  |Qm| = %zu+%zu\n", q->num_nodes(),
+              q->num_edges(), mq->minimized.num_nodes(),
+              mq->minimized.num_edges());
+  const std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    Status s = SaveGraph(mq->minimized, out);
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("wrote minimized pattern to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpm
+
+int main(int argc, char** argv) {
+  if (argc < 2) return gpm::Usage();
+  const std::string command = argv[1];
+  const gpm::Args args = gpm::Args::Parse(argc, argv, 2);
+  if (command == "generate") return gpm::RunGenerate(args);
+  if (command == "stats") return gpm::RunStats(args);
+  if (command == "extract") return gpm::RunExtract(args);
+  if (command == "match") return gpm::RunMatch(args);
+  if (command == "minimize") return gpm::RunMinimize(args);
+  return gpm::Usage();
+}
