@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "quality/table_printer.h"
@@ -15,6 +16,7 @@ int main() {
   const BenchScale scale = BenchScale::FromEnv();
   bench::PrintHeader("Ablation (Exp-2(3))",
                      "each optimization's contribution to Match+", scale);
+  bench::JsonReport report("ablation_optimizations");
 
   struct Config {
     const char* name;
@@ -44,12 +46,14 @@ int main() {
       {DatasetKind::kUniform, scale.Pick(4000, 200000)},
   };
 
+  const Engine engine;
   for (const Workload& w : workloads) {
     const Graph g = MakeDataset(w.kind, w.n, /*seed=*/43, 1.2,
                                 ScaledLabelCount(w.n));
-    auto patterns = MakePatternWorkload(g, 8, 1, /*seed=*/10000);
+    auto patterns = bench::PrepareAll(
+        engine, MakePatternWorkload(g, 8, 1, /*seed=*/10000));
     if (patterns.empty()) continue;
-    const Graph& q = patterns[0];
+    const PreparedQuery& q = patterns[0];
     std::printf("\n[%s] |V| = %s, |E| = %s, |Vq| = 8\n", DatasetName(w.kind),
                 WithThousandsSeparators(g.num_nodes()).c_str(),
                 WithThousandsSeparators(g.num_edges()).c_str());
@@ -58,9 +62,18 @@ int main() {
     double base_seconds = 0;
     double plus_seconds = 0;
     for (const Config& config : configs) {
+      // kStrong applies the request's MatchOptions verbatim, so each
+      // ablation cell is one facade request with a different §4.2 mix.
+      MatchRequest request;
+      request.algo = Algo::kStrong;
+      request.options = config.options;
       MatchStats stats;
-      const double seconds = bench::TimeIt(
-          [&] { (void)MatchStrong(q, g, config.options, &stats); });
+      const double seconds = bench::TimeIt([&] {
+        auto response = engine.Match(q, g, request);
+        if (response.ok()) stats = response->stats;
+      });
+      report.Add(std::string(DatasetName(w.kind)) + "/" + config.name,
+                 seconds, stats);
       if (config.options.minimize_query && config.options.dual_filter)
         plus_seconds = seconds;
       if (!config.options.minimize_query && !config.options.dual_filter &&

@@ -14,13 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.h"
 #include "common/timer.h"
 #include "graph/graph.h"
 #include "isomorphism/mcs.h"
 #include "isomorphism/tale.h"
 #include "isomorphism/vf2.h"
-#include "matching/simulation.h"
-#include "matching/strong_simulation.h"
 #include "quality/closeness.h"
 #include "quality/workloads.h"
 
@@ -31,6 +30,27 @@ inline double TimeIt(const std::function<void()>& fn) {
   Timer timer;
   fn();
   return timer.Seconds();
+}
+
+/// A MatchRequest for `algo` under the Serial policy.
+inline MatchRequest RequestFor(Algo algo) {
+  MatchRequest request;
+  request.algo = algo;
+  return request;
+}
+
+/// Prepares every pattern once (the facade's amortization point: the
+/// harnesses below re-run each prepared pattern across many data graphs).
+/// Patterns the engine rejects are dropped.
+inline std::vector<PreparedQuery> PrepareAll(const Engine& engine,
+                                             const std::vector<Graph>& patterns) {
+  std::vector<PreparedQuery> prepared;
+  prepared.reserve(patterns.size());
+  for (const Graph& q : patterns) {
+    auto pq = engine.Prepare(q);
+    if (pq.ok()) prepared.push_back(std::move(*pq));
+  }
+  return prepared;
 }
 
 /// Caps that keep VF2 enumeration bounded on large inputs (the paper
@@ -57,21 +77,28 @@ struct QualityPoint {
 };
 
 /// Runs VF2 / Match / MCS / TALE / Sim on one pair and derives the Exp-1
-/// metrics.
-inline QualityPoint MeasureQuality(const Graph& q, const Graph& g) {
+/// metrics. The simulation spectrum goes through the engine (reusing the
+/// prepared pattern); the isomorphism family (VF2/TALE/MCS) is outside
+/// the facade and stays direct.
+inline QualityPoint MeasureQuality(const Engine& engine,
+                                   const PreparedQuery& pq, const Graph& g) {
+  const Graph& q = pq.pattern();
   QualityPoint point;
   Vf2Result iso = Vf2Enumerate(q, g, BoundedVf2());
   point.vf2_exhausted = !iso.hit_match_cap && !iso.timed_out;
   const std::vector<NodeId> iso_nodes = MatchedNodes(iso.matches);
   point.subgraphs_vf2 = CountDistinctSubgraphs(iso.matches);
 
-  auto strong = MatchStrong(q, g, MatchPlusOptions());
+  auto strong = engine.Match(pq, g, RequestFor(Algo::kStrongPlus));
   if (strong.ok()) {
-    point.closeness_match = Closeness(iso_nodes, MatchedNodes(*strong));
-    point.subgraphs_match = CountDistinctSubgraphs(*strong);
+    point.closeness_match =
+        Closeness(iso_nodes, MatchedNodes(strong->subgraphs));
+    point.subgraphs_match = CountDistinctSubgraphs(strong->subgraphs);
   }
-  const auto sim_nodes = MatchedNodes(ComputeSimulation(q, g));
-  point.closeness_sim = Closeness(iso_nodes, sim_nodes);
+  auto sim = engine.Match(pq, g, RequestFor(Algo::kSimulation));
+  if (sim.ok()) {
+    point.closeness_sim = Closeness(iso_nodes, MatchedNodes(sim->relation));
+  }
 
   const auto tale = TaleMatch(q, g);
   point.closeness_tale = Closeness(iso_nodes, MatchedNodes(tale));
@@ -83,14 +110,15 @@ inline QualityPoint MeasureQuality(const Graph& q, const Graph& g) {
   return point;
 }
 
-/// Averages quality points over a pattern workload.
-inline QualityPoint AverageQuality(const std::vector<Graph>& patterns,
+/// Averages quality points over a prepared pattern workload.
+inline QualityPoint AverageQuality(const Engine& engine,
+                                   const std::vector<PreparedQuery>& patterns,
                                    const Graph& g) {
   QualityPoint avg;
   if (patterns.empty()) return avg;
   avg.closeness_vf2 = 0;
-  for (const Graph& q : patterns) {
-    const QualityPoint p = MeasureQuality(q, g);
+  for (const PreparedQuery& pq : patterns) {
+    const QualityPoint p = MeasureQuality(engine, pq, g);
     avg.closeness_vf2 += p.closeness_vf2;
     avg.closeness_match += p.closeness_match;
     avg.closeness_mcs += p.closeness_mcs;
@@ -123,7 +151,8 @@ struct TimingPoint {
   double sim_seconds = 0;
 };
 
-inline TimingPoint MeasureTimings(const Graph& q, const Graph& g,
+inline TimingPoint MeasureTimings(const Engine& engine,
+                                  const PreparedQuery& pq, const Graph& g,
                                   bool run_vf2) {
   TimingPoint point;
   if (run_vf2) {
@@ -131,11 +160,14 @@ inline TimingPoint MeasureTimings(const Graph& q, const Graph& g,
     // only a wall-clock budget bounds pathological cases.
     Vf2Options uncapped;
     uncapped.time_budget_seconds = 15.0;
-    point.vf2_seconds = TimeIt([&] { Vf2Enumerate(q, g, uncapped); });
+    point.vf2_seconds = TimeIt([&] { Vf2Enumerate(pq.pattern(), g, uncapped); });
   }
-  point.match_seconds = TimeIt([&] { (void)MatchStrong(q, g); });
-  point.match_plus_seconds = TimeIt([&] { (void)MatchStrongPlus(q, g); });
-  point.sim_seconds = TimeIt([&] { ComputeSimulation(q, g); });
+  point.match_seconds =
+      TimeIt([&] { (void)engine.Match(pq, g, RequestFor(Algo::kStrong)); });
+  point.match_plus_seconds =
+      TimeIt([&] { (void)engine.Match(pq, g, RequestFor(Algo::kStrongPlus)); });
+  point.sim_seconds =
+      TimeIt([&] { (void)engine.Match(pq, g, RequestFor(Algo::kSimulation)); });
   return point;
 }
 

@@ -8,9 +8,9 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
-#include "distributed/distributed_match.h"
 #include "quality/table_printer.h"
 
 int main() {
@@ -21,20 +21,23 @@ int main() {
 
   const uint32_t n = scale.Pick(4000, 50000);
   const Graph g = MakeDataset(DatasetKind::kAmazonLike, n, /*seed=*/47);
-  auto patterns = MakePatternWorkload(g, 6, 1, /*seed=*/11000);
+  const Engine engine;
+  auto patterns = bench::PrepareAll(
+      engine, MakePatternWorkload(g, 6, 1, /*seed=*/11000));
   if (patterns.empty()) {
     std::printf("no pattern could be extracted; dataset too fragmented\n");
     return 1;
   }
-  const Graph& q = patterns[0];
+  const PreparedQuery& q = patterns[0];
   std::printf("amazon-like |V| = %s, |E| = %s, |Vq| = 6\n",
               WithThousandsSeparators(g.num_nodes()).c_str(),
               WithThousandsSeparators(g.num_edges()).c_str());
 
-  auto central = MatchStrong(q, g);
-  const size_t expected = central.ok() ? central->size() : 0;
+  auto central = engine.Match(q, g, bench::RequestFor(Algo::kStrong));
+  const size_t expected = central.ok() ? central->subgraphs.size() : 0;
   std::printf("centralized Match: %zu perfect subgraphs\n\n", expected);
 
+  bench::JsonReport report("distributed_scaling");
   TablePrinter table({"sites", "partition", "time(s)", "results", "cut edges",
                       "record MB", "total MB"});
   bool all_correct = true;
@@ -45,17 +48,21 @@ int main() {
       DistributedOptions options;
       options.num_sites = k;
       options.strategy = strategy;
-      DistributedStats stats;
-      auto result = MatchStrongDistributed(q, g, options, &stats);
+      MatchRequest request = bench::RequestFor(Algo::kStrong);
+      request.policy = ExecPolicy::Distributed(options);
+      auto result = engine.Match(q, g, request);
       if (!result.ok()) {
         std::printf("error: %s\n", result.status().ToString().c_str());
         return 1;
       }
-      all_correct = all_correct && result->size() == expected;
+      const DistributedStats& stats = result->distributed;
+      all_correct = all_correct && result->subgraphs.size() == expected;
       const char* pname =
           strategy == PartitionStrategy::kHash ? "hash" : "bfs";
+      report.Add(std::string("sites=") + std::to_string(k) + "/" + pname,
+                 stats.seconds);
       table.AddRow({std::to_string(k), pname, FormatDouble(stats.seconds, 3),
-                    std::to_string(result->size()),
+                    std::to_string(result->subgraphs.size()),
                     WithThousandsSeparators(stats.cut_edges),
                     FormatDouble(static_cast<double>(stats.bytes_node_records) /
                                      (1024.0 * 1024.0),

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "quality/table_printer.h"
@@ -13,7 +14,7 @@ namespace gpm {
 namespace {
 
 void RunDataset(DatasetKind kind, const std::vector<uint32_t>& sizes,
-                const BenchScale& scale) {
+                const BenchScale& scale, bench::JsonReport* report) {
   std::printf("\n[%s]\n", DatasetName(kind));
   TablePrinter table({"|V|", "VF2", "Match", "MCS", "TALE", "Sim"});
   const size_t patterns_per_point = scale.full ? 5 : 3;
@@ -21,21 +22,28 @@ void RunDataset(DatasetKind kind, const std::vector<uint32_t>& sizes,
   double match_min = 1.0, match_max = 0.0;
   // Fixed patterns across sizes: the copying-model generators are
   // prefix-nested for a fixed seed + label count, so patterns extracted
-  // from the smallest graph exist at every size.
+  // from the smallest graph exist at every size. Prepared once, matched
+  // at every size — the facade's amortization point.
   const uint32_t num_labels = ScaledLabelCount(sizes.back());
   const Graph smallest =
       MakeDataset(kind, sizes.front(), /*seed=*/11, 1.2, num_labels);
-  auto patterns =
-      MakePatternWorkload(smallest, nq, patterns_per_point, /*seed=*/2000);
+  const Engine engine;
+  auto patterns = bench::PrepareAll(
+      engine,
+      MakePatternWorkload(smallest, nq, patterns_per_point, /*seed=*/2000));
   if (patterns.empty()) return;
   for (uint32_t n : sizes) {
     const Graph g = MakeDataset(kind, n, /*seed=*/11, 1.2, num_labels);
-    const bench::QualityPoint p = bench::AverageQuality(patterns, g);
+    bench::QualityPoint p;
+    const double seconds = bench::TimeIt(
+        [&] { p = bench::AverageQuality(engine, patterns, g); });
     table.AddRow({WithThousandsSeparators(n), FormatDouble(p.closeness_vf2, 2),
                   FormatDouble(p.closeness_match, 2),
                   FormatDouble(p.closeness_mcs, 2),
                   FormatDouble(p.closeness_tale, 2),
                   FormatDouble(p.closeness_sim, 2)});
+    report->Add(std::string(DatasetName(kind)) + "/V=" + std::to_string(n),
+                seconds);
     match_min = std::min(match_min, p.closeness_match);
     match_max = std::max(match_max, p.closeness_match);
   }
@@ -52,17 +60,21 @@ int main() {
   gpm::bench::PrintHeader("Figure 7(f)(g)(h)",
                           "closeness vs |V| (|Vq| = 10) for all matchers",
                           scale);
+  gpm::bench::JsonReport report("fig7_closeness_v");
   if (scale.full) {
     gpm::RunDataset(gpm::DatasetKind::kAmazonLike,
-                    {3000, 9000, 15000, 21000, 27000, 30000}, scale);
+                    {3000, 9000, 15000, 21000, 27000, 30000}, scale, &report);
     gpm::RunDataset(gpm::DatasetKind::kYouTubeLike,
-                    {1000, 3000, 5000, 7000, 10000}, scale);
+                    {1000, 3000, 5000, 7000, 10000}, scale, &report);
     gpm::RunDataset(gpm::DatasetKind::kUniform,
-                    {10000, 30000, 50000, 70000, 100000}, scale);
+                    {10000, 30000, 50000, 70000, 100000}, scale, &report);
   } else {
-    gpm::RunDataset(gpm::DatasetKind::kAmazonLike, {1000, 2000, 3000}, scale);
-    gpm::RunDataset(gpm::DatasetKind::kYouTubeLike, {600, 1000, 1400}, scale);
-    gpm::RunDataset(gpm::DatasetKind::kUniform, {2000, 4000, 6000}, scale);
+    gpm::RunDataset(gpm::DatasetKind::kAmazonLike, {1000, 2000, 3000}, scale,
+                    &report);
+    gpm::RunDataset(gpm::DatasetKind::kYouTubeLike, {600, 1000, 1400}, scale,
+                    &report);
+    gpm::RunDataset(gpm::DatasetKind::kUniform, {2000, 4000, 6000}, scale,
+                    &report);
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "quality/table_printer.h"
@@ -13,7 +14,8 @@
 namespace gpm {
 namespace {
 
-void RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale) {
+void RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale,
+                bench::JsonReport* report) {
   const Graph g = MakeDataset(kind, n, /*seed=*/7, 1.2, ScaledLabelCount(n));
   std::printf("\n[%s] |V| = %s, |E| = %s\n", DatasetName(kind),
               WithThousandsSeparators(g.num_nodes()).c_str(),
@@ -29,11 +31,17 @@ void RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale) {
   double match_sum = 0, sim_sum = 0, tale_sum = 0;
   size_t points = 0, mcs_found = 0;
   bool vf2_exhausted = true;
+  const Engine engine;
   for (uint32_t nq : sizes) {
-    auto patterns = MakePatternWorkload(g, nq, patterns_per_point,
-                                        /*seed=*/1000 + nq);
+    auto patterns = bench::PrepareAll(
+        engine,
+        MakePatternWorkload(g, nq, patterns_per_point, /*seed=*/1000 + nq));
     if (patterns.empty()) continue;
-    const bench::QualityPoint p = bench::AverageQuality(patterns, g);
+    bench::QualityPoint p;
+    const double seconds = bench::TimeIt(
+        [&] { p = bench::AverageQuality(engine, patterns, g); });
+    report->Add(std::string(DatasetName(kind)) + "/Vq=" + std::to_string(nq),
+                seconds);
     table.AddRow({std::to_string(nq), FormatDouble(p.closeness_vf2, 2),
                   FormatDouble(p.closeness_match, 2),
                   FormatDouble(p.closeness_mcs, 2),
@@ -77,10 +85,12 @@ int main() {
   gpm::bench::PrintHeader("Figure 7(c)(d)(e)",
                           "closeness vs |Vq| for VF2/Match/MCS/TALE/Sim",
                           scale);
+  gpm::bench::JsonReport report("fig7_closeness_vq");
   gpm::RunDataset(gpm::DatasetKind::kAmazonLike, scale.Pick(3000, 31245),
-                  scale);
+                  scale, &report);
   gpm::RunDataset(gpm::DatasetKind::kYouTubeLike, scale.Pick(1200, 9368),
-                  scale);
-  gpm::RunDataset(gpm::DatasetKind::kUniform, scale.Pick(4000, 50000), scale);
+                  scale, &report);
+  gpm::RunDataset(gpm::DatasetKind::kUniform, scale.Pick(4000, 50000), scale,
+                  &report);
   return 0;
 }

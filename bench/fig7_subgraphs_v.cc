@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "quality/table_printer.h"
@@ -14,7 +15,7 @@ namespace gpm {
 namespace {
 
 void RunDataset(DatasetKind kind, const std::vector<uint32_t>& sizes,
-                const BenchScale& scale) {
+                const BenchScale& scale, bench::JsonReport* report) {
   std::printf("\n[%s]\n", DatasetName(kind));
   TablePrinter table({"|V|", "TALE", "MCS", "VF2", "Match"});
   const size_t patterns_per_point = scale.full ? 5 : 3;
@@ -22,16 +23,22 @@ void RunDataset(DatasetKind kind, const std::vector<uint32_t>& sizes,
   size_t first_total = 0, last_total = 0, points = 0;
   size_t tale_total = 0, match_total = 0;
   // Fixed patterns across sizes (prefix-nested generators; see
-  // fig8_vary_v).
+  // fig8_vary_v), prepared once via the engine.
   const uint32_t num_labels = ScaledLabelCount(sizes.back());
   const Graph smallest =
       MakeDataset(kind, sizes.front(), /*seed=*/19, 1.2, num_labels);
-  auto patterns =
-      MakePatternWorkload(smallest, nq, patterns_per_point, /*seed=*/4000);
+  const Engine engine;
+  auto patterns = bench::PrepareAll(
+      engine,
+      MakePatternWorkload(smallest, nq, patterns_per_point, /*seed=*/4000));
   if (patterns.empty()) return;
   for (uint32_t n : sizes) {
     const Graph g = MakeDataset(kind, n, /*seed=*/19, 1.2, num_labels);
-    const bench::QualityPoint p = bench::AverageQuality(patterns, g);
+    bench::QualityPoint p;
+    const double seconds = bench::TimeIt(
+        [&] { p = bench::AverageQuality(engine, patterns, g); });
+    report->Add(std::string(DatasetName(kind)) + "/V=" + std::to_string(n),
+                seconds);
     table.AddRow({WithThousandsSeparators(n), std::to_string(p.subgraphs_tale),
                   std::to_string(p.subgraphs_mcs),
                   std::to_string(p.subgraphs_vf2),
@@ -62,17 +69,21 @@ int main() {
   gpm::bench::PrintHeader(
       "Figure 7(l)(m)(n)",
       "# matched subgraphs vs |V| (|Vq| = 10) for TALE/MCS/VF2/Match", scale);
+  gpm::bench::JsonReport report("fig7_subgraphs_v");
   if (scale.full) {
     gpm::RunDataset(gpm::DatasetKind::kAmazonLike,
-                    {3000, 9000, 15000, 21000, 27000, 30000}, scale);
+                    {3000, 9000, 15000, 21000, 27000, 30000}, scale, &report);
     gpm::RunDataset(gpm::DatasetKind::kYouTubeLike,
-                    {1000, 3000, 5000, 7000, 10000}, scale);
+                    {1000, 3000, 5000, 7000, 10000}, scale, &report);
     gpm::RunDataset(gpm::DatasetKind::kUniform,
-                    {10000, 30000, 50000, 70000, 100000}, scale);
+                    {10000, 30000, 50000, 70000, 100000}, scale, &report);
   } else {
-    gpm::RunDataset(gpm::DatasetKind::kAmazonLike, {1000, 2000, 3000}, scale);
-    gpm::RunDataset(gpm::DatasetKind::kYouTubeLike, {600, 1000, 1400}, scale);
-    gpm::RunDataset(gpm::DatasetKind::kUniform, {2000, 4000, 6000}, scale);
+    gpm::RunDataset(gpm::DatasetKind::kAmazonLike, {1000, 2000, 3000}, scale,
+                    &report);
+    gpm::RunDataset(gpm::DatasetKind::kYouTubeLike, {600, 1000, 1400}, scale,
+                    &report);
+    gpm::RunDataset(gpm::DatasetKind::kUniform, {2000, 4000, 6000}, scale,
+                    &report);
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "quality/table_printer.h"
@@ -13,7 +14,8 @@
 namespace gpm {
 namespace {
 
-void RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale) {
+void RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale,
+                bench::JsonReport* report) {
   const Graph g = MakeDataset(kind, n, /*seed=*/17, 1.2, ScaledLabelCount(n));
   std::printf("\n[%s] |V| = %s, |E| = %s\n", DatasetName(kind),
               WithThousandsSeparators(g.num_nodes()).c_str(),
@@ -25,11 +27,17 @@ void RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale) {
   size_t ratio_points = 0;
   size_t first_match = 0, last_match = 0;
   size_t tale_total = 0, match_total = 0, vf2_total = 0;
+  const Engine engine;
   for (uint32_t nq = 4; nq <= (scale.full ? 20u : 12u); nq += 4) {
-    auto patterns =
-        MakePatternWorkload(g, nq, patterns_per_point, /*seed=*/3000 + nq);
+    auto patterns = bench::PrepareAll(
+        engine,
+        MakePatternWorkload(g, nq, patterns_per_point, /*seed=*/3000 + nq));
     if (patterns.empty()) continue;
-    const bench::QualityPoint p = bench::AverageQuality(patterns, g);
+    bench::QualityPoint p;
+    const double seconds = bench::TimeIt(
+        [&] { p = bench::AverageQuality(engine, patterns, g); });
+    report->Add(std::string(DatasetName(kind)) + "/Vq=" + std::to_string(nq),
+                seconds);
     const double ratio =
         p.subgraphs_vf2 == 0
             ? 0.0
@@ -72,10 +80,12 @@ int main() {
   gpm::bench::PrintHeader("Figure 7(i)(j)(k)",
                           "# matched subgraphs vs |Vq| for TALE/MCS/VF2/Match",
                           scale);
+  gpm::bench::JsonReport report("fig7_subgraphs_vq");
   gpm::RunDataset(gpm::DatasetKind::kAmazonLike, scale.Pick(3000, 31245),
-                  scale);
+                  scale, &report);
   gpm::RunDataset(gpm::DatasetKind::kYouTubeLike, scale.Pick(1200, 9368),
-                  scale);
-  gpm::RunDataset(gpm::DatasetKind::kUniform, scale.Pick(4000, 100000), scale);
+                  scale, &report);
+  gpm::RunDataset(gpm::DatasetKind::kUniform, scale.Pick(4000, 100000), scale,
+                  &report);
   return 0;
 }

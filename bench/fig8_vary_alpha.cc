@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "quality/table_printer.h"
@@ -13,6 +14,7 @@ int main() {
   using namespace gpm;
   const BenchScale scale = BenchScale::FromEnv();
   bench::PrintHeader("Figure 8(h)", "runtime vs data density alpha", scale);
+  bench::JsonReport report("fig8_vary_alpha");
 
   const uint32_t n = scale.Pick(4000, 300000);
   std::printf("synthetic |V| = %s, |Vq| = 10\n",
@@ -20,13 +22,19 @@ int main() {
   TablePrinter table({"alpha", "|E|", "Match(s)", "Match+(s)", "Sim(s)"});
   double plus_total = 0, match_total = 0;
   double first_match = -1, last_match = -1;
+  const Engine engine;
   for (double alpha : {1.05, 1.15, 1.25, 1.35}) {
     const Graph g = MakeDataset(DatasetKind::kUniform, n, /*seed=*/41, alpha,
                                 ScaledLabelCount(n));
-    auto patterns = MakePatternWorkload(g, 10, 1, /*seed=*/9000);
+    auto patterns = bench::PrepareAll(
+        engine, MakePatternWorkload(g, 10, 1, /*seed=*/9000));
     if (patterns.empty()) continue;
     const bench::TimingPoint t =
-        bench::MeasureTimings(patterns[0], g, /*run_vf2=*/false);
+        bench::MeasureTimings(engine, patterns[0], g, /*run_vf2=*/false);
+    const std::string point = "alpha=" + FormatDouble(alpha, 2);
+    report.Add(point + "/match", t.match_seconds);
+    report.Add(point + "/match+", t.match_plus_seconds);
+    report.Add(point + "/sim", t.sim_seconds);
     table.AddRow({FormatDouble(alpha, 2),
                   WithThousandsSeparators(g.num_edges()),
                   FormatDouble(t.match_seconds, 3),

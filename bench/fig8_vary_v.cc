@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "quality/table_printer.h"
@@ -14,7 +15,8 @@ namespace gpm {
 namespace {
 
 void RunDataset(DatasetKind kind, const std::vector<uint32_t>& sizes,
-                bool run_vf2, const BenchScale& /*scale*/) {
+                bool run_vf2, const BenchScale& /*scale*/,
+                bench::JsonReport* report) {
   std::printf("\n[%s] (|Vq| = 10)%s\n", DatasetName(kind),
               run_vf2 ? "" : "  (VF2 skipped at this scale, as in the paper)");
   TablePrinter table({"|V|", "VF2(s)", "Match(s)", "Match+(s)", "Sim(s)"});
@@ -24,15 +26,24 @@ void RunDataset(DatasetKind kind, const std::vector<uint32_t>& sizes,
   // One fixed pattern across all sizes (the paper's methodology). The
   // copying-model generators are prefix-nested for a fixed seed and label
   // count, so a pattern extracted from the smallest graph exists in all.
+  // Prepared once; every size reuses the compiled state.
   const uint32_t num_labels = ScaledLabelCount(sizes.back());
   const Graph smallest =
       MakeDataset(kind, sizes.front(), /*seed=*/37, 1.2, num_labels);
-  auto patterns = MakePatternWorkload(smallest, 10, 1, /*seed=*/8000);
+  const Engine engine;
+  auto patterns = bench::PrepareAll(
+      engine, MakePatternWorkload(smallest, 10, 1, /*seed=*/8000));
   if (patterns.empty()) return;
   for (uint32_t n : sizes) {
     const Graph g = MakeDataset(kind, n, /*seed=*/37, 1.2, num_labels);
     const bench::TimingPoint t =
-        bench::MeasureTimings(patterns[0], g, run_vf2);
+        bench::MeasureTimings(engine, patterns[0], g, run_vf2);
+    const std::string point =
+        std::string(DatasetName(kind)) + "/V=" + std::to_string(n);
+    report->Add(point + "/match", t.match_seconds);
+    report->Add(point + "/match+", t.match_plus_seconds);
+    report->Add(point + "/sim", t.sim_seconds);
+    if (t.vf2_seconds >= 0) report->Add(point + "/vf2", t.vf2_seconds);
     table.AddRow({WithThousandsSeparators(n),
                   t.vf2_seconds < 0 ? "-" : FormatDouble(t.vf2_seconds, 3),
                   FormatDouble(t.match_seconds, 3),
@@ -65,20 +76,22 @@ int main() {
   const gpm::BenchScale scale = gpm::BenchScale::FromEnv();
   gpm::bench::PrintHeader("Figure 8(e)(f)(g)",
                           "runtime vs |V| for VF2/Match/Match+/Sim", scale);
+  gpm::bench::JsonReport report("fig8_vary_v");
   if (scale.full) {
     gpm::RunDataset(gpm::DatasetKind::kAmazonLike,
-                    {6000, 12000, 18000, 24000, 30000}, true, scale);
+                    {6000, 12000, 18000, 24000, 30000}, true, scale, &report);
     gpm::RunDataset(gpm::DatasetKind::kYouTubeLike,
-                    {2000, 4000, 6000, 8000, 10000}, true, scale);
+                    {2000, 4000, 6000, 8000, 10000}, true, scale, &report);
     gpm::RunDataset(gpm::DatasetKind::kUniform,
-                    {200000, 400000, 600000, 800000, 1000000}, false, scale);
+                    {200000, 400000, 600000, 800000, 1000000}, false, scale,
+                    &report);
   } else {
     gpm::RunDataset(gpm::DatasetKind::kAmazonLike, {1500, 3000, 4500}, true,
-                    scale);
+                    scale, &report);
     gpm::RunDataset(gpm::DatasetKind::kYouTubeLike, {800, 1200, 1600}, true,
-                    scale);
+                    scale, &report);
     gpm::RunDataset(gpm::DatasetKind::kUniform, {2000, 4000, 6000}, false,
-                    scale);
+                    scale, &report);
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "quality/table_printer.h"
@@ -14,7 +15,7 @@ namespace gpm {
 namespace {
 
 void RunDataset(DatasetKind kind, uint32_t n, bool run_vf2,
-                const BenchScale& scale) {
+                const BenchScale& scale, bench::JsonReport* report) {
   const Graph g = MakeDataset(kind, n, /*seed=*/29, 1.2, ScaledLabelCount(n));
   std::printf("\n[%s] |V| = %s, |E| = %s%s\n", DatasetName(kind),
               WithThousandsSeparators(g.num_nodes()).c_str(),
@@ -23,11 +24,19 @@ void RunDataset(DatasetKind kind, uint32_t n, bool run_vf2,
   TablePrinter table({"|Vq|", "VF2(s)", "Match(s)", "Match+(s)", "Sim(s)"});
   double plus_total = 0, match_total = 0;
   size_t sim_fastest = 0, points = 0;
+  const Engine engine;
   for (uint32_t nq = 4; nq <= (scale.full ? 20u : 12u); nq += 4) {
-    auto patterns = MakePatternWorkload(g, nq, 1, /*seed=*/6000 + nq);
+    auto patterns = bench::PrepareAll(
+        engine, MakePatternWorkload(g, nq, 1, /*seed=*/6000 + nq));
     if (patterns.empty()) continue;
     const bench::TimingPoint t =
-        bench::MeasureTimings(patterns[0], g, run_vf2);
+        bench::MeasureTimings(engine, patterns[0], g, run_vf2);
+    const std::string point =
+        std::string(DatasetName(kind)) + "/Vq=" + std::to_string(nq);
+    report->Add(point + "/match", t.match_seconds);
+    report->Add(point + "/match+", t.match_plus_seconds);
+    report->Add(point + "/sim", t.sim_seconds);
+    if (t.vf2_seconds >= 0) report->Add(point + "/vf2", t.vf2_seconds);
     table.AddRow({std::to_string(nq),
                   t.vf2_seconds < 0 ? "-" : FormatDouble(t.vf2_seconds, 3),
                   FormatDouble(t.match_seconds, 3),
@@ -52,11 +61,12 @@ int main() {
   const gpm::BenchScale scale = gpm::BenchScale::FromEnv();
   gpm::bench::PrintHeader("Figure 8(a)(b)(c)",
                           "runtime vs |Vq| for VF2/Match/Match+/Sim", scale);
+  gpm::bench::JsonReport report("fig8_vary_vq");
   gpm::RunDataset(gpm::DatasetKind::kAmazonLike, scale.Pick(3000, 30000),
-                  /*run_vf2=*/true, scale);
+                  /*run_vf2=*/true, scale, &report);
   gpm::RunDataset(gpm::DatasetKind::kYouTubeLike, scale.Pick(1200, 10000),
-                  /*run_vf2=*/true, scale);
+                  /*run_vf2=*/true, scale, &report);
   gpm::RunDataset(gpm::DatasetKind::kUniform, scale.Pick(4000, 500000),
-                  /*run_vf2=*/false, scale);
+                  /*run_vf2=*/false, scale, &report);
   return 0;
 }

@@ -5,9 +5,9 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
-#include "matching/parallel_match.h"
 #include "quality/table_printer.h"
 
 int main() {
@@ -19,42 +19,51 @@ int main() {
   const uint32_t n = scale.Pick(4000, 100000);
   const Graph g = MakeDataset(DatasetKind::kAmazonLike, n, /*seed=*/53, 1.2,
                               ScaledLabelCount(n));
-  auto patterns = MakePatternWorkload(g, 8, 1, /*seed=*/12000);
+  const Engine engine;
+  auto patterns = bench::PrepareAll(
+      engine, MakePatternWorkload(g, 8, 1, /*seed=*/12000));
   if (patterns.empty()) {
     std::printf("no pattern extracted\n");
     return 1;
   }
-  const Graph& q = patterns[0];
+  const PreparedQuery& q = patterns[0];
   std::printf("amazon-like |V| = %s, |E| = %s, |Vq| = 8 (plain Match "
               "options: every ball processed)\n",
               WithThousandsSeparators(g.num_nodes()).c_str(),
               WithThousandsSeparators(g.num_edges()).c_str());
 
-  auto baseline = MatchStrong(q, g);
+  auto baseline = engine.Match(q, g, bench::RequestFor(Algo::kStrong));
   if (!baseline.ok()) {
     std::printf("error: %s\n", baseline.status().ToString().c_str());
     return 1;
   }
 
+  bench::JsonReport report("parallel_scaling");
   TablePrinter table({"threads", "time(s)", "speedup", "results", "== seq"});
   double t1 = 0;
   bool all_equal = true;
   double t_max_threads = 0;
   for (size_t threads : {1u, 2u, 4u, 8u}) {
-    MatchStats stats;
-    auto result = MatchStrongParallel(q, g, {}, threads, &stats);
+    // Same prepared query and algorithm; only the policy changes.
+    MatchRequest request = bench::RequestFor(Algo::kStrong);
+    request.policy = ExecPolicy::Parallel(threads);
+    auto result = engine.Match(q, g, request);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       return 1;
     }
+    const MatchStats& stats = result->stats;
     if (threads == 1) t1 = stats.total_seconds;
     t_max_threads = stats.total_seconds;
-    const bool equal = result->size() == baseline->size();
+    const bool equal = result->subgraphs.size() == baseline->subgraphs.size();
     all_equal = all_equal && equal;
+    report.Add("threads=" + std::to_string(threads), stats.total_seconds,
+               stats);
     table.AddRow({std::to_string(threads), FormatDouble(stats.total_seconds, 3),
                   t1 > 0 ? FormatDouble(t1 / stats.total_seconds, 2) + "x"
                          : "-",
-                  std::to_string(result->size()), equal ? "yes" : "NO"});
+                  std::to_string(result->subgraphs.size()),
+                  equal ? "yes" : "NO"});
   }
   std::printf("%s", table.Render().c_str());
   bench::ShapeCheck(all_equal, "every thread count returns the same Θ");

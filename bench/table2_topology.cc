@@ -6,10 +6,10 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "graph/generator.h"
 #include "graph/paper_graphs.h"
-#include "matching/dual_simulation.h"
 #include "matching/topology.h"
 #include "quality/table_printer.h"
 
@@ -60,34 +60,44 @@ int main() {
   NotionRow sim_row, dual_row;
   CriterionTally strong_locality, strong_bounded, strong_connected;
 
-  // Random sweep + the paper's fixtures.
+  // Random sweep + the paper's fixtures, each notion one engine request.
+  const Engine engine;
+  bench::JsonReport report("table2_topology");
   const size_t sweeps = scale.full ? 60 : 25;
-  for (uint64_t seed = 0; seed < sweeps; ++seed) {
-    Graph g = MakeUniform(140, 1.3, 3, seed);
-    Rng rng(seed + 77);
-    auto qr = ExtractPattern(g, 4, &rng);
-    if (!qr.ok()) continue;
-    const Graph& q = *qr;
-    Evaluate(q, g, ComputeSimulation(q, g), &sim_row);
-    Evaluate(q, g, ComputeDualSimulation(q, g), &dual_row);
-    auto strong = MatchStrong(q, g);
-    if (strong.ok()) {
-      strong_locality.Note(LocalityBounded(q, g, *strong));
-      strong_bounded.Note(MatchCountBounded(g, *strong));
-      for (const auto& pg : *strong) {
-        strong_connected.Note(ChildrenPreserved(q, g, pg.relation) &&
-                              ParentsPreserved(q, g, pg.relation));
+  const double sweep_seconds = bench::TimeIt([&] {
+    for (uint64_t seed = 0; seed < sweeps; ++seed) {
+      Graph g = MakeUniform(140, 1.3, 3, seed);
+      Rng rng(seed + 77);
+      auto qr = ExtractPattern(g, 4, &rng);
+      if (!qr.ok()) continue;
+      auto prepared = engine.Prepare(*qr);
+      if (!prepared.ok()) continue;
+      const Graph& q = prepared->pattern();
+      auto sim = engine.Match(*prepared, g, bench::RequestFor(Algo::kSimulation));
+      if (sim.ok()) Evaluate(q, g, sim->relation, &sim_row);
+      auto dual =
+          engine.Match(*prepared, g, bench::RequestFor(Algo::kDualSimulation));
+      if (dual.ok()) Evaluate(q, g, dual->relation, &dual_row);
+      auto strong = engine.Match(*prepared, g, bench::RequestFor(Algo::kStrong));
+      if (strong.ok()) {
+        strong_locality.Note(LocalityBounded(q, g, strong->subgraphs));
+        strong_bounded.Note(MatchCountBounded(g, strong->subgraphs));
+        for (const auto& pg : strong->subgraphs) {
+          strong_connected.Note(ChildrenPreserved(q, g, pg.relation) &&
+                                ParentsPreserved(q, g, pg.relation));
+        }
       }
     }
-  }
-  // The paper's counterexamples force the ✗ cells for plain simulation.
-  {
+    // The paper's counterexamples force the ✗ cells for plain simulation.
     paper::Example ex = paper::Fig1();
-    Evaluate(ex.pattern, ex.data, ComputeSimulation(ex.pattern, ex.data),
-             &sim_row);
-    Evaluate(ex.pattern, ex.data, ComputeDualSimulation(ex.pattern, ex.data),
-             &dual_row);
-  }
+    auto sim = engine.Match(ex.pattern, ex.data,
+                            bench::RequestFor(Algo::kSimulation));
+    if (sim.ok()) Evaluate(ex.pattern, ex.data, sim->relation, &sim_row);
+    auto dual = engine.Match(ex.pattern, ex.data,
+                             bench::RequestFor(Algo::kDualSimulation));
+    if (dual.ok()) Evaluate(ex.pattern, ex.data, dual->relation, &dual_row);
+  });
+  report.Add("sweep", sweep_seconds);
 
   TablePrinter table({"notion", "children", "parents", "connectivity",
                       "cycles(dir)", "cycles(undir)", "locality", "bounded"});

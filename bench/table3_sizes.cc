@@ -7,10 +7,10 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "graph/generator.h"
-#include "matching/dual_simulation.h"
 #include "quality/histograms.h"
 #include "quality/table_printer.h"
 
@@ -30,18 +30,23 @@ DatasetResult RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale) 
   // inflate subgraphs beyond the paper's buckets.
   const Graph g = MakeDataset(kind, n, /*seed=*/23, 1.2, kDefaultNumLabels);
   const size_t num_patterns = scale.full ? 10 : 4;
-  auto patterns = MakePatternWorkload(g, 10, num_patterns, /*seed=*/5000);
-  for (const Graph& q : patterns) {
-    auto strong = MatchStrong(q, g, MatchPlusOptions());
+  const Engine engine;
+  auto patterns = bench::PrepareAll(
+      engine, MakePatternWorkload(g, 10, num_patterns, /*seed=*/5000));
+  for (const PreparedQuery& q : patterns) {
+    auto strong = engine.Match(q, g, bench::RequestFor(Algo::kStrongPlus));
     if (strong.ok()) {
-      result.histogram.AddAll(*strong);
-      for (const auto& pg : *strong) {
+      result.histogram.AddAll(strong->subgraphs);
+      for (const auto& pg : strong->subgraphs) {
         result.max_match_size = std::max(result.max_match_size,
                                          pg.nodes.size());
       }
     }
-    const auto sim_nodes = MatchedNodes(ComputeSimulation(q, g));
-    result.sim_match_nodes = std::max(result.sim_match_nodes, sim_nodes.size());
+    auto sim = engine.Match(q, g, bench::RequestFor(Algo::kSimulation));
+    if (sim.ok()) {
+      result.sim_match_nodes =
+          std::max(result.sim_match_nodes, MatchedNodes(sim->relation).size());
+    }
   }
   return result;
 }
@@ -72,11 +77,15 @@ int main() {
   headers.push_back("Sim(1 graph)");
   TablePrinter table(headers);
 
+  bench::JsonReport report("table3_sizes");
   bool all_below_50 = true;
   bool most_below_30 = true;
   bool sim_dwarfs_match = true;
   for (const Row& row : rows) {
-    const DatasetResult r = RunDataset(row.kind, row.n, scale);
+    DatasetResult r;
+    const double seconds =
+        bench::TimeIt([&] { r = RunDataset(row.kind, row.n, scale); });
+    report.Add(row.name, seconds);
     std::vector<std::string> cells{row.name};
     for (size_t b = 0; b < SizeHistogram::kNumBuckets; ++b) {
       cells.push_back(std::to_string(r.histogram.Count(b)));

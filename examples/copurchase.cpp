@@ -6,11 +6,10 @@
 
 #include <cstdio>
 
+#include "api/engine.h"
 #include "graph/generator.h"
 #include "graph/paper_graphs.h"
 #include "isomorphism/vf2.h"
-#include "matching/simulation.h"
-#include "matching/strong_simulation.h"
 #include "quality/closeness.h"
 
 namespace {
@@ -61,24 +60,40 @@ int main() {
   std::printf("VF2:   %zu embeddings over %zu products\n", iso.matches.size(),
               iso_nodes.size());
 
-  auto strong = MatchStrong(qa.pattern, g, MatchPlusOptions());
+  // One prepared pattern, two notions through the facade.
+  Engine engine;
+  auto prepared = engine.Prepare(qa.pattern);
+  if (!prepared.ok()) {
+    std::printf("error: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  MatchRequest plus_request;
+  plus_request.algo = Algo::kStrongPlus;
+  auto strong = engine.Match(*prepared, g, plus_request);
   if (!strong.ok()) {
     std::printf("error: %s\n", strong.status().ToString().c_str());
     return 1;
   }
-  const auto match_nodes = MatchedNodes(*strong);
+  const auto match_nodes = MatchedNodes(strong->subgraphs);
   std::printf("Match: %zu perfect subgraphs over %zu products "
               "(closeness %.2f)\n",
-              strong->size(), match_nodes.size(),
+              strong->subgraphs.size(), match_nodes.size(),
               Closeness(iso_nodes, match_nodes));
 
-  const auto sim_nodes = MatchedNodes(ComputeSimulation(qa.pattern, g));
+  MatchRequest sim_request;
+  sim_request.algo = Algo::kSimulation;
+  auto sim = engine.Match(*prepared, g, sim_request);
+  if (!sim.ok()) {
+    std::printf("error: %s\n", sim.status().ToString().c_str());
+    return 1;
+  }
+  const auto sim_nodes = MatchedNodes(sim->relation);
   std::printf("Sim:   one relation over %zu products (closeness %.2f)\n",
               sim_nodes.size(), Closeness(iso_nodes, sim_nodes));
 
   std::printf("\nPF books found by Match:\n");
   const NodeId pf = qa.PatternNode("PF");
-  for (const PerfectSubgraph& pg : *strong) {
+  for (const PerfectSubgraph& pg : strong->subgraphs) {
     for (NodeId v : pg.relation.sim[pf]) {
       std::printf("  product #%u (team of %zu co-purchased products)\n", v,
                   pg.nodes.size());

@@ -1,14 +1,14 @@
 // The paper's Example 1: a headhunter searching an expertise
 // recommendation network for a biologist (Fig. 1). Demonstrates why
 // subgraph isomorphism finds nothing, plain simulation finds everything,
-// and strong simulation finds exactly the right person.
+// and strong simulation finds exactly the right person — all notions
+// served by one gpm::Engine.
 
 #include <cstdio>
 
+#include "api/engine.h"
 #include "graph/paper_graphs.h"
 #include "isomorphism/vf2.h"
-#include "matching/simulation.h"
-#include "matching/strong_simulation.h"
 
 int main() {
   using namespace gpm;
@@ -21,28 +21,45 @@ int main() {
               ex.data.num_nodes());
 
   // Subgraph isomorphism: too strict — the DM<->AI 2-cycle has no exact
-  // counterpart anywhere in G1.
+  // counterpart anywhere in G1. (Isomorphism is outside the simulation
+  // spectrum, so it stays a direct call.)
   auto iso = Vf2Enumerate(ex.pattern, ex.data);
   std::printf("subgraph isomorphism (VF2): %zu matches\n", iso.matches.size());
 
+  // One prepared pattern serves both simulation requests below.
+  Engine engine;
+  auto prepared = engine.Prepare(ex.pattern);
+  if (!prepared.ok()) {
+    std::printf("error: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+
   // Plain simulation: too loose — every biologist matches, including the
   // three who lack the required recommenders.
-  const MatchRelation sim = ComputeSimulation(ex.pattern, ex.data);
+  MatchRequest sim_request;
+  sim_request.algo = Algo::kSimulation;
+  auto sim = engine.Match(*prepared, ex.data, sim_request);
+  if (!sim.ok()) {
+    std::printf("error: %s\n", sim.status().ToString().c_str());
+    return 1;
+  }
   std::printf("graph simulation:           Bio matches = { ");
-  for (NodeId v : sim.sim[bio]) {
+  for (NodeId v : sim->relation.sim[bio]) {
     std::printf("%s ", ex.data_node_names[v].c_str());
   }
   std::printf("}\n");
 
   // Strong simulation: exactly Bio4 and her surrounding team.
-  auto strong = MatchStrong(ex.pattern, ex.data);
+  MatchRequest strong_request;
+  strong_request.algo = Algo::kStrong;
+  auto strong = engine.Match(*prepared, ex.data, strong_request);
   if (!strong.ok()) {
     std::printf("error: %s\n", strong.status().ToString().c_str());
     return 1;
   }
   std::printf("strong simulation:          %zu perfect subgraph(s)\n",
-              strong->size());
-  for (const PerfectSubgraph& pg : *strong) {
+              strong->subgraphs.size());
+  for (const PerfectSubgraph& pg : strong->subgraphs) {
     std::printf("  candidate team (center %s): ",
                 ex.data_node_names[pg.center].c_str());
     for (NodeId v : pg.nodes) std::printf("%s ", ex.data_node_names[v].c_str());

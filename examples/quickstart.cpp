@@ -1,16 +1,15 @@
-// Quickstart: build a pattern and a data graph, run the four matching
-// notions, and inspect a perfect subgraph.
+// Quickstart: build a pattern and a data graph, prepare the pattern once
+// with gpm::Engine, and run the whole spectrum of matching notions through
+// the one facade call shape.
 //
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build
 //   ./build/examples/quickstart
 
 #include <cstdio>
 
+#include "api/algo_names.h"
+#include "api/engine.h"
 #include "graph/graph.h"
-#include "matching/bounded_simulation.h"
-#include "matching/dual_simulation.h"
-#include "matching/simulation.h"
-#include "matching/strong_simulation.h"
 
 int main() {
   using namespace gpm;
@@ -44,20 +43,51 @@ int main() {
   g.AddEdge(5, 0);  // the chain's QA reports to the *other* team's PM
   g.Finalize();
 
-  // Plain simulation keeps the lookalike chain; dual simulation trims it;
-  // strong simulation returns the triangle as a connected, bounded match.
-  std::printf("graph simulation matches Q:   %s\n",
-              GraphSimulates(q, g) ? "yes" : "no");
-  const MatchRelation dual = ComputeDualSimulation(q, g);
-  std::printf("dual simulation pairs:        %zu\n", dual.NumPairs());
-
-  auto result = MatchStrong(q, g);
-  if (!result.ok()) {
-    std::printf("error: %s\n", result.status().ToString().c_str());
+  // Compile the pattern once (diameter, minQ quotient); every request
+  // below reuses the compiled state.
+  Engine engine;
+  auto prepared = engine.Prepare(q);
+  if (!prepared.ok()) {
+    std::printf("error: %s\n", prepared.status().ToString().c_str());
     return 1;
   }
-  std::printf("strong simulation subgraphs:  %zu\n", result->size());
-  for (const PerfectSubgraph& pg : *result) {
+  std::printf("prepared pattern: %zu nodes, diameter %u\n\n",
+              prepared->pattern().num_nodes(), prepared->diameter());
+
+  // The whole spectrum through one call shape, driven by the same name
+  // table gpm_cli dispatches on. Plain simulation keeps the lookalike
+  // chain; dual simulation trims it; strong simulation returns the
+  // triangle as a connected, bounded match.
+  for (const AlgoSpec& spec : AlgorithmTable()) {
+    auto request = RequestFromAlgoName(spec.name);
+    if (!request.ok()) continue;
+    auto response = engine.Match(*prepared, g, *request);
+    if (!response.ok()) {
+      std::printf("%-12s error: %s\n", spec.name,
+                  response.status().ToString().c_str());
+      continue;
+    }
+    if (response->relation.num_query_nodes() > 0) {
+      std::printf("%-12s %-7s %zu relation pairs\n", spec.name,
+                  response->matched ? "matches" : "fails",
+                  response->relation.NumPairs());
+    } else {
+      std::printf("%-12s %-7s %zu perfect subgraph(s)\n", spec.name,
+                  response->matched ? "matches" : "fails",
+                  response->subgraphs_delivered);
+    }
+  }
+
+  // Inspect the strong-simulation answer in detail.
+  MatchRequest strong_request;
+  strong_request.algo = Algo::kStrong;
+  auto strong = engine.Match(*prepared, g, strong_request);
+  if (!strong.ok()) {
+    std::printf("error: %s\n", strong.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nstrong simulation detail:\n");
+  for (const PerfectSubgraph& pg : strong->subgraphs) {
     std::printf("  perfect subgraph around node %u: nodes {", pg.center);
     for (size_t i = 0; i < pg.nodes.size(); ++i) {
       std::printf("%s%u", i ? ", " : "", pg.nodes[i]);
@@ -82,7 +112,10 @@ int main() {
   q2.AddEdge(dev, qa);
   q2.AddEdge(qa, pm, /*label=2 == bound 2*/ 2);
   q2.Finalize();
-  std::printf("bounded simulation (<=2 hops) matches: %s\n",
-              BoundedSimulates(q2, g) ? "yes" : "no");
+  MatchRequest bounded_request;
+  bounded_request.algo = Algo::kBoundedSimulation;
+  auto bounded = engine.Match(q2, g, bounded_request);
+  std::printf("\nbounded simulation (<=2 hops) matches: %s\n",
+              bounded.ok() && bounded->matched ? "yes" : "no");
   return 0;
 }

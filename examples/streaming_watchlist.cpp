@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "api/engine.h"
 #include "extensions/incremental.h"
 #include "extensions/ranking.h"
 #include "graph/generator.h"
@@ -49,13 +50,36 @@ int main() {
   }
   g.Finalize();
 
+  // Initial sweep through the facade's streaming path: each ring would be
+  // handed to the sink as its ball completes, without materializing Θ —
+  // the shape a production watcher forwards alerts in.
+  Engine engine;
+  auto prepared = engine.Prepare(q);
+  if (!prepared.ok()) {
+    std::printf("error: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  MatchRequest request;
+  request.algo = Algo::kStrong;
+  size_t streamed = 0;
+  auto scan = engine.Match(*prepared, g, request,
+                           [&streamed](PerfectSubgraph&&) {
+                             ++streamed;
+                             return true;  // false would stop the scan
+                           });
+  if (!scan.ok()) {
+    std::printf("error: %s\n", scan.status().ToString().c_str());
+    return 1;
+  }
+
   auto matcher = IncrementalMatcher::Create(q, g);
   if (!matcher.ok()) {
     std::printf("error: %s\n", matcher.status().ToString().c_str());
     return 1;
   }
-  std::printf("watching %zu-node transaction graph; initial matches: %zu\n\n",
-              g.num_nodes(), matcher->CurrentMatches().size());
+  std::printf("watching %zu-node transaction graph; initial matches: %zu "
+              "(streaming scan saw %zu)\n\n",
+              g.num_nodes(), matcher->CurrentMatches().size(), streamed);
 
   // Stream suspicious edges: walk account -> mule -> cashout chains and
   // close them with a cashout -> account transfer — exactly the watched

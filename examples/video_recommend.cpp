@@ -7,10 +7,10 @@
 
 #include <cstdio>
 
+#include "api/engine.h"
 #include "graph/generator.h"
 #include "graph/paper_graphs.h"
 #include "isomorphism/vf2.h"
-#include "matching/strong_simulation.h"
 #include "quality/closeness.h"
 #include "quality/histograms.h"
 
@@ -72,21 +72,23 @@ int main() {
   std::printf("VF2:   %zu embeddings, %zu distinct subgraphs\n",
               iso.matches.size(), CountDistinctSubgraphs(iso.matches));
 
-  auto strong = MatchStrong(qy.pattern, g, MatchPlusOptions());
+  Engine engine;
+  MatchRequest request;  // defaults: Algo::kStrongPlus, serial
+  auto strong = engine.Match(qy.pattern, g, request);
   if (!strong.ok()) {
     std::printf("error: %s\n", strong.status().ToString().c_str());
     return 1;
   }
   SizeHistogram sizes;
-  sizes.AddAll(*strong);
+  sizes.AddAll(strong->subgraphs);
   std::printf("Match: %zu perfect subgraphs; all sizes < 50 nodes: %s\n",
-              strong->size(), sizes.Count(5) == 0 ? "yes" : "no");
+              strong->subgraphs.size(), sizes.Count(5) == 0 ? "yes" : "no");
 
   const NodeId ent = qy.PatternNode("E");
   size_t shown = 0;
-  for (const PerfectSubgraph& pg : *strong) {
+  for (const PerfectSubgraph& pg : strong->subgraphs) {
     if (shown++ == 5) {
-      std::printf("  ... and %zu more\n", strong->size() - 5);
+      std::printf("  ... and %zu more\n", strong->subgraphs.size() - 5);
       break;
     }
     std::printf("  entertainment videos { ");

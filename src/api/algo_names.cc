@@ -1,0 +1,62 @@
+#include "api/algo_names.h"
+
+namespace gpm {
+
+namespace {
+
+constexpr AlgoSpec kTable[] = {
+    {"sim", Algo::kSimulation, ExecPolicy::Kind::kSerial,
+     "graph simulation (child edges only)"},
+    {"dual", Algo::kDualSimulation, ExecPolicy::Kind::kSerial,
+     "dual simulation (child + parent edges)"},
+    {"bounded", Algo::kBoundedSimulation, ExecPolicy::Kind::kSerial,
+     "bounded simulation (hop-bounded pattern edges)"},
+    {"strong", Algo::kStrong, ExecPolicy::Kind::kSerial,
+     "strong simulation, un-optimized Fig. 3"},
+    {"strong+", Algo::kStrongPlus, ExecPolicy::Kind::kSerial,
+     "Match+ with all paper §4.2 optimizations"},
+    {"parallel", Algo::kStrongPlus, ExecPolicy::Kind::kParallel,
+     "Match+ sharded across cores"},
+    {"distributed", Algo::kStrongPlus, ExecPolicy::Kind::kDistributed,
+     "Match across simulated sites (§4.3 BSP)"},
+};
+
+}  // namespace
+
+std::span<const AlgoSpec> AlgorithmTable() { return kTable; }
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kSimulation: return "sim";
+    case Algo::kDualSimulation: return "dual";
+    case Algo::kBoundedSimulation: return "bounded";
+    case Algo::kStrong: return "strong";
+    case Algo::kStrongPlus: return "strong+";
+    case Algo::kRegexStrong: return "regex-strong";
+  }
+  return "unknown";
+}
+
+Result<MatchRequest> RequestFromAlgoName(std::string_view name) {
+  for (const AlgoSpec& spec : kTable) {
+    if (name == spec.name) {
+      MatchRequest request;
+      request.algo = spec.algo;
+      request.policy.kind = spec.policy;
+      return request;
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm '" + std::string(name) +
+                                 "' (expected one of " + AlgoNameList() + ")");
+}
+
+std::string AlgoNameList() {
+  std::string out;
+  for (const AlgoSpec& spec : kTable) {
+    if (!out.empty()) out += '|';
+    out += spec.name;
+  }
+  return out;
+}
+
+}  // namespace gpm

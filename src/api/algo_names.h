@@ -1,0 +1,42 @@
+// The shared algorithm-name table: one place mapping the CLI/config
+// spellings ("sim", "strong+", "parallel", ...) to the MatchRequest they
+// denote. gpm_cli and the examples both dispatch through this table, so
+// adding a notion (or a policy alias) is a one-row change.
+
+#ifndef GPM_API_ALGO_NAMES_H_
+#define GPM_API_ALGO_NAMES_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "api/match_request.h"
+#include "common/result.h"
+
+namespace gpm {
+
+/// \brief One row of the dispatch table: a spelling plus the request it
+/// denotes.
+struct AlgoSpec {
+  const char* name;        ///< the accepted spelling, e.g. "strong+"
+  Algo algo;
+  ExecPolicy::Kind policy; ///< default policy for this spelling
+  const char* summary;     ///< one-liner for usage/help text
+};
+
+/// Every spelling accepted by RequestFromAlgoName, in display order.
+std::span<const AlgoSpec> AlgorithmTable();
+
+/// Canonical spelling of `algo` (e.g. Algo::kStrongPlus -> "strong+").
+const char* AlgoName(Algo algo);
+
+/// Builds the MatchRequest denoted by a table spelling; InvalidArgument
+/// (listing the accepted names) for anything else.
+Result<MatchRequest> RequestFromAlgoName(std::string_view name);
+
+/// The accepted spellings joined with '|' — for usage text.
+std::string AlgoNameList();
+
+}  // namespace gpm
+
+#endif  // GPM_API_ALGO_NAMES_H_

@@ -1,0 +1,225 @@
+#include "api/engine.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "extensions/regex_strong.h"
+#include "graph/components.h"
+#include "matching/bounded_simulation.h"
+#include "matching/dual_simulation.h"
+#include "matching/parallel_match.h"
+#include "matching/simulation.h"
+
+namespace gpm {
+
+const char* ExecPolicyName(ExecPolicy::Kind kind) {
+  switch (kind) {
+    case ExecPolicy::Kind::kSerial: return "serial";
+    case ExecPolicy::Kind::kParallel: return "parallel";
+    case ExecPolicy::Kind::kDistributed: return "distributed";
+  }
+  return "unknown";
+}
+
+const RegexQuery& PreparedQuery::regex() const {
+  GPM_CHECK(regex_.has_value());
+  return *regex_;
+}
+
+namespace {
+
+bool IsRelationAlgo(Algo algo) {
+  return algo == Algo::kSimulation || algo == Algo::kDualSimulation ||
+         algo == Algo::kBoundedSimulation;
+}
+
+// The MatchOptions actually executed for a strong-family request (see
+// MatchRequest::options for the kStrong / kStrongPlus contract).
+MatchOptions EffectiveOptions(const MatchRequest& request) {
+  if (request.algo == Algo::kStrongPlus) {
+    MatchOptions options = MatchPlusOptions();
+    options.dedup = request.options.dedup;
+    options.radius_override = request.options.radius_override;
+    return options;
+  }
+  return request.options;
+}
+
+// Drains an already-materialized result set into a sink, honoring its
+// early-stop contract. Returns the number delivered.
+size_t DrainToSink(std::vector<PerfectSubgraph>&& subgraphs,
+                   const SubgraphSink& sink) {
+  size_t delivered = 0;
+  for (PerfectSubgraph& pg : subgraphs) {
+    ++delivered;
+    if (!sink(std::move(pg))) break;
+  }
+  return delivered;
+}
+
+}  // namespace
+
+Result<PreparedQuery> Engine::Prepare(const Graph& pattern) const {
+  if (!pattern.finalized())
+    return Status::InvalidArgument("pattern must be finalized");
+  if (pattern.num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  PreparedQuery query;
+  query.pattern_ = pattern;
+  auto prep = PreparePattern(query.pattern_, options_.minimize_on_prepare);
+  if (prep.ok()) {
+    query.prep_ = std::move(prep).ValueOrDie();
+  } else {
+    // Disconnected pattern: the relation notions still work; record why
+    // the strong family will not.
+    query.strong_status_ = prep.status();
+  }
+  return query;
+}
+
+Result<PreparedQuery> Engine::Prepare(RegexQuery regex) const {
+  if (!regex.pattern().finalized())
+    return Status::InvalidArgument("pattern must be finalized");
+  if (regex.pattern().num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  PreparedQuery query;
+  query.pattern_ = regex.pattern();
+  if (IsConnected(query.pattern_)) {
+    query.regex_radius_ =
+        DefaultRegexRadius(regex, options_.regex_unbounded_cap);
+  } else {
+    query.strong_status_ = Status::InvalidArgument(
+        "pattern graph must be connected (paper §2.1)");
+  }
+  query.regex_ = std::move(regex);
+  return query;
+}
+
+Result<MatchResponse> Engine::Match(const PreparedQuery& query, const Graph& g,
+                                    const MatchRequest& request) const {
+  return Dispatch(query, g, request, nullptr);
+}
+
+Result<MatchResponse> Engine::Match(const Graph& pattern, const Graph& g,
+                                    const MatchRequest& request) const {
+  GPM_ASSIGN_OR_RETURN(PreparedQuery query, Prepare(pattern));
+  return Dispatch(query, g, request, nullptr);
+}
+
+Result<MatchResponse> Engine::Match(const PreparedQuery& query, const Graph& g,
+                                    const MatchRequest& request,
+                                    const SubgraphSink& sink) const {
+  return Dispatch(query, g, request, &sink);
+}
+
+Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
+                                       const Graph& g,
+                                       const MatchRequest& request,
+                                       const SubgraphSink* sink) const {
+  if (!g.finalized())
+    return Status::InvalidArgument("data graph must be finalized");
+  if (query.has_regex() && request.algo != Algo::kRegexStrong) {
+    return Status::InvalidArgument(
+        "query was prepared with regex constraints; request "
+        "Algo::kRegexStrong");
+  }
+  if (!query.has_regex() && request.algo == Algo::kRegexStrong) {
+    return Status::InvalidArgument(
+        "Algo::kRegexStrong needs a query prepared from a RegexQuery");
+  }
+  if (sink != nullptr && IsRelationAlgo(request.algo)) {
+    return Status::InvalidArgument(
+        "streaming applies to the strong-simulation family; relation "
+        "notions produce one relation, not a subgraph stream");
+  }
+
+  Timer timer;
+  MatchResponse response;
+
+  if (IsRelationAlgo(request.algo)) {
+    // Single-worklist algorithms: Parallel runs them serially (call-shape
+    // uniformity); Distributed is impossible without locality (Example 7).
+    if (request.policy.kind == ExecPolicy::Kind::kDistributed) {
+      return Status::NotImplemented(
+          "relation notions have no data locality (Example 7); only the "
+          "strong-simulation family runs under ExecPolicy::Distributed");
+    }
+    switch (request.algo) {
+      case Algo::kSimulation:
+        response.relation = ComputeSimulation(query.pattern(), g);
+        break;
+      case Algo::kDualSimulation:
+        response.relation = ComputeDualSimulation(query.pattern(), g);
+        break;
+      default:
+        response.relation = ComputeBoundedSimulation(query.pattern(), g);
+        break;
+    }
+    response.matched = response.relation.IsTotal();
+    response.seconds = timer.Seconds();
+    return response;
+  }
+
+  if (request.algo == Algo::kRegexStrong) {
+    if (!query.strong_status().ok()) return query.strong_status();
+    if (request.policy.kind == ExecPolicy::Kind::kDistributed) {
+      return Status::NotImplemented(
+          "regex strong simulation has no distributed executor yet");
+    }
+    // No parallel regex executor either; Parallel degrades to one core.
+    GPM_ASSIGN_OR_RETURN(
+        response.subgraphs,
+        MatchStrongRegex(query.regex(), g, query.regex_radius()));
+  } else {
+    if (!query.strong_status().ok()) return query.strong_status();
+    const MatchOptions options = EffectiveOptions(request);
+    switch (request.policy.kind) {
+      case ExecPolicy::Kind::kSerial: {
+        if (sink != nullptr) {
+          // True streaming: subgraphs flow out as balls complete.
+          GPM_ASSIGN_OR_RETURN(
+              response.subgraphs_delivered,
+              MatchStrongStream(query.pattern(), g, options, *sink,
+                                &response.stats, &query.prep()));
+          response.matched = response.subgraphs_delivered > 0;
+          response.seconds = timer.Seconds();
+          return response;
+        }
+        GPM_ASSIGN_OR_RETURN(response.subgraphs,
+                             MatchStrong(query.pattern(), g, options,
+                                         &response.stats, &query.prep()));
+        break;
+      }
+      case ExecPolicy::Kind::kParallel: {
+        GPM_ASSIGN_OR_RETURN(
+            response.subgraphs,
+            MatchStrongParallel(query.pattern(), g, options,
+                                request.policy.num_threads, &response.stats,
+                                &query.prep()));
+        break;
+      }
+      case ExecPolicy::Kind::kDistributed: {
+        GPM_ASSIGN_OR_RETURN(
+            response.subgraphs,
+            MatchStrongDistributed(query.pattern(), g,
+                                   request.policy.distributed,
+                                   &response.distributed));
+        break;
+      }
+    }
+  }
+
+  if (sink != nullptr) {
+    response.subgraphs_delivered =
+        DrainToSink(std::move(response.subgraphs), *sink);
+    response.subgraphs.clear();
+  } else {
+    response.subgraphs_delivered = response.subgraphs.size();
+  }
+  response.matched = response.subgraphs_delivered > 0;
+  response.seconds = timer.Seconds();
+  return response;
+}
+
+}  // namespace gpm

@@ -1,0 +1,106 @@
+// gpm::Engine — the single entry point to every matching notion in the
+// library (the facade the serving layers build on).
+//
+// The paper presents simulation, dual simulation, and strong simulation as
+// one spectrum the user picks from (§2, §4.2); the engine exposes that
+// spectrum behind one call shape:
+//
+//   Engine engine;
+//   auto pq = engine.Prepare(pattern);                   // compile once
+//   MatchRequest request;
+//   request.algo = Algo::kStrongPlus;
+//   request.policy = ExecPolicy::Parallel(8);
+//   auto response = engine.Match(*pq, data, request);    // run many times
+//
+// Prepare compiles the per-pattern §4.2 state (diameter dQ, minQ quotient,
+// regex radius) once; Match reuses it for every request, so per-pattern
+// preprocessing is amortized across requests — the per-(pattern, data)
+// work (the global dual filter, the ball loop) is all that runs per call.
+//
+// Execution policies: Serial and Parallel{threads} cover every algorithm
+// (the relation notions are single-worklist algorithms, so Parallel simply
+// runs them on one core — accepted for call-shape uniformity).
+// Distributed{partition} covers the strong family only: plain simulation
+// has no data locality (Example 7), so the paper's §4.3 scheme cannot
+// evaluate it and the engine reports NotImplemented rather than silently
+// reassembling the graph.
+//
+// Streaming: the sink overload hands each perfect subgraph to a
+// SubgraphSink as the ball loop produces it, so Θ is never materialized;
+// returning false from the sink stops the scan. Parallel and Distributed
+// runs complete the merge/dedup first (their shards race) and then drain
+// to the sink — the call shape is identical, only Serial gets true
+// incremental delivery.
+
+#ifndef GPM_API_ENGINE_H_
+#define GPM_API_ENGINE_H_
+
+#include <cstdint>
+
+#include "api/match_request.h"
+#include "api/prepared_query.h"
+#include "common/result.h"
+#include "extensions/regex_pattern.h"
+#include "graph/graph.h"
+
+namespace gpm {
+
+/// \brief Engine-wide knobs (per-request knobs live on MatchRequest).
+struct EngineOptions {
+  /// Precompute the minQ quotient at Prepare time so minimizing requests
+  /// skip it per call. One quadratic pass per Prepare; disable only for
+  /// patterns that are prepared once and matched once.
+  bool minimize_on_prepare = true;
+  /// Cap substituted for unbounded regex repetitions when computing the
+  /// prepared ball radius (see DefaultRegexRadius).
+  uint32_t regex_unbounded_cap = 4;
+};
+
+/// \brief The unified facade over every matcher in the library.
+///
+/// Stateless apart from its options: const, cheap to copy, safe to share
+/// across threads (each Match call carries its own scratch state).
+class Engine {
+ public:
+  Engine() = default;
+  explicit Engine(EngineOptions options) : options_(options) {}
+
+  /// Compiles a plain pattern. InvalidArgument for an empty or
+  /// un-finalized pattern. A disconnected pattern is accepted — the
+  /// relation notions still work — but strong-family requests against it
+  /// fail with the recorded strong_status().
+  Result<PreparedQuery> Prepare(const Graph& pattern) const;
+
+  /// Compiles a regex pattern (§6 extension). The result serves only
+  /// Algo::kRegexStrong requests.
+  Result<PreparedQuery> Prepare(RegexQuery query) const;
+
+  /// Runs one request against a prepared query.
+  Result<MatchResponse> Match(const PreparedQuery& query, const Graph& g,
+                              const MatchRequest& request = {}) const;
+
+  /// One-shot convenience: Prepare + Match. Prefer the prepared overload
+  /// when a pattern is matched more than once.
+  Result<MatchResponse> Match(const Graph& pattern, const Graph& g,
+                              const MatchRequest& request = {}) const;
+
+  /// Streaming variant for the strong family: perfect subgraphs flow to
+  /// `sink` and MatchResponse::subgraphs stays empty. InvalidArgument for
+  /// relation notions (they produce one relation, not a stream).
+  Result<MatchResponse> Match(const PreparedQuery& query, const Graph& g,
+                              const MatchRequest& request,
+                              const SubgraphSink& sink) const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  Result<MatchResponse> Dispatch(const PreparedQuery& query, const Graph& g,
+                                 const MatchRequest& request,
+                                 const SubgraphSink* sink) const;
+
+  EngineOptions options_;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_API_ENGINE_H_

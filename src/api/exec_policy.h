@@ -1,0 +1,48 @@
+// ExecPolicy: where one match request executes — a single thread, a core
+// pool, or the simulated multi-site BSP runtime of §4.3. Callers pick the
+// deployment per request without changing the call shape; Theorem 1
+// (uniqueness of Θ) is what makes all three return identical results for
+// the strong-simulation family, and the equivalence test suite asserts it.
+
+#ifndef GPM_API_EXEC_POLICY_H_
+#define GPM_API_EXEC_POLICY_H_
+
+#include <cstddef>
+
+#include "distributed/distributed_match.h"
+
+namespace gpm {
+
+/// \brief Execution policy of one MatchRequest.
+struct ExecPolicy {
+  enum class Kind { kSerial, kParallel, kDistributed };
+
+  Kind kind = Kind::kSerial;
+  /// Parallel only: worker count, 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Distributed only: site count, partition strategy, seed.
+  DistributedOptions distributed;
+
+  static ExecPolicy Serial() { return {}; }
+
+  static ExecPolicy Parallel(size_t threads = 0) {
+    ExecPolicy policy;
+    policy.kind = Kind::kParallel;
+    policy.num_threads = threads;
+    return policy;
+  }
+
+  static ExecPolicy Distributed(DistributedOptions options = {}) {
+    ExecPolicy policy;
+    policy.kind = Kind::kDistributed;
+    policy.distributed = options;
+    return policy;
+  }
+};
+
+/// "serial" / "parallel" / "distributed".
+const char* ExecPolicyName(ExecPolicy::Kind kind);
+
+}  // namespace gpm
+
+#endif  // GPM_API_EXEC_POLICY_H_

@@ -1,0 +1,66 @@
+// The uniform request/response pair of the gpm::Engine facade. Every
+// matching notion the library implements — the paper's spectrum from plain
+// simulation (§2.1) through strong simulation with the §4.2 optimizations,
+// plus the regex extension of §6 — is asked for with one MatchRequest and
+// answered with one Result<MatchResponse>.
+
+#ifndef GPM_API_MATCH_REQUEST_H_
+#define GPM_API_MATCH_REQUEST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "api/exec_policy.h"
+#include "matching/match_relation.h"
+#include "matching/strong_simulation.h"
+
+namespace gpm {
+
+/// \brief The matching notions served by gpm::Engine.
+enum class Algo {
+  kSimulation,         ///< graph simulation ≺ (child edges only)
+  kDualSimulation,     ///< dual simulation ≺D (child + parent edges)
+  kBoundedSimulation,  ///< bounded simulation [19] (hop-bounded edges)
+  kStrong,             ///< strong simulation ≺LD, un-optimized Fig. 3
+  kStrongPlus,         ///< Match+ — all §4.2 optimizations on
+  kRegexStrong,        ///< strong simulation with regex edges (§6 / [18])
+};
+
+/// \brief One uniform request: which notion, where it runs, and the
+/// strong-simulation knobs.
+struct MatchRequest {
+  Algo algo = Algo::kStrongPlus;
+  ExecPolicy policy;
+  /// Strong-family knobs (§4.2 toggles, dedup, radius override). Applied
+  /// verbatim for kStrong. For kStrongPlus the §4.2 toggles are forced on
+  /// and only `dedup` / `radius_override` are honored. Ignored by the
+  /// relation notions, kRegexStrong, and Distributed runs (which always
+  /// execute the plain per-ball pipeline — same Θ by Theorem 1).
+  MatchOptions options;
+};
+
+/// \brief One uniform response.
+///
+/// Relation notions (kSimulation / kDualSimulation / kBoundedSimulation)
+/// fill `relation`. The strong family fills `subgraphs` — unless the call
+/// streamed them to a SubgraphSink, in which case only
+/// `subgraphs_delivered` counts them — and `stats`. Distributed runs add
+/// `distributed`.
+struct MatchResponse {
+  /// Q matches G under the requested notion: the relation is total,
+  /// resp. Θ is non-empty.
+  bool matched = false;
+  MatchRelation relation;
+  std::vector<PerfectSubgraph> subgraphs;
+  /// Perfect subgraphs produced, counting streamed ones
+  /// (== subgraphs.size() when not streaming).
+  size_t subgraphs_delivered = 0;
+  MatchStats stats;
+  DistributedStats distributed;
+  /// End-to-end wall clock of the Engine call.
+  double seconds = 0;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_API_MATCH_REQUEST_H_

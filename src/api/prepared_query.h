@@ -1,0 +1,68 @@
+// PreparedQuery: a pattern compiled once by gpm::Engine::Prepare and
+// reused across match calls. It caches the per-pattern §4.2 preprocessing
+// — connectivity validation, pattern diameter dQ, the minQ quotient — and,
+// for regex patterns, the compiled constraint set plus the weighted ball
+// radius, so repeated requests against changing data graphs skip all of
+// it. (The global dual-simulation filter depends on the data graph and is
+// therefore per-request, not cached here.)
+
+#ifndef GPM_API_PREPARED_QUERY_H_
+#define GPM_API_PREPARED_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/status.h"
+#include "extensions/regex_pattern.h"
+#include "graph/graph.h"
+#include "matching/strong_simulation.h"
+
+namespace gpm {
+
+class Engine;
+
+/// \brief Per-pattern compiled state. Construct via Engine::Prepare;
+/// freely copyable and reusable across data graphs and policies.
+class PreparedQuery {
+ public:
+  /// The (plain) pattern; for regex queries, the underlying pattern graph.
+  const Graph& pattern() const { return pattern_; }
+
+  /// True when prepared from a RegexQuery — such queries serve only
+  /// Algo::kRegexStrong requests.
+  bool has_regex() const { return regex_.has_value(); }
+
+  /// The regex constraints; aborts unless has_regex().
+  const RegexQuery& regex() const;
+
+  /// OK iff the strong-simulation family can run (non-empty, connected
+  /// pattern). Relation notions work regardless.
+  const Status& strong_status() const { return strong_status_; }
+
+  /// Pattern diameter dQ — the default ball radius for *plain* queries.
+  /// Valid (non-zero for multi-node patterns) only when
+  /// strong_status().ok() and !has_regex(); regex queries use
+  /// regex_radius() instead.
+  uint32_t diameter() const { return prep_.diameter; }
+
+  /// Weighted ball radius for regex matching (DefaultRegexRadius); valid
+  /// only for regex queries with strong_status().ok().
+  uint32_t regex_radius() const { return regex_radius_; }
+
+  /// The cached §4.2 pattern state handed to the matching layer.
+  const PatternPrep& prep() const { return prep_; }
+
+ private:
+  friend class Engine;
+  PreparedQuery() = default;
+
+  Graph pattern_;
+  PatternPrep prep_;
+  Status strong_status_;
+  std::optional<RegexQuery> regex_;
+  uint32_t regex_radius_ = 0;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_API_PREPARED_QUERY_H_

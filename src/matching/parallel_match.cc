@@ -7,23 +7,19 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
-#include "graph/components.h"
-#include "graph/diameter.h"
-#include "matching/dual_simulation.h"
-#include "matching/query_minimization.h"
 #include "matching/strong_simulation_internal.h"
 
 namespace gpm {
 
 Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
     const Graph& q, const Graph& g, const MatchOptions& options,
-    size_t num_threads, MatchStats* stats) {
+    size_t num_threads, MatchStats* stats, const PatternPrep* prep) {
   GPM_CHECK(q.finalized() && g.finalized());
-  if (q.num_nodes() == 0)
-    return Status::InvalidArgument("pattern graph is empty");
-  if (!IsConnected(q))
-    return Status::InvalidArgument(
-        "pattern graph must be connected (paper §2.1)");
+  PatternPrep local_prep;
+  if (prep == nullptr) {
+    GPM_ASSIGN_OR_RETURN(local_prep, PreparePattern(q, /*minimize=*/false));
+    prep = &local_prep;
+  }
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -31,60 +27,23 @@ Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
   Timer total_timer;
   MatchStats totals;
 
-  GPM_ASSIGN_OR_RETURN(uint32_t diameter, Diameter(q));
-  const uint32_t radius =
-      options.radius_override != 0 ? options.radius_override : diameter;
-  totals.pattern_diameter = diameter;
-
   // Shared preprocessing — identical to the sequential path.
-  Graph qmin_storage;
-  std::vector<NodeId> class_of;
-  const Graph* qeff = &q;
-  if (options.minimize_query) {
-    GPM_ASSIGN_OR_RETURN(MinimizedQuery mq, MinimizeQuery(q));
-    qmin_storage = std::move(mq.minimized);
-    class_of = std::move(mq.class_of);
-    qeff = &qmin_storage;
-    totals.minimized_pattern_size =
-        qmin_storage.num_nodes() + qmin_storage.num_edges();
+  internal::RunState state;
+  GPM_RETURN_NOT_OK(
+      internal::BuildRunState(q, g, options, *prep, &state, &totals));
+  if (state.proven_empty) {
+    totals.total_seconds = total_timer.Seconds();
+    if (stats != nullptr) *stats = totals;
+    return std::vector<PerfectSubgraph>{};
   }
-  const size_t nq_eff = qeff->num_nodes();
-
-  MatchRelation global;
-  std::vector<DynamicBitset> global_bits;
-  std::vector<NodeId> centers;
-  if (options.dual_filter) {
-    Timer filter_timer;
-    global = ComputeDualSimulation(*qeff, g);
-    totals.global_filter_seconds = filter_timer.Seconds();
-    if (!global.IsTotal()) {
-      totals.balls_skipped_filter = g.num_nodes();
-      totals.total_seconds = total_timer.Seconds();
-      if (stats != nullptr) *stats = totals;
-      return std::vector<PerfectSubgraph>{};
-    }
-    global_bits.assign(nq_eff, DynamicBitset(g.num_nodes()));
-    DynamicBitset any_match(g.num_nodes());
-    for (size_t u = 0; u < nq_eff; ++u) {
-      for (NodeId v : global.sim[u]) {
-        global_bits[u].Set(v);
-        any_match.Set(v);
-      }
-    }
-    any_match.ForEach(
-        [&](size_t v) { centers.push_back(static_cast<NodeId>(v)); });
-    totals.balls_skipped_filter = g.num_nodes() - centers.size();
-  } else {
-    centers.resize(g.num_nodes());
-    for (NodeId v = 0; v < g.num_nodes(); ++v) centers[v] = v;
-  }
+  std::vector<NodeId>& centers = state.centers;
 
   internal::MatchContext context;
   context.original_pattern = &q;
-  context.effective_pattern = qeff;
-  context.class_of = options.minimize_query ? &class_of : nullptr;
-  context.global_bits = options.dual_filter ? &global_bits : nullptr;
-  context.radius = radius;
+  context.effective_pattern = state.effective_pattern;
+  context.class_of = state.class_of;
+  context.global_bits = options.dual_filter ? &state.global_bits : nullptr;
+  context.radius = state.radius;
   context.options = options;
 
   // Per-thread shards: contiguous center ranges, one scratch set each.

@@ -16,10 +16,13 @@ namespace gpm {
 
 /// MatchStrong semantics, computed with `num_threads` workers
 /// (0 = hardware concurrency). Returns the identical dedup'd result set,
-/// sorted by center for determinism.
+/// sorted by center for determinism. `prep`, when non-null, supplies the
+/// precomputed per-pattern state (from PreparePattern on the same
+/// pattern).
 Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
     const Graph& q, const Graph& g, const MatchOptions& options = {},
-    size_t num_threads = 0, MatchStats* stats = nullptr);
+    size_t num_threads = 0, MatchStats* stats = nullptr,
+    const PatternPrep* prep = nullptr);
 
 }  // namespace gpm
 

@@ -230,97 +230,152 @@ std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
 
 }  // namespace internal
 
-Result<std::vector<PerfectSubgraph>> MatchStrong(const Graph& q,
-                                                 const Graph& g,
-                                                 const MatchOptions& options,
-                                                 MatchStats* stats) {
-  GPM_CHECK(q.finalized() && g.finalized());
+Result<PatternPrep> PreparePattern(const Graph& q, bool minimize) {
+  GPM_CHECK(q.finalized());
   if (q.num_nodes() == 0)
     return Status::InvalidArgument("pattern graph is empty");
   if (!IsConnected(q))
     return Status::InvalidArgument(
         "pattern graph must be connected (paper §2.1)");
-
-  Timer total_timer;
-  MatchStats local_stats;
-
+  PatternPrep prep;
   // Ball radius: the pattern diameter dQ (before any minimization —
   // Lemma 3 fixes the radius).
-  GPM_ASSIGN_OR_RETURN(uint32_t diameter, Diameter(q));
-  const uint32_t radius =
-      options.radius_override != 0 ? options.radius_override : diameter;
-  local_stats.pattern_diameter = diameter;
-
-  // Optional minQ. Results are expanded back to original query nodes.
-  Graph qmin_storage;
-  std::vector<NodeId> class_of;
-  const Graph* qeff = &q;
-  if (options.minimize_query) {
+  GPM_ASSIGN_OR_RETURN(prep.diameter, Diameter(q));
+  if (minimize) {
     GPM_ASSIGN_OR_RETURN(MinimizedQuery mq, MinimizeQuery(q));
-    qmin_storage = std::move(mq.minimized);
-    class_of = std::move(mq.class_of);
-    qeff = &qmin_storage;
-    local_stats.minimized_pattern_size =
-        qmin_storage.num_nodes() + qmin_storage.num_edges();
+    prep.minimized = std::move(mq.minimized);
+    prep.class_of = std::move(mq.class_of);
+    prep.has_minimized = true;
   }
-  const size_t nq_eff = qeff->num_nodes();
+  return prep;
+}
 
-  // Optional global dual-simulation filter.
-  MatchRelation global;
-  std::vector<DynamicBitset> global_bits;  // per qeff node, over |V|
-  std::vector<NodeId> centers;
+namespace internal {
+
+Status BuildRunState(const Graph& q, const Graph& g,
+                     const MatchOptions& options, const PatternPrep& prep,
+                     RunState* state, MatchStats* stats) {
+  state->radius =
+      options.radius_override != 0 ? options.radius_override : prep.diameter;
+  stats->pattern_diameter = prep.diameter;
+
+  // Optional minQ: use the prepared quotient, computing it here only when
+  // the prep was built without minimization. Results are expanded back to
+  // original query nodes by ProcessCenter.
+  state->effective_pattern = &q;
+  state->class_of = nullptr;
+  if (options.minimize_query) {
+    if (prep.has_minimized) {
+      state->effective_pattern = &prep.minimized;
+      state->class_of = &prep.class_of;
+    } else {
+      GPM_ASSIGN_OR_RETURN(MinimizedQuery mq, MinimizeQuery(q));
+      state->qmin_storage = std::move(mq.minimized);
+      state->class_of_storage = std::move(mq.class_of);
+      state->effective_pattern = &state->qmin_storage;
+      state->class_of = &state->class_of_storage;
+    }
+    stats->minimized_pattern_size = state->effective_pattern->num_nodes() +
+                                    state->effective_pattern->num_edges();
+  }
+  const size_t nq_eff = state->effective_pattern->num_nodes();
+
+  // Optional global dual-simulation filter (always per-(pattern, data):
+  // it depends on g, so it cannot live in the PatternPrep).
   if (options.dual_filter) {
     Timer filter_timer;
-    global = ComputeDualSimulation(*qeff, g);
-    local_stats.global_filter_seconds = filter_timer.Seconds();
+    const MatchRelation global =
+        ComputeDualSimulation(*state->effective_pattern, g);
+    stats->global_filter_seconds = filter_timer.Seconds();
     if (!global.IsTotal()) {
-      if (stats != nullptr) {
-        local_stats.total_seconds = total_timer.Seconds();
-        local_stats.balls_skipped_filter = g.num_nodes();
-        *stats = local_stats;
-      }
-      return std::vector<PerfectSubgraph>{};
+      stats->balls_skipped_filter = g.num_nodes();
+      state->proven_empty = true;
+      return Status::OK();
     }
-    global_bits.assign(nq_eff, DynamicBitset(g.num_nodes()));
+    state->global_bits.assign(nq_eff, DynamicBitset(g.num_nodes()));
     DynamicBitset any_match(g.num_nodes());
     for (size_t u = 0; u < nq_eff; ++u) {
       for (NodeId v : global.sim[u]) {
-        global_bits[u].Set(v);
+        state->global_bits[u].Set(v);
         any_match.Set(v);
       }
     }
-    any_match.ForEach([&](size_t v) { centers.push_back(static_cast<NodeId>(v)); });
-    local_stats.balls_skipped_filter = g.num_nodes() - centers.size();
+    any_match.ForEach(
+        [&](size_t v) { state->centers.push_back(static_cast<NodeId>(v)); });
+    stats->balls_skipped_filter = g.num_nodes() - state->centers.size();
   } else {
-    centers.resize(g.num_nodes());
-    for (NodeId v = 0; v < g.num_nodes(); ++v) centers[v] = v;
+    state->centers.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) state->centers[v] = v;
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+
+Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
+                                 const MatchOptions& options,
+                                 const SubgraphSink& sink, MatchStats* stats,
+                                 const PatternPrep* prep) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  PatternPrep local_prep;
+  if (prep == nullptr) {
+    GPM_ASSIGN_OR_RETURN(local_prep,
+                         PreparePattern(q, /*minimize=*/false));
+    prep = &local_prep;
   }
 
-  internal::MatchContext context;
-  context.original_pattern = &q;
-  context.effective_pattern = qeff;
-  context.class_of = options.minimize_query ? &class_of : nullptr;
-  context.global_bits = options.dual_filter ? &global_bits : nullptr;
-  context.radius = radius;
-  context.options = options;
+  Timer total_timer;
+  MatchStats local_stats;
+  internal::RunState state;
+  GPM_RETURN_NOT_OK(
+      internal::BuildRunState(q, g, options, *prep, &state, &local_stats));
 
-  std::vector<PerfectSubgraph> results;
-  std::unordered_set<uint64_t> seen_hashes;
-  BallBuilder builder(g);
-  Ball ball;
-  for (NodeId w : centers) {
-    auto pg = internal::ProcessCenter(context, g, w, &builder, &ball,
-                                      &local_stats);
-    if (!pg.has_value()) continue;
-    if (options.dedup && !seen_hashes.insert(pg->ContentHash()).second) {
-      ++local_stats.duplicates_removed;
-      continue;
+  size_t delivered = 0;
+  if (!state.proven_empty) {
+    internal::MatchContext context;
+    context.original_pattern = &q;
+    context.effective_pattern = state.effective_pattern;
+    context.class_of = state.class_of;
+    context.global_bits =
+        options.dual_filter ? &state.global_bits : nullptr;
+    context.radius = state.radius;
+    context.options = options;
+
+    std::unordered_set<uint64_t> seen_hashes;
+    BallBuilder builder(g);
+    Ball ball;
+    for (NodeId w : state.centers) {
+      auto pg = internal::ProcessCenter(context, g, w, &builder, &ball,
+                                        &local_stats);
+      if (!pg.has_value()) continue;
+      if (options.dedup && !seen_hashes.insert(pg->ContentHash()).second) {
+        ++local_stats.duplicates_removed;
+        continue;
+      }
+      ++delivered;
+      if (!sink(std::move(*pg))) break;
     }
-    results.push_back(std::move(*pg));
   }
 
   local_stats.total_seconds = total_timer.Seconds();
   if (stats != nullptr) *stats = local_stats;
+  return delivered;
+}
+
+Result<std::vector<PerfectSubgraph>> MatchStrong(const Graph& q,
+                                                 const Graph& g,
+                                                 const MatchOptions& options,
+                                                 MatchStats* stats,
+                                                 const PatternPrep* prep) {
+  std::vector<PerfectSubgraph> results;
+  auto delivered = MatchStrongStream(
+      q, g, options,
+      [&results](PerfectSubgraph&& pg) {
+        results.push_back(std::move(pg));
+        return true;
+      },
+      stats, prep);
+  if (!delivered.ok()) return delivered.status();
   return results;
 }
 

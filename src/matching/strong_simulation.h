@@ -12,6 +12,7 @@
 #define GPM_MATCHING_STRONG_SIMULATION_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -96,12 +97,49 @@ struct MatchStats {
   size_t minimized_pattern_size = 0;  ///< |Qm| when minimization ran
 };
 
+/// \brief Per-pattern state reusable across data graphs: the §4.2
+/// per-query preprocessing (connectivity validation, pattern diameter dQ,
+/// and optionally the minQ quotient). Computed once by PreparePattern —
+/// e.g. behind gpm::Engine::Prepare — so repeated requests against
+/// changing data graphs skip this work.
+struct PatternPrep {
+  uint32_t diameter = 0;         ///< dQ of the *original* pattern
+  bool has_minimized = false;    ///< minQ ran; the two fields below are valid
+  Graph minimized;               ///< the quotient pattern Qm (Fig. 4)
+  std::vector<NodeId> class_of;  ///< original query node -> Qm node
+};
+
+/// Runs the per-pattern preprocessing once. The pattern must be non-empty
+/// and connected (§2.1) — InvalidArgument otherwise. `minimize` also runs
+/// minQ; a prep with the quotient serves both plain and minimizing runs
+/// (the quotient is simply unused when MatchOptions::minimize_query is
+/// off).
+Result<PatternPrep> PreparePattern(const Graph& q, bool minimize);
+
+/// \brief Streaming consumer of perfect subgraphs. Return false to stop
+/// the scan early. Subgraphs arrive in ball-center order, already dedup'd
+/// when MatchOptions::dedup is set.
+using SubgraphSink = std::function<bool(PerfectSubgraph&&)>;
+
 /// Computes the set Θ of maximum perfect subgraphs of g w.r.t. q
 /// (Fig. 3 / Theorem 5; cubic time). The pattern must be non-empty and
 /// connected (§2.1) — InvalidArgument otherwise. `stats` is optional.
+/// `prep`, when non-null, supplies the precomputed per-pattern state (it
+/// must come from PreparePattern on the same pattern).
 Result<std::vector<PerfectSubgraph>> MatchStrong(
     const Graph& q, const Graph& g, const MatchOptions& options = {},
-    MatchStats* stats = nullptr);
+    MatchStats* stats = nullptr, const PatternPrep* prep = nullptr);
+
+/// MatchStrong semantics with each perfect subgraph handed to `sink`
+/// instead of materialized into Θ — perfect subgraphs can be consumed
+/// (ranked, serialized, shipped) without holding the whole result set.
+/// Returns the number of subgraphs delivered (which undercounts Θ iff the
+/// sink stopped the scan).
+Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
+                                 const MatchOptions& options,
+                                 const SubgraphSink& sink,
+                                 MatchStats* stats = nullptr,
+                                 const PatternPrep* prep = nullptr);
 
 /// Match with all optimizations (the paper's Match+).
 Result<std::vector<PerfectSubgraph>> MatchStrongPlus(

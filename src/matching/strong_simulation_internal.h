@@ -26,6 +26,32 @@ struct MatchContext {
   MatchOptions options;
 };
 
+/// Per-run preprocessing shared by the sequential and multi-threaded
+/// executors: the effective pattern (original, prep quotient, or a locally
+/// computed quotient), ball radius, global dual-filter bitmaps, and the
+/// surviving center list. Built once per (pattern, data, options) run from
+/// an optional PatternPrep; owns the storage MatchContext points into, so
+/// it must stay alive (and unmoved) for the whole run.
+struct RunState {
+  Graph qmin_storage;                  // quotient computed here if prep lacks it
+  std::vector<NodeId> class_of_storage;
+  const Graph* effective_pattern = nullptr;
+  const std::vector<NodeId>* class_of = nullptr;  // null unless minimizing
+  std::vector<DynamicBitset> global_bits;         // dual filter, else empty
+  std::vector<NodeId> centers;
+  uint32_t radius = 0;
+  /// Dual filter proved Θ = ∅ (relation not total); skip the ball loop.
+  bool proven_empty = false;
+};
+
+/// Fills `state` from the prepared pattern (diameter + optional quotient)
+/// and runs the per-(pattern, data) global dual filter when
+/// options.dual_filter is set. Updates the preprocessing fields of
+/// `stats` (diameter, minimized size, filter seconds, skipped centers).
+Status BuildRunState(const Graph& q, const Graph& g,
+                     const MatchOptions& options, const PatternPrep& prep,
+                     RunState* state, MatchStats* stats);
+
 /// Runs lines 2-5 of Fig. 3 for one center: ball construction, candidate
 /// selection (projection under the dual filter, label classes otherwise),
 /// optional connectivity pruning, dual refinement (border-seeded under the

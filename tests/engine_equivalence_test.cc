@@ -1,0 +1,190 @@
+// The acceptance suite of the gpm::Engine facade: for every algorithm and
+// every execution policy it supports, the engine must return exactly what
+// the direct matcher calls return — on the paper's own Fig. 1 / Fig. 2
+// example graphs and on a generated workload. A pattern prepared once must
+// serve Serial, Parallel, and (strong family) Distributed runs with
+// identical dedup'd Θ (Theorem 1).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/engine.h"
+#include "graph/generator.h"
+#include "graph/paper_graphs.h"
+#include "matching/bounded_simulation.h"
+#include "matching/dual_simulation.h"
+#include "matching/parallel_match.h"
+#include "matching/simulation.h"
+#include "matching/strong_simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::CanonicalResult;
+
+struct NamedExample {
+  const char* name;
+  Graph pattern;
+  Graph data;
+};
+
+std::vector<NamedExample> PaperExamples() {
+  std::vector<NamedExample> examples;
+  {
+    paper::Example ex = paper::Fig1();
+    examples.push_back({"Fig1", std::move(ex.pattern), std::move(ex.data)});
+  }
+  {
+    paper::Example ex = paper::Fig2Q2();
+    examples.push_back({"Fig2Q2", std::move(ex.pattern), std::move(ex.data)});
+  }
+  {
+    paper::Example ex = paper::Fig2Q3();
+    examples.push_back({"Fig2Q3", std::move(ex.pattern), std::move(ex.data)});
+  }
+  {
+    paper::Example ex = paper::Fig2Q4();
+    examples.push_back({"Fig2Q4", std::move(ex.pattern), std::move(ex.data)});
+  }
+  return examples;
+}
+
+MatchRequest Request(Algo algo, ExecPolicy policy) {
+  MatchRequest request;
+  request.algo = algo;
+  request.policy = policy;
+  return request;
+}
+
+// The two policies every algorithm must support.
+std::vector<ExecPolicy> UniversalPolicies() {
+  return {ExecPolicy::Serial(), ExecPolicy::Parallel(2)};
+}
+
+TEST(EngineEquivalenceTest, RelationAlgosMatchDirectCallsOnPaperGraphs) {
+  Engine engine;
+  for (const NamedExample& ex : PaperExamples()) {
+    auto prepared = engine.Prepare(ex.pattern);
+    ASSERT_TRUE(prepared.ok()) << ex.name;
+    for (const ExecPolicy& policy : UniversalPolicies()) {
+      SCOPED_TRACE(std::string(ex.name) + "/" + ExecPolicyName(policy.kind));
+
+      auto sim = engine.Match(*prepared, ex.data,
+                              Request(Algo::kSimulation, policy));
+      ASSERT_TRUE(sim.ok());
+      EXPECT_EQ(sim->relation, ComputeSimulation(ex.pattern, ex.data));
+      EXPECT_EQ(sim->matched, GraphSimulates(ex.pattern, ex.data));
+
+      auto dual = engine.Match(*prepared, ex.data,
+                               Request(Algo::kDualSimulation, policy));
+      ASSERT_TRUE(dual.ok());
+      EXPECT_EQ(dual->relation, ComputeDualSimulation(ex.pattern, ex.data));
+      EXPECT_EQ(dual->matched, DualSimulates(ex.pattern, ex.data));
+
+      auto bounded = engine.Match(*prepared, ex.data,
+                                  Request(Algo::kBoundedSimulation, policy));
+      ASSERT_TRUE(bounded.ok());
+      EXPECT_EQ(bounded->relation,
+                ComputeBoundedSimulation(ex.pattern, ex.data));
+      EXPECT_EQ(bounded->matched, BoundedSimulates(ex.pattern, ex.data));
+    }
+  }
+}
+
+TEST(EngineEquivalenceTest, StrongFamilyMatchesDirectCallsOnPaperGraphs) {
+  Engine engine;
+  for (const NamedExample& ex : PaperExamples()) {
+    auto prepared = engine.Prepare(ex.pattern);
+    ASSERT_TRUE(prepared.ok()) << ex.name;
+
+    const auto direct_strong = MatchStrong(ex.pattern, ex.data);
+    ASSERT_TRUE(direct_strong.ok()) << ex.name;
+    const auto direct_plus = MatchStrongPlus(ex.pattern, ex.data);
+    ASSERT_TRUE(direct_plus.ok()) << ex.name;
+    // Theorem 1: strong and strong+ agree; both are the reference below.
+    ASSERT_EQ(CanonicalResult(*direct_strong), CanonicalResult(*direct_plus));
+
+    for (const ExecPolicy& policy : UniversalPolicies()) {
+      SCOPED_TRACE(std::string(ex.name) + "/" + ExecPolicyName(policy.kind));
+
+      auto strong =
+          engine.Match(*prepared, ex.data, Request(Algo::kStrong, policy));
+      ASSERT_TRUE(strong.ok());
+      EXPECT_EQ(CanonicalResult(strong->subgraphs),
+                CanonicalResult(*direct_strong));
+
+      auto plus =
+          engine.Match(*prepared, ex.data, Request(Algo::kStrongPlus, policy));
+      ASSERT_TRUE(plus.ok());
+      EXPECT_EQ(CanonicalResult(plus->subgraphs),
+                CanonicalResult(*direct_plus));
+    }
+
+    // The same prepared pattern under the Distributed policy (2 sites)
+    // must union to the identical dedup'd Θ.
+    DistributedOptions options;
+    options.num_sites = 2;
+    auto distributed =
+        engine.Match(*prepared, ex.data,
+                     Request(Algo::kStrong, ExecPolicy::Distributed(options)));
+    ASSERT_TRUE(distributed.ok()) << ex.name;
+    EXPECT_EQ(CanonicalResult(distributed->subgraphs),
+              CanonicalResult(*direct_strong))
+        << ex.name << "/distributed";
+  }
+}
+
+TEST(EngineEquivalenceTest, PreparedAndUnpreparedAgreeOnGeneratedWorkload) {
+  // A generated graph large enough that minQ/dual-filter paths all fire.
+  Engine engine;
+  const Graph g = MakeAmazonLike(800, /*seed=*/5);
+  Rng rng(99);
+  auto q = ExtractPattern(g, 6, &rng);
+  ASSERT_TRUE(q.ok());
+  auto prepared = engine.Prepare(*q);
+  ASSERT_TRUE(prepared.ok());
+
+  const auto direct = MatchStrongPlus(*q, g);
+  ASSERT_TRUE(direct.ok());
+  for (const ExecPolicy& policy : UniversalPolicies()) {
+    SCOPED_TRACE(ExecPolicyName(policy.kind));
+    auto via_engine =
+        engine.Match(*prepared, g, Request(Algo::kStrongPlus, policy));
+    ASSERT_TRUE(via_engine.ok());
+    EXPECT_EQ(CanonicalResult(via_engine->subgraphs),
+              CanonicalResult(*direct));
+  }
+  auto distributed = engine.Match(
+      *prepared, g, Request(Algo::kStrong, ExecPolicy::Distributed()));
+  ASSERT_TRUE(distributed.ok());
+  EXPECT_EQ(CanonicalResult(distributed->subgraphs),
+            CanonicalResult(*direct));
+}
+
+TEST(EngineEquivalenceTest, PreparedSeamMatchesUnpreparedMatchers) {
+  // The PatternPrep plumbing itself: MatchStrong / MatchStrongParallel
+  // with an explicit prep return exactly what the prep-less calls return.
+  const Graph g = MakeAmazonLike(500, /*seed=*/7);
+  Rng rng(3);
+  auto q = ExtractPattern(g, 5, &rng);
+  ASSERT_TRUE(q.ok());
+  auto prep = PreparePattern(*q, /*minimize=*/true);
+  ASSERT_TRUE(prep.ok());
+
+  for (const MatchOptions& options :
+       {MatchOptions{}, MatchPlusOptions()}) {
+    auto without = MatchStrong(*q, g, options);
+    auto with = MatchStrong(*q, g, options, nullptr, &*prep);
+    ASSERT_TRUE(without.ok() && with.ok());
+    EXPECT_EQ(CanonicalResult(*without), CanonicalResult(*with));
+
+    auto parallel_with = MatchStrongParallel(*q, g, options, 2, nullptr, &*prep);
+    ASSERT_TRUE(parallel_with.ok());
+    EXPECT_EQ(CanonicalResult(*without), CanonicalResult(*parallel_with));
+  }
+}
+
+}  // namespace
+}  // namespace gpm

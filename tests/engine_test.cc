@@ -1,0 +1,245 @@
+// Facade behavior of gpm::Engine: prepared-query reuse and caching,
+// streaming delivery and early stop, policy/algo validation, and the
+// shared algorithm-name table. The cross-algorithm result-equivalence
+// checks live in engine_equivalence_test.cc.
+
+#include "api/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "api/algo_names.h"
+#include "extensions/regex_strong.h"
+#include "graph/diameter.h"
+#include "matching/strong_simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::CanonicalResult;
+using testutil::MakeGraph;
+
+MatchRequest Request(Algo algo, ExecPolicy policy = ExecPolicy::Serial()) {
+  MatchRequest request;
+  request.algo = algo;
+  request.policy = policy;
+  return request;
+}
+
+// A triangle pattern and a data graph holding one genuine triangle plus an
+// open chain.
+Graph TrianglePattern() {
+  return MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}, {2, 0}});
+}
+
+Graph TriangleData() {
+  return MakeGraph({1, 2, 3, 1, 2, 3},
+                   {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 0}});
+}
+
+TEST(EngineTest, PrepareCachesDiameterAndQuotient) {
+  Engine engine;
+  // R->A, R->B1, R->B2, B1->C, B2->C: minQ merges B1/B2.
+  Graph q = MakeGraph({1, 2, 3, 3, 4}, {{0, 1}, {0, 2}, {0, 3}, {2, 4}, {3, 4}});
+  auto prepared = engine.Prepare(q);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->diameter(), *Diameter(q));
+  ASSERT_TRUE(prepared->prep().has_minimized);
+  EXPECT_LT(prepared->prep().minimized.num_nodes(), q.num_nodes());
+  EXPECT_TRUE(prepared->strong_status().ok());
+  EXPECT_FALSE(prepared->has_regex());
+}
+
+TEST(EngineTest, PreparedQueryServesManyDataGraphs) {
+  Engine engine;
+  auto prepared = engine.Prepare(TrianglePattern());
+  ASSERT_TRUE(prepared.ok());
+  const Graph g1 = TriangleData();
+  const Graph g2 = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});  // no triangle
+
+  auto r1 = engine.Match(*prepared, g1, Request(Algo::kStrong));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->matched);
+  EXPECT_EQ(CanonicalResult(r1->subgraphs),
+            CanonicalResult(*MatchStrong(TrianglePattern(), g1)));
+
+  auto r2 = engine.Match(*prepared, g2, Request(Algo::kStrong));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->matched);
+  EXPECT_TRUE(r2->subgraphs.empty());
+}
+
+TEST(EngineTest, StreamingDeliversTheSameSubgraphs) {
+  Engine engine;
+  auto prepared = engine.Prepare(TrianglePattern());
+  ASSERT_TRUE(prepared.ok());
+  const Graph g = TriangleData();
+
+  std::vector<PerfectSubgraph> streamed;
+  auto response = engine.Match(*prepared, g, Request(Algo::kStrongPlus),
+                               [&](PerfectSubgraph&& pg) {
+                                 streamed.push_back(std::move(pg));
+                                 return true;
+                               });
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->subgraphs.empty()) << "streamed runs must not "
+                                              "materialize Θ in the response";
+  EXPECT_EQ(response->subgraphs_delivered, streamed.size());
+  auto direct = engine.Match(*prepared, g, Request(Algo::kStrongPlus));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(CanonicalResult(streamed), CanonicalResult(direct->subgraphs));
+}
+
+TEST(EngineTest, StreamingSinkStopsTheScan) {
+  Engine engine;
+  // Two disjoint triangles -> two perfect subgraphs.
+  Graph g = MakeGraph({1, 2, 3, 1, 2, 3},
+                      {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  auto prepared = engine.Prepare(TrianglePattern());
+  ASSERT_TRUE(prepared.ok());
+  auto full = engine.Match(*prepared, g, Request(Algo::kStrong));
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full->subgraphs.size(), 1u);
+
+  size_t seen = 0;
+  auto stopped = engine.Match(*prepared, g, Request(Algo::kStrong),
+                              [&](PerfectSubgraph&&) {
+                                ++seen;
+                                return false;  // stop after the first
+                              });
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(stopped->subgraphs_delivered, 1u);
+  EXPECT_TRUE(stopped->matched);
+}
+
+TEST(EngineTest, StreamingAlsoWorksForParallelAndDistributed) {
+  Engine engine;
+  auto prepared = engine.Prepare(TrianglePattern());
+  ASSERT_TRUE(prepared.ok());
+  const Graph g = TriangleData();
+  for (ExecPolicy policy :
+       {ExecPolicy::Parallel(2), ExecPolicy::Distributed()}) {
+    std::vector<PerfectSubgraph> streamed;
+    auto response = engine.Match(*prepared, g, Request(Algo::kStrong, policy),
+                                 [&](PerfectSubgraph&& pg) {
+                                   streamed.push_back(std::move(pg));
+                                   return true;
+                                 });
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(CanonicalResult(streamed),
+              CanonicalResult(*MatchStrong(TrianglePattern(), g)));
+  }
+}
+
+TEST(EngineTest, RelationAlgosRejectSinkAndDistributed) {
+  Engine engine;
+  auto prepared = engine.Prepare(TrianglePattern());
+  ASSERT_TRUE(prepared.ok());
+  const Graph g = TriangleData();
+
+  auto streamed = engine.Match(*prepared, g, Request(Algo::kSimulation),
+                               [](PerfectSubgraph&&) { return true; });
+  EXPECT_TRUE(streamed.status().IsInvalidArgument());
+
+  auto distributed = engine.Match(
+      *prepared, g,
+      Request(Algo::kSimulation, ExecPolicy::Distributed()));
+  EXPECT_TRUE(distributed.status().IsNotImplemented());
+}
+
+TEST(EngineTest, EmptyAndUnfinalizedPatternsAreRejected) {
+  Engine engine;
+  Graph empty;
+  empty.Finalize();
+  EXPECT_TRUE(engine.Prepare(empty).status().IsInvalidArgument());
+
+  Graph unfinalized;
+  unfinalized.AddNode(1);
+  EXPECT_TRUE(engine.Prepare(unfinalized).status().IsInvalidArgument());
+}
+
+TEST(EngineTest, DisconnectedPatternServesRelationsButNotStrong) {
+  Engine engine;
+  Graph q = MakeGraph({1, 2}, {});  // two isolated nodes
+  auto prepared = engine.Prepare(q);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(prepared->strong_status().ok());
+
+  const Graph g = MakeGraph({1, 2}, {});
+  auto sim = engine.Match(*prepared, g, Request(Algo::kSimulation));
+  ASSERT_TRUE(sim.ok());
+  EXPECT_TRUE(sim->matched);
+
+  auto strong = engine.Match(*prepared, g, Request(Algo::kStrong));
+  EXPECT_TRUE(strong.status().IsInvalidArgument());
+}
+
+TEST(EngineTest, RegexQueriesServeOnlyRegexStrong) {
+  Engine engine;
+  RegexQuery query(MakeGraph({1, 2}, {{0, 1}}));
+  ASSERT_TRUE(query.SetConstraint(0, 1, {RegexAtom{5, 1, 2}}).ok());
+  auto prepared = engine.Prepare(std::move(query));
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(prepared->has_regex());
+
+  Graph g;
+  g.AddNode(1);
+  g.AddNode(9);
+  g.AddNode(2);
+  g.AddEdge(0, 1, 5);
+  g.AddEdge(1, 2, 5);
+  g.Finalize();
+
+  auto wrong = engine.Match(*prepared, g, Request(Algo::kStrong));
+  EXPECT_TRUE(wrong.status().IsInvalidArgument());
+
+  auto regex = engine.Match(*prepared, g, Request(Algo::kRegexStrong));
+  ASSERT_TRUE(regex.ok());
+  EXPECT_EQ(CanonicalResult(regex->subgraphs),
+            CanonicalResult(
+                *MatchStrongRegex(prepared->regex(), g,
+                                  prepared->regex_radius())));
+
+  // And a plain-prepared query cannot serve kRegexStrong.
+  auto plain = engine.Prepare(TrianglePattern());
+  ASSERT_TRUE(plain.ok());
+  auto bad = engine.Match(*plain, TriangleData(), Request(Algo::kRegexStrong));
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(EngineTest, OneShotMatchEqualsPreparedMatch) {
+  Engine engine;
+  const Graph q = TrianglePattern();
+  const Graph g = TriangleData();
+  auto one_shot = engine.Match(q, g, Request(Algo::kStrongPlus));
+  ASSERT_TRUE(one_shot.ok());
+  auto prepared = engine.Prepare(q);
+  ASSERT_TRUE(prepared.ok());
+  auto reused = engine.Match(*prepared, g, Request(Algo::kStrongPlus));
+  ASSERT_TRUE(reused.ok());
+  EXPECT_EQ(CanonicalResult(one_shot->subgraphs),
+            CanonicalResult(reused->subgraphs));
+}
+
+TEST(AlgoNamesTest, TableRoundTripsAndRejectsUnknown) {
+  for (const AlgoSpec& spec : AlgorithmTable()) {
+    auto request = RequestFromAlgoName(spec.name);
+    ASSERT_TRUE(request.ok()) << spec.name;
+    EXPECT_EQ(request->algo, spec.algo);
+    EXPECT_EQ(request->policy.kind, spec.policy);
+  }
+  EXPECT_TRUE(RequestFromAlgoName("no-such-algo").status().IsInvalidArgument());
+  EXPECT_NE(AlgoNameList().find("strong+"), std::string::npos);
+  EXPECT_STREQ(AlgoName(Algo::kStrongPlus), "strong+");
+}
+
+TEST(AlgoNamesTest, LegacyParallelSpellingMapsToStrongPlusParallel) {
+  auto request = RequestFromAlgoName("parallel");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->algo, Algo::kStrongPlus);
+  EXPECT_EQ(request->policy.kind, ExecPolicy::Kind::kParallel);
+}
+
+}  // namespace
+}  // namespace gpm

@@ -15,16 +15,14 @@
 #include <string>
 #include <vector>
 
+#include "api/algo_names.h"
+#include "api/engine.h"
 #include "common/string_util.h"
 #include "extensions/ranking.h"
 #include "graph/generator.h"
 #include "graph/graph_io.h"
 #include "graph/statistics.h"
-#include "matching/dual_simulation.h"
-#include "matching/parallel_match.h"
 #include "matching/query_minimization.h"
-#include "matching/simulation.h"
-#include "matching/strong_simulation.h"
 #include "quality/closeness.h"
 
 namespace gpm {
@@ -66,10 +64,22 @@ int Usage() {
                "          [--seed S] [--labels L] [--alpha A] --out FILE\n"
                "  gpm_cli stats FILE\n"
                "  gpm_cli extract --graph FILE --nodes N [--seed S] --out FILE\n"
-               "  gpm_cli match --algo sim|dual|strong|strong+|parallel\n"
+               "  gpm_cli match --algo %s\n"
                "          --pattern FILE --graph FILE [--top K]\n"
-               "  gpm_cli minimize --pattern FILE [--out FILE]\n");
+               "          [--threads N] [--sites N]\n"
+               "  gpm_cli algos\n"
+               "  gpm_cli minimize --pattern FILE [--out FILE]\n",
+               AlgoNameList().c_str());
   return 2;
+}
+
+// The algorithm menu, straight from the table the engine dispatches on.
+int RunAlgos() {
+  for (const AlgoSpec& spec : AlgorithmTable()) {
+    std::printf("  %-12s %s [%s]\n", spec.name, spec.summary,
+                ExecPolicyName(spec.policy));
+  }
+  return 0;
 }
 
 int RunGenerate(const Args& args) {
@@ -136,39 +146,50 @@ int RunMatch(const Args& args) {
   const std::string pattern_path = args.Get("pattern", "");
   const std::string graph_path = args.Get("graph", "");
   auto top_k = ParseUint64(args.Get("top", "0"));
+  auto threads = ParseUint64(args.Get("threads", "0"));
+  auto sites = ParseUint64(args.Get("sites", "0"));
   if (pattern_path.empty() || graph_path.empty())
     return Fail("--pattern and --graph are required");
-  if (!top_k.ok()) return Fail("bad --top");
+  if (!top_k.ok() || !threads.ok() || !sites.ok())
+    return Fail("bad numeric flag");
   auto q = LoadGraph(pattern_path);
   if (!q.ok()) return Fail(q.status().ToString());
   auto g = LoadGraph(graph_path);
   if (!g.ok()) return Fail(g.status().ToString());
 
-  if (algo == "sim" || algo == "dual") {
-    const MatchRelation rel = algo == "sim" ? ComputeSimulation(*q, *g)
-                                            : ComputeDualSimulation(*q, *g);
-    std::printf("match %s: %zu pairs across %zu data nodes\n",
-                rel.IsTotal() ? "succeeds" : "fails", rel.NumPairs(),
-                MatchedNodes(rel).size());
+  // One table drives the whole dispatch (shared with the examples); the
+  // engine handles notion x policy uniformly. --threads / --sites select
+  // the corresponding policy, not just its parameter.
+  auto request = RequestFromAlgoName(algo);
+  if (!request.ok()) return Fail(request.status().ToString());
+  if (*threads > 0 && *sites > 0)
+    return Fail("--threads and --sites are mutually exclusive");
+  if (*threads > 0) request->policy = ExecPolicy::Parallel(*threads);
+  if (*sites > 0) {
+    DistributedOptions options = request->policy.distributed;
+    options.num_sites = static_cast<uint32_t>(*sites);
+    request->policy = ExecPolicy::Distributed(options);
+  }
+
+  Engine engine;
+  auto prepared = engine.Prepare(*q);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+  auto response = engine.Match(*prepared, *g, *request);
+  if (!response.ok()) return Fail(response.status().ToString());
+
+  if (response->relation.num_query_nodes() > 0) {
+    std::printf("match %s: %zu pairs across %zu data nodes (%.3fs)\n",
+                response->matched ? "succeeds" : "fails",
+                response->relation.NumPairs(),
+                MatchedNodes(response->relation).size(), response->seconds);
     return 0;
   }
 
-  Result<std::vector<PerfectSubgraph>> result =
-      std::vector<PerfectSubgraph>{};
-  if (algo == "strong") {
-    result = MatchStrong(*q, *g);
-  } else if (algo == "strong+") {
-    result = MatchStrongPlus(*q, *g);
-  } else if (algo == "parallel") {
-    result = MatchStrongParallel(*q, *g, MatchPlusOptions());
-  } else {
-    return Fail("unknown --algo '" + algo + "'");
-  }
-  if (!result.ok()) return Fail(result.status().ToString());
-
-  std::vector<PerfectSubgraph> shown = *result;
-  if (*top_k > 0) shown = TopKMatches(*q, *result, *top_k);
-  std::printf("%zu perfect subgraph(s)%s\n", result->size(),
+  std::vector<PerfectSubgraph> shown = response->subgraphs;
+  if (*top_k > 0) shown = TopKMatches(*q, response->subgraphs, *top_k);
+  std::printf("%zu perfect subgraph(s) via %s policy (%.3fs)%s\n",
+              response->subgraphs.size(),
+              ExecPolicyName(request->policy.kind), response->seconds,
               *top_k > 0 ? " (showing top-ranked)" : "");
   for (const PerfectSubgraph& pg : shown) {
     std::printf("  center %u: %zu nodes, %zu edges, score %.3f\n", pg.center,
@@ -207,6 +228,7 @@ int main(int argc, char** argv) {
   if (command == "stats") return gpm::RunStats(args);
   if (command == "extract") return gpm::RunExtract(args);
   if (command == "match") return gpm::RunMatch(args);
+  if (command == "algos") return gpm::RunAlgos();
   if (command == "minimize") return gpm::RunMinimize(args);
   return gpm::Usage();
 }
