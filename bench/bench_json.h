@@ -67,12 +67,14 @@ class JsonReport {
             "\"balls_center_unmatched\": %zu, \"subgraphs_found\": %zu, "
             "\"duplicates_removed\": %zu, \"candidate_pairs_refined\": %zu, "
             "\"global_filter_seconds\": %.6f, \"total_seconds\": %.6f, "
+            "\"seconds_to_first_subgraph\": %.6f, "
             "\"pattern_diameter\": %u, \"minimized_pattern_size\": %zu}",
             s.balls_considered, s.balls_skipped_filter,
             s.balls_skipped_pruning, s.balls_center_unmatched,
             s.subgraphs_found, s.duplicates_removed,
             s.candidate_pairs_refined, s.global_filter_seconds,
-            s.total_seconds, s.pattern_diameter, s.minimized_pattern_size);
+            s.total_seconds, s.seconds_to_first_subgraph,
+            s.pattern_diameter, s.minimized_pattern_size);
       }
       std::fprintf(f, "}");
     }

@@ -50,7 +50,7 @@ int main() {
   }
   g.Finalize();
 
-  // Initial sweep through the facade's streaming path: each ring would be
+  // Initial sweep through the facade's streaming path: each ring is
   // handed to the sink as its ball completes, without materializing Θ —
   // the shape a production watcher forwards alerts in.
   Engine engine;
@@ -70,6 +70,32 @@ int main() {
   if (!scan.ok()) {
     std::printf("error: %s\n", scan.status().ToString().c_str());
     return 1;
+  }
+
+  // Parallel streaming mode: the same sweep fanned out over the cores.
+  // Ball workers hand completed rings through a bounded queue, so the
+  // first alert fires while most of the graph is still being scanned —
+  // compare first-delivery latency against the total wall time.
+  request.policy = ExecPolicy::Parallel();
+  size_t streamed_parallel = 0;
+  auto parallel_scan = engine.Match(*prepared, g, request,
+                                    [&streamed_parallel](PerfectSubgraph&&) {
+                                      ++streamed_parallel;
+                                      return true;
+                                    });
+  if (!parallel_scan.ok()) {
+    std::printf("error: %s\n", parallel_scan.status().ToString().c_str());
+    return 1;
+  }
+  if (streamed_parallel > 0) {
+    std::printf("parallel streaming sweep: first of %zu result(s) delivered "
+                "at %.2f ms of %.2f ms total\n",
+                streamed_parallel,
+                parallel_scan->stats.seconds_to_first_subgraph * 1e3,
+                parallel_scan->stats.total_seconds * 1e3);
+  } else {
+    std::printf("parallel streaming sweep: no matches yet (%.2f ms)\n",
+                parallel_scan->stats.total_seconds * 1e3);
   }
 
   auto matcher = IncrementalMatcher::Create(q, g);

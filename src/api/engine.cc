@@ -152,9 +152,14 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
       case Algo::kDualSimulation:
         response.relation = ComputeDualSimulation(query.pattern(), g);
         break;
-      default:
+      case Algo::kBoundedSimulation:
         response.relation = ComputeBoundedSimulation(query.pattern(), g);
         break;
+      default:
+        // A future Algo value must be routed explicitly, not silently
+        // evaluated under the wrong notion.
+        return Status::InvalidArgument(
+            "algorithm has no relation executor");
     }
     response.matched = response.relation.IsTotal();
     response.seconds = timer.Seconds();
@@ -192,6 +197,18 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
         break;
       }
       case ExecPolicy::Kind::kParallel: {
+        if (sink != nullptr) {
+          // Streaming: ball workers hand completed subgraphs to the sink
+          // through a bounded queue as they finish.
+          GPM_ASSIGN_OR_RETURN(
+              response.subgraphs_delivered,
+              MatchStrongParallelStream(query.pattern(), g, options,
+                                        request.policy.num_threads, *sink,
+                                        &response.stats, &query.prep()));
+          response.matched = response.subgraphs_delivered > 0;
+          response.seconds = timer.Seconds();
+          return response;
+        }
         GPM_ASSIGN_OR_RETURN(
             response.subgraphs,
             MatchStrongParallel(query.pattern(), g, options,
@@ -200,6 +217,20 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
         break;
       }
       case ExecPolicy::Kind::kDistributed: {
+        if (sink != nullptr) {
+          // Streaming: fragment sites ship per-ball results over the
+          // MessageBus; the coordinator forwards each to the sink.
+          GPM_ASSIGN_OR_RETURN(
+              response.subgraphs_delivered,
+              MatchStrongDistributedStream(query.pattern(), g,
+                                           request.policy.distributed, *sink,
+                                           &response.distributed));
+          response.stats.seconds_to_first_subgraph =
+              response.distributed.seconds_to_first_result;
+          response.matched = response.subgraphs_delivered > 0;
+          response.seconds = timer.Seconds();
+          return response;
+        }
         GPM_ASSIGN_OR_RETURN(
             response.subgraphs,
             MatchStrongDistributed(query.pattern(), g,

@@ -26,11 +26,28 @@
 // reassembling the graph.
 //
 // Streaming: the sink overload hands each perfect subgraph to a
-// SubgraphSink as the ball loop produces it, so Θ is never materialized;
-// returning false from the sink stops the scan. Parallel and Distributed
-// runs complete the merge/dedup first (their shards race) and then drain
-// to the sink — the call shape is identical, only Serial gets true
-// incremental delivery.
+// SubgraphSink as the ball loop produces it, so Θ is never materialized.
+// The sink contract, uniform across policies:
+//
+//   - Delivery is incremental under Serial, Parallel, and Distributed
+//     alike: Serial delivers in ball-center order; Parallel hands each
+//     subgraph off through a bounded queue as its ball completes, and
+//     Distributed ships each over the MessageBus as its fragment produces
+//     it — both therefore deliver in completion order, which varies run to
+//     run while the delivered *set* does not (Theorem 1). Only kRegexStrong
+//     still materializes before draining (no streaming executor yet).
+//   - The sink is invoked by one thread at a time; no locking needed.
+//   - Backpressure: a slow sink stalls the Parallel producers at the
+//     bounded queue instead of buffering the whole result set.
+//   - Cancellation: returning false stops the stream — outstanding
+//     parallel shards / distributed sites observe a cancellation token
+//     between balls and the call returns promptly; nothing more is
+//     delivered.
+//   - Dedup'd subgraphs are delivered exactly once (MatchOptions::dedup);
+//     MatchResponse::subgraphs stays empty, subgraphs_delivered counts.
+//   - MatchStats::seconds_to_first_subgraph records when the first
+//     subgraph reached the sink — the serving-path latency metric
+//     (strictly below total wall time whenever the run found anything).
 
 #ifndef GPM_API_ENGINE_H_
 #define GPM_API_ENGINE_H_
@@ -85,8 +102,10 @@ class Engine {
                               const MatchRequest& request = {}) const;
 
   /// Streaming variant for the strong family: perfect subgraphs flow to
-  /// `sink` and MatchResponse::subgraphs stays empty. InvalidArgument for
-  /// relation notions (they produce one relation, not a stream).
+  /// `sink` incrementally under every ExecPolicy (see the sink contract in
+  /// the file comment) and MatchResponse::subgraphs stays empty.
+  /// InvalidArgument for relation notions (they produce one relation, not
+  /// a stream).
   Result<MatchResponse> Match(const PreparedQuery& query, const Graph& g,
                               const MatchRequest& request,
                               const SubgraphSink& sink) const;

@@ -1,0 +1,126 @@
+// The streaming-handoff primitive of the parallel serving path: a bounded
+// multi-producer/single-consumer queue with blocking push (backpressure:
+// producers stall instead of buffering an unbounded result set) and a
+// cancellation token (the consumer can abandon the stream — e.g. a
+// SubgraphSink returned stop — and every blocked producer wakes and bails).
+//
+// Lifecycle: producers Push until done (the last one calls Close), the
+// consumer Pops until nullopt. Cancel() aborts from either side: pending
+// items are dropped, Push returns false, Pop returns nullopt. The matching
+// executors poll token().IsCancelled() between balls so outstanding shards
+// stop promptly rather than at their next Push.
+
+#ifndef GPM_COMMON_BOUNDED_QUEUE_H_
+#define GPM_COMMON_BOUNDED_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gpm {
+
+/// \brief A cooperative cancellation flag shared between the consumer of a
+/// stream and its producers. Cancel is one-way and sticky.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// \brief Bounded blocking MPSC queue (fixed capacity, FIFO).
+///
+/// Thread-safety: any number of pushers, one popper. Close() may be called
+/// by the last producer; Cancel() by anyone.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` bounds the number of in-flight items (at least 1) — the
+  /// backpressure window between producers and the consumer.
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false — and drops `value` —
+  /// once the queue is cancelled or closed; producers should stop.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return items_.size() < capacity_ || closed_ || token_.IsCancelled();
+    });
+    if (closed_ || token_.IsCancelled()) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and still open. Returns nullopt when
+  /// the stream is over: cancelled, or closed with every item consumed.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] {
+      return !items_.empty() || closed_ || token_.IsCancelled();
+    });
+    if (token_.IsCancelled() || items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Producers are done: Pop drains the remaining items, then ends the
+  /// stream. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Aborts the stream: wakes every blocked Push/Pop, discards pending
+  /// items on the next Pop, and flips the shared token.
+  void Cancel() {
+    token_.Cancel();
+    {
+      // Empty critical section: a waiter between its predicate check and
+      // its wait must observe the flag before we notify.
+      std::lock_guard<std::mutex> lock(mutex_);
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// The token producers poll between work items for prompt shutdown.
+  const CancellationToken& token() const { return token_; }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  CancellationToken token_;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_COMMON_BOUNDED_QUEUE_H_

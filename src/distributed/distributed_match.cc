@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/bounded_queue.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -34,67 +35,58 @@ Result<uint32_t> GetU32(const std::string& in, size_t* pos) {
   return v;
 }
 
-// --- PerfectSubgraph wire format -------------------------------------------
+// --- PerfectSubgraph wire format (one subgraph per kPartialResult) ---------
 
-std::string EncodeSubgraphs(const std::vector<PerfectSubgraph>& subgraphs) {
+std::string EncodeSubgraph(const PerfectSubgraph& pg) {
   std::string out;
-  PutU32(&out, static_cast<uint32_t>(subgraphs.size()));
-  for (const PerfectSubgraph& pg : subgraphs) {
-    PutU32(&out, pg.center);
-    PutU32(&out, pg.radius);
-    PutU32(&out, static_cast<uint32_t>(pg.nodes.size()));
-    for (NodeId v : pg.nodes) PutU32(&out, v);
-    PutU32(&out, static_cast<uint32_t>(pg.edges.size()));
-    for (const auto& [a, b] : pg.edges) {
-      PutU32(&out, a);
-      PutU32(&out, b);
-    }
-    PutU32(&out, static_cast<uint32_t>(pg.relation.sim.size()));
-    for (const auto& list : pg.relation.sim) {
-      PutU32(&out, static_cast<uint32_t>(list.size()));
-      for (NodeId v : list) PutU32(&out, v);
-    }
+  PutU32(&out, pg.center);
+  PutU32(&out, pg.radius);
+  PutU32(&out, static_cast<uint32_t>(pg.nodes.size()));
+  for (NodeId v : pg.nodes) PutU32(&out, v);
+  PutU32(&out, static_cast<uint32_t>(pg.edges.size()));
+  for (const auto& [a, b] : pg.edges) {
+    PutU32(&out, a);
+    PutU32(&out, b);
+  }
+  PutU32(&out, static_cast<uint32_t>(pg.relation.sim.size()));
+  for (const auto& list : pg.relation.sim) {
+    PutU32(&out, static_cast<uint32_t>(list.size()));
+    for (NodeId v : list) PutU32(&out, v);
   }
   return out;
 }
 
-Result<std::vector<PerfectSubgraph>> DecodeSubgraphs(const std::string& bytes) {
+Result<PerfectSubgraph> DecodeSubgraph(const std::string& bytes) {
   size_t pos = 0;
-  GPM_ASSIGN_OR_RETURN(uint32_t count, GetU32(bytes, &pos));
-  std::vector<PerfectSubgraph> out;
-  out.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    PerfectSubgraph pg;
-    GPM_ASSIGN_OR_RETURN(pg.center, GetU32(bytes, &pos));
-    GPM_ASSIGN_OR_RETURN(pg.radius, GetU32(bytes, &pos));
-    GPM_ASSIGN_OR_RETURN(uint32_t num_nodes, GetU32(bytes, &pos));
-    pg.nodes.reserve(num_nodes);
-    for (uint32_t j = 0; j < num_nodes; ++j) {
+  PerfectSubgraph pg;
+  GPM_ASSIGN_OR_RETURN(pg.center, GetU32(bytes, &pos));
+  GPM_ASSIGN_OR_RETURN(pg.radius, GetU32(bytes, &pos));
+  GPM_ASSIGN_OR_RETURN(uint32_t num_nodes, GetU32(bytes, &pos));
+  pg.nodes.reserve(num_nodes);
+  for (uint32_t j = 0; j < num_nodes; ++j) {
+    GPM_ASSIGN_OR_RETURN(uint32_t v, GetU32(bytes, &pos));
+    pg.nodes.push_back(v);
+  }
+  GPM_ASSIGN_OR_RETURN(uint32_t num_edges, GetU32(bytes, &pos));
+  pg.edges.reserve(num_edges);
+  for (uint32_t j = 0; j < num_edges; ++j) {
+    GPM_ASSIGN_OR_RETURN(uint32_t a, GetU32(bytes, &pos));
+    GPM_ASSIGN_OR_RETURN(uint32_t b, GetU32(bytes, &pos));
+    pg.edges.emplace_back(a, b);
+  }
+  GPM_ASSIGN_OR_RETURN(uint32_t nq, GetU32(bytes, &pos));
+  pg.relation = MatchRelation(nq);
+  for (uint32_t u = 0; u < nq; ++u) {
+    GPM_ASSIGN_OR_RETURN(uint32_t len, GetU32(bytes, &pos));
+    pg.relation.sim[u].reserve(len);
+    for (uint32_t j = 0; j < len; ++j) {
       GPM_ASSIGN_OR_RETURN(uint32_t v, GetU32(bytes, &pos));
-      pg.nodes.push_back(v);
+      pg.relation.sim[u].push_back(v);
     }
-    GPM_ASSIGN_OR_RETURN(uint32_t num_edges, GetU32(bytes, &pos));
-    pg.edges.reserve(num_edges);
-    for (uint32_t j = 0; j < num_edges; ++j) {
-      GPM_ASSIGN_OR_RETURN(uint32_t a, GetU32(bytes, &pos));
-      GPM_ASSIGN_OR_RETURN(uint32_t b, GetU32(bytes, &pos));
-      pg.edges.emplace_back(a, b);
-    }
-    GPM_ASSIGN_OR_RETURN(uint32_t nq, GetU32(bytes, &pos));
-    pg.relation = MatchRelation(nq);
-    for (uint32_t u = 0; u < nq; ++u) {
-      GPM_ASSIGN_OR_RETURN(uint32_t len, GetU32(bytes, &pos));
-      pg.relation.sim[u].reserve(len);
-      for (uint32_t j = 0; j < len; ++j) {
-        GPM_ASSIGN_OR_RETURN(uint32_t v, GetU32(bytes, &pos));
-        pg.relation.sim[u].push_back(v);
-      }
-    }
-    out.push_back(std::move(pg));
   }
   if (pos != bytes.size())
     return Status::Corruption("trailing bytes in result payload");
-  return out;
+  return pg;
 }
 
 // --- Per-site state ---------------------------------------------------------
@@ -108,8 +100,8 @@ struct SiteState {
   std::unordered_set<NodeId> seen;
   std::vector<NodeId> frontier;
   size_t foreign_records = 0;
-  // Results.
-  std::vector<PerfectSubgraph> partial;
+  // Results (shipped per ball; only the count stays local).
+  size_t results_produced = 0;
   Status status;  // sticky first error
 
   SiteState(const Graph& g, const PartitionAssignment& assignment,
@@ -161,11 +153,13 @@ void BuildBallFromRecords(const Fragment& fragment, NodeId center,
   ball->graph.Finalize();
 }
 
-}  // namespace
-
-Result<std::vector<PerfectSubgraph>> MatchStrongDistributed(
-    const Graph& q, const Graph& g, const DistributedOptions& options,
-    DistributedStats* stats) {
+// The shared BSP core. `deliver` receives every perfect subgraph the
+// coordinator pulls off the bus, in arrival order and *without* dedup
+// (callers layer their own policy on top); returning false cancels the
+// outstanding sites. Fills `stats` including the byte accounting.
+Status RunDistributed(const Graph& q, const Graph& g,
+                      const DistributedOptions& options,
+                      DistributedStats* stats, const SubgraphSink& deliver) {
   GPM_CHECK(q.finalized() && g.finalized());
   if (options.num_sites == 0)
     return Status::InvalidArgument("need at least one site");
@@ -298,41 +292,76 @@ Result<std::vector<PerfectSubgraph>> MatchStrongDistributed(
     for (const SiteState& site : sites) GPM_RETURN_NOT_OK(site.status);
   }
 
-  // --- Step 3: local Match over owned centers ------------------------------
-  for_each_site([&](uint32_t s) {
+  // --- Step 3: local Match over owned centers, one message per ball --------
+  // Sites ship each perfect subgraph the moment its ball completes and
+  // terminate their stream with a kSiteDone marker — the marker is sent on
+  // every path (normal completion, cancellation, a halo-phase error
+  // already recorded) so the coordinator's blocking drain always ends.
+  CancellationToken cancel;
+  auto site_task = [&](uint32_t s) {
     SiteState& site = sites[s];
     Ball ball;
     for (NodeId center : site.fragment.owned()) {
+      if (cancel.IsCancelled()) break;
       // A perfect subgraph needs its center matched, so centers whose
       // label is absent from Q cannot produce one.
       if (!site.pattern_labels.count(site.fragment.Record(center).label))
         continue;
       BuildBallFromRecords(site.fragment, center, site.radius, &ball);
       if (auto pg = MatchSingleBall(site.pattern, ball)) {
-        site.partial.push_back(std::move(*pg));
+        ++site.results_produced;
+        bus.Send(s, bus.coordinator_id(), MessageKind::kPartialResult,
+                 EncodeSubgraph(*pg));
       }
     }
-    bus.Send(s, bus.coordinator_id(), MessageKind::kPartialResult,
-             EncodeSubgraphs(site.partial));
-  });
-  for (const SiteState& site : sites) GPM_RETURN_NOT_OK(site.status);
+    bus.Send(s, bus.coordinator_id(), MessageKind::kSiteDone, "");
+  };
 
-  // --- Step 4: coordinator union + dedup -----------------------------------
-  std::vector<PerfectSubgraph> results;
-  std::unordered_set<uint64_t> seen_hashes;
-  for (Message& m : bus.Drain(bus.coordinator_id())) {
-    GPM_ASSIGN_OR_RETURN(std::vector<PerfectSubgraph> partial,
-                         DecodeSubgraphs(m.payload));
-    for (PerfectSubgraph& pg : partial) {
-      if (seen_hashes.insert(pg.ContentHash()).second) {
-        results.push_back(std::move(pg));
+  // --- Step 4: coordinator drains the result stream concurrently -----------
+  uint32_t sites_done = 0;
+  bool stopped = false;
+  Status decode_status;
+  size_t forwarded = 0;
+  auto process = [&](std::vector<Message> batch) {
+    for (Message& m : batch) {
+      if (m.kind == MessageKind::kSiteDone) {
+        ++sites_done;
+        continue;
       }
+      // After a stop or error, keep counting done markers but discard the
+      // in-flight results.
+      if (stopped || !decode_status.ok()) continue;
+      auto pg = DecodeSubgraph(m.payload);
+      if (!pg.ok()) {
+        decode_status = pg.status();
+        cancel.Cancel();
+        continue;
+      }
+      if (forwarded == 0) {
+        local_stats.seconds_to_first_result = timer.Seconds();
+      }
+      ++forwarded;
+      if (!deliver(std::move(*pg))) {
+        stopped = true;
+        cancel.Cancel();
+      }
+    }
+  };
+
+  if (options.parallel) {
+    for (uint32_t s = 0; s < k; ++s) {
+      pool.Submit([&site_task, s] { site_task(s); });
+    }
+    while (sites_done < k) process(bus.WaitDrain(bus.coordinator_id()));
+    pool.Wait();
+  } else {
+    for (uint32_t s = 0; s < k; ++s) {
+      site_task(s);
+      process(bus.Drain(bus.coordinator_id()));
     }
   }
-  std::sort(results.begin(), results.end(),
-            [](const PerfectSubgraph& a, const PerfectSubgraph& b) {
-              return a.center < b.center;
-            });
+  for (const SiteState& site : sites) GPM_RETURN_NOT_OK(site.status);
+  GPM_RETURN_NOT_OK(decode_status);
 
   local_stats.bytes_total = bus.TotalBytes();
   local_stats.bytes_pattern_broadcast =
@@ -342,12 +371,50 @@ Result<std::vector<PerfectSubgraph>> MatchStrongDistributed(
   local_stats.bytes_partial_results = bus.BytesOf(MessageKind::kPartialResult);
   local_stats.messages = bus.MessageCount();
   for (const SiteState& site : sites) {
-    local_stats.balls_per_site.push_back(site.partial.size());
+    local_stats.balls_per_site.push_back(site.results_produced);
     local_stats.foreign_records_per_site.push_back(site.foreign_records);
   }
   local_stats.seconds = timer.Seconds();
   if (stats != nullptr) *stats = std::move(local_stats);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<PerfectSubgraph>> MatchStrongDistributed(
+    const Graph& q, const Graph& g, const DistributedOptions& options,
+    DistributedStats* stats) {
+  // Collect the raw arrival-order stream, then canonicalize (min-center
+  // dedup representatives + (center, hash) sort) so the output is
+  // byte-identical to centralized MatchStrong for every site count and
+  // partition.
+  Timer total_timer;
+  std::vector<PerfectSubgraph> results;
+  GPM_RETURN_NOT_OK(RunDistributed(q, g, options, stats,
+                                   [&results](PerfectSubgraph&& pg) {
+                                     results.push_back(std::move(pg));
+                                     return true;
+                                   }));
+  CanonicalizeSubgraphs(/*dedup=*/true, &results);
+  if (stats != nullptr) stats->seconds = total_timer.Seconds();
   return results;
+}
+
+Result<size_t> MatchStrongDistributedStream(const Graph& q, const Graph& g,
+                                            const DistributedOptions& options,
+                                            const SubgraphSink& sink,
+                                            DistributedStats* stats) {
+  // Streaming dedup is first-arrival: the coordinator cannot wait to learn
+  // which duplicate has the smallest center without giving up latency.
+  std::unordered_set<uint64_t> seen_hashes;
+  size_t delivered = 0;
+  GPM_RETURN_NOT_OK(RunDistributed(
+      q, g, options, stats, [&](PerfectSubgraph&& pg) {
+        if (!seen_hashes.insert(pg.ContentHash()).second) return true;
+        ++delivered;
+        return sink(std::move(pg));
+      }));
+  return delivered;
 }
 
 }  // namespace gpm

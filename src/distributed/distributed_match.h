@@ -6,8 +6,15 @@
 //      record within distance dQ of its owned nodes (only cross-fragment
 //      neighborhoods ship — the data-locality bound);
 //   3. each site runs the per-ball Match pipeline on the balls centered at
-//      its owned nodes, producing a partial Θi;
-//   4. sites ship Θi to the coordinator, which unions and dedups.
+//      its owned nodes, shipping every perfect subgraph to the coordinator
+//      the moment its ball completes (one kPartialResult message per ball,
+//      closed by a kSiteDone marker);
+//   4. the coordinator drains the incoming stream concurrently, dedups,
+//      and either forwards each subgraph to a SubgraphSink
+//      (MatchStrongDistributedStream) or collects the batch
+//      (MatchStrongDistributed) — time-to-first-result is one ball plus
+//      the halo exchange, not the whole run (Example 7's motivation for
+//      shipping partial answers early).
 //
 // Strong simulation's locality (Prop 3) is what makes step 2 terminate
 // after dQ rounds with bounded shipment; plain simulation has no such
@@ -53,14 +60,29 @@ struct DistributedStats {
   std::vector<size_t> balls_per_site;
   std::vector<size_t> foreign_records_per_site;
   double seconds = 0;
+  /// Wall clock until the coordinator received the first perfect subgraph
+  /// (0 when none arrived) — the streaming-path latency metric.
+  double seconds_to_first_result = 0;
 };
 
 /// Runs distributed Match. The result set equals centralized
-/// MatchStrong(q, g) (asserted by the test suite). InvalidArgument for an
-/// empty or disconnected pattern, or zero sites.
+/// MatchStrong(q, g) byte-for-byte — same dedup representatives, same
+/// (center, content-hash) order — for every site count and partition
+/// (asserted by the test suite). InvalidArgument for an empty or
+/// disconnected pattern, or zero sites.
 Result<std::vector<PerfectSubgraph>> MatchStrongDistributed(
     const Graph& q, const Graph& g, const DistributedOptions& options = {},
     DistributedStats* stats = nullptr);
+
+/// Streaming distributed Match: each perfect subgraph is handed to `sink`
+/// as soon as its kPartialResult message reaches the coordinator, dedup'd
+/// in arrival order against the fragments still running. A false return
+/// from the sink cancels the outstanding sites (they observe a shared
+/// cancellation token between balls; remaining in-flight messages are
+/// drained and discarded). Returns the number delivered.
+Result<size_t> MatchStrongDistributedStream(
+    const Graph& q, const Graph& g, const DistributedOptions& options,
+    const SubgraphSink& sink, DistributedStats* stats = nullptr);
 
 }  // namespace gpm
 

@@ -16,15 +16,27 @@ void MessageBus::Send(uint32_t from, uint32_t to, MessageKind kind,
                       std::string payload) {
   GPM_CHECK_LE(from, num_sites_);
   GPM_CHECK_LE(to, num_sites_);
-  std::lock_guard<std::mutex> lock(mutex_);
-  bytes_by_kind_[static_cast<int>(kind)] += payload.size();
-  ++message_count_;
-  mailboxes_[to].push_back(Message{from, to, kind, std::move(payload)});
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bytes_by_kind_[static_cast<int>(kind)] += payload.size();
+    ++message_count_;
+    mailboxes_[to].push_back(Message{from, to, kind, std::move(payload)});
+  }
+  delivered_.notify_all();
 }
 
 std::vector<Message> MessageBus::Drain(uint32_t site) {
   GPM_CHECK_LE(site, num_sites_);
   std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Message> out;
+  out.swap(mailboxes_[site]);
+  return out;
+}
+
+std::vector<Message> MessageBus::WaitDrain(uint32_t site) {
+  GPM_CHECK_LE(site, num_sites_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  delivered_.wait(lock, [this, site] { return !mailboxes_[site].empty(); });
   std::vector<Message> out;
   out.swap(mailboxes_[site]);
   return out;

@@ -9,6 +9,7 @@
 #ifndef GPM_DISTRIBUTED_MESSAGE_BUS_H_
 #define GPM_DISTRIBUTED_MESSAGE_BUS_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -21,9 +22,10 @@ enum class MessageKind : int {
   kPatternBroadcast = 0,  ///< coordinator -> site: the pattern graph
   kNodeRequest = 1,       ///< site -> site: ids whose records are needed
   kNodeRecords = 2,       ///< site -> site: label + adjacency per id
-  kPartialResult = 3,     ///< site -> coordinator: serialized Θi
+  kPartialResult = 3,     ///< site -> coordinator: serialized per-ball Θ
+  kSiteDone = 4,          ///< site -> coordinator: result stream finished
 };
-inline constexpr int kNumMessageKinds = 4;
+inline constexpr int kNumMessageKinds = 5;
 
 /// \brief One delivered message.
 struct Message {
@@ -51,6 +53,13 @@ class MessageBus {
   /// Drains and returns `site`'s mailbox. Thread-safe.
   std::vector<Message> Drain(uint32_t site);
 
+  /// Blocks until `site`'s mailbox is non-empty, then drains it. The
+  /// coordinator's streaming loop uses this to consume per-ball results as
+  /// they arrive; callers must know more traffic is coming (every site
+  /// terminates its stream with a kSiteDone marker) or they will wait
+  /// forever.
+  std::vector<Message> WaitDrain(uint32_t site);
+
   /// Drains only messages of `kind`, leaving others queued. Needed by BSP
   /// supersteps: a fast peer may already have sent next-phase traffic into
   /// a mailbox the receiver is still draining for the current phase.
@@ -68,8 +77,9 @@ class MessageBus {
  private:
   const uint32_t num_sites_;
   mutable std::mutex mutex_;
+  std::condition_variable delivered_;
   std::vector<std::vector<Message>> mailboxes_;  // indexed by recipient
-  uint64_t bytes_by_kind_[kNumMessageKinds] = {0, 0, 0, 0};
+  uint64_t bytes_by_kind_[kNumMessageKinds] = {};
   uint64_t message_count_ = 0;
 };
 

@@ -1,9 +1,11 @@
 #include "matching/parallel_match.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <unordered_set>
 
+#include "common/bounded_queue.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -11,9 +13,24 @@
 
 namespace gpm {
 
-Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
-    const Graph& q, const Graph& g, const MatchOptions& options,
-    size_t num_threads, MatchStats* stats, const PatternPrep* prep) {
+namespace {
+
+// Backpressure window per worker: deep enough to ride out a briefly slow
+// sink, shallow enough that a stopped consumer bounds buffered results.
+constexpr size_t kQueueDepthPerWorker = 8;
+
+// The shared producer/consumer pipeline. Workers shard the center list,
+// run the per-ball pipeline, and Push each perfect subgraph; the calling
+// thread drains the queue and hands subgraphs to `emit` (dedup'd against
+// one seen-hash set when `dedup_in_stream`). A false return from `emit`
+// cancels the queue; workers notice between balls or at their next Push.
+// Returns the number emitted; `totals` carries every counter except
+// the batch wrapper's dedup rewrite.
+Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
+                                   const MatchOptions& options,
+                                   size_t num_threads, bool dedup_in_stream,
+                                   const SubgraphSink& emit, MatchStats* totals_out,
+                                   const PatternPrep* prep) {
   GPM_CHECK(q.finalized() && g.finalized());
   PatternPrep local_prep;
   if (prep == nullptr) {
@@ -31,71 +48,116 @@ Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
   internal::RunState state;
   GPM_RETURN_NOT_OK(
       internal::BuildRunState(q, g, options, *prep, &state, &totals));
-  if (state.proven_empty) {
-    totals.total_seconds = total_timer.Seconds();
-    if (stats != nullptr) *stats = totals;
-    return std::vector<PerfectSubgraph>{};
-  }
-  std::vector<NodeId>& centers = state.centers;
 
-  internal::MatchContext context;
-  context.original_pattern = &q;
-  context.effective_pattern = state.effective_pattern;
-  context.class_of = state.class_of;
-  context.global_bits = options.dual_filter ? &state.global_bits : nullptr;
-  context.radius = state.radius;
-  context.options = options;
+  size_t delivered = 0;
+  if (!state.proven_empty) {
+    const std::vector<NodeId>& centers = state.centers;
 
-  // Per-thread shards: contiguous center ranges, one scratch set each.
-  struct Shard {
-    std::vector<PerfectSubgraph> results;
-    MatchStats stats;
-  };
-  const size_t shards_count = std::min(num_threads, std::max<size_t>(
-                                                        1, centers.size()));
-  std::vector<Shard> shards(shards_count);
-  {
-    ThreadPool pool(shards_count);
-    const size_t per_shard = (centers.size() + shards_count - 1) / shards_count;
-    for (size_t s = 0; s < shards_count; ++s) {
-      pool.Submit([&, s] {
-        const size_t begin = s * per_shard;
-        const size_t end = std::min(centers.size(), begin + per_shard);
-        BallBuilder builder(g);
-        Ball ball;
-        for (size_t i = begin; i < end; ++i) {
-          auto pg = internal::ProcessCenter(context, g, centers[i], &builder,
-                                            &ball, &shards[s].stats);
-          if (pg.has_value()) shards[s].results.push_back(std::move(*pg));
-        }
-      });
-    }
-    pool.Wait();
-  }
+    internal::MatchContext context;
+    context.original_pattern = &q;
+    context.effective_pattern = state.effective_pattern;
+    context.class_of = state.class_of;
+    context.global_bits = options.dual_filter ? &state.global_bits : nullptr;
+    context.radius = state.radius;
+    context.options = options;
 
-  // Merge + dedup (Theorem 1: the perfect-subgraph set is unique, so
-  // merge order only affects which duplicate instance is kept).
-  std::vector<PerfectSubgraph> results;
-  std::unordered_set<uint64_t> seen_hashes;
-  for (Shard& shard : shards) {
-    totals.balls_considered += shard.stats.balls_considered;
-    totals.balls_skipped_pruning += shard.stats.balls_skipped_pruning;
-    totals.balls_center_unmatched += shard.stats.balls_center_unmatched;
-    totals.subgraphs_found += shard.stats.subgraphs_found;
-    totals.candidate_pairs_refined += shard.stats.candidate_pairs_refined;
-    for (PerfectSubgraph& pg : shard.results) {
-      if (options.dedup && !seen_hashes.insert(pg.ContentHash()).second) {
-        ++totals.duplicates_removed;
-        continue;
+    // Contiguous center ranges, one scratch set and stats block each.
+    const size_t shards_count =
+        std::min(num_threads, std::max<size_t>(1, centers.size()));
+    const size_t per_shard =
+        (centers.size() + shards_count - 1) / shards_count;
+    std::vector<MatchStats> shard_stats(shards_count);
+
+    BoundedQueue<PerfectSubgraph> queue(shards_count * kQueueDepthPerWorker);
+    std::atomic<size_t> active_producers{shards_count};
+    {
+      ThreadPool pool(shards_count);
+      for (size_t s = 0; s < shards_count; ++s) {
+        pool.Submit([&, s] {
+          const size_t begin = s * per_shard;
+          const size_t end = std::min(centers.size(), begin + per_shard);
+          BallBuilder builder(g);
+          Ball ball;
+          for (size_t i = begin; i < end; ++i) {
+            if (queue.token().IsCancelled()) break;
+            auto pg = internal::ProcessCenter(context, g, centers[i],
+                                              &builder, &ball,
+                                              &shard_stats[s]);
+            if (pg.has_value() && !queue.Push(std::move(*pg))) break;
+          }
+          // Last producer out closes the stream so the drainer unblocks.
+          if (active_producers.fetch_sub(1) == 1) queue.Close();
+        });
       }
-      results.push_back(std::move(pg));
+
+      // Single drainer: this thread. Arrival order, shared dedup set.
+      std::unordered_set<uint64_t> seen_hashes;
+      while (std::optional<PerfectSubgraph> pg = queue.Pop()) {
+        if (dedup_in_stream &&
+            !seen_hashes.insert(pg->ContentHash()).second) {
+          ++totals.duplicates_removed;
+          continue;
+        }
+        if (delivered == 0) {
+          totals.seconds_to_first_subgraph = total_timer.Seconds();
+        }
+        ++delivered;
+        ++totals.subgraphs_found;
+        if (!emit(std::move(*pg))) {
+          queue.Cancel();
+          break;
+        }
+      }
+      pool.Wait();
+    }
+
+    for (const MatchStats& shard : shard_stats) {
+      totals.balls_considered += shard.balls_considered;
+      totals.balls_skipped_pruning += shard.balls_skipped_pruning;
+      totals.balls_center_unmatched += shard.balls_center_unmatched;
+      totals.candidate_pairs_refined += shard.candidate_pairs_refined;
     }
   }
-  std::sort(results.begin(), results.end(),
-            [](const PerfectSubgraph& a, const PerfectSubgraph& b) {
-              return a.center < b.center;
-            });
 
+  totals.total_seconds = total_timer.Seconds();
+  if (totals_out != nullptr) *totals_out = totals;
+  return delivered;
+}
+
+}  // namespace
+
+Result<size_t> MatchStrongParallelStream(const Graph& q, const Graph& g,
+                                         const MatchOptions& options,
+                                         size_t num_threads,
+                                         const SubgraphSink& sink,
+                                         MatchStats* stats,
+                                         const PatternPrep* prep) {
+  return StreamBallsParallel(q, g, options, num_threads,
+                             /*dedup_in_stream=*/options.dedup, sink, stats,
+                             prep);
+}
+
+Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
+    const Graph& q, const Graph& g, const MatchOptions& options,
+    size_t num_threads, MatchStats* stats, const PatternPrep* prep) {
+  // Collect the raw (un-dedup'd) stream; canonicalization below picks
+  // deterministic representatives, which arrival-order dedup cannot —
+  // byte-identical to MatchStrong for every thread count (Theorem 1 fixes
+  // the set; the min-center rule fixes the representatives).
+  Timer total_timer;
+  std::vector<PerfectSubgraph> results;
+  MatchStats totals;
+  GPM_RETURN_NOT_OK(
+      StreamBallsParallel(q, g, options, num_threads,
+                          /*dedup_in_stream=*/false,
+                          [&results](PerfectSubgraph&& pg) {
+                            results.push_back(std::move(pg));
+                            return true;
+                          },
+                          &totals, prep)
+          .status());
+  totals.duplicates_removed = CanonicalizeSubgraphs(options.dedup, &results);
+  totals.subgraphs_found = results.size();
   totals.total_seconds = total_timer.Seconds();
   if (stats != nullptr) *stats = totals;
   return results;

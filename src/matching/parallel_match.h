@@ -1,9 +1,16 @@
 // Multi-threaded Match: the Fig. 3 loop is embarrassingly parallel over
 // ball centers (every ball is processed independently; Theorem 1 makes
 // the result set order-insensitive). The paper exploits this across
-// machines (§4.3); this executor exploits it across cores, sharing the
-// one-time preprocessing (minQ, global dual filter) and merging per-thread
-// result sets with a final dedup.
+// machines (§4.3); these executors exploit it across cores, sharing the
+// one-time preprocessing (minQ, global dual filter).
+//
+// Both entry points run the same producer/consumer pipeline: worker
+// threads process center shards and push each completed perfect subgraph
+// into a BoundedQueue (blocking push = backpressure), while the calling
+// thread drains the queue. MatchStrongParallelStream forwards each
+// subgraph to a SubgraphSink as it arrives — time-to-first-result is one
+// ball, not the whole run — and MatchStrongParallel collects the stream
+// into the deterministic batch result.
 
 #ifndef GPM_MATCHING_PARALLEL_MATCH_H_
 #define GPM_MATCHING_PARALLEL_MATCH_H_
@@ -16,12 +23,27 @@ namespace gpm {
 
 /// MatchStrong semantics, computed with `num_threads` workers
 /// (0 = hardware concurrency). Returns the identical dedup'd result set,
-/// sorted by center for determinism. `prep`, when non-null, supplies the
-/// precomputed per-pattern state (from PreparePattern on the same
-/// pattern).
+/// sorted by (center, content hash) — byte-identical to the sequential
+/// MatchStrong output for every thread count (when dedup keeps one of
+/// several content-equal subgraphs, the smallest-center instance is kept,
+/// exactly as the sequential center-order scan does). `prep`, when
+/// non-null, supplies the precomputed per-pattern state (from
+/// PreparePattern on the same pattern).
 Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
     const Graph& q, const Graph& g, const MatchOptions& options = {},
     size_t num_threads = 0, MatchStats* stats = nullptr,
+    const PatternPrep* prep = nullptr);
+
+/// MatchStrongStream semantics on `num_threads` workers: ball workers push
+/// perfect subgraphs into a bounded queue as each ball completes, and the
+/// calling thread dedups (shared seen-hash set) and invokes `sink` in
+/// order of arrival — which varies run to run; the delivered *set* does
+/// not (Theorem 1). A false return from the sink cancels the outstanding
+/// shards (workers observe the queue's cancellation token between balls)
+/// and the call returns promptly. Returns the number delivered.
+Result<size_t> MatchStrongParallelStream(
+    const Graph& q, const Graph& g, const MatchOptions& options,
+    size_t num_threads, const SubgraphSink& sink, MatchStats* stats = nullptr,
     const PatternPrep* prep = nullptr);
 
 }  // namespace gpm

@@ -200,7 +200,8 @@ std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
     ++stats->balls_center_unmatched;
     return std::nullopt;
   }
-  ++stats->subgraphs_found;
+  // subgraphs_found is counted by the emitting loop (post-dedup), not
+  // here: every executor agrees on the emitted count that way.
 
   PerfectSubgraph pg;
   pg.center = center;
@@ -229,6 +230,35 @@ std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
 }
 
 }  // namespace internal
+
+size_t CanonicalizeSubgraphs(bool dedup,
+                             std::vector<PerfectSubgraph>* subgraphs) {
+  size_t removed = 0;
+  if (dedup) {
+    std::vector<PerfectSubgraph> kept;
+    std::unordered_map<uint64_t, size_t> index_by_hash;
+    for (PerfectSubgraph& pg : *subgraphs) {
+      auto [it, inserted] =
+          index_by_hash.try_emplace(pg.ContentHash(), kept.size());
+      if (inserted) {
+        kept.push_back(std::move(pg));
+      } else if (pg.center < kept[it->second].center) {
+        kept[it->second] = std::move(pg);
+      }
+    }
+    removed = subgraphs->size() - kept.size();
+    *subgraphs = std::move(kept);
+  }
+  // Centers are unique per result in practice (one subgraph per ball);
+  // the content-hash tie-break keeps the order deterministic even if two
+  // results ever shared a center.
+  std::sort(subgraphs->begin(), subgraphs->end(),
+            [](const PerfectSubgraph& a, const PerfectSubgraph& b) {
+              if (a.center != b.center) return a.center < b.center;
+              return a.ContentHash() < b.ContentHash();
+            });
+  return removed;
+}
 
 Result<PatternPrep> PreparePattern(const Graph& q, bool minimize) {
   GPM_CHECK(q.finalized());
@@ -352,7 +382,11 @@ Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
         ++local_stats.duplicates_removed;
         continue;
       }
+      if (delivered == 0) {
+        local_stats.seconds_to_first_subgraph = total_timer.Seconds();
+      }
       ++delivered;
+      ++local_stats.subgraphs_found;
       if (!sink(std::move(*pg))) break;
     }
   }

@@ -88,11 +88,19 @@ struct MatchStats {
   size_t balls_skipped_filter = 0;   ///< centers skipped by dual filter
   size_t balls_skipped_pruning = 0;  ///< centers skipped by pruning
   size_t balls_center_unmatched = 0; ///< Sw empty or center not in Sw
-  size_t subgraphs_found = 0;        ///< pre-dedup perfect subgraphs
+  /// Emitted (post-dedup) perfect subgraphs — identical across Serial,
+  /// Parallel, and Distributed runs of the same request. The raw per-ball
+  /// count is subgraphs_found + duplicates_removed.
+  size_t subgraphs_found = 0;
   size_t duplicates_removed = 0;
   size_t candidate_pairs_refined = 0;  ///< Σ per-ball initial candidates
   double global_filter_seconds = 0;
   double total_seconds = 0;
+  /// Wall clock from the start of the run until the first perfect subgraph
+  /// was emitted (0 when none were). Streaming executors hand that first
+  /// subgraph to the sink at this time — the serving-path latency metric —
+  /// while batch runs record when it became available internally.
+  double seconds_to_first_subgraph = 0;
   uint32_t pattern_diameter = 0;
   size_t minimized_pattern_size = 0;  ///< |Qm| when minimization ran
 };
@@ -117,9 +125,22 @@ struct PatternPrep {
 Result<PatternPrep> PreparePattern(const Graph& q, bool minimize);
 
 /// \brief Streaming consumer of perfect subgraphs. Return false to stop
-/// the scan early. Subgraphs arrive in ball-center order, already dedup'd
-/// when MatchOptions::dedup is set.
+/// the scan early (parallel executors cancel outstanding shards; nothing
+/// more is delivered after the stop). Subgraphs are already dedup'd when
+/// MatchOptions::dedup is set. Delivery order: ball-center order under the
+/// serial executor, completion (arrival) order under the parallel and
+/// distributed ones. The sink is always invoked from a single thread at a
+/// time; it needs no internal locking.
 using SubgraphSink = std::function<bool(PerfectSubgraph&&)>;
+
+/// Canonical batch form of a raw per-ball result stream, shared by the
+/// parallel and distributed executors: when `dedup` is set, content-equal
+/// subgraphs collapse to the smallest-center instance (the representative
+/// the sequential center-order scan keeps); the survivors are sorted by
+/// (center, ContentHash). This is what makes batch results byte-identical
+/// across executors. Returns the number of duplicates removed.
+size_t CanonicalizeSubgraphs(bool dedup,
+                             std::vector<PerfectSubgraph>* subgraphs);
 
 /// Computes the set Θ of maximum perfect subgraphs of g w.r.t. q
 /// (Fig. 3 / Theorem 5; cubic time). The pattern must be non-empty and

@@ -1,0 +1,120 @@
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gpm {
+namespace {
+
+TEST(BoundedQueueTest, FifoWithinOneProducer) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(i));
+  queue.Close();
+  for (int i = 0; i < 5; ++i) {
+    auto v = queue.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseEndsAnEmptyStream) {
+  BoundedQueue<int> queue(4);
+  queue.Close();
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Push(1)) << "push after close must be refused";
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilConsumerMakesRoom) {
+  BoundedQueue<int> queue(2);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(3));  // blocks: queue is full
+    third_pushed.store(true);
+    queue.Close();
+  });
+  // Backpressure: the producer cannot complete until we pop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(queue.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_EQ(queue.Pop().value(), 3);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, CancelWakesABlockedProducer) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result.store(queue.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Cancel();
+  producer.join();
+  EXPECT_FALSE(push_result.load()) << "cancelled push must fail";
+  EXPECT_FALSE(queue.Pop().has_value()) << "cancel discards pending items";
+  EXPECT_TRUE(queue.token().IsCancelled());
+}
+
+TEST(BoundedQueueTest, CancelWakesABlockedConsumer) {
+  BoundedQueue<int> queue(1);
+  std::thread consumer([&] { EXPECT_FALSE(queue.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Cancel();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, ManyProducersOneConsumerDeliversEverything) {
+  // MPSC under contention with a capacity far below the item count, so
+  // every producer repeatedly hits the backpressure path.
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(4);
+  std::atomic<int> active{kProducers};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+      if (active.fetch_sub(1) == 1) queue.Close();
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  size_t count = 0;
+  while (auto v = queue.Pop()) {
+    ASSERT_FALSE(seen[*v]) << "duplicate delivery of " << *v;
+    seen[*v] = true;
+    ++count;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(count, static_cast<size_t>(kProducers) * kPerProducer);
+}
+
+TEST(BoundedQueueTest, ConsumerCancelStopsProducersPromptly) {
+  constexpr int kProducers = 4;
+  BoundedQueue<int> queue(2);
+  std::atomic<int> active{kProducers};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      // Push until refused — the shutdown path every ball worker takes.
+      while (queue.Push(7)) {
+      }
+      if (active.fetch_sub(1) == 1) queue.Close();
+    });
+  }
+  for (int i = 0; i < 3; ++i) queue.Pop();
+  queue.Cancel();
+  for (auto& t : producers) t.join();  // would hang if Cancel didn't wake them
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+}  // namespace
+}  // namespace gpm

@@ -111,14 +111,23 @@ TEST(MatchOptionsTest, DuplicatesRemovedCountsMatchDedup) {
   EXPECT_EQ(raw_stats.duplicates_removed, 0u);
 }
 
-TEST(MatchOptionsTest, SubgraphsFoundCountsPreDedup) {
+TEST(MatchOptionsTest, SubgraphsFoundCountsPostDedup) {
   paper::Example ex = paper::Fig1();
   MatchStats stats;
   ASSERT_TRUE(MatchStrong(ex.pattern, ex.data, {}, &stats).ok());
   // Gc has 7 nodes; each of its nodes is a ball center yielding the same
-  // perfect subgraph.
-  EXPECT_EQ(stats.subgraphs_found, 7u);
+  // perfect subgraph. subgraphs_found counts emitted (post-dedup) results
+  // — the policy-independent number — and the raw per-ball count is
+  // subgraphs_found + duplicates_removed.
+  EXPECT_EQ(stats.subgraphs_found, 1u);
   EXPECT_EQ(stats.duplicates_removed, 6u);
+
+  MatchOptions raw;
+  raw.dedup = false;
+  MatchStats raw_stats;
+  ASSERT_TRUE(MatchStrong(ex.pattern, ex.data, raw, &raw_stats).ok());
+  EXPECT_EQ(raw_stats.subgraphs_found, 7u);
+  EXPECT_EQ(raw_stats.duplicates_removed, 0u);
 }
 
 TEST(MatchOptionsTest, FilterAndPruningComposeOnPaperExample) {

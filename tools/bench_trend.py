@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Diff/plot BENCH_*.json snapshots across PRs.
+
+Every bench harness writes a machine-readable BENCH_<id>.json (see
+bench/bench_json.h): {"bench": id, "entries": [{"name", "seconds",
+"stats"?: {...,"total_seconds", "seconds_to_first_subgraph", ...}}]}.
+This tool compares two or more snapshot directories (or explicit files)
+entry-by-entry, prints the wall-second and time-to-first-subgraph deltas,
+and ends with a one-line regression summary suitable for CI logs.
+
+Usage:
+  bench_trend.py BASELINE_DIR CURRENT_DIR [MORE_DIRS...]
+  bench_trend.py --threshold 15 --fail-on-regression old/ new/
+  bench_trend.py --plot old/ mid/ new/        # ASCII trend per entry
+
+A "snapshot" is a directory containing BENCH_*.json files (one per
+harness run, e.g. a PR's artifact dir) or a single .json file. Entries
+are matched by (bench id, entry name); entries present in only one
+snapshot are reported but not counted as regressions.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_snapshot(path):
+    """Returns {(bench, name): entry-dict} for one file or directory."""
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+    else:
+        files = [path]
+    entries = {}
+    for fname in files:
+        try:
+            with open(fname) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping {fname}: {e}", file=sys.stderr)
+            continue
+        bench = doc.get("bench", os.path.basename(fname))
+        for entry in doc.get("entries", []):
+            entries[(bench, entry.get("name", "?"))] = entry
+    return entries
+
+
+def first_result_seconds(entry):
+    stats = entry.get("stats") or {}
+    value = stats.get("seconds_to_first_subgraph", 0.0)
+    return value if value > 0 else None
+
+
+def pct(old, new):
+    if old <= 0:
+        return 0.0
+    return 100.0 * (new - old) / old
+
+
+def fmt_pct(p):
+    return f"{p:+.1f}%"
+
+
+def sparkline(values):
+    """ASCII trend: one glyph per snapshot, scaled to the entry's range."""
+    glyphs = "▁▂▃▄▅▆▇█"
+    finite = [v for v in values if v is not None]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None:
+            out.append("·")
+        elif span <= 0:
+            out.append(glyphs[0])
+        else:
+            out.append(glyphs[min(7, int(8 * (v - lo) / span))])
+    return "".join(out)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff/plot BENCH_*.json across PRs")
+    parser.add_argument("snapshots", nargs="+",
+                        help="two or more snapshot dirs (or .json files), "
+                             "oldest first")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in %% of wall seconds "
+                             "(default: 10)")
+    parser.add_argument("--min-seconds", type=float, default=0.005,
+                        help="ignore entries faster than this in both "
+                             "snapshots — pure noise (default: 0.005)")
+    parser.add_argument("--plot", action="store_true",
+                        help="print an ASCII trend across all snapshots "
+                             "instead of just the endpoint diff")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any regression exceeds the "
+                             "threshold")
+    args = parser.parse_args()
+
+    if len(args.snapshots) < 2:
+        parser.error("need at least two snapshots to diff")
+    snaps = [load_snapshot(p) for p in args.snapshots]
+    base, cur = snaps[0], snaps[-1]
+
+    keys = sorted(set(base) | set(cur))
+    if not keys:
+        print("bench-trend: no BENCH_*.json entries found")
+        return 0
+
+    regressions, improvements, compared = [], [], 0
+    only_base = [k for k in keys if k not in cur]
+    only_cur = [k for k in keys if k not in base]
+
+    name_w = max(len(f"{b}/{n}") for b, n in keys)
+    header = (f"{'entry':<{name_w}}  {'old(s)':>9}  {'new(s)':>9}  "
+              f"{'Δwall':>8}  {'first(s)':>9}  {'Δfirst':>8}")
+    print(header)
+    print("-" * len(header))
+    for key in keys:
+        label = f"{key[0]}/{key[1]}"
+        if key in only_base:
+            print(f"{label:<{name_w}}  {base[key]['seconds']:>9.3f}  "
+                  f"{'gone':>9}")
+            continue
+        if key in only_cur:
+            print(f"{label:<{name_w}}  {'new':>9}  "
+                  f"{cur[key]['seconds']:>9.3f}")
+            continue
+        old_s, new_s = base[key]["seconds"], cur[key]["seconds"]
+        if old_s < args.min_seconds and new_s < args.min_seconds:
+            continue
+        compared += 1
+        delta = pct(old_s, new_s)
+        old_f, new_f = first_result_seconds(base[key]), \
+            first_result_seconds(cur[key])
+        first_col = f"{new_f:>9.4f}" if new_f is not None else f"{'-':>9}"
+        dfirst_col = (fmt_pct(pct(old_f, new_f))
+                      if old_f is not None and new_f is not None else "-")
+        trend = ""
+        if args.plot:
+            series = [s[key]["seconds"] if key in s else None for s in snaps]
+            trend = "  " + sparkline(series)
+        print(f"{label:<{name_w}}  {old_s:>9.3f}  {new_s:>9.3f}  "
+              f"{fmt_pct(delta):>8}  {first_col}  {dfirst_col:>8}{trend}")
+        if delta > args.threshold:
+            regressions.append((label, delta))
+        elif delta < -args.threshold:
+            improvements.append((label, delta))
+
+    regressions.sort(key=lambda r: -r[1])
+    worst = (f", worst {regressions[0][0]} {fmt_pct(regressions[0][1])}"
+             if regressions else "")
+    churn = (f", {len(only_cur)} added, {len(only_base)} removed"
+             if only_cur or only_base else "")
+    # The one-liner CI greps for.
+    print(f"bench-trend: {compared} compared, {len(regressions)} "
+          f"regression(s) >{args.threshold:g}%{worst}, "
+          f"{len(improvements)} improved{churn}")
+    return 1 if args.fail_on_regression and regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
