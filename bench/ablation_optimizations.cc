@@ -46,7 +46,7 @@ int main() {
       {DatasetKind::kUniform, scale.Pick(4000, 200000)},
   };
 
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   for (const Workload& w : workloads) {
     const Graph g = MakeDataset(w.kind, w.n, /*seed=*/43, 1.2,
                                 ScaledLabelCount(w.n));

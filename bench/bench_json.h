@@ -68,13 +68,18 @@ class JsonReport {
             "\"duplicates_removed\": %zu, \"candidate_pairs_refined\": %zu, "
             "\"global_filter_seconds\": %.6f, \"total_seconds\": %.6f, "
             "\"seconds_to_first_subgraph\": %.6f, "
-            "\"pattern_diameter\": %u, \"minimized_pattern_size\": %zu}",
+            "\"pattern_diameter\": %u, \"minimized_pattern_size\": %zu, "
+            "\"filter_cache_hits\": %zu, \"filter_cache_misses\": %zu, "
+            "\"result_cache_hits\": %zu, \"result_cache_misses\": %zu, "
+            "\"balls_shared\": %zu}",
             s.balls_considered, s.balls_skipped_filter,
             s.balls_skipped_pruning, s.balls_center_unmatched,
             s.subgraphs_found, s.duplicates_removed,
             s.candidate_pairs_refined, s.global_filter_seconds,
             s.total_seconds, s.seconds_to_first_subgraph,
-            s.pattern_diameter, s.minimized_pattern_size);
+            s.pattern_diameter, s.minimized_pattern_size,
+            s.filter_cache_hits, s.filter_cache_misses, s.result_cache_hits,
+            s.result_cache_misses, s.balls_shared);
       }
       std::fprintf(f, "}");
     }

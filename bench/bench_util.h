@@ -32,6 +32,18 @@ inline double TimeIt(const std::function<void()>& fn) {
   return timer.Seconds();
 }
 
+/// Engine with every serving-path cache disabled. The paper-figure
+/// harnesses measure the matchers, not the caches — a memoized filter or
+/// a served result would silently zero the very cost a cell reports.
+/// (bench/serving_path.cc is the harness that measures the caches.)
+inline Engine MeasurementEngine() {
+  EngineOptions options;
+  options.prepared_cache_capacity = 0;
+  options.filter_cache_capacity = 0;
+  options.result_cache_capacity = 0;
+  return Engine(options);
+}
+
 /// A MatchRequest for `algo` under the Serial policy.
 inline MatchRequest RequestFor(Algo algo) {
   MatchRequest request;

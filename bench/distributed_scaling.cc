@@ -21,7 +21,7 @@ int main() {
 
   const uint32_t n = scale.Pick(4000, 50000);
   const Graph g = MakeDataset(DatasetKind::kAmazonLike, n, /*seed=*/47);
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   auto patterns = bench::PrepareAll(
       engine, MakePatternWorkload(g, 6, 1, /*seed=*/11000));
   if (patterns.empty()) {

@@ -31,7 +31,7 @@ void RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale,
   double match_sum = 0, sim_sum = 0, tale_sum = 0;
   size_t points = 0, mcs_found = 0;
   bool vf2_exhausted = true;
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   for (uint32_t nq : sizes) {
     auto patterns = bench::PrepareAll(
         engine,

@@ -27,7 +27,7 @@ void RunDataset(DatasetKind kind, const std::vector<uint32_t>& sizes,
   const uint32_t num_labels = ScaledLabelCount(sizes.back());
   const Graph smallest =
       MakeDataset(kind, sizes.front(), /*seed=*/19, 1.2, num_labels);
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   auto patterns = bench::PrepareAll(
       engine,
       MakePatternWorkload(smallest, nq, patterns_per_point, /*seed=*/4000));

@@ -27,7 +27,7 @@ void RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale,
   size_t ratio_points = 0;
   size_t first_match = 0, last_match = 0;
   size_t tale_total = 0, match_total = 0, vf2_total = 0;
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   for (uint32_t nq = 4; nq <= (scale.full ? 20u : 12u); nq += 4) {
     auto patterns = bench::PrepareAll(
         engine,

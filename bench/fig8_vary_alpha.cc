@@ -22,7 +22,7 @@ int main() {
   TablePrinter table({"alpha", "|E|", "Match(s)", "Match+(s)", "Sim(s)"});
   double plus_total = 0, match_total = 0;
   double first_match = -1, last_match = -1;
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   for (double alpha : {1.05, 1.15, 1.25, 1.35}) {
     const Graph g = MakeDataset(DatasetKind::kUniform, n, /*seed=*/41, alpha,
                                 ScaledLabelCount(n));

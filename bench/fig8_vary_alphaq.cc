@@ -32,7 +32,7 @@ int main() {
                           g.DistinctLabels().end());
   TablePrinter table({"alpha_q", "|Eq|", "Match(s)", "Match+(s)", "Sim(s)"});
   double plus_total = 0, match_total = 0;
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   for (double alphaq : {1.05, 1.15, 1.25, 1.35}) {
     const Graph q = RandomPattern(10, alphaq, pool, /*seed=*/7000);
     auto prepared = engine.Prepare(q);

@@ -30,7 +30,7 @@ void RunDataset(DatasetKind kind, const std::vector<uint32_t>& sizes,
   const uint32_t num_labels = ScaledLabelCount(sizes.back());
   const Graph smallest =
       MakeDataset(kind, sizes.front(), /*seed=*/37, 1.2, num_labels);
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   auto patterns = bench::PrepareAll(
       engine, MakePatternWorkload(smallest, 10, 1, /*seed=*/8000));
   if (patterns.empty()) return;

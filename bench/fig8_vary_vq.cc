@@ -24,7 +24,7 @@ void RunDataset(DatasetKind kind, uint32_t n, bool run_vf2,
   TablePrinter table({"|Vq|", "VF2(s)", "Match(s)", "Match+(s)", "Sim(s)"});
   double plus_total = 0, match_total = 0;
   size_t sim_fastest = 0, points = 0;
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   for (uint32_t nq = 4; nq <= (scale.full ? 20u : 12u); nq += 4) {
     auto patterns = bench::PrepareAll(
         engine, MakePatternWorkload(g, nq, 1, /*seed=*/6000 + nq));

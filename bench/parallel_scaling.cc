@@ -19,7 +19,7 @@ int main() {
   const uint32_t n = scale.Pick(4000, 100000);
   const Graph g = MakeDataset(DatasetKind::kAmazonLike, n, /*seed=*/53, 1.2,
                               ScaledLabelCount(n));
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   auto patterns = bench::PrepareAll(
       engine, MakePatternWorkload(g, 8, 1, /*seed=*/12000));
   if (patterns.empty()) {

@@ -61,7 +61,7 @@ int main() {
   CriterionTally strong_locality, strong_bounded, strong_connected;
 
   // Random sweep + the paper's fixtures, each notion one engine request.
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   bench::JsonReport report("table2_topology");
   const size_t sweeps = scale.full ? 60 : 25;
   const double sweep_seconds = bench::TimeIt([&] {

@@ -30,7 +30,7 @@ DatasetResult RunDataset(DatasetKind kind, uint32_t n, const BenchScale& scale) 
   // inflate subgraphs beyond the paper's buckets.
   const Graph g = MakeDataset(kind, n, /*seed=*/23, 1.2, kDefaultNumLabels);
   const size_t num_patterns = scale.full ? 10 : 4;
-  const Engine engine;
+  const Engine engine = bench::MeasurementEngine();
   auto patterns = bench::PrepareAll(
       engine, MakePatternWorkload(g, 10, num_patterns, /*seed=*/5000));
   for (const PreparedQuery& q : patterns) {

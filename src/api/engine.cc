@@ -1,17 +1,66 @@
 #include "api/engine.h"
 
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
 #include <utility>
 
+#include "api/algo_names.h"
+#include "common/bounded_queue.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "extensions/regex_strong.h"
 #include "graph/components.h"
+#include "matching/ball.h"
 #include "matching/bounded_simulation.h"
 #include "matching/dual_simulation.h"
 #include "matching/parallel_match.h"
 #include "matching/simulation.h"
+#include "matching/strong_simulation_internal.h"
 
 namespace gpm {
+
+/// The shared, thread-safe serving-path state behind every copy of one
+/// Engine: the three LRU caches plus the data-version counter that keys
+/// the data-dependent memos (see engine_cache.h for the invalidation
+/// contract).
+struct Engine::CacheState {
+  CacheState(size_t prepared_capacity, size_t filter_capacity,
+             size_t result_capacity)
+      : prepared(prepared_capacity),
+        filter(filter_capacity),
+        results(result_capacity) {}
+
+  PreparedQueryCache prepared;
+  DualFilterCache filter;
+  MatchResultCache results;
+  std::atomic<uint64_t> data_version{0};
+};
+
+Engine::Engine() : Engine(EngineOptions{}) {}
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      caches_(std::make_shared<CacheState>(options.prepared_cache_capacity,
+                                           options.filter_cache_capacity,
+                                           options.result_cache_capacity)) {}
+
+void Engine::TickDataVersion() const {
+  caches_->data_version.fetch_add(1, std::memory_order_acq_rel);
+}
+
+EngineCacheStats Engine::cache_stats() const {
+  EngineCacheStats out;
+  out.prepared = caches_->prepared.Stats();
+  out.filter = caches_->filter.Stats();
+  out.results = caches_->results.Stats();
+  out.data_version = caches_->data_version.load(std::memory_order_acquire);
+  return out;
+}
 
 const char* ExecPolicyName(ExecPolicy::Kind kind) {
   switch (kind) {
@@ -46,6 +95,27 @@ MatchOptions EffectiveOptions(const MatchRequest& request) {
   return request.options;
 }
 
+// Key of the materialized-result cache for one (query, options, policy,
+// data graph) combination (the eligibility checks live at the call sites).
+MatchResultKey MakeResultKey(uint64_t pattern_fingerprint,
+                             const MatchOptions& options,
+                             const ExecPolicy& policy, const Graph* g,
+                             uint64_t data_version) {
+  MatchResultKey key;
+  key.pattern_fingerprint = pattern_fingerprint;
+  key.minimize_query = options.minimize_query;
+  key.dual_filter = options.dual_filter;
+  key.connectivity_pruning = options.connectivity_pruning;
+  key.dedup = options.dedup;
+  key.radius_override = options.radius_override;
+  key.policy_kind = static_cast<int>(policy.kind);
+  key.num_threads =
+      policy.kind == ExecPolicy::Kind::kParallel ? policy.num_threads : 0;
+  key.data_graph_id = g->instance_id();
+  key.data_version = data_version;
+  return key;
+}
+
 // Drains an already-materialized result set into a sink, honoring its
 // early-stop contract. Returns the number delivered.
 size_t DrainToSink(std::vector<PerfectSubgraph>&& subgraphs,
@@ -67,6 +137,7 @@ Result<PreparedQuery> Engine::Prepare(const Graph& pattern) const {
     return Status::InvalidArgument("pattern graph is empty");
   PreparedQuery query;
   query.pattern_ = pattern;
+  query.fingerprint_ = pattern.ContentHash();
   auto prep = PreparePattern(query.pattern_, options_.minimize_on_prepare);
   if (prep.ok()) {
     query.prep_ = std::move(prep).ValueOrDie();
@@ -85,6 +156,7 @@ Result<PreparedQuery> Engine::Prepare(RegexQuery regex) const {
     return Status::InvalidArgument("pattern graph is empty");
   PreparedQuery query;
   query.pattern_ = regex.pattern();
+  query.fingerprint_ = regex.pattern().ContentHash();
   if (IsConnected(query.pattern_)) {
     query.regex_radius_ =
         DefaultRegexRadius(regex, options_.regex_unbounded_cap);
@@ -94,6 +166,53 @@ Result<PreparedQuery> Engine::Prepare(RegexQuery regex) const {
   }
   query.regex_ = std::move(regex);
   return query;
+}
+
+Result<std::shared_ptr<const PreparedQuery>> Engine::PrepareCached(
+    const Graph& pattern) const {
+  if (!pattern.finalized())
+    return Status::InvalidArgument("pattern must be finalized");
+  if (pattern.num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  const uint64_t fingerprint = pattern.ContentHash();
+  if (auto cached = caches_->prepared.Get(fingerprint)) {
+    // Trust the 64-bit key only after a structural re-check: a hash
+    // collision compiles uncached instead of serving the wrong query.
+    if (cached->pattern().StructurallyEqual(pattern)) return cached;
+    GPM_ASSIGN_OR_RETURN(PreparedQuery fresh, Prepare(pattern));
+    return std::make_shared<const PreparedQuery>(std::move(fresh));
+  }
+  GPM_ASSIGN_OR_RETURN(PreparedQuery fresh, Prepare(pattern));
+  return caches_->prepared.Put(fingerprint, std::move(fresh));
+}
+
+Status Engine::LookupFilter(const PreparedQuery& query, const Graph& g,
+                            const MatchOptions& options, ExecPolicy::Kind kind,
+                            FilterMemo* memo) const {
+  // Memoization applies where the global filter runs in-process: the
+  // Serial and Parallel executors. Distributed sites build their own
+  // per-fragment state, and a run without the filter has nothing to memo.
+  if (!options.dual_filter || kind == ExecPolicy::Kind::kDistributed ||
+      caches_->filter.capacity() == 0) {
+    return Status::OK();
+  }
+  DualFilterKey key;
+  key.pattern_fingerprint = query.fingerprint();
+  key.minimize_query = options.minimize_query;
+  key.data_graph_id = g.instance_id();
+  key.data_version = caches_->data_version.load(std::memory_order_acquire);
+  memo->filter = caches_->filter.Get(key);
+  if (memo->filter != nullptr) {
+    memo->hit = true;
+    return Status::OK();
+  }
+  GPM_ASSIGN_OR_RETURN(DualFilterResult computed,
+                       ComputeDualFilter(query.pattern(), g,
+                                         options.minimize_query,
+                                         &query.prep()));
+  memo->filter = caches_->filter.Put(key, std::move(computed));
+  memo->miss = true;
+  return Status::OK();
 }
 
 Result<MatchResponse> Engine::Match(const PreparedQuery& query, const Graph& g,
@@ -142,8 +261,11 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
     // uniformity); Distributed is impossible without locality (Example 7).
     if (request.policy.kind == ExecPolicy::Kind::kDistributed) {
       return Status::NotImplemented(
-          "relation notions have no data locality (Example 7); only the "
-          "strong-simulation family runs under ExecPolicy::Distributed");
+          std::string("algorithm '") + AlgoName(request.algo) +
+          "' has no distributed executor: relation notions have no data "
+          "locality (Example 7); rerun it under ExecPolicy::Serial or "
+          "ExecPolicy::Parallel, or pick a strong-family algorithm for "
+          "ExecPolicy::Distributed");
     }
     switch (request.algo) {
       case Algo::kSimulation:
@@ -170,7 +292,9 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
     if (!query.strong_status().ok()) return query.strong_status();
     if (request.policy.kind == ExecPolicy::Kind::kDistributed) {
       return Status::NotImplemented(
-          "regex strong simulation has no distributed executor yet");
+          std::string("algorithm '") + AlgoName(request.algo) +
+          "' has no distributed executor yet; rerun it under "
+          "ExecPolicy::Serial or ExecPolicy::Parallel");
     }
     // No parallel regex executor either; Parallel degrades to one core.
     GPM_ASSIGN_OR_RETURN(
@@ -179,6 +303,48 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
   } else {
     if (!query.strong_status().ok()) return query.strong_status();
     const MatchOptions options = EffectiveOptions(request);
+    // Serving-path result cache: an exactly repeated request (see
+    // MatchResultKey) is answered from memory — no filter, no balls.
+    // Streaming calls and Distributed runs always execute.
+    std::optional<MatchResultKey> result_key;
+    if (sink == nullptr &&
+        request.policy.kind != ExecPolicy::Kind::kDistributed &&
+        caches_->results.capacity() > 0) {
+      result_key = MakeResultKey(
+          query.fingerprint(), options, request.policy, &g,
+          caches_->data_version.load(std::memory_order_acquire));
+      if (auto hit = caches_->results.Get(*result_key)) {
+        response.subgraphs = hit->subgraphs;
+        response.stats = hit->stats;
+        response.stats.result_cache_hits = 1;
+        response.stats.result_cache_misses = 0;
+        response.stats.filter_cache_hits = 0;
+        response.stats.filter_cache_misses = 0;
+        response.subgraphs_delivered = response.subgraphs.size();
+        response.matched = !response.subgraphs.empty();
+        response.seconds = timer.Seconds();
+        response.stats.total_seconds = response.seconds;
+        return response;
+      }
+    }
+    // Serving-path memoization: reuse (or fill) the per-(pattern, data)
+    // global dual filter so a repeat call skips the §4.2 fixpoint.
+    FilterMemo memo;
+    GPM_RETURN_NOT_OK(
+        LookupFilter(query, g, options, request.policy.kind, &memo));
+    const DualFilterResult* filter = memo.filter.get();
+    const auto annotate = [&memo](MatchStats* stats) {
+      stats->filter_cache_hits = memo.hit ? 1 : 0;
+      stats->filter_cache_misses = memo.miss ? 1 : 0;
+      // The miss paid the fixpoint while filling the cache, outside the
+      // matcher's own timer; put its cost back on this call's ledger —
+      // both fields, preserving total_seconds >= global_filter_seconds.
+      // A hit's cost is ~0.
+      if (memo.miss) {
+        stats->global_filter_seconds = memo.filter->seconds;
+        stats->total_seconds += memo.filter->seconds;
+      }
+    };
     switch (request.policy.kind) {
       case ExecPolicy::Kind::kSerial: {
         if (sink != nullptr) {
@@ -186,14 +352,16 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
           GPM_ASSIGN_OR_RETURN(
               response.subgraphs_delivered,
               MatchStrongStream(query.pattern(), g, options, *sink,
-                                &response.stats, &query.prep()));
+                                &response.stats, &query.prep(), filter));
+          annotate(&response.stats);
           response.matched = response.subgraphs_delivered > 0;
           response.seconds = timer.Seconds();
           return response;
         }
         GPM_ASSIGN_OR_RETURN(response.subgraphs,
                              MatchStrong(query.pattern(), g, options,
-                                         &response.stats, &query.prep()));
+                                         &response.stats, &query.prep(),
+                                         filter));
         break;
       }
       case ExecPolicy::Kind::kParallel: {
@@ -204,7 +372,9 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
               response.subgraphs_delivered,
               MatchStrongParallelStream(query.pattern(), g, options,
                                         request.policy.num_threads, *sink,
-                                        &response.stats, &query.prep()));
+                                        &response.stats, &query.prep(),
+                                        filter));
+          annotate(&response.stats);
           response.matched = response.subgraphs_delivered > 0;
           response.seconds = timer.Seconds();
           return response;
@@ -213,7 +383,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
             response.subgraphs,
             MatchStrongParallel(query.pattern(), g, options,
                                 request.policy.num_threads, &response.stats,
-                                &query.prep()));
+                                &query.prep(), filter));
         break;
       }
       case ExecPolicy::Kind::kDistributed: {
@@ -239,6 +409,12 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
         break;
       }
     }
+    annotate(&response.stats);
+    if (result_key.has_value()) {
+      response.stats.result_cache_misses = 1;
+      caches_->results.Put(*result_key,
+                           {response.subgraphs, response.stats});
+    }
   }
 
   if (sink != nullptr) {
@@ -251,6 +427,310 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
   response.matched = response.subgraphs_delivered > 0;
   response.seconds = timer.Seconds();
   return response;
+}
+
+namespace {
+
+// Per-request state of one batched strong-family item: its run state
+// (centers, radius, memoized filter), the centers-wanted mask the shared
+// ball loop consults, and the accumulators it writes into. Lives at a
+// stable address once BuildRunState ran (RunState is self-referential).
+struct BatchPlan {
+  size_t index = 0;  // position in the batch / output vector
+  MatchOptions options;
+  std::optional<MatchResultKey> result_key;  // set => populate on finalize
+  std::shared_ptr<const DualFilterResult> memo;  // keepalive for run state
+  bool memo_hit = false;
+  bool memo_miss = false;
+  bool dead = false;  // BuildRunState failed; response already written
+  internal::RunState state;
+  internal::MatchContext context;
+  DynamicBitset wants;  // over V(g): centers this request visits
+  bool parallel = false;
+  size_t threads = 0;
+  std::vector<PerfectSubgraph> raw;
+  MatchResponse response;
+};
+
+// Number of batch plans that visit center c — a ball shared by >1 of them
+// is built once instead of `interested` times.
+size_t CountInterested(const std::vector<BatchPlan*>& group, NodeId center) {
+  size_t interested = 0;
+  for (const BatchPlan* plan : group) {
+    if (plan->wants.Test(center)) ++interested;
+  }
+  return interested;
+}
+
+// The shared ball loop, single-threaded: merged centers in ascending
+// order, one ball build per center, every interested plan's per-ball
+// pipeline on it. Ascending order makes each plan see exactly the center
+// sequence of its lone serial Match.
+void RunBatchGroupSerial(const Graph& g, uint32_t radius,
+                         const std::vector<NodeId>& merged,
+                         const std::vector<BatchPlan*>& group,
+                         const Timer& batch_timer) {
+  BallBuilder builder(g);
+  Ball ball;
+  for (NodeId center : merged) {
+    const size_t interested = CountInterested(group, center);
+    builder.Build(center, radius, &ball);
+    for (BatchPlan* plan : group) {
+      if (!plan->wants.Test(center)) continue;
+      if (interested > 1) ++plan->response.stats.balls_shared;
+      auto pg = internal::ProcessBall(plan->context, ball,
+                                      &plan->response.stats);
+      if (!pg.has_value()) continue;
+      if (plan->raw.empty()) {
+        plan->response.stats.seconds_to_first_subgraph =
+            batch_timer.Seconds();
+      }
+      plan->raw.push_back(std::move(*pg));
+    }
+  }
+}
+
+// Multi-threaded shared ball loop: workers shard the merged centers,
+// build each ball once, evaluate every interested plan on it, and push
+// (plan, subgraph) through a bounded queue to the draining caller — the
+// PR 2 streaming pipeline with a plan tag on each item.
+void RunBatchGroupParallel(const Graph& g, uint32_t radius,
+                           const std::vector<NodeId>& merged,
+                           const std::vector<BatchPlan*>& group,
+                           size_t num_threads, const Timer& batch_timer) {
+  constexpr size_t kQueueDepthPerWorker = 8;
+  const size_t shards_count =
+      std::min(num_threads, std::max<size_t>(1, merged.size()));
+  const size_t per_shard =
+      (merged.size() + shards_count - 1) / shards_count;
+  // One scratch stats block per (shard, plan); merged below.
+  std::vector<std::vector<MatchStats>> shard_stats(
+      shards_count, std::vector<MatchStats>(group.size()));
+
+  BoundedQueue<std::pair<size_t, PerfectSubgraph>> queue(shards_count *
+                                                         kQueueDepthPerWorker);
+  std::atomic<size_t> active_producers{shards_count};
+  {
+    ThreadPool pool(shards_count);
+    for (size_t s = 0; s < shards_count; ++s) {
+      pool.Submit([&, s] {
+        const size_t begin = s * per_shard;
+        const size_t end = std::min(merged.size(), begin + per_shard);
+        BallBuilder builder(g);
+        Ball ball;
+        for (size_t i = begin; i < end; ++i) {
+          const NodeId center = merged[i];
+          const size_t interested = CountInterested(group, center);
+          builder.Build(center, radius, &ball);
+          for (size_t p = 0; p < group.size(); ++p) {
+            if (!group[p]->wants.Test(center)) continue;
+            if (interested > 1) ++shard_stats[s][p].balls_shared;
+            auto pg = internal::ProcessBall(group[p]->context, ball,
+                                            &shard_stats[s][p]);
+            // Push cannot fail here: a batch has no early stop, so the
+            // drainer never cancels and Close happens only after the
+            // last producer exits.
+            if (pg.has_value()) queue.Push({p, std::move(*pg)});
+          }
+        }
+        if (active_producers.fetch_sub(1) == 1) queue.Close();
+      });
+    }
+
+    // Single drainer: this thread, arrival order (canonicalization below
+    // restores the deterministic batch order).
+    while (std::optional<std::pair<size_t, PerfectSubgraph>> item =
+               queue.Pop()) {
+      BatchPlan* plan = group[item->first];
+      if (plan->raw.empty()) {
+        plan->response.stats.seconds_to_first_subgraph =
+            batch_timer.Seconds();
+      }
+      plan->raw.push_back(std::move(item->second));
+    }
+    pool.Wait();
+  }
+
+  for (size_t s = 0; s < shards_count; ++s) {
+    for (size_t p = 0; p < group.size(); ++p) {
+      MatchStats& total = group[p]->response.stats;
+      const MatchStats& shard = shard_stats[s][p];
+      total.balls_considered += shard.balls_considered;
+      total.balls_skipped_pruning += shard.balls_skipped_pruning;
+      total.balls_center_unmatched += shard.balls_center_unmatched;
+      total.candidate_pairs_refined += shard.candidate_pairs_refined;
+      total.balls_shared += shard.balls_shared;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Result<MatchResponse>> Engine::MatchBatch(
+    const Graph& g, std::span<const BatchItem> items) const {
+  std::vector<Result<MatchResponse>> out;
+  out.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) out.emplace_back(MatchResponse{});
+
+  if (!g.finalized()) {
+    const Status bad =
+        Status::InvalidArgument("data graph must be finalized");
+    for (auto& response : out) response = bad;
+    return out;
+  }
+
+  Timer batch_timer;
+  std::vector<BatchPlan> plans;
+  plans.reserve(items.size());
+
+  // Split the batch: strong-family Serial/Parallel items join the shared
+  // ball loop; everything else (relation notions, regex, Distributed,
+  // invalid combinations) runs exactly as a lone Match would — Theorem 1
+  // keeps the answers identical either way.
+  for (size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    if (item.query == nullptr) {
+      out[i] = Status::InvalidArgument("BatchItem::query is null");
+      continue;
+    }
+    const MatchRequest& request = item.request;
+    const bool batchable =
+        (request.algo == Algo::kStrong || request.algo == Algo::kStrongPlus) &&
+        !item.query->has_regex() && item.query->strong_status().ok() &&
+        request.policy.kind != ExecPolicy::Kind::kDistributed;
+    if (!batchable) {
+      out[i] = Dispatch(*item.query, g, request, nullptr);
+      continue;
+    }
+    BatchPlan plan;
+    plan.index = i;
+    plan.options = EffectiveOptions(request);
+    // An exactly repeated request is served from the result cache — same
+    // contract as a lone Match (batch items are non-streaming and
+    // non-distributed by the batchable definition above).
+    if (caches_->results.capacity() > 0) {
+      plan.result_key = MakeResultKey(
+          item.query->fingerprint(), plan.options, request.policy, &g,
+          caches_->data_version.load(std::memory_order_acquire));
+      if (auto hit = caches_->results.Get(*plan.result_key)) {
+        MatchResponse served;
+        served.subgraphs = hit->subgraphs;
+        served.stats = hit->stats;
+        served.stats.result_cache_hits = 1;
+        served.stats.result_cache_misses = 0;
+        served.stats.filter_cache_hits = 0;
+        served.stats.filter_cache_misses = 0;
+        served.subgraphs_delivered = served.subgraphs.size();
+        served.matched = !served.subgraphs.empty();
+        served.seconds = batch_timer.Seconds();
+        served.stats.total_seconds = served.seconds;
+        out[i] = std::move(served);
+        continue;
+      }
+    }
+    FilterMemo memo;
+    const Status looked =
+        LookupFilter(*item.query, g, plan.options, request.policy.kind, &memo);
+    if (!looked.ok()) {
+      out[i] = looked;
+      continue;
+    }
+    plan.memo = std::move(memo.filter);
+    plan.memo_hit = memo.hit;
+    plan.memo_miss = memo.miss;
+    if (request.policy.kind == ExecPolicy::Kind::kParallel) {
+      plan.parallel = true;
+      plan.threads = request.policy.num_threads;
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Build run states at the plans' final addresses and group by radius —
+  // balls are shareable exactly within one (center, radius) space.
+  std::map<uint32_t, std::vector<BatchPlan*>> by_radius;
+  for (BatchPlan& plan : plans) {
+    const BatchItem& item = items[plan.index];
+    const Status built = internal::BuildRunState(
+        item.query->pattern(), g, plan.options, item.query->prep(),
+        &plan.state, &plan.response.stats, plan.memo.get());
+    if (!built.ok()) {
+      out[plan.index] = built;
+      plan.dead = true;
+      continue;
+    }
+    if (plan.state.proven_empty) continue;  // finalized below, no balls
+    plan.context.original_pattern = &item.query->pattern();
+    plan.context.effective_pattern = plan.state.effective_pattern;
+    plan.context.class_of = plan.state.class_of;
+    plan.context.global_bits = plan.state.global_bits;
+    plan.context.radius = plan.state.radius;
+    plan.context.options = plan.options;
+    plan.wants = DynamicBitset(g.num_nodes());
+    for (NodeId center : *plan.state.centers) plan.wants.Set(center);
+    by_radius[plan.state.radius].push_back(&plan);
+  }
+
+  for (auto& [radius, group] : by_radius) {
+    // Distinct centers of the group, ascending (each plan's own subset
+    // keeps its serial center order).
+    std::vector<NodeId> merged;
+    size_t total = 0;
+    for (const BatchPlan* plan : group) total += plan->state.centers->size();
+    merged.reserve(total);
+    for (const BatchPlan* plan : group) {
+      merged.insert(merged.end(), plan->state.centers->begin(),
+                    plan->state.centers->end());
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+    // The group runs multi-threaded iff any member asked for it, with the
+    // largest requested worker count (0 = hardware concurrency).
+    bool parallel = false;
+    size_t threads = 1;
+    for (const BatchPlan* plan : group) {
+      if (!plan->parallel) continue;
+      parallel = true;
+      const size_t requested =
+          plan->threads != 0
+              ? plan->threads
+              : std::max(1u, std::thread::hardware_concurrency());
+      threads = std::max(threads, requested);
+    }
+    if (parallel && threads > 1) {
+      RunBatchGroupParallel(g, radius, merged, group, threads, batch_timer);
+    } else {
+      RunBatchGroupSerial(g, radius, merged, group, batch_timer);
+    }
+  }
+
+  // Finalize every batched plan into its response slot: deterministic
+  // batch form (min-center dedup representative, (center, content-hash)
+  // order) — byte-identical to the lone-Match output.
+  for (BatchPlan& plan : plans) {
+    if (plan.dead) continue;
+    MatchResponse& response = plan.response;
+    response.stats.duplicates_removed +=
+        CanonicalizeSubgraphs(plan.options.dedup, &plan.raw);
+    response.stats.subgraphs_found = plan.raw.size();
+    response.subgraphs = std::move(plan.raw);
+    response.subgraphs_delivered = response.subgraphs.size();
+    response.matched = !response.subgraphs.empty();
+    response.stats.filter_cache_hits = plan.memo_hit ? 1 : 0;
+    response.stats.filter_cache_misses = plan.memo_miss ? 1 : 0;
+    if (plan.memo_miss) {
+      response.stats.global_filter_seconds = plan.memo->seconds;
+    }
+    response.stats.total_seconds = batch_timer.Seconds();
+    response.seconds = batch_timer.Seconds();
+    if (plan.result_key.has_value()) {
+      response.stats.result_cache_misses = 1;
+      caches_->results.Put(*plan.result_key,
+                           {response.subgraphs, response.stats});
+    }
+    out[plan.index] = std::move(response);
+  }
+  return out;
 }
 
 }  // namespace gpm

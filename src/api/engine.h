@@ -48,12 +48,43 @@
 //   - MatchStats::seconds_to_first_subgraph records when the first
 //     subgraph reached the sink — the serving-path latency metric
 //     (strictly below total wall time whenever the run found anything).
+//
+// Serving path (caching + batching): the engine carries three bounded,
+// thread-safe LRU caches shared by every copy of it —
+//
+//   - PrepareCached(pattern) keys compiled queries on the pattern's
+//     content hash, so repeated Prepare of an equal pattern is a lookup.
+//   - Match memoizes the §4.2 global dual filter per (pattern, data
+//     graph): a repeated Match of the same prepared query against an
+//     unchanged G starts at the ball loop instead of re-running the
+//     dual-simulation fixpoint. An *exactly* repeated request (same
+//     pattern, same effective options, same policy, same G) is answered
+//     from the materialized-result cache without matching at all.
+//     Invalidation contract: a Graph is immutable after Finalize() and
+//     carries a process-unique instance_id, so distinct data graphs can
+//     never collide in the memos; TickDataVersion() re-keys everything at
+//     once when a coarse "recompute the world" switch is wanted (see
+//     engine_cache.h). Streaming (sink) calls and Distributed requests
+//     always execute.
+//   - MatchBatch(g, items) answers many requests against one data graph,
+//     building each distinct (center, radius) ball once and fanning the
+//     per-ball pipeline out per request — results are byte-identical to
+//     issuing the requests one by one (and therefore to Serial, by the
+//     Theorem 1 determinism contract the equivalence suite asserts).
+//
+// Per-call cache observability lands in MatchStats
+// (filter_cache_hits/misses, balls_shared); aggregate hit rates in
+// cache_stats().
 
 #ifndef GPM_API_ENGINE_H_
 #define GPM_API_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
 
+#include "api/engine_cache.h"
 #include "api/match_request.h"
 #include "api/prepared_query.h"
 #include "common/result.h"
@@ -71,16 +102,37 @@ struct EngineOptions {
   /// Cap substituted for unbounded regex repetitions when computing the
   /// prepared ball radius (see DefaultRegexRadius).
   uint32_t regex_unbounded_cap = 4;
+  /// Capacity of the PrepareCached compiled-pattern LRU; 0 disables it
+  /// (PrepareCached then compiles every call, like Prepare).
+  size_t prepared_cache_capacity = 64;
+  /// Capacity of the per-(pattern, data) dual-filter memo LRU; 0 disables
+  /// memoization (every Match pays the global fixpoint).
+  size_t filter_cache_capacity = 16;
+  /// Capacity of the materialized-result LRU (exactly repeated strong-
+  /// family requests are answered from memory; see MatchResultKey for what
+  /// "exactly" means). 0 disables it. Benchmarks that intend to measure
+  /// the matchers — not the cache — should disable all three capacities.
+  size_t result_cache_capacity = 32;
+};
+
+/// \brief One request of a MatchBatch: a prepared query plus the request
+/// to run it under. The data graph is shared by the whole batch.
+struct BatchItem {
+  const PreparedQuery* query = nullptr;
+  MatchRequest request;
 };
 
 /// \brief The unified facade over every matcher in the library.
 ///
-/// Stateless apart from its options: const, cheap to copy, safe to share
-/// across threads (each Match call carries its own scratch state).
+/// Carries no per-call state: cheap to copy and safe to share across
+/// threads (each Match call has its own scratch). Copies share the two
+/// serving-path caches (thread-safe; see engine_cache.h), so handing the
+/// same engine — or copies of it — to many serving threads is the
+/// intended deployment.
 class Engine {
  public:
-  Engine() = default;
-  explicit Engine(EngineOptions options) : options_(options) {}
+  Engine();
+  explicit Engine(EngineOptions options);
 
   /// Compiles a plain pattern. InvalidArgument for an empty or
   /// un-finalized pattern. A disconnected pattern is accepted — the
@@ -91,6 +143,14 @@ class Engine {
   /// Compiles a regex pattern (§6 extension). The result serves only
   /// Algo::kRegexStrong requests.
   Result<PreparedQuery> Prepare(RegexQuery query) const;
+
+  /// Caching Prepare: returns the compiled query for `pattern` from the
+  /// engine's LRU when an identical pattern (by content) was prepared
+  /// before, compiling and caching it otherwise. The returned pointer
+  /// stays valid for as long as the caller holds it, across evictions.
+  /// Same validation as Prepare; errors are never cached.
+  Result<std::shared_ptr<const PreparedQuery>> PrepareCached(
+      const Graph& pattern) const;
 
   /// Runs one request against a prepared query.
   Result<MatchResponse> Match(const PreparedQuery& query, const Graph& g,
@@ -110,14 +170,61 @@ class Engine {
                               const MatchRequest& request,
                               const SubgraphSink& sink) const;
 
+  /// Answers a batch of requests sharing one data graph, amortizing ball
+  /// construction: each distinct (center, radius) ball among the batch's
+  /// strong-family Serial/Parallel items is built once and every
+  /// interested request's per-ball pipeline runs on it (stats record the
+  /// sharing in MatchStats::balls_shared). Items the shared loop cannot
+  /// serve — relation notions, regex, Distributed policy — execute exactly
+  /// as a lone Match would.
+  ///
+  /// Contract: responses[i] is byte-identical to Match(*items[i].query, g,
+  /// items[i].request) — same subgraphs, same (center, content-hash)
+  /// order — for every mix of ExecPolicies (the cache/batch equivalence
+  /// suite asserts this). The shared loop runs multi-threaded iff any
+  /// batched item asks for ExecPolicy::Parallel, with the largest
+  /// requested thread count.
+  std::vector<Result<MatchResponse>> MatchBatch(
+      const Graph& g, std::span<const BatchItem> items) const;
+
+  /// Coarse invalidation: bumps the engine's data version so every
+  /// data-dependent memo (dual filters, materialized results) keys
+  /// differently — stale entries become unreachable and age out of the
+  /// LRUs. Per-graph correctness needs no tick (Graph::instance_id keys
+  /// each finalized graph uniquely); this is the operational switch for
+  /// "recompute everything" moments. See engine_cache.h.
+  void TickDataVersion() const;
+
+  /// Snapshot of all three caches' counters plus the current data version.
+  EngineCacheStats cache_stats() const;
+
   const EngineOptions& options() const { return options_; }
 
  private:
+  struct CacheState;
+
+  /// Outcome of one dual-filter memo consultation: the memo to run with
+  /// (null when memoization does not apply) and whether this call hit or
+  /// missed (both false when bypassed).
+  struct FilterMemo {
+    std::shared_ptr<const DualFilterResult> filter;
+    bool hit = false;
+    bool miss = false;
+  };
+
   Result<MatchResponse> Dispatch(const PreparedQuery& query, const Graph& g,
                                  const MatchRequest& request,
                                  const SubgraphSink* sink) const;
 
+  /// Looks up / computes / stores the global-filter memo for one strong-
+  /// family call; leaves memo->filter null when memoization is off or the
+  /// request does not use the dual filter.
+  Status LookupFilter(const PreparedQuery& query, const Graph& g,
+                      const MatchOptions& options, ExecPolicy::Kind kind,
+                      FilterMemo* memo) const;
+
   EngineOptions options_;
+  std::shared_ptr<CacheState> caches_;
 };
 
 }  // namespace gpm

@@ -1,0 +1,143 @@
+// The serving-path cache vocabulary of gpm::Engine: the key of a memoized
+// per-(pattern, data graph) dual filter, the two LruCache instantiations
+// (compiled patterns, dual-filter memos), and the aggregate stats snapshot
+// the engine surfaces.
+//
+// Invalidation contract (see the README "Serving path" section):
+//   - Prepared queries depend only on pattern content — entries key on the
+//     pattern's ContentHash and never go stale; the LRU bound alone limits
+//     them.
+//   - Dual-filter memos and materialized results depend on the data
+//     graph. A Graph is immutable after Finalize() and Finalize stamps a
+//     process-unique instance_id that content-copies carry along, so the
+//     memos key on that stamp (plus the engine's data version): two
+//     distinct data graphs — even one destroyed and another allocated at
+//     the same address, or assigned into the same object — can never
+//     collide. Engine::TickDataVersion() remains the coarse switch: it
+//     re-keys *everything* at once, for operational "recompute the world"
+//     moments (bulk reloads, suspected corruption).
+//   - Pattern fingerprints are 64-bit content hashes. PrepareCached
+//     re-checks hits structurally; the data-side memos key on the
+//     fingerprint of a PreparedQuery the caller already holds, accepting
+//     the 2^-64 collision odds between two *different* prepared patterns
+//     (the industry-standard content-hash trade).
+
+#ifndef GPM_API_ENGINE_CACHE_H_
+#define GPM_API_ENGINE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "api/prepared_query.h"
+#include "common/lru_cache.h"
+#include "matching/strong_simulation.h"
+
+namespace gpm {
+
+/// \brief Key of one memoized global dual filter: which pattern (by
+/// content), which effective-pattern variant (the filter runs on the minQ
+/// quotient when the request minimizes), and which data graph at which
+/// engine data version.
+struct DualFilterKey {
+  uint64_t pattern_fingerprint = 0;
+  bool minimize_query = false;
+  uint64_t data_graph_id = 0;  ///< Graph::instance_id() of the data graph
+  uint64_t data_version = 0;   ///< Engine::TickDataVersion count
+
+  bool operator==(const DualFilterKey&) const = default;
+};
+
+struct DualFilterKeyHash {
+  size_t operator()(const DualFilterKey& key) const {
+    uint64_t h = 14695981039346656037ULL;
+    auto mix = [&h](uint64_t x) {
+      h ^= x;
+      h *= 1099511628211ULL;
+      h ^= h >> 29;
+    };
+    mix(key.pattern_fingerprint);
+    mix(key.minimize_query ? 1 : 2);
+    mix(key.data_graph_id);
+    mix(key.data_version);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Pattern ContentHash -> compiled PreparedQuery. Hits are re-checked with
+/// StructurallyEqual before being trusted (a 64-bit collision falls back
+/// to compiling uncached, never to a wrong answer).
+using PreparedQueryCache = LruCache<uint64_t, PreparedQuery>;
+
+/// DualFilterKey -> memoized §4.2 global-filter product.
+using DualFilterCache = LruCache<DualFilterKey, DualFilterResult,
+                                 DualFilterKeyHash>;
+
+/// \brief Key of one materialized result set: the pattern, the *effective*
+/// strong-family options (which fully determine Θ — Theorem 1 makes the
+/// result policy-independent), the executor identity, and the data graph
+/// at the engine's data version.
+///
+/// The executor (policy kind + thread count) is part of the key even
+/// though it cannot change the answer: only an exactly repeated request is
+/// served from memory, so cross-policy calls still execute — which is what
+/// keeps the executor-equivalence suites meaningful and the §4.3
+/// distributed observability (message counts) real. Distributed requests
+/// are never served from this cache for the same reason.
+struct MatchResultKey {
+  uint64_t pattern_fingerprint = 0;
+  bool minimize_query = false;
+  bool dual_filter = false;
+  bool connectivity_pruning = false;
+  bool dedup = true;
+  uint32_t radius_override = 0;
+  int policy_kind = 0;      ///< ExecPolicy::Kind as int (Serial/Parallel)
+  size_t num_threads = 0;   ///< Parallel worker count (0 = hardware)
+  uint64_t data_graph_id = 0;  ///< Graph::instance_id() of the data graph
+  uint64_t data_version = 0;
+
+  bool operator==(const MatchResultKey&) const = default;
+};
+
+struct MatchResultKeyHash {
+  size_t operator()(const MatchResultKey& key) const {
+    uint64_t h = 14695981039346656037ULL;
+    auto mix = [&h](uint64_t x) {
+      h ^= x;
+      h *= 1099511628211ULL;
+      h ^= h >> 29;
+    };
+    mix(key.pattern_fingerprint);
+    mix((key.minimize_query ? 1 : 0) | (key.dual_filter ? 2 : 0) |
+        (key.connectivity_pruning ? 4 : 0) | (key.dedup ? 8 : 0));
+    mix(key.radius_override);
+    mix(static_cast<uint64_t>(key.policy_kind));
+    mix(key.num_threads);
+    mix(key.data_graph_id);
+    mix(key.data_version);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// \brief One cached answer: the canonical result set plus the stats of
+/// the run that computed it (counters are deterministic; a served hit
+/// re-stamps only the cache flags and wall time).
+struct CachedMatchResult {
+  std::vector<PerfectSubgraph> subgraphs;
+  MatchStats stats;
+};
+
+/// MatchResultKey -> materialized Θ.
+using MatchResultCache = LruCache<MatchResultKey, CachedMatchResult,
+                                  MatchResultKeyHash>;
+
+/// \brief Snapshot of the engine caches (Engine::cache_stats()).
+struct EngineCacheStats {
+  CacheStats prepared;
+  CacheStats filter;
+  CacheStats results;
+  uint64_t data_version = 0;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_API_ENGINE_CACHE_H_

@@ -52,6 +52,11 @@ class PreparedQuery {
   /// The cached §4.2 pattern state handed to the matching layer.
   const PatternPrep& prep() const { return prep_; }
 
+  /// Content hash of the pattern graph, computed once at Prepare time —
+  /// the engine's cache key for this query (prepared-query cache entries
+  /// and per-(pattern, data) dual-filter memos both key on it).
+  uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   friend class Engine;
   PreparedQuery() = default;
@@ -61,6 +66,7 @@ class PreparedQuery {
   Status strong_status_;
   std::optional<RegexQuery> regex_;
   uint32_t regex_radius_ = 0;
+  uint64_t fingerprint_ = 0;
 };
 
 }  // namespace gpm

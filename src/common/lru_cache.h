@@ -1,0 +1,126 @@
+// LruCache: the bounded, thread-safe, least-recently-used cache behind the
+// engine's serving-path state (compiled patterns, memoized dual filters).
+//
+// Values are handed out as shared_ptr<const V>: a hit stays valid for as
+// long as the caller holds it, even if the entry is evicted or the cache
+// cleared concurrently. Lookups, insertions, and evictions are counted so
+// callers can surface hit rates (CacheStats; the invariant
+// hits + misses == lookups is test-asserted).
+//
+// Concurrency model: one mutex around the map + recency list. Get/Put are
+// O(1) amortized and never block on value computation — on a miss the
+// caller computes outside the lock and Puts the result, so two racing
+// callers may both compute; the second Put simply overwrites (both values
+// are equal by construction). That keeps a slow fixpoint computation from
+// serializing unrelated cache traffic.
+
+#ifndef GPM_COMMON_LRU_CACHE_H_
+#define GPM_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace gpm {
+
+/// \brief Monotonic counters of one cache. hits + misses == lookups.
+struct CacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;   ///< current size (not monotonic)
+  size_t capacity = 0;
+};
+
+/// \brief Bounded thread-safe LRU map Key -> shared_ptr<const Value>.
+///
+/// A capacity of 0 disables the cache: every Get misses, Put still returns
+/// a usable pointer but stores nothing — callers need no "is caching on"
+/// branch.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or nullptr on a
+  /// miss. Counts one lookup either way.
+  std::shared_ptr<const Value> Get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    recency_.splice(recency_.begin(), recency_, it->second.pos);
+    return it->second.value;
+  }
+
+  /// Inserts (or overwrites) `key`, evicting the least-recently-used entry
+  /// when full. Returns the stored pointer — or, with capacity 0, a
+  /// pointer owning `value` that the cache does not retain.
+  std::shared_ptr<const Value> Put(const Key& key, Value value) {
+    auto stored = std::make_shared<const Value>(std::move(value));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ == 0) return stored;
+    ++stats_.inserts;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.value = stored;
+      recency_.splice(recency_.begin(), recency_, it->second.pos);
+      return stored;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(recency_.back());
+      recency_.pop_back();
+      ++stats_.evictions;
+    }
+    recency_.push_front(key);
+    map_.emplace(key, Entry{stored, recency_.begin()});
+    return stored;
+  }
+
+  /// Drops every entry (outstanding shared_ptrs stay valid). Counters are
+  /// kept — Clear is invalidation, not a statistics reset.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    recency_.clear();
+  }
+
+  CacheStats Stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats out = stats_;
+    out.entries = map_.size();
+    out.capacity = capacity_;
+    return out;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Value> value;
+    typename std::list<Key>::iterator pos;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Key> recency_;  // front = most recent
+  std::unordered_map<Key, Entry, Hash> map_;
+  CacheStats stats_;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_COMMON_LRU_CACHE_H_

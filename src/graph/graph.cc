@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "common/logging.h"
@@ -49,6 +50,8 @@ void Graph::AddEdge(NodeId u, NodeId v, EdgeLabel label) {
 
 void Graph::Finalize() {
   if (finalized_) return;
+  static std::atomic<uint64_t> next_instance_id{0};
+  instance_id_ = next_instance_id.fetch_add(1, std::memory_order_relaxed) + 1;
   size_t edges = 0;
   for (NodeId v = 0; v < labels_.size(); ++v) {
     // Sort (neighbor, edge label) pairs together, then drop duplicate
@@ -153,6 +156,29 @@ Graph Graph::Reversed() const {
   }
   rev.Finalize();
   return rev;
+}
+
+uint64_t Graph::ContentHash() const {
+  GPM_CHECK(finalized_);
+  uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(num_nodes());
+  for (Label l : labels_) mix(l);
+  for (NodeId u = 0; u < labels_.size(); ++u) {
+    auto elabels = OutEdgeLabels(u);
+    size_t i = 0;
+    for (NodeId v : out_[u]) {
+      mix((static_cast<uint64_t>(u) << 32) | v);
+      mix(i < elabels.size() ? elabels[i] : 0);
+      ++i;
+    }
+  }
+  return h;
 }
 
 bool Graph::StructurallyEqual(const Graph& other,

@@ -117,6 +117,22 @@ class Graph {
   bool StructurallyEqual(const Graph& other,
                          bool compare_edge_labels = false) const;
 
+  /// Stable FNV-1a hash over (labels, edges, edge labels). Two graphs with
+  /// ContentHash() equal are StructurallyEqual with overwhelming
+  /// probability. Engine::PrepareCached keys compiled patterns on it and
+  /// re-checks hits structurally (a collision compiles uncached, never
+  /// serves the wrong query); the data-side memo keys combine it with the
+  /// data graph's instance_id(). Requires Finalize(); O(V + E) per call,
+  /// so hash once and keep the value.
+  uint64_t ContentHash() const;
+
+  /// Process-unique identity stamped by the first Finalize() call (0 while
+  /// unfinalized). Content never changes after Finalize() and copies carry
+  /// both the content and the stamp, so equal ids imply equal content —
+  /// the engine's data-graph cache-key identity, immune to one graph being
+  /// destroyed and another allocated at the same address.
+  uint64_t instance_id() const { return instance_id_; }
+
  private:
   friend class GraphBuilderForIO;
 
@@ -126,6 +142,7 @@ class Graph {
   std::vector<std::vector<EdgeLabel>> out_labels_;
   size_t num_edges_ = 0;
   bool finalized_ = false;
+  uint64_t instance_id_ = 0;
 
   // Label index: for each distinct label, the sorted nodes carrying it.
   std::unordered_map<Label, std::vector<NodeId>> label_index_;

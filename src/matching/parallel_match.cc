@@ -30,7 +30,8 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
                                    const MatchOptions& options,
                                    size_t num_threads, bool dedup_in_stream,
                                    const SubgraphSink& emit, MatchStats* totals_out,
-                                   const PatternPrep* prep) {
+                                   const PatternPrep* prep,
+                                   const DualFilterResult* filter) {
   GPM_CHECK(q.finalized() && g.finalized());
   PatternPrep local_prep;
   if (prep == nullptr) {
@@ -47,17 +48,17 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
   // Shared preprocessing — identical to the sequential path.
   internal::RunState state;
   GPM_RETURN_NOT_OK(
-      internal::BuildRunState(q, g, options, *prep, &state, &totals));
+      internal::BuildRunState(q, g, options, *prep, &state, &totals, filter));
 
   size_t delivered = 0;
   if (!state.proven_empty) {
-    const std::vector<NodeId>& centers = state.centers;
+    const std::vector<NodeId>& centers = *state.centers;
 
     internal::MatchContext context;
     context.original_pattern = &q;
     context.effective_pattern = state.effective_pattern;
     context.class_of = state.class_of;
-    context.global_bits = options.dual_filter ? &state.global_bits : nullptr;
+    context.global_bits = state.global_bits;
     context.radius = state.radius;
     context.options = options;
 
@@ -131,15 +132,17 @@ Result<size_t> MatchStrongParallelStream(const Graph& q, const Graph& g,
                                          size_t num_threads,
                                          const SubgraphSink& sink,
                                          MatchStats* stats,
-                                         const PatternPrep* prep) {
+                                         const PatternPrep* prep,
+                                         const DualFilterResult* filter) {
   return StreamBallsParallel(q, g, options, num_threads,
                              /*dedup_in_stream=*/options.dedup, sink, stats,
-                             prep);
+                             prep, filter);
 }
 
 Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
     const Graph& q, const Graph& g, const MatchOptions& options,
-    size_t num_threads, MatchStats* stats, const PatternPrep* prep) {
+    size_t num_threads, MatchStats* stats, const PatternPrep* prep,
+    const DualFilterResult* filter) {
   // Collect the raw (un-dedup'd) stream; canonicalization below picks
   // deterministic representatives, which arrival-order dedup cannot —
   // byte-identical to MatchStrong for every thread count (Theorem 1 fixes
@@ -154,7 +157,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
                             results.push_back(std::move(pg));
                             return true;
                           },
-                          &totals, prep)
+                          &totals, prep, filter)
           .status());
   totals.duplicates_removed = CanonicalizeSubgraphs(options.dedup, &results);
   totals.subgraphs_found = results.size();

@@ -29,10 +29,13 @@ namespace gpm {
 /// exactly as the sequential center-order scan does). `prep`, when
 /// non-null, supplies the precomputed per-pattern state (from
 /// PreparePattern on the same pattern).
+/// `filter`, when non-null and options.dual_filter is set, supplies a
+/// memoized ComputeDualFilter result for the same (q, g,
+/// options.minimize_query), skipping the global fixpoint.
 Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
     const Graph& q, const Graph& g, const MatchOptions& options = {},
     size_t num_threads = 0, MatchStats* stats = nullptr,
-    const PatternPrep* prep = nullptr);
+    const PatternPrep* prep = nullptr, const DualFilterResult* filter = nullptr);
 
 /// MatchStrongStream semantics on `num_threads` workers: ball workers push
 /// perfect subgraphs into a bounded queue as each ball completes, and the
@@ -44,7 +47,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
 Result<size_t> MatchStrongParallelStream(
     const Graph& q, const Graph& g, const MatchOptions& options,
     size_t num_threads, const SubgraphSink& sink, MatchStats* stats = nullptr,
-    const PatternPrep* prep = nullptr);
+    const PatternPrep* prep = nullptr, const DualFilterResult* filter = nullptr);
 
 }  // namespace gpm
 

@@ -138,6 +138,31 @@ bool ExtractMaxPG(const Graph& qeff, const Ball& ball, const MatchRelation& sw,
   return true;
 }
 
+// Runs the §4.2 global dual-simulation fixpoint on (qeff, g) and packs
+// its memoizable product: per-query-node bitmaps and the surviving
+// centers (or proven_empty when the relation is not total).
+void FillDualFilter(const Graph& qeff, const Graph& g, DualFilterResult* out) {
+  Timer filter_timer;
+  const MatchRelation global = ComputeDualSimulation(qeff, g);
+  if (!global.IsTotal()) {
+    out->proven_empty = true;
+    out->seconds = filter_timer.Seconds();
+    return;
+  }
+  const size_t nq_eff = qeff.num_nodes();
+  out->bits.assign(nq_eff, DynamicBitset(g.num_nodes()));
+  DynamicBitset any_match(g.num_nodes());
+  for (size_t u = 0; u < nq_eff; ++u) {
+    for (NodeId v : global.sim[u]) {
+      out->bits[u].Set(v);
+      any_match.Set(v);
+    }
+  }
+  any_match.ForEach(
+      [&](size_t v) { out->centers.push_back(static_cast<NodeId>(v)); });
+  out->seconds = filter_timer.Seconds();
+}
+
 }  // namespace
 
 namespace internal {
@@ -146,12 +171,18 @@ std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
                                              const Graph& /*g*/, NodeId center,
                                              BallBuilder* builder, Ball* ball,
                                              MatchStats* stats) {
+  builder->Build(center, context.radius, ball);
+  return ProcessBall(context, *ball, stats);
+}
+
+std::optional<PerfectSubgraph> ProcessBall(const MatchContext& context,
+                                           const Ball& ball,
+                                           MatchStats* stats) {
   const Graph& qeff = *context.effective_pattern;
   const Graph& q = *context.original_pattern;
   const size_t nq_eff = qeff.num_nodes();
   const MatchOptions& options = context.options;
 
-  builder->Build(center, context.radius, ball);
   ++stats->balls_considered;
 
   // Candidate sets (local ids). With the dual filter on, project the
@@ -160,19 +191,19 @@ std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
   if (context.global_bits != nullptr) {
     for (size_t u = 0; u < nq_eff; ++u) {
       const DynamicBitset& bits = (*context.global_bits)[u];
-      for (NodeId local = 0; local < ball->graph.num_nodes(); ++local) {
-        if (bits.Test(ball->to_global[local])) cand[u].push_back(local);
+      for (NodeId local = 0; local < ball.graph.num_nodes(); ++local) {
+        if (bits.Test(ball.to_global[local])) cand[u].push_back(local);
       }
     }
   } else {
     for (size_t u = 0; u < nq_eff; ++u) {
-      auto cls = ball->graph.NodesWithLabel(qeff.label(static_cast<NodeId>(u)));
+      auto cls = ball.graph.NodesWithLabel(qeff.label(static_cast<NodeId>(u)));
       cand[u].assign(cls.begin(), cls.end());
     }
   }
 
   if (options.connectivity_pruning) {
-    if (!PruneToCenterComponent(*ball, &cand)) {
+    if (!PruneToCenterComponent(ball, &cand)) {
       ++stats->balls_skipped_pruning;
       return std::nullopt;
     }
@@ -183,10 +214,10 @@ std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
   // violations (Prop 5 / Fig. 5 dualFilter).
   MatchRelation sw;
   if (context.global_bits != nullptr) {
-    const std::vector<NodeId> seeds = ball->BorderNodes();
-    sw = RefineSimulation(qeff, ball->graph, /*dual=*/true, &cand, &seeds);
+    const std::vector<NodeId> seeds = ball.BorderNodes();
+    sw = RefineSimulation(qeff, ball.graph, /*dual=*/true, &cand, &seeds);
   } else {
-    sw = RefineSimulation(qeff, ball->graph, /*dual=*/true, &cand, nullptr);
+    sw = RefineSimulation(qeff, ball.graph, /*dual=*/true, &cand, nullptr);
   }
   if (!sw.IsTotal()) {
     ++stats->balls_center_unmatched;
@@ -196,7 +227,7 @@ std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
   std::vector<NodeId> pg_nodes;
   std::vector<std::pair<NodeId, NodeId>> pg_edges;
   DynamicBitset component;
-  if (!ExtractMaxPG(qeff, *ball, sw, &pg_nodes, &pg_edges, &component)) {
+  if (!ExtractMaxPG(qeff, ball, sw, &pg_nodes, &pg_edges, &component)) {
     ++stats->balls_center_unmatched;
     return std::nullopt;
   }
@@ -204,14 +235,14 @@ std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
   // here: every executor agrees on the emitted count that way.
 
   PerfectSubgraph pg;
-  pg.center = center;
+  pg.center = ball.center;
   pg.radius = context.radius;
   pg.nodes.reserve(pg_nodes.size());
-  for (NodeId v : pg_nodes) pg.nodes.push_back(ball->to_global[v]);
+  for (NodeId v : pg_nodes) pg.nodes.push_back(ball.to_global[v]);
   std::sort(pg.nodes.begin(), pg.nodes.end());
   pg.edges.reserve(pg_edges.size());
   for (const auto& [a, b] : pg_edges) {
-    pg.edges.emplace_back(ball->to_global[a], ball->to_global[b]);
+    pg.edges.emplace_back(ball.to_global[a], ball.to_global[b]);
   }
   std::sort(pg.edges.begin(), pg.edges.end());
 
@@ -222,7 +253,7 @@ std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
     const NodeId ue =
         context.class_of != nullptr ? (*context.class_of)[u] : u;
     for (NodeId v : sw.sim[ue]) {
-      if (component.Test(v)) pg.relation.sim[u].push_back(ball->to_global[v]);
+      if (component.Test(v)) pg.relation.sim[u].push_back(ball.to_global[v]);
     }
     std::sort(pg.relation.sim[u].begin(), pg.relation.sim[u].end());
   }
@@ -284,7 +315,8 @@ namespace internal {
 
 Status BuildRunState(const Graph& q, const Graph& g,
                      const MatchOptions& options, const PatternPrep& prep,
-                     RunState* state, MatchStats* stats) {
+                     RunState* state, MatchStats* stats,
+                     const DualFilterResult* filter) {
   state->radius =
       options.radius_override != 0 ? options.radius_override : prep.diameter;
   stats->pattern_diameter = prep.diameter;
@@ -311,41 +343,68 @@ Status BuildRunState(const Graph& q, const Graph& g,
   const size_t nq_eff = state->effective_pattern->num_nodes();
 
   // Optional global dual-simulation filter (always per-(pattern, data):
-  // it depends on g, so it cannot live in the PatternPrep).
+  // it depends on g, so it cannot live in the PatternPrep). A memoized
+  // `filter` — from ComputeDualFilter on the same (q, g, minimize_query) —
+  // is pointed into instead of recomputed: the serving-path reuse seam.
   if (options.dual_filter) {
-    Timer filter_timer;
-    const MatchRelation global =
-        ComputeDualSimulation(*state->effective_pattern, g);
-    stats->global_filter_seconds = filter_timer.Seconds();
-    if (!global.IsTotal()) {
+    if (filter == nullptr) {
+      FillDualFilter(*state->effective_pattern, g, &state->filter_storage);
+      stats->global_filter_seconds = state->filter_storage.seconds;
+      filter = &state->filter_storage;
+    }
+    if (filter->proven_empty) {
       stats->balls_skipped_filter = g.num_nodes();
       state->proven_empty = true;
       return Status::OK();
     }
-    state->global_bits.assign(nq_eff, DynamicBitset(g.num_nodes()));
-    DynamicBitset any_match(g.num_nodes());
-    for (size_t u = 0; u < nq_eff; ++u) {
-      for (NodeId v : global.sim[u]) {
-        state->global_bits[u].Set(v);
-        any_match.Set(v);
-      }
-    }
-    any_match.ForEach(
-        [&](size_t v) { state->centers.push_back(static_cast<NodeId>(v)); });
-    stats->balls_skipped_filter = g.num_nodes() - state->centers.size();
+    // A reused filter must have been computed on the same effective
+    // pattern (same minimize_query) — the bitmap count betrays a mismatch.
+    GPM_CHECK_EQ(filter->bits.size(), nq_eff);
+    state->global_bits = &filter->bits;
+    state->centers = &filter->centers;
+    stats->balls_skipped_filter = g.num_nodes() - filter->centers.size();
   } else {
-    state->centers.resize(g.num_nodes());
-    for (NodeId v = 0; v < g.num_nodes(); ++v) state->centers[v] = v;
+    state->centers_storage.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) state->centers_storage[v] = v;
+    state->centers = &state->centers_storage;
   }
   return Status::OK();
 }
 
 }  // namespace internal
 
+Result<DualFilterResult> ComputeDualFilter(const Graph& q, const Graph& g,
+                                           bool minimize_query,
+                                           const PatternPrep* prep) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  PatternPrep local_prep;
+  if (prep == nullptr) {
+    GPM_ASSIGN_OR_RETURN(local_prep, PreparePattern(q, minimize_query));
+    prep = &local_prep;
+  }
+  // Resolve the effective pattern exactly as BuildRunState does, so the
+  // bitmaps line up with the run that later reuses them.
+  const Graph* qeff = &q;
+  Graph qmin_storage;
+  if (minimize_query) {
+    if (prep->has_minimized) {
+      qeff = &prep->minimized;
+    } else {
+      GPM_ASSIGN_OR_RETURN(MinimizedQuery mq, MinimizeQuery(q));
+      qmin_storage = std::move(mq.minimized);
+      qeff = &qmin_storage;
+    }
+  }
+  DualFilterResult out;
+  FillDualFilter(*qeff, g, &out);
+  return out;
+}
+
 Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
                                  const MatchOptions& options,
                                  const SubgraphSink& sink, MatchStats* stats,
-                                 const PatternPrep* prep) {
+                                 const PatternPrep* prep,
+                                 const DualFilterResult* filter) {
   GPM_CHECK(q.finalized() && g.finalized());
   PatternPrep local_prep;
   if (prep == nullptr) {
@@ -357,8 +416,8 @@ Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
   Timer total_timer;
   MatchStats local_stats;
   internal::RunState state;
-  GPM_RETURN_NOT_OK(
-      internal::BuildRunState(q, g, options, *prep, &state, &local_stats));
+  GPM_RETURN_NOT_OK(internal::BuildRunState(q, g, options, *prep, &state,
+                                            &local_stats, filter));
 
   size_t delivered = 0;
   if (!state.proven_empty) {
@@ -366,15 +425,14 @@ Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
     context.original_pattern = &q;
     context.effective_pattern = state.effective_pattern;
     context.class_of = state.class_of;
-    context.global_bits =
-        options.dual_filter ? &state.global_bits : nullptr;
+    context.global_bits = state.global_bits;
     context.radius = state.radius;
     context.options = options;
 
     std::unordered_set<uint64_t> seen_hashes;
     BallBuilder builder(g);
     Ball ball;
-    for (NodeId w : state.centers) {
+    for (NodeId w : *state.centers) {
       auto pg = internal::ProcessCenter(context, g, w, &builder, &ball,
                                         &local_stats);
       if (!pg.has_value()) continue;
@@ -400,7 +458,8 @@ Result<std::vector<PerfectSubgraph>> MatchStrong(const Graph& q,
                                                  const Graph& g,
                                                  const MatchOptions& options,
                                                  MatchStats* stats,
-                                                 const PatternPrep* prep) {
+                                                 const PatternPrep* prep,
+                                                 const DualFilterResult* filter) {
   std::vector<PerfectSubgraph> results;
   auto delivered = MatchStrongStream(
       q, g, options,
@@ -408,7 +467,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrong(const Graph& q,
         results.push_back(std::move(pg));
         return true;
       },
-      stats, prep);
+      stats, prep, filter);
   if (!delivered.ok()) return delivered.status();
   return results;
 }

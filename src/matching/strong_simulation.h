@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/result.h"
 #include "graph/graph.h"
 #include "matching/match_relation.h"
@@ -103,6 +104,20 @@ struct MatchStats {
   double seconds_to_first_subgraph = 0;
   uint32_t pattern_diameter = 0;
   size_t minimized_pattern_size = 0;  ///< |Qm| when minimization ran
+  /// Engine serving-path counters for this run (0/1 each): whether the
+  /// global dual filter was served from the engine's memo vs recomputed.
+  /// Both stay 0 when the run bypassed the cache (filter off, caching
+  /// disabled, or a non-engine call).
+  size_t filter_cache_hits = 0;
+  size_t filter_cache_misses = 0;
+  /// Same, for the engine's materialized-result cache: a hit means this
+  /// response was served from memory and no matching ran at all (the other
+  /// counters then describe the original computing run).
+  size_t result_cache_hits = 0;
+  size_t result_cache_misses = 0;
+  /// MatchBatch only: balls this request evaluated whose construction was
+  /// shared with at least one other request of the same batch.
+  size_t balls_shared = 0;
 };
 
 /// \brief Per-pattern state reusable across data graphs: the §4.2
@@ -123,6 +138,35 @@ struct PatternPrep {
 /// (the quotient is simply unused when MatchOptions::minimize_query is
 /// off).
 Result<PatternPrep> PreparePattern(const Graph& q, bool minimize);
+
+/// \brief The memoizable product of the §4.2 global dual-simulation filter
+/// on one (pattern, data graph) pair: per-query-node candidate bitmaps
+/// over V(G) and the surviving ball centers. Unlike PatternPrep this
+/// depends on G, so it is valid exactly until G changes — the engine's
+/// per-(pattern, data) cache entry, invalidated by a data-version tick.
+struct DualFilterResult {
+  /// The global relation was not total: Θ = ∅, no balls need building.
+  bool proven_empty = false;
+  /// bits[u].Test(v): data node v dual-matches effective-pattern node u.
+  /// Indexed by the *effective* pattern (the minQ quotient when the filter
+  /// was computed with `minimize_query`). Empty when proven_empty.
+  std::vector<DynamicBitset> bits;
+  /// Data nodes matched by at least one query node, sorted — the centers
+  /// the ball loop visits (Prop 5). Empty when proven_empty.
+  std::vector<NodeId> centers;
+  /// Wall clock of the fixpoint when it was computed (a reuse costs ~0).
+  double seconds = 0;
+};
+
+/// Computes the global dual filter for (q, g), resolving the effective
+/// pattern exactly like MatchStrong with MatchOptions::dual_filter set
+/// (the minQ quotient when `minimize_query`, via `prep` when it carries
+/// one). The result can be passed back to MatchStrong / MatchStrongStream
+/// / MatchStrongParallel(Stream) as the `filter` argument to skip the
+/// fixpoint, as long as q and g are unchanged and minimize_query matches.
+Result<DualFilterResult> ComputeDualFilter(const Graph& q, const Graph& g,
+                                           bool minimize_query,
+                                           const PatternPrep* prep = nullptr);
 
 /// \brief Streaming consumer of perfect subgraphs. Return false to stop
 /// the scan early (parallel executors cancel outstanding shards; nothing
@@ -146,10 +190,14 @@ size_t CanonicalizeSubgraphs(bool dedup,
 /// (Fig. 3 / Theorem 5; cubic time). The pattern must be non-empty and
 /// connected (§2.1) — InvalidArgument otherwise. `stats` is optional.
 /// `prep`, when non-null, supplies the precomputed per-pattern state (it
-/// must come from PreparePattern on the same pattern).
+/// must come from PreparePattern on the same pattern). `filter`, when
+/// non-null and options.dual_filter is set, supplies a memoized
+/// ComputeDualFilter result for the same (q, g, options.minimize_query) —
+/// the §4.2 fixpoint is skipped and the run starts at the ball loop.
 Result<std::vector<PerfectSubgraph>> MatchStrong(
     const Graph& q, const Graph& g, const MatchOptions& options = {},
-    MatchStats* stats = nullptr, const PatternPrep* prep = nullptr);
+    MatchStats* stats = nullptr, const PatternPrep* prep = nullptr,
+    const DualFilterResult* filter = nullptr);
 
 /// MatchStrong semantics with each perfect subgraph handed to `sink`
 /// instead of materialized into Θ — perfect subgraphs can be consumed
@@ -160,7 +208,8 @@ Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
                                  const MatchOptions& options,
                                  const SubgraphSink& sink,
                                  MatchStats* stats = nullptr,
-                                 const PatternPrep* prep = nullptr);
+                                 const PatternPrep* prep = nullptr,
+                                 const DualFilterResult* filter = nullptr);
 
 /// Match with all optimizations (the paper's Match+).
 Result<std::vector<PerfectSubgraph>> MatchStrongPlus(

@@ -30,15 +30,20 @@ struct MatchContext {
 /// executors: the effective pattern (original, prep quotient, or a locally
 /// computed quotient), ball radius, global dual-filter bitmaps, and the
 /// surviving center list. Built once per (pattern, data, options) run from
-/// an optional PatternPrep; owns the storage MatchContext points into, so
-/// it must stay alive (and unmoved) for the whole run.
+/// an optional PatternPrep; owns (or, for a memoized filter, points into)
+/// the storage MatchContext uses, so both it and any reused
+/// DualFilterResult must stay alive (and unmoved) for the whole run.
 struct RunState {
   Graph qmin_storage;                  // quotient computed here if prep lacks it
   std::vector<NodeId> class_of_storage;
   const Graph* effective_pattern = nullptr;
   const std::vector<NodeId>* class_of = nullptr;  // null unless minimizing
-  std::vector<DynamicBitset> global_bits;         // dual filter, else empty
-  std::vector<NodeId> centers;
+  DualFilterResult filter_storage;     // filter computed here if not reused
+  /// Dual-filter bitmaps (storage's or a memoized caller's); null when the
+  /// filter is off.
+  const std::vector<DynamicBitset>* global_bits = nullptr;
+  std::vector<NodeId> centers_storage;  // identity list when the filter is off
+  const std::vector<NodeId>* centers = nullptr;
   uint32_t radius = 0;
   /// Dual filter proved Θ = ∅ (relation not total); skip the ball loop.
   bool proven_empty = false;
@@ -46,11 +51,15 @@ struct RunState {
 
 /// Fills `state` from the prepared pattern (diameter + optional quotient)
 /// and runs the per-(pattern, data) global dual filter when
-/// options.dual_filter is set. Updates the preprocessing fields of
-/// `stats` (diameter, minimized size, filter seconds, skipped centers).
+/// options.dual_filter is set — unless `filter` supplies a memoized
+/// ComputeDualFilter result for the same (q, g, options.minimize_query),
+/// in which case the state points into it and the fixpoint is skipped.
+/// Updates the preprocessing fields of `stats` (diameter, minimized size,
+/// filter seconds, skipped centers).
 Status BuildRunState(const Graph& q, const Graph& g,
                      const MatchOptions& options, const PatternPrep& prep,
-                     RunState* state, MatchStats* stats);
+                     RunState* state, MatchStats* stats,
+                     const DualFilterResult* filter = nullptr);
 
 /// Runs lines 2-5 of Fig. 3 for one center: ball construction, candidate
 /// selection (projection under the dual filter, label classes otherwise),
@@ -63,6 +72,15 @@ std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
                                              const Graph& g, NodeId center,
                                              BallBuilder* builder, Ball* ball,
                                              MatchStats* stats);
+
+/// The ball-reuse seam of ProcessCenter: identical pipeline, but on a ball
+/// the caller already built (Engine::MatchBatch builds each distinct
+/// (center, radius) ball once and runs this per interested request). The
+/// ball must come from BallBuilder::Build on the run's data graph with
+/// context.radius.
+std::optional<PerfectSubgraph> ProcessBall(const MatchContext& context,
+                                           const Ball& ball,
+                                           MatchStats* stats);
 
 }  // namespace gpm::internal
 

@@ -1,0 +1,389 @@
+// Randomized differential harness for the engine's serving path: whatever
+// the caches and MatchBatch do internally, every response must stay
+// byte-identical to an uncached serial Match — across Serial, Parallel,
+// and Distributed, across cold and warm caches, and across batched vs
+// lone execution. Plus the invalidation contract: a data graph replaced
+// in place is safe once TickDataVersion() is called.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/random.h"
+#include "graph/generator.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+// An engine that always computes: the differential baseline.
+Engine UncachedEngine() {
+  EngineOptions options;
+  options.prepared_cache_capacity = 0;
+  options.filter_cache_capacity = 0;
+  options.result_cache_capacity = 0;
+  return Engine(options);
+}
+
+MatchRequest Request(Algo algo, ExecPolicy policy = ExecPolicy::Serial()) {
+  MatchRequest request;
+  request.algo = algo;
+  request.policy = policy;
+  return request;
+}
+
+// Byte-level equality of two result sets: centers, radii, node/edge sets,
+// and the per-query-node relation — nothing is allowed to drift.
+void ExpectSameResults(const std::vector<PerfectSubgraph>& expected,
+                       const std::vector<PerfectSubgraph>& actual,
+                       const std::string& what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const PerfectSubgraph& e = expected[i];
+    const PerfectSubgraph& a = actual[i];
+    EXPECT_EQ(e.center, a.center) << what << " #" << i;
+    EXPECT_EQ(e.radius, a.radius) << what << " #" << i;
+    EXPECT_EQ(e.nodes, a.nodes) << what << " #" << i;
+    EXPECT_EQ(e.edges, a.edges) << what << " #" << i;
+    EXPECT_EQ(e.relation.sim, a.relation.sim) << what << " #" << i;
+  }
+}
+
+// One seeded workload: a small co-purchase-like graph plus a mix of
+// extracted (matching) and random (often non-matching) patterns.
+struct Workload {
+  Graph g;
+  std::vector<Graph> patterns;
+};
+
+Workload MakeWorkload(uint64_t seed) {
+  Workload w;
+  w.g = MakeAmazonLike(/*n=*/400, seed, /*num_labels=*/12);
+  Rng rng(seed * 977 + 11);
+  for (int i = 0; i < 2; ++i) {
+    auto q = ExtractPattern(w.g, /*nq=*/4 + i, &rng);
+    if (q.ok()) w.patterns.push_back(std::move(*q));
+  }
+  w.patterns.push_back(RandomPattern(/*nq=*/4, /*alphaq=*/1.2,
+                                     w.g.DistinctLabels(), seed * 31 + 7));
+  return w;
+}
+
+const Algo kStrongAlgos[] = {Algo::kStrong, Algo::kStrongPlus};
+
+const ExecPolicy kPolicies[] = {
+    ExecPolicy::Serial(),
+    ExecPolicy::Parallel(3),
+    ExecPolicy::Distributed({.num_sites = 3}),
+};
+
+// Cold cache, warm cache, and N-times-warm responses all equal the
+// uncached serial baseline, for every (seed, pattern, algo, policy).
+TEST(CacheEquivalenceTest, ColdAndWarmMatchUncachedSerial) {
+  for (uint64_t seed : {3u, 17u, 52u}) {
+    const Workload w = MakeWorkload(seed);
+    const Engine baseline_engine = UncachedEngine();
+    const Engine cached_engine;  // all caches on (defaults)
+    for (const Graph& pattern : w.patterns) {
+      auto baseline_q = baseline_engine.Prepare(pattern);
+      ASSERT_TRUE(baseline_q.ok());
+      auto cached_q = cached_engine.PrepareCached(pattern);
+      ASSERT_TRUE(cached_q.ok());
+      for (Algo algo : kStrongAlgos) {
+        auto baseline =
+            baseline_engine.Match(*baseline_q, w.g, Request(algo));
+        ASSERT_TRUE(baseline.ok());
+        for (const ExecPolicy& policy : kPolicies) {
+          SCOPED_TRACE("seed=" + std::to_string(seed) +
+                       " algo=" + std::to_string(static_cast<int>(algo)) +
+                       " policy=" +
+                       std::string(ExecPolicyName(policy.kind)));
+          auto cold =
+              cached_engine.Match(**cached_q, w.g, Request(algo, policy));
+          ASSERT_TRUE(cold.ok());
+          ExpectSameResults(baseline->subgraphs, cold->subgraphs, "cold");
+          for (int repeat = 0; repeat < 2; ++repeat) {
+            auto warm =
+                cached_engine.Match(**cached_q, w.g, Request(algo, policy));
+            ASSERT_TRUE(warm.ok());
+            ExpectSameResults(baseline->subgraphs, warm->subgraphs, "warm");
+          }
+        }
+      }
+    }
+    // Whatever mix of hits/misses the sweep produced, the counters add up.
+    const EngineCacheStats stats = cached_engine.cache_stats();
+    EXPECT_EQ(stats.prepared.lookups,
+              stats.prepared.hits + stats.prepared.misses);
+    EXPECT_EQ(stats.filter.lookups,
+              stats.filter.hits + stats.filter.misses);
+    EXPECT_EQ(stats.results.lookups,
+              stats.results.hits + stats.results.misses);
+    EXPECT_GT(stats.results.hits, 0u);  // the warm repeats were served
+  }
+}
+
+// MatchBatch against N lone serial Matches: every item byte-identical,
+// for a batch mixing patterns, algos, policies, radius overrides, and a
+// relation-notion item — cold and (result-cache-)warm alike.
+TEST(BatchEquivalenceTest, BatchMatchesNSingleMatches) {
+  for (uint64_t seed : {5u, 29u}) {
+    const Workload w = MakeWorkload(seed);
+    const Engine baseline_engine = UncachedEngine();
+    const Engine batch_engine;
+
+    std::vector<std::shared_ptr<const PreparedQuery>> prepared;
+    for (const Graph& pattern : w.patterns) {
+      auto pq = batch_engine.PrepareCached(pattern);
+      ASSERT_TRUE(pq.ok());
+      prepared.push_back(*pq);
+    }
+
+    std::vector<BatchItem> items;
+    for (const auto& pq : prepared) {
+      for (Algo algo : kStrongAlgos) {
+        items.push_back({pq.get(), Request(algo)});
+        items.push_back({pq.get(), Request(algo, ExecPolicy::Parallel(2))});
+      }
+      // Duplicate request (exercises in-batch ball sharing), a second
+      // radius group, a distributed item, and a relation item.
+      items.push_back({pq.get(), Request(Algo::kStrongPlus)});
+      MatchRequest radius_one = Request(Algo::kStrong);
+      radius_one.options.radius_override = 1;
+      items.push_back({pq.get(), radius_one});
+      items.push_back({pq.get(), Request(Algo::kStrongPlus,
+                                         ExecPolicy::Distributed(
+                                             {.num_sites = 2}))});
+      items.push_back({pq.get(), Request(Algo::kDualSimulation)});
+    }
+
+    for (int pass = 0; pass < 2; ++pass) {  // pass 1 is result-cache warm
+      auto responses = batch_engine.MatchBatch(w.g, items);
+      ASSERT_EQ(responses.size(), items.size());
+      for (size_t i = 0; i < items.size(); ++i) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) + " item=" +
+                     std::to_string(i) + " pass=" + std::to_string(pass));
+        auto lone = baseline_engine.Match(*items[i].query, w.g,
+                                          items[i].request);
+        ASSERT_EQ(lone.ok(), responses[i].ok());
+        if (!lone.ok()) continue;
+        ExpectSameResults(lone->subgraphs, responses[i]->subgraphs, "batch");
+        EXPECT_EQ(lone->matched, responses[i]->matched);
+        EXPECT_EQ(lone->relation.sim, responses[i]->relation.sim);
+        EXPECT_EQ(lone->stats.subgraphs_found,
+                  responses[i]->stats.subgraphs_found);
+        EXPECT_EQ(lone->stats.duplicates_removed,
+                  responses[i]->stats.duplicates_removed);
+      }
+    }
+  }
+}
+
+// In-batch sharing is real: duplicated strong+ requests report shared
+// ball construction.
+TEST(BatchEquivalenceTest, DuplicateItemsShareBalls) {
+  const Workload w = MakeWorkload(19);
+  ASSERT_FALSE(w.patterns.empty());
+  EngineOptions no_result_cache;
+  no_result_cache.result_cache_capacity = 0;
+  const Engine engine(no_result_cache);
+  auto pq = engine.PrepareCached(w.patterns[0]);
+  ASSERT_TRUE(pq.ok());
+  std::vector<BatchItem> items(3,
+                               {pq->get(), Request(Algo::kStrongPlus)});
+  auto responses = engine.MatchBatch(w.g, items);
+  size_t shared = 0;
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.ok());
+    shared += response->stats.balls_shared;
+  }
+  if (!responses[0]->subgraphs.empty()) {
+    EXPECT_GT(shared, 0u);
+  }
+}
+
+// The invalidation contract: replacing the data graph *in place* (same
+// object, same node/edge counts — only the instance_id distinguishes the
+// two) serves fresh answers, never the stale memo; TickDataVersion()
+// additionally re-keys everything at once.
+TEST(CacheInvalidationTest, TickDataVersionAfterInPlaceMutation) {
+  const Graph pattern = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}, {2, 0}});
+  // Same labels and counts; only `with` contains the closed triangle.
+  const Graph with = MakeGraph({1, 2, 3, 1, 2, 3},
+                               {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}});
+  const Graph without = MakeGraph({1, 2, 3, 1, 2, 3},
+                                  {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  ASSERT_EQ(with.num_nodes(), without.num_nodes());
+  ASSERT_EQ(with.num_edges(), without.num_edges());
+
+  const Engine engine;
+  auto pq = engine.Prepare(pattern);
+  ASSERT_TRUE(pq.ok());
+  const MatchRequest request = Request(Algo::kStrongPlus);
+
+  Graph g = with;
+  auto first = engine.Match(*pq, g, request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->matched);
+  // Warm the caches on this (pattern, g) identity.
+  auto warmed = engine.Match(*pq, g, request);
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_EQ(warmed->stats.result_cache_hits, 1u);
+
+  g = without;  // same Graph object: identical address, counts
+  // No tick needed: the replacement carries its own instance_id, so the
+  // stale memo is unreachable already.
+  auto after = engine.Match(*pq, g, request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->stats.result_cache_hits, 0u);
+  EXPECT_FALSE(after->matched);  // the triangle is gone
+
+  auto baseline = UncachedEngine().Match(pattern, g, request);
+  ASSERT_TRUE(baseline.ok());
+  ExpectSameResults(baseline->subgraphs, after->subgraphs, "post-replace");
+
+  // The coarse switch on top: a tick re-keys even untouched entries, so
+  // the next call recomputes (and still agrees).
+  const uint64_t version_before = engine.cache_stats().data_version;
+  engine.TickDataVersion();
+  EXPECT_EQ(engine.cache_stats().data_version, version_before + 1);
+  auto post_tick = engine.Match(*pq, g, request);
+  ASSERT_TRUE(post_tick.ok());
+  EXPECT_EQ(post_tick->stats.result_cache_hits, 0u);
+  ExpectSameResults(baseline->subgraphs, post_tick->subgraphs, "post-tick");
+}
+
+// Distinct data graphs never need a tick: identity (address) already
+// separates them.
+TEST(CacheInvalidationTest, DistinctGraphsDoNotCollide) {
+  const Graph pattern = MakeGraph({1, 2}, {{0, 1}});
+  const Graph g1 = MakeGraph({1, 2, 2}, {{0, 1}, {0, 2}});
+  const Graph g2 = MakeGraph({1, 2, 2}, {{0, 1}, {1, 2}});
+  const Engine engine;
+  auto pq = engine.Prepare(pattern);
+  ASSERT_TRUE(pq.ok());
+  const MatchRequest request = Request(Algo::kStrongPlus);
+  auto r1a = engine.Match(*pq, g1, request);
+  auto r2 = engine.Match(*pq, g2, request);
+  auto r1b = engine.Match(*pq, g1, request);
+  ASSERT_TRUE(r1a.ok() && r2.ok() && r1b.ok());
+  ExpectSameResults(r1a->subgraphs, r1b->subgraphs, "same graph");
+  auto baseline2 = UncachedEngine().Match(pattern, g2, request);
+  ASSERT_TRUE(baseline2.ok());
+  ExpectSameResults(baseline2->subgraphs, r2->subgraphs, "other graph");
+}
+
+// Many threads sharing one engine (and its caches) against one workload:
+// every response equals the baseline, no crashes, counters add up. Run
+// under TSAN to verify the cache locking.
+TEST(CacheConcurrencyTest, ConcurrentMatchesShareOneEngine) {
+  const Workload w = MakeWorkload(41);
+  ASSERT_GE(w.patterns.size(), 2u);
+  const Engine baseline_engine = UncachedEngine();
+  const Engine engine;
+
+  std::vector<std::vector<PerfectSubgraph>> baselines;
+  for (const Graph& pattern : w.patterns) {
+    auto response =
+        baseline_engine.Match(pattern, w.g, Request(Algo::kStrongPlus));
+    ASSERT_TRUE(response.ok());
+    baselines.push_back(response->subgraphs);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 5;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const size_t which = (t + round) % w.patterns.size();
+        auto pq = engine.PrepareCached(w.patterns[which]);
+        if (!pq.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto response =
+            engine.Match(**pq, w.g, Request(Algo::kStrongPlus));
+        if (!response.ok() ||
+            response->subgraphs.size() != baselines[which].size()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < baselines[which].size(); ++i) {
+          if (!response->subgraphs[i].SameSubgraph(baselines[which][i])) {
+            failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const EngineCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.prepared.lookups,
+            stats.prepared.hits + stats.prepared.misses);
+  EXPECT_EQ(stats.results.lookups,
+            stats.results.hits + stats.results.misses);
+}
+
+// Capacity-1 engine caches thrash correctly: alternating patterns through
+// one-slot caches keep evicting each other and answers stay right.
+TEST(CacheConcurrencyTest, CapacityOneEngineCachesThrash) {
+  const Workload w = MakeWorkload(23);
+  ASSERT_GE(w.patterns.size(), 2u);
+  EngineOptions tiny;
+  tiny.prepared_cache_capacity = 1;
+  tiny.filter_cache_capacity = 1;
+  tiny.result_cache_capacity = 1;
+  const Engine engine(tiny);
+  const Engine baseline_engine = UncachedEngine();
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < 2; ++i) {
+      auto pq = engine.PrepareCached(w.patterns[i]);
+      ASSERT_TRUE(pq.ok());
+      auto response = engine.Match(**pq, w.g, Request(Algo::kStrongPlus));
+      ASSERT_TRUE(response.ok());
+      auto baseline =
+          baseline_engine.Match(w.patterns[i], w.g, Request(Algo::kStrongPlus));
+      ASSERT_TRUE(baseline.ok());
+      ExpectSameResults(baseline->subgraphs, response->subgraphs, "thrash");
+    }
+  }
+  const EngineCacheStats stats = engine.cache_stats();
+  EXPECT_GT(stats.prepared.evictions, 0u);
+  EXPECT_EQ(stats.prepared.lookups,
+            stats.prepared.hits + stats.prepared.misses);
+}
+
+// Streaming (sink) calls bypass the result cache: they must deliver the
+// dedup'd set even right after a materialized answer was cached.
+TEST(CacheEquivalenceTest, StreamingStillDeliversAfterResultCached) {
+  const Workload w = MakeWorkload(61);
+  ASSERT_FALSE(w.patterns.empty());
+  const Engine engine;
+  auto pq = engine.PrepareCached(w.patterns[0]);
+  ASSERT_TRUE(pq.ok());
+  auto batch = engine.Match(**pq, w.g, Request(Algo::kStrongPlus));
+  ASSERT_TRUE(batch.ok());
+
+  std::vector<PerfectSubgraph> streamed;
+  auto stream = engine.Match(**pq, w.g, Request(Algo::kStrongPlus),
+                             [&streamed](PerfectSubgraph&& pg) {
+                               streamed.push_back(std::move(pg));
+                               return true;
+                             });
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->stats.result_cache_hits, 0u);
+  ExpectSameResults(batch->subgraphs, streamed, "stream-after-cache");
+}
+
+}  // namespace
+}  // namespace gpm

@@ -241,5 +241,64 @@ TEST(AlgoNamesTest, LegacyParallelSpellingMapsToStrongPlusParallel) {
   EXPECT_EQ(request->policy.kind, ExecPolicy::Kind::kParallel);
 }
 
+// A NotImplemented (algorithm, policy) rejection must name the exact
+// combination: CLI users read this message to know which flag to change.
+TEST(EngineTest, NotImplementedNamesTheAlgorithmAndPolicy) {
+  Engine engine;
+  const Graph g = TriangleData();
+  auto prepared = engine.Prepare(TrianglePattern());
+  ASSERT_TRUE(prepared.ok());
+
+  for (Algo algo :
+       {Algo::kSimulation, Algo::kDualSimulation, Algo::kBoundedSimulation}) {
+    auto response = engine.Match(*prepared, g,
+                                 Request(algo, ExecPolicy::Distributed()));
+    ASSERT_FALSE(response.ok());
+    EXPECT_TRUE(response.status().IsNotImplemented());
+    const std::string message = response.status().message();
+    EXPECT_NE(message.find(AlgoName(algo)), std::string::npos) << message;
+    EXPECT_NE(message.find("distributed"), std::string::npos) << message;
+    // And a way out: the message points at the policies that do work.
+    EXPECT_NE(message.find("ExecPolicy::Serial"), std::string::npos)
+        << message;
+  }
+
+  RegexQuery regex(TrianglePattern());
+  auto regex_prepared = engine.Prepare(std::move(regex));
+  ASSERT_TRUE(regex_prepared.ok());
+  auto response = engine.Match(
+      *regex_prepared, g,
+      Request(Algo::kRegexStrong, ExecPolicy::Distributed()));
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsNotImplemented());
+  const std::string message = response.status().message();
+  EXPECT_NE(message.find(AlgoName(Algo::kRegexStrong)), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("distributed"), std::string::npos) << message;
+}
+
+TEST(EngineTest, PrepareCachedReturnsSharedCompiledQueries) {
+  Engine engine;
+  const Graph q1 = TrianglePattern();
+  // Content-equal but separately built pattern: must hit the same entry.
+  const Graph q2 = TrianglePattern();
+
+  auto first = engine.PrepareCached(q1);
+  ASSERT_TRUE(first.ok());
+  auto second = engine.PrepareCached(q2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // literally the same object
+
+  const EngineCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.prepared.lookups, 2u);
+  EXPECT_EQ(stats.prepared.hits, 1u);
+  EXPECT_EQ(stats.prepared.misses, 1u);
+
+  // Same validation as Prepare.
+  Graph empty;
+  empty.Finalize();
+  EXPECT_FALSE(engine.PrepareCached(empty).ok());
+}
+
 }  // namespace
 }  // namespace gpm

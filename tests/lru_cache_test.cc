@@ -1,0 +1,121 @@
+// LruCache semantics the engine's serving path leans on: LRU order and
+// eviction, capacity-1 thrash, the disabled (capacity-0) mode, pointer
+// stability across eviction/Clear, stats monotonicity
+// (hits + misses == lookups), and mutex-level thread safety.
+
+#include "common/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gpm {
+namespace {
+
+TEST(LruCacheTest, GetReturnsWhatPutStored) {
+  LruCache<int, std::string> cache(4);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Put(1, "one");
+  auto hit = cache.Get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "one");
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  ASSERT_NE(cache.Get(1), nullptr);  // refresh 1; 2 is now LRU
+  cache.Put(3, 30);                  // evicts 2
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_EQ(cache.Stats().entries, 2u);
+}
+
+TEST(LruCacheTest, PutOverwritesInPlace) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(1, 11);
+  EXPECT_EQ(*cache.Get(1), 11);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  EXPECT_EQ(cache.Stats().evictions, 0u);
+}
+
+TEST(LruCacheTest, CapacityOneThrash) {
+  // Alternating keys through a one-slot cache: every Get misses, every
+  // Put evicts, and nothing ever corrupts — the degenerate serving setup.
+  LruCache<int, int> cache(1);
+  for (int round = 0; round < 100; ++round) {
+    const int key = round % 2;
+    EXPECT_EQ(cache.Get(key), nullptr) << "round " << round;
+    auto stored = cache.Put(key, round);
+    EXPECT_EQ(*stored, round);
+    auto hit = cache.Get(key);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, round);
+  }
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 99u);  // every Put after the first evicts
+  EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+  EXPECT_EQ(stats.hits, 100u);
+  EXPECT_EQ(stats.misses, 100u);
+}
+
+TEST(LruCacheTest, CapacityZeroDisables) {
+  LruCache<int, int> cache(0);
+  auto stored = cache.Put(1, 10);
+  ASSERT_NE(stored, nullptr);  // caller still gets a usable pointer
+  EXPECT_EQ(*stored, 10);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().inserts, 0u);
+}
+
+TEST(LruCacheTest, PointersSurviveEvictionAndClear) {
+  LruCache<int, std::string> cache(1);
+  auto held = cache.Put(1, "held");
+  cache.Put(2, "evictor");  // evicts key 1
+  cache.Clear();
+  EXPECT_EQ(*held, "held");  // outstanding pointer unaffected
+  EXPECT_EQ(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, StatsMonotonicityUnderConcurrentTraffic) {
+  // 8 threads hammer 32 keys through an 8-slot cache: mixed hits, misses,
+  // evictions. The invariant hits + misses == lookups must hold exactly,
+  // and every hit must carry the value its key was stored with.
+  LruCache<int, int> cache(8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 5000;
+  std::atomic<int> wrong_values{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &wrong_values, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = (t * 7 + i * 13) % 32;
+        if (auto hit = cache.Get(key)) {
+          if (*hit != key * 100) wrong_values.fetch_add(1);
+        } else {
+          cache.Put(key, key * 100);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong_values.load(), 0);
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+  EXPECT_EQ(stats.lookups,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(stats.entries, 8u);
+}
+
+}  // namespace
+}  // namespace gpm

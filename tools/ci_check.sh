@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Pre-merge gate: build, fast tests, and the serving-path perf regression
+# check against the committed BENCH snapshot.
+#
+#   tools/ci_check.sh            # fast gate (default)
+#   GPM_CI_SLOW=1 tools/ci_check.sh   # also run the slow-labeled suites
+#   GPM_CI_UPDATE_BASELINE=1 tools/ci_check.sh   # refresh the snapshot
+#
+# The perf gate compares bench/serving_path against
+# bench_baselines/serving_path/BENCH_serving_path.json via
+# tools/bench_trend.py --fail-on-regression. Wall-clock thresholds are
+# machine-dependent, so the gate uses a generous 50% threshold: it exists
+# to catch the serving path falling off a cliff (a cache stops hitting, a
+# batch stops sharing), not 5% jitter.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${GPM_BUILD_DIR:-build}"
+BASELINE_DIR="bench_baselines/serving_path"
+SNAPSHOT_DIR="$BUILD_DIR/bench_json_ci"
+
+echo "== configure + build =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j >/dev/null
+
+echo "== fast tests (ctest -L fast) =="
+ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j "$(nproc)"
+
+if [[ "${GPM_CI_SLOW:-0}" == "1" ]]; then
+  echo "== slow tests (ctest -L slow) =="
+  ctest --test-dir "$BUILD_DIR" -L slow --output-on-failure -j "$(nproc)"
+fi
+
+echo "== serving-path bench =="
+rm -rf "$SNAPSHOT_DIR" && mkdir -p "$SNAPSHOT_DIR"
+(cd "$SNAPSHOT_DIR" && "../../$BUILD_DIR/bench/serving_path" > serving_path.log) || {
+  cat "$SNAPSHOT_DIR/serving_path.log"
+  echo "ci_check: serving_path bench failed" >&2
+  exit 1
+}
+# The bench's own SHAPE-CHECK lines double as correctness gates.
+if grep -q "\[MISS\]" "$SNAPSHOT_DIR/serving_path.log"; then
+  cat "$SNAPSHOT_DIR/serving_path.log"
+  echo "ci_check: serving_path SHAPE-CHECK miss" >&2
+  exit 1
+fi
+
+if [[ "${GPM_CI_UPDATE_BASELINE:-0}" == "1" ]]; then
+  mkdir -p "$BASELINE_DIR"
+  cp "$SNAPSHOT_DIR"/BENCH_serving_path.json "$BASELINE_DIR/"
+  echo "ci_check: baseline refreshed in $BASELINE_DIR"
+elif [[ -d "$BASELINE_DIR" ]]; then
+  echo "== bench trend vs $BASELINE_DIR =="
+  python3 tools/bench_trend.py --threshold 50 --fail-on-regression \
+    "$BASELINE_DIR" "$SNAPSHOT_DIR"
+else
+  echo "ci_check: no baseline in $BASELINE_DIR (run with" \
+       "GPM_CI_UPDATE_BASELINE=1 to create one)"
+fi
+
+echo "ci_check: OK"
