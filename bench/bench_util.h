@@ -40,6 +40,7 @@ inline Engine MeasurementEngine() {
   EngineOptions options;
   options.prepared_cache_capacity = 0;
   options.filter_cache_capacity = 0;
+  options.regex_filter_cache_capacity = 0;
   options.result_cache_capacity = 0;
   return Engine(options);
 }

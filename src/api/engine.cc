@@ -25,18 +25,20 @@
 namespace gpm {
 
 /// The shared, thread-safe serving-path state behind every copy of one
-/// Engine: the three LRU caches plus the data-version counter that keys
+/// Engine: the four LRU caches plus the data-version counter that keys
 /// the data-dependent memos (see engine_cache.h for the invalidation
 /// contract).
 struct Engine::CacheState {
   CacheState(size_t prepared_capacity, size_t filter_capacity,
-             size_t result_capacity)
+             size_t regex_filter_capacity, size_t result_capacity)
       : prepared(prepared_capacity),
         filter(filter_capacity),
+        regex_filter(regex_filter_capacity),
         results(result_capacity) {}
 
   PreparedQueryCache prepared;
   DualFilterCache filter;
+  RegexFilterCache regex_filter;
   MatchResultCache results;
   std::atomic<uint64_t> data_version{0};
 };
@@ -45,9 +47,10 @@ Engine::Engine() : Engine(EngineOptions{}) {}
 
 Engine::Engine(EngineOptions options)
     : options_(options),
-      caches_(std::make_shared<CacheState>(options.prepared_cache_capacity,
-                                           options.filter_cache_capacity,
-                                           options.result_cache_capacity)) {}
+      caches_(std::make_shared<CacheState>(
+          options.prepared_cache_capacity, options.filter_cache_capacity,
+          options.regex_filter_cache_capacity,
+          options.result_cache_capacity)) {}
 
 void Engine::TickDataVersion() const {
   caches_->data_version.fetch_add(1, std::memory_order_acq_rel);
@@ -57,6 +60,7 @@ EngineCacheStats Engine::cache_stats() const {
   EngineCacheStats out;
   out.prepared = caches_->prepared.Stats();
   out.filter = caches_->filter.Stats();
+  out.regex_filter = caches_->regex_filter.Stats();
   out.results = caches_->results.Stats();
   out.data_version = caches_->data_version.load(std::memory_order_acquire);
   return out;
@@ -156,7 +160,10 @@ Result<PreparedQuery> Engine::Prepare(RegexQuery regex) const {
     return Status::InvalidArgument("pattern graph is empty");
   PreparedQuery query;
   query.pattern_ = regex.pattern();
-  query.fingerprint_ = regex.pattern().ContentHash();
+  // The constraint-aware hash: regex cache entries (result cache,
+  // regex-filter memo) must re-key when a constraint changes, and must
+  // never collide with the plain pattern graph's entries.
+  query.fingerprint_ = regex.ContentHash();
   if (IsConnected(query.pattern_)) {
     query.regex_radius_ =
         DefaultRegexRadius(regex, options_.regex_unbounded_cap);
@@ -211,6 +218,34 @@ Status Engine::LookupFilter(const PreparedQuery& query, const Graph& g,
                                          options.minimize_query,
                                          &query.prep()));
   memo->filter = caches_->filter.Put(key, std::move(computed));
+  memo->miss = true;
+  return Status::OK();
+}
+
+Status Engine::LookupRegexFilter(const PreparedQuery& query, const Graph& g,
+                                 ExecPolicy::Kind kind,
+                                 FilterMemo* memo) const {
+  // Same scope as the dual-filter memo: in-process executors only —
+  // Distributed sites build their own per-fragment state — and nothing to
+  // do when the regex filter layer is disabled (the run then scans every
+  // label-matching center, like a direct MatchStrongRegex).
+  if (kind == ExecPolicy::Kind::kDistributed ||
+      caches_->regex_filter.capacity() == 0) {
+    return Status::OK();
+  }
+  DualFilterKey key;
+  key.pattern_fingerprint = query.fingerprint();
+  key.minimize_query = false;  // regex runs never minimize
+  key.data_graph_id = g.instance_id();
+  key.data_version = caches_->data_version.load(std::memory_order_acquire);
+  memo->filter = caches_->regex_filter.Get(key);
+  if (memo->filter != nullptr) {
+    memo->hit = true;
+    return Status::OK();
+  }
+  GPM_ASSIGN_OR_RETURN(DualFilterResult computed,
+                       ComputeRegexFilter(query.regex(), g));
+  memo->filter = caches_->regex_filter.Put(key, std::move(computed));
   memo->miss = true;
   return Status::OK();
 }
@@ -290,16 +325,110 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
 
   if (request.algo == Algo::kRegexStrong) {
     if (!query.strong_status().ok()) return query.strong_status();
-    if (request.policy.kind == ExecPolicy::Kind::kDistributed) {
-      return Status::NotImplemented(
-          std::string("algorithm '") + AlgoName(request.algo) +
-          "' has no distributed executor yet; rerun it under "
-          "ExecPolicy::Serial or ExecPolicy::Parallel");
+    // Same serving path as the plain strong family: result cache for
+    // exact repeats (request.options are ignored by regex runs, so the
+    // key carries the defaults — requests differing only in ignored
+    // knobs share one entry), regex-filter memo for warm starts.
+    std::optional<MatchResultKey> result_key;
+    if (sink == nullptr &&
+        request.policy.kind != ExecPolicy::Kind::kDistributed &&
+        caches_->results.capacity() > 0) {
+      result_key = MakeResultKey(
+          query.fingerprint(), MatchOptions{}, request.policy, &g,
+          caches_->data_version.load(std::memory_order_acquire));
+      if (auto hit = caches_->results.Get(*result_key)) {
+        response.subgraphs = hit->subgraphs;
+        response.stats = hit->stats;
+        response.stats.result_cache_hits = 1;
+        response.stats.result_cache_misses = 0;
+        response.stats.filter_cache_hits = 0;
+        response.stats.filter_cache_misses = 0;
+        response.subgraphs_delivered = response.subgraphs.size();
+        response.matched = !response.subgraphs.empty();
+        response.seconds = timer.Seconds();
+        response.stats.total_seconds = response.seconds;
+        return response;
+      }
     }
-    // No parallel regex executor either; Parallel degrades to one core.
-    GPM_ASSIGN_OR_RETURN(
-        response.subgraphs,
-        MatchStrongRegex(query.regex(), g, query.regex_radius()));
+    FilterMemo memo;
+    GPM_RETURN_NOT_OK(
+        LookupRegexFilter(query, g, request.policy.kind, &memo));
+    const DualFilterResult* filter = memo.filter.get();
+    const auto annotate = [&memo](MatchStats* stats) {
+      stats->filter_cache_hits = memo.hit ? 1 : 0;
+      stats->filter_cache_misses = memo.miss ? 1 : 0;
+      // A miss paid the global regex fixpoint while filling the cache;
+      // put that cost back on this call's ledger (see LookupFilter).
+      if (memo.miss) {
+        stats->global_filter_seconds = memo.filter->seconds;
+        stats->total_seconds += memo.filter->seconds;
+      }
+    };
+    const uint32_t radius = query.regex_radius();
+    switch (request.policy.kind) {
+      case ExecPolicy::Kind::kSerial: {
+        if (sink != nullptr) {
+          GPM_ASSIGN_OR_RETURN(
+              response.subgraphs_delivered,
+              MatchStrongRegexStream(query.regex(), g, radius, *sink,
+                                     &response.stats, filter));
+          annotate(&response.stats);
+          response.matched = response.subgraphs_delivered > 0;
+          response.seconds = timer.Seconds();
+          return response;
+        }
+        GPM_ASSIGN_OR_RETURN(response.subgraphs,
+                             MatchStrongRegex(query.regex(), g, radius,
+                                              &response.stats, filter));
+        break;
+      }
+      case ExecPolicy::Kind::kParallel: {
+        if (sink != nullptr) {
+          GPM_ASSIGN_OR_RETURN(
+              response.subgraphs_delivered,
+              MatchStrongRegexParallelStream(query.regex(), g, radius,
+                                             request.policy.num_threads,
+                                             *sink, &response.stats, filter));
+          annotate(&response.stats);
+          response.matched = response.subgraphs_delivered > 0;
+          response.seconds = timer.Seconds();
+          return response;
+        }
+        GPM_ASSIGN_OR_RETURN(
+            response.subgraphs,
+            MatchStrongRegexParallel(query.regex(), g, radius,
+                                     request.policy.num_threads,
+                                     &response.stats, filter));
+        break;
+      }
+      case ExecPolicy::Kind::kDistributed: {
+        if (sink != nullptr) {
+          GPM_ASSIGN_OR_RETURN(
+              response.subgraphs_delivered,
+              MatchStrongRegexDistributedStream(query.regex(), g, radius,
+                                                request.policy.distributed,
+                                                *sink,
+                                                &response.distributed));
+          response.stats.seconds_to_first_subgraph =
+              response.distributed.seconds_to_first_result;
+          response.matched = response.subgraphs_delivered > 0;
+          response.seconds = timer.Seconds();
+          return response;
+        }
+        GPM_ASSIGN_OR_RETURN(
+            response.subgraphs,
+            MatchStrongRegexDistributed(query.regex(), g, radius,
+                                        request.policy.distributed,
+                                        &response.distributed));
+        break;
+      }
+    }
+    annotate(&response.stats);
+    if (result_key.has_value()) {
+      response.stats.result_cache_misses = 1;
+      caches_->results.Put(*result_key,
+                           {response.subgraphs, response.stats});
+    }
   } else {
     if (!query.strong_status().ok()) return query.strong_status();
     const MatchOptions options = EffectiveOptions(request);
@@ -434,7 +563,11 @@ namespace {
 // Per-request state of one batched strong-family item: its run state
 // (centers, radius, memoized filter), the centers-wanted mask the shared
 // ball loop consults, and the accumulators it writes into. Lives at a
-// stable address once BuildRunState ran (RunState is self-referential).
+// stable address once BuildRunState ran (the run states are
+// self-referential). Plain strong and regex items differ only in which
+// run state is built and which per-ball pipeline Process dispatches to —
+// the shared ball loop treats them uniformly, so a regex item whose
+// weighted radius equals a plain item's diameter shares its balls.
 struct BatchPlan {
   size_t index = 0;  // position in the batch / output vector
   MatchOptions options;
@@ -443,13 +576,29 @@ struct BatchPlan {
   bool memo_hit = false;
   bool memo_miss = false;
   bool dead = false;  // BuildRunState failed; response already written
+  bool is_regex = false;
   internal::RunState state;
   internal::MatchContext context;
+  internal::RegexRunState regex_state;
   DynamicBitset wants;  // over V(g): centers this request visits
   bool parallel = false;
   size_t threads = 0;
   std::vector<PerfectSubgraph> raw;
   MatchResponse response;
+
+  // The per-ball pipeline of this item on one shared prebuilt ball.
+  std::optional<PerfectSubgraph> Process(const Ball& ball,
+                                         MatchStats* stats) const {
+    return is_regex
+               ? internal::ProcessRegexBall(regex_state.context, ball, stats)
+               : internal::ProcessBall(context, ball, stats);
+  }
+
+  // The centers this plan's ball loop visits (valid once its run state
+  // is built and not proven empty).
+  const std::vector<NodeId>& Centers() const {
+    return is_regex ? *regex_state.centers : *state.centers;
+  }
 };
 
 // Number of batch plans that visit center c — a ball shared by >1 of them
@@ -478,8 +627,7 @@ void RunBatchGroupSerial(const Graph& g, uint32_t radius,
     for (BatchPlan* plan : group) {
       if (!plan->wants.Test(center)) continue;
       if (interested > 1) ++plan->response.stats.balls_shared;
-      auto pg = internal::ProcessBall(plan->context, ball,
-                                      &plan->response.stats);
+      auto pg = plan->Process(ball, &plan->response.stats);
       if (!pg.has_value()) continue;
       if (plan->raw.empty()) {
         plan->response.stats.seconds_to_first_subgraph =
@@ -525,8 +673,7 @@ void RunBatchGroupParallel(const Graph& g, uint32_t radius,
           for (size_t p = 0; p < group.size(); ++p) {
             if (!group[p]->wants.Test(center)) continue;
             if (interested > 1) ++shard_stats[s][p].balls_shared;
-            auto pg = internal::ProcessBall(group[p]->context, ball,
-                                            &shard_stats[s][p]);
+            auto pg = group[p]->Process(ball, &shard_stats[s][p]);
             // Push cannot fail here: a batch has no early stop, so the
             // drainer never cancels and Close happens only after the
             // last producer exits.
@@ -583,10 +730,10 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
   std::vector<BatchPlan> plans;
   plans.reserve(items.size());
 
-  // Split the batch: strong-family Serial/Parallel items join the shared
-  // ball loop; everything else (relation notions, regex, Distributed,
-  // invalid combinations) runs exactly as a lone Match would — Theorem 1
-  // keeps the answers identical either way.
+  // Split the batch: strong-family Serial/Parallel items — plain and
+  // regex alike — join the shared ball loop; everything else (relation
+  // notions, Distributed, invalid combinations) runs exactly as a lone
+  // Match would — Theorem 1 keeps the answers identical either way.
   for (size_t i = 0; i < items.size(); ++i) {
     const BatchItem& item = items[i];
     if (item.query == nullptr) {
@@ -594,9 +741,13 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
       continue;
     }
     const MatchRequest& request = item.request;
-    const bool batchable =
+    const bool plain_strong =
         (request.algo == Algo::kStrong || request.algo == Algo::kStrongPlus) &&
-        !item.query->has_regex() && item.query->strong_status().ok() &&
+        !item.query->has_regex();
+    const bool regex_strong =
+        request.algo == Algo::kRegexStrong && item.query->has_regex();
+    const bool batchable =
+        (plain_strong || regex_strong) && item.query->strong_status().ok() &&
         request.policy.kind != ExecPolicy::Kind::kDistributed;
     if (!batchable) {
       out[i] = Dispatch(*item.query, g, request, nullptr);
@@ -604,7 +755,10 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     }
     BatchPlan plan;
     plan.index = i;
-    plan.options = EffectiveOptions(request);
+    plan.is_regex = regex_strong;
+    // Regex runs ignore request.options (same rule as lone Dispatch, so
+    // the result-cache key below matches the lone Match's).
+    plan.options = regex_strong ? MatchOptions{} : EffectiveOptions(request);
     // An exactly repeated request is served from the result cache — same
     // contract as a lone Match (batch items are non-streaming and
     // non-distributed by the batchable definition above).
@@ -630,7 +784,10 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     }
     FilterMemo memo;
     const Status looked =
-        LookupFilter(*item.query, g, plan.options, request.policy.kind, &memo);
+        plan.is_regex
+            ? LookupRegexFilter(*item.query, g, request.policy.kind, &memo)
+            : LookupFilter(*item.query, g, plan.options, request.policy.kind,
+                           &memo);
     if (!looked.ok()) {
       out[i] = looked;
       continue;
@@ -646,28 +803,47 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
   }
 
   // Build run states at the plans' final addresses and group by radius —
-  // balls are shareable exactly within one (center, radius) space.
+  // balls are shareable exactly within one (center, radius) space, so a
+  // regex plan lands in the same group as plain plans whose diameter
+  // equals its weighted radius.
   std::map<uint32_t, std::vector<BatchPlan*>> by_radius;
   for (BatchPlan& plan : plans) {
     const BatchItem& item = items[plan.index];
-    const Status built = internal::BuildRunState(
-        item.query->pattern(), g, plan.options, item.query->prep(),
-        &plan.state, &plan.response.stats, plan.memo.get());
-    if (!built.ok()) {
-      out[plan.index] = built;
-      plan.dead = true;
-      continue;
+    uint32_t plan_radius = 0;
+    if (plan.is_regex) {
+      const Status built = internal::BuildRegexRunState(
+          item.query->regex(), g, item.query->regex_radius(),
+          plan.memo.get(), &plan.regex_state, &plan.response.stats);
+      if (!built.ok()) {
+        out[plan.index] = built;
+        plan.dead = true;
+        continue;
+      }
+      if (plan.regex_state.proven_empty) continue;  // finalized below
+      plan_radius = plan.regex_state.context.radius;
+      plan.wants = DynamicBitset(g.num_nodes());
+      for (NodeId center : *plan.regex_state.centers) plan.wants.Set(center);
+    } else {
+      const Status built = internal::BuildRunState(
+          item.query->pattern(), g, plan.options, item.query->prep(),
+          &plan.state, &plan.response.stats, plan.memo.get());
+      if (!built.ok()) {
+        out[plan.index] = built;
+        plan.dead = true;
+        continue;
+      }
+      if (plan.state.proven_empty) continue;  // finalized below, no balls
+      plan.context.original_pattern = &item.query->pattern();
+      plan.context.effective_pattern = plan.state.effective_pattern;
+      plan.context.class_of = plan.state.class_of;
+      plan.context.global_bits = plan.state.global_bits;
+      plan.context.radius = plan.state.radius;
+      plan.context.options = plan.options;
+      plan_radius = plan.state.radius;
+      plan.wants = DynamicBitset(g.num_nodes());
+      for (NodeId center : *plan.state.centers) plan.wants.Set(center);
     }
-    if (plan.state.proven_empty) continue;  // finalized below, no balls
-    plan.context.original_pattern = &item.query->pattern();
-    plan.context.effective_pattern = plan.state.effective_pattern;
-    plan.context.class_of = plan.state.class_of;
-    plan.context.global_bits = plan.state.global_bits;
-    plan.context.radius = plan.state.radius;
-    plan.context.options = plan.options;
-    plan.wants = DynamicBitset(g.num_nodes());
-    for (NodeId center : *plan.state.centers) plan.wants.Set(center);
-    by_radius[plan.state.radius].push_back(&plan);
+    by_radius[plan_radius].push_back(&plan);
   }
 
   for (auto& [radius, group] : by_radius) {
@@ -675,11 +851,11 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     // keeps its serial center order).
     std::vector<NodeId> merged;
     size_t total = 0;
-    for (const BatchPlan* plan : group) total += plan->state.centers->size();
+    for (const BatchPlan* plan : group) total += plan->Centers().size();
     merged.reserve(total);
     for (const BatchPlan* plan : group) {
-      merged.insert(merged.end(), plan->state.centers->begin(),
-                    plan->state.centers->end());
+      merged.insert(merged.end(), plan->Centers().begin(),
+                    plan->Centers().end());
     }
     std::sort(merged.begin(), merged.end());
     merged.erase(std::unique(merged.begin(), merged.end()), merged.end());

@@ -20,10 +20,11 @@
 // Execution policies: Serial and Parallel{threads} cover every algorithm
 // (the relation notions are single-worklist algorithms, so Parallel simply
 // runs them on one core — accepted for call-shape uniformity).
-// Distributed{partition} covers the strong family only: plain simulation
-// has no data locality (Example 7), so the paper's §4.3 scheme cannot
-// evaluate it and the engine reports NotImplemented rather than silently
-// reassembling the graph.
+// Distributed{partition} covers the strong family only — including
+// kRegexStrong, whose ball locality carries over to weighted-radius
+// balls: plain simulation has no data locality (Example 7), so the
+// paper's §4.3 scheme cannot evaluate it and the engine reports
+// NotImplemented rather than silently reassembling the graph.
 //
 // Streaming: the sink overload hands each perfect subgraph to a
 // SubgraphSink as the ball loop produces it, so Θ is never materialized.
@@ -34,8 +35,9 @@
 //     subgraph off through a bounded queue as its ball completes, and
 //     Distributed ships each over the MessageBus as its fragment produces
 //     it — both therefore deliver in completion order, which varies run to
-//     run while the delivered *set* does not (Theorem 1). Only kRegexStrong
-//     still materializes before draining (no streaming executor yet).
+//     run while the delivered *set* does not (Theorem 1). kRegexStrong
+//     streams through the same three paths (its balls just use the
+//     weighted regex radius).
 //   - The sink is invoked by one thread at a time; no locking needed.
 //   - Backpressure: a slow sink stalls the Parallel producers at the
 //     bounded queue instead of buffering the whole result set.
@@ -49,7 +51,7 @@
 //     subgraph reached the sink — the serving-path latency metric
 //     (strictly below total wall time whenever the run found anything).
 //
-// Serving path (caching + batching): the engine carries three bounded,
+// Serving path (caching + batching): the engine carries four bounded,
 // thread-safe LRU caches shared by every copy of it —
 //
 //   - PrepareCached(pattern) keys compiled queries on the pattern's
@@ -57,9 +59,13 @@
 //   - Match memoizes the §4.2 global dual filter per (pattern, data
 //     graph): a repeated Match of the same prepared query against an
 //     unchanged G starts at the ball loop instead of re-running the
-//     dual-simulation fixpoint. An *exactly* repeated request (same
-//     pattern, same effective options, same policy, same G) is answered
-//     from the materialized-result cache without matching at all.
+//     dual-simulation fixpoint. kRegexStrong has the analogous
+//     per-(regex pattern, data) regex-filter memo (ComputeRegexFilter —
+//     global dual regex-simulation bitmaps + surviving centers), keyed on
+//     the constraint-aware RegexQuery::ContentHash(). An *exactly*
+//     repeated request (same pattern, same effective options, same
+//     policy, same G) is answered from the materialized-result cache
+//     without matching at all.
 //     Invalidation contract: a Graph is immutable after Finalize() and
 //     carries a process-unique instance_id, so distinct data graphs can
 //     never collide in the memos; TickDataVersion() re-keys everything at
@@ -67,10 +73,12 @@
 //     engine_cache.h). Streaming (sink) calls and Distributed requests
 //     always execute.
 //   - MatchBatch(g, items) answers many requests against one data graph,
-//     building each distinct (center, radius) ball once and fanning the
-//     per-ball pipeline out per request — results are byte-identical to
-//     issuing the requests one by one (and therefore to Serial, by the
-//     Theorem 1 determinism contract the equivalence suite asserts).
+//     building each distinct (center, radius) ball once — plain strong
+//     and regex items with the same (center, weighted-radius) share the
+//     one ball — and fanning the per-ball pipeline out per request;
+//     results are byte-identical to issuing the requests one by one (and
+//     therefore to Serial, by the Theorem 1 determinism contract the
+//     equivalence suite asserts).
 //
 // Per-call cache observability lands in MatchStats
 // (filter_cache_hits/misses, balls_shared); aggregate hit rates in
@@ -108,10 +116,18 @@ struct EngineOptions {
   /// Capacity of the per-(pattern, data) dual-filter memo LRU; 0 disables
   /// memoization (every Match pays the global fixpoint).
   size_t filter_cache_capacity = 16;
+  /// Capacity of the per-(regex pattern, data) regex-filter memo LRU.
+  /// When > 0, the first kRegexStrong call on a (query, data) pair runs
+  /// the global dual regex-simulation once (ComputeRegexFilter) and every
+  /// later call — any policy, batch or streaming — starts from its pruned
+  /// center list; 0 disables the filter entirely (every call scans all
+  /// label-matching centers, like a direct MatchStrongRegex). Same
+  /// invalidation contract as the dual-filter memo (see engine_cache.h).
+  size_t regex_filter_cache_capacity = 16;
   /// Capacity of the materialized-result LRU (exactly repeated strong-
   /// family requests are answered from memory; see MatchResultKey for what
   /// "exactly" means). 0 disables it. Benchmarks that intend to measure
-  /// the matchers — not the cache — should disable all three capacities.
+  /// the matchers — not the cache — should disable all four capacities.
   size_t result_cache_capacity = 32;
 };
 
@@ -172,11 +188,13 @@ class Engine {
 
   /// Answers a batch of requests sharing one data graph, amortizing ball
   /// construction: each distinct (center, radius) ball among the batch's
-  /// strong-family Serial/Parallel items is built once and every
+  /// strong-family Serial/Parallel items — kStrong, kStrongPlus, and
+  /// kRegexStrong alike; a regex item whose weighted radius equals a
+  /// plain item's diameter shares its balls — is built once and every
   /// interested request's per-ball pipeline runs on it (stats record the
   /// sharing in MatchStats::balls_shared). Items the shared loop cannot
-  /// serve — relation notions, regex, Distributed policy — execute exactly
-  /// as a lone Match would.
+  /// serve — relation notions, Distributed policy — execute exactly as a
+  /// lone Match would.
   ///
   /// Contract: responses[i] is byte-identical to Match(*items[i].query, g,
   /// items[i].request) — same subgraphs, same (center, content-hash)
@@ -195,7 +213,7 @@ class Engine {
   /// "recompute everything" moments. See engine_cache.h.
   void TickDataVersion() const;
 
-  /// Snapshot of all three caches' counters plus the current data version.
+  /// Snapshot of all four caches' counters plus the current data version.
   EngineCacheStats cache_stats() const;
 
   const EngineOptions& options() const { return options_; }
@@ -222,6 +240,12 @@ class Engine {
   Status LookupFilter(const PreparedQuery& query, const Graph& g,
                       const MatchOptions& options, ExecPolicy::Kind kind,
                       FilterMemo* memo) const;
+
+  /// Same, for the regex-filter memo of one kRegexStrong call; leaves
+  /// memo->filter null when the regex filter cache is disabled or the
+  /// request is Distributed (sites build their own per-fragment state).
+  Status LookupRegexFilter(const PreparedQuery& query, const Graph& g,
+                           ExecPolicy::Kind kind, FilterMemo* memo) const;
 
   EngineOptions options_;
   std::shared_ptr<CacheState> caches_;

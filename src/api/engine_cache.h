@@ -7,20 +7,29 @@
 //   - Prepared queries depend only on pattern content — entries key on the
 //     pattern's ContentHash and never go stale; the LRU bound alone limits
 //     them.
-//   - Dual-filter memos and materialized results depend on the data
-//     graph. A Graph is immutable after Finalize() and Finalize stamps a
-//     process-unique instance_id that content-copies carry along, so the
-//     memos key on that stamp (plus the engine's data version): two
-//     distinct data graphs — even one destroyed and another allocated at
-//     the same address, or assigned into the same object — can never
-//     collide. Engine::TickDataVersion() remains the coarse switch: it
-//     re-keys *everything* at once, for operational "recompute the world"
-//     moments (bulk reloads, suspected corruption).
+//   - Dual-filter memos, regex-filter memos, and materialized results
+//     depend on the data graph. A Graph is immutable after Finalize() and
+//     Finalize stamps a process-unique instance_id that content-copies
+//     carry along, so the memos key on that stamp (plus the engine's data
+//     version): two distinct data graphs — even one destroyed and another
+//     allocated at the same address, or assigned into the same object —
+//     can never collide. Engine::TickDataVersion() remains the coarse
+//     switch: it re-keys *everything* at once, for operational "recompute
+//     the world" moments (bulk reloads, suspected corruption).
 //   - Pattern fingerprints are 64-bit content hashes. PrepareCached
 //     re-checks hits structurally; the data-side memos key on the
 //     fingerprint of a PreparedQuery the caller already holds, accepting
 //     the 2^-64 collision odds between two *different* prepared patterns
 //     (the industry-standard content-hash trade).
+//   - Regex-filter memos follow the exact same contract as dual-filter
+//     memos, with one twist on the pattern side: a regex query's
+//     fingerprint is RegexQuery::ContentHash(), which mixes the
+//     constraint set (and a regex tag) into the pattern hash — changing a
+//     constraint re-keys the memo, and a regex query never collides with
+//     its plain pattern graph. The memoized value is the global dual
+//     regex-simulation product (ComputeRegexFilter): candidate bitmaps
+//     plus surviving ball centers, reused by every executor of a repeat
+//     request against the unchanged data graph.
 
 #ifndef GPM_API_ENGINE_CACHE_H_
 #define GPM_API_ENGINE_CACHE_H_
@@ -71,6 +80,14 @@ using PreparedQueryCache = LruCache<uint64_t, PreparedQuery>;
 /// DualFilterKey -> memoized §4.2 global-filter product.
 using DualFilterCache = LruCache<DualFilterKey, DualFilterResult,
                                  DualFilterKeyHash>;
+
+/// The per-(regex pattern, data) memo: DualFilterKey (with the regex
+/// fingerprint; minimize_query stays false — regex runs never minimize)
+/// -> the ComputeRegexFilter product. Same value shape as the dual-filter
+/// memo, kept as its own cache so regex and plain workloads don't evict
+/// each other and hit rates stay separately observable.
+using RegexFilterCache = LruCache<DualFilterKey, DualFilterResult,
+                                  DualFilterKeyHash>;
 
 /// \brief Key of one materialized result set: the pattern, the *effective*
 /// strong-family options (which fully determine Θ — Theorem 1 makes the
@@ -134,6 +151,7 @@ using MatchResultCache = LruCache<MatchResultKey, CachedMatchResult,
 struct EngineCacheStats {
   CacheStats prepared;
   CacheStats filter;
+  CacheStats regex_filter;
   CacheStats results;
   uint64_t data_version = 0;
 };

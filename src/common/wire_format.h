@@ -1,0 +1,38 @@
+// The one little-endian u32 wire primitive every serialized payload in
+// the tree is built from (graph blobs, fragment records, regex queries,
+// per-ball results). One definition instead of a per-file copy, so a
+// format-wide change — explicit endianness, bounds hardening — lands in
+// exactly one place.
+
+#ifndef GPM_COMMON_WIRE_FORMAT_H_
+#define GPM_COMMON_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/result.h"
+
+namespace gpm::wire {
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);  // little-endian hosts only (x86/arm64)
+  out->append(buf, 4);
+}
+
+/// Reads the u32 at *pos, advancing it; Corruption naming `what` when the
+/// payload is too short.
+inline Result<uint32_t> GetU32(const std::string& in, size_t* pos,
+                               const char* what) {
+  if (*pos + 4 > in.size())
+    return Status::Corruption(std::string("truncated ") + what);
+  uint32_t v;
+  std::memcpy(&v, in.data() + *pos, 4);
+  *pos += 4;
+  return v;
+}
+
+}  // namespace gpm::wire
+
+#endif  // GPM_COMMON_WIRE_FORMAT_H_

@@ -1,7 +1,8 @@
 #include "distributed/distributed_match.h"
 
 #include <algorithm>
-#include <cstring>
+#include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -9,8 +10,10 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/wire_format.h"
 #include "distributed/fragment.h"
 #include "distributed/message_bus.h"
+#include "extensions/regex_strong.h"
 #include "graph/components.h"
 #include "graph/diameter.h"
 #include "graph/graph_io.h"
@@ -20,19 +23,10 @@ namespace gpm {
 
 namespace {
 
-void PutU32(std::string* out, uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
-  out->append(buf, 4);
-}
+using wire::PutU32;
 
 Result<uint32_t> GetU32(const std::string& in, size_t* pos) {
-  if (*pos + 4 > in.size())
-    return Status::Corruption("truncated result payload");
-  uint32_t v;
-  std::memcpy(&v, in.data() + *pos, 4);
-  *pos += 4;
-  return v;
+  return wire::GetU32(in, pos, "result payload");
 }
 
 // --- PerfectSubgraph wire format (one subgraph per kPartialResult) ---------
@@ -91,11 +85,29 @@ Result<PerfectSubgraph> DecodeSubgraph(const std::string& bytes) {
 
 // --- Per-site state ---------------------------------------------------------
 
+// What a site runs after compiling the broadcast pattern payload: which
+// center labels can seed a ball, and the per-ball matcher. Compiled
+// per site from the wire bytes — sites never share in-memory pattern
+// state, so the byte accounting stays honest for regex constraints too.
+struct SiteProgram {
+  std::unordered_set<Label> center_labels;
+  /// Halo record batches ship out-edge labels (regex constraints match on
+  /// them); plain strong jobs leave this off, keeping the §4.3 data
+  /// shipment at its former minimum.
+  bool needs_edge_labels = false;
+  std::function<std::optional<PerfectSubgraph>(const Ball&)> match_ball;
+};
+
+// Compiles one broadcast payload into a SiteProgram. The plain and regex
+// executors differ only here (and in the halo radius): everything else —
+// partitioning, halo supersteps, per-ball streaming, coordinator drain —
+// is the shared BSP core below.
+using SiteCompiler = std::function<Result<SiteProgram>(const std::string&)>;
+
 struct SiteState {
   Fragment fragment;
-  Graph pattern;                 // deserialized from the broadcast
-  uint32_t radius = 0;           // pattern diameter
-  std::unordered_set<Label> pattern_labels;
+  SiteProgram program;           // compiled from the broadcast
+  uint32_t radius = 0;           // halo/ball radius
   // Halo BFS bookkeeping.
   std::unordered_set<NodeId> seen;
   std::vector<NodeId> frontier;
@@ -143,31 +155,34 @@ void BuildBallFromRecords(const Fragment& fragment, NodeId center,
     ball->is_border.push_back(distance[i] == radius);
   }
   for (size_t i = 0; i < order.size(); ++i) {
-    for (NodeId w : fragment.Record(order[i]).out) {
-      auto it = local.find(w);
+    const NodeRecord& record = fragment.Record(order[i]);
+    for (size_t j = 0; j < record.out.size(); ++j) {
+      auto it = local.find(record.out[j]);
       if (it != local.end()) {
-        ball->graph.AddEdge(static_cast<NodeId>(i), it->second);
+        ball->graph.AddEdge(
+            static_cast<NodeId>(i), it->second,
+            j < record.out_labels.size() ? record.out_labels[j] : 0);
       }
     }
   }
   ball->graph.Finalize();
 }
 
-// The shared BSP core. `deliver` receives every perfect subgraph the
-// coordinator pulls off the bus, in arrival order and *without* dedup
-// (callers layer their own policy on top); returning false cancels the
-// outstanding sites. Fills `stats` including the byte accounting.
-Status RunDistributed(const Graph& q, const Graph& g,
+// The shared BSP core, generic over what the sites match: the
+// coordinator broadcasts `pattern_blob`, runs `radius` halo supersteps,
+// and each site compiles the blob with `compile` and runs the resulting
+// per-ball matcher over its owned centers. `deliver` receives every
+// perfect subgraph the coordinator pulls off the bus, in arrival order
+// and *without* dedup (callers layer their own policy on top); returning
+// false cancels the outstanding sites. Fills `stats` including the byte
+// accounting. Pattern validation is the wrappers' job.
+Status RunDistributed(const std::string& pattern_blob, uint32_t radius,
+                      const SiteCompiler& compile, const Graph& g,
                       const DistributedOptions& options,
                       DistributedStats* stats, const SubgraphSink& deliver) {
-  GPM_CHECK(q.finalized() && g.finalized());
+  GPM_CHECK(g.finalized());
   if (options.num_sites == 0)
     return Status::InvalidArgument("need at least one site");
-  if (q.num_nodes() == 0)
-    return Status::InvalidArgument("pattern graph is empty");
-  if (!IsConnected(q))
-    return Status::InvalidArgument("pattern graph must be connected");
-  GPM_ASSIGN_OR_RETURN(uint32_t radius, Diameter(q));
 
   Timer timer;
   DistributedStats local_stats;
@@ -208,7 +223,6 @@ Status RunDistributed(const Graph& q, const Graph& g,
   };
 
   // --- Step 1: pattern broadcast -------------------------------------------
-  const std::string pattern_blob = SerializeGraph(q);
   for (uint32_t s = 0; s < k; ++s) {
     bus.Send(bus.coordinator_id(), s, MessageKind::kPatternBroadcast,
              pattern_blob);
@@ -216,17 +230,14 @@ Status RunDistributed(const Graph& q, const Graph& g,
   for_each_site([&](uint32_t s) {
     SiteState& site = sites[s];
     for (Message& m : bus.Drain(s)) {
-      auto parsed = DeserializeGraph(m.payload);
-      if (!parsed.ok()) {
-        site.status = parsed.status();
+      auto compiled = compile(m.payload);
+      if (!compiled.ok()) {
+        site.status = compiled.status();
         return;
       }
-      site.pattern = std::move(*parsed);
+      site.program = std::move(*compiled);
     }
     site.radius = radius;
-    for (NodeId u = 0; u < site.pattern.num_nodes(); ++u) {
-      site.pattern_labels.insert(site.pattern.label(u));
-    }
     // Halo BFS starts from all owned nodes.
     site.seen.insert(site.fragment.owned().begin(), site.fragment.owned().end());
     site.frontier = site.fragment.owned();
@@ -271,7 +282,8 @@ Status RunDistributed(const Graph& q, const Graph& g,
           return;
         }
         bus.Send(s, m.from, MessageKind::kNodeRecords,
-                 site.fragment.EncodeRecords(*ids));
+                 site.fragment.EncodeRecords(
+                     *ids, site.program.needs_edge_labels));
       }
     });
     // 2c. Requesters ingest the records.
@@ -305,10 +317,11 @@ Status RunDistributed(const Graph& q, const Graph& g,
       if (cancel.IsCancelled()) break;
       // A perfect subgraph needs its center matched, so centers whose
       // label is absent from Q cannot produce one.
-      if (!site.pattern_labels.count(site.fragment.Record(center).label))
+      if (!site.program.center_labels.count(
+              site.fragment.Record(center).label))
         continue;
       BuildBallFromRecords(site.fragment, center, site.radius, &ball);
-      if (auto pg = MatchSingleBall(site.pattern, ball)) {
+      if (auto pg = site.program.match_ball(ball)) {
         ++site.results_produced;
         bus.Send(s, bus.coordinator_id(), MessageKind::kPartialResult,
                  EncodeSubgraph(*pg));
@@ -379,18 +392,81 @@ Status RunDistributed(const Graph& q, const Graph& g,
   return Status::OK();
 }
 
-}  // namespace
+// Validation + broadcast payload + per-site compiler for the plain
+// strong executor. The compiler deserializes the pattern graph and
+// matches balls with MatchSingleBall.
+Status PreparePlainJob(const Graph& q, std::string* blob, uint32_t* radius,
+                       SiteCompiler* compile) {
+  GPM_CHECK(q.finalized());
+  if (q.num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  if (!IsConnected(q))
+    return Status::InvalidArgument("pattern graph must be connected");
+  GPM_ASSIGN_OR_RETURN(*radius, Diameter(q));
+  *blob = SerializeGraph(q);
+  *compile = [](const std::string& bytes) -> Result<SiteProgram> {
+    GPM_ASSIGN_OR_RETURN(Graph pattern, DeserializeGraph(bytes));
+    auto shared = std::make_shared<const Graph>(std::move(pattern));
+    SiteProgram program;
+    for (NodeId u = 0; u < shared->num_nodes(); ++u) {
+      program.center_labels.insert(shared->label(u));
+    }
+    program.match_ball = [shared](const Ball& ball) {
+      return MatchSingleBall(*shared, ball);
+    };
+    return program;
+  };
+  return Status::OK();
+}
 
-Result<std::vector<PerfectSubgraph>> MatchStrongDistributed(
-    const Graph& q, const Graph& g, const DistributedOptions& options,
+// Same, for the regex executor: the broadcast carries the serialized
+// RegexQuery, the halo radius is the weighted pattern diameter, and the
+// per-ball matcher is the regex pipeline. Each site keeps its own
+// per-site stats scratch (one thread per site).
+Status PrepareRegexJob(const RegexQuery& query, uint32_t radius,
+                       std::string* blob, uint32_t* radius_out,
+                       SiteCompiler* compile) {
+  GPM_CHECK(query.pattern().finalized());
+  if (query.pattern().num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  if (!IsConnected(query.pattern()))
+    return Status::InvalidArgument("pattern graph must be connected");
+  *radius_out = radius != 0 ? radius : DefaultRegexRadius(query);
+  *blob = SerializeRegexQuery(query);
+  const uint32_t ball_radius = *radius_out;
+  *compile = [ball_radius](const std::string& bytes) -> Result<SiteProgram> {
+    GPM_ASSIGN_OR_RETURN(RegexQuery parsed, DeserializeRegexQuery(bytes));
+    auto shared = std::make_shared<const RegexQuery>(std::move(parsed));
+    SiteProgram program;
+    program.needs_edge_labels = true;
+    const Graph& pattern = shared->pattern();
+    for (NodeId u = 0; u < pattern.num_nodes(); ++u) {
+      program.center_labels.insert(pattern.label(u));
+    }
+    auto scratch = std::make_shared<MatchStats>();
+    program.match_ball = [shared, ball_radius,
+                          scratch](const Ball& ball) {
+      internal::RegexMatchContext context;
+      context.query = shared.get();
+      context.radius = ball_radius;
+      return internal::ProcessRegexBall(context, ball, scratch.get());
+    };
+    return program;
+  };
+  return Status::OK();
+}
+
+// Collects the raw arrival-order stream of one distributed run, then
+// canonicalizes (min-center dedup representatives + (center, hash) sort)
+// so the output is byte-identical to the centralized executor for every
+// site count and partition.
+Result<std::vector<PerfectSubgraph>> CollectDistributed(
+    const std::string& blob, uint32_t radius, const SiteCompiler& compile,
+    const Graph& g, const DistributedOptions& options,
     DistributedStats* stats) {
-  // Collect the raw arrival-order stream, then canonicalize (min-center
-  // dedup representatives + (center, hash) sort) so the output is
-  // byte-identical to centralized MatchStrong for every site count and
-  // partition.
   Timer total_timer;
   std::vector<PerfectSubgraph> results;
-  GPM_RETURN_NOT_OK(RunDistributed(q, g, options, stats,
+  GPM_RETURN_NOT_OK(RunDistributed(blob, radius, compile, g, options, stats,
                                    [&results](PerfectSubgraph&& pg) {
                                      results.push_back(std::move(pg));
                                      return true;
@@ -400,21 +476,70 @@ Result<std::vector<PerfectSubgraph>> MatchStrongDistributed(
   return results;
 }
 
-Result<size_t> MatchStrongDistributedStream(const Graph& q, const Graph& g,
-                                            const DistributedOptions& options,
-                                            const SubgraphSink& sink,
-                                            DistributedStats* stats) {
-  // Streaming dedup is first-arrival: the coordinator cannot wait to learn
-  // which duplicate has the smallest center without giving up latency.
+// Streaming shared tail: first-arrival dedup at the coordinator (it
+// cannot wait to learn which duplicate has the smallest center without
+// giving up latency), each survivor forwarded to `sink`.
+Result<size_t> StreamDistributed(const std::string& blob, uint32_t radius,
+                                 const SiteCompiler& compile, const Graph& g,
+                                 const DistributedOptions& options,
+                                 const SubgraphSink& sink,
+                                 DistributedStats* stats) {
   std::unordered_set<uint64_t> seen_hashes;
   size_t delivered = 0;
   GPM_RETURN_NOT_OK(RunDistributed(
-      q, g, options, stats, [&](PerfectSubgraph&& pg) {
+      blob, radius, compile, g, options, stats, [&](PerfectSubgraph&& pg) {
         if (!seen_hashes.insert(pg.ContentHash()).second) return true;
         ++delivered;
         return sink(std::move(pg));
       }));
   return delivered;
+}
+
+}  // namespace
+
+Result<std::vector<PerfectSubgraph>> MatchStrongDistributed(
+    const Graph& q, const Graph& g, const DistributedOptions& options,
+    DistributedStats* stats) {
+  std::string blob;
+  uint32_t radius = 0;
+  SiteCompiler compile;
+  GPM_RETURN_NOT_OK(PreparePlainJob(q, &blob, &radius, &compile));
+  return CollectDistributed(blob, radius, compile, g, options, stats);
+}
+
+Result<size_t> MatchStrongDistributedStream(const Graph& q, const Graph& g,
+                                            const DistributedOptions& options,
+                                            const SubgraphSink& sink,
+                                            DistributedStats* stats) {
+  std::string blob;
+  uint32_t radius = 0;
+  SiteCompiler compile;
+  GPM_RETURN_NOT_OK(PreparePlainJob(q, &blob, &radius, &compile));
+  return StreamDistributed(blob, radius, compile, g, options, sink, stats);
+}
+
+Result<std::vector<PerfectSubgraph>> MatchStrongRegexDistributed(
+    const RegexQuery& query, const Graph& g, uint32_t radius,
+    const DistributedOptions& options, DistributedStats* stats) {
+  std::string blob;
+  uint32_t ball_radius = 0;
+  SiteCompiler compile;
+  GPM_RETURN_NOT_OK(
+      PrepareRegexJob(query, radius, &blob, &ball_radius, &compile));
+  return CollectDistributed(blob, ball_radius, compile, g, options, stats);
+}
+
+Result<size_t> MatchStrongRegexDistributedStream(
+    const RegexQuery& query, const Graph& g, uint32_t radius,
+    const DistributedOptions& options, const SubgraphSink& sink,
+    DistributedStats* stats) {
+  std::string blob;
+  uint32_t ball_radius = 0;
+  SiteCompiler compile;
+  GPM_RETURN_NOT_OK(
+      PrepareRegexJob(query, radius, &blob, &ball_radius, &compile));
+  return StreamDistributed(blob, ball_radius, compile, g, options, sink,
+                           stats);
 }
 
 }  // namespace gpm

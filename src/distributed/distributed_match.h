@@ -29,6 +29,7 @@
 
 #include "common/result.h"
 #include "distributed/partition.h"
+#include "extensions/regex_pattern.h"
 #include "graph/graph.h"
 #include "matching/strong_simulation.h"
 
@@ -83,6 +84,28 @@ Result<std::vector<PerfectSubgraph>> MatchStrongDistributed(
 Result<size_t> MatchStrongDistributedStream(
     const Graph& q, const Graph& g, const DistributedOptions& options,
     const SubgraphSink& sink, DistributedStats* stats = nullptr);
+
+/// Distributed strong simulation under regex constraints: the same BSP
+/// runtime — the broadcast carries the serialized RegexQuery, the halo
+/// exchange runs `radius` supersteps (the *weighted* pattern diameter;
+/// 0 means DefaultRegexRadius), and each site runs the per-ball regex
+/// pipeline (internal::ProcessRegexBall) over its owned centers. Regex
+/// matching is ball-local for the same reason plain strong simulation is
+/// (witness paths of a ball centered at w stay within the weighted
+/// radius), so the §4.3 data-locality bound carries over. The result set
+/// equals centralized MatchStrongRegex(query, g, radius) byte-for-byte
+/// for every site count and partition.
+Result<std::vector<PerfectSubgraph>> MatchStrongRegexDistributed(
+    const RegexQuery& query, const Graph& g, uint32_t radius = 0,
+    const DistributedOptions& options = {}, DistributedStats* stats = nullptr);
+
+/// Streaming variant: first-arrival dedup at the coordinator, each
+/// survivor handed to `sink` the moment its kPartialResult lands; a false
+/// return cancels the outstanding sites. Returns the number delivered.
+Result<size_t> MatchStrongRegexDistributedStream(
+    const RegexQuery& query, const Graph& g, uint32_t radius,
+    const DistributedOptions& options, const SubgraphSink& sink,
+    DistributedStats* stats = nullptr);
 
 }  // namespace gpm
 

@@ -1,27 +1,21 @@
 #include "distributed/fragment.h"
 
-#include <cstring>
-
 #include "common/logging.h"
+#include "common/wire_format.h"
 
 namespace gpm {
 
 namespace {
 
-void PutU32(std::string* out, uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
-  out->append(buf, 4);
-}
+using wire::PutU32;
 
 Result<uint32_t> GetU32(const std::string& in, size_t* pos) {
-  if (*pos + 4 > in.size())
-    return Status::Corruption("truncated distributed payload");
-  uint32_t v;
-  std::memcpy(&v, in.data() + *pos, 4);
-  *pos += 4;
-  return v;
+  return wire::GetU32(in, pos, "distributed payload");
 }
+
+// Flag bit of the kNodeRecords payload header: out-edge labels follow
+// each neighbor id.
+constexpr uint32_t kRecordsWithEdgeLabels = 1u;
 
 }  // namespace
 
@@ -35,8 +29,11 @@ Fragment::Fragment(const Graph& g, const PartitionAssignment& assignment,
     NodeRecord record;
     record.label = g.label(v);
     auto out_nbrs = g.OutNeighbors(v);
+    auto out_labels = g.OutEdgeLabels(v);
     auto in_nbrs = g.InNeighbors(v);
     record.out.assign(out_nbrs.begin(), out_nbrs.end());
+    record.out_labels.assign(out_labels.begin(), out_labels.end());
+    record.out_labels.resize(record.out.size(), 0);
     record.in.assign(in_nbrs.begin(), in_nbrs.end());
     records_.emplace(v, std::move(record));
   }
@@ -74,7 +71,8 @@ Result<std::vector<NodeId>> Fragment::DecodeIdList(const std::string& bytes) {
   return ids;
 }
 
-std::string Fragment::EncodeRecords(const std::vector<NodeId>& ids) const {
+std::string Fragment::EncodeRecords(const std::vector<NodeId>& ids,
+                                    bool with_edge_labels) const {
   std::string out;
   uint32_t encoded = 0;
   std::string body;
@@ -86,10 +84,16 @@ std::string Fragment::EncodeRecords(const std::vector<NodeId>& ids) const {
     PutU32(&body, r.label);
     PutU32(&body, static_cast<uint32_t>(r.out.size()));
     PutU32(&body, static_cast<uint32_t>(r.in.size()));
-    for (NodeId w : r.out) PutU32(&body, w);
+    for (size_t i = 0; i < r.out.size(); ++i) {
+      PutU32(&body, r.out[i]);
+      if (with_edge_labels) {
+        PutU32(&body, i < r.out_labels.size() ? r.out_labels[i] : 0);
+      }
+    }
     for (NodeId w : r.in) PutU32(&body, w);
     ++encoded;
   }
+  PutU32(&out, with_edge_labels ? kRecordsWithEdgeLabels : 0);
   PutU32(&out, encoded);
   out += body;
   return out;
@@ -98,19 +102,34 @@ std::string Fragment::EncodeRecords(const std::vector<NodeId>& ids) const {
 Result<std::vector<std::pair<NodeId, NodeRecord>>> Fragment::DecodeRecords(
     const std::string& bytes) {
   size_t pos = 0;
+  GPM_ASSIGN_OR_RETURN(uint32_t flags, GetU32(bytes, &pos));
+  if ((flags & ~kRecordsWithEdgeLabels) != 0)
+    return Status::Corruption("unknown record batch flags");
+  const bool with_edge_labels = (flags & kRecordsWithEdgeLabels) != 0;
   GPM_ASSIGN_OR_RETURN(uint32_t count, GetU32(bytes, &pos));
   std::vector<std::pair<NodeId, NodeRecord>> out;
-  out.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     GPM_ASSIGN_OR_RETURN(uint32_t id, GetU32(bytes, &pos));
     NodeRecord r;
     GPM_ASSIGN_OR_RETURN(r.label, GetU32(bytes, &pos));
     GPM_ASSIGN_OR_RETURN(uint32_t out_count, GetU32(bytes, &pos));
     GPM_ASSIGN_OR_RETURN(uint32_t in_count, GetU32(bytes, &pos));
+    // Bound wire-supplied counts by the remaining payload before any
+    // reserve: corrupt counts must fail gracefully, not allocate.
+    const size_t per_out = with_edge_labels ? 8 : 4;
+    if (out_count > (bytes.size() - pos) / per_out ||
+        in_count > (bytes.size() - pos) / 4) {
+      return Status::Corruption("record adjacency exceeds payload");
+    }
     r.out.reserve(out_count);
+    if (with_edge_labels) r.out_labels.reserve(out_count);
     for (uint32_t j = 0; j < out_count; ++j) {
       GPM_ASSIGN_OR_RETURN(uint32_t w, GetU32(bytes, &pos));
       r.out.push_back(w);
+      if (with_edge_labels) {
+        GPM_ASSIGN_OR_RETURN(uint32_t elabel, GetU32(bytes, &pos));
+        r.out_labels.push_back(elabel);
+      }
     }
     r.in.reserve(in_count);
     for (uint32_t j = 0; j < in_count; ++j) {

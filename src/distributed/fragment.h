@@ -17,14 +17,23 @@
 namespace gpm {
 
 /// \brief One node's shippable description: label and adjacency in global
-/// ids.
+/// ids, with out-edge labels (regex constraints match on them) available
+/// for jobs that ask to ship them.
 struct NodeRecord {
   Label label = 0;
   std::vector<NodeId> out;
+  /// Edge label of each out edge, aligned with `out` (empty when the
+  /// record arrived over a wire batch that did not ship labels). In edges
+  /// need no labels of their own: every edge is shipped (and
+  /// ball-assembled) from its source's record.
+  std::vector<EdgeLabel> out_labels;
   std::vector<NodeId> in;
 
-  /// Serialized size: id + label + counts + neighbor ids (4 bytes each).
-  size_t WireSize() const { return 4 * (4 + out.size() + in.size()); }
+  /// Serialized size: id + label + counts + neighbor ids (4 bytes each),
+  /// plus one out-edge label per out edge when the job ships them.
+  size_t WireSize(bool with_edge_labels) const {
+    return 4 * (4 + (with_edge_labels ? 2 : 1) * out.size() + in.size());
+  }
 };
 
 /// \brief Per-site graph knowledge.
@@ -52,8 +61,14 @@ class Fragment {
   static Result<std::vector<NodeId>> DecodeIdList(const std::string& bytes);
 
   /// Encodes records for the requested ids this fragment knows
-  /// (a kNodeRecords payload).
-  std::string EncodeRecords(const std::vector<NodeId>& ids) const;
+  /// (a kNodeRecords payload). `with_edge_labels` ships each out edge's
+  /// label too — regex jobs need them to match constraints inside
+  /// remotely assembled balls; plain strong jobs leave them off so the
+  /// §4.3 data-shipment accounting stays at its minimum. The flag is
+  /// recorded in the payload header, so DecodeRecords needs no
+  /// out-of-band agreement.
+  std::string EncodeRecords(const std::vector<NodeId>& ids,
+                            bool with_edge_labels = false) const;
   /// Decodes a record batch into (id, record) pairs.
   static Result<std::vector<std::pair<NodeId, NodeRecord>>> DecodeRecords(
       const std::string& bytes);

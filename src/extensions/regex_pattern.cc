@@ -4,6 +4,8 @@
 
 #include "common/bitset.h"
 #include "common/logging.h"
+#include "common/wire_format.h"
+#include "graph/graph_io.h"
 
 namespace gpm {
 
@@ -36,6 +38,94 @@ Status RegexQuery::SetConstraint(NodeId u, NodeId v, RegexPath path) {
 const RegexPath& RegexQuery::ConstraintFor(NodeId u, NodeId v) const {
   auto it = constraints_.find({u, v});
   return it == constraints_.end() ? default_constraint_ : it->second;
+}
+
+uint64_t RegexQuery::ContentHash() const {
+  // FNV-1a over the pattern hash, a regex tag (so a constraint-free
+  // RegexQuery never collides with its plain pattern graph), and the
+  // constraint map in its deterministic key order.
+  uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(0x7265676578ULL);  // "regex"
+  mix(pattern_.ContentHash());
+  mix(constraints_.size());
+  for (const auto& [edge, path] : constraints_) {
+    mix((static_cast<uint64_t>(edge.first) << 32) | edge.second);
+    mix(path.size());
+    for (const RegexAtom& atom : path) {
+      mix(atom.label);
+      mix((static_cast<uint64_t>(atom.min_reps) << 32) | atom.max_reps);
+    }
+  }
+  return h;
+}
+
+namespace {
+
+using wire::PutU32;
+
+Result<uint32_t> GetU32(const std::string& in, size_t* pos) {
+  return wire::GetU32(in, pos, "regex query payload");
+}
+
+}  // namespace
+
+std::string SerializeRegexQuery(const RegexQuery& query) {
+  std::string out;
+  const std::string graph_blob = SerializeGraph(query.pattern());
+  PutU32(&out, static_cast<uint32_t>(graph_blob.size()));
+  out += graph_blob;
+  PutU32(&out, static_cast<uint32_t>(query.constraints().size()));
+  for (const auto& [edge, path] : query.constraints()) {
+    PutU32(&out, edge.first);
+    PutU32(&out, edge.second);
+    PutU32(&out, static_cast<uint32_t>(path.size()));
+    for (const RegexAtom& atom : path) {
+      PutU32(&out, atom.label);
+      PutU32(&out, atom.min_reps);
+      PutU32(&out, atom.max_reps);
+    }
+  }
+  return out;
+}
+
+Result<RegexQuery> DeserializeRegexQuery(const std::string& bytes) {
+  size_t pos = 0;
+  GPM_ASSIGN_OR_RETURN(uint32_t graph_size, GetU32(bytes, &pos));
+  if (pos + graph_size > bytes.size())
+    return Status::Corruption("truncated regex query pattern blob");
+  GPM_ASSIGN_OR_RETURN(Graph pattern,
+                       DeserializeGraph(bytes.substr(pos, graph_size)));
+  pos += graph_size;
+  RegexQuery query(std::move(pattern));
+  GPM_ASSIGN_OR_RETURN(uint32_t num_constraints, GetU32(bytes, &pos));
+  for (uint32_t i = 0; i < num_constraints; ++i) {
+    GPM_ASSIGN_OR_RETURN(uint32_t u, GetU32(bytes, &pos));
+    GPM_ASSIGN_OR_RETURN(uint32_t v, GetU32(bytes, &pos));
+    GPM_ASSIGN_OR_RETURN(uint32_t num_atoms, GetU32(bytes, &pos));
+    // Each atom is 12 wire bytes: a count the remaining payload cannot
+    // hold is corruption, not a reserve() of attacker-chosen gigabytes.
+    if (num_atoms > (bytes.size() - pos) / 12)
+      return Status::Corruption("regex atom count exceeds payload");
+    RegexPath path;
+    path.reserve(num_atoms);
+    for (uint32_t j = 0; j < num_atoms; ++j) {
+      RegexAtom atom;
+      GPM_ASSIGN_OR_RETURN(atom.label, GetU32(bytes, &pos));
+      GPM_ASSIGN_OR_RETURN(atom.min_reps, GetU32(bytes, &pos));
+      GPM_ASSIGN_OR_RETURN(atom.max_reps, GetU32(bytes, &pos));
+      path.push_back(atom);
+    }
+    GPM_RETURN_NOT_OK(query.SetConstraint(u, v, std::move(path)));
+  }
+  if (pos != bytes.size())
+    return Status::Corruption("trailing bytes in regex query payload");
+  return query;
 }
 
 namespace {

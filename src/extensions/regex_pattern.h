@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -55,11 +56,33 @@ class RegexQuery {
   const RegexPath& ConstraintFor(NodeId u, NodeId v) const;
   const Graph& pattern() const { return pattern_; }
 
+  /// The explicitly attached constraints, keyed by pattern edge (edges
+  /// absent here carry the one-wildcard-hop default). Deterministic
+  /// (map) order — the serialization and hashing below rely on it.
+  const std::map<std::pair<NodeId, NodeId>, RegexPath>& constraints() const {
+    return constraints_;
+  }
+
+  /// Stable content hash over the pattern graph *and* the constraint
+  /// set. Two RegexQueries over structurally equal patterns but different
+  /// constraints hash differently, and a regex query never hashes equal
+  /// to its plain pattern graph — the engine keys regex cache entries on
+  /// this, so constraint changes can never serve a stale answer.
+  uint64_t ContentHash() const;
+
  private:
   Graph pattern_;
   std::map<std::pair<NodeId, NodeId>, RegexPath> constraints_;
   RegexPath default_constraint_;
 };
+
+/// Wire round-trip for a RegexQuery (the §4.3 pattern broadcast of the
+/// distributed regex executor): the binary pattern graph followed by the
+/// explicit constraint list.
+std::string SerializeRegexQuery(const RegexQuery& query);
+
+/// Inverse of SerializeRegexQuery; Corruption on malformed input.
+Result<RegexQuery> DeserializeRegexQuery(const std::string& bytes);
 
 /// Maximum regex-simulation relation: (u, v) ∈ S iff labels agree and for
 /// every pattern edge (u, u') with constraint R there is a data path from

@@ -1,11 +1,17 @@
 #include "extensions/regex_strong.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/bitset.h"
+#include "common/bounded_queue.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "graph/components.h"
 #include "matching/ball.h"
 
@@ -19,10 +25,15 @@ RegexPath ReversePath(const RegexPath& path) {
   return RegexPath(path.rbegin(), path.rend());
 }
 
-}  // namespace
-
-MatchRelation ComputeRegexDualSimulation(const RegexQuery& query,
-                                         const Graph& g) {
+// The greatest-fixpoint core shared by the global relation and the
+// per-ball evaluation: starts from `initial` (per-query-node candidate
+// lists, sorted ascending) and removes pairs violating the child or
+// parent regex-witness condition until stable. Any start set sandwiched
+// between the maximum relation and the label classes converges to the
+// maximum relation, which is what lets balls start from the projected
+// global filter.
+MatchRelation RegexDualFixpoint(const RegexQuery& query, const Graph& g,
+                                std::vector<std::vector<NodeId>> initial) {
   const Graph& q = query.pattern();
   GPM_CHECK(g.finalized());
   const size_t nq = q.num_nodes();
@@ -31,10 +42,9 @@ MatchRelation ComputeRegexDualSimulation(const RegexQuery& query,
   MatchRelation rel(nq);
   std::vector<DynamicBitset> member(nq);
   for (NodeId u = 0; u < nq; ++u) {
-    auto cls = g.NodesWithLabel(q.label(u));
-    rel.sim[u].assign(cls.begin(), cls.end());
+    rel.sim[u] = std::move(initial[u]);
     member[u] = DynamicBitset(g.num_nodes());
-    for (NodeId v : cls) member[u].Set(v);
+    for (NodeId v : rel.sim[u]) member[u].Set(v);
   }
 
   auto has_forward_witness = [&](NodeId v, const RegexPath& path,
@@ -84,6 +94,33 @@ MatchRelation ComputeRegexDualSimulation(const RegexQuery& query,
   return rel;
 }
 
+std::vector<std::vector<NodeId>> LabelClassCandidates(const RegexQuery& query,
+                                                      const Graph& g) {
+  const Graph& q = query.pattern();
+  std::vector<std::vector<NodeId>> cand(q.num_nodes());
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    auto cls = g.NodesWithLabel(q.label(u));
+    cand[u].assign(cls.begin(), cls.end());
+  }
+  return cand;
+}
+
+Status ValidateRegexPattern(const RegexQuery& query) {
+  const Graph& q = query.pattern();
+  if (q.num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  if (!IsConnected(q))
+    return Status::InvalidArgument("pattern graph must be connected");
+  return Status::OK();
+}
+
+}  // namespace
+
+MatchRelation ComputeRegexDualSimulation(const RegexQuery& query,
+                                         const Graph& g) {
+  return RegexDualFixpoint(query, g, LabelClassCandidates(query, g));
+}
+
 uint32_t DefaultRegexRadius(const RegexQuery& query, uint32_t unbounded_cap) {
   const Graph& q = query.pattern();
   const size_t nq = q.num_nodes();
@@ -126,110 +163,361 @@ uint32_t DefaultRegexRadius(const RegexQuery& query, uint32_t unbounded_cap) {
   return static_cast<uint32_t>(diameter);
 }
 
-Result<std::vector<PerfectSubgraph>> MatchStrongRegex(const RegexQuery& query,
-                                                      const Graph& g,
-                                                      uint32_t radius) {
-  const Graph& q = query.pattern();
+Result<DualFilterResult> ComputeRegexFilter(const RegexQuery& query,
+                                            const Graph& g) {
   GPM_CHECK(g.finalized());
-  if (q.num_nodes() == 0)
-    return Status::InvalidArgument("pattern graph is empty");
-  if (!IsConnected(q))
-    return Status::InvalidArgument("pattern graph must be connected");
-  if (radius == 0) radius = DefaultRegexRadius(query);
-
-  std::unordered_set<Label> q_labels;
-  for (NodeId u = 0; u < q.num_nodes(); ++u) q_labels.insert(q.label(u));
-
-  std::vector<PerfectSubgraph> results;
-  std::unordered_set<uint64_t> seen_hashes;
-  BallBuilder builder(g);
-  Ball ball;
-  for (NodeId w = 0; w < g.num_nodes(); ++w) {
-    // A perfect subgraph needs its center matched.
-    if (!q_labels.count(g.label(w))) continue;
-    builder.Build(w, radius, &ball);
-
-    const MatchRelation sw = ComputeRegexDualSimulation(query, ball.graph);
-    if (!sw.IsTotal()) continue;
-    const NodeId center = ball.LocalCenter();
-    bool center_matched = false;
-    for (const auto& list : sw.sim) {
-      if (std::binary_search(list.begin(), list.end(), center)) {
-        center_matched = true;
-        break;
-      }
-    }
-    if (!center_matched) continue;
-
-    // Virtual match graph: (v, v') for every regex witness pair.
-    std::vector<DynamicBitset> member(q.num_nodes());
-    for (NodeId u = 0; u < q.num_nodes(); ++u) {
-      member[u] = DynamicBitset(ball.graph.num_nodes());
-      for (NodeId v : sw.sim[u]) member[u].Set(v);
-    }
-    std::unordered_map<NodeId, std::vector<NodeId>> adj;  // undirected
-    std::vector<std::pair<NodeId, NodeId>> virtual_edges;
-    for (NodeId u = 0; u < q.num_nodes(); ++u) {
-      for (NodeId u2 : q.OutNeighbors(u)) {
-        const RegexPath& path = query.ConstraintFor(u, u2);
-        for (NodeId v : sw.sim[u]) {
-          for (NodeId t :
-               internal::RegexReachableSet(ball.graph, v, path)) {
-            if (!member[u2].Test(t)) continue;
-            virtual_edges.emplace_back(v, t);
-            adj[v].push_back(t);
-            adj[t].push_back(v);
-          }
-        }
-      }
-    }
-
-    // Component of the center over virtual edges.
-    DynamicBitset in_component(ball.graph.num_nodes());
-    in_component.Set(center);
-    std::vector<NodeId> stack{center};
-    while (!stack.empty()) {
-      NodeId v = stack.back();
-      stack.pop_back();
-      auto it = adj.find(v);
-      if (it == adj.end()) continue;
-      for (NodeId x : it->second) {
-        if (!in_component.Test(x)) {
-          in_component.Set(x);
-          stack.push_back(x);
-        }
-      }
-    }
-
-    PerfectSubgraph pg;
-    pg.center = w;
-    pg.radius = radius;
-    pg.relation = MatchRelation(q.num_nodes());
-    for (NodeId u = 0; u < q.num_nodes(); ++u) {
-      for (NodeId v : sw.sim[u]) {
-        if (in_component.Test(v)) {
-          pg.relation.sim[u].push_back(ball.to_global[v]);
-          pg.nodes.push_back(ball.to_global[v]);
-        }
-      }
-      std::sort(pg.relation.sim[u].begin(), pg.relation.sim[u].end());
-    }
-    std::sort(pg.nodes.begin(), pg.nodes.end());
-    pg.nodes.erase(std::unique(pg.nodes.begin(), pg.nodes.end()),
-                   pg.nodes.end());
-    for (const auto& [a, b] : virtual_edges) {
-      if (in_component.Test(a) && in_component.Test(b)) {
-        pg.edges.emplace_back(ball.to_global[a], ball.to_global[b]);
-      }
-    }
-    std::sort(pg.edges.begin(), pg.edges.end());
-    pg.edges.erase(std::unique(pg.edges.begin(), pg.edges.end()),
-                   pg.edges.end());
-
-    if (seen_hashes.insert(pg.ContentHash()).second) {
-      results.push_back(std::move(pg));
+  GPM_RETURN_NOT_OK(ValidateRegexPattern(query));
+  Timer timer;
+  const MatchRelation global = ComputeRegexDualSimulation(query, g);
+  DualFilterResult out;
+  if (!global.IsTotal()) {
+    // Every ball's relation is contained in the global one, so an empty
+    // global sim list empties it in every ball: Θ = ∅.
+    out.proven_empty = true;
+    out.seconds = timer.Seconds();
+    return out;
+  }
+  const size_t nq = query.pattern().num_nodes();
+  out.bits.assign(nq, DynamicBitset(g.num_nodes()));
+  DynamicBitset any_match(g.num_nodes());
+  for (size_t u = 0; u < nq; ++u) {
+    for (NodeId v : global.sim[u]) {
+      out.bits[u].Set(v);
+      any_match.Set(v);
     }
   }
+  any_match.ForEach(
+      [&](size_t v) { out.centers.push_back(static_cast<NodeId>(v)); });
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+namespace internal {
+
+Status BuildRegexRunState(const RegexQuery& query, const Graph& g,
+                          uint32_t radius, const DualFilterResult* filter,
+                          RegexRunState* state, MatchStats* stats) {
+  GPM_CHECK(g.finalized());
+  GPM_RETURN_NOT_OK(ValidateRegexPattern(query));
+  if (radius == 0) radius = DefaultRegexRadius(query);
+  state->context.query = &query;
+  state->context.radius = radius;
+  stats->pattern_diameter = radius;
+
+  if (filter != nullptr) {
+    if (filter->proven_empty) {
+      stats->balls_skipped_filter = g.num_nodes();
+      state->proven_empty = true;
+      return Status::OK();
+    }
+    GPM_CHECK_EQ(filter->bits.size(), query.pattern().num_nodes());
+    state->context.global_bits = &filter->bits;
+    state->centers = &filter->centers;
+    stats->balls_skipped_filter = g.num_nodes() - filter->centers.size();
+    return Status::OK();
+  }
+
+  // No filter: a perfect subgraph needs its center matched, so only
+  // centers whose label appears in the pattern can produce one.
+  std::unordered_set<Label> q_labels;
+  const Graph& q = query.pattern();
+  for (NodeId u = 0; u < q.num_nodes(); ++u) q_labels.insert(q.label(u));
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
+    if (q_labels.count(g.label(w))) state->centers_storage.push_back(w);
+  }
+  state->centers = &state->centers_storage;
+  return Status::OK();
+}
+
+std::optional<PerfectSubgraph> ProcessRegexBall(
+    const RegexMatchContext& context, const Ball& ball, MatchStats* stats) {
+  const RegexQuery& query = *context.query;
+  const Graph& q = query.pattern();
+  const size_t nq = q.num_nodes();
+  ++stats->balls_considered;
+
+  // Initial candidates (local ids): the global filter projected into the
+  // ball when one ran, label classes otherwise. Either start set contains
+  // the ball's maximum relation, so the fixpoint lands on the same Sw.
+  std::vector<std::vector<NodeId>> cand(nq);
+  if (context.global_bits != nullptr) {
+    for (size_t u = 0; u < nq; ++u) {
+      const DynamicBitset& bits = (*context.global_bits)[u];
+      for (NodeId local = 0; local < ball.graph.num_nodes(); ++local) {
+        if (bits.Test(ball.to_global[local])) cand[u].push_back(local);
+      }
+    }
+  } else {
+    cand = LabelClassCandidates(query, ball.graph);
+  }
+  for (const auto& list : cand) stats->candidate_pairs_refined += list.size();
+
+  const MatchRelation sw =
+      RegexDualFixpoint(query, ball.graph, std::move(cand));
+  if (!sw.IsTotal()) {
+    ++stats->balls_center_unmatched;
+    return std::nullopt;
+  }
+  const NodeId center = ball.LocalCenter();
+  bool center_matched = false;
+  for (const auto& list : sw.sim) {
+    if (std::binary_search(list.begin(), list.end(), center)) {
+      center_matched = true;
+      break;
+    }
+  }
+  if (!center_matched) {
+    ++stats->balls_center_unmatched;
+    return std::nullopt;
+  }
+
+  // Virtual match graph: (v, v') for every regex witness pair.
+  std::vector<DynamicBitset> member(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    member[u] = DynamicBitset(ball.graph.num_nodes());
+    for (NodeId v : sw.sim[u]) member[u].Set(v);
+  }
+  std::unordered_map<NodeId, std::vector<NodeId>> adj;  // undirected
+  std::vector<std::pair<NodeId, NodeId>> virtual_edges;
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId u2 : q.OutNeighbors(u)) {
+      const RegexPath& path = query.ConstraintFor(u, u2);
+      for (NodeId v : sw.sim[u]) {
+        for (NodeId t : internal::RegexReachableSet(ball.graph, v, path)) {
+          if (!member[u2].Test(t)) continue;
+          virtual_edges.emplace_back(v, t);
+          adj[v].push_back(t);
+          adj[t].push_back(v);
+        }
+      }
+    }
+  }
+
+  // Component of the center over virtual edges.
+  DynamicBitset in_component(ball.graph.num_nodes());
+  in_component.Set(center);
+  std::vector<NodeId> stack{center};
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    auto it = adj.find(v);
+    if (it == adj.end()) continue;
+    for (NodeId x : it->second) {
+      if (!in_component.Test(x)) {
+        in_component.Set(x);
+        stack.push_back(x);
+      }
+    }
+  }
+
+  PerfectSubgraph pg;
+  pg.center = ball.center;
+  pg.radius = context.radius;
+  pg.relation = MatchRelation(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId v : sw.sim[u]) {
+      if (in_component.Test(v)) {
+        pg.relation.sim[u].push_back(ball.to_global[v]);
+        pg.nodes.push_back(ball.to_global[v]);
+      }
+    }
+    std::sort(pg.relation.sim[u].begin(), pg.relation.sim[u].end());
+  }
+  std::sort(pg.nodes.begin(), pg.nodes.end());
+  pg.nodes.erase(std::unique(pg.nodes.begin(), pg.nodes.end()),
+                 pg.nodes.end());
+  for (const auto& [a, b] : virtual_edges) {
+    if (in_component.Test(a) && in_component.Test(b)) {
+      pg.edges.emplace_back(ball.to_global[a], ball.to_global[b]);
+    }
+  }
+  std::sort(pg.edges.begin(), pg.edges.end());
+  pg.edges.erase(std::unique(pg.edges.begin(), pg.edges.end()),
+                 pg.edges.end());
+  return pg;
+}
+
+}  // namespace internal
+
+Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
+                                      uint32_t radius, const SubgraphSink& sink,
+                                      MatchStats* stats,
+                                      const DualFilterResult* filter) {
+  Timer total_timer;
+  MatchStats local_stats;
+  internal::RegexRunState state;
+  GPM_RETURN_NOT_OK(internal::BuildRegexRunState(query, g, radius, filter,
+                                                 &state, &local_stats));
+  size_t delivered = 0;
+  if (!state.proven_empty) {
+    std::unordered_set<uint64_t> seen_hashes;
+    BallBuilder builder(g);
+    Ball ball;
+    for (NodeId w : *state.centers) {
+      builder.Build(w, state.context.radius, &ball);
+      auto pg = internal::ProcessRegexBall(state.context, ball, &local_stats);
+      if (!pg.has_value()) continue;
+      if (!seen_hashes.insert(pg->ContentHash()).second) {
+        ++local_stats.duplicates_removed;
+        continue;
+      }
+      if (delivered == 0) {
+        local_stats.seconds_to_first_subgraph = total_timer.Seconds();
+      }
+      ++delivered;
+      ++local_stats.subgraphs_found;
+      if (!sink(std::move(*pg))) break;
+    }
+  }
+  local_stats.total_seconds = total_timer.Seconds();
+  if (stats != nullptr) *stats = local_stats;
+  return delivered;
+}
+
+Result<std::vector<PerfectSubgraph>> MatchStrongRegex(
+    const RegexQuery& query, const Graph& g, uint32_t radius,
+    MatchStats* stats, const DualFilterResult* filter) {
+  // The serial center scan visits centers ascending, so first-arrival
+  // dedup keeps the min-center representative and the collected list is
+  // already in canonical (center, content-hash) order — the batch form
+  // every other executor canonicalizes to.
+  std::vector<PerfectSubgraph> results;
+  auto delivered = MatchStrongRegexStream(
+      query, g, radius,
+      [&results](PerfectSubgraph&& pg) {
+        results.push_back(std::move(pg));
+        return true;
+      },
+      stats, filter);
+  if (!delivered.ok()) return delivered.status();
+  return results;
+}
+
+namespace {
+
+// Backpressure window per worker — same sizing rationale as the plain
+// parallel executor (matching/parallel_match.cc).
+constexpr size_t kQueueDepthPerWorker = 8;
+
+// The shared producer/consumer pipeline of the parallel regex executors:
+// workers shard the center list, run the per-ball regex pipeline, and
+// Push each perfect subgraph; the calling thread drains and hands
+// subgraphs to `emit` (dedup'd in arrival order when `dedup_in_stream`).
+// A false return from `emit` cancels the queue; workers notice between
+// balls or at their next Push.
+Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
+                                        const Graph& g, uint32_t radius,
+                                        size_t num_threads,
+                                        bool dedup_in_stream,
+                                        const SubgraphSink& emit,
+                                        MatchStats* totals_out,
+                                        const DualFilterResult* filter) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  Timer total_timer;
+  MatchStats totals;
+  internal::RegexRunState state;
+  GPM_RETURN_NOT_OK(internal::BuildRegexRunState(query, g, radius, filter,
+                                                 &state, &totals));
+
+  size_t delivered = 0;
+  if (!state.proven_empty) {
+    const std::vector<NodeId>& centers = *state.centers;
+    const size_t shards_count =
+        std::min(num_threads, std::max<size_t>(1, centers.size()));
+    const size_t per_shard =
+        (centers.size() + shards_count - 1) / shards_count;
+    std::vector<MatchStats> shard_stats(shards_count);
+
+    BoundedQueue<PerfectSubgraph> queue(shards_count * kQueueDepthPerWorker);
+    std::atomic<size_t> active_producers{shards_count};
+    {
+      ThreadPool pool(shards_count);
+      for (size_t s = 0; s < shards_count; ++s) {
+        pool.Submit([&, s] {
+          const size_t begin = s * per_shard;
+          const size_t end = std::min(centers.size(), begin + per_shard);
+          BallBuilder builder(g);
+          Ball ball;
+          for (size_t i = begin; i < end; ++i) {
+            if (queue.token().IsCancelled()) break;
+            builder.Build(centers[i], state.context.radius, &ball);
+            auto pg = internal::ProcessRegexBall(state.context, ball,
+                                                 &shard_stats[s]);
+            if (pg.has_value() && !queue.Push(std::move(*pg))) break;
+          }
+          // Last producer out closes the stream so the drainer unblocks.
+          if (active_producers.fetch_sub(1) == 1) queue.Close();
+        });
+      }
+
+      // Single drainer: this thread. Arrival order, shared dedup set.
+      std::unordered_set<uint64_t> seen_hashes;
+      while (std::optional<PerfectSubgraph> pg = queue.Pop()) {
+        if (dedup_in_stream &&
+            !seen_hashes.insert(pg->ContentHash()).second) {
+          ++totals.duplicates_removed;
+          continue;
+        }
+        if (delivered == 0) {
+          totals.seconds_to_first_subgraph = total_timer.Seconds();
+        }
+        ++delivered;
+        ++totals.subgraphs_found;
+        if (!emit(std::move(*pg))) {
+          queue.Cancel();
+          break;
+        }
+      }
+      pool.Wait();
+    }
+
+    for (const MatchStats& shard : shard_stats) {
+      totals.balls_considered += shard.balls_considered;
+      totals.balls_center_unmatched += shard.balls_center_unmatched;
+      totals.candidate_pairs_refined += shard.candidate_pairs_refined;
+    }
+  }
+
+  totals.total_seconds = total_timer.Seconds();
+  if (totals_out != nullptr) *totals_out = totals;
+  return delivered;
+}
+
+}  // namespace
+
+Result<size_t> MatchStrongRegexParallelStream(
+    const RegexQuery& query, const Graph& g, uint32_t radius,
+    size_t num_threads, const SubgraphSink& sink, MatchStats* stats,
+    const DualFilterResult* filter) {
+  return StreamRegexBallsParallel(query, g, radius, num_threads,
+                                  /*dedup_in_stream=*/true, sink, stats,
+                                  filter);
+}
+
+Result<std::vector<PerfectSubgraph>> MatchStrongRegexParallel(
+    const RegexQuery& query, const Graph& g, uint32_t radius,
+    size_t num_threads, MatchStats* stats, const DualFilterResult* filter) {
+  // Collect the raw (un-dedup'd) stream; canonicalization picks the
+  // min-center representatives arrival-order dedup cannot — byte-identical
+  // to MatchStrongRegex for every thread count.
+  Timer total_timer;
+  std::vector<PerfectSubgraph> results;
+  MatchStats totals;
+  GPM_RETURN_NOT_OK(
+      StreamRegexBallsParallel(query, g, radius, num_threads,
+                               /*dedup_in_stream=*/false,
+                               [&results](PerfectSubgraph&& pg) {
+                                 results.push_back(std::move(pg));
+                                 return true;
+                               },
+                               &totals, filter)
+          .status());
+  totals.duplicates_removed = CanonicalizeSubgraphs(/*dedup=*/true, &results);
+  totals.subgraphs_found = results.size();
+  totals.total_seconds = total_timer.Seconds();
+  if (stats != nullptr) *stats = totals;
   return results;
 }
 

@@ -12,13 +12,24 @@
 //    DefaultRegexRadius computes the weighted pattern diameter, counting
 //    each constraint as the sum of its atoms' maximum repetitions
 //    (unbounded atoms counted as max(min_reps, unbounded_cap)).
+//
+// Like plain strong simulation, matching is ball-local (Theorem 5.1's
+// data locality carries over to weighted-radius balls), so the whole
+// executor family of the strong path applies: the per-ball pipeline is
+// internal::ProcessRegexBall, and on top of it sit the serial streaming
+// scan, the BoundedQueue producer/consumer parallel executors, and (in
+// distributed/distributed_match.h) the §4.3 BSP runtime. Every executor
+// returns/delivers the same dedup'd Θ; the batch forms are byte-identical
+// (min-center dedup representative, (center, content-hash) order).
 
 #ifndef GPM_EXTENSIONS_REGEX_STRONG_H_
 #define GPM_EXTENSIONS_REGEX_STRONG_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/result.h"
 #include "extensions/regex_pattern.h"
 #include "matching/strong_simulation.h"
@@ -38,14 +49,101 @@ MatchRelation ComputeRegexDualSimulation(const RegexQuery& query,
 uint32_t DefaultRegexRadius(const RegexQuery& query,
                             uint32_t unbounded_cap = 4);
 
+/// The regex analog of ComputeDualFilter: the global dual
+/// regex-simulation relation on (query, g), packed as per-query-node
+/// candidate bitmaps over V(G) plus the surviving ball centers. Sound for
+/// the same reason as Prop 5: every witness path inside a ball is a path
+/// in G, so each ball's maximum relation is contained in the global one —
+/// pruned centers cannot yield perfect subgraphs, and the per-ball
+/// fixpoint started from the projected bitmaps converges to the same
+/// relation as one started from label classes. The memoizable per-(regex
+/// pattern, data) product behind the engine's regex-filter cache.
+Result<DualFilterResult> ComputeRegexFilter(const RegexQuery& query,
+                                            const Graph& g);
+
 /// Strong simulation under regex constraints: one maximum perfect
-/// subgraph per ball whose center is matched; `radius` 0 means
+/// subgraph per ball whose center is matched, dedup'd (min-center
+/// representative) and sorted by (center, content hash); `radius` 0 means
 /// DefaultRegexRadius. PerfectSubgraph::edges holds the *virtual*
 /// regex-witness edges between matched nodes. InvalidArgument if the
-/// pattern is empty or disconnected.
-Result<std::vector<PerfectSubgraph>> MatchStrongRegex(const RegexQuery& query,
-                                                      const Graph& g,
-                                                      uint32_t radius = 0);
+/// pattern is empty or disconnected. `filter`, when non-null, supplies a
+/// memoized ComputeRegexFilter result for the same (query, g) — the ball
+/// loop then visits only surviving centers.
+Result<std::vector<PerfectSubgraph>> MatchStrongRegex(
+    const RegexQuery& query, const Graph& g, uint32_t radius = 0,
+    MatchStats* stats = nullptr, const DualFilterResult* filter = nullptr);
+
+/// MatchStrongRegex semantics with each perfect subgraph handed to `sink`
+/// as its ball completes (ball-center order, first-arrival dedup) instead
+/// of materialized into Θ. Returns the number delivered (undercounts Θ
+/// iff the sink stopped the scan).
+Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
+                                      uint32_t radius, const SubgraphSink& sink,
+                                      MatchStats* stats = nullptr,
+                                      const DualFilterResult* filter = nullptr);
+
+/// MatchStrongRegex computed on `num_threads` ball workers
+/// (0 = hardware concurrency) through the shared BoundedQueue
+/// producer/consumer pipeline — byte-identical to the serial result for
+/// every thread count.
+Result<std::vector<PerfectSubgraph>> MatchStrongRegexParallel(
+    const RegexQuery& query, const Graph& g, uint32_t radius = 0,
+    size_t num_threads = 0, MatchStats* stats = nullptr,
+    const DualFilterResult* filter = nullptr);
+
+/// MatchStrongRegexStream on `num_threads` workers: ball workers push
+/// completed subgraphs into a bounded queue, the calling thread dedups
+/// (shared seen-hash set) and invokes `sink` in arrival order — which
+/// varies run to run; the delivered *set* does not. A false return from
+/// the sink cancels outstanding shards. Returns the number delivered.
+Result<size_t> MatchStrongRegexParallelStream(
+    const RegexQuery& query, const Graph& g, uint32_t radius,
+    size_t num_threads, const SubgraphSink& sink, MatchStats* stats = nullptr,
+    const DualFilterResult* filter = nullptr);
+
+namespace internal {
+
+/// Immutable per-run context of one regex match run, shared by every
+/// ball — the regex analog of internal::MatchContext.
+struct RegexMatchContext {
+  const RegexQuery* query = nullptr;
+  uint32_t radius = 0;
+  /// Global regex-filter bitmaps (ComputeRegexFilter), or null to seed
+  /// each ball from label classes.
+  const std::vector<DynamicBitset>* global_bits = nullptr;
+};
+
+/// Per-run preprocessing shared by the serial, parallel, and batched
+/// regex executors: the resolved radius and the center list (label-class
+/// centers, or the filter's surviving centers when one is supplied).
+/// Owns the storage `context` points into; keep it alive (and unmoved)
+/// for the whole run.
+struct RegexRunState {
+  RegexMatchContext context;
+  std::vector<NodeId> centers_storage;
+  const std::vector<NodeId>* centers = nullptr;
+  /// The supplied filter proved Θ = ∅; skip the ball loop.
+  bool proven_empty = false;
+};
+
+/// Validates (non-empty, connected pattern), resolves `radius` (0 means
+/// DefaultRegexRadius), and fills the center list. `filter`, when
+/// non-null, must come from ComputeRegexFilter on the same (query, g).
+Status BuildRegexRunState(const RegexQuery& query, const Graph& g,
+                          uint32_t radius, const DualFilterResult* filter,
+                          RegexRunState* state, MatchStats* stats);
+
+/// The per-ball pipeline — the regex mirror of internal::ProcessBall:
+/// dual regex-simulation on one prebuilt weighted-radius ball (seeded
+/// from the projected global filter when the context carries one), the
+/// virtual match graph over regex-witness pairs, and the center's
+/// component extracted as the perfect subgraph (global ids). Returns
+/// nullopt when the ball yields none. The ball must come from
+/// BallBuilder::Build on the run's data graph with context.radius.
+std::optional<PerfectSubgraph> ProcessRegexBall(
+    const RegexMatchContext& context, const Ball& ball, MatchStats* stats);
+
+}  // namespace internal
 
 }  // namespace gpm
 

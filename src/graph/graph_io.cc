@@ -1,10 +1,10 @@
 #include "graph/graph_io.h"
 
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "common/string_util.h"
+#include "common/wire_format.h"
 
 namespace gpm {
 
@@ -98,18 +98,10 @@ Result<Graph> LoadGraph(const std::string& path) {
 
 namespace {
 
-void PutU32(std::string* out, uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);  // little-endian hosts only (x86/arm64)
-  out->append(buf, 4);
-}
+using wire::PutU32;
 
 Result<uint32_t> GetU32(const std::string& in, size_t* pos) {
-  if (*pos + 4 > in.size()) return Status::Corruption("truncated graph blob");
-  uint32_t v;
-  std::memcpy(&v, in.data() + *pos, 4);
-  *pos += 4;
-  return v;
+  return wire::GetU32(in, pos, "graph blob");
 }
 
 constexpr uint32_t kBinaryMagic = 0x47504D31;  // "GPM1"

@@ -12,6 +12,7 @@
 
 #include "api/engine.h"
 #include "common/random.h"
+#include "extensions/regex_pattern.h"
 #include "graph/generator.h"
 #include "tests/test_util.h"
 
@@ -25,6 +26,7 @@ Engine UncachedEngine() {
   EngineOptions options;
   options.prepared_cache_capacity = 0;
   options.filter_cache_capacity = 0;
+  options.regex_filter_cache_capacity = 0;
   options.result_cache_capacity = 0;
   return Engine(options);
 }
@@ -361,6 +363,250 @@ TEST(CacheConcurrencyTest, CapacityOneEngineCachesThrash) {
   EXPECT_GT(stats.prepared.evictions, 0u);
   EXPECT_EQ(stats.prepared.lookups,
             stats.prepared.hits + stats.prepared.misses);
+}
+
+// ---------------------------------------------------------------------------
+// Regex-strong axis: the same differential discipline for kRegexStrong —
+// whatever the regex-filter memo, result cache, and MatchBatch do, every
+// response must stay byte-identical to an uncached serial Match, across
+// Serial/Parallel(1/2/4/8)/Distributed, cold and warm, batched or lone.
+// ---------------------------------------------------------------------------
+
+// A seeded regex workload: patterns extracted from the data graph, each
+// edge randomly kept as the default wildcard hop or constrained with a
+// 1..2-repetition atom — wildcard, the generator's edge label (0, matches
+// everything), or an absent label (777, forcing misses).
+struct RegexWorkload {
+  Graph g;
+  std::vector<RegexQuery> queries;
+};
+
+RegexWorkload MakeRegexWorkload(uint64_t seed) {
+  RegexWorkload w;
+  w.g = MakeAmazonLike(/*n=*/220, seed, /*num_labels=*/10);
+  Rng rng(seed * 1303 + 29);
+  for (uint32_t nq = 3; nq <= 4; ++nq) {
+    auto q = ExtractPattern(w.g, nq, &rng);
+    if (!q.ok()) continue;
+    RegexQuery query(std::move(*q));
+    const Graph& pattern = query.pattern();
+    for (NodeId u = 0; u < pattern.num_nodes(); ++u) {
+      for (NodeId v : pattern.OutNeighbors(u)) {
+        if (rng.Bernoulli(0.4)) continue;  // keep the default hop
+        RegexAtom atom;
+        const uint64_t pick = rng.Uniform(4);
+        atom.label = pick == 0 ? 777u : (pick == 1 ? 0u : kAnyEdgeLabel);
+        atom.min_reps = 1;
+        atom.max_reps = 1 + static_cast<uint32_t>(rng.Uniform(2));
+        EXPECT_TRUE(query.SetConstraint(u, v, {atom}).ok());
+      }
+    }
+    w.queries.push_back(std::move(query));
+  }
+  return w;
+}
+
+const ExecPolicy kRegexPolicies[] = {
+    ExecPolicy::Serial(),        ExecPolicy::Parallel(1),
+    ExecPolicy::Parallel(2),     ExecPolicy::Parallel(4),
+    ExecPolicy::Parallel(8),     ExecPolicy::Distributed({.num_sites = 3}),
+};
+
+TEST(RegexCacheEquivalenceTest, ColdWarmAndBatchedMatchUncachedSerial) {
+  for (uint64_t seed : {7u, 43u}) {
+    const RegexWorkload w = MakeRegexWorkload(seed);
+    ASSERT_FALSE(w.queries.empty());
+    const Engine baseline_engine = UncachedEngine();
+    const Engine cached_engine;  // all caches on (defaults)
+
+    std::vector<std::shared_ptr<const PreparedQuery>> cached_queries;
+    std::vector<std::vector<PerfectSubgraph>> baselines;
+    for (const RegexQuery& query : w.queries) {
+      auto baseline_q = baseline_engine.Prepare(query);
+      ASSERT_TRUE(baseline_q.ok());
+      auto baseline = baseline_engine.Match(*baseline_q, w.g,
+                                            Request(Algo::kRegexStrong));
+      ASSERT_TRUE(baseline.ok());
+      baselines.push_back(baseline->subgraphs);
+      auto cached_q = cached_engine.Prepare(query);
+      ASSERT_TRUE(cached_q.ok());
+      cached_queries.push_back(
+          std::make_shared<const PreparedQuery>(std::move(*cached_q)));
+    }
+
+    for (size_t i = 0; i < w.queries.size(); ++i) {
+      for (const ExecPolicy& policy : kRegexPolicies) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) + " query=" +
+                     std::to_string(i) + " policy=" +
+                     std::string(ExecPolicyName(policy.kind)) + "/" +
+                     std::to_string(policy.num_threads));
+        auto cold = cached_engine.Match(*cached_queries[i], w.g,
+                                        Request(Algo::kRegexStrong, policy));
+        ASSERT_TRUE(cold.ok());
+        ExpectSameResults(baselines[i], cold->subgraphs, "regex cold");
+        auto warm = cached_engine.Match(*cached_queries[i], w.g,
+                                        Request(Algo::kRegexStrong, policy));
+        ASSERT_TRUE(warm.ok());
+        ExpectSameResults(baselines[i], warm->subgraphs, "regex warm");
+      }
+    }
+    // The sweep exercised both regex serving-path layers.
+    const EngineCacheStats stats = cached_engine.cache_stats();
+    EXPECT_GT(stats.regex_filter.hits, 0u);
+    EXPECT_GT(stats.results.hits, 0u);
+    EXPECT_EQ(stats.regex_filter.lookups,
+              stats.regex_filter.hits + stats.regex_filter.misses);
+
+    // Batched: the same requests as one MatchBatch, byte-identical per
+    // item (including the Distributed items, which fall back to lone
+    // dispatch inside the batch).
+    std::vector<BatchItem> items;
+    for (const auto& pq : cached_queries) {
+      for (const ExecPolicy& policy : kRegexPolicies) {
+        items.push_back({pq.get(), Request(Algo::kRegexStrong, policy)});
+      }
+    }
+    auto responses = cached_engine.MatchBatch(w.g, items);
+    ASSERT_EQ(responses.size(), items.size());
+    for (size_t j = 0; j < items.size(); ++j) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " item=" +
+                   std::to_string(j));
+      ASSERT_TRUE(responses[j].ok());
+      ExpectSameResults(baselines[j / std::size(kRegexPolicies)],
+                        responses[j]->subgraphs, "regex batch");
+    }
+  }
+}
+
+// A regex item over the same extracted pattern as a plain strong item,
+// with default (one-hop) constraints: the weighted radius equals the
+// pattern diameter, so both land in one radius group and the batch builds
+// their shared balls once.
+TEST(RegexBatchEquivalenceTest, RegexAndPlainItemsShareBalls) {
+  const Workload w = MakeWorkload(31);
+  ASSERT_FALSE(w.patterns.empty());
+  EngineOptions no_result_cache;
+  no_result_cache.result_cache_capacity = 0;
+  const Engine engine(no_result_cache);
+  const Engine baseline_engine = UncachedEngine();
+
+  auto plain = engine.PrepareCached(w.patterns[0]);
+  ASSERT_TRUE(plain.ok());
+  auto regex = engine.Prepare(RegexQuery(w.patterns[0]));
+  ASSERT_TRUE(regex.ok());
+  const PreparedQuery regex_q = std::move(*regex);
+  ASSERT_EQ(regex_q.regex_radius(), (*plain)->diameter());
+
+  std::vector<BatchItem> items;
+  items.push_back({plain->get(), Request(Algo::kStrong)});
+  items.push_back({&regex_q, Request(Algo::kRegexStrong)});
+  items.push_back({&regex_q, Request(Algo::kRegexStrong,
+                                     ExecPolicy::Parallel(2))});
+  auto responses = engine.MatchBatch(w.g, items);
+  ASSERT_EQ(responses.size(), items.size());
+  size_t shared = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok()) << i;
+    auto lone = baseline_engine.Match(*items[i].query, w.g, items[i].request);
+    ASSERT_TRUE(lone.ok());
+    ExpectSameResults(lone->subgraphs, responses[i]->subgraphs,
+                      "mixed batch item " + std::to_string(i));
+    shared += responses[i]->stats.balls_shared;
+  }
+  // The plain item visits every center; the regex items visit the
+  // label-matching subset — whenever the regex side got to build balls at
+  // all, each of them was shared with the plain item.
+  if (!responses[1]->subgraphs.empty()) {
+    EXPECT_GT(shared, 0u);
+  }
+}
+
+// Two regex queries over the same pattern graph but different constraints
+// must never serve each other's cached answers (the fingerprint mixes the
+// constraint set).
+TEST(RegexCacheInvalidationTest, ConstraintChangeReKeysEverything) {
+  Graph pattern;
+  pattern.AddNode(1);
+  pattern.AddNode(2);
+  pattern.AddEdge(0, 1, 5);
+  pattern.Finalize();
+  Graph g;
+  g.AddNode(1);
+  g.AddNode(9);
+  g.AddNode(2);
+  g.AddEdge(0, 1, 5);
+  g.AddEdge(1, 2, 5);
+  g.Finalize();
+
+  RegexQuery one_hop(pattern);
+  ASSERT_TRUE(one_hop.SetConstraint(0, 1, {RegexAtom{5, 1, 1}}).ok());
+  RegexQuery two_hop(pattern);
+  ASSERT_TRUE(two_hop.SetConstraint(0, 1, {RegexAtom{5, 1, 2}}).ok());
+
+  const Engine engine;
+  auto pq_one = engine.Prepare(one_hop);
+  auto pq_two = engine.Prepare(two_hop);
+  ASSERT_TRUE(pq_one.ok() && pq_two.ok());
+  EXPECT_NE(pq_one->fingerprint(), pq_two->fingerprint());
+
+  // Warm the caches on the one-hop query (no match: the only x-path to
+  // the b-node takes two hops), then ask the two-hop one (matches).
+  auto first = engine.Match(*pq_one, g, Request(Algo::kRegexStrong));
+  auto repeat = engine.Match(*pq_one, g, Request(Algo::kRegexStrong));
+  ASSERT_TRUE(first.ok() && repeat.ok());
+  EXPECT_FALSE(first->matched);
+  EXPECT_EQ(repeat->stats.result_cache_hits, 1u);
+
+  auto other = engine.Match(*pq_two, g, Request(Algo::kRegexStrong));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->stats.result_cache_hits, 0u);
+  EXPECT_TRUE(other->matched);
+
+  auto baseline = UncachedEngine().Match(*pq_two, g,
+                                         Request(Algo::kRegexStrong));
+  ASSERT_TRUE(baseline.ok());
+  ExpectSameResults(baseline->subgraphs, other->subgraphs,
+                    "constraint change");
+}
+
+// The regex memos key on the data graph's instance_id: replacing the
+// graph in place serves fresh answers without any tick.
+TEST(RegexCacheInvalidationTest, InPlaceGraphReplacementServesFreshAnswers) {
+  Graph pattern;
+  pattern.AddNode(1);
+  pattern.AddNode(2);
+  pattern.AddEdge(0, 1, 5);
+  pattern.Finalize();
+  RegexQuery query(pattern);
+  ASSERT_TRUE(query.SetConstraint(0, 1, {RegexAtom{5, 1, 2}}).ok());
+
+  auto make_data = [](EdgeLabel second_label) {
+    Graph g;
+    g.AddNode(1);
+    g.AddNode(9);
+    g.AddNode(2);
+    g.AddEdge(0, 1, 5);
+    g.AddEdge(1, 2, second_label);
+    g.Finalize();
+    return g;
+  };
+
+  const Engine engine;
+  auto pq = engine.Prepare(query);
+  ASSERT_TRUE(pq.ok());
+  Graph g = make_data(/*second_label=*/5);
+  auto with = engine.Match(*pq, g, Request(Algo::kRegexStrong));
+  ASSERT_TRUE(with.ok());
+  EXPECT_TRUE(with->matched);
+  auto warmed = engine.Match(*pq, g, Request(Algo::kRegexStrong));
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_EQ(warmed->stats.result_cache_hits, 1u);
+
+  g = make_data(/*second_label=*/6);  // same object, the x-path is gone
+  auto after = engine.Match(*pq, g, Request(Algo::kRegexStrong));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->stats.result_cache_hits, 0u);
+  EXPECT_FALSE(after->matched);
 }
 
 // Streaming (sink) calls bypass the result cache: they must deliver the

@@ -241,40 +241,51 @@ TEST(AlgoNamesTest, LegacyParallelSpellingMapsToStrongPlusParallel) {
   EXPECT_EQ(request->policy.kind, ExecPolicy::Kind::kParallel);
 }
 
-// A NotImplemented (algorithm, policy) rejection must name the exact
-// combination: CLI users read this message to know which flag to change.
-TEST(EngineTest, NotImplementedNamesTheAlgorithmAndPolicy) {
+// The complete (algorithm, policy) support matrix: after regex-strong
+// reached executor parity, the relation notions under Distributed are the
+// only NotImplemented combinations left — and each rejection must name
+// the exact combination (CLI users read this message to know which flag
+// to change) plus a way out. Everything else succeeds.
+TEST(EngineTest, NotImplementedMatrixIsExactlyRelationTimesDistributed) {
   Engine engine;
   const Graph g = TriangleData();
-  auto prepared = engine.Prepare(TrianglePattern());
-  ASSERT_TRUE(prepared.ok());
-
-  for (Algo algo :
-       {Algo::kSimulation, Algo::kDualSimulation, Algo::kBoundedSimulation}) {
-    auto response = engine.Match(*prepared, g,
-                                 Request(algo, ExecPolicy::Distributed()));
-    ASSERT_FALSE(response.ok());
-    EXPECT_TRUE(response.status().IsNotImplemented());
-    const std::string message = response.status().message();
-    EXPECT_NE(message.find(AlgoName(algo)), std::string::npos) << message;
-    EXPECT_NE(message.find("distributed"), std::string::npos) << message;
-    // And a way out: the message points at the policies that do work.
-    EXPECT_NE(message.find("ExecPolicy::Serial"), std::string::npos)
-        << message;
-  }
-
+  auto plain = engine.Prepare(TrianglePattern());
+  ASSERT_TRUE(plain.ok());
   RegexQuery regex(TrianglePattern());
   auto regex_prepared = engine.Prepare(std::move(regex));
   ASSERT_TRUE(regex_prepared.ok());
-  auto response = engine.Match(
-      *regex_prepared, g,
-      Request(Algo::kRegexStrong, ExecPolicy::Distributed()));
-  ASSERT_FALSE(response.ok());
-  EXPECT_TRUE(response.status().IsNotImplemented());
-  const std::string message = response.status().message();
-  EXPECT_NE(message.find(AlgoName(Algo::kRegexStrong)), std::string::npos)
-      << message;
-  EXPECT_NE(message.find("distributed"), std::string::npos) << message;
+
+  const Algo kAllAlgos[] = {Algo::kSimulation,   Algo::kDualSimulation,
+                            Algo::kBoundedSimulation, Algo::kStrong,
+                            Algo::kStrongPlus,   Algo::kRegexStrong};
+  for (Algo algo : kAllAlgos) {
+    const bool is_relation = algo == Algo::kSimulation ||
+                             algo == Algo::kDualSimulation ||
+                             algo == Algo::kBoundedSimulation;
+    const PreparedQuery& query =
+        algo == Algo::kRegexStrong ? *regex_prepared : *plain;
+    for (ExecPolicy policy :
+         {ExecPolicy::Serial(), ExecPolicy::Parallel(2),
+          ExecPolicy::Distributed({.num_sites = 2})}) {
+      SCOPED_TRACE(std::string(AlgoName(algo)) + "/" +
+                   ExecPolicyName(policy.kind));
+      auto response = engine.Match(query, g, Request(algo, policy));
+      if (is_relation && policy.kind == ExecPolicy::Kind::kDistributed) {
+        ASSERT_FALSE(response.ok());
+        EXPECT_TRUE(response.status().IsNotImplemented());
+        const std::string message = response.status().message();
+        EXPECT_NE(message.find(AlgoName(algo)), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("distributed"), std::string::npos) << message;
+        // And a way out: the message points at the policies that do work.
+        EXPECT_NE(message.find("ExecPolicy::Serial"), std::string::npos)
+            << message;
+      } else {
+        ASSERT_TRUE(response.ok());
+        EXPECT_TRUE(response->matched);
+      }
+    }
+  }
 }
 
 TEST(EngineTest, PrepareCachedReturnsSharedCompiledQueries) {

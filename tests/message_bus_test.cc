@@ -83,6 +83,37 @@ TEST(FragmentWireTest, RecordsRoundTrip) {
   EXPECT_EQ((*decoded)[0].second.label, 7u);
   EXPECT_EQ((*decoded)[0].second.out, (std::vector<NodeId>{1}));
   EXPECT_EQ((*decoded)[0].second.in, (std::vector<NodeId>{2}));
+  // The default batch ships no edge labels (plain strong jobs don't pay
+  // for what they never read).
+  EXPECT_TRUE((*decoded)[0].second.out_labels.empty());
+}
+
+TEST(FragmentWireTest, RecordsRoundTripWithEdgeLabels) {
+  Graph g;
+  g.AddNode(7);
+  g.AddNode(8);
+  g.AddNode(9);
+  g.AddEdge(0, 1, 5);
+  g.AddEdge(1, 2, 6);
+  g.AddEdge(2, 0, 7);
+  g.Finalize();
+  PartitionAssignment p;
+  p.num_fragments = 1;
+  p.owner = {0, 0, 0};
+  Fragment fragment(g, p, 0);
+  const std::string with = fragment.EncodeRecords({0, 1, 2},
+                                                  /*with_edge_labels=*/true);
+  const std::string without = fragment.EncodeRecords({0, 1, 2});
+  EXPECT_GT(with.size(), without.size())
+      << "labels must cost bytes only when asked for";
+  auto decoded = Fragment::DecodeRecords(with);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].second.out_labels, (std::vector<EdgeLabel>{5}));
+  EXPECT_EQ((*decoded)[1].second.out_labels, (std::vector<EdgeLabel>{6}));
+  for (size_t cut = 0; cut < with.size(); cut += 7) {
+    EXPECT_FALSE(Fragment::DecodeRecords(with.substr(0, cut)).ok());
+  }
 }
 
 TEST(FragmentTest, OwnsOnlyAssignedNodes) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
 #include "matching/dual_simulation.h"
 #include "matching/strong_simulation.h"
 #include "tests/test_util.h"
@@ -118,6 +123,145 @@ TEST(MatchStrongRegexTest, RejectsDisconnectedPattern) {
   RegexQuery query(MakeGraph({1, 2}, {}));
   Graph g = MakeGraph({1, 2}, {{0, 1}});
   EXPECT_TRUE(MatchStrongRegex(query, g).status().IsInvalidArgument());
+}
+
+// --- DefaultRegexRadius property tests -------------------------------------
+
+// A random connected pattern (spanning tree + a few extra edges) wrapped
+// in random regex constraints. `unbounded_prob` > 0 sprinkles unbounded
+// atoms in.
+RegexQuery RandomRegexPattern(Rng* rng, double unbounded_prob) {
+  const uint32_t nq = 2 + static_cast<uint32_t>(rng->Uniform(4));  // 2..5
+  Graph q;
+  for (uint32_t u = 0; u < nq; ++u) {
+    q.AddNode(static_cast<Label>(rng->Uniform(3)));
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (uint32_t u = 1; u < nq; ++u) {  // spanning tree: connectivity
+    const NodeId parent = static_cast<NodeId>(rng->Uniform(u));
+    edges.emplace_back(parent, u);
+  }
+  for (int extra = 0; extra < 2; ++extra) {  // a few extra edges
+    const NodeId a = static_cast<NodeId>(rng->Uniform(nq));
+    const NodeId b = static_cast<NodeId>(rng->Uniform(nq));
+    if (a == b || std::find(edges.begin(), edges.end(),
+                            std::make_pair(a, b)) != edges.end()) {
+      continue;
+    }
+    edges.emplace_back(a, b);
+  }
+  for (const auto& [a, b] : edges) q.AddEdge(a, b);
+  q.Finalize();
+
+  RegexQuery query(std::move(q));
+  for (const auto& [a, b] : edges) {
+    if (rng->Bernoulli(0.3)) continue;  // keep the default wildcard hop
+    RegexPath path;
+    const size_t num_atoms = 1 + rng->Uniform(2);
+    for (size_t i = 0; i < num_atoms; ++i) {
+      RegexAtom atom;
+      atom.label = static_cast<EdgeLabel>(rng->Uniform(3));
+      atom.min_reps = 1 + static_cast<uint32_t>(rng->Uniform(2));
+      atom.max_reps = atom.min_reps + static_cast<uint32_t>(rng->Uniform(3));
+      if (rng->Bernoulli(unbounded_prob)) atom.max_reps = kUnboundedReps;
+      path.push_back(atom);
+    }
+    EXPECT_TRUE(query.SetConstraint(a, b, std::move(path)).ok());
+  }
+  return query;
+}
+
+// Brute-force weighted pattern diameter via Dijkstra from every source —
+// an independent algorithm from the Floyd-Warshall the implementation
+// uses. Mirrors DefaultRegexRadius's weighting: each directed pattern
+// edge relaxes both endpoints undirected with weight = max(Σ atoms'
+// effective max reps, 1), unbounded atoms counted as max(min_reps, cap).
+uint64_t BruteForceWeightedDiameter(const RegexQuery& query, uint32_t cap) {
+  const Graph& q = query.pattern();
+  const size_t nq = q.num_nodes();
+  auto edge_weight = [&](NodeId u, NodeId u2) {
+    uint64_t total = 0;
+    for (const RegexAtom& atom : query.ConstraintFor(u, u2)) {
+      total += atom.max_reps == kUnboundedReps
+                   ? std::max(atom.min_reps, cap)
+                   : atom.max_reps;
+    }
+    return std::max<uint64_t>(total, 1);
+  };
+  std::vector<std::vector<std::pair<NodeId, uint64_t>>> adj(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId u2 : q.OutNeighbors(u)) {
+      const uint64_t w = edge_weight(u, u2);
+      adj[u].emplace_back(u2, w);
+      adj[u2].emplace_back(u, w);
+    }
+  }
+  uint64_t diameter = 0;
+  constexpr uint64_t kInf = UINT64_MAX / 4;
+  for (NodeId source = 0; source < nq; ++source) {
+    std::vector<uint64_t> dist(nq, kInf);
+    dist[source] = 0;
+    using Entry = std::pair<uint64_t, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.emplace(0, source);
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > dist[v]) continue;
+      for (const auto& [w, weight] : adj[v]) {
+        if (d + weight < dist[w]) {
+          dist[w] = d + weight;
+          heap.emplace(dist[w], w);
+        }
+      }
+    }
+    for (uint64_t d : dist) {
+      if (d < kInf) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+TEST(DefaultRegexRadiusTest, MatchesBruteForceDiameterOnRandomPatterns) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 60; ++trial) {
+    // All-bounded atoms: the radius is exactly the brute-force weighted
+    // pattern diameter, independent of the unbounded cap.
+    const RegexQuery query = RandomRegexPattern(&rng, /*unbounded_prob=*/0);
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    EXPECT_EQ(DefaultRegexRadius(query),
+              BruteForceWeightedDiameter(query, /*cap=*/4));
+    EXPECT_EQ(DefaultRegexRadius(query, /*unbounded_cap=*/1),
+              DefaultRegexRadius(query, /*unbounded_cap=*/9))
+        << "bounded patterns must ignore the unbounded cap";
+  }
+}
+
+TEST(DefaultRegexRadiusTest, UnboundedCapMonotonicity) {
+  Rng rng(777);
+  int patterns_with_unbounded = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const RegexQuery query =
+        RandomRegexPattern(&rng, /*unbounded_prob=*/0.4);
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    bool has_unbounded = false;
+    for (const auto& [edge, path] : query.constraints()) {
+      for (const RegexAtom& atom : path) {
+        has_unbounded = has_unbounded || atom.max_reps == kUnboundedReps;
+      }
+    }
+    patterns_with_unbounded += has_unbounded ? 1 : 0;
+    uint32_t previous = 0;
+    for (uint32_t cap = 1; cap <= 8; ++cap) {
+      const uint32_t radius = DefaultRegexRadius(query, cap);
+      EXPECT_GE(radius, previous) << "cap=" << cap;
+      EXPECT_EQ(radius, BruteForceWeightedDiameter(query, cap))
+          << "cap=" << cap;
+      previous = radius;
+    }
+  }
+  EXPECT_GT(patterns_with_unbounded, 5)
+      << "the sweep must actually exercise unbounded atoms";
 }
 
 TEST(MatchStrongRegexTest, EdgeTypedSocialExample) {

@@ -1,24 +1,24 @@
 #!/usr/bin/env bash
-# Pre-merge gate: build, fast tests, and the serving-path perf regression
-# check against the committed BENCH snapshot.
+# Pre-merge gate: build, fast tests, and the perf-regression checks of
+# the gated benches against their committed BENCH snapshots.
 #
 #   tools/ci_check.sh            # fast gate (default)
 #   GPM_CI_SLOW=1 tools/ci_check.sh   # also run the slow-labeled suites
-#   GPM_CI_UPDATE_BASELINE=1 tools/ci_check.sh   # refresh the snapshot
+#   GPM_CI_UPDATE_BASELINE=1 tools/ci_check.sh   # refresh the snapshots
 #
-# The perf gate compares bench/serving_path against
-# bench_baselines/serving_path/BENCH_serving_path.json via
+# The perf gates compare each bench in GATED_BENCHES against its
+# bench_baselines/<bench>/BENCH_<bench>.json via
 # tools/bench_trend.py --fail-on-regression. Wall-clock thresholds are
 # machine-dependent, so the gate uses a generous 50% threshold: it exists
-# to catch the serving path falling off a cliff (a cache stops hitting, a
-# batch stops sharing), not 5% jitter.
+# to catch a path falling off a cliff (a cache stops hitting, a batch
+# stops sharing, an executor stops scaling), not 5% jitter. Each bench's
+# own SHAPE-CHECK lines double as correctness gates.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${GPM_BUILD_DIR:-build}"
-BASELINE_DIR="bench_baselines/serving_path"
-SNAPSHOT_DIR="$BUILD_DIR/bench_json_ci"
+GATED_BENCHES=(serving_path regex_scaling)
 
 echo "== configure + build =="
 cmake -B "$BUILD_DIR" -S . >/dev/null
@@ -32,31 +32,34 @@ if [[ "${GPM_CI_SLOW:-0}" == "1" ]]; then
   ctest --test-dir "$BUILD_DIR" -L slow --output-on-failure -j "$(nproc)"
 fi
 
-echo "== serving-path bench =="
-rm -rf "$SNAPSHOT_DIR" && mkdir -p "$SNAPSHOT_DIR"
-(cd "$SNAPSHOT_DIR" && "../../$BUILD_DIR/bench/serving_path" > serving_path.log) || {
-  cat "$SNAPSHOT_DIR/serving_path.log"
-  echo "ci_check: serving_path bench failed" >&2
-  exit 1
-}
-# The bench's own SHAPE-CHECK lines double as correctness gates.
-if grep -q "\[MISS\]" "$SNAPSHOT_DIR/serving_path.log"; then
-  cat "$SNAPSHOT_DIR/serving_path.log"
-  echo "ci_check: serving_path SHAPE-CHECK miss" >&2
-  exit 1
-fi
+for bench in "${GATED_BENCHES[@]}"; do
+  baseline_dir="bench_baselines/$bench"
+  snapshot_dir="$BUILD_DIR/bench_json_ci/$bench"
+  echo "== $bench bench =="
+  rm -rf "$snapshot_dir" && mkdir -p "$snapshot_dir"
+  (cd "$snapshot_dir" && "../../../$BUILD_DIR/bench/$bench" > "$bench.log") || {
+    cat "$snapshot_dir/$bench.log"
+    echo "ci_check: $bench bench failed" >&2
+    exit 1
+  }
+  if grep -q "\[MISS\]" "$snapshot_dir/$bench.log"; then
+    cat "$snapshot_dir/$bench.log"
+    echo "ci_check: $bench SHAPE-CHECK miss" >&2
+    exit 1
+  fi
 
-if [[ "${GPM_CI_UPDATE_BASELINE:-0}" == "1" ]]; then
-  mkdir -p "$BASELINE_DIR"
-  cp "$SNAPSHOT_DIR"/BENCH_serving_path.json "$BASELINE_DIR/"
-  echo "ci_check: baseline refreshed in $BASELINE_DIR"
-elif [[ -d "$BASELINE_DIR" ]]; then
-  echo "== bench trend vs $BASELINE_DIR =="
-  python3 tools/bench_trend.py --threshold 50 --fail-on-regression \
-    "$BASELINE_DIR" "$SNAPSHOT_DIR"
-else
-  echo "ci_check: no baseline in $BASELINE_DIR (run with" \
-       "GPM_CI_UPDATE_BASELINE=1 to create one)"
-fi
+  if [[ "${GPM_CI_UPDATE_BASELINE:-0}" == "1" ]]; then
+    mkdir -p "$baseline_dir"
+    cp "$snapshot_dir/BENCH_$bench.json" "$baseline_dir/"
+    echo "ci_check: baseline refreshed in $baseline_dir"
+  elif [[ -d "$baseline_dir" ]]; then
+    echo "== bench trend vs $baseline_dir =="
+    python3 tools/bench_trend.py --threshold 50 --fail-on-regression \
+      "$baseline_dir" "$snapshot_dir"
+  else
+    echo "ci_check: no baseline in $baseline_dir (run with" \
+         "GPM_CI_UPDATE_BASELINE=1 to create one)"
+  fi
+done
 
 echo "ci_check: OK"

@@ -23,6 +23,7 @@
 #include "api/engine.h"
 #include "common/string_util.h"
 #include "extensions/ranking.h"
+#include "extensions/regex_pattern.h"
 #include "graph/generator.h"
 #include "graph/graph_io.h"
 #include "graph/statistics.h"
@@ -71,6 +72,9 @@ int Usage() {
                "  gpm_cli match --algo %s\n"
                "          --pattern FILE --graph FILE [--top K]\n"
                "          [--threads N] [--sites N] [--repeat R]\n"
+               "          [--regex \"u-v:l{min,max}[+...][;...]\"]\n"
+               "          (--regex runs regex-strong; l is an edge label\n"
+               "           or '*', max may be '~' for unbounded)\n"
                "  gpm_cli batch --patterns FILE[,FILE...] --graph FILE\n"
                "          [--algo NAME] [--threads N] [--repeat R]\n"
                "  gpm_cli algos\n"
@@ -151,13 +155,73 @@ int RunExtract(const Args& args) {
 void PrintCacheStats(const Engine& engine) {
   const EngineCacheStats cache = engine.cache_stats();
   std::printf("caches: prepared %llu/%llu hits, filter %llu/%llu hits, "
-              "results %llu/%llu hits\n",
+              "regex filter %llu/%llu hits, results %llu/%llu hits\n",
               static_cast<unsigned long long>(cache.prepared.hits),
               static_cast<unsigned long long>(cache.prepared.lookups),
               static_cast<unsigned long long>(cache.filter.hits),
               static_cast<unsigned long long>(cache.filter.lookups),
+              static_cast<unsigned long long>(cache.regex_filter.hits),
+              static_cast<unsigned long long>(cache.regex_filter.lookups),
               static_cast<unsigned long long>(cache.results.hits),
               static_cast<unsigned long long>(cache.results.lookups));
+}
+
+// Parses the --regex spec ("u-v:l{min,max}[+atom...][;edge...]") against
+// the loaded pattern graph. 'l' is a numeric edge label or '*' (any);
+// max '~' means unbounded.
+Result<RegexQuery> ParseRegexSpec(const Graph& pattern,
+                                  const std::string& spec) {
+  RegexQuery query(pattern);
+  for (std::string_view edge_spec : SplitString(spec, ";")) {
+    if (edge_spec.empty()) continue;
+    const size_t dash = edge_spec.find('-');
+    const size_t colon = edge_spec.find(':', dash);
+    if (dash == std::string_view::npos || colon == std::string_view::npos) {
+      return Status::InvalidArgument("bad --regex edge spec '" +
+                                     std::string(edge_spec) + "'");
+    }
+    GPM_ASSIGN_OR_RETURN(uint64_t u,
+                         ParseUint64(std::string(edge_spec.substr(0, dash))));
+    GPM_ASSIGN_OR_RETURN(
+        uint64_t v,
+        ParseUint64(std::string(edge_spec.substr(dash + 1, colon - dash - 1))));
+    RegexPath path;
+    for (std::string_view atom_spec :
+         SplitString(edge_spec.substr(colon + 1), "+")) {
+      const size_t open = atom_spec.find('{');
+      const size_t comma = atom_spec.find(',', open);
+      const size_t close = atom_spec.find('}', comma);
+      if (open == std::string_view::npos || comma == std::string_view::npos ||
+          close == std::string_view::npos) {
+        return Status::InvalidArgument("bad --regex atom '" +
+                                       std::string(atom_spec) + "'");
+      }
+      RegexAtom atom;
+      const std::string label(atom_spec.substr(0, open));
+      if (label == "*") {
+        atom.label = kAnyEdgeLabel;
+      } else {
+        GPM_ASSIGN_OR_RETURN(uint64_t parsed, ParseUint64(label));
+        atom.label = static_cast<EdgeLabel>(parsed);
+      }
+      GPM_ASSIGN_OR_RETURN(
+          uint64_t min_reps,
+          ParseUint64(std::string(atom_spec.substr(open + 1, comma - open - 1))));
+      atom.min_reps = static_cast<uint32_t>(min_reps);
+      const std::string max(atom_spec.substr(comma + 1, close - comma - 1));
+      if (max == "~") {
+        atom.max_reps = kUnboundedReps;
+      } else {
+        GPM_ASSIGN_OR_RETURN(uint64_t parsed, ParseUint64(max));
+        atom.max_reps = static_cast<uint32_t>(parsed);
+      }
+      path.push_back(atom);
+    }
+    GPM_RETURN_NOT_OK(query.SetConstraint(static_cast<NodeId>(u),
+                                          static_cast<NodeId>(v),
+                                          std::move(path)));
+  }
+  return query;
 }
 
 int RunMatch(const Args& args) {
@@ -180,7 +244,8 @@ int RunMatch(const Args& args) {
 
   // One table drives the whole dispatch (shared with the examples); the
   // engine handles notion x policy uniformly. --threads / --sites select
-  // the corresponding policy, not just its parameter.
+  // the corresponding policy, not just its parameter. --regex wraps the
+  // pattern in constraints and runs regex-strong under the same policies.
   auto request = RequestFromAlgoName(algo);
   if (!request.ok()) return Fail(request.status().ToString());
   if (*threads > 0 && *sites > 0)
@@ -193,7 +258,16 @@ int RunMatch(const Args& args) {
   }
 
   Engine engine;
-  auto prepared = engine.Prepare(*q);
+  Result<PreparedQuery> prepared = Status::Internal("unset");
+  const std::string regex_spec = args.Get("regex", "");
+  if (!regex_spec.empty()) {
+    auto query = ParseRegexSpec(*q, regex_spec);
+    if (!query.ok()) return Fail(query.status().ToString());
+    request->algo = Algo::kRegexStrong;
+    prepared = engine.Prepare(std::move(*query));
+  } else {
+    prepared = engine.Prepare(*q);
+  }
   if (!prepared.ok()) return Fail(prepared.status().ToString());
   // --repeat exercises the serving path: iterations after the first are
   // served from the dual-filter memo (watch the cache line at the end).
