@@ -98,21 +98,34 @@ int main() {
                 parallel_scan->stats.total_seconds * 1e3);
   }
 
-  auto matcher = IncrementalMatcher::Create(q, g);
-  if (!matcher.ok()) {
-    std::printf("error: %s\n", matcher.status().ToString().c_str());
+  // Open a continuous query through the facade: the prepared pattern is
+  // maintained over a mutable copy of g, and every update streams its net
+  // {added, removed} rings to the delta sink — the alerting channel.
+  size_t alerts = 0;
+  IncrementalOptions session_options;
+  session_options.delta_sink = [&alerts](SubgraphDelta&& delta) {
+    if (delta.kind == SubgraphDelta::Kind::kAdded) {
+      ++alerts;
+      std::printf("  ALERT: new ring around node %u (%zu nodes)\n",
+                  delta.subgraph.center, delta.subgraph.nodes.size());
+    }
+    return true;  // false would mute the stream
+  };
+  auto session = engine.OpenIncremental(*prepared, g, session_options);
+  if (!session.ok()) {
+    std::printf("error: %s\n", session.status().ToString().c_str());
     return 1;
   }
   std::printf("watching %zu-node transaction graph; initial matches: %zu "
               "(streaming scan saw %zu)\n\n",
-              g.num_nodes(), matcher->CurrentMatches().size(), streamed);
+              g.num_nodes(), session->CurrentMatches().size(), streamed);
 
   // Stream suspicious edges: walk account -> mule -> cashout chains and
   // close them with a cashout -> account transfer — exactly the watched
   // ring. Each insert repairs only nearby balls.
   int closed = 0;
-  for (NodeId a = 0; a < matcher->data().num_nodes() && closed < 3; ++a) {
-    const Graph& data = matcher->data();
+  for (NodeId a = 0; a < session->data().num_nodes() && closed < 3; ++a) {
+    const MutableGraph& data = session->data();
     if (data.label(a) != kAccount) continue;
     NodeId found_cash = kInvalidNode;
     for (NodeId m : data.OutNeighbors(a)) {
@@ -126,19 +139,19 @@ int main() {
       if (found_cash != kInvalidNode) break;
     }
     if (found_cash == kInvalidNode) continue;
-    const size_t before = matcher->CurrentMatches().size();
-    if (!matcher->InsertEdge(found_cash, a).ok()) continue;
-    const auto& stats = matcher->last_update();
-    if (matcher->CurrentMatches().size() > before) {
+    const size_t alerts_before = alerts;
+    if (!session->InsertEdge(found_cash, a).ok()) continue;
+    const auto& stats = session->last_update();
+    if (alerts > alerts_before) {
       ++closed;
-      std::printf("edge cashout#%u -> account#%u completed a ring! "
+      std::printf("edge cashout#%u -> account#%u completed a ring "
                   "(repaired %zu of %zu balls in %.1f ms)\n",
                   found_cash, a, stats.affected_centers, stats.total_centers,
                   stats.seconds * 1e3);
     }
   }
 
-  const auto matches = matcher->CurrentMatches();
+  const auto matches = session->CurrentMatches();
   std::printf("\n%zu ring(s) live; top-ranked:\n", matches.size());
   for (const PerfectSubgraph& pg : TopKMatches(q, matches, 3)) {
     std::printf("  ring around node %u: %zu nodes, score %.2f\n", pg.center,

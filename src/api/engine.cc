@@ -713,6 +713,42 @@ void RunBatchGroupParallel(const Graph& g, uint32_t radius,
 
 }  // namespace
 
+Result<IncrementalSession> Engine::OpenIncremental(
+    const PreparedQuery& query, const Graph& g,
+    IncrementalOptions options) const {
+  if (!g.finalized())
+    return Status::InvalidArgument("data graph must be finalized");
+  if (query.has_regex()) {
+    return Status::NotImplemented(
+        "incremental maintenance serves plain strong simulation; regex "
+        "queries have no incremental executor yet");
+  }
+  if (!query.strong_status().ok()) return query.strong_status();
+  size_t threads = 1;
+  switch (options.policy.kind) {
+    case ExecPolicy::Kind::kSerial:
+      break;
+    case ExecPolicy::Kind::kParallel:
+      // 0 keeps its ExecPolicy meaning: CreateWithRadius resolves it to
+      // hardware concurrency (the one place that rule lives).
+      threads = options.policy.num_threads;
+      break;
+    case ExecPolicy::Kind::kDistributed:
+      return Status::NotImplemented(
+          "incremental maintenance has no distributed executor: the "
+          "maintained state lives in one process; open the session under "
+          "ExecPolicy::Serial or ExecPolicy::Parallel");
+  }
+  // Reuse the prepared compilation: the session's ball radius is the
+  // query's precomputed diameter dQ, not a fresh Diameter() pass.
+  GPM_ASSIGN_OR_RETURN(
+      IncrementalMatcher matcher,
+      IncrementalMatcher::CreateWithRadius(query.pattern(), query.diameter(),
+                                           g, threads));
+  return IncrementalSession(std::move(matcher),
+                            std::move(options.delta_sink));
+}
+
 std::vector<Result<MatchResponse>> Engine::MatchBatch(
     const Graph& g, std::span<const BatchItem> items) const {
   std::vector<Result<MatchResponse>> out;

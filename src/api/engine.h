@@ -93,6 +93,7 @@
 #include <vector>
 
 #include "api/engine_cache.h"
+#include "api/incremental_session.h"
 #include "api/match_request.h"
 #include "api/prepared_query.h"
 #include "common/result.h"
@@ -141,10 +142,11 @@ struct BatchItem {
 /// \brief The unified facade over every matcher in the library.
 ///
 /// Carries no per-call state: cheap to copy and safe to share across
-/// threads (each Match call has its own scratch). Copies share the two
-/// serving-path caches (thread-safe; see engine_cache.h), so handing the
-/// same engine — or copies of it — to many serving threads is the
-/// intended deployment.
+/// threads (each Match call has its own scratch). Copies share the four
+/// serving-path caches — prepared queries, dual-filter memos, regex-filter
+/// memos, materialized results (thread-safe; see engine_cache.h and
+/// EngineCacheStats) — so handing the same engine — or copies of it — to
+/// many serving threads is the intended deployment.
 class Engine {
  public:
   Engine();
@@ -204,6 +206,22 @@ class Engine {
   /// requested thread count.
   std::vector<Result<MatchResponse>> MatchBatch(
       const Graph& g, std::span<const BatchItem> items) const;
+
+  /// Opens a continuous query: the prepared pattern's Θ is computed once
+  /// over `g` and then maintained incrementally as the session's graph
+  /// mutates — each update repairs only the balls near its endpoints
+  /// (O(affected balls), never O(V + E)), under the session policy
+  /// (Serial, or Parallel ball workers — byte-identical results), with
+  /// the net {added, removed} subgraphs streamed to the optional
+  /// DeltaSink. See incremental_session.h for the session and sink
+  /// contracts (including how Snapshot() keeps engine-cache keys stable
+  /// between mutations).
+  ///
+  /// The query must be a plain (non-regex) pattern with
+  /// strong_status().ok(); Distributed policies are NotImplemented.
+  Result<IncrementalSession> OpenIncremental(
+      const PreparedQuery& query, const Graph& g,
+      IncrementalOptions options = {}) const;
 
   /// Coarse invalidation: bumps the engine's data version so every
   /// data-dependent memo (dual filters, materialized results) keys

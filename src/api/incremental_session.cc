@@ -1,0 +1,67 @@
+#include "api/incremental_session.h"
+
+#include <utility>
+
+namespace gpm {
+
+Status IncrementalSession::InsertEdge(NodeId from, NodeId to,
+                                      EdgeLabel label) {
+  MatchDelta delta;
+  Status s = matcher_.InsertEdge(from, to, label, &delta);
+  Emit(std::move(delta));  // empty (a no-op) when the edit was rejected
+  return s;
+}
+
+Status IncrementalSession::RemoveEdge(NodeId from, NodeId to,
+                                      EdgeLabel label) {
+  MatchDelta delta;
+  Status s = matcher_.RemoveEdge(from, to, label, &delta);
+  Emit(std::move(delta));
+  return s;
+}
+
+NodeId IncrementalSession::AddNode(Label label) {
+  MatchDelta delta;
+  const NodeId id = matcher_.AddNode(label, &delta);
+  Emit(std::move(delta));
+  return id;
+}
+
+Status IncrementalSession::ApplyBatch(std::span<const GraphEdit> edits) {
+  MatchDelta delta;
+  Status s = matcher_.ApplyBatch(edits, &delta);
+  // On a mid-batch failure the applied prefix was repaired; its delta is
+  // real and still streams.
+  Emit(std::move(delta));
+  return s;
+}
+
+std::vector<PerfectSubgraph> IncrementalSession::CurrentMatches() const {
+  return matcher_.CurrentMatches();
+}
+
+std::shared_ptr<const Graph> IncrementalSession::Snapshot() const {
+  if (snapshot_ == nullptr || snapshot_version_ != matcher_.version()) {
+    snapshot_ = std::make_shared<const Graph>(matcher_.Snapshot());
+    snapshot_version_ = matcher_.version();
+  }
+  return snapshot_;
+}
+
+void IncrementalSession::Emit(MatchDelta&& delta) {
+  if (sink_ == nullptr || sink_stopped_) return;
+  for (PerfectSubgraph& pg : delta.removed) {
+    if (!sink_({SubgraphDelta::Kind::kRemoved, std::move(pg)})) {
+      sink_stopped_ = true;
+      return;
+    }
+  }
+  for (PerfectSubgraph& pg : delta.added) {
+    if (!sink_({SubgraphDelta::Kind::kAdded, std::move(pg)})) {
+      sink_stopped_ = true;
+      return;
+    }
+  }
+}
+
+}  // namespace gpm

@@ -1,0 +1,130 @@
+// IncrementalSession: the Engine-facing continuous-query handle over the
+// incremental maintenance core (extensions/incremental.h). Opened with
+// Engine::OpenIncremental(query, g), it
+//
+//   - reuses the PreparedQuery's compiled state (connectivity validation,
+//     diameter dQ) instead of re-deriving it,
+//   - repairs the maintained Θ under the session's ExecPolicy — Serial, or
+//     Parallel with BoundedQueue ball workers, byte-identical to Serial by
+//     the same determinism contract every other executor honors,
+//   - streams the net change of each update ({added, removed} perfect
+//     subgraphs) to an optional DeltaSink, and
+//   - serves cache-friendly snapshots: Snapshot() materializes the current
+//     graph once per data version, so repeated engine calls against an
+//     unchanged session hit the engine's (pattern, data) memos and result
+//     cache, and any mutation re-keys them naturally through the fresh
+//     snapshot's instance_id — no TickDataVersion, no per-update
+//     finalize/instance-id churn.
+//
+// DeltaSink contract (the streaming analog of SubgraphSink for updates):
+//   - After each applied update, removed subgraphs are delivered first
+//     (sorted by (center, content hash)), then added ones — a changed
+//     subgraph retracts its old form before the new form arrives.
+//   - The initial full match is not streamed; read CurrentMatches().
+//   - Deltas are set-level: a subgraph whose content merely moved between
+//     ball centers is not delivered.
+//   - The sink is invoked from the updating thread, one update at a time.
+//   - Returning false stops the stream permanently (sink_stopped());
+//     updates keep applying, they just stop reporting.
+
+#ifndef GPM_API_INCREMENTAL_SESSION_H_
+#define GPM_API_INCREMENTAL_SESSION_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/exec_policy.h"
+#include "extensions/incremental.h"
+#include "graph/mutable_graph.h"
+
+namespace gpm {
+
+/// \brief One streamed Θ change: a perfect subgraph that appeared in or
+/// vanished from the maintained result.
+struct SubgraphDelta {
+  enum class Kind { kAdded, kRemoved };
+  Kind kind = Kind::kAdded;
+  PerfectSubgraph subgraph;
+};
+
+/// \brief Streaming consumer of update deltas. Return false to stop the
+/// delta stream (updates continue to apply). See the file comment for the
+/// delivery contract.
+using DeltaSink = std::function<bool(SubgraphDelta&&)>;
+
+/// \brief Per-session knobs of Engine::OpenIncremental.
+struct IncrementalOptions {
+  /// Where ball recomputation runs: Serial, or Parallel{threads} (the
+  /// affected balls of each update fan out over BoundedQueue workers).
+  /// Distributed is NotImplemented — the maintained state lives in one
+  /// process.
+  ExecPolicy policy;
+  /// Optional delta stream; null means callers poll CurrentMatches().
+  DeltaSink delta_sink;
+};
+
+/// \brief A live continuous query: one prepared pattern maintained over a
+/// mutable data graph. Move-only; not thread-safe (one updater at a time,
+/// like any single query's lifecycle).
+class IncrementalSession {
+ public:
+  IncrementalSession(IncrementalSession&&) noexcept = default;
+  IncrementalSession& operator=(IncrementalSession&&) noexcept = default;
+
+  /// Edge/node updates; see IncrementalMatcher for the exact status
+  /// contract (label-sensitive duplicate/find semantics). Each applied
+  /// update repairs Θ and streams its delta to the sink.
+  Status InsertEdge(NodeId from, NodeId to, EdgeLabel label = 0);
+  Status RemoveEdge(NodeId from, NodeId to, EdgeLabel label = 0);
+  NodeId AddNode(Label label);
+
+  /// Applies the edits as one update: affected centers collected once
+  /// across the batch, one recomputation, one delta. On an invalid edit
+  /// the batch stops there, the applied prefix is repaired (and its delta
+  /// streamed), and the edit's error is returned with its index.
+  Status ApplyBatch(std::span<const GraphEdit> edits);
+
+  /// Current Θ, sorted by center.
+  std::vector<PerfectSubgraph> CurrentMatches() const;
+
+  /// The live adjacency (reads are always current; cheap).
+  const MutableGraph& data() const { return matcher_.data(); }
+
+  /// The current graph as a finalized snapshot, materialized at most once
+  /// per data version: between mutations every call returns the *same*
+  /// Graph (same instance_id), so engine matches against it share cache
+  /// entries; after a mutation the next call builds a fresh one.
+  std::shared_ptr<const Graph> Snapshot() const;
+
+  /// data().version() — bumped by every applied edit; the snapshot memo
+  /// and any caller-side caching key on it.
+  uint64_t data_version() const { return matcher_.version(); }
+
+  const Graph& pattern() const { return matcher_.pattern(); }
+  uint32_t radius() const { return matcher_.radius(); }
+  const IncrementalMatcher::UpdateStats& last_update() const {
+    return matcher_.last_update();
+  }
+
+  /// True once the sink returned false; no further deltas are delivered.
+  bool sink_stopped() const { return sink_stopped_; }
+
+ private:
+  friend class Engine;
+  IncrementalSession(IncrementalMatcher matcher, DeltaSink sink)
+      : matcher_(std::move(matcher)), sink_(std::move(sink)) {}
+
+  void Emit(MatchDelta&& delta);
+
+  IncrementalMatcher matcher_;
+  DeltaSink sink_;
+  bool sink_stopped_ = false;
+  mutable uint64_t snapshot_version_ = 0;
+  mutable std::shared_ptr<const Graph> snapshot_;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_API_INCREMENTAL_SESSION_H_

@@ -1,8 +1,18 @@
 #include "extensions/incremental.h"
 
 #include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 
+#include "common/bounded_queue.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "graph/components.h"
 #include "graph/diameter.h"
@@ -11,152 +21,375 @@
 
 namespace gpm {
 
+namespace {
+
+bool ByCenterThenHash(const PerfectSubgraph& a, const PerfectSubgraph& b) {
+  if (a.center != b.center) return a.center < b.center;
+  return a.ContentHash() < b.ContentHash();
+}
+
+}  // namespace
+
+struct IncrementalMatcher::Impl {
+  Impl(Graph q, uint32_t r, const Graph& g, size_t threads)
+      : pattern(std::move(q)),
+        radius(r),
+        num_threads(threads),
+        data(g),
+        builder(data),
+        nearby(g.num_nodes()) {
+    for (NodeId u = 0; u < pattern.num_nodes(); ++u) {
+      pattern_labels.insert(pattern.label(u));
+    }
+  }
+
+  Graph pattern;
+  uint32_t radius;
+  size_t num_threads;
+  std::set<Label> pattern_labels;
+
+  // The live adjacency every ball build and BFS runs against. `builder`
+  // and the worker builders reference it; Impl lives behind a unique_ptr
+  // so those references survive moves of the owning matcher.
+  MutableGraph data;
+  BallBuilderT<MutableGraph> builder;
+  BfsWorkspace nearby;
+  std::vector<BfsEntry> nearby_out;
+  std::vector<std::unique_ptr<BallBuilderT<MutableGraph>>> worker_builders;
+  std::unique_ptr<ThreadPool> pool;  // lazily sized num_threads, reused
+
+  std::unordered_map<NodeId, PerfectSubgraph> by_center;
+  // Content hash -> the centers currently holding it. Θ-level add/remove
+  // events fire when a hash gains its first / loses its last holder,
+  // which is what keeps delta computation O(affected) instead of O(|Θ|)
+  // per update; the sorted holder set gives the deterministic min-center
+  // representative FinalizeDelta resolves added entries to.
+  std::unordered_map<uint64_t, std::set<NodeId>> holders;
+  UpdateStats last_update;
+
+  // Replaces center's entry with `result`, recording Θ-level transitions.
+  void ApplyResult(NodeId center, std::optional<PerfectSubgraph> result,
+                   MatchDelta* delta) {
+    auto it = by_center.find(center);
+    if (result.has_value() && it != by_center.end() &&
+        result->ContentHash() == it->second.ContentHash()) {
+      it->second = std::move(*result);  // content unchanged: no transition
+      return;
+    }
+    if (it != by_center.end()) {
+      const uint64_t hash = it->second.ContentHash();
+      auto holding = holders.find(hash);
+      GPM_CHECK(holding != holders.end());
+      holding->second.erase(center);
+      if (holding->second.empty()) {
+        holders.erase(holding);
+        delta->removed.push_back(std::move(it->second));
+      }
+      by_center.erase(it);
+    }
+    if (result.has_value()) {
+      const uint64_t hash = result->ContentHash();
+      if (holders[hash].insert(center).second && holders[hash].size() == 1) {
+        delta->added.push_back(*result);
+      }
+      by_center.emplace(center, std::move(*result));
+    }
+  }
+
+  // Net-change cancellation + canonical form: a content hash appearing on
+  // both sides of one update (vanished at one center, reappeared at
+  // another) is no change to the set Θ and cancels out. Survivors are
+  // normalized so serial and parallel recomputation — whose apply order
+  // differs — emit byte-identical deltas: an added subgraph is the
+  // min-center holder's instance (the representative CurrentMatches
+  // reports); a removed subgraph no longer has a ball holder, so it
+  // carries pure content — center normalized to its smallest node, the
+  // (holder-specific) relation cleared. Both sides sort by (center, hash).
+  void FinalizeDelta(MatchDelta* delta) {
+    std::unordered_map<uint64_t, int> net;
+    for (const PerfectSubgraph& pg : delta->added) ++net[pg.ContentHash()];
+    for (const PerfectSubgraph& pg : delta->removed) --net[pg.ContentHash()];
+    const auto keep = [&net](std::vector<PerfectSubgraph>* list, int sign) {
+      std::vector<PerfectSubgraph> kept;
+      kept.reserve(list->size());
+      for (PerfectSubgraph& pg : *list) {
+        int& n = net[pg.ContentHash()];
+        if (sign > 0 ? n > 0 : n < 0) {
+          n -= sign;
+          kept.push_back(std::move(pg));
+        }
+      }
+      *list = std::move(kept);
+    };
+    keep(&delta->added, +1);
+    keep(&delta->removed, -1);
+    for (PerfectSubgraph& pg : delta->added) {
+      const auto holding = holders.find(pg.ContentHash());
+      GPM_CHECK(holding != holders.end() && !holding->second.empty());
+      pg = by_center.at(*holding->second.begin());
+    }
+    for (PerfectSubgraph& pg : delta->removed) {
+      GPM_CHECK(!pg.nodes.empty());
+      pg.center = pg.nodes.front();  // nodes are sorted
+      pg.relation = MatchRelation();
+    }
+    std::sort(delta->added.begin(), delta->added.end(), ByCenterThenHash);
+    std::sort(delta->removed.begin(), delta->removed.end(),
+              ByCenterThenHash);
+  }
+
+  // Recomputes the balls centered at `centers` (sorted, unique). Returns
+  // the number of balls actually recomputed (pattern-label centers only).
+  size_t RecomputeCenters(const std::vector<NodeId>& centers,
+                          MatchDelta* delta) {
+    std::vector<NodeId> eligible;
+    eligible.reserve(centers.size());
+    for (NodeId center : centers) {
+      if (pattern_labels.count(data.label(center))) {
+        eligible.push_back(center);
+      }
+      // A center with a foreign label can hold no entry (labels never
+      // change), so there is nothing to clear for the rest.
+    }
+    const size_t workers = std::min(num_threads, eligible.size() / 2);
+    if (workers > 1) {
+      RecomputeParallel(eligible, workers, delta);
+    } else {
+      Ball ball;
+      for (NodeId center : eligible) {
+        builder.Build(center, radius, &ball);
+        ApplyResult(center, MatchSingleBall(pattern, ball), delta);
+      }
+    }
+    return eligible.size();
+  }
+
+  // The BoundedQueue fan-out of the serial loop above: ball workers shard
+  // the eligible centers, the calling thread drains and applies. Apply
+  // order differs run to run, but ApplyResult is commutative across
+  // distinct centers and FinalizeDelta restores a deterministic delta,
+  // so the outcome is byte-identical to serial.
+  void RecomputeParallel(const std::vector<NodeId>& eligible, size_t workers,
+                         MatchDelta* delta) {
+    while (worker_builders.size() < workers) {
+      worker_builders.push_back(
+          std::make_unique<BallBuilderT<MutableGraph>>(data));
+    }
+    // Workers and builders persist across updates: a high-rate update
+    // stream must not pay thread spawn/join per edit.
+    if (pool == nullptr) pool = std::make_unique<ThreadPool>(num_threads);
+    constexpr size_t kQueueDepthPerWorker = 8;
+    BoundedQueue<std::pair<NodeId, std::optional<PerfectSubgraph>>> queue(
+        workers * kQueueDepthPerWorker);
+    std::atomic<size_t> active_producers{workers};
+    const size_t per_shard = (eligible.size() + workers - 1) / workers;
+    for (size_t s = 0; s < workers; ++s) {
+      pool->Submit([&, s] {
+        const size_t begin = s * per_shard;
+        const size_t end = std::min(eligible.size(), begin + per_shard);
+        BallBuilderT<MutableGraph>& shard_builder = *worker_builders[s];
+        Ball ball;
+        for (size_t i = begin; i < end; ++i) {
+          shard_builder.Build(eligible[i], radius, &ball);
+          // Push cannot fail: the drainer never cancels and Close happens
+          // only after the last producer exits.
+          queue.Push({eligible[i], MatchSingleBall(pattern, ball)});
+        }
+        if (active_producers.fetch_sub(1) == 1) queue.Close();
+      });
+    }
+    while (auto item = queue.Pop()) {
+      ApplyResult(item->first, std::move(item->second), delta);
+    }
+    pool->Wait();
+  }
+
+  // Centers within `radius` of v in the *current* adjacency.
+  void CollectNearbyCenters(NodeId v, std::set<NodeId>* centers) {
+    nearby.EnsureCapacity(data.num_nodes());
+    nearby.Run(data, v, EdgeDirection::kUndirected, radius, &nearby_out);
+    for (const BfsEntry& e : nearby_out) centers->insert(e.node);
+  }
+
+  // Validates and applies one edit to the adjacency, accumulating the
+  // centers its neighborhoods cover (before and after the mutation). Does
+  // not recompute; FinishUpdate does, once per update/batch.
+  Status ApplyEdit(const GraphEdit& edit, std::set<NodeId>* centers) {
+    switch (edit.kind) {
+      case GraphEdit::Kind::kInsertEdge: {
+        if (edit.from >= data.num_nodes() || edit.to >= data.num_nodes())
+          return Status::InvalidArgument("edge endpoint does not exist");
+        if (data.HasEdge(edit.from, edit.to, edit.edge_label))
+          return Status::AlreadyExists("edge already present with this label");
+        // Affected centers: within radius of either endpoint, in the old
+        // graph (balls that gain the edge / new reachability) and in the
+        // new graph (balls the new edge pulls nodes into).
+        CollectNearbyCenters(edit.from, centers);
+        CollectNearbyCenters(edit.to, centers);
+        GPM_CHECK(
+            data.InsertEdge(edit.from, edit.to, edit.edge_label).ok());
+        CollectNearbyCenters(edit.from, centers);
+        CollectNearbyCenters(edit.to, centers);
+        return Status::OK();
+      }
+      case GraphEdit::Kind::kRemoveEdge: {
+        if (edit.from >= data.num_nodes() || edit.to >= data.num_nodes())
+          return Status::InvalidArgument("edge endpoint does not exist");
+        if (!data.HasEdge(edit.from, edit.to, edit.edge_label))
+          return Status::NotFound("edge not present with this label");
+        CollectNearbyCenters(edit.from, centers);  // old: balls that shrink
+        CollectNearbyCenters(edit.to, centers);
+        GPM_CHECK(
+            data.RemoveEdge(edit.from, edit.to, edit.edge_label).ok());
+        CollectNearbyCenters(edit.from, centers);
+        CollectNearbyCenters(edit.to, centers);
+        return Status::OK();
+      }
+      case GraphEdit::Kind::kAddNode: {
+        // An isolated node can only match via its own radius-0 ball.
+        centers->insert(data.AddNode(edit.node_label));
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument("unknown edit kind");
+  }
+
+  // Recomputes the collected centers (sorted, unique), canonicalizes the
+  // delta, and stamps the update's stats.
+  void FinishUpdate(const std::vector<NodeId>& centers, const Timer& timer,
+                    MatchDelta* delta) {
+    MatchDelta local;
+    MatchDelta* out = delta != nullptr ? delta : &local;
+    out->added.clear();
+    out->removed.clear();
+    const size_t recomputed = RecomputeCenters(centers, out);
+    FinalizeDelta(out);
+    last_update.affected_centers = recomputed;
+    last_update.candidate_centers = centers.size();
+    last_update.total_centers = data.num_nodes();
+    last_update.subgraphs_added = out->added.size();
+    last_update.subgraphs_removed = out->removed.size();
+    last_update.seconds = timer.Seconds();
+  }
+
+  Status ApplyOne(const GraphEdit& edit, MatchDelta* delta) {
+    Timer timer;
+    std::set<NodeId> centers;
+    GPM_RETURN_NOT_OK(ApplyEdit(edit, &centers));
+    FinishUpdate({centers.begin(), centers.end()}, timer, delta);
+    return Status::OK();
+  }
+};
+
 Result<IncrementalMatcher> IncrementalMatcher::Create(const Graph& q,
-                                                      const Graph& g) {
-  GPM_CHECK(q.finalized() && g.finalized());
+                                                      const Graph& g,
+                                                      size_t num_threads) {
+  GPM_CHECK(q.finalized());
   if (q.num_nodes() == 0)
     return Status::InvalidArgument("pattern graph is empty");
   if (!IsConnected(q))
     return Status::InvalidArgument("pattern graph must be connected");
   GPM_ASSIGN_OR_RETURN(uint32_t radius, Diameter(q));
-
-  // Copy the pattern (Graph is move-only across this boundary via the
-  // serialize-free route: rebuild node/edge lists).
-  Graph pattern_copy;
-  for (NodeId u = 0; u < q.num_nodes(); ++u) pattern_copy.AddNode(q.label(u));
-  for (NodeId u = 0; u < q.num_nodes(); ++u) {
-    for (NodeId v : q.OutNeighbors(u)) pattern_copy.AddEdge(u, v);
-  }
-  pattern_copy.Finalize();
-
-  IncrementalMatcher matcher(std::move(pattern_copy), radius);
-  matcher.labels_.resize(g.num_nodes());
-  matcher.out_.resize(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    matcher.labels_[v] = g.label(v);
-    auto nbrs = g.OutNeighbors(v);
-    auto elabels = g.OutEdgeLabels(v);
-    for (size_t i = 0; i < nbrs.size(); ++i) {
-      matcher.out_[v].emplace_back(nbrs[i], elabels[i]);
-    }
-  }
-  matcher.Materialize();
-  matcher.FullRecompute();
-  return matcher;
+  return CreateWithRadius(q, radius, g, num_threads);
 }
 
-IncrementalMatcher::IncrementalMatcher(Graph q, uint32_t radius)
-    : pattern_(std::move(q)), radius_(radius) {
-  for (NodeId u = 0; u < pattern_.num_nodes(); ++u) {
-    pattern_labels_.insert(pattern_.label(u));
+Result<IncrementalMatcher> IncrementalMatcher::CreateWithRadius(
+    const Graph& q, uint32_t radius, const Graph& g, size_t num_threads) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  if (q.num_nodes() == 0)
+    return Status::InvalidArgument("pattern graph is empty");
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
-}
-
-void IncrementalMatcher::Materialize() {
-  Graph g;
-  for (Label l : labels_) g.AddNode(l);
-  for (NodeId v = 0; v < out_.size(); ++v) {
-    for (const auto& [w, elabel] : out_[v]) g.AddEdge(v, w, elabel);
-  }
-  g.Finalize();
-  data_ = std::move(g);
-}
-
-void IncrementalMatcher::FullRecompute() {
-  by_center_.clear();
-  std::set<NodeId> all;
-  for (NodeId v = 0; v < data_.num_nodes(); ++v) all.insert(v);
-  RecomputeCenters(all);
-}
-
-void IncrementalMatcher::RecomputeCenters(const std::set<NodeId>& centers) {
-  BallBuilder builder(data_);
-  Ball ball;
-  for (NodeId center : centers) {
-    by_center_.erase(center);
-    if (!pattern_labels_.count(labels_[center])) continue;
-    builder.Build(center, radius_, &ball);
-    if (auto pg = MatchSingleBall(pattern_, ball)) {
-      by_center_.emplace(center, std::move(*pg));
-    }
-  }
-}
-
-void IncrementalMatcher::CollectNearbyCenters(NodeId v,
-                                              std::set<NodeId>* centers) const {
-  for (const BfsEntry& e :
-       Bfs(data_, v, EdgeDirection::kUndirected, radius_)) {
-    centers->insert(e.node);
-  }
-}
-
-Status IncrementalMatcher::InsertEdge(NodeId from, NodeId to, EdgeLabel label) {
-  if (from >= labels_.size() || to >= labels_.size())
-    return Status::InvalidArgument("edge endpoint does not exist");
-  for (const auto& [w, l] : out_[from]) {
-    if (w == to) return Status::AlreadyExists("edge already present");
-  }
+  auto impl = std::make_unique<Impl>(q, radius, g, num_threads);
+  // Initial full match: every node is a candidate center once.
   Timer timer;
-  // Affected centers: within radius of either endpoint, in the old graph
-  // (balls that may lose nothing but gain the edge / new reachability)
-  // and in the new graph (balls the new edge pulls nodes into).
-  std::set<NodeId> centers;
-  CollectNearbyCenters(from, &centers);
-  CollectNearbyCenters(to, &centers);
-  out_[from].emplace_back(to, label);
-  Materialize();
-  CollectNearbyCenters(from, &centers);
-  CollectNearbyCenters(to, &centers);
-  RecomputeCenters(centers);
-  last_update_ = {centers.size(), data_.num_nodes(), timer.Seconds()};
-  return Status::OK();
+  std::vector<NodeId> all(impl->data.num_nodes());
+  std::iota(all.begin(), all.end(), NodeId{0});
+  impl->FinishUpdate(all, timer, nullptr);
+  return IncrementalMatcher(std::move(impl));
 }
 
-Status IncrementalMatcher::RemoveEdge(NodeId from, NodeId to) {
-  if (from >= labels_.size() || to >= labels_.size())
-    return Status::InvalidArgument("edge endpoint does not exist");
-  auto& nbrs = out_[from];
-  auto it = std::find_if(nbrs.begin(), nbrs.end(),
-                         [to](const auto& p) { return p.first == to; });
-  if (it == nbrs.end()) return Status::NotFound("edge not present");
+IncrementalMatcher::IncrementalMatcher(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+IncrementalMatcher::IncrementalMatcher(IncrementalMatcher&&) noexcept =
+    default;
+IncrementalMatcher& IncrementalMatcher::operator=(
+    IncrementalMatcher&&) noexcept = default;
+IncrementalMatcher::~IncrementalMatcher() = default;
+
+Status IncrementalMatcher::InsertEdge(NodeId from, NodeId to, EdgeLabel label,
+                                      MatchDelta* delta) {
+  return impl_->ApplyOne(GraphEdit::InsertEdge(from, to, label), delta);
+}
+
+Status IncrementalMatcher::RemoveEdge(NodeId from, NodeId to, EdgeLabel label,
+                                      MatchDelta* delta) {
+  return impl_->ApplyOne(GraphEdit::RemoveEdge(from, to, label), delta);
+}
+
+NodeId IncrementalMatcher::AddNode(Label label, MatchDelta* delta) {
   Timer timer;
   std::set<NodeId> centers;
-  CollectNearbyCenters(from, &centers);  // old graph: balls that shrink
-  CollectNearbyCenters(to, &centers);
-  nbrs.erase(it);
-  Materialize();
-  CollectNearbyCenters(from, &centers);
-  CollectNearbyCenters(to, &centers);
-  RecomputeCenters(centers);
-  last_update_ = {centers.size(), data_.num_nodes(), timer.Seconds()};
-  return Status::OK();
-}
-
-NodeId IncrementalMatcher::AddNode(Label label) {
-  const NodeId id = static_cast<NodeId>(labels_.size());
-  labels_.push_back(label);
-  out_.emplace_back();
-  Materialize();
-  // An isolated node can only match a single-node pattern via its own
-  // radius-0 ball.
-  std::set<NodeId> centers{id};
-  RecomputeCenters(centers);
-  last_update_ = {1, data_.num_nodes(), 0};
+  GPM_CHECK(impl_->ApplyEdit(GraphEdit::AddNode(label), &centers).ok());
+  const NodeId id = *centers.begin();
+  impl_->FinishUpdate({centers.begin(), centers.end()}, timer, delta);
   return id;
+}
+
+Status IncrementalMatcher::ApplyBatch(std::span<const GraphEdit> edits,
+                                      MatchDelta* delta) {
+  Timer timer;
+  std::set<NodeId> centers;
+  Status bad = Status::OK();
+  size_t applied = 0;
+  for (size_t i = 0; i < edits.size(); ++i) {
+    Status s = impl_->ApplyEdit(edits[i], &centers);
+    if (!s.ok()) {
+      bad = Status(s.code(),
+                   "batch edit #" + std::to_string(i) + ": " + s.message());
+      break;
+    }
+    ++applied;
+  }
+  if (applied == 0) {
+    // Nothing mutated (empty batch, or edit #0 rejected): the result
+    // needs no repair and last_update keeps the previous real update's
+    // numbers — same contract as a rejected single edit.
+    if (delta != nullptr) {
+      delta->added.clear();
+      delta->removed.clear();
+    }
+    return bad;
+  }
+  // Repair the edits that did apply even when a later one failed: the
+  // maintained == from-scratch invariant holds on every return path.
+  impl_->FinishUpdate({centers.begin(), centers.end()}, timer, delta);
+  return bad;
 }
 
 std::vector<PerfectSubgraph> IncrementalMatcher::CurrentMatches() const {
   std::vector<PerfectSubgraph> out;
   std::set<uint64_t> seen;
   std::vector<NodeId> centers;
-  centers.reserve(by_center_.size());
-  for (const auto& [center, pg] : by_center_) centers.push_back(center);
+  centers.reserve(impl_->by_center.size());
+  for (const auto& [center, pg] : impl_->by_center) centers.push_back(center);
   std::sort(centers.begin(), centers.end());
   for (NodeId center : centers) {
-    const PerfectSubgraph& pg = by_center_.at(center);
+    const PerfectSubgraph& pg = impl_->by_center.at(center);
     if (seen.insert(pg.ContentHash()).second) out.push_back(pg);
   }
   return out;
+}
+
+const MutableGraph& IncrementalMatcher::data() const { return impl_->data; }
+Graph IncrementalMatcher::Snapshot() const { return impl_->data.Snapshot(); }
+const Graph& IncrementalMatcher::pattern() const { return impl_->pattern; }
+uint32_t IncrementalMatcher::radius() const { return impl_->radius; }
+uint64_t IncrementalMatcher::version() const { return impl_->data.version(); }
+const IncrementalMatcher::UpdateStats& IncrementalMatcher::last_update()
+    const {
+  return impl_->last_update;
 }
 
 }  // namespace gpm

@@ -5,80 +5,169 @@
 // Strong simulation's locality is what makes this tractable: an edge
 // change (a, b) can only affect balls whose center lies within dQ of a or
 // b (in the old or new graph), so each update recomputes those centers
-// instead of all |V| — the test suite checks the maintained result always
-// equals a from-scratch MatchStrong, and the ablation bench quantifies
-// the saving.
+// instead of all |V|. The maintained graph is a MutableGraph the ball
+// machinery runs on directly — an update costs the two endpoint
+// neighborhood scans plus the affected-ball recomputation, never an
+// O(V + E) re-materialization. The differential test suite checks the
+// maintained result always equals a from-scratch MatchStrong, and
+// bench/incremental_updates quantifies the saving (per-update latency
+// independent of |V| for fixed ball sizes).
 
 #ifndef GPM_EXTENSIONS_INCREMENTAL_H_
 #define GPM_EXTENSIONS_INCREMENTAL_H_
 
-#include <set>
-#include <unordered_map>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
 #include "graph/graph.h"
+#include "graph/mutable_graph.h"
 #include "matching/strong_simulation.h"
 
 namespace gpm {
 
+/// \brief One element of a batched update: an edge insertion/deletion or a
+/// node addition. Build via the factories.
+struct GraphEdit {
+  enum class Kind { kInsertEdge, kRemoveEdge, kAddNode };
+
+  Kind kind = Kind::kInsertEdge;
+  NodeId from = kInvalidNode;  ///< edge source (edge edits)
+  NodeId to = kInvalidNode;    ///< edge target (edge edits)
+  EdgeLabel edge_label = 0;    ///< edge edits: the exact labeled edge
+  Label node_label = 0;        ///< kAddNode: label of the new node
+
+  static GraphEdit InsertEdge(NodeId from, NodeId to, EdgeLabel label = 0) {
+    GraphEdit e;
+    e.kind = Kind::kInsertEdge;
+    e.from = from;
+    e.to = to;
+    e.edge_label = label;
+    return e;
+  }
+  static GraphEdit RemoveEdge(NodeId from, NodeId to, EdgeLabel label = 0) {
+    GraphEdit e;
+    e.kind = Kind::kRemoveEdge;
+    e.from = from;
+    e.to = to;
+    e.edge_label = label;
+    return e;
+  }
+  static GraphEdit AddNode(Label label) {
+    GraphEdit e;
+    e.kind = Kind::kAddNode;
+    e.node_label = label;
+    return e;
+  }
+};
+
+/// \brief The net change one update made to Θ (the dedup'd set of maximum
+/// perfect subgraphs): subgraphs that appeared and subgraphs that
+/// vanished, each sorted by (center, content hash). A subgraph whose
+/// content merely moved between centers is *not* a delta — Θ is a set.
+///
+/// Canonical form (byte-identical across Serial/Parallel recomputation):
+/// an `added` entry is the minimum-center holder's instance — the same
+/// representative CurrentMatches() reports; a `removed` entry identifies
+/// the vanished subgraph by content (nodes/edges — key removals on
+/// ContentHash()), with `center` normalized to its smallest node and the
+/// holder-specific `relation` cleared, since no ball holds it anymore.
+struct MatchDelta {
+  std::vector<PerfectSubgraph> added;
+  std::vector<PerfectSubgraph> removed;
+
+  bool Empty() const { return added.empty() && removed.empty(); }
+};
+
 /// \brief Maintains the strong-simulation result of one pattern over a
-/// mutable data graph.
+/// mutable data graph. Move-only. Prefer Engine::OpenIncremental, which
+/// layers prepared-query reuse, ExecPolicy selection, delta streaming, and
+/// cache-friendly snapshots on top of this core.
 class IncrementalMatcher {
  public:
   /// Takes a connected pattern and the initial data graph; runs the first
-  /// full match. InvalidArgument on an empty/disconnected pattern.
-  static Result<IncrementalMatcher> Create(const Graph& q, const Graph& g);
+  /// full match (parallel across `num_threads` workers when > 1; 0 means
+  /// hardware concurrency). InvalidArgument on an empty/disconnected
+  /// pattern.
+  static Result<IncrementalMatcher> Create(const Graph& q, const Graph& g,
+                                           size_t num_threads = 1);
+
+  /// Same, with the ball radius supplied by the caller instead of
+  /// recomputed — the seam Engine::OpenIncremental uses to reuse the
+  /// PreparedQuery's compiled diameter.
+  static Result<IncrementalMatcher> CreateWithRadius(const Graph& q,
+                                                     uint32_t radius,
+                                                     const Graph& g,
+                                                     size_t num_threads = 1);
+
+  IncrementalMatcher(IncrementalMatcher&&) noexcept;
+  IncrementalMatcher& operator=(IncrementalMatcher&&) noexcept;
+  ~IncrementalMatcher();
 
   /// \brief Per-update accounting.
   struct UpdateStats {
-    size_t affected_centers = 0;  ///< balls recomputed by this update
-    size_t total_centers = 0;     ///< |V| at update time (the full-recompute cost)
-    double seconds = 0;
+    /// Balls actually recomputed: candidate centers whose label occurs in
+    /// the pattern (centers RecomputeCenters skips are not counted — they
+    /// cost nothing).
+    size_t affected_centers = 0;
+    /// Centers within `radius` of the touched region, any label — the
+    /// locality bound before the label filter.
+    size_t candidate_centers = 0;
+    size_t total_centers = 0;  ///< |V| at update time (full-recompute cost)
+    size_t subgraphs_added = 0;    ///< |delta.added| of this update
+    size_t subgraphs_removed = 0;  ///< |delta.removed| of this update
+    double seconds = 0;            ///< measured wall clock of the update
   };
 
-  /// Applies one edge insertion and repairs the result.
-  /// InvalidArgument for unknown endpoints; AlreadyExists for duplicates.
-  Status InsertEdge(NodeId from, NodeId to, EdgeLabel label = 0);
+  /// Applies one edge insertion and repairs the result. InvalidArgument
+  /// for unknown endpoints; AlreadyExists when the exact (from, to, label)
+  /// edge is present — a parallel edge under a different label is a new
+  /// edge. `delta`, when non-null, receives the net change to Θ.
+  Status InsertEdge(NodeId from, NodeId to, EdgeLabel label = 0,
+                    MatchDelta* delta = nullptr);
 
-  /// Applies one edge deletion and repairs the result. NotFound if absent.
-  Status RemoveEdge(NodeId from, NodeId to);
+  /// Applies one edge deletion and repairs the result. NotFound when no
+  /// exact (from, to, label) edge exists.
+  Status RemoveEdge(NodeId from, NodeId to, EdgeLabel label = 0,
+                    MatchDelta* delta = nullptr);
 
-  /// Adds an isolated node (cheap: no ball can change).
-  NodeId AddNode(Label label);
+  /// Adds an isolated node (cheap: only its own radius-0 ball can match).
+  NodeId AddNode(Label label, MatchDelta* delta = nullptr);
+
+  /// Applies a sequence of edits as one update: affected centers are
+  /// collected across the whole batch and every ball is recomputed once,
+  /// so a batch touching overlapping neighborhoods costs less than the
+  /// same edits applied one by one. Edits apply in order; on the first
+  /// invalid edit the batch stops, the result is repaired for the edits
+  /// already applied (the maintained == from-scratch invariant always
+  /// holds on return), and the edit's error is returned with its index.
+  Status ApplyBatch(std::span<const GraphEdit> edits,
+                    MatchDelta* delta = nullptr);
 
   /// Current Θ: the dedup'd set of maximum perfect subgraphs, sorted by
   /// center.
   std::vector<PerfectSubgraph> CurrentMatches() const;
 
-  /// The maintained data graph (finalized snapshot).
-  const Graph& data() const { return data_; }
-  const Graph& pattern() const { return pattern_; }
-  uint32_t radius() const { return radius_; }
-  const UpdateStats& last_update() const { return last_update_; }
+  /// The maintained data graph (live, mutable adjacency).
+  const MutableGraph& data() const;
+
+  /// The current content materialized as a finalized Graph (O(V + E)) —
+  /// for from-scratch comparison or feeding other engine calls. See
+  /// IncrementalSession::Snapshot for the memoized, cache-friendly form.
+  Graph Snapshot() const;
+
+  const Graph& pattern() const;
+  uint32_t radius() const;
+  /// data().version(): bumped by every applied edit.
+  uint64_t version() const;
+  const UpdateStats& last_update() const;
 
  private:
-  IncrementalMatcher(Graph q, uint32_t radius);
+  struct Impl;
+  explicit IncrementalMatcher(std::unique_ptr<Impl> impl);
 
-  // Rebuilds the finalized snapshot from the mutable adjacency.
-  void Materialize();
-  // Recomputes the balls centered at `centers`.
-  void RecomputeCenters(const std::set<NodeId>& centers);
-  // Centers within `radius_` of v in the *current* snapshot.
-  void CollectNearbyCenters(NodeId v, std::set<NodeId>* centers) const;
-  void FullRecompute();
-
-  Graph pattern_;
-  uint32_t radius_;
-  std::set<Label> pattern_labels_;
-
-  // Mutable adjacency (source of truth between materializations).
-  std::vector<Label> labels_;
-  std::vector<std::vector<std::pair<NodeId, EdgeLabel>>> out_;
-
-  Graph data_;  // finalized snapshot of the above
-  std::unordered_map<NodeId, PerfectSubgraph> by_center_;
-  UpdateStats last_update_;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace gpm

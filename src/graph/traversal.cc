@@ -1,32 +1,6 @@
 #include "graph/traversal.h"
 
-#include "common/logging.h"
-
 namespace gpm {
-
-namespace {
-
-// Expands `v`'s neighborhood for the requested direction, invoking fn(w).
-template <typename Fn>
-inline void ForEachNeighbor(const Graph& g, NodeId v, EdgeDirection direction,
-                            Fn&& fn) {
-  if (direction != EdgeDirection::kIn) {
-    for (NodeId w : g.OutNeighbors(v)) fn(w);
-  }
-  if (direction != EdgeDirection::kOut) {
-    for (NodeId w : g.InNeighbors(v)) fn(w);
-  }
-}
-
-}  // namespace
-
-std::vector<BfsEntry> Bfs(const Graph& g, NodeId source, EdgeDirection direction,
-                          uint32_t max_depth) {
-  BfsWorkspace ws(g.num_nodes());
-  std::vector<BfsEntry> out;
-  ws.Run(g, source, direction, max_depth, &out);
-  return out;
-}
 
 uint32_t UndirectedDistance(const Graph& g, NodeId u, NodeId v) {
   if (u == v) return 0;
@@ -44,36 +18,10 @@ std::vector<uint32_t> SingleSourceDistances(const Graph& g, NodeId source,
 }
 
 BfsWorkspace::BfsWorkspace(size_t num_nodes)
-    : epoch_seen_(num_nodes, 0) {
-  queue_.reserve(256);
-}
+    : epoch_seen_(num_nodes, 0) {}
 
-void BfsWorkspace::Run(const Graph& g, NodeId source, EdgeDirection direction,
-                       uint32_t max_depth, std::vector<BfsEntry>* out) {
-  GPM_CHECK_LE(g.num_nodes(), epoch_seen_.size());
-  GPM_CHECK_LT(source, g.num_nodes());
-  out->clear();
-  ++epoch_;
-  if (epoch_ == 0) {  // stamp wraparound: reset and restart at epoch 1
-    std::fill(epoch_seen_.begin(), epoch_seen_.end(), 0);
-    epoch_ = 1;
-  }
-
-  epoch_seen_[source] = epoch_;
-  out->push_back({source, 0});
-  // `out` itself serves as the frontier queue: entries are appended in
-  // non-decreasing distance order, and `head` walks them once.
-  size_t head = 0;
-  while (head < out->size()) {
-    const BfsEntry cur = (*out)[head++];
-    if (cur.distance >= max_depth) continue;
-    ForEachNeighbor(g, cur.node, direction, [&](NodeId w) {
-      if (epoch_seen_[w] != epoch_) {
-        epoch_seen_[w] = epoch_;
-        out->push_back({w, cur.distance + 1});
-      }
-    });
-  }
+void BfsWorkspace::EnsureCapacity(size_t num_nodes) {
+  if (num_nodes > epoch_seen_.size()) epoch_seen_.resize(num_nodes, 0);
 }
 
 }  // namespace gpm

@@ -1,12 +1,20 @@
 // Breadth-first traversals: directed/undirected, optionally depth-bounded.
 // Balls (paper §2.2) are built from the undirected bounded variant.
+//
+// The traversal core is generic over the graph representation: anything
+// exposing num_nodes() / OutNeighbors(v) / InNeighbors(v) — the finalized
+// Graph and the incremental path's MutableGraph — runs through the same
+// code, so ball construction over a mutating graph needs no per-update
+// re-materialization.
 
 #ifndef GPM_GRAPH_TRAVERSAL_H_
 #define GPM_GRAPH_TRAVERSAL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -25,21 +33,21 @@ struct BfsEntry {
   uint32_t distance;
 };
 
-/// Runs BFS from `source` following `direction`, visiting nodes up to
-/// `max_depth` hops away (kInfiniteDistance = unbounded). Returns entries in
-/// BFS (non-decreasing distance) order; the first entry is (source, 0).
-std::vector<BfsEntry> Bfs(const Graph& g, NodeId source,
-                          EdgeDirection direction,
-                          uint32_t max_depth = kInfiniteDistance);
+namespace internal {
 
-/// Shortest undirected distance between u and v (paper's dist(u, v)), or
-/// kInfiniteDistance if no undirected path exists.
-uint32_t UndirectedDistance(const Graph& g, NodeId u, NodeId v);
+// Expands `v`'s neighborhood for the requested direction, invoking fn(w).
+template <typename GraphT, typename Fn>
+inline void ForEachNeighbor(const GraphT& g, NodeId v,
+                            EdgeDirection direction, Fn&& fn) {
+  if (direction != EdgeDirection::kIn) {
+    for (NodeId w : g.OutNeighbors(v)) fn(w);
+  }
+  if (direction != EdgeDirection::kOut) {
+    for (NodeId w : g.InNeighbors(v)) fn(w);
+  }
+}
 
-/// Distances from `source` to every node (kInfiniteDistance when
-/// unreachable), following `direction`.
-std::vector<uint32_t> SingleSourceDistances(const Graph& g, NodeId source,
-                                            EdgeDirection direction);
+}  // namespace internal
 
 /// \brief Reusable BFS scratch space.
 ///
@@ -51,15 +59,67 @@ class BfsWorkspace {
   /// Prepares scratch for graphs with up to `num_nodes` nodes.
   explicit BfsWorkspace(size_t num_nodes);
 
+  /// Grows the scratch to cover `num_nodes` nodes (no-op when already
+  /// large enough) — incremental callers grow the workspace as their
+  /// mutable graph gains nodes instead of rebuilding it.
+  void EnsureCapacity(size_t num_nodes);
+
   /// Like Bfs(), writing results into `*out` (cleared first).
-  void Run(const Graph& g, NodeId source, EdgeDirection direction,
-           uint32_t max_depth, std::vector<BfsEntry>* out);
+  template <typename GraphT>
+  void Run(const GraphT& g, NodeId source, EdgeDirection direction,
+           uint32_t max_depth, std::vector<BfsEntry>* out) {
+    GPM_CHECK_LE(g.num_nodes(), epoch_seen_.size());
+    GPM_CHECK_LT(source, g.num_nodes());
+    out->clear();
+    ++epoch_;
+    if (epoch_ == 0) {  // stamp wraparound: reset and restart at epoch 1
+      std::fill(epoch_seen_.begin(), epoch_seen_.end(), 0);
+      epoch_ = 1;
+    }
+
+    epoch_seen_[source] = epoch_;
+    out->push_back({source, 0});
+    // `out` itself serves as the frontier queue: entries are appended in
+    // non-decreasing distance order, and `head` walks them once.
+    size_t head = 0;
+    while (head < out->size()) {
+      const BfsEntry cur = (*out)[head++];
+      if (cur.distance >= max_depth) continue;
+      internal::ForEachNeighbor(g, cur.node, direction, [&](NodeId w) {
+        if (epoch_seen_[w] != epoch_) {
+          epoch_seen_[w] = epoch_;
+          out->push_back({w, cur.distance + 1});
+        }
+      });
+    }
+  }
 
  private:
   std::vector<uint32_t> epoch_seen_;  // visitation stamps, avoids clearing
   uint32_t epoch_ = 0;
-  std::vector<NodeId> queue_;
 };
+
+/// Runs BFS from `source` following `direction`, visiting nodes up to
+/// `max_depth` hops away (kInfiniteDistance = unbounded). Returns entries in
+/// BFS (non-decreasing distance) order; the first entry is (source, 0).
+template <typename GraphT>
+std::vector<BfsEntry> Bfs(const GraphT& g, NodeId source,
+                          EdgeDirection direction,
+                          uint32_t max_depth = kInfiniteDistance) {
+  BfsWorkspace ws(g.num_nodes());
+  std::vector<BfsEntry> out;
+  ws.Run(g, source, direction, max_depth, &out);
+  return out;
+}
+
+/// Shortest undirected distance between u and v (paper's dist(u, v)), or
+/// kInfiniteDistance if no undirected path exists.
+uint32_t UndirectedDistance(const Graph& g, NodeId u, NodeId v);
+
+/// Distances from `source` to every node (kInfiniteDistance when
+/// unreachable), following `direction`.
+std::vector<uint32_t> SingleSourceDistances(const Graph& g, NodeId source,
+                                            EdgeDirection direction);
 
 }  // namespace gpm
 

@@ -1,7 +1,5 @@
 #include "matching/ball.h"
 
-#include "common/logging.h"
-
 namespace gpm {
 
 std::vector<NodeId> Ball::BorderNodes() const {
@@ -10,53 +8,6 @@ std::vector<NodeId> Ball::BorderNodes() const {
     if (is_border[v]) border.push_back(v);
   }
   return border;
-}
-
-BallBuilder::BallBuilder(const Graph& g)
-    : g_(g),
-      bfs_(g.num_nodes()),
-      global_to_local_(g.num_nodes(), 0),
-      local_epoch_(g.num_nodes(), 0) {
-  GPM_CHECK(g.finalized());
-}
-
-void BallBuilder::Build(NodeId center, uint32_t radius, Ball* out) {
-  GPM_CHECK_LT(center, g_.num_nodes());
-  out->center = center;
-  out->radius = radius;
-  out->graph = Graph();
-  out->to_global.clear();
-  out->is_border.clear();
-
-  bfs_.Run(g_, center, EdgeDirection::kUndirected, radius, &bfs_out_);
-
-  ++epoch_;
-  if (epoch_ == 0) {
-    std::fill(local_epoch_.begin(), local_epoch_.end(), 0);
-    epoch_ = 1;
-  }
-  // BFS order puts the center first, so LocalCenter() == 0.
-  for (const BfsEntry& e : bfs_out_) {
-    const NodeId local = out->graph.AddNode(g_.label(e.node));
-    global_to_local_[e.node] = local;
-    local_epoch_[e.node] = epoch_;
-    out->to_global.push_back(e.node);
-    out->is_border.push_back(e.distance == radius);
-  }
-  // Induce edges: for each ball node, keep out-edges whose head is inside.
-  for (const BfsEntry& e : bfs_out_) {
-    const NodeId lu = global_to_local_[e.node];
-    auto elabels = g_.OutEdgeLabels(e.node);
-    size_t i = 0;
-    for (NodeId w : g_.OutNeighbors(e.node)) {
-      if (local_epoch_[w] == epoch_) {
-        out->graph.AddEdge(lu, global_to_local_[w],
-                           i < elabels.size() ? elabels[i] : 0);
-      }
-      ++i;
-    }
-  }
-  out->graph.Finalize();
 }
 
 }  // namespace gpm

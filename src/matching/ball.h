@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "common/logging.h"
 #include "graph/graph.h"
 #include "graph/traversal.h"
 #include "graph/types.h"
@@ -34,21 +35,80 @@ struct Ball {
 /// stamped global-to-local map makes each build O(|ball|) with no
 /// per-ball allocation of |V|-sized state. Not thread-safe; use one
 /// builder per thread.
-class BallBuilder {
+///
+/// Generic over the parent-graph representation: the finalized Graph and
+/// the incremental path's MutableGraph both satisfy the required read
+/// surface (num_nodes / label / OutNeighbors / InNeighbors /
+/// OutEdgeLabels); the produced Ball is identical either way (its local
+/// graph is always a finalized Graph). A builder over a growing graph
+/// re-sizes its scratch automatically on the next Build.
+template <typename GraphT>
+class BallBuilderT {
  public:
-  explicit BallBuilder(const Graph& g);
+  explicit BallBuilderT(const GraphT& g)
+      : g_(g),
+        bfs_(g.num_nodes()),
+        global_to_local_(g.num_nodes(), 0),
+        local_epoch_(g.num_nodes(), 0) {
+    if constexpr (requires { g.finalized(); }) GPM_CHECK(g.finalized());
+  }
 
   /// Builds Ĝ[center, radius] into *out (contents replaced).
-  void Build(NodeId center, uint32_t radius, Ball* out);
+  void Build(NodeId center, uint32_t radius, Ball* out) {
+    GPM_CHECK_LT(center, g_.num_nodes());
+    if (g_.num_nodes() > global_to_local_.size()) {
+      bfs_.EnsureCapacity(g_.num_nodes());
+      global_to_local_.resize(g_.num_nodes(), 0);
+      local_epoch_.resize(g_.num_nodes(), 0);
+    }
+    out->center = center;
+    out->radius = radius;
+    out->graph = Graph();
+    out->to_global.clear();
+    out->is_border.clear();
+
+    bfs_.Run(g_, center, EdgeDirection::kUndirected, radius, &bfs_out_);
+
+    ++epoch_;
+    if (epoch_ == 0) {
+      std::fill(local_epoch_.begin(), local_epoch_.end(), 0);
+      epoch_ = 1;
+    }
+    // BFS order puts the center first, so LocalCenter() == 0.
+    for (const BfsEntry& e : bfs_out_) {
+      const NodeId local = out->graph.AddNode(g_.label(e.node));
+      global_to_local_[e.node] = local;
+      local_epoch_[e.node] = epoch_;
+      out->to_global.push_back(e.node);
+      out->is_border.push_back(e.distance == radius);
+    }
+    // Induce edges: for each ball node, keep out-edges whose head is inside.
+    for (const BfsEntry& e : bfs_out_) {
+      const NodeId lu = global_to_local_[e.node];
+      auto elabels = g_.OutEdgeLabels(e.node);
+      size_t i = 0;
+      for (NodeId w : g_.OutNeighbors(e.node)) {
+        if (local_epoch_[w] == epoch_) {
+          out->graph.AddEdge(lu, global_to_local_[w],
+                             i < elabels.size() ? elabels[i] : 0);
+        }
+        ++i;
+      }
+    }
+    out->graph.Finalize();
+  }
 
  private:
-  const Graph& g_;
+  const GraphT& g_;
   BfsWorkspace bfs_;
   std::vector<BfsEntry> bfs_out_;
   std::vector<NodeId> global_to_local_;
   std::vector<uint32_t> local_epoch_;
   uint32_t epoch_ = 0;
 };
+
+/// The common case: balls over a finalized data graph.
+using BallBuilder = BallBuilderT<Graph>;
 
 }  // namespace gpm
 

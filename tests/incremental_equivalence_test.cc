@@ -1,0 +1,219 @@
+// Randomized differential harness for incremental maintenance (in the
+// style of cache_batch_equivalence_test.cc): mixed update sequences —
+// labeled edge inserts/removes, node additions — applied one by one and
+// batched, under Serial and Parallel sessions, always asserting the
+// maintained result equals a from-scratch MatchStrong on the current
+// graph, that every execution mode agrees byte-for-byte, and that the
+// delta stream reconstructs Θ exactly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/incremental_session.h"
+#include "graph/generator.h"
+#include "matching/strong_simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::CanonicalResult;
+
+// A labeled multigraph workload: MakeUniform topology plus random edge
+// labels in [0, num_edge_labels) re-rolled per edge, so parallel labeled
+// edges arise naturally during the update sequence.
+Graph MakeLabeledBase(uint32_t n, uint32_t num_labels,
+                      uint32_t num_edge_labels, uint64_t seed) {
+  const Graph base = MakeUniform(n, 1.2, num_labels, seed);
+  Graph g;
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (NodeId v = 0; v < base.num_nodes(); ++v) g.AddNode(base.label(v));
+  for (NodeId u = 0; u < base.num_nodes(); ++u) {
+    for (NodeId v : base.OutNeighbors(u)) {
+      g.AddEdge(u, v, static_cast<EdgeLabel>(rng.Uniform(num_edge_labels)));
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+// One random edit against the current state of `reference`.
+GraphEdit RandomEdit(const MutableGraph& reference, Rng* rng,
+                     uint32_t num_edge_labels) {
+  const double roll = rng->NextDouble();
+  if (roll < 0.05) {
+    return GraphEdit::AddNode(static_cast<Label>(rng->Uniform(3)));
+  }
+  const NodeId a = static_cast<NodeId>(rng->Uniform(reference.num_nodes()));
+  const NodeId b = static_cast<NodeId>(rng->Uniform(reference.num_nodes()));
+  const EdgeLabel label = static_cast<EdgeLabel>(rng->Uniform(num_edge_labels));
+  if (roll < 0.55) return GraphEdit::InsertEdge(a, b, label);
+  return GraphEdit::RemoveEdge(a, b, label);
+}
+
+void ExpectByteIdentical(const std::vector<PerfectSubgraph>& a,
+                         const std::vector<PerfectSubgraph>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].center, b[i].center);
+    EXPECT_TRUE(a[i].SameSubgraph(b[i]));
+  }
+}
+
+TEST(IncrementalEquivalenceTest, RandomizedDifferentialSweep) {
+  constexpr int kRounds = 3;
+  constexpr int kSteps = 18;
+  constexpr uint32_t kEdgeLabels = 3;
+  Engine engine;
+
+  for (int round = 0; round < kRounds; ++round) {
+    const uint64_t seed = 1000 + 17 * round;
+    const Graph g = MakeLabeledBase(60 + 10 * round, 3, kEdgeLabels, seed);
+    std::vector<Label> pool{0, 1, 2};
+    const Graph q = RandomPattern(3 + round % 2, 1.2, pool, seed + 1);
+    auto prepared = engine.Prepare(q);
+    ASSERT_TRUE(prepared.ok());
+
+    // Four execution modes of the same update stream: serial one-by-one,
+    // parallel one-by-one, serial batched, and a delta mirror.
+    auto serial = engine.OpenIncremental(*prepared, g);
+    IncrementalOptions parallel_options;
+    parallel_options.policy = ExecPolicy::Parallel(4);
+    auto parallel = engine.OpenIncremental(*prepared, g, parallel_options);
+    auto batched = engine.OpenIncremental(*prepared, g);
+    std::map<uint64_t, PerfectSubgraph> mirror;
+    IncrementalOptions mirror_options;
+    mirror_options.delta_sink = [&mirror](SubgraphDelta&& delta) {
+      if (delta.kind == SubgraphDelta::Kind::kAdded) {
+        mirror.emplace(delta.subgraph.ContentHash(),
+                       std::move(delta.subgraph));
+      } else {
+        mirror.erase(delta.subgraph.ContentHash());
+      }
+      return true;
+    };
+    auto mirrored = engine.OpenIncremental(*prepared, g, mirror_options);
+    ASSERT_TRUE(serial.ok() && parallel.ok() && batched.ok() &&
+                mirrored.ok());
+    for (const PerfectSubgraph& pg : mirrored->CurrentMatches()) {
+      mirror.emplace(pg.ContentHash(), pg);
+    }
+
+    Rng rng(seed + 2);
+    std::vector<GraphEdit> pending;
+    for (int step = 0; step < kSteps; ++step) {
+      const GraphEdit edit = RandomEdit(serial->data(), &rng, kEdgeLabels);
+      const Status applied = [&] {
+        switch (edit.kind) {
+          case GraphEdit::Kind::kInsertEdge:
+            return serial->InsertEdge(edit.from, edit.to, edit.edge_label);
+          case GraphEdit::Kind::kRemoveEdge:
+            return serial->RemoveEdge(edit.from, edit.to, edit.edge_label);
+          case GraphEdit::Kind::kAddNode:
+            serial->AddNode(edit.node_label);
+            return Status::OK();
+        }
+        return Status::Internal("unreachable");
+      }();
+      // Every mode sees the same edit stream, rejected edits included
+      // (they must reject identically).
+      switch (edit.kind) {
+        case GraphEdit::Kind::kInsertEdge: {
+          EXPECT_EQ(
+              parallel->InsertEdge(edit.from, edit.to, edit.edge_label).code(),
+              applied.code());
+          EXPECT_EQ(
+              mirrored->InsertEdge(edit.from, edit.to, edit.edge_label).code(),
+              applied.code());
+          break;
+        }
+        case GraphEdit::Kind::kRemoveEdge: {
+          EXPECT_EQ(
+              parallel->RemoveEdge(edit.from, edit.to, edit.edge_label).code(),
+              applied.code());
+          EXPECT_EQ(
+              mirrored->RemoveEdge(edit.from, edit.to, edit.edge_label).code(),
+              applied.code());
+          break;
+        }
+        case GraphEdit::Kind::kAddNode: {
+          parallel->AddNode(edit.node_label);
+          mirrored->AddNode(edit.node_label);
+          break;
+        }
+      }
+      if (applied.ok() || edit.kind == GraphEdit::Kind::kAddNode) {
+        pending.push_back(edit);
+      }
+
+      // Differential check: maintained == from-scratch on every step.
+      auto scratch = MatchStrong(q, *serial->Snapshot());
+      ASSERT_TRUE(scratch.ok());
+      EXPECT_EQ(CanonicalResult(serial->CurrentMatches()),
+                CanonicalResult(*scratch));
+      ExpectByteIdentical(serial->CurrentMatches(),
+                          parallel->CurrentMatches());
+
+      // Delta mirror reconstructs Θ.
+      std::vector<PerfectSubgraph> mirror_list;
+      for (const auto& [hash, pg] : mirror) mirror_list.push_back(pg);
+      EXPECT_EQ(CanonicalResult(mirror_list),
+                CanonicalResult(serial->CurrentMatches()));
+
+      // Batch the accepted edits in chunks of 5: batched must land on the
+      // same state as one-by-one.
+      if (pending.size() >= 5 || step == kSteps - 1) {
+        ASSERT_TRUE(batched->ApplyBatch(pending).ok());
+        pending.clear();
+        ExpectByteIdentical(batched->CurrentMatches(),
+                            serial->CurrentMatches());
+        EXPECT_EQ(batched->data().num_edges(), serial->data().num_edges());
+      }
+    }
+  }
+}
+
+// Parallel-edge stress: a dense multigraph where most updates hit node
+// pairs that already carry an edge under another label.
+TEST(IncrementalEquivalenceTest, LabeledMultigraphChurn) {
+  Engine engine;
+  const Graph g = MakeLabeledBase(40, 2, 2, 77);
+  std::vector<Label> pool{0, 1};
+  const Graph q = RandomPattern(3, 1.3, pool, 78);
+  auto prepared = engine.Prepare(q);
+  ASSERT_TRUE(prepared.ok());
+  auto session = engine.OpenIncremental(*prepared, g);
+  ASSERT_TRUE(session.ok());
+
+  Rng rng(79);
+  size_t parallel_edges_created = 0;
+  for (int step = 0; step < 60; ++step) {
+    // Concentrate churn on a 10-node slice so parallel labeled edges and
+    // exact-duplicate rejections actually occur.
+    const NodeId a = static_cast<NodeId>(rng.Uniform(10));
+    const NodeId b = static_cast<NodeId>(rng.Uniform(10));
+    if (a == b) continue;
+    const EdgeLabel label = static_cast<EdgeLabel>(rng.Uniform(2));
+    if (rng.Bernoulli(0.7)) {
+      const bool had_other_label = session->data().HasEdge(a, b);
+      if (session->InsertEdge(a, b, label).ok() && had_other_label) {
+        ++parallel_edges_created;
+      }
+    } else {
+      (void)session->RemoveEdge(a, b, label);
+    }
+    auto scratch = MatchStrong(q, *session->Snapshot());
+    ASSERT_TRUE(scratch.ok());
+    EXPECT_EQ(CanonicalResult(session->CurrentMatches()),
+              CanonicalResult(*scratch));
+  }
+  // The workload actually exercised label-sensitive parallel edges.
+  EXPECT_GT(parallel_edges_created, 0u);
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,245 @@
+// Engine::OpenIncremental / IncrementalSession: prepared-query reuse,
+// Serial-vs-Parallel determinism, delta streaming, and the snapshot-based
+// engine-cache integration.
+
+#include "api/incremental_session.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "api/engine.h"
+#include "graph/generator.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::CanonicalResult;
+using testutil::MakeGraph;
+
+void ExpectConsistent(const IncrementalSession& session) {
+  auto scratch = MatchStrong(session.pattern(), *session.Snapshot());
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(CanonicalResult(session.CurrentMatches()),
+            CanonicalResult(*scratch));
+}
+
+TEST(IncrementalSessionTest, OpenReusesPreparedQueryAndMatches) {
+  Engine engine;
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2, 1}, {{0, 1}});
+  auto prepared = engine.Prepare(q);
+  ASSERT_TRUE(prepared.ok());
+  auto session = engine.OpenIncremental(*prepared, g);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->radius(), prepared->diameter());
+  EXPECT_EQ(session->CurrentMatches().size(), 1u);
+  ExpectConsistent(*session);
+
+  ASSERT_TRUE(session->InsertEdge(2, 1).ok());
+  ExpectConsistent(*session);
+  // Balls around nodes 0, 1, and 2 each yield a distinct subgraph now.
+  EXPECT_EQ(session->CurrentMatches().size(), 3u);
+}
+
+TEST(IncrementalSessionTest, OpenValidatesInputs) {
+  Engine engine;
+  Graph g = MakeGraph({1, 2}, {{0, 1}});
+
+  // Disconnected pattern: the strong family cannot run.
+  Graph disconnected = MakeGraph({1, 2}, {});
+  auto bad = engine.Prepare(disconnected);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_TRUE(
+      engine.OpenIncremental(*bad, g).status().IsInvalidArgument());
+
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  auto prepared = engine.Prepare(q);
+  ASSERT_TRUE(prepared.ok());
+
+  // Distributed sessions are rejected, with the policy named.
+  IncrementalOptions options;
+  options.policy = ExecPolicy::Distributed();
+  const Status distributed =
+      engine.OpenIncremental(*prepared, g, options).status();
+  EXPECT_EQ(distributed.code(), StatusCode::kNotImplemented);
+
+  // Regex queries have no incremental executor.
+  RegexQuery regex(q);
+  auto regex_prepared = engine.Prepare(std::move(regex));
+  ASSERT_TRUE(regex_prepared.ok());
+  EXPECT_EQ(engine.OpenIncremental(*regex_prepared, g).status().code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(IncrementalSessionTest, ParallelSessionIsByteIdenticalToSerial) {
+  Engine engine;
+  Graph g = MakeUniform(70, 1.25, 3, 21);
+  std::vector<Label> pool{0, 1, 2};
+  Graph q = RandomPattern(3, 1.2, pool, 22);
+  auto prepared = engine.Prepare(q);
+  ASSERT_TRUE(prepared.ok());
+
+  auto serial = engine.OpenIncremental(*prepared, g);
+  IncrementalOptions parallel_options;
+  parallel_options.policy = ExecPolicy::Parallel(4);
+  auto parallel = engine.OpenIncremental(*prepared, g, parallel_options);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+
+  Rng rng(23);
+  for (int step = 0; step < 15; ++step) {
+    const NodeId a = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+    const NodeId b = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+    if (a == b) continue;
+    if (rng.Bernoulli(0.5)) {
+      const bool s = serial->InsertEdge(a, b).ok();
+      const bool p = parallel->InsertEdge(a, b).ok();
+      EXPECT_EQ(s, p);
+    } else {
+      const bool s = serial->RemoveEdge(a, b).ok();
+      const bool p = parallel->RemoveEdge(a, b).ok();
+      EXPECT_EQ(s, p);
+    }
+    // Byte-identical: same subgraphs in the same (center, hash) order.
+    const auto serial_matches = serial->CurrentMatches();
+    const auto parallel_matches = parallel->CurrentMatches();
+    ASSERT_EQ(serial_matches.size(), parallel_matches.size());
+    for (size_t i = 0; i < serial_matches.size(); ++i) {
+      EXPECT_EQ(serial_matches[i].center, parallel_matches[i].center);
+      EXPECT_TRUE(serial_matches[i].SameSubgraph(parallel_matches[i]));
+    }
+  }
+  ExpectConsistent(*serial);
+  ExpectConsistent(*parallel);
+}
+
+TEST(IncrementalSessionTest, DeltaSinkMirrorsMaintainedResult) {
+  Engine engine;
+  Graph g = MakeUniform(50, 1.25, 3, 31);
+  std::vector<Label> pool{0, 1, 2};
+  Graph q = RandomPattern(3, 1.2, pool, 32);
+  auto prepared = engine.Prepare(q);
+  ASSERT_TRUE(prepared.ok());
+
+  // Mirror Θ by content hash from the delta stream alone.
+  std::map<uint64_t, PerfectSubgraph> mirror;
+  IncrementalOptions options;
+  options.delta_sink = [&mirror](SubgraphDelta&& delta) {
+    const uint64_t hash = delta.subgraph.ContentHash();
+    if (delta.kind == SubgraphDelta::Kind::kAdded) {
+      EXPECT_EQ(mirror.count(hash), 0u);
+      mirror.emplace(hash, std::move(delta.subgraph));
+    } else {
+      EXPECT_EQ(mirror.count(hash), 1u);
+      mirror.erase(hash);
+    }
+    return true;
+  };
+  auto session = engine.OpenIncremental(*prepared, g, options);
+  ASSERT_TRUE(session.ok());
+  // The initial result is not streamed: seed the mirror from it.
+  for (const PerfectSubgraph& pg : session->CurrentMatches()) {
+    mirror.emplace(pg.ContentHash(), pg);
+  }
+
+  Rng rng(33);
+  for (int step = 0; step < 20; ++step) {
+    const NodeId a = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+    const NodeId b = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+    if (a == b) continue;
+    if (rng.Bernoulli(0.6)) {
+      (void)session->InsertEdge(a, b);
+    } else {
+      (void)session->RemoveEdge(a, b);
+    }
+    std::vector<PerfectSubgraph> mirrored;
+    for (const auto& [hash, pg] : mirror) mirrored.push_back(pg);
+    EXPECT_EQ(CanonicalResult(mirrored),
+              CanonicalResult(session->CurrentMatches()));
+  }
+}
+
+TEST(IncrementalSessionTest, SinkStopMutesStreamButUpdatesContinue) {
+  Engine engine;
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2, 1, 2}, {});
+  auto prepared = engine.Prepare(q);
+  ASSERT_TRUE(prepared.ok());
+  size_t delivered = 0;
+  IncrementalOptions options;
+  options.delta_sink = [&delivered](SubgraphDelta&&) {
+    ++delivered;
+    return false;  // stop after the first delivery
+  };
+  auto session = engine.OpenIncremental(*prepared, g, options);
+  ASSERT_TRUE(session.ok());
+
+  ASSERT_TRUE(session->InsertEdge(0, 1).ok());
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_TRUE(session->sink_stopped());
+  // Updates keep applying; the stream stays mute.
+  ASSERT_TRUE(session->InsertEdge(2, 3).ok());
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(session->CurrentMatches().size(), 2u);
+  ExpectConsistent(*session);
+}
+
+TEST(IncrementalSessionTest, SnapshotIsMemoizedPerDataVersion) {
+  Engine engine;
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2, 1}, {{0, 1}});
+  auto prepared = engine.Prepare(q);
+  ASSERT_TRUE(prepared.ok());
+  auto session = engine.OpenIncremental(*prepared, g);
+  ASSERT_TRUE(session.ok());
+
+  // Unchanged session: the same materialized Graph (same identity).
+  auto first = session->Snapshot();
+  auto again = session->Snapshot();
+  EXPECT_EQ(first.get(), again.get());
+  EXPECT_EQ(first->instance_id(), again->instance_id());
+
+  const uint64_t version_before = session->data_version();
+  ASSERT_TRUE(session->InsertEdge(2, 1).ok());
+  EXPECT_GT(session->data_version(), version_before);
+  auto after = session->Snapshot();
+  EXPECT_NE(first.get(), after.get());
+  EXPECT_NE(first->instance_id(), after->instance_id());
+  EXPECT_EQ(after->num_edges(), 2u);
+}
+
+// The cache-integration story end to end: repeated engine matches against
+// an unchanged session share cache entries; a mutation re-keys them via
+// the fresh snapshot identity, so no stale result can be served.
+TEST(IncrementalSessionTest, SnapshotsIntegrateWithEngineCaches) {
+  Engine engine;
+  Graph q = MakeGraph({1, 2}, {{0, 1}});
+  Graph g = MakeGraph({1, 2, 1}, {{0, 1}});
+  auto prepared = engine.Prepare(q);
+  ASSERT_TRUE(prepared.ok());
+  auto session = engine.OpenIncremental(*prepared, g);
+  ASSERT_TRUE(session.ok());
+
+  MatchRequest request;
+  request.algo = Algo::kStrong;
+  auto cold = engine.Match(*prepared, *session->Snapshot(), request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->stats.result_cache_hits, 0u);
+  auto warm = engine.Match(*prepared, *session->Snapshot(), request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats.result_cache_hits, 1u);
+  EXPECT_EQ(warm->subgraphs.size(), cold->subgraphs.size());
+
+  // Mutate: the next snapshot is a different graph; the result cache
+  // must miss and the fresh answer must reflect the update.
+  ASSERT_TRUE(session->InsertEdge(2, 1).ok());
+  auto fresh = engine.Match(*prepared, *session->Snapshot(), request);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->stats.result_cache_hits, 0u);
+  EXPECT_EQ(fresh->subgraphs.size(), session->CurrentMatches().size());
+}
+
+}  // namespace
+}  // namespace gpm

@@ -18,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${GPM_BUILD_DIR:-build}"
-GATED_BENCHES=(serving_path regex_scaling)
+GATED_BENCHES=(serving_path regex_scaling incremental_updates)
 
 echo "== configure + build =="
 cmake -B "$BUILD_DIR" -S . >/dev/null

@@ -6,6 +6,7 @@
 //   gpm_cli extract --nodes 6 --seed 3 --graph data.g --out pattern.g
 //   gpm_cli match --algo strong+ --pattern pattern.g --graph data.g
 //   gpm_cli batch --patterns p1.g,p2.g --graph data.g --repeat 3
+//   gpm_cli watch --pattern pattern.g --graph data.g --updates 20
 //   gpm_cli minimize --pattern pattern.g
 //
 // Graphs use the text format of graph/graph_io.h.
@@ -77,6 +78,10 @@ int Usage() {
                "           or '*', max may be '~' for unbounded)\n"
                "  gpm_cli batch --patterns FILE[,FILE...] --graph FILE\n"
                "          [--algo NAME] [--threads N] [--repeat R]\n"
+               "  gpm_cli watch --pattern FILE --graph FILE [--updates N]\n"
+               "          [--batch B] [--threads N] [--seed S]\n"
+               "          (continuous query: random edge updates repair\n"
+               "           only the affected balls; deltas are printed)\n"
                "  gpm_cli algos\n"
                "  gpm_cli minimize --pattern FILE [--out FILE]\n",
                AlgoNameList().c_str());
@@ -357,6 +362,144 @@ int RunBatch(const Args& args) {
   return 0;
 }
 
+int RunWatch(const Args& args) {
+  const std::string pattern_path = args.Get("pattern", "");
+  const std::string graph_path = args.Get("graph", "");
+  auto updates = ParseUint64(args.Get("updates", "20"));
+  auto batch = ParseUint64(args.Get("batch", "0"));
+  auto threads = ParseUint64(args.Get("threads", "0"));
+  auto seed = ParseUint64(args.Get("seed", "1"));
+  if (pattern_path.empty() || graph_path.empty())
+    return Fail("--pattern and --graph are required");
+  if (!updates.ok() || !batch.ok() || !threads.ok() || !seed.ok())
+    return Fail("bad numeric flag");
+  auto q = LoadGraph(pattern_path);
+  if (!q.ok()) return Fail(q.status().ToString());
+  auto g = LoadGraph(graph_path);
+  if (!g.ok()) return Fail(g.status().ToString());
+
+  Engine engine;
+  auto prepared = engine.Prepare(*q);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+
+  // Open the continuous query: random edge churn repairs only the balls
+  // near each touched endpoint, and net Θ changes stream to the sink.
+  size_t added = 0, removed = 0;
+  IncrementalOptions options;
+  if (*threads > 0) options.policy = ExecPolicy::Parallel(*threads);
+  options.delta_sink = [&added, &removed](SubgraphDelta&& delta) {
+    if (delta.kind == SubgraphDelta::Kind::kAdded) {
+      ++added;
+      std::printf("  + subgraph around node %u (%zu nodes)\n",
+                  delta.subgraph.center, delta.subgraph.nodes.size());
+    } else {
+      ++removed;
+      std::printf("  - subgraph on %zu nodes (smallest %u)\n",
+                  delta.subgraph.nodes.size(), delta.subgraph.center);
+    }
+    return true;
+  };
+  auto session = engine.OpenIncremental(*prepared, *g, std::move(options));
+  if (!session.ok()) return Fail(session.status().ToString());
+  std::printf("watching %zu-node graph, %zu initial match(es), dQ = %u\n",
+              g->num_nodes(), session->CurrentMatches().size(),
+              session->radius());
+
+  Rng rng(*seed);
+  double total_seconds = 0;
+  size_t applied = 0, affected = 0;
+  std::vector<GraphEdit> pending;
+  // Progress guarantee on degenerate graphs (few feasible pairs): give up
+  // after a bounded number of rejected candidates instead of spinning.
+  size_t rejected = 0;
+  const size_t max_rejected = 200 * (*updates + 1);
+  const auto flush = [&](bool force) -> Result<bool> {
+    if (pending.empty() || (!force && pending.size() < *batch)) return false;
+    Status s = session->ApplyBatch(pending);
+    if (!s.ok()) return s;
+    pending.clear();
+    affected += session->last_update().affected_centers;
+    total_seconds += session->last_update().seconds;
+    return true;
+  };
+  while (applied < *updates && rejected < max_rejected) {
+    const NodeId a = static_cast<NodeId>(rng.Uniform(g->num_nodes()));
+    const NodeId b = static_cast<NodeId>(rng.Uniform(g->num_nodes()));
+    if (a == b) {
+      ++rejected;
+      continue;
+    }
+    const GraphEdit edit = rng.Bernoulli(0.7) ? GraphEdit::InsertEdge(a, b)
+                                              : GraphEdit::RemoveEdge(a, b);
+    if (*batch > 1) {
+      // Validate against the live adjacency (and the edits already queued
+      // for this batch) so the batch applies cleanly.
+      const bool feasible =
+          edit.kind == GraphEdit::Kind::kInsertEdge
+              ? !session->data().HasEdge(a, b, 0)
+              : session->data().HasEdge(a, b, 0);
+      const bool conflicts = std::any_of(
+          pending.begin(), pending.end(), [&](const GraphEdit& p) {
+            return p.from == a && p.to == b;
+          });
+      if (!feasible || conflicts) {
+        ++rejected;
+        continue;
+      }
+      pending.push_back(edit);
+      ++applied;
+      auto flushed = flush(applied == *updates);
+      if (!flushed.ok()) return Fail(flushed.status().ToString());
+      continue;
+    }
+    const Status s = edit.kind == GraphEdit::Kind::kInsertEdge
+                         ? session->InsertEdge(a, b)
+                         : session->RemoveEdge(a, b);
+    if (!s.ok()) {
+      ++rejected;  // duplicate / absent edge: try another pair
+      continue;
+    }
+    ++applied;
+    affected += session->last_update().affected_centers;
+    total_seconds += session->last_update().seconds;
+  }
+  if (auto flushed = flush(true); !flushed.ok()) {
+    return Fail(flushed.status().ToString());
+  }
+  if (applied < *updates) {
+    std::printf("stopped after %zu update(s): no more feasible edits\n",
+                applied);
+  }
+
+  std::printf("%zu update(s) in %.2f ms (%.3f ms avg, %zu ball repairs, "
+              "%.1f avg); deltas: +%zu -%zu; matches now: %zu\n",
+              applied, total_seconds * 1e3,
+              applied > 0 ? total_seconds * 1e3 / applied : 0, affected,
+              applied > 0 ? static_cast<double>(affected) / applied : 0,
+              added, removed, session->CurrentMatches().size());
+
+  // Cross-check the maintained result against a from-scratch match of the
+  // final snapshot — the invariant the differential suite locks down.
+  // Both sides are canonical (min-center representative, center order), so
+  // compare (center, content hash) pairs, not just counts.
+  MatchRequest verify;
+  verify.algo = Algo::kStrong;
+  auto scratch = engine.Match(*prepared, *session->Snapshot(), verify);
+  if (!scratch.ok()) return Fail(scratch.status().ToString());
+  const auto maintained = session->CurrentMatches();
+  bool identical = scratch->subgraphs.size() == maintained.size();
+  for (size_t i = 0; identical && i < maintained.size(); ++i) {
+    identical = scratch->subgraphs[i].center == maintained[i].center &&
+                scratch->subgraphs[i].SameSubgraph(maintained[i]);
+  }
+  if (!identical) {
+    return Fail("maintained result disagrees with from-scratch match");
+  }
+  std::printf("verified against from-scratch match (%zu subgraph(s))\n",
+              maintained.size());
+  return 0;
+}
+
 int RunMinimize(const Args& args) {
   const std::string pattern_path = args.Get("pattern", "");
   if (pattern_path.empty()) return Fail("--pattern is required");
@@ -388,6 +531,7 @@ int main(int argc, char** argv) {
   if (command == "extract") return gpm::RunExtract(args);
   if (command == "match") return gpm::RunMatch(args);
   if (command == "batch") return gpm::RunBatch(args);
+  if (command == "watch") return gpm::RunWatch(args);
   if (command == "algos") return gpm::RunAlgos();
   if (command == "minimize") return gpm::RunMinimize(args);
   return gpm::Usage();
