@@ -1,0 +1,219 @@
+// Serving-under-load benchmark: the epoch-snapshot serving layer
+// (src/serving/) measured end to end — concurrent readers against a
+// GpmServer while a writer churns the graph through the incremental
+// session, publishing a new snapshot epoch per batch.
+//
+//   1. read-only: N client threads, closed loop, no writer — the
+//      baseline QPS and latency quantiles of the pinned-snapshot path.
+//   2. read+write: the same reader fleet while the writer applies batched
+//      random edits; every batch publishes an epoch readers migrate to
+//      and retires the old snapshot for reclamation. The headline claim
+//      (ISSUE 6 acceptance): reader QPS under churn stays >= 0.5x the
+//      read-only baseline, and every response equals some published
+//      version's true answer (consistency hashes across readers plus a
+//      post-run from-scratch audit on retained snapshots).
+//   3. admission: the same mix behind per-client token buckets sized
+//      below the offered rate — over-rate requests are rejected, not
+//      queued, and the reject counter proves it.
+//
+// Emits BENCH_serving_load.json for tools/bench_trend.py.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "serving/load_driver.h"
+
+int main() {
+  using namespace gpm;
+  using namespace gpm::serving;
+  const BenchScale scale = BenchScale::FromEnv();
+  bench::PrintHeader("Serving load", "epoch-snapshot reads during writes",
+                     scale);
+
+  // Uniform synthetic data: without the hub nodes of the scale-free
+  // kinds, a radius-dQ repair ball stays local and the writer's
+  // per-batch cost is genuinely incremental — the serving shape this
+  // bench is about (hub-dominated repair is incremental_updates.cc's
+  // territory).
+  const uint32_t n = scale.Pick(2000, 20000);
+  const Graph g = MakeDataset(DatasetKind::kUniform, n, /*seed=*/53, 1.2,
+                              ScaledLabelCount(n));
+  std::vector<Graph> patterns =
+      MakePatternWorkload(g, /*nq=*/8, /*count=*/3, /*seed=*/12000);
+  // One small pattern rides along as the writer's maintained continuous
+  // query: its diameter bounds the repair-ball radius, so per-batch
+  // repair stays local instead of re-matching most of the graph.
+  for (Graph& small : MakePatternWorkload(g, /*nq=*/4, /*count=*/1,
+                                          /*seed=*/7700)) {
+    patterns.push_back(std::move(small));
+  }
+  if (patterns.empty()) {
+    std::printf("no pattern extracted\n");
+    return 1;
+  }
+
+  Engine engine;  // default serving caches on — that's the deployment
+  std::vector<std::shared_ptr<const PreparedQuery>> queries;
+  for (const Graph& pattern : patterns) {
+    auto prepared = engine.PrepareCached(pattern);
+    if (!prepared.ok()) {
+      std::printf("prepare error: %s\n",
+                  prepared.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(*prepared);
+  }
+  std::printf("amazon-like |V| = %s, |E| = %s, %zu patterns of 8 nodes, "
+              "algo strong+\n\n",
+              WithThousandsSeparators(g.num_nodes()).c_str(),
+              WithThousandsSeparators(g.num_edges()).c_str(),
+              queries.size());
+
+  ServerOptions server_options;
+  server_options.deadline_seconds = 0.25;
+  server_options.max_clients = 16;
+  // The writer maintains one continuous query; pick the smallest-diameter
+  // pattern so each edit's repair radius (and thus the per-batch cost on
+  // this shared core) stays modest — the serving choice a deployment
+  // would make too.
+  for (size_t i = 1; i < queries.size(); ++i) {
+    if (queries[i]->diameter() <
+        queries[server_options.writer_query_index]->diameter()) {
+      server_options.writer_query_index = i;
+    }
+  }
+  std::printf("writer maintains pattern %zu (diameter %u)\n",
+              server_options.writer_query_index,
+              queries[server_options.writer_query_index]->diameter());
+  auto server = GpmServer::Create(engine, queries, g, server_options);
+  if (!server.ok()) {
+    std::printf("server error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::JsonReport report("serving_load");
+  LoadOptions base;
+  base.client_threads = 4;
+  base.request = bench::RequestFor(Algo::kStrongPlus);
+  base.seed = 7;
+  base.verify_retain = 6;
+
+  // Warm the serving caches first (prepared queries, dual-filter memos,
+  // materialized results for the initial snapshot) so phase 1 is the
+  // steady-state baseline, not the first-ever cold matches — otherwise
+  // the churn-vs-baseline ratio compares against an artificially slow
+  // baseline and passes for the wrong reason.
+  LoadOptions warmup = base;
+  warmup.client_threads = 2;
+  warmup.duration_seconds = 1.0;
+  warmup.verify = false;
+  (void)RunLoad(*server, warmup);
+
+  // -- 0. uncontended writer cost ------------------------------------------
+  // A writer-only run (no readers) measures the true per-batch repair +
+  // publish cost. This is the gated JSON entry: under concurrent readers
+  // the same measurement is mostly scheduler time-slicing on a shared
+  // core (2x run-to-run swings), so the contended number is printed in
+  // the phase reports instead of gated.
+  LoadOptions writer_only = base;
+  writer_only.client_threads = 0;
+  writer_only.duration_seconds = 1.5;
+  writer_only.churn_edits_per_second = 9;
+  writer_only.churn_batch = 3;
+  writer_only.verify = false;
+  const LoadReport solo = RunLoad(*server, writer_only);
+  if (solo.writer_batches > 0) {
+    const double per_batch =
+        solo.writer_seconds / static_cast<double>(solo.writer_batches);
+    std::printf("[writer-only] %llu batches, %.1f ms repair+publish each\n\n",
+                static_cast<unsigned long long>(solo.writer_batches),
+                per_batch * 1e3);
+    report.Add("writer/batch_uncontended", per_batch);
+  }
+
+  // -- 1. read-only baseline ---------------------------------------------
+  LoadOptions readonly = base;
+  readonly.duration_seconds = 2.5;
+  std::printf("[read-only] %zu client threads, closed loop, %.1fs\n",
+              readonly.client_threads, readonly.duration_seconds);
+  const LoadReport baseline = RunLoad(*server, readonly);
+  std::printf("%s\n", RenderReport(baseline).c_str());
+  report.Add("readonly/mean", baseline.latency.mean_seconds);
+  report.Add("readonly/p99", baseline.latency.p99_seconds);
+
+  // -- 2. read + write churn ----------------------------------------------
+  LoadOptions churn = base;
+  churn.duration_seconds = 4.0;
+  churn.churn_edits_per_second = 3;
+  churn.churn_batch = 3;  // ~1 published epoch per second offered
+  churn.seed = 8;
+  std::printf("[read+write] same fleet, writer churn %.0f edits/s in "
+              "batches of %zu, %.1fs\n",
+              churn.churn_edits_per_second, churn.churn_batch,
+              churn.duration_seconds);
+  const LoadReport churned = RunLoad(*server, churn);
+  std::printf("%s\n", RenderReport(churned).c_str());
+  report.Add("churn/mean", churned.latency.mean_seconds);
+  report.Add("churn/p99", churned.latency.p99_seconds);
+
+  // -- 3. admission control -----------------------------------------------
+  LoadOptions admission = base;
+  admission.client_threads = 2;
+  admission.duration_seconds = 1.5;
+  admission.target_qps = 150;   // offered per client...
+  admission.admission_rate = 40;  // ...but admitted at 40/s per client
+  admission.admission_burst = 10;
+  admission.seed = 9;
+  std::printf("[admission] 2 clients offering %.0f qps each, bucket "
+              "%.0f/s burst %.0f, %.1fs\n",
+              admission.target_qps, admission.admission_rate,
+              admission.admission_burst, admission.duration_seconds);
+  const LoadReport throttled = RunLoad(*server, admission);
+  std::printf("%s\n", RenderReport(throttled).c_str());
+  report.Add("admission/mean", throttled.latency.mean_seconds);
+
+  // -- SHAPE-CHECKs ---------------------------------------------------------
+  std::printf("SHAPE-CHECK\n");
+  bench::ShapeCheck(
+      baseline.errors == 0 && churned.errors == 0 && throttled.errors == 0,
+      "no serve errors in any phase");
+  bench::ShapeCheck(baseline.served > 0 && baseline.latency.count > 0,
+                    "read-only phase served requests");
+  bench::ShapeCheck(baseline.latency.p99_seconds >=
+                            baseline.latency.p50_seconds &&
+                        baseline.latency.p50_seconds > 0,
+                    "read-only p99 >= p50 > 0");
+  bench::ShapeCheck(churned.snapshots_published > 0,
+                    "writer churn published new snapshot epochs");
+  bench::ShapeCheck(churned.snapshots_reclaimed > 0,
+                    "retired snapshots were reclaimed once their epoch "
+                    "drained");
+  bench::ShapeCheck(
+      churned.qps >= 0.5 * baseline.qps,
+      "reader QPS under writer churn >= 0.5x read-only baseline (" +
+          std::to_string(churned.qps) + " vs " +
+          std::to_string(baseline.qps) + ")");
+  bench::ShapeCheck(churned.latency.p99_seconds >=
+                            churned.latency.p50_seconds &&
+                        churned.latency.p50_seconds > 0,
+                    "churn p99 >= p50 > 0");
+  bench::ShapeCheck(baseline.consistency_mismatches == 0 &&
+                        churned.consistency_mismatches == 0 &&
+                        throttled.consistency_mismatches == 0,
+                    "readers of one snapshot version always agreed");
+  bench::ShapeCheck(churned.groundtruth_checked > 0 &&
+                        baseline.groundtruth_mismatches == 0 &&
+                        churned.groundtruth_mismatches == 0 &&
+                        throttled.groundtruth_mismatches == 0,
+                    "every audited answer equals the from-scratch result "
+                    "of its published version");
+  bench::ShapeCheck(throttled.rejected > 0 && throttled.served > 0,
+                    "admission control rejected over-rate requests while "
+                    "serving the rest");
+
+  report.Write();
+  return 0;
+}

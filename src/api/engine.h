@@ -83,6 +83,14 @@
 // Per-call cache observability lands in MatchStats
 // (filter_cache_hits/misses, balls_shared); aggregate hit rates in
 // cache_stats().
+//
+// Serving under writes: OpenIncremental returns an IncrementalSession
+// whose SubscribeSnapshots seam publishes each committed version as an
+// immutable Graph; src/serving/ (SnapshotManager + GpmServer) builds the
+// concurrent-reads-during-writes story on that seam — readers pin a
+// snapshot epoch and Match against it while the writer repairs version
+// N+1, with the instance_id contract above re-keying the caches per
+// published version.
 
 #ifndef GPM_API_ENGINE_H_
 #define GPM_API_ENGINE_H_

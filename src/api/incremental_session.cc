@@ -1,51 +1,91 @@
 #include "api/incremental_session.h"
 
+#include <mutex>
 #include <utility>
 
 namespace gpm {
 
 Status IncrementalSession::InsertEdge(NodeId from, NodeId to,
                                       EdgeLabel label) {
+  std::lock_guard<std::mutex> lock(sync_->mu);
   MatchDelta delta;
   Status s = matcher_.InsertEdge(from, to, label, &delta);
   Emit(std::move(delta));  // empty (a no-op) when the edit was rejected
+  NotifyLocked();
   return s;
 }
 
 Status IncrementalSession::RemoveEdge(NodeId from, NodeId to,
                                       EdgeLabel label) {
+  std::lock_guard<std::mutex> lock(sync_->mu);
   MatchDelta delta;
   Status s = matcher_.RemoveEdge(from, to, label, &delta);
   Emit(std::move(delta));
+  NotifyLocked();
   return s;
 }
 
 NodeId IncrementalSession::AddNode(Label label) {
+  std::lock_guard<std::mutex> lock(sync_->mu);
   MatchDelta delta;
   const NodeId id = matcher_.AddNode(label, &delta);
   Emit(std::move(delta));
+  NotifyLocked();
   return id;
 }
 
 Status IncrementalSession::ApplyBatch(std::span<const GraphEdit> edits) {
+  std::lock_guard<std::mutex> lock(sync_->mu);
   MatchDelta delta;
   Status s = matcher_.ApplyBatch(edits, &delta);
   // On a mid-batch failure the applied prefix was repaired; its delta is
-  // real and still streams.
+  // real and still streams (and its version bump still publishes).
   Emit(std::move(delta));
+  NotifyLocked();
   return s;
 }
 
 std::vector<PerfectSubgraph> IncrementalSession::CurrentMatches() const {
+  std::lock_guard<std::mutex> lock(sync_->mu);
   return matcher_.CurrentMatches();
 }
 
 std::shared_ptr<const Graph> IncrementalSession::Snapshot() const {
-  if (snapshot_ == nullptr || snapshot_version_ != matcher_.version()) {
-    snapshot_ = std::make_shared<const Graph>(matcher_.Snapshot());
-    snapshot_version_ = matcher_.version();
+  std::lock_guard<std::mutex> lock(sync_->mu);
+  return SnapshotLocked();
+}
+
+PublishedSnapshot IncrementalSession::PublishSnapshot() const {
+  std::lock_guard<std::mutex> lock(sync_->mu);
+  return {SnapshotLocked(), matcher_.version()};
+}
+
+void IncrementalSession::SubscribeSnapshots(SnapshotSubscriber subscriber) {
+  std::lock_guard<std::mutex> lock(sync_->mu);
+  sync_->subscriber = std::move(subscriber);
+  sync_->last_published_version = matcher_.version();
+}
+
+uint64_t IncrementalSession::data_version() const {
+  std::lock_guard<std::mutex> lock(sync_->mu);
+  return matcher_.version();
+}
+
+std::shared_ptr<const Graph> IncrementalSession::SnapshotLocked() const {
+  if (sync_->snapshot == nullptr ||
+      sync_->snapshot_version != matcher_.version()) {
+    sync_->snapshot = std::make_shared<const Graph>(matcher_.Snapshot());
+    sync_->snapshot_version = matcher_.version();
   }
-  return snapshot_;
+  return sync_->snapshot;
+}
+
+void IncrementalSession::NotifyLocked() {
+  if (sync_->subscriber == nullptr) return;
+  const uint64_t version = matcher_.version();
+  if (version == sync_->last_published_version) return;  // edit was rejected
+  sync_->last_published_version = version;
+  sync_->subscriber(PublishedSnapshot{SnapshotLocked(), version});
 }
 
 void IncrementalSession::Emit(MatchDelta&& delta) {

@@ -14,7 +14,23 @@
 //     unchanged session hit the engine's (pattern, data) memos and result
 //     cache, and any mutation re-keys them naturally through the fresh
 //     snapshot's instance_id — no TickDataVersion, no per-update
-//     finalize/instance-id churn.
+//     finalize/instance-id churn, and
+//   - is the publication seam of the serving layer: PublishSnapshot()
+//     returns an atomically consistent (snapshot, version) pair, and
+//     SubscribeSnapshots() delivers that pair after every version-changing
+//     update — src/serving/'s SnapshotManager plugs in here.
+//
+// Thread-safety: every member that touches the maintained state — the
+// mutators, Snapshot()/PublishSnapshot(), CurrentMatches(), data_version(),
+// last_update() — serializes on one internal session mutex, so any number
+// of reader threads may call Snapshot()/PublishSnapshot() while one writer
+// edits: a reader atomically observes either the pre- or the post-edit
+// version, never a torn pair and never a memo race. (Writer mutations
+// still must not race each other by contract — the lock makes that safe
+// too, just not meaningful.) The exceptions are data() — a live borrow of
+// the mutable adjacency, safe only on the writer thread — and move
+// construction/assignment, which must be externally quiesced like any
+// move.
 //
 // DeltaSink contract (the streaming analog of SubgraphSink for updates):
 //   - After each applied update, removed subgraphs are delivered first
@@ -30,8 +46,10 @@
 #ifndef GPM_API_INCREMENTAL_SESSION_H_
 #define GPM_API_INCREMENTAL_SESSION_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -53,6 +71,20 @@ struct SubgraphDelta {
 /// delta stream (updates continue to apply). See the file comment for the
 /// delivery contract.
 using DeltaSink = std::function<bool(SubgraphDelta&&)>;
+
+/// \brief An atomically consistent (snapshot, version) pair — what a
+/// serving layer installs as one published graph version.
+struct PublishedSnapshot {
+  std::shared_ptr<const Graph> graph;
+  uint64_t version = 0;
+};
+
+/// \brief Consumer of published snapshots (SubscribeSnapshots). Invoked
+/// from the updating thread, under the session lock, once per applied
+/// update whose version changed — so deliveries arrive in version order
+/// and never interleave. The subscriber must not call back into the
+/// session (self-deadlock).
+using SnapshotSubscriber = std::function<void(const PublishedSnapshot&)>;
 
 /// \brief Per-session knobs of Engine::OpenIncremental.
 struct IncrementalOptions {
@@ -89,18 +121,36 @@ class IncrementalSession {
   /// Current Θ, sorted by center.
   std::vector<PerfectSubgraph> CurrentMatches() const;
 
-  /// The live adjacency (reads are always current; cheap).
+  /// The live adjacency (reads are always current; cheap). Unsynchronized
+  /// borrow: safe only on the updating thread — concurrent readers should
+  /// go through Snapshot()/PublishSnapshot().
   const MutableGraph& data() const { return matcher_.data(); }
 
   /// The current graph as a finalized snapshot, materialized at most once
   /// per data version: between mutations every call returns the *same*
   /// Graph (same instance_id), so engine matches against it share cache
-  /// entries; after a mutation the next call builds a fresh one.
+  /// entries; after a mutation the next call builds a fresh one. Safe to
+  /// call from any thread, concurrently with the writer (see the
+  /// thread-safety contract in the file comment).
   std::shared_ptr<const Graph> Snapshot() const;
+
+  /// Snapshot() plus the version it materializes, as one atomic pair —
+  /// what a serving layer should publish. Calling Snapshot() and
+  /// data_version() separately can interleave with a writer edit; this
+  /// cannot.
+  PublishedSnapshot PublishSnapshot() const;
+
+  /// Registers `subscriber` (replacing any previous one; null clears) to
+  /// receive the memoized (snapshot, version) pair after every applied
+  /// update that changed the data version — the push half of the serving
+  /// seam. Note each delivery materializes the snapshot (O(V + E)), so
+  /// subscribers are for writers that publish every batch, not for
+  /// high-frequency single edits.
+  void SubscribeSnapshots(SnapshotSubscriber subscriber);
 
   /// data().version() — bumped by every applied edit; the snapshot memo
   /// and any caller-side caching key on it.
-  uint64_t data_version() const { return matcher_.version(); }
+  uint64_t data_version() const;
 
   const Graph& pattern() const { return matcher_.pattern(); }
   uint32_t radius() const { return matcher_.radius(); }
@@ -118,11 +168,28 @@ class IncrementalSession {
 
   void Emit(MatchDelta&& delta);
 
+  /// Memoizes the latest materialized snapshot under the session lock and
+  /// pushes it to the subscriber when the version moved. Called by every
+  /// mutator, with the lock held.
+  void NotifyLocked();
+
+  /// The snapshot memo; requires sync_->mu.
+  std::shared_ptr<const Graph> SnapshotLocked() const;
+
+  /// The session lock plus everything it guards. Behind a unique_ptr so
+  /// the session stays default-movable (a mutex member would not be).
+  struct Sync {
+    std::mutex mu;
+    uint64_t snapshot_version = 0;
+    std::shared_ptr<const Graph> snapshot;
+    uint64_t last_published_version = 0;
+    SnapshotSubscriber subscriber;
+  };
+
   IncrementalMatcher matcher_;
   DeltaSink sink_;
   bool sink_stopped_ = false;
-  mutable uint64_t snapshot_version_ = 0;
-  mutable std::shared_ptr<const Graph> snapshot_;
+  std::unique_ptr<Sync> sync_ = std::make_unique<Sync>();
 };
 
 }  // namespace gpm

@@ -1,0 +1,151 @@
+// LatencyHistogram: a lock-free log-linear latency histogram for the
+// serving layer's p50/p95/p99 accounting.
+//
+// Layout (HDR-histogram idiom): nanosecond values bucket into 16 linear
+// sub-buckets per power of two, so every recorded value lands in a bucket
+// whose width is <= 1/16 of its magnitude — quantiles are exact to ~6%
+// relative error across the full range (1 ns .. ~292 years) with a fixed
+// 976-counter table and no allocation.
+//
+// Record() is one relaxed atomic increment on the bucket plus counters —
+// safe from any number of threads with no lock and no contention beyond
+// the cache line of the hot bucket. Summarize()/Quantile() read the
+// counters relaxed: exact once writers are quiesced (how the harnesses
+// use it), approximate-but-safe while recording continues.
+
+#ifndef GPM_SERVING_LATENCY_HISTOGRAM_H_
+#define GPM_SERVING_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace gpm::serving {
+
+/// \brief Fixed-size concurrent histogram over nanosecond latencies.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;  ///< 16 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Octaves 4..63 each contribute kSubBuckets buckets on top of the 16
+  /// exact small-value buckets: (63 - kSubBits + 1) * 16 + 16 = 976.
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(64 - kSubBits) * kSubBuckets + kSubBuckets;
+  static_assert(kNumBuckets == 976);
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one latency in seconds (negative clamps to zero).
+  void Record(double seconds) {
+    RecordNanos(seconds <= 0 ? 0 : static_cast<uint64_t>(seconds * 1e9));
+  }
+
+  void RecordNanos(uint64_t nanos) {
+    buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    uint64_t prev = max_nanos_.load(std::memory_order_relaxed);
+    while (prev < nanos && !max_nanos_.compare_exchange_weak(
+                               prev, nanos, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Folds another histogram's counts into this one.
+  void MergeFrom(const LatencyHistogram& other) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+      if (n > 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_nanos_.fetch_add(other.sum_nanos_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    const uint64_t omax = other.max_nanos_.load(std::memory_order_relaxed);
+    uint64_t prev = max_nanos_.load(std::memory_order_relaxed);
+    while (prev < omax && !max_nanos_.compare_exchange_weak(
+                              prev, omax, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Nearest-rank quantile in seconds, q in [0, 1]; 0 when empty. The
+  /// returned value is the matching bucket's midpoint (<= ~6% relative
+  /// error).
+  double Quantile(double q) const {
+    const uint64_t n = count();
+    if (n == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      cumulative += buckets_[i].load(std::memory_order_relaxed);
+      if (cumulative >= rank) return BucketMidNanos(i) * 1e-9;
+    }
+    return max_nanos_.load(std::memory_order_relaxed) * 1e-9;
+  }
+
+  /// \brief One coherent read-out (plain values; freely copyable).
+  struct Summary {
+    uint64_t count = 0;
+    double mean_seconds = 0;
+    double p50_seconds = 0;
+    double p95_seconds = 0;
+    double p99_seconds = 0;
+    double max_seconds = 0;
+  };
+
+  Summary Summarize() const {
+    Summary s;
+    s.count = count();
+    if (s.count > 0) {
+      s.mean_seconds = sum_nanos_.load(std::memory_order_relaxed) * 1e-9 /
+                       static_cast<double>(s.count);
+      s.p50_seconds = Quantile(0.50);
+      s.p95_seconds = Quantile(0.95);
+      s.p99_seconds = Quantile(0.99);
+      s.max_seconds = max_nanos_.load(std::memory_order_relaxed) * 1e-9;
+    }
+    return s;
+  }
+
+  /// Bucket index of a nanosecond value: values < 16 map exactly; above
+  /// that, the top kSubBits bits below the leading bit select the linear
+  /// sub-bucket within the value's octave.
+  static size_t BucketIndex(uint64_t nanos) {
+    if (nanos < kSubBuckets) return static_cast<size_t>(nanos);
+    const int msb = 63 - std::countl_zero(nanos);
+    const int shift = msb - kSubBits;
+    const uint64_t sub = (nanos >> shift) & (kSubBuckets - 1);
+    return static_cast<size_t>(msb - kSubBits + 1) * kSubBuckets +
+           static_cast<size_t>(sub);
+  }
+
+  /// Midpoint (representative value) of bucket `index`, in nanoseconds.
+  static uint64_t BucketMidNanos(size_t index) {
+    if (index < kSubBuckets) return static_cast<uint64_t>(index);
+    const int msb = static_cast<int>(index / kSubBuckets) + kSubBits - 1;
+    const uint64_t sub = index % kSubBuckets;
+    const int shift = msb - kSubBits;
+    const uint64_t lo = (static_cast<uint64_t>(kSubBuckets) + sub) << shift;
+    const uint64_t width = uint64_t{1} << shift;
+    return lo + width / 2;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+  std::atomic<uint64_t> max_nanos_{0};
+};
+
+}  // namespace gpm::serving
+
+#endif  // GPM_SERVING_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,365 @@
+#include "serving/load_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace gpm::serving {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Per-worker counters. Atomics (relaxed) so the driver thread can sample
+/// them for progress lines while the worker is mid-run.
+struct WorkerCounters {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> deadline_misses{0};
+  std::atomic<uint64_t> errors{0};
+};
+
+/// The shared correctness ledger. `hashes` maps every snapshot instance a
+/// reader was served from to the first response hash recorded per query —
+/// later readers of the same (instance, query) must agree (consistency).
+/// `retained` keeps up to retain_cap of those snapshots alive for the
+/// post-run from-scratch audit.
+struct VerifyState {
+  std::mutex mu;
+  std::unordered_map<uint64_t, std::unordered_map<uint64_t, uint64_t>> hashes;
+  std::unordered_map<uint64_t, std::shared_ptr<const Graph>> retained;
+  size_t retain_cap = 0;
+  uint64_t checked = 0;
+  uint64_t mismatches = 0;
+};
+
+void RecordForVerify(VerifyState* verify, uint64_t instance,
+                     uint64_t fingerprint, uint64_t hash,
+                     const std::shared_ptr<const Graph>& graph) {
+  std::lock_guard<std::mutex> lock(verify->mu);
+  auto [it, inserted] = verify->hashes[instance].emplace(fingerprint, hash);
+  if (!inserted) {
+    ++verify->checked;
+    if (it->second != hash) ++verify->mismatches;
+  }
+  if (verify->retained.size() < verify->retain_cap ||
+      verify->retained.count(instance) != 0) {
+    verify->retained.emplace(instance, graph);
+  }
+}
+
+/// Re-matches every retained (snapshot, query) pair on a cache-less
+/// engine and compares against the hash the run served. Serial policy —
+/// every executor returns the same Θ, and this is the audit, not the
+/// measurement.
+void GroundTruthAudit(const GpmServer& server, const LoadOptions& options,
+                      VerifyState* verify, LoadReport* report) {
+  EngineOptions cacheless;
+  cacheless.prepared_cache_capacity = 0;
+  cacheless.filter_cache_capacity = 0;
+  cacheless.regex_filter_cache_capacity = 0;
+  cacheless.result_cache_capacity = 0;
+  Engine fresh(cacheless);
+  MatchRequest request = options.request;
+  request.policy = ExecPolicy::Serial();
+  for (const auto& [instance, graph] : verify->retained) {
+    const auto& per_query = verify->hashes[instance];
+    for (const auto& query : server.queries()) {
+      auto it = per_query.find(query->fingerprint());
+      if (it == per_query.end()) continue;  // never served on this version
+      ++report->groundtruth_checked;
+      auto truth = fresh.Match(*query, *graph, request);
+      if (!truth.ok() || ResponseContentHash(*truth) != it->second) {
+        ++report->groundtruth_mismatches;
+      }
+    }
+  }
+}
+
+/// Sleeps until `when` in short chunks so a raised stop flag cuts the
+/// wait; returns false when stopped.
+bool SleepUntil(Clock::time_point when, const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    const auto now = Clock::now();
+    if (now >= when) return true;
+    std::this_thread::sleep_for(
+        std::min<Clock::duration>(when - now, std::chrono::milliseconds(20)));
+  }
+  return false;
+}
+
+}  // namespace
+
+uint64_t ResponseContentHash(const MatchResponse& response) {
+  uint64_t h = kFnvOffset;
+  h = Mix(h, response.matched ? 1 : 0);
+  h = Mix(h, response.subgraphs.size());
+  for (const PerfectSubgraph& subgraph : response.subgraphs) {
+    h = Mix(h, subgraph.center);
+    h = Mix(h, subgraph.ContentHash());
+  }
+  h = Mix(h, response.relation.sim.size());
+  for (const auto& row : response.relation.sim) {
+    h = Mix(h, row.size());
+    for (NodeId v : row) h = Mix(h, v);
+  }
+  return h;
+}
+
+LoadReport RunLoad(GpmServer& server, const LoadOptions& options) {
+  LoadReport report;
+  // 0 client threads is a writer-only run (measures uncontended churn).
+  const size_t num_threads = options.client_threads;
+  const size_t num_queries = server.queries().size();
+
+  LatencyHistogram histogram;  // run-local: isolates this run's quantiles
+  VerifyState verify;
+  verify.retain_cap = options.verify ? options.verify_retain : 0;
+  std::vector<WorkerCounters> counters(num_threads);
+  std::atomic<bool> stop{false};
+  const ServerMetrics before = server.metrics();
+
+  auto worker_fn = [&](size_t tid) {
+    WorkerCounters& mine = counters[tid];
+    auto client = options.admission_rate < 0
+                      ? server.Connect()
+                      : server.Connect(options.admission_rate,
+                                       options.admission_burst);
+    if (!client.ok()) {
+      mine.errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + tid * 7919 + 1);
+    const bool paced = options.target_qps > 0;
+    const auto interval =
+        paced ? std::chrono::nanoseconds(
+                    static_cast<int64_t>(1e9 / options.target_qps))
+              : std::chrono::nanoseconds(0);
+    auto next_fire = Clock::now();
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (paced) {
+        if (!SleepUntil(next_fire, stop)) break;
+        // Catch up without accumulating a backlog that would later burst.
+        next_fire = std::max(next_fire + interval, Clock::now());
+      }
+      const size_t qi =
+          num_queries == 1 ? 0 : static_cast<size_t>(rng.Uniform(num_queries));
+      mine.requests.fetch_add(1, std::memory_order_relaxed);
+      auto response = server.Serve(*client, qi, options.request);
+      if (!response.ok()) {
+        if (response.status().code() == StatusCode::kResourceExhausted) {
+          mine.rejected.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          mine.errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      mine.served.fetch_add(1, std::memory_order_relaxed);
+      histogram.Record(response->seconds);
+      if (response->deadline_missed) {
+        mine.deadline_misses.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (options.verify) {
+        RecordForVerify(&verify, response->graph_instance,
+                        server.queries()[qi]->fingerprint(),
+                        ResponseContentHash(response->match), response->graph);
+      }
+    }
+  };
+
+  uint64_t writer_errors = 0;
+  auto writer_fn = [&] {
+    Rng rng(options.seed * 104729 + 17);
+    // Writer-thread borrow of the live adjacency — this closure is the
+    // session's only writer, per the session contract.
+    const MutableGraph& data = server.writer_session().data();
+    const size_t batch_size = std::max<size_t>(1, options.churn_batch);
+    const auto batch_interval = std::chrono::nanoseconds(static_cast<int64_t>(
+        1e9 * static_cast<double>(batch_size) /
+        options.churn_edits_per_second));
+    auto next_fire = Clock::now() + batch_interval;
+    std::vector<GraphEdit> batch;
+    while (SleepUntil(next_fire, stop)) {
+      next_fire = std::max(next_fire + batch_interval, Clock::now());
+      const size_t n = data.num_nodes();
+      if (n < 2) break;
+      batch.clear();
+      // Feasible-edit sampling with a bounded rejection budget, validated
+      // against the live adjacency and the batch built so far.
+      size_t attempts = 0;
+      const size_t max_attempts = 50 * batch_size + 100;
+      while (batch.size() < batch_size && attempts < max_attempts) {
+        ++attempts;
+        const NodeId a = static_cast<NodeId>(rng.Uniform(n));
+        const NodeId b = static_cast<NodeId>(rng.Uniform(n));
+        if (a == b) continue;
+        const GraphEdit edit = rng.Bernoulli(0.55)
+                                   ? GraphEdit::InsertEdge(a, b)
+                                   : GraphEdit::RemoveEdge(a, b);
+        const bool feasible = edit.kind == GraphEdit::Kind::kInsertEdge
+                                  ? !data.HasEdge(a, b, 0)
+                                  : data.HasEdge(a, b, 0);
+        const bool conflicts =
+            std::any_of(batch.begin(), batch.end(), [&](const GraphEdit& p) {
+              return p.from == a && p.to == b;
+            });
+        if (!feasible || conflicts) continue;
+        batch.push_back(edit);
+      }
+      if (batch.empty()) continue;
+      if (!server.ApplyEdits(batch).ok()) ++writer_errors;
+    }
+  };
+
+  Timer wall;
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t tid = 0; tid < num_threads; ++tid) {
+    workers.emplace_back(worker_fn, tid);
+  }
+  std::thread writer;
+  if (options.churn_edits_per_second > 0) writer = std::thread(writer_fn);
+
+  // Driver loop: sample epoch lag at ~10 Hz (max over samples — lag is a
+  // transient the end-state stats can't show), progress at ~1 Hz.
+  const auto run_deadline =
+      Clock::now() +
+      std::chrono::nanoseconds(
+          static_cast<int64_t>(options.duration_seconds * 1e9));
+  auto next_progress = Clock::now() + std::chrono::seconds(1);
+  uint64_t max_lag = 0;
+  while (Clock::now() < run_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const SnapshotManager::Stats stats = server.snapshots().stats();
+    if (stats.epoch >= stats.oldest_pinned_epoch) {
+      max_lag = std::max(max_lag, stats.epoch - stats.oldest_pinned_epoch);
+    }
+    if (options.progress && Clock::now() >= next_progress) {
+      next_progress += std::chrono::seconds(1);
+      LoadProgress progress;
+      progress.elapsed_seconds = wall.Seconds();
+      for (const WorkerCounters& c : counters) {
+        progress.requests += c.requests.load(std::memory_order_relaxed);
+        progress.served += c.served.load(std::memory_order_relaxed);
+        progress.rejected += c.rejected.load(std::memory_order_relaxed);
+      }
+      progress.epoch = stats.epoch;
+      progress.epoch_lag = stats.epoch - std::min(stats.oldest_pinned_epoch,
+                                                  stats.epoch);
+      progress.retired_pending = stats.retired_pending;
+      options.progress(progress);
+    }
+  }
+  report.wall_seconds = wall.Seconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : workers) t.join();
+  if (writer.joinable()) writer.join();
+
+  for (const WorkerCounters& c : counters) {
+    report.requests += c.requests.load(std::memory_order_relaxed);
+    report.served += c.served.load(std::memory_order_relaxed);
+    report.rejected += c.rejected.load(std::memory_order_relaxed);
+    report.deadline_misses +=
+        c.deadline_misses.load(std::memory_order_relaxed);
+    report.errors += c.errors.load(std::memory_order_relaxed);
+  }
+  report.errors += writer_errors;
+  report.qps = report.wall_seconds > 0
+                   ? static_cast<double>(report.served) / report.wall_seconds
+                   : 0;
+  report.latency = histogram.Summarize();
+
+  const ServerMetrics after = server.metrics();
+  report.writer_batches = after.writer_batches - before.writer_batches;
+  report.writer_edits = after.writer_edits - before.writer_edits;
+  report.writer_seconds = after.writer_seconds - before.writer_seconds;
+  report.snapshots_published =
+      after.snapshots.published - before.snapshots.published;
+  report.snapshots_reclaimed =
+      after.snapshots.reclaimed - before.snapshots.reclaimed;
+  report.snapshots_pending = after.snapshots.retired_pending;
+  report.final_epoch = after.snapshots.epoch;
+  report.max_epoch_lag = max_lag;
+
+  if (options.verify) {
+    report.consistency_checked = verify.checked;
+    report.consistency_mismatches = verify.mismatches;
+    report.versions_seen = verify.hashes.size();
+    report.versions_retained = verify.retained.size();
+    GroundTruthAudit(server, options, &verify, &report);
+  }
+  return report;
+}
+
+std::string RenderReport(const LoadReport& report) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "wall %.2fs | %llu requests, %llu served (%.1f qps), "
+                "%llu rejected, %llu deadline misses, %llu errors\n",
+                report.wall_seconds,
+                static_cast<unsigned long long>(report.requests),
+                static_cast<unsigned long long>(report.served), report.qps,
+                static_cast<unsigned long long>(report.rejected),
+                static_cast<unsigned long long>(report.deadline_misses),
+                static_cast<unsigned long long>(report.errors));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "latency p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
+                report.latency.p50_seconds * 1e3,
+                report.latency.p95_seconds * 1e3,
+                report.latency.p99_seconds * 1e3,
+                report.latency.max_seconds * 1e3);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "writer: %llu batches (%llu edits) in %.3fs\n",
+                static_cast<unsigned long long>(report.writer_batches),
+                static_cast<unsigned long long>(report.writer_edits),
+                report.writer_seconds);
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "snapshots: %llu published, %llu reclaimed, %llu pending | "
+      "epoch %llu, max lag %llu\n",
+      static_cast<unsigned long long>(report.snapshots_published),
+      static_cast<unsigned long long>(report.snapshots_reclaimed),
+      static_cast<unsigned long long>(report.snapshots_pending),
+      static_cast<unsigned long long>(report.final_epoch),
+      static_cast<unsigned long long>(report.max_epoch_lag));
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "verify: %llu consistency checks (%llu mismatches), "
+      "%llu ground-truth audits (%llu mismatches) over %llu/%llu versions\n",
+      static_cast<unsigned long long>(report.consistency_checked),
+      static_cast<unsigned long long>(report.consistency_mismatches),
+      static_cast<unsigned long long>(report.groundtruth_checked),
+      static_cast<unsigned long long>(report.groundtruth_mismatches),
+      static_cast<unsigned long long>(report.versions_retained),
+      static_cast<unsigned long long>(report.versions_seen));
+  out += line;
+  return out;
+}
+
+}  // namespace gpm::serving

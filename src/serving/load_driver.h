@@ -1,0 +1,121 @@
+// The serving load harness: N client threads of mixed prepared-query
+// traffic against a GpmServer, optionally with a churning writer thread —
+// the measurement rig behind bench/serving_load.cc, tools/gpm_server.cc,
+// and `gpm_cli loadgen`.
+//
+// What a run does:
+//   - client_threads workers Connect() and fire requests over the query
+//     set (uniformly at random, seeded) — closed-loop when target_qps is
+//     0, paced per client otherwise. Admission rejections and deadline
+//     misses are counted, served latencies land in a run-local histogram
+//     (so successive runs against one server report isolated p50/p95/p99).
+//   - when churn_edits_per_second > 0, one writer thread applies batched
+//     random feasible edits at that rate; every batch publishes a new
+//     snapshot epoch readers migrate to.
+//   - correctness accounting (verify): every response's result content is
+//     hashed and compared against the first answer recorded for the same
+//     (snapshot instance, query) — any divergence between readers of one
+//     published version is a consistency_mismatch. Up to verify_retain
+//     distinct snapshots are additionally retained and, after the run,
+//     re-matched from scratch on a cache-less engine — a ground-truth
+//     audit that every served answer equals *some published version's*
+//     true answer. Versions beyond the retain cap still get the
+//     consistency check; the report says how many (versions_seen vs
+//     versions_retained — nothing is silently skipped).
+//
+// The report carries everything the BENCH JSON and SHAPE-CHECKs need:
+// sustained QPS, latency quantiles, rejection/deadline counts, snapshot
+// epoch lag, reclamation counters, and both verification tallies.
+
+#ifndef GPM_SERVING_LOAD_DRIVER_H_
+#define GPM_SERVING_LOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serving/server.h"
+
+namespace gpm::serving {
+
+/// \brief Periodic progress sample (LoadOptions::progress, ~1 Hz).
+struct LoadProgress {
+  double elapsed_seconds = 0;
+  uint64_t requests = 0;
+  uint64_t served = 0;
+  uint64_t rejected = 0;
+  uint64_t epoch = 0;
+  uint64_t epoch_lag = 0;        ///< current - oldest pinned
+  uint64_t retired_pending = 0;  ///< snapshots awaiting their epoch drain
+};
+
+/// \brief One load run's shape.
+struct LoadOptions {
+  /// 0 = no readers (a writer-only run, for uncontended churn cost).
+  size_t client_threads = 4;
+  double duration_seconds = 2.0;
+  /// Per-client request rate; 0 = closed loop (fire as fast as served).
+  double target_qps = 0;
+  /// Writer churn in edits/second; 0 = read-only run (no writer thread).
+  double churn_edits_per_second = 0;
+  /// Edits per writer batch (each applied batch publishes one epoch).
+  size_t churn_batch = 8;
+  /// The request every read runs under (notion + policy + options).
+  MatchRequest request;
+  /// Per-client admission override for this run: < 0 uses the server's
+  /// defaults, 0 disables admission, > 0 throttles each client to this
+  /// rate (tokens/second) with `admission_burst` capacity.
+  double admission_rate = -1;
+  double admission_burst = 0;
+  uint64_t seed = 1;
+  /// Response-content verification (see the file comment).
+  bool verify = true;
+  /// Snapshots retained for the post-run from-scratch audit.
+  size_t verify_retain = 8;
+  /// Invoked about once a second from the driver thread; null = silent.
+  std::function<void(const LoadProgress&)> progress;
+};
+
+/// \brief Everything one run measured.
+struct LoadReport {
+  double wall_seconds = 0;
+  uint64_t requests = 0;
+  uint64_t served = 0;
+  uint64_t rejected = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t errors = 0;
+  double qps = 0;  ///< served / wall_seconds
+  LatencyHistogram::Summary latency;
+
+  uint64_t writer_batches = 0;
+  uint64_t writer_edits = 0;
+  double writer_seconds = 0;
+
+  uint64_t snapshots_published = 0;  ///< during this run
+  uint64_t snapshots_reclaimed = 0;  ///< during this run
+  uint64_t snapshots_pending = 0;    ///< retired, undrained at run end
+  uint64_t final_epoch = 0;
+  uint64_t max_epoch_lag = 0;  ///< worst sampled current - oldest pinned
+
+  uint64_t consistency_checked = 0;     ///< cross-reader hash comparisons
+  uint64_t consistency_mismatches = 0;  ///< MUST be 0
+  uint64_t groundtruth_checked = 0;     ///< post-run from-scratch audits
+  uint64_t groundtruth_mismatches = 0;  ///< MUST be 0
+  uint64_t versions_seen = 0;      ///< distinct snapshot instances served
+  uint64_t versions_retained = 0;  ///< of those, audited from scratch
+};
+
+/// Stable content hash of a response's result (subgraph set + relation);
+/// what the verification tallies compare.
+uint64_t ResponseContentHash(const MatchResponse& response);
+
+/// Runs one load shape against `server`. The server may be reused across
+/// runs (its cumulative metrics keep counting; the report is run-local).
+LoadReport RunLoad(GpmServer& server, const LoadOptions& options);
+
+/// Human-readable multi-line summary of a report.
+std::string RenderReport(const LoadReport& report);
+
+}  // namespace gpm::serving
+
+#endif  // GPM_SERVING_LOAD_DRIVER_H_

@@ -1,0 +1,167 @@
+#include "serving/server.h"
+
+#include <string>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace gpm::serving {
+
+GpmServer::GpmServer(Engine engine,
+                     std::vector<std::shared_ptr<const PreparedQuery>> queries,
+                     ServerOptions options)
+    : engine_(std::move(engine)),
+      queries_(std::move(queries)),
+      options_(options),
+      latency_(std::make_unique<LatencyHistogram>()),
+      counters_(std::make_unique<Counters>()) {}
+
+Result<GpmServer> GpmServer::Create(
+    const Engine& engine,
+    std::vector<std::shared_ptr<const PreparedQuery>> queries,
+    const Graph& initial, ServerOptions options) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("GpmServer needs at least one query");
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i] == nullptr) {
+      return Status::InvalidArgument("GpmServer query " + std::to_string(i) +
+                                     " is null");
+    }
+  }
+  if (options.writer_query_index >= queries.size()) {
+    return Status::InvalidArgument(
+        "writer_query_index " + std::to_string(options.writer_query_index) +
+        " out of range (have " + std::to_string(queries.size()) +
+        " queries)");
+  }
+  if (options.max_clients == 0) options.max_clients = 1;
+
+  GpmServer server(engine, std::move(queries), options);
+  // The writer session pays the initial full match of the writer query
+  // here, once; every published version after that is O(affected balls).
+  IncrementalOptions session_options;
+  session_options.policy = options.writer_policy;
+  auto session = server.engine_.OpenIncremental(
+      *server.queries_[options.writer_query_index], initial,
+      std::move(session_options));
+  if (!session.ok()) return session.status();
+  server.session_ =
+      std::make_unique<IncrementalSession>(std::move(session).ValueOrDie());
+
+  server.manager_ = std::make_unique<SnapshotManager>(
+      server.session_->PublishSnapshot().graph, options.max_clients);
+  // The serving seam: every version-changing batch the session applies is
+  // pushed straight into the epoch manager. manager_ sits behind a
+  // unique_ptr, so the captured pointer survives server moves.
+  server.session_->SubscribeSnapshots(
+      [manager = server.manager_.get()](const PublishedSnapshot& snapshot) {
+        manager->Publish(snapshot.graph);
+      });
+  return server;
+}
+
+Result<GpmServer::Client> GpmServer::Connect() {
+  return Connect(options_.admission_rate, options_.admission_burst);
+}
+
+Result<GpmServer::Client> GpmServer::Connect(double admission_rate,
+                                             double admission_burst) {
+  Client client;
+  client.reader_ = manager_->RegisterReader();
+  if (!client.reader_.valid()) {
+    return Status::ResourceExhausted(
+        "GpmServer: all " + std::to_string(options_.max_clients) +
+        " client slots are connected");
+  }
+  if (admission_rate > 0) {
+    client.bucket_ = std::make_unique<TokenBucket>(
+        admission_rate,
+        admission_burst > 0 ? admission_burst : admission_rate);
+  }
+  return client;
+}
+
+Result<GpmServer::Response> GpmServer::Serve(Client& client,
+                                             size_t query_index,
+                                             const MatchRequest& request) {
+  counters_->requests.fetch_add(1, std::memory_order_relaxed);
+  if (!client.valid()) {
+    counters_->errors.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("Serve on an invalid client");
+  }
+  if (query_index >= queries_.size()) {
+    counters_->errors.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("query index " +
+                                   std::to_string(query_index) +
+                                   " out of range");
+  }
+  if (client.bucket_ != nullptr && !client.bucket_->TryAcquire()) {
+    counters_->rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted("admission: client over rate limit");
+  }
+
+  Timer timer;
+  Response response;
+  {
+    // The pin is the whole read-side epoch story: wait-free acquire, the
+    // match runs against an immutable graph the writer cannot reclaim,
+    // and release on scope exit lets the epoch drain.
+    SnapshotManager::Pin pin = client.reader_.PinSnapshot();
+    response.epoch = pin.epoch();
+    response.graph_instance = pin.graph().instance_id();
+    response.graph = pin.graph_ref();
+    auto result = engine_.Match(*queries_[query_index], pin.graph(), request);
+    if (!result.ok()) {
+      counters_->errors.fetch_add(1, std::memory_order_relaxed);
+      return result.status();
+    }
+    response.match = std::move(*result);
+  }
+  response.seconds = timer.Seconds();
+  latency_->Record(response.seconds);
+  if (options_.deadline_seconds > 0 &&
+      response.seconds > options_.deadline_seconds) {
+    response.deadline_missed = true;
+    counters_->deadline_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  counters_->served.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+Status GpmServer::ApplyEdits(std::span<const GraphEdit> edits) {
+  std::lock_guard<std::mutex> lock(counters_->writer_mu);
+  Timer timer;
+  Status s = session_->ApplyBatch(edits);
+  // The snapshot subscription published the new version inside ApplyBatch;
+  // Publish already swept what had drained, so no extra reclaim pass here.
+  counters_->writer_nanos.fetch_add(
+      static_cast<uint64_t>(timer.Seconds() * 1e9),
+      std::memory_order_relaxed);
+  if (s.ok()) {
+    counters_->writer_batches.fetch_add(1, std::memory_order_relaxed);
+    counters_->writer_edits.fetch_add(edits.size(),
+                                      std::memory_order_relaxed);
+  }
+  return s;
+}
+
+ServerMetrics GpmServer::metrics() const {
+  ServerMetrics m;
+  m.requests = counters_->requests.load(std::memory_order_relaxed);
+  m.served = counters_->served.load(std::memory_order_relaxed);
+  m.rejected = counters_->rejected.load(std::memory_order_relaxed);
+  m.deadline_misses =
+      counters_->deadline_misses.load(std::memory_order_relaxed);
+  m.errors = counters_->errors.load(std::memory_order_relaxed);
+  m.latency = latency_->Summarize();
+  m.writer_batches = counters_->writer_batches.load(std::memory_order_relaxed);
+  m.writer_edits = counters_->writer_edits.load(std::memory_order_relaxed);
+  m.writer_seconds =
+      counters_->writer_nanos.load(std::memory_order_relaxed) * 1e-9;
+  m.snapshots = manager_->stats();
+  m.engine_caches = engine_.cache_stats();
+  return m;
+}
+
+}  // namespace gpm::serving

@@ -1,0 +1,188 @@
+// GpmServer: the in-process serving front-end — one Engine, a set of
+// prepared queries, one incremental writer session, and an epoch-based
+// snapshot manager wiring them together so any number of client threads
+// keep matching against version N while the writer builds N+1.
+//
+// Request path (Serve): token-bucket admission per client (an over-rate
+// client is rejected with ResourceExhausted, never queued) -> pin the
+// current snapshot epoch (wait-free; the reader never blocks on the
+// writer) -> Engine::Match against the pinned graph -> record latency
+// into the lock-free histogram and the per-request deadline verdict. The
+// engine's serving caches do their usual work across requests: every
+// published snapshot is one immutable Graph with a stable instance_id
+// (the session memoizes it per version), so all readers of one epoch
+// share dual-filter memos and materialized results, and a new epoch
+// re-keys them naturally.
+//
+// Write path (ApplyEdits): one batch through the IncrementalSession —
+// O(affected balls) repair — whose snapshot subscription publishes the
+// fresh version into the SnapshotManager; retired versions free once the
+// readers pinning them drain. The writer never blocks on readers.
+//
+// The server is an in-process component by design: bench/serving_load.cc,
+// tools/gpm_server.cc, and `gpm_cli loadgen` all stand a transport-free
+// load harness on top of it (src/serving/load_driver.h), which is where
+// the QPS / p99 / rejection numbers come from.
+
+#ifndef GPM_SERVING_SERVER_H_
+#define GPM_SERVING_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/result.h"
+#include "serving/latency_histogram.h"
+#include "serving/snapshot_manager.h"
+#include "serving/token_bucket.h"
+
+namespace gpm::serving {
+
+/// \brief Server-wide knobs.
+struct ServerOptions {
+  /// Per-client admission: tokens/second granted to each connected client
+  /// (<= 0 disables admission control) and the burst capacity (<= 0 means
+  /// one second's worth of rate). Connect() can override per client.
+  double admission_rate = 0;
+  double admission_burst = 0;
+  /// Per-request deadline: a served request slower than this still
+  /// returns its result but counts as a deadline miss. 0 disables.
+  double deadline_seconds = 0;
+  /// Reader-slot table size == maximum concurrently connected clients.
+  size_t max_clients = 128;
+  /// Which prepared query the writer session maintains incrementally
+  /// (must be a plain, connected pattern — OpenIncremental's contract).
+  size_t writer_query_index = 0;
+  /// Policy the writer session repairs affected balls under.
+  ExecPolicy writer_policy;
+};
+
+/// \brief Aggregate server counters (metrics()); all monotonic since
+/// Create.
+struct ServerMetrics {
+  uint64_t requests = 0;         ///< Serve calls, any outcome
+  uint64_t served = 0;           ///< completed with a result
+  uint64_t rejected = 0;         ///< admission rejections
+  uint64_t deadline_misses = 0;  ///< served but over deadline_seconds
+  uint64_t errors = 0;           ///< engine/validation failures
+  LatencyHistogram::Summary latency;  ///< served-request latencies
+  uint64_t writer_batches = 0;   ///< ApplyEdits calls that applied cleanly
+  uint64_t writer_edits = 0;     ///< edits applied across all batches
+  double writer_seconds = 0;     ///< wall time inside ApplyEdits
+  SnapshotManager::Stats snapshots;  ///< epoch, reclaim, pin lag
+  EngineCacheStats engine_caches;
+};
+
+/// \brief The serving front-end. Move-only; one instance serves any
+/// number of client threads plus one writer thread.
+class GpmServer {
+ public:
+  /// Builds the server: opens the writer session over `initial` (paying
+  /// the initial full match of the writer query) and publishes the first
+  /// snapshot. `queries` must be non-empty with no null entries; `engine`
+  /// is copied (copies share the serving caches, the intended deployment).
+  static Result<GpmServer> Create(
+      const Engine& engine,
+      std::vector<std::shared_ptr<const PreparedQuery>> queries,
+      const Graph& initial, ServerOptions options = {});
+
+  GpmServer(GpmServer&&) noexcept = default;
+  GpmServer& operator=(GpmServer&&) noexcept = default;
+
+  /// \brief One connected client: an epoch-reader slot plus its token
+  /// bucket. Move-only; the slot frees on destruction. A client may be
+  /// driven by one thread at a time (the bucket is thread-safe, but the
+  /// reader slot holds one pin at a time).
+  class Client {
+   public:
+    Client() = default;
+    Client(Client&&) noexcept = default;
+    Client& operator=(Client&&) noexcept = default;
+
+    bool valid() const { return reader_.valid(); }
+
+   private:
+    friend class GpmServer;
+    SnapshotManager::Reader reader_;
+    std::unique_ptr<TokenBucket> bucket_;  // null = no admission control
+  };
+
+  /// Connects a client under the server's admission defaults.
+  /// ResourceExhausted when all max_clients slots are taken.
+  Result<Client> Connect();
+
+  /// Connects with a per-client admission override (rate <= 0 disables).
+  Result<Client> Connect(double admission_rate, double admission_burst);
+
+  /// \brief One served answer plus its provenance: which epoch (and which
+  /// immutable graph) it was computed against — the handle result
+  /// verification keys on.
+  struct Response {
+    MatchResponse match;
+    uint64_t epoch = 0;           ///< snapshot epoch served against
+    uint64_t graph_instance = 0;  ///< Graph::instance_id of that snapshot
+    /// Owning reference to the snapshot served against (outlives the
+    /// epoch pin; lets verifiers re-match the exact version later).
+    std::shared_ptr<const Graph> graph;
+    double seconds = 0;           ///< serve wall time
+    bool deadline_missed = false;
+  };
+
+  /// Serves one request: admission, pin, match, account. Thread-safe
+  /// across distinct clients. ResourceExhausted = admission rejection
+  /// (counted in metrics().rejected); other errors pass through from the
+  /// engine.
+  Result<Response> Serve(Client& client, size_t query_index,
+                         const MatchRequest& request = {});
+
+  /// Writer API: applies one edit batch to the session (O(affected balls)
+  /// repair) and publishes the new snapshot epoch. Serialized internally;
+  /// never blocks on readers. Returns the session's batch status (on a
+  /// mid-batch error the applied prefix is still published).
+  Status ApplyEdits(std::span<const GraphEdit> edits);
+
+  ServerMetrics metrics() const;
+
+  const std::vector<std::shared_ptr<const PreparedQuery>>& queries() const {
+    return queries_;
+  }
+  const Engine& engine() const { return engine_; }
+  SnapshotManager& snapshots() { return *manager_; }
+  const ServerOptions& options() const { return options_; }
+  /// The writer session (data()/CurrentMatches() on the writer thread
+  /// only, per the session contract).
+  const IncrementalSession& writer_session() const { return *session_; }
+
+ private:
+  struct Counters {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> deadline_misses{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> writer_batches{0};
+    std::atomic<uint64_t> writer_edits{0};
+    std::atomic<uint64_t> writer_nanos{0};
+    std::mutex writer_mu;  ///< serializes ApplyEdits
+  };
+
+  GpmServer(Engine engine,
+            std::vector<std::shared_ptr<const PreparedQuery>> queries,
+            ServerOptions options);
+
+  Engine engine_;
+  std::vector<std::shared_ptr<const PreparedQuery>> queries_;
+  ServerOptions options_;
+  std::unique_ptr<IncrementalSession> session_;
+  std::unique_ptr<SnapshotManager> manager_;
+  std::unique_ptr<LatencyHistogram> latency_;
+  std::unique_ptr<Counters> counters_;
+};
+
+}  // namespace gpm::serving
+
+#endif  // GPM_SERVING_SERVER_H_

@@ -1,0 +1,91 @@
+// TokenBucket: per-client admission control for the serving layer. A
+// bucket refills continuously at `rate` tokens/second up to `burst`
+// tokens; each admitted request consumes one (or more). Requests that
+// find the bucket empty are rejected immediately — admission never
+// queues, so an over-rate client sheds its own load instead of growing
+// everyone's tail latency.
+//
+// Deployment shape: one bucket per client (GpmServer::Connect), so the
+// internal mutex is effectively uncontended — the lock exists only to
+// make the (refill, spend) pair atomic for a client that fires from
+// several threads. Time is passed in explicitly (seconds on an arbitrary
+// monotonic origin) through the *At variants, which keeps the refill math
+// deterministic under test; the parameterless overloads read the steady
+// clock.
+
+#ifndef GPM_SERVING_TOKEN_BUCKET_H_
+#define GPM_SERVING_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace gpm::serving {
+
+/// \brief A continuously-refilling token bucket. Thread-safe.
+class TokenBucket {
+ public:
+  /// `rate_per_second` must be > 0; `burst` (the bucket capacity, also the
+  /// initial fill) is clamped to at least 1 token.
+  TokenBucket(double rate_per_second, double burst)
+      : rate_(rate_per_second > 0 ? rate_per_second : 1.0),
+        burst_(std::max(burst, 1.0)),
+        tokens_(burst_) {}
+
+  /// Admits and spends `tokens` if available at time `now_seconds`
+  /// (monotonic, same origin across calls); false = reject, nothing
+  /// spent. Time moving backwards refills nothing and never goes
+  /// negative.
+  bool TryAcquireAt(double now_seconds, double tokens = 1.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefillLocked(now_seconds);
+    if (tokens_ < tokens) return false;
+    tokens_ -= tokens;
+    return true;
+  }
+
+  /// TryAcquireAt with the steady clock.
+  bool TryAcquire(double tokens = 1.0) { return TryAcquireAt(Now(), tokens); }
+
+  /// Tokens available at `now_seconds` (after refill; for observability).
+  double AvailableAt(double now_seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefillLocked(now_seconds);
+    return tokens_;
+  }
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  static double Now() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void RefillLocked(double now_seconds) {
+    // The first call anchors the time origin (callers may use the steady
+    // clock or any monotonic test clock — the two must not mix).
+    if (!primed_) {
+      primed_ = true;
+      last_refill_ = now_seconds;
+      return;
+    }
+    const double elapsed = now_seconds - last_refill_;
+    if (elapsed <= 0) return;  // clock went backwards or stood still
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    last_refill_ = now_seconds;
+  }
+
+  const double rate_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;          // guarded by mu_
+  bool primed_ = false;    // guarded by mu_
+  double last_refill_ = 0; // guarded by mu_
+};
+
+}  // namespace gpm::serving
+
+#endif  // GPM_SERVING_TOKEN_BUCKET_H_

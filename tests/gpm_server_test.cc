@@ -1,0 +1,210 @@
+// GpmServer: serving correctness (a served response equals a direct
+// engine match on the same snapshot), epoch/instance provenance across
+// writer batches, admission and deadline accounting, Create validation,
+// and the metrics invariants.
+
+#include "serving/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "api/engine.h"
+#include "extensions/incremental.h"
+#include "tests/test_util.h"
+
+namespace gpm::serving {
+namespace {
+
+using testutil::CanonicalResult;
+using testutil::MakeGraph;
+
+Graph TrianglePattern() {
+  return MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}, {2, 0}});
+}
+
+// One genuine triangle plus an open chain that a single edge insertion
+// (5 -> 3) closes into a second match region.
+Graph TriangleData() {
+  return MakeGraph({1, 2, 3, 1, 2, 3},
+                   {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 0}});
+}
+
+std::vector<std::shared_ptr<const PreparedQuery>> PrepareAll(
+    Engine& engine, const std::vector<Graph>& patterns) {
+  std::vector<std::shared_ptr<const PreparedQuery>> out;
+  for (const Graph& p : patterns) {
+    auto prepared = engine.PrepareCached(p);
+    EXPECT_TRUE(prepared.ok()) << prepared.status().message();
+    out.push_back(std::move(prepared).ValueOrDie());
+  }
+  return out;
+}
+
+TEST(GpmServerTest, ServeEqualsDirectMatchOnTheSameSnapshot) {
+  Engine engine;
+  auto queries = PrepareAll(engine, {TrianglePattern()});
+  const Graph data = TriangleData();
+  auto server = GpmServer::Create(engine, queries, data);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  auto client = server->Connect();
+  ASSERT_TRUE(client.ok());
+
+  auto response = server->Serve(*client, 0);
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_TRUE(response->match.matched);
+  EXPECT_EQ(response->epoch, 1u);
+  ASSERT_NE(response->graph, nullptr);
+  EXPECT_EQ(response->graph_instance, response->graph->instance_id());
+
+  // The same query against the snapshot the response says it used must
+  // produce the identical result set.
+  auto direct = engine.Match(*queries[0], *response->graph);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(CanonicalResult(response->match.subgraphs),
+            CanonicalResult(direct->subgraphs));
+
+  const auto metrics = server->metrics();
+  EXPECT_EQ(metrics.requests, 1u);
+  EXPECT_EQ(metrics.served, 1u);
+  EXPECT_EQ(metrics.rejected, 0u);
+  EXPECT_EQ(metrics.errors, 0u);
+  EXPECT_EQ(metrics.latency.count, 1u);
+}
+
+TEST(GpmServerTest, ApplyEditsPublishesANewEpochWithANewInstance) {
+  Engine engine;
+  auto queries = PrepareAll(engine, {TrianglePattern()});
+  auto server = GpmServer::Create(engine, queries, TriangleData());
+  ASSERT_TRUE(server.ok());
+  auto client = server->Connect();
+  ASSERT_TRUE(client.ok());
+
+  auto before = server->Serve(*client, 0);
+  ASSERT_TRUE(before.ok());
+
+  // Closing 5 -> 3 creates a second triangle-shaped match region.
+  const GraphEdit edits[] = {GraphEdit::InsertEdge(5, 3)};
+  ASSERT_TRUE(server->ApplyEdits(edits).ok());
+
+  auto after = server->Serve(*client, 0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->epoch, before->epoch + 1);
+  EXPECT_NE(after->graph_instance, before->graph_instance);
+  EXPECT_GT(after->match.subgraphs.size(), before->match.subgraphs.size());
+
+  // The new snapshot must agree with a from-scratch match on the edited
+  // graph (incremental repair == full recompute).
+  auto truth = engine.Match(*queries[0], *after->graph);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(CanonicalResult(after->match.subgraphs),
+            CanonicalResult(truth->subgraphs));
+
+  const auto metrics = server->metrics();
+  EXPECT_EQ(metrics.writer_batches, 1u);
+  EXPECT_EQ(metrics.writer_edits, 1u);
+  EXPECT_EQ(metrics.snapshots.epoch, 2u);
+  EXPECT_EQ(metrics.snapshots.published, 1u);
+}
+
+TEST(GpmServerTest, AdmissionRejectsOverRateClients) {
+  Engine engine;
+  auto queries = PrepareAll(engine, {TrianglePattern()});
+  auto server = GpmServer::Create(engine, queries, TriangleData());
+  ASSERT_TRUE(server.ok());
+  // A starved bucket: 1 token burst, negligible refill.
+  auto client = server->Connect(/*admission_rate=*/1e-6,
+                                /*admission_burst=*/1.0);
+  ASSERT_TRUE(client.ok());
+
+  EXPECT_TRUE(server->Serve(*client, 0).ok());
+  auto rejected = server->Serve(*client, 0);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  const auto metrics = server->metrics();
+  EXPECT_EQ(metrics.requests, 2u);
+  EXPECT_EQ(metrics.served, 1u);
+  EXPECT_EQ(metrics.rejected, 1u);
+
+  // A second client has its own bucket — unaffected by the starved one.
+  auto other = server->Connect(/*admission_rate=*/0, /*admission_burst=*/0);
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(server->Serve(*other, 0).ok());
+}
+
+TEST(GpmServerTest, DeadlineMissesAreServedButCounted) {
+  Engine engine;
+  auto queries = PrepareAll(engine, {TrianglePattern()});
+  ServerOptions options;
+  options.deadline_seconds = 1e-12;  // nothing finishes this fast
+  auto server = GpmServer::Create(engine, queries, TriangleData(), options);
+  ASSERT_TRUE(server.ok());
+  auto client = server->Connect();
+  ASSERT_TRUE(client.ok());
+
+  auto response = server->Serve(*client, 0);
+  ASSERT_TRUE(response.ok()) << "a deadline miss still returns its result";
+  EXPECT_TRUE(response->deadline_missed);
+  EXPECT_EQ(server->metrics().deadline_misses, 1u);
+  EXPECT_EQ(server->metrics().served, 1u);
+}
+
+TEST(GpmServerTest, ConnectHonorsMaxClients) {
+  Engine engine;
+  auto queries = PrepareAll(engine, {TrianglePattern()});
+  ServerOptions options;
+  options.max_clients = 2;
+  auto server = GpmServer::Create(engine, queries, TriangleData(), options);
+  ASSERT_TRUE(server.ok());
+
+  auto a = server->Connect();
+  auto b = server->Connect();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = server->Connect();
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+
+  // Disconnecting frees the slot.
+  *a = GpmServer::Client();
+  EXPECT_TRUE(server->Connect().ok());
+}
+
+TEST(GpmServerTest, ServeValidatesTheQueryIndex) {
+  Engine engine;
+  auto queries = PrepareAll(engine, {TrianglePattern()});
+  auto server = GpmServer::Create(engine, queries, TriangleData());
+  ASSERT_TRUE(server.ok());
+  auto client = server->Connect();
+  ASSERT_TRUE(client.ok());
+
+  auto response = server->Serve(*client, queries.size());
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(server->metrics().errors, 1u);
+}
+
+TEST(GpmServerTest, CreateRejectsBadConfigurations) {
+  Engine engine;
+  const Graph data = TriangleData();
+
+  // No queries to serve.
+  EXPECT_FALSE(GpmServer::Create(engine, {}, data).ok());
+
+  // A null query entry.
+  std::vector<std::shared_ptr<const PreparedQuery>> with_null =
+      PrepareAll(engine, {TrianglePattern()});
+  with_null.push_back(nullptr);
+  EXPECT_FALSE(GpmServer::Create(engine, with_null, data).ok());
+
+  // Writer index out of range.
+  ServerOptions options;
+  options.writer_query_index = 7;
+  EXPECT_FALSE(GpmServer::Create(engine, PrepareAll(engine, {TrianglePattern()}),
+                                 data, options)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace gpm::serving

@@ -1,0 +1,112 @@
+// LatencyHistogram: bucket-index bounds across the full uint64 range,
+// quantile accuracy against exact sorted data, merge, and concurrent
+// recording.
+
+#include "serving/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace gpm::serving {
+namespace {
+
+TEST(LatencyHistogramTest, BucketIndexStaysInRangeAndIsMonotonic) {
+  size_t prev = 0;
+  for (uint64_t nanos :
+       {uint64_t{0}, uint64_t{1}, uint64_t{15}, uint64_t{16}, uint64_t{17},
+        uint64_t{1000}, uint64_t{123456}, uint64_t{1} << 32,
+        (uint64_t{1} << 63) + 5, ~uint64_t{0}}) {
+    const size_t index = LatencyHistogram::BucketIndex(nanos);
+    ASSERT_LT(index, LatencyHistogram::kNumBuckets) << "nanos=" << nanos;
+    EXPECT_GE(index, prev) << "nanos=" << nanos;
+    prev = index;
+  }
+  // The extreme value must land in the last bucket exactly.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~uint64_t{0}),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, BucketMidIsInsideItsOwnBucket) {
+  for (size_t index = 0; index < LatencyHistogram::kNumBuckets; ++index) {
+    const uint64_t mid = LatencyHistogram::BucketMidNanos(index);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(mid), index) << "index=" << index;
+  }
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (uint64_t nanos = 0; nanos < 16; ++nanos) h.RecordNanos(nanos);
+  EXPECT_EQ(h.count(), 16u);
+  // p50 over 0..15 (nearest-rank, rank 8) is the value 7, stored exactly.
+  EXPECT_NEAR(h.Quantile(0.5), 7e-9, 1e-15);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinRelativeErrorBound) {
+  // Log-uniform latencies from 1us to 1s: the histogram's quantiles must
+  // track the exact sorted-vector quantiles within the bucket width
+  // (1/16 of magnitude, so <= ~6.25% relative error).
+  Rng rng(99);
+  LatencyHistogram h;
+  std::vector<double> exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double log10_seconds = -6.0 + 6.0 * rng.NextDouble();
+    const double seconds = std::pow(10.0, log10_seconds);
+    exact.push_back(seconds);
+    h.Record(seconds);
+  }
+  std::sort(exact.begin(), exact.end());
+  for (double q : {0.50, 0.90, 0.95, 0.99}) {
+    const double approx = h.Quantile(q);
+    const double truth =
+        exact[static_cast<size_t>(q * (exact.size() - 1))];
+    EXPECT_NEAR(approx, truth, truth * 0.07) << "q=" << q;
+  }
+  const auto summary = h.Summarize();
+  EXPECT_EQ(summary.count, 20000u);
+  EXPECT_GE(summary.p95_seconds, summary.p50_seconds);
+  EXPECT_GE(summary.p99_seconds, summary.p95_seconds);
+  EXPECT_GE(summary.max_seconds, summary.p99_seconds);
+  EXPECT_GT(summary.mean_seconds, 0);
+}
+
+TEST(LatencyHistogramTest, MergeFoldsCountsAndMax) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.RecordNanos(1000);
+  for (int i = 0; i < 100; ++i) b.RecordNanos(8000);
+  b.RecordNanos(1000000);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 201u);
+  const auto summary = a.Summarize();
+  EXPECT_NEAR(summary.max_seconds, 1e-3, 1e-4);
+  // Median of {100x1us, 100x8us, 1x1ms} sits in the 1us bucket.
+  EXPECT_NEAR(summary.p50_seconds, 1e-6, 1e-7);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.RecordNanos(static_cast<uint64_t>(t + 1) * 1000 +
+                      static_cast<uint64_t>(i % 16));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  const auto summary = h.Summarize();
+  EXPECT_GT(summary.mean_seconds, 0);
+  EXPECT_GE(summary.max_seconds, 4e-6);
+}
+
+}  // namespace
+}  // namespace gpm::serving

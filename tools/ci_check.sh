@@ -4,6 +4,7 @@
 #
 #   tools/ci_check.sh            # fast gate (default)
 #   GPM_CI_SLOW=1 tools/ci_check.sh   # also run the slow-labeled suites
+#   GPM_CI_TSAN=1 tools/ci_check.sh   # ThreadSanitizer build + fast tests
 #   GPM_CI_UPDATE_BASELINE=1 tools/ci_check.sh   # refresh the snapshots
 #
 # The perf gates compare each bench in GATED_BENCHES against its
@@ -18,7 +19,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${GPM_BUILD_DIR:-build}"
-GATED_BENCHES=(serving_path regex_scaling incremental_updates)
+GATED_BENCHES=(serving_path regex_scaling incremental_updates serving_load)
+
+# TSan mode: a separate -DGPM_TSAN=ON build tree running the fast suite
+# (which includes the serving concurrency tests — the reason this mode
+# exists). Benches are skipped: their wall-clock under TSan says nothing.
+if [[ "${GPM_CI_TSAN:-0}" == "1" ]]; then
+  TSAN_DIR="${GPM_TSAN_BUILD_DIR:-build-tsan}"
+  echo "== TSan configure + build ($TSAN_DIR) =="
+  cmake -B "$TSAN_DIR" -S . -DGPM_TSAN=ON >/dev/null
+  cmake --build "$TSAN_DIR" -j >/dev/null
+  echo "== TSan fast tests (ctest -L fast) =="
+  ctest --test-dir "$TSAN_DIR" -L fast --output-on-failure -j "$(nproc)"
+  echo "ci_check: TSan OK"
+  exit 0
+fi
 
 echo "== configure + build =="
 cmake -B "$BUILD_DIR" -S . >/dev/null

@@ -30,6 +30,8 @@
 #include "graph/statistics.h"
 #include "matching/query_minimization.h"
 #include "quality/closeness.h"
+#include "quality/workloads.h"
+#include "serving/load_driver.h"
 
 namespace gpm {
 namespace {
@@ -83,7 +85,17 @@ int Usage() {
                "          (continuous query: random edge updates repair\n"
                "           only the affected balls; deltas are printed)\n"
                "  gpm_cli algos\n"
-               "  gpm_cli minimize --pattern FILE [--out FILE]\n",
+               "  gpm_cli minimize --pattern FILE [--out FILE]\n"
+               "  gpm_cli loadgen [--graph FILE | --kind K --nodes N]\n"
+               "          [--patterns FILE[,FILE...] | --npatterns P\n"
+               "           --pnodes NQ] [--algo NAME] [--threads T]\n"
+               "          [--duration SECONDS] [--qps PER_CLIENT]\n"
+               "          [--churn EDITS_PER_S] [--batch B]\n"
+               "          [--deadline-ms MS] [--rate TOKENS_PER_S]\n"
+               "          [--burst B] [--seed S]\n"
+               "          (serving load: T client threads against a\n"
+               "           GpmServer; --churn adds a writer publishing\n"
+               "           snapshot epochs; --rate throttles admission)\n",
                AlgoNameList().c_str());
   return 2;
 }
@@ -500,6 +512,135 @@ int RunWatch(const Args& args) {
   return 0;
 }
 
+// Serving load generator: stands a GpmServer on a loaded or generated
+// graph and drives it with the shared load harness (serving/load_driver.h)
+// — N paced or closed-loop client threads, optional writer churn
+// publishing snapshot epochs, optional token-bucket admission.
+int RunLoadgen(const Args& args) {
+  using serving::GpmServer;
+  using serving::LoadOptions;
+  using serving::LoadProgress;
+  using serving::LoadReport;
+  using serving::ServerOptions;
+  const std::string graph_path = args.Get("graph", "");
+  const std::string patterns_arg = args.Get("patterns", "");
+  const std::string kind = args.Get("kind", "uniform");
+  auto nodes = ParseUint64(args.Get("nodes", "2000"));
+  auto labels = ParseUint64(args.Get("labels", "0"));
+  auto alpha = ParseDouble(args.Get("alpha", "1.2"));
+  auto seed = ParseUint64(args.Get("seed", "1"));
+  auto npatterns = ParseUint64(args.Get("npatterns", "3"));
+  auto pnodes = ParseUint64(args.Get("pnodes", "8"));
+  auto threads = ParseUint64(args.Get("threads", "4"));
+  auto duration = ParseDouble(args.Get("duration", "3"));
+  auto qps = ParseDouble(args.Get("qps", "0"));
+  auto churn = ParseDouble(args.Get("churn", "0"));
+  auto batch = ParseUint64(args.Get("batch", "4"));
+  auto deadline_ms = ParseDouble(args.Get("deadline-ms", "0"));
+  auto rate = ParseDouble(args.Get("rate", "0"));
+  auto burst = ParseDouble(args.Get("burst", "0"));
+  if (!nodes.ok() || !labels.ok() || !alpha.ok() || !seed.ok() ||
+      !npatterns.ok() || !pnodes.ok() || !threads.ok() || !duration.ok() ||
+      !qps.ok() || !churn.ok() || !batch.ok() || !deadline_ms.ok() ||
+      !rate.ok() || !burst.ok()) {
+    return Fail("bad numeric flag");
+  }
+  auto request = RequestFromAlgoName(args.Get("algo", "strong+"));
+  if (!request.ok()) return Fail(request.status().ToString());
+
+  Graph g;
+  if (!graph_path.empty()) {
+    auto loaded = LoadGraph(graph_path);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    g = std::move(*loaded);
+  } else {
+    const uint32_t n = static_cast<uint32_t>(*nodes);
+    const uint32_t l = *labels > 0 ? static_cast<uint32_t>(*labels)
+                                   : ScaledLabelCount(n);
+    if (kind == "amazon") {
+      g = MakeAmazonLike(n, *seed, l);
+    } else if (kind == "youtube") {
+      g = MakeYouTubeLike(n, *seed, l);
+    } else if (kind == "uniform") {
+      g = MakeUniform(n, *alpha, l, *seed);
+    } else {
+      return Fail("unknown --kind '" + kind + "'");
+    }
+  }
+
+  Engine engine;
+  std::vector<std::shared_ptr<const PreparedQuery>> queries;
+  if (!patterns_arg.empty()) {
+    for (std::string_view path : SplitString(patterns_arg, ",")) {
+      auto q = LoadGraph(std::string(path));
+      if (!q.ok()) return Fail(q.status().ToString());
+      auto pq = engine.PrepareCached(*q);
+      if (!pq.ok())
+        return Fail(std::string(path) + ": " + pq.status().ToString());
+      queries.push_back(*pq);
+    }
+  } else {
+    Rng rng(*seed * 31 + 7);
+    for (uint64_t i = 0; i < *npatterns; ++i) {
+      auto q = ExtractPattern(g, static_cast<uint32_t>(*pnodes), &rng);
+      if (!q.ok()) return Fail(q.status().ToString());
+      auto pq = engine.PrepareCached(*q);
+      if (!pq.ok()) return Fail(pq.status().ToString());
+      queries.push_back(*pq);
+    }
+  }
+  if (queries.empty()) return Fail("no patterns to serve");
+
+  ServerOptions server_options;
+  server_options.admission_rate = *rate;
+  server_options.admission_burst = *burst;
+  server_options.deadline_seconds = *deadline_ms * 1e-3;
+  server_options.max_clients = static_cast<size_t>(*threads) + 2;
+  // The writer maintains the smallest-diameter query: the repair ball
+  // radius is the pattern diameter, so this keeps per-batch repair local.
+  for (size_t i = 1; i < queries.size(); ++i) {
+    if (queries[i]->diameter() <
+        queries[server_options.writer_query_index]->diameter()) {
+      server_options.writer_query_index = i;
+    }
+  }
+  auto server = GpmServer::Create(engine, queries, g, server_options);
+  if (!server.ok()) return Fail(server.status().ToString());
+
+  std::printf("serving %zu nodes, %zu edges | %zu queries | %zu client "
+              "threads%s%s\n",
+              g.num_nodes(), g.num_edges(), queries.size(),
+              static_cast<size_t>(*threads),
+              *churn > 0 ? ", writer churn on" : "",
+              *rate > 0 ? ", admission on" : "");
+
+  LoadOptions load;
+  load.client_threads = static_cast<size_t>(*threads);
+  load.duration_seconds = *duration;
+  load.target_qps = *qps;
+  load.churn_edits_per_second = *churn;
+  load.churn_batch = static_cast<size_t>(*batch);
+  load.request = *request;
+  load.seed = *seed;
+  load.progress = [](const LoadProgress& p) {
+    std::printf("  t=%5.1fs  %llu served, %llu rejected | epoch %llu "
+                "(lag %llu, %llu retiring)\n",
+                p.elapsed_seconds,
+                static_cast<unsigned long long>(p.served),
+                static_cast<unsigned long long>(p.rejected),
+                static_cast<unsigned long long>(p.epoch),
+                static_cast<unsigned long long>(p.epoch_lag),
+                static_cast<unsigned long long>(p.retired_pending));
+    std::fflush(stdout);
+  };
+  const LoadReport report = RunLoad(*server, load);
+  std::printf("%s", serving::RenderReport(report).c_str());
+  PrintCacheStats(server->engine());
+  if (report.consistency_mismatches > 0 || report.groundtruth_mismatches > 0)
+    return Fail("verification found mismatched responses");
+  return 0;
+}
+
 int RunMinimize(const Args& args) {
   const std::string pattern_path = args.Get("pattern", "");
   if (pattern_path.empty()) return Fail("--pattern is required");
@@ -534,5 +675,6 @@ int main(int argc, char** argv) {
   if (command == "watch") return gpm::RunWatch(args);
   if (command == "algos") return gpm::RunAlgos();
   if (command == "minimize") return gpm::RunMinimize(args);
+  if (command == "loadgen") return gpm::RunLoadgen(args);
   return gpm::Usage();
 }
