@@ -66,7 +66,9 @@ class JsonReport {
             "\"balls_skipped_filter\": %zu, \"balls_skipped_pruning\": %zu, "
             "\"balls_center_unmatched\": %zu, \"subgraphs_found\": %zu, "
             "\"duplicates_removed\": %zu, \"candidate_pairs_refined\": %zu, "
-            "\"global_filter_seconds\": %.6f, \"total_seconds\": %.6f, "
+            "\"global_filter_seconds\": %.6f, \"ball_build_seconds\": %.6f, "
+            "\"refine_seconds\": %.6f, \"emit_seconds\": %.6f, "
+            "\"total_seconds\": %.6f, "
             "\"seconds_to_first_subgraph\": %.6f, "
             "\"pattern_diameter\": %u, \"minimized_pattern_size\": %zu, "
             "\"filter_cache_hits\": %zu, \"filter_cache_misses\": %zu, "
@@ -76,6 +78,7 @@ class JsonReport {
             s.balls_skipped_pruning, s.balls_center_unmatched,
             s.subgraphs_found, s.duplicates_removed,
             s.candidate_pairs_refined, s.global_filter_seconds,
+            s.ball_build_seconds, s.refine_seconds, s.emit_seconds,
             s.total_seconds, s.seconds_to_first_subgraph,
             s.pattern_diameter, s.minimized_pattern_size,
             s.filter_cache_hits, s.filter_cache_misses, s.result_cache_hits,

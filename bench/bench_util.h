@@ -42,6 +42,7 @@ inline Engine MeasurementEngine() {
   options.filter_cache_capacity = 0;
   options.regex_filter_cache_capacity = 0;
   options.result_cache_capacity = 0;
+  options.csr_snapshot_cache_capacity = 0;
   return Engine(options);
 }
 

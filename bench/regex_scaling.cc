@@ -74,8 +74,9 @@ int main() {
 
   // -- threads: batch ------------------------------------------------------
   TablePrinter table({"threads", "time(s)", "speedup", "results", "== seq"});
-  double t1 = 0, t4 = 0;
+  double t1 = 0, t4 = 0, t8 = 0;
   bool all_equal = true;
+  size_t balls_skipped_filter = 0;
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     request.policy = ExecPolicy::Parallel(threads);
     auto result = engine.Match(*prepared, g, request);
@@ -86,6 +87,8 @@ int main() {
     const MatchStats& stats = result->stats;
     if (threads == 1) t1 = stats.total_seconds;
     if (threads == 4) t4 = stats.total_seconds;
+    if (threads == 8) t8 = stats.total_seconds;
+    balls_skipped_filter = stats.balls_skipped_filter;
     const bool equal = result->subgraphs.size() == baseline->subgraphs.size();
     all_equal = all_equal && equal;
     report.Add("threads=" + std::to_string(threads), stats.total_seconds,
@@ -172,12 +175,17 @@ int main() {
   std::printf("%s\n", site_table.Render().c_str());
 
   const double speedup4 = t4 > 0 ? t1 / t4 : 0;
-  std::printf("4-thread speedup: %.2fx\n", speedup4);
+  const double speedup8 = t8 > 0 ? t1 / t8 : 0;
+  std::printf("4-thread speedup: %.2fx, 8-thread speedup: %.2fx\n", speedup4,
+              speedup8);
   bench::ShapeCheck(all_equal && distributed_equal,
                     "every executor returns the same regex Θ");
   bench::ShapeCheck(first_before_total,
                     "streaming delivers the first subgraph before the run "
                     "completes");
+  bench::ShapeCheck(balls_skipped_filter > 0,
+                    "the global regex filter prunes centers "
+                    "(balls_skipped_filter > 0)");
   const unsigned cores = std::thread::hardware_concurrency();
   if (cores >= 4) {
     bench::ShapeCheck(speedup4 > 1.5,
@@ -187,6 +195,16 @@ int main() {
     std::printf(
         "  note: host has %u hardware thread(s); the 4-thread speedup\n"
         "  gate needs >= 4 (results-identity still verified).\n",
+        cores);
+  }
+  if (cores >= 8) {
+    bench::ShapeCheck(speedup8 >= 4.0,
+                      "parallel regex-strong beats serial by >= 4x at 8 "
+                      "threads");
+  } else {
+    std::printf(
+        "  note: host has %u hardware thread(s); the 8-thread speedup\n"
+        "  gate needs >= 8 (results-identity still verified).\n",
         cores);
   }
   return 0;

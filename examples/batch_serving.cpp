@@ -69,7 +69,7 @@ int main() {
   }
   std::vector<BatchItem> items;
   for (int dup = 0; dup < 2; ++dup) {
-    for (const auto& pq : prepared) items.push_back({pq.get(), request});
+    for (const auto& pq : prepared) items.push_back({pq.get(), request, {}});
   }
   auto responses = batch_engine.MatchBatch(g, items);
   size_t shared = 0;

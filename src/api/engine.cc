@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "api/algo_names.h"
@@ -25,21 +27,24 @@
 namespace gpm {
 
 /// The shared, thread-safe serving-path state behind every copy of one
-/// Engine: the four LRU caches plus the data-version counter that keys
+/// Engine: the five LRU caches plus the data-version counter that keys
 /// the data-dependent memos (see engine_cache.h for the invalidation
 /// contract).
 struct Engine::CacheState {
   CacheState(size_t prepared_capacity, size_t filter_capacity,
-             size_t regex_filter_capacity, size_t result_capacity)
+             size_t regex_filter_capacity, size_t result_capacity,
+             size_t csr_capacity)
       : prepared(prepared_capacity),
         filter(filter_capacity),
         regex_filter(regex_filter_capacity),
-        results(result_capacity) {}
+        results(result_capacity),
+        csr(csr_capacity) {}
 
   PreparedQueryCache prepared;
   DualFilterCache filter;
   RegexFilterCache regex_filter;
   MatchResultCache results;
+  CsrSnapshotCache csr;
   std::atomic<uint64_t> data_version{0};
 };
 
@@ -49,8 +54,8 @@ Engine::Engine(EngineOptions options)
     : options_(options),
       caches_(std::make_shared<CacheState>(
           options.prepared_cache_capacity, options.filter_cache_capacity,
-          options.regex_filter_cache_capacity,
-          options.result_cache_capacity)) {}
+          options.regex_filter_cache_capacity, options.result_cache_capacity,
+          options.csr_snapshot_cache_capacity)) {}
 
 void Engine::TickDataVersion() const {
   caches_->data_version.fetch_add(1, std::memory_order_acq_rel);
@@ -62,6 +67,7 @@ EngineCacheStats Engine::cache_stats() const {
   out.filter = caches_->filter.Stats();
   out.regex_filter = caches_->regex_filter.Stats();
   out.results = caches_->results.Stats();
+  out.csr = caches_->csr.Stats();
   out.data_version = caches_->data_version.load(std::memory_order_acquire);
   return out;
 }
@@ -250,6 +256,15 @@ Status Engine::LookupRegexFilter(const PreparedQuery& query, const Graph& g,
   return Status::OK();
 }
 
+std::shared_ptr<const CsrGraph> Engine::LookupCsr(const Graph& g) const {
+  if (caches_->csr.capacity() == 0) return nullptr;
+  CsrSnapshotKey key;
+  key.data_graph_id = g.instance_id();
+  key.data_version = caches_->data_version.load(std::memory_order_acquire);
+  if (auto hit = caches_->csr.Get(key)) return hit;
+  return caches_->csr.Put(key, CsrGraph::FromGraph(g));
+}
+
 Result<MatchResponse> Engine::Match(const PreparedQuery& query, const Graph& g,
                                     const MatchRequest& request) const {
   return Dispatch(query, g, request, nullptr);
@@ -354,6 +369,12 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
     GPM_RETURN_NOT_OK(
         LookupRegexFilter(query, g, request.policy.kind, &memo));
     const DualFilterResult* filter = memo.filter.get();
+    // Memoized CSR snapshot for the in-process ball builders (null when
+    // disabled or Distributed — sites hold fragment-local graphs).
+    const std::shared_ptr<const CsrGraph> csr_keepalive =
+        request.policy.kind != ExecPolicy::Kind::kDistributed ? LookupCsr(g)
+                                                              : nullptr;
+    const CsrGraph* csr = csr_keepalive.get();
     const auto annotate = [&memo](MatchStats* stats) {
       stats->filter_cache_hits = memo.hit ? 1 : 0;
       stats->filter_cache_misses = memo.miss ? 1 : 0;
@@ -371,7 +392,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
           GPM_ASSIGN_OR_RETURN(
               response.subgraphs_delivered,
               MatchStrongRegexStream(query.regex(), g, radius, *sink,
-                                     &response.stats, filter));
+                                     &response.stats, filter, csr));
           annotate(&response.stats);
           response.matched = response.subgraphs_delivered > 0;
           response.seconds = timer.Seconds();
@@ -379,7 +400,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
         }
         GPM_ASSIGN_OR_RETURN(response.subgraphs,
                              MatchStrongRegex(query.regex(), g, radius,
-                                              &response.stats, filter));
+                                              &response.stats, filter, csr));
         break;
       }
       case ExecPolicy::Kind::kParallel: {
@@ -388,7 +409,8 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
               response.subgraphs_delivered,
               MatchStrongRegexParallelStream(query.regex(), g, radius,
                                              request.policy.num_threads,
-                                             *sink, &response.stats, filter));
+                                             *sink, &response.stats, filter,
+                                             csr));
           annotate(&response.stats);
           response.matched = response.subgraphs_delivered > 0;
           response.seconds = timer.Seconds();
@@ -398,7 +420,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
             response.subgraphs,
             MatchStrongRegexParallel(query.regex(), g, radius,
                                      request.policy.num_threads,
-                                     &response.stats, filter));
+                                     &response.stats, filter, csr));
         break;
       }
       case ExecPolicy::Kind::kDistributed: {
@@ -462,6 +484,12 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
     GPM_RETURN_NOT_OK(
         LookupFilter(query, g, options, request.policy.kind, &memo));
     const DualFilterResult* filter = memo.filter.get();
+    // Memoized CSR snapshot for the in-process ball builders (null when
+    // disabled or Distributed — sites hold fragment-local graphs).
+    const std::shared_ptr<const CsrGraph> csr_keepalive =
+        request.policy.kind != ExecPolicy::Kind::kDistributed ? LookupCsr(g)
+                                                              : nullptr;
+    const CsrGraph* csr = csr_keepalive.get();
     const auto annotate = [&memo](MatchStats* stats) {
       stats->filter_cache_hits = memo.hit ? 1 : 0;
       stats->filter_cache_misses = memo.miss ? 1 : 0;
@@ -481,7 +509,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
           GPM_ASSIGN_OR_RETURN(
               response.subgraphs_delivered,
               MatchStrongStream(query.pattern(), g, options, *sink,
-                                &response.stats, &query.prep(), filter));
+                                &response.stats, &query.prep(), filter, csr));
           annotate(&response.stats);
           response.matched = response.subgraphs_delivered > 0;
           response.seconds = timer.Seconds();
@@ -490,7 +518,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
         GPM_ASSIGN_OR_RETURN(response.subgraphs,
                              MatchStrong(query.pattern(), g, options,
                                          &response.stats, &query.prep(),
-                                         filter));
+                                         filter, csr));
         break;
       }
       case ExecPolicy::Kind::kParallel: {
@@ -502,7 +530,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
               MatchStrongParallelStream(query.pattern(), g, options,
                                         request.policy.num_threads, *sink,
                                         &response.stats, &query.prep(),
-                                        filter));
+                                        filter, csr));
           annotate(&response.stats);
           response.matched = response.subgraphs_delivered > 0;
           response.seconds = timer.Seconds();
@@ -512,7 +540,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
             response.subgraphs,
             MatchStrongParallel(query.pattern(), g, options,
                                 request.policy.num_threads, &response.stats,
-                                &query.prep(), filter));
+                                &query.prep(), filter, csr));
         break;
       }
       case ExecPolicy::Kind::kDistributed: {
@@ -585,19 +613,57 @@ struct BatchPlan {
   size_t threads = 0;
   std::vector<PerfectSubgraph> raw;
   MatchResponse response;
+  // Streaming state (sink != nullptr): subgraphs flow out from inside the
+  // shared ball loop instead of accumulating into `raw`. The stop flag is
+  // on the heap (and atomic) so ball workers can poll it while the
+  // drainer owns the plan — and BatchPlan stays movable.
+  const SubgraphSink* sink = nullptr;
+  std::unordered_set<uint64_t> seen_hashes;
+  size_t delivered = 0;
+  std::shared_ptr<std::atomic<bool>> stopped =
+      std::make_shared<std::atomic<bool>>(false);
 
   // The per-ball pipeline of this item on one shared prebuilt ball.
-  std::optional<PerfectSubgraph> Process(const Ball& ball,
-                                         MatchStats* stats) const {
-    return is_regex
-               ? internal::ProcessRegexBall(regex_state.context, ball, stats)
-               : internal::ProcessBall(context, ball, stats);
+  std::optional<PerfectSubgraph> Process(
+      const Ball& ball, MatchStats* stats, internal::MatchScratch* scratch,
+      internal::RegexBallScratch* regex_scratch) const {
+    return is_regex ? internal::ProcessRegexBall(regex_state.context, ball,
+                                                 stats, regex_scratch)
+                    : internal::ProcessBall(context, ball, stats, scratch);
   }
 
   // The centers this plan's ball loop visits (valid once its run state
   // is built and not proven empty).
   const std::vector<NodeId>& Centers() const {
     return is_regex ? *regex_state.centers : *state.centers;
+  }
+
+  // True while this plan still wants center c's ball — a streaming plan
+  // whose sink returned false wants nothing more.
+  bool Wants(NodeId center) const {
+    return wants.Test(center) && !stopped->load(std::memory_order_relaxed);
+  }
+
+  // Streams one completed subgraph to this plan's sink. Single-threaded
+  // by construction: called from the serial ball loop or the parallel
+  // drainer, never from ball workers.
+  void Deliver(PerfectSubgraph&& pg, const Timer& batch_timer) {
+    MatchStats& stats = response.stats;
+    ScopedSecondsAccumulator emit_stage(&stats.emit_seconds);
+    // First-arrival dedup, like the lone streaming Match (regex plans
+    // carry default options, whose dedup is on — matching the lone regex
+    // stream's unconditional dedup).
+    if (options.dedup && !seen_hashes.insert(pg.ContentHash()).second) {
+      ++stats.duplicates_removed;
+      return;
+    }
+    if (delivered == 0) {
+      stats.seconds_to_first_subgraph = batch_timer.Seconds();
+    }
+    ++delivered;
+    if (!(*sink)(std::move(pg))) {
+      stopped->store(true, std::memory_order_relaxed);
+    }
   }
 };
 
@@ -606,29 +672,42 @@ struct BatchPlan {
 size_t CountInterested(const std::vector<BatchPlan*>& group, NodeId center) {
   size_t interested = 0;
   for (const BatchPlan* plan : group) {
-    if (plan->wants.Test(center)) ++interested;
+    if (plan->Wants(center)) ++interested;
   }
   return interested;
 }
 
 // The shared ball loop, single-threaded: merged centers in ascending
-// order, one ball build per center, every interested plan's per-ball
-// pipeline on it. Ascending order makes each plan see exactly the center
-// sequence of its lone serial Match.
-void RunBatchGroupSerial(const Graph& g, uint32_t radius,
+// order, one ball build per center (from the shared CSR snapshot), every
+// interested plan's per-ball pipeline on it. Ascending order makes each
+// plan see exactly the center sequence of its lone serial Match — which
+// is also what lets streaming plans deliver with first-arrival dedup and
+// match the lone stream byte for byte.
+void RunBatchGroupSerial(const CsrGraph& csr, uint32_t radius,
                          const std::vector<NodeId>& merged,
                          const std::vector<BatchPlan*>& group,
                          const Timer& batch_timer) {
-  BallBuilder builder(g);
+  CsrBallBuilder builder(csr);
   Ball ball;
+  internal::MatchScratch scratch;
+  internal::RegexBallScratch regex_scratch;
   for (NodeId center : merged) {
     const size_t interested = CountInterested(group, center);
+    if (interested == 0) continue;  // every wanting plan has stopped
+    Timer build_timer;
     builder.Build(center, radius, &ball);
+    const double build_seconds = build_timer.Seconds();
     for (BatchPlan* plan : group) {
-      if (!plan->wants.Test(center)) continue;
+      if (!plan->Wants(center)) continue;
+      plan->response.stats.ball_build_seconds += build_seconds;
       if (interested > 1) ++plan->response.stats.balls_shared;
-      auto pg = plan->Process(ball, &plan->response.stats);
+      auto pg = plan->Process(ball, &plan->response.stats, &scratch,
+                              &regex_scratch);
       if (!pg.has_value()) continue;
+      if (plan->sink != nullptr) {
+        plan->Deliver(std::move(*pg), batch_timer);
+        continue;
+      }
       if (plan->raw.empty()) {
         plan->response.stats.seconds_to_first_subgraph =
             batch_timer.Seconds();
@@ -639,10 +718,12 @@ void RunBatchGroupSerial(const Graph& g, uint32_t radius,
 }
 
 // Multi-threaded shared ball loop: workers shard the merged centers,
-// build each ball once, evaluate every interested plan on it, and push
-// (plan, subgraph) through a bounded queue to the draining caller — the
-// PR 2 streaming pipeline with a plan tag on each item.
-void RunBatchGroupParallel(const Graph& g, uint32_t radius,
+// build each ball once (from the shared CSR snapshot), evaluate every
+// interested plan on it, and push (plan, subgraph) through a bounded
+// queue to the draining caller — the PR 2 streaming pipeline with a plan
+// tag on each item. The drainer hands streaming plans' subgraphs to their
+// sinks in arrival order (one thread, honoring the sink contract).
+void RunBatchGroupParallel(const CsrGraph& csr, uint32_t radius,
                            const std::vector<NodeId>& merged,
                            const std::vector<BatchPlan*>& group,
                            size_t num_threads, const Timer& batch_timer) {
@@ -664,18 +745,26 @@ void RunBatchGroupParallel(const Graph& g, uint32_t radius,
       pool.Submit([&, s] {
         const size_t begin = s * per_shard;
         const size_t end = std::min(merged.size(), begin + per_shard);
-        BallBuilder builder(g);
+        CsrBallBuilder builder(csr);
         Ball ball;
+        internal::MatchScratch scratch;
+        internal::RegexBallScratch regex_scratch;
         for (size_t i = begin; i < end; ++i) {
           const NodeId center = merged[i];
           const size_t interested = CountInterested(group, center);
+          if (interested == 0) continue;  // every wanting plan stopped
+          Timer build_timer;
           builder.Build(center, radius, &ball);
+          const double build_seconds = build_timer.Seconds();
           for (size_t p = 0; p < group.size(); ++p) {
-            if (!group[p]->wants.Test(center)) continue;
+            if (!group[p]->Wants(center)) continue;
+            shard_stats[s][p].ball_build_seconds += build_seconds;
             if (interested > 1) ++shard_stats[s][p].balls_shared;
-            auto pg = group[p]->Process(ball, &shard_stats[s][p]);
-            // Push cannot fail here: a batch has no early stop, so the
-            // drainer never cancels and Close happens only after the
+            auto pg = group[p]->Process(ball, &shard_stats[s][p], &scratch,
+                                        &regex_scratch);
+            // Push cannot fail here: a batch has no whole-queue early
+            // stop (a stopped streaming plan just stops being wanted), so
+            // the drainer never cancels and Close happens only after the
             // last producer exits.
             if (pg.has_value()) queue.Push({p, std::move(*pg)});
           }
@@ -685,10 +774,18 @@ void RunBatchGroupParallel(const Graph& g, uint32_t radius,
     }
 
     // Single drainer: this thread, arrival order (canonicalization below
-    // restores the deterministic batch order).
+    // restores the deterministic batch order for materializing plans;
+    // streaming plans deliver here, in arrival order like a lone parallel
+    // stream).
     while (std::optional<std::pair<size_t, PerfectSubgraph>> item =
                queue.Pop()) {
       BatchPlan* plan = group[item->first];
+      if (plan->sink != nullptr) {
+        if (!plan->stopped->load(std::memory_order_relaxed)) {
+          plan->Deliver(std::move(item->second), batch_timer);
+        }
+        continue;
+      }
       if (plan->raw.empty()) {
         plan->response.stats.seconds_to_first_subgraph =
             batch_timer.Seconds();
@@ -707,6 +804,9 @@ void RunBatchGroupParallel(const Graph& g, uint32_t radius,
       total.balls_center_unmatched += shard.balls_center_unmatched;
       total.candidate_pairs_refined += shard.candidate_pairs_refined;
       total.balls_shared += shard.balls_shared;
+      // Stage times are CPU-seconds: summed across workers.
+      total.ball_build_seconds += shard.ball_build_seconds;
+      total.refine_seconds += shard.refine_seconds;
     }
   }
 }
@@ -786,19 +886,22 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
         (plain_strong || regex_strong) && item.query->strong_status().ok() &&
         request.policy.kind != ExecPolicy::Kind::kDistributed;
     if (!batchable) {
-      out[i] = Dispatch(*item.query, g, request, nullptr);
+      out[i] = Dispatch(*item.query, g, request,
+                        item.sink ? &item.sink : nullptr);
       continue;
     }
     BatchPlan plan;
     plan.index = i;
     plan.is_regex = regex_strong;
+    if (item.sink) plan.sink = &item.sink;
     // Regex runs ignore request.options (same rule as lone Dispatch, so
     // the result-cache key below matches the lone Match's).
     plan.options = regex_strong ? MatchOptions{} : EffectiveOptions(request);
     // An exactly repeated request is served from the result cache — same
-    // contract as a lone Match (batch items are non-streaming and
-    // non-distributed by the batchable definition above).
-    if (caches_->results.capacity() > 0) {
+    // contract as a lone Match (batch items are non-distributed by the
+    // batchable definition above; streaming items always execute, like a
+    // lone streaming Match).
+    if (plan.sink == nullptr && caches_->results.capacity() > 0) {
       plan.result_key = MakeResultKey(
           item.query->fingerprint(), plan.options, request.policy, &g,
           caches_->data_version.load(std::memory_order_acquire));
@@ -882,6 +985,21 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     by_radius[plan_radius].push_back(&plan);
   }
 
+  // One CSR snapshot serves every group (memoized across calls when the
+  // snapshot cache is on).
+  std::shared_ptr<const CsrGraph> csr_keepalive;
+  CsrGraph local_csr;
+  const CsrGraph* csr = nullptr;
+  if (!by_radius.empty()) {
+    csr_keepalive = LookupCsr(g);
+    if (csr_keepalive != nullptr) {
+      csr = csr_keepalive.get();
+    } else {
+      local_csr = CsrGraph::FromGraph(g);
+      csr = &local_csr;
+    }
+  }
+
   for (auto& [radius, group] : by_radius) {
     // Distinct centers of the group, ascending (each plan's own subset
     // keeps its serial center order).
@@ -910,9 +1028,10 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
       threads = std::max(threads, requested);
     }
     if (parallel && threads > 1) {
-      RunBatchGroupParallel(g, radius, merged, group, threads, batch_timer);
+      RunBatchGroupParallel(*csr, radius, merged, group, threads,
+                            batch_timer);
     } else {
-      RunBatchGroupSerial(g, radius, merged, group, batch_timer);
+      RunBatchGroupSerial(*csr, radius, merged, group, batch_timer);
     }
   }
 
@@ -922,12 +1041,21 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
   for (BatchPlan& plan : plans) {
     if (plan.dead) continue;
     MatchResponse& response = plan.response;
-    response.stats.duplicates_removed +=
-        CanonicalizeSubgraphs(plan.options.dedup, &plan.raw);
-    response.stats.subgraphs_found = plan.raw.size();
-    response.subgraphs = std::move(plan.raw);
-    response.subgraphs_delivered = response.subgraphs.size();
-    response.matched = !response.subgraphs.empty();
+    if (plan.sink != nullptr) {
+      // Streaming plan: everything already went to the sink (dedup'd
+      // first-arrival); only the counters are materialized.
+      response.stats.subgraphs_found = plan.delivered;
+      response.subgraphs_delivered = plan.delivered;
+      response.matched = plan.delivered > 0;
+    } else {
+      ScopedSecondsAccumulator emit_stage(&response.stats.emit_seconds);
+      response.stats.duplicates_removed +=
+          CanonicalizeSubgraphs(plan.options.dedup, &plan.raw);
+      response.stats.subgraphs_found = plan.raw.size();
+      response.subgraphs = std::move(plan.raw);
+      response.subgraphs_delivered = response.subgraphs.size();
+      response.matched = !response.subgraphs.empty();
+    }
     response.stats.filter_cache_hits = plan.memo_hit ? 1 : 0;
     response.stats.filter_cache_misses = plan.memo_miss ? 1 : 0;
     if (plan.memo_miss) {

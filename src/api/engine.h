@@ -51,7 +51,7 @@
 //     subgraph reached the sink — the serving-path latency metric
 //     (strictly below total wall time whenever the run found anything).
 //
-// Serving path (caching + batching): the engine carries four bounded,
+// Serving path (caching + batching): the engine carries five bounded,
 // thread-safe LRU caches shared by every copy of it —
 //
 //   - PrepareCached(pattern) keys compiled queries on the pattern's
@@ -72,6 +72,9 @@
 //     once when a coarse "recompute the world" switch is wanted (see
 //     engine_cache.h). Streaming (sink) calls and Distributed requests
 //     always execute.
+//   - The flat CSR snapshot the ball builders read is memoized per (data
+//     graph, data version), so repeat requests — any pattern — skip the
+//     O(V + E) conversion (EngineOptions::csr_snapshot_cache_capacity).
 //   - MatchBatch(g, items) answers many requests against one data graph,
 //     building each distinct (center, radius) ball once — plain strong
 //     and regex items with the same (center, weighted-radius) share the
@@ -126,18 +129,26 @@ struct EngineOptions {
   /// memoization (every Match pays the global fixpoint).
   size_t filter_cache_capacity = 16;
   /// Capacity of the per-(regex pattern, data) regex-filter memo LRU.
-  /// When > 0, the first kRegexStrong call on a (query, data) pair runs
-  /// the global dual regex-simulation once (ComputeRegexFilter) and every
-  /// later call — any policy, batch or streaming — starts from its pruned
-  /// center list; 0 disables the filter entirely (every call scans all
-  /// label-matching centers, like a direct MatchStrongRegex). Same
+  /// The global regex filter itself is always applied (the executors
+  /// compute it when no memo is supplied); this knob only controls
+  /// memoization. When > 0, the first kRegexStrong call on a (query,
+  /// data) pair runs the global dual regex-simulation once
+  /// (ComputeRegexFilter) and every later call — any policy, batch or
+  /// streaming — starts from its pruned center list; 0 makes every call
+  /// pay the global fixpoint itself, like a direct MatchStrongRegex. Same
   /// invalidation contract as the dual-filter memo (see engine_cache.h).
   size_t regex_filter_cache_capacity = 16;
   /// Capacity of the materialized-result LRU (exactly repeated strong-
   /// family requests are answered from memory; see MatchResultKey for what
   /// "exactly" means). 0 disables it. Benchmarks that intend to measure
-  /// the matchers — not the cache — should disable all four capacities.
+  /// the matchers — not the cache — should disable every capacity here.
   size_t result_cache_capacity = 32;
+  /// Capacity of the per-(data graph, data version) CSR snapshot LRU. The
+  /// strong-family executors build balls from a flat read-only CSR copy of
+  /// the data graph; memoizing it means repeat requests against the same
+  /// graph skip the O(V + E) conversion. 0 disables memoization (each run
+  /// converts locally — results identical).
+  size_t csr_snapshot_cache_capacity = 8;
 };
 
 /// \brief One request of a MatchBatch: a prepared query plus the request
@@ -145,16 +156,24 @@ struct EngineOptions {
 struct BatchItem {
   const PreparedQuery* query = nullptr;
   MatchRequest request;
+  /// Optional per-item streaming sink. When set, this item's perfect
+  /// subgraphs flow to the sink as their balls complete (same contract as
+  /// the streaming Match overload: incremental delivery, one thread at a
+  /// time, false stops this item's stream without affecting the rest of
+  /// the batch) and its MatchResponse::subgraphs stays empty. Streaming
+  /// items still share ball construction with the whole batch but bypass
+  /// the materialized-result cache, exactly like a lone streaming Match.
+  SubgraphSink sink;
 };
 
 /// \brief The unified facade over every matcher in the library.
 ///
 /// Carries no per-call state: cheap to copy and safe to share across
-/// threads (each Match call has its own scratch). Copies share the four
+/// threads (each Match call has its own scratch). Copies share the five
 /// serving-path caches — prepared queries, dual-filter memos, regex-filter
-/// memos, materialized results (thread-safe; see engine_cache.h and
-/// EngineCacheStats) — so handing the same engine — or copies of it — to
-/// many serving threads is the intended deployment.
+/// memos, materialized results, CSR snapshots (thread-safe; see
+/// engine_cache.h and EngineCacheStats) — so handing the same engine — or
+/// copies of it — to many serving threads is the intended deployment.
 class Engine {
  public:
   Engine();
@@ -204,7 +223,7 @@ class Engine {
   /// interested request's per-ball pipeline runs on it (stats record the
   /// sharing in MatchStats::balls_shared). Items the shared loop cannot
   /// serve — relation notions, Distributed policy — execute exactly as a
-  /// lone Match would.
+  /// lone Match would (honoring their BatchItem::sink if set).
   ///
   /// Contract: responses[i] is byte-identical to Match(*items[i].query, g,
   /// items[i].request) — same subgraphs, same (center, content-hash)
@@ -212,6 +231,13 @@ class Engine {
   /// suite asserts this). The shared loop runs multi-threaded iff any
   /// batched item asks for ExecPolicy::Parallel, with the largest
   /// requested thread count.
+  ///
+  /// Streaming items (BatchItem::sink set) deliver incrementally from
+  /// inside the shared ball loop instead of accumulating: under the
+  /// serial loop in ascending center order with first-arrival dedup
+  /// (matching the lone streaming Match), under the parallel loop in
+  /// completion order. Their responses carry subgraphs_delivered and
+  /// stats; subgraphs stays empty.
   std::vector<Result<MatchResponse>> MatchBatch(
       const Graph& g, std::span<const BatchItem> items) const;
 
@@ -239,7 +265,7 @@ class Engine {
   /// "recompute everything" moments. See engine_cache.h.
   void TickDataVersion() const;
 
-  /// Snapshot of all four caches' counters plus the current data version.
+  /// Snapshot of all five caches' counters plus the current data version.
   EngineCacheStats cache_stats() const;
 
   const EngineOptions& options() const { return options_; }
@@ -269,9 +295,15 @@ class Engine {
 
   /// Same, for the regex-filter memo of one kRegexStrong call; leaves
   /// memo->filter null when the regex filter cache is disabled or the
-  /// request is Distributed (sites build their own per-fragment state).
+  /// request is Distributed (sites build their own per-fragment state) —
+  /// the executor then computes the filter itself, uncached.
   Status LookupRegexFilter(const PreparedQuery& query, const Graph& g,
                            ExecPolicy::Kind kind, FilterMemo* memo) const;
+
+  /// The memoized CSR snapshot of `g` at the current data version, or
+  /// null when the snapshot cache is disabled (callees then convert
+  /// locally).
+  std::shared_ptr<const CsrGraph> LookupCsr(const Graph& g) const;
 
   EngineOptions options_;
   std::shared_ptr<CacheState> caches_;

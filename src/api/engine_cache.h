@@ -39,6 +39,7 @@
 
 #include "api/prepared_query.h"
 #include "common/lru_cache.h"
+#include "graph/csr_graph.h"
 #include "matching/strong_simulation.h"
 
 namespace gpm {
@@ -88,6 +89,37 @@ using DualFilterCache = LruCache<DualFilterKey, DualFilterResult,
 /// each other and hit rates stay separately observable.
 using RegexFilterCache = LruCache<DualFilterKey, DualFilterResult,
                                   DualFilterKeyHash>;
+
+/// \brief Key of one memoized CSR data-graph snapshot: which data graph at
+/// which engine data version. Pattern-independent — every strong-family
+/// executor builds balls from the same read-only CsrGraph::FromGraph(g)
+/// product, so one snapshot serves all queries against that graph.
+struct CsrSnapshotKey {
+  uint64_t data_graph_id = 0;  ///< Graph::instance_id() of the data graph
+  uint64_t data_version = 0;   ///< Engine::TickDataVersion count
+
+  bool operator==(const CsrSnapshotKey&) const = default;
+};
+
+struct CsrSnapshotKeyHash {
+  size_t operator()(const CsrSnapshotKey& key) const {
+    uint64_t h = 14695981039346656037ULL;
+    auto mix = [&h](uint64_t x) {
+      h ^= x;
+      h *= 1099511628211ULL;
+      h ^= h >> 29;
+    };
+    mix(key.data_graph_id);
+    mix(key.data_version);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// CsrSnapshotKey -> flat CSR snapshot of the data graph, shared by every
+/// executor of every request against that graph (see
+/// EngineOptions::csr_snapshot_cache_capacity).
+using CsrSnapshotCache = LruCache<CsrSnapshotKey, CsrGraph,
+                                  CsrSnapshotKeyHash>;
 
 /// \brief Key of one materialized result set: the pattern, the *effective*
 /// strong-family options (which fully determine Θ — Theorem 1 makes the
@@ -153,6 +185,7 @@ struct EngineCacheStats {
   CacheStats filter;
   CacheStats regex_filter;
   CacheStats results;
+  CacheStats csr;
   uint64_t data_version = 0;
 };
 

@@ -1,0 +1,98 @@
+// ScratchArena: a grow-once bump allocator for per-ball scratch memory.
+//
+// The ball executors process thousands of small balls per worker; each
+// ball needs a handful of short-lived arrays (candidate lists, flat
+// match-graph adjacency, component stacks) whose sizes vary with the
+// ball. Allocating them from the heap per ball dominates small-ball cost
+// and bounces cache lines between workers. The arena instead hands out
+// spans by bumping a pointer into worker-private blocks: Reset() makes
+// the memory reusable without freeing it, so a worker reaches a
+// high-water mark once and then stops allocating entirely.
+//
+// Restrictions by design: only trivially-destructible element types (the
+// arena never runs destructors), spans are valid until the next Reset(),
+// and the arena is single-threaded (one per worker).
+
+#ifndef GPM_COMMON_ARENA_H_
+#define GPM_COMMON_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace gpm {
+
+/// \brief Bump allocator over retained blocks; see file comment.
+class ScratchArena {
+ public:
+  explicit ScratchArena(size_t initial_bytes = 4096)
+      : next_block_bytes_(initial_bytes < 64 ? 64 : initial_bytes) {}
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+  ScratchArena(ScratchArena&&) = default;
+  ScratchArena& operator=(ScratchArena&&) = default;
+
+  /// Returns a value-initialized span of `n` Ts, valid until Reset().
+  template <typename T>
+  std::span<T> AllocSpan(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    if (n == 0) return {};
+    std::byte* p = Allocate(n * sizeof(T), alignof(T));
+    T* t = reinterpret_cast<T*>(p);
+    for (size_t i = 0; i < n; ++i) ::new (static_cast<void*>(t + i)) T();
+    return {std::launder(t), n};
+  }
+
+  /// Invalidates every outstanding span and makes all blocks reusable.
+  /// Never frees: the arena's footprint is its high-water mark.
+  void Reset() {
+    for (Block& b : blocks_) b.used = 0;
+    current_ = 0;
+  }
+
+  /// Total bytes held across blocks (the high-water footprint).
+  size_t BytesReserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  std::byte* Allocate(size_t bytes, size_t align) {
+    while (current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      size_t aligned = (b.used + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.size) {
+        b.used = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+      ++current_;  // this block is exhausted for this cycle; try the next
+    }
+    // Grow: geometric block sizes so the block count stays logarithmic.
+    size_t want = std::max(bytes, next_block_bytes_);
+    next_block_bytes_ = want * 2;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(want), want, bytes});
+    current_ = blocks_.size() - 1;
+    return blocks_.back().data.get();
+  }
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;
+  size_t next_block_bytes_;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_COMMON_ARENA_H_

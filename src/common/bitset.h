@@ -41,6 +41,15 @@ class DynamicBitset {
   /// Clears every bit, keeping the universe size.
   void Reset() { std::fill(words_.begin(), words_.end(), 0); }
 
+  /// Re-targets the universe to [0, size) with all bits clear, keeping the
+  /// word buffer's capacity. The scratch-reuse hook: per-ball masks change
+  /// universe every ball, and `= DynamicBitset(n)` would reallocate each
+  /// time.
+  void Reinit(size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
   /// Number of set bits.
   size_t Count() const {
     size_t n = 0;

@@ -9,17 +9,33 @@
 // items are dropped, Push returns false, Pop returns nullopt. The matching
 // executors poll token().IsCancelled() between balls so outstanding shards
 // stop promptly rather than at their next Push.
+//
+// Implementation: a Vyukov-style bounded ring. Each slot carries a sequence
+// counter; producers claim slots by CAS on the tail, the single consumer
+// advances the head with plain stores, and the slot sequence is the
+// publish/consume handshake (release store after constructing the payload,
+// acquire load before reading it). The uncontended path takes no lock. The
+// mutex + condvars exist only for the *blocking* edges — a producer facing
+// a full ring, the consumer facing an empty one — and the waiter counters
+// plus seq_cst fences close the classic lost-wakeup window (store-buffering:
+// one side publishes then checks for waiters, the other registers as a
+// waiter then re-checks the ring; the fences forbid both loads seeing
+// stale values).
 
 #ifndef GPM_COMMON_BOUNDED_QUEUE_H_
 #define GPM_COMMON_BOUNDED_QUEUE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -38,57 +54,177 @@ class CancellationToken {
   std::atomic<bool> cancelled_{false};
 };
 
-/// \brief Bounded blocking MPSC queue (fixed capacity, FIFO).
+/// \brief Bounded blocking MPSC queue (fixed capacity, FIFO) on a lock-free
+/// Vyukov ring.
 ///
-/// Thread-safety: any number of pushers, one popper. Close() may be called
-/// by the last producer; Cancel() by anyone.
+/// Thread-safety: any number of pushers, exactly one popper. Close() may be
+/// called by the last producer; Cancel() by anyone.
 template <typename T>
 class BoundedQueue {
  public:
   /// `capacity` bounds the number of in-flight items (at least 1) — the
-  /// backpressure window between producers and the consumer.
+  /// backpressure window between producers and the consumer. Rounded up to
+  /// the next power of two (the ring masks instead of dividing); capacity()
+  /// reports the rounded value. The ring itself is at least 2 slots — with
+  /// a single slot the sequence scheme cannot tell "published" from "free
+  /// next lap" (pos+1 == pos+capacity) — so a capacity-1 queue gates
+  /// producers on an occupancy check against the consumer head instead.
   explicit BoundedQueue(size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+      : capacity_(capacity == 0 ? 1 : RoundUpPow2(capacity)),
+        ring_size_(capacity_ < 2 ? 2 : capacity_),
+        mask_(ring_size_ - 1),
+        slots_(new Slot[ring_size_]) {
+    for (size_t i = 0; i < ring_size_; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  ~BoundedQueue() {
+    // Destroy items left behind by a cancelled stream. By destruction time
+    // all producers/consumers have detached, so a published prefix starting
+    // at head_ is all that can remain.
+    size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      if (slot.sequence.load(std::memory_order_acquire) != pos + 1) break;
+      Payload(slot)->~T();
+      ++pos;
+    }
+  }
+
   /// Blocks while the queue is full. Returns false — and drops `value` —
   /// once the queue is cancelled or closed; producers should stop.
   bool Push(T value) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] {
-      return items_.size() < capacity_ || closed_ || token_.IsCancelled();
+    for (int spin = 0; spin < kSpinTries; ++spin) {
+      switch (TryPushSlot(&value)) {
+        case SlotOp::kDone:
+          WakeConsumerIfWaiting();
+          return true;
+        case SlotOp::kTerminated:
+          return false;
+        case SlotOp::kWouldBlock:
+          break;
+      }
+    }
+    // Slow path: register as a waiter, then re-check the ring under the
+    // wait mutex so a consumer freeing a slot either sees the waiter count
+    // or is seen by the re-check (seq_cst fence pairing, see file comment).
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    push_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    bool pushed = false;
+    not_full_.wait(lock, [&] {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      switch (TryPushSlot(&value)) {
+        case SlotOp::kDone:
+          pushed = true;
+          return true;
+        case SlotOp::kTerminated:
+          return true;
+        case SlotOp::kWouldBlock:
+          return false;
+      }
+      return false;
     });
-    if (closed_ || token_.IsCancelled()) return false;
-    items_.push_back(std::move(value));
+    push_waiters_.fetch_sub(1, std::memory_order_seq_cst);
     lock.unlock();
-    not_empty_.notify_one();
-    return true;
+    if (pushed) WakeConsumerIfWaiting();
+    return pushed;
+  }
+
+  /// Non-blocking push. Returns true if enqueued; false if the ring is
+  /// full or the stream terminated (closed/cancelled) — the item is not
+  /// consumed on false.
+  bool TryPush(T& value) {
+    if (TryPushSlot(&value) == SlotOp::kDone) {
+      WakeConsumerIfWaiting();
+      return true;
+    }
+    return false;
+  }
+
+  /// Bulk blocking push: enqueues items[0..count) in order, claiming runs
+  /// of slots with a single CAS where the ring has room. Returns the number
+  /// pushed — short only when the stream terminated mid-way.
+  size_t PushBulk(T* items, size_t count) {
+    size_t pushed = 0;
+    while (pushed < count) {
+      if (Terminated()) break;
+      size_t n = TryPushRun(items + pushed, count - pushed);
+      if (n > 0) {
+        pushed += n;
+        WakeConsumerIfWaiting();
+        continue;
+      }
+      if (Terminated()) break;
+      // Full: block for room via the single-item slow path, then resume
+      // claiming runs.
+      if (!Push(std::move(items[pushed]))) break;
+      ++pushed;
+    }
+    return pushed;
   }
 
   /// Blocks while the queue is empty and still open. Returns nullopt when
   /// the stream is over: cancelled, or closed with every item consumed.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] {
-      return !items_.empty() || closed_ || token_.IsCancelled();
+    std::optional<T> value;
+    for (int spin = 0; spin < kSpinTries; ++spin) {
+      if (token_.IsCancelled()) return std::nullopt;
+      bool pending = false;
+      if (TryPopSlot(&value, &pending)) {
+        WakeProducersIfWaiting();
+        return value;
+      }
+      if (!pending && closed_.load(std::memory_order_acquire)) {
+        return std::nullopt;
+      }
+    }
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    pop_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    not_empty_.wait(lock, [&] {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (token_.IsCancelled()) return true;
+      bool pending = false;
+      if (TryPopSlot(&value, &pending)) return true;
+      return !pending && closed_.load(std::memory_order_acquire);
     });
-    if (token_.IsCancelled() || items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
+    pop_waiters_.fetch_sub(1, std::memory_order_seq_cst);
     lock.unlock();
-    not_full_.notify_one();
+    if (value.has_value()) WakeProducersIfWaiting();
     return value;
+  }
+
+  /// Bulk pop: blocks for the first item like Pop, then drains up to
+  /// `max_items` already-published items without further blocking,
+  /// appending to *out. Returns the number appended; 0 means the stream is
+  /// over (cancelled, or closed and fully drained).
+  size_t PopBulk(std::vector<T>* out, size_t max_items) {
+    if (max_items == 0) return 0;
+    std::optional<T> first = Pop();
+    if (!first.has_value()) return 0;
+    out->push_back(std::move(*first));
+    size_t taken = 1;
+    while (taken < max_items && !token_.IsCancelled()) {
+      std::optional<T> next;
+      bool pending = false;
+      if (!TryPopSlot(&next, &pending)) break;
+      out->push_back(std::move(*next));
+      ++taken;
+    }
+    if (taken > 1) WakeProducersIfWaiting();
+    return taken;
   }
 
   /// Producers are done: Pop drains the remaining items, then ends the
   /// stream. Idempotent.
   void Close() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-    }
+    closed_.store(true, std::memory_order_release);
+    // The lock orders the flag store against a waiter between its predicate
+    // check and its wait.
+    std::lock_guard<std::mutex> lock(wait_mutex_);
     not_full_.notify_all();
     not_empty_.notify_all();
   }
@@ -97,11 +233,7 @@ class BoundedQueue {
   /// items on the next Pop, and flips the shared token.
   void Cancel() {
     token_.Cancel();
-    {
-      // Empty critical section: a waiter between its predicate check and
-      // its wait must observe the flag before we notify.
-      std::lock_guard<std::mutex> lock(mutex_);
-    }
+    std::lock_guard<std::mutex> lock(wait_mutex_);
     not_full_.notify_all();
     not_empty_.notify_all();
   }
@@ -112,12 +244,153 @@ class BoundedQueue {
   size_t capacity() const { return capacity_; }
 
  private:
-  const size_t capacity_;
-  std::mutex mutex_;
+  static constexpr int kSpinTries = 16;
+
+  struct Slot {
+    std::atomic<size_t> sequence;
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  enum class SlotOp { kDone, kWouldBlock, kTerminated };
+
+  static size_t RoundUpPow2(size_t v) {
+    size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  static T* Payload(Slot& slot) {
+    return std::launder(reinterpret_cast<T*>(slot.storage));
+  }
+
+  bool Terminated() const {
+    return closed_.load(std::memory_order_acquire) || token_.IsCancelled();
+  }
+
+  // Claims one slot and publishes *value into it. Consumes *value only on
+  // kDone.
+  SlotOp TryPushSlot(T* value) {
+    if (Terminated()) return SlotOp::kTerminated;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      size_t seq = slot.sequence.load(std::memory_order_acquire);
+      auto diff = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (capacity_ != ring_size_ &&
+            pos - head_.load(std::memory_order_acquire) >= capacity_) {
+          return SlotOp::kWouldBlock;  // logically full (ring is oversized)
+        }
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          ::new (static_cast<void*>(slot.storage)) T(std::move(*value));
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return SlotOp::kDone;
+        }
+        // CAS failure reloaded pos; retry there.
+      } else if (diff < 0) {
+        return SlotOp::kWouldBlock;  // the ring is full at this position
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Claims up to `count` consecutive slots with one CAS and publishes
+  // items[0..n) into them. Returns the number published (0 when the ring
+  // is full or the tail is contended away).
+  size_t TryPushRun(T* items, size_t count) {
+    if (count > capacity_) count = capacity_;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      size_t limit = count;
+      if (capacity_ != ring_size_) {
+        size_t occupied = pos - head_.load(std::memory_order_acquire);
+        if (occupied >= capacity_) return 0;
+        limit = std::min(limit, capacity_ - occupied);
+      }
+      // The consumer frees slots in FIFO order, so if the last slot of a
+      // candidate run is free for this lap, the whole run is.
+      size_t n = limit;
+      for (; n > 0; --n) {
+        size_t last = pos + n - 1;
+        size_t seq = slots_[last & mask_].sequence.load(
+            std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(last) == 0) {
+          break;
+        }
+      }
+      if (n == 0) {
+        size_t seq = slots_[pos & mask_].sequence.load(
+            std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos) < 0) {
+          return 0;  // genuinely full
+        }
+        pos = tail_.load(std::memory_order_relaxed);  // tail moved; retry
+        continue;
+      }
+      if (tail_.compare_exchange_weak(pos, pos + n,
+                                      std::memory_order_relaxed)) {
+        for (size_t i = 0; i < n; ++i) {
+          Slot& slot = slots_[(pos + i) & mask_];
+          ::new (static_cast<void*>(slot.storage)) T(std::move(items[i]));
+          slot.sequence.store(pos + i + 1, std::memory_order_release);
+        }
+        return n;
+      }
+    }
+  }
+
+  // Single-consumer pop of the head slot. On false, *pending distinguishes
+  // "a producer claimed the head slot but has not published yet" from
+  // "the ring is empty".
+  bool TryPopSlot(std::optional<T>* out, bool* pending) {
+    size_t pos = head_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[pos & mask_];
+    size_t seq = slot.sequence.load(std::memory_order_acquire);
+    if (seq == pos + 1) {
+      T* item = Payload(slot);
+      out->emplace(std::move(*item));
+      item->~T();
+      slot.sequence.store(pos + ring_size_, std::memory_order_release);
+      head_.store(pos + 1, std::memory_order_relaxed);
+      return true;
+    }
+    *pending = tail_.load(std::memory_order_acquire) != pos;
+    return false;
+  }
+
+  void WakeConsumerIfWaiting() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (pop_waiters_.load(std::memory_order_relaxed) > 0) {
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+      not_empty_.notify_one();
+    }
+  }
+
+  void WakeProducersIfWaiting() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (push_waiters_.load(std::memory_order_relaxed) > 0) {
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+      not_full_.notify_all();
+    }
+  }
+
+  const size_t capacity_;   // logical bound reported by capacity()
+  const size_t ring_size_;  // physical slots: max(2, capacity_)
+  const size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+
+  alignas(64) std::atomic<size_t> tail_{0};  // next slot producers claim
+  alignas(64) std::atomic<size_t> head_{0};  // next slot the consumer reads
+
+  // Blocking-edge machinery only; the uncontended path never touches it.
+  alignas(64) std::mutex wait_mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  std::atomic<int> push_waiters_{0};
+  std::atomic<int> pop_waiters_{0};
+  std::atomic<bool> closed_{false};
   CancellationToken token_;
 };
 

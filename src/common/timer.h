@@ -28,6 +28,22 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// \brief Adds the scope's elapsed seconds to an accumulator on
+/// destruction, so every exit path of the scope is charged — the per-stage
+/// MatchStats breakdown (ball_build / refine / emit) is accumulated with
+/// these.
+class ScopedSecondsAccumulator {
+ public:
+  explicit ScopedSecondsAccumulator(double* acc) : acc_(acc) {}
+  ~ScopedSecondsAccumulator() { *acc_ += timer_.Seconds(); }
+  ScopedSecondsAccumulator(const ScopedSecondsAccumulator&) = delete;
+  ScopedSecondsAccumulator& operator=(const ScopedSecondsAccumulator&) = delete;
+
+ private:
+  Timer timer_;
+  double* acc_;
+};
+
 }  // namespace gpm
 
 #endif  // GPM_COMMON_TIMER_H_

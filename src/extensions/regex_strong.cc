@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <thread>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -13,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "graph/components.h"
+#include "graph/csr_graph.h"
 #include "matching/ball.h"
 
 namespace gpm {
@@ -25,26 +25,56 @@ RegexPath ReversePath(const RegexPath& path) {
   return RegexPath(path.rbegin(), path.rend());
 }
 
+// Fills the scratch's reversed-constraint-path cache for `query`:
+// reversed_paths[in_path_offsets[u] + i] reverses the constraint on the
+// pattern edge (InNeighbors(u)[i], u). Cached on query identity so the
+// fixpoint's backward checks stop re-reversing atom lists per candidate.
+void EnsureReversedPaths(const RegexQuery& query,
+                         internal::RegexBallScratch* ws) {
+  if (ws->paths_for_query == &query) return;
+  const Graph& q = query.pattern();
+  const size_t nq = q.num_nodes();
+  ws->reversed_paths.clear();
+  ws->in_path_offsets.assign(nq + 1, 0);
+  for (NodeId u = 0; u < nq; ++u) {
+    ws->in_path_offsets[u] = ws->reversed_paths.size();
+    for (NodeId u2 : q.InNeighbors(u)) {
+      ws->reversed_paths.push_back(ReversePath(query.ConstraintFor(u2, u)));
+    }
+  }
+  ws->in_path_offsets[nq] = ws->reversed_paths.size();
+  ws->paths_for_query = &query;
+}
+
 // The greatest-fixpoint core shared by the global relation and the
-// per-ball evaluation: starts from `initial` (per-query-node candidate
-// lists, sorted ascending) and removes pairs violating the child or
-// parent regex-witness condition until stable. Any start set sandwiched
-// between the maximum relation and the label classes converges to the
-// maximum relation, which is what lets balls start from the projected
-// global filter.
-MatchRelation RegexDualFixpoint(const RegexQuery& query, const Graph& g,
-                                std::vector<std::vector<NodeId>> initial) {
+// per-ball evaluation: consumes ws->cand (per-query-node candidate lists,
+// sorted ascending) and removes pairs violating the child or parent
+// regex-witness condition until stable, writing the result to *out. Any
+// start set sandwiched between the maximum relation and the label classes
+// converges to the maximum relation, which is what lets balls start from
+// the projected global filter. On return ws->member[u] exactly mirrors
+// out->sim[u]. All workspace buffers (the transpose graph, the membership
+// bitmaps, the relation's inner vectors) are reused across calls.
+void RegexDualFixpointInto(const RegexQuery& query, const Graph& g,
+                           internal::RegexBallScratch* ws,
+                           MatchRelation* out) {
   const Graph& q = query.pattern();
   GPM_CHECK(g.finalized());
   const size_t nq = q.num_nodes();
-  const Graph reversed = g.Reversed();  // carries edge labels
+  const size_t n = g.num_nodes();
+  g.ReversedInto(&ws->reversed);  // carries edge labels
+  const Graph& reversed = ws->reversed;
+  EnsureReversedPaths(query, ws);
 
-  MatchRelation rel(nq);
-  std::vector<DynamicBitset> member(nq);
+  out->sim.resize(nq);
+  if (ws->member.size() < nq) ws->member.resize(nq);
+  auto& member = ws->member;
   for (NodeId u = 0; u < nq; ++u) {
-    rel.sim[u] = std::move(initial[u]);
-    member[u] = DynamicBitset(g.num_nodes());
-    for (NodeId v : rel.sim[u]) member[u].Set(v);
+    // Swap (not move) so the candidate vector keeps its capacity for the
+    // next ball.
+    out->sim[u].swap(ws->cand[u]);
+    member[u].Reinit(n);
+    for (NodeId v : out->sim[u]) member[u].Set(v);
   }
 
   auto has_forward_witness = [&](NodeId v, const RegexPath& path,
@@ -54,12 +84,11 @@ MatchRelation RegexDualFixpoint(const RegexQuery& query, const Graph& g,
     }
     return false;
   };
-  auto has_backward_witness = [&](NodeId v, const RegexPath& path,
+  auto has_backward_witness = [&](NodeId v, const RegexPath& rpath,
                                   const DynamicBitset& sources) {
-    // A path from some source to v spelling `path` is a reversed-graph
-    // path from v spelling the reversed atom sequence.
-    for (NodeId w :
-         internal::RegexReachableSet(reversed, v, ReversePath(path))) {
+    // A path from some source to v spelling the constraint is a
+    // reversed-graph path from v spelling the reversed atom sequence.
+    for (NodeId w : internal::RegexReachableSet(reversed, v, rpath)) {
       if (sources.Test(w)) return true;
     }
     return false;
@@ -69,8 +98,10 @@ MatchRelation RegexDualFixpoint(const RegexQuery& query, const Graph& g,
   while (changed) {
     changed = false;
     for (NodeId u = 0; u < nq; ++u) {
-      auto& sim_u = rel.sim[u];
+      auto& sim_u = out->sim[u];
       const size_t before = sim_u.size();
+      auto parents = q.InNeighbors(u);
+      const size_t path_base = ws->in_path_offsets[u];
       std::erase_if(sim_u, [&](NodeId v) {
         for (NodeId u2 : q.OutNeighbors(u)) {
           if (!has_forward_witness(v, query.ConstraintFor(u, u2),
@@ -79,9 +110,9 @@ MatchRelation RegexDualFixpoint(const RegexQuery& query, const Graph& g,
             return true;
           }
         }
-        for (NodeId u2 : q.InNeighbors(u)) {
-          if (!has_backward_witness(v, query.ConstraintFor(u2, u),
-                                    member[u2])) {
+        for (size_t i = 0; i < parents.size(); ++i) {
+          if (!has_backward_witness(v, ws->reversed_paths[path_base + i],
+                                    member[parents[i]])) {
             member[u].Clear(v);
             return true;
           }
@@ -91,7 +122,6 @@ MatchRelation RegexDualFixpoint(const RegexQuery& query, const Graph& g,
       if (sim_u.size() != before) changed = true;
     }
   }
-  return rel;
 }
 
 std::vector<std::vector<NodeId>> LabelClassCandidates(const RegexQuery& query,
@@ -118,7 +148,11 @@ Status ValidateRegexPattern(const RegexQuery& query) {
 
 MatchRelation ComputeRegexDualSimulation(const RegexQuery& query,
                                          const Graph& g) {
-  return RegexDualFixpoint(query, g, LabelClassCandidates(query, g));
+  internal::RegexBallScratch scratch;
+  scratch.cand = LabelClassCandidates(query, g);
+  MatchRelation rel;
+  RegexDualFixpointInto(query, g, &scratch, &rel);
+  return rel;
 }
 
 uint32_t DefaultRegexRadius(const RegexQuery& query, uint32_t unbounded_cap) {
@@ -204,64 +238,75 @@ Status BuildRegexRunState(const RegexQuery& query, const Graph& g,
   state->context.radius = radius;
   stats->pattern_diameter = radius;
 
-  if (filter != nullptr) {
-    if (filter->proven_empty) {
-      stats->balls_skipped_filter = g.num_nodes();
-      state->proven_empty = true;
-      return Status::OK();
-    }
-    GPM_CHECK_EQ(filter->bits.size(), query.pattern().num_nodes());
-    state->context.global_bits = &filter->bits;
-    state->centers = &filter->centers;
-    stats->balls_skipped_filter = g.num_nodes() - filter->centers.size();
-    return Status::OK();
+  if (filter == nullptr) {
+    // The global regex filter is always on (the regex analog of §4.2's
+    // dual filter): when the caller has no memoized result, compute one
+    // here. Sound per the ComputeRegexFilter contract — every ball's
+    // relation is contained in the global one, so pruned centers cannot
+    // yield perfect subgraphs and results are unchanged.
+    GPM_ASSIGN_OR_RETURN(state->filter_storage, ComputeRegexFilter(query, g));
+    stats->global_filter_seconds += state->filter_storage.seconds;
+    filter = &state->filter_storage;
   }
 
-  // No filter: a perfect subgraph needs its center matched, so only
-  // centers whose label appears in the pattern can produce one.
-  std::unordered_set<Label> q_labels;
-  const Graph& q = query.pattern();
-  for (NodeId u = 0; u < q.num_nodes(); ++u) q_labels.insert(q.label(u));
-  for (NodeId w = 0; w < g.num_nodes(); ++w) {
-    if (q_labels.count(g.label(w))) state->centers_storage.push_back(w);
+  if (filter->proven_empty) {
+    stats->balls_skipped_filter = g.num_nodes();
+    state->proven_empty = true;
+    return Status::OK();
   }
-  state->centers = &state->centers_storage;
+  GPM_CHECK_EQ(filter->bits.size(), query.pattern().num_nodes());
+  state->context.global_bits = &filter->bits;
+  state->centers = &filter->centers;
+  stats->balls_skipped_filter = g.num_nodes() - filter->centers.size();
   return Status::OK();
 }
 
 std::optional<PerfectSubgraph> ProcessRegexBall(
-    const RegexMatchContext& context, const Ball& ball, MatchStats* stats) {
+    const RegexMatchContext& context, const Ball& ball, MatchStats* stats,
+    RegexBallScratch* scratch) {
+  RegexBallScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+  ScopedSecondsAccumulator stage(&stats->refine_seconds);
   const RegexQuery& query = *context.query;
   const Graph& q = query.pattern();
   const size_t nq = q.num_nodes();
+  const size_t bn = ball.graph.num_nodes();
   ++stats->balls_considered;
 
   // Initial candidates (local ids): the global filter projected into the
   // ball when one ran, label classes otherwise. Either start set contains
   // the ball's maximum relation, so the fixpoint lands on the same Sw.
-  std::vector<std::vector<NodeId>> cand(nq);
+  auto& cand = scratch->cand;
+  if (cand.size() < nq) cand.resize(nq);
+  for (size_t u = 0; u < nq; ++u) cand[u].clear();
   if (context.global_bits != nullptr) {
     for (size_t u = 0; u < nq; ++u) {
       const DynamicBitset& bits = (*context.global_bits)[u];
-      for (NodeId local = 0; local < ball.graph.num_nodes(); ++local) {
+      for (NodeId local = 0; local < bn; ++local) {
         if (bits.Test(ball.to_global[local])) cand[u].push_back(local);
       }
     }
   } else {
-    cand = LabelClassCandidates(query, ball.graph);
+    for (NodeId u = 0; u < nq; ++u) {
+      auto cls = ball.graph.NodesWithLabel(q.label(u));
+      cand[u].assign(cls.begin(), cls.end());
+    }
   }
-  for (const auto& list : cand) stats->candidate_pairs_refined += list.size();
+  for (size_t u = 0; u < nq; ++u) {
+    stats->candidate_pairs_refined += cand[u].size();
+  }
 
-  const MatchRelation sw =
-      RegexDualFixpoint(query, ball.graph, std::move(cand));
+  RegexDualFixpointInto(query, ball.graph, scratch, &scratch->sw);
+  const MatchRelation& sw = scratch->sw;
   if (!sw.IsTotal()) {
     ++stats->balls_center_unmatched;
     return std::nullopt;
   }
+  // Post-fixpoint, scratch->member[u] mirrors sw.sim[u] exactly.
   const NodeId center = ball.LocalCenter();
   bool center_matched = false;
-  for (const auto& list : sw.sim) {
-    if (std::binary_search(list.begin(), list.end(), center)) {
+  for (size_t u = 0; u < nq; ++u) {
+    if (scratch->member[u].Test(center)) {
       center_matched = true;
       break;
     }
@@ -271,20 +316,19 @@ std::optional<PerfectSubgraph> ProcessRegexBall(
     return std::nullopt;
   }
 
-  // Virtual match graph: (v, v') for every regex witness pair.
-  std::vector<DynamicBitset> member(nq);
-  for (NodeId u = 0; u < nq; ++u) {
-    member[u] = DynamicBitset(ball.graph.num_nodes());
-    for (NodeId v : sw.sim[u]) member[u].Set(v);
-  }
-  std::unordered_map<NodeId, std::vector<NodeId>> adj;  // undirected
-  std::vector<std::pair<NodeId, NodeId>> virtual_edges;
+  // Virtual match graph: (v, v') for every regex witness pair, dense
+  // undirected adjacency over local ids.
+  auto& adj = scratch->adj;
+  if (adj.size() < bn) adj.resize(bn);
+  for (size_t v = 0; v < bn; ++v) adj[v].clear();
+  auto& virtual_edges = scratch->virtual_edges;
+  virtual_edges.clear();
   for (NodeId u = 0; u < nq; ++u) {
     for (NodeId u2 : q.OutNeighbors(u)) {
       const RegexPath& path = query.ConstraintFor(u, u2);
       for (NodeId v : sw.sim[u]) {
         for (NodeId t : internal::RegexReachableSet(ball.graph, v, path)) {
-          if (!member[u2].Test(t)) continue;
+          if (!scratch->member[u2].Test(t)) continue;
           virtual_edges.emplace_back(v, t);
           adj[v].push_back(t);
           adj[t].push_back(v);
@@ -294,15 +338,16 @@ std::optional<PerfectSubgraph> ProcessRegexBall(
   }
 
   // Component of the center over virtual edges.
-  DynamicBitset in_component(ball.graph.num_nodes());
+  DynamicBitset& in_component = scratch->in_component;
+  in_component.Reinit(bn);
   in_component.Set(center);
-  std::vector<NodeId> stack{center};
+  auto& stack = scratch->stack;
+  stack.clear();
+  stack.push_back(center);
   while (!stack.empty()) {
     NodeId v = stack.back();
     stack.pop_back();
-    auto it = adj.find(v);
-    if (it == adj.end()) continue;
-    for (NodeId x : it->second) {
+    for (NodeId x : adj[v]) {
       if (!in_component.Test(x)) {
         in_component.Set(x);
         stack.push_back(x);
@@ -342,7 +387,8 @@ std::optional<PerfectSubgraph> ProcessRegexBall(
 Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
                                       uint32_t radius, const SubgraphSink& sink,
                                       MatchStats* stats,
-                                      const DualFilterResult* filter) {
+                                      const DualFilterResult* filter,
+                                      const CsrGraph* csr) {
   Timer total_timer;
   MatchStats local_stats;
   internal::RegexRunState state;
@@ -351,12 +397,19 @@ Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
   size_t delivered = 0;
   if (!state.proven_empty) {
     std::unordered_set<uint64_t> seen_hashes;
-    BallBuilder builder(g);
+    CsrGraph local_csr;
+    if (csr == nullptr) {
+      local_csr = CsrGraph::FromGraph(g);
+      csr = &local_csr;
+    }
+    CsrBallBuilder builder(*csr);
     Ball ball;
+    internal::RegexBallScratch scratch;
     for (NodeId w : *state.centers) {
-      builder.Build(w, state.context.radius, &ball);
-      auto pg = internal::ProcessRegexBall(state.context, ball, &local_stats);
+      auto pg = internal::ProcessRegexCenter(state.context, w, &builder,
+                                             &ball, &local_stats, &scratch);
       if (!pg.has_value()) continue;
+      ScopedSecondsAccumulator emit_stage(&local_stats.emit_seconds);
       if (!seen_hashes.insert(pg->ContentHash()).second) {
         ++local_stats.duplicates_removed;
         continue;
@@ -376,7 +429,7 @@ Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
 
 Result<std::vector<PerfectSubgraph>> MatchStrongRegex(
     const RegexQuery& query, const Graph& g, uint32_t radius,
-    MatchStats* stats, const DualFilterResult* filter) {
+    MatchStats* stats, const DualFilterResult* filter, const CsrGraph* csr) {
   // The serial center scan visits centers ascending, so first-arrival
   // dedup keeps the min-center representative and the collected list is
   // already in canonical (center, content-hash) order — the batch form
@@ -388,7 +441,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrongRegex(
         results.push_back(std::move(pg));
         return true;
       },
-      stats, filter);
+      stats, filter, csr);
   if (!delivered.ok()) return delivered.status();
   return results;
 }
@@ -411,7 +464,8 @@ Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
                                         bool dedup_in_stream,
                                         const SubgraphSink& emit,
                                         MatchStats* totals_out,
-                                        const DualFilterResult* filter) {
+                                        const DualFilterResult* filter,
+                                        const CsrGraph* csr) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -424,6 +478,14 @@ Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
   size_t delivered = 0;
   if (!state.proven_empty) {
     const std::vector<NodeId>& centers = *state.centers;
+
+    // All workers build balls from one shared CSR snapshot (read-only).
+    CsrGraph local_csr;
+    if (csr == nullptr) {
+      local_csr = CsrGraph::FromGraph(g);
+      csr = &local_csr;
+    }
+
     const size_t shards_count =
         std::min(num_threads, std::max<size_t>(1, centers.size()));
     const size_t per_shard =
@@ -438,13 +500,14 @@ Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
         pool.Submit([&, s] {
           const size_t begin = s * per_shard;
           const size_t end = std::min(centers.size(), begin + per_shard);
-          BallBuilder builder(g);
+          CsrBallBuilder builder(*csr);
           Ball ball;
+          internal::RegexBallScratch scratch;
           for (size_t i = begin; i < end; ++i) {
             if (queue.token().IsCancelled()) break;
-            builder.Build(centers[i], state.context.radius, &ball);
-            auto pg = internal::ProcessRegexBall(state.context, ball,
-                                                 &shard_stats[s]);
+            auto pg = internal::ProcessRegexCenter(state.context, centers[i],
+                                                   &builder, &ball,
+                                                   &shard_stats[s], &scratch);
             if (pg.has_value() && !queue.Push(std::move(*pg))) break;
           }
           // Last producer out closes the stream so the drainer unblocks.
@@ -455,9 +518,11 @@ Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
       // Single drainer: this thread. Arrival order, shared dedup set.
       std::unordered_set<uint64_t> seen_hashes;
       while (std::optional<PerfectSubgraph> pg = queue.Pop()) {
+        Timer emit_timer;
         if (dedup_in_stream &&
             !seen_hashes.insert(pg->ContentHash()).second) {
           ++totals.duplicates_removed;
+          totals.emit_seconds += emit_timer.Seconds();
           continue;
         }
         if (delivered == 0) {
@@ -465,7 +530,9 @@ Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
         }
         ++delivered;
         ++totals.subgraphs_found;
-        if (!emit(std::move(*pg))) {
+        const bool keep_going = emit(std::move(*pg));
+        totals.emit_seconds += emit_timer.Seconds();
+        if (!keep_going) {
           queue.Cancel();
           break;
         }
@@ -477,6 +544,9 @@ Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
       totals.balls_considered += shard.balls_considered;
       totals.balls_center_unmatched += shard.balls_center_unmatched;
       totals.candidate_pairs_refined += shard.candidate_pairs_refined;
+      // Stage times are CPU-seconds: summed across workers.
+      totals.ball_build_seconds += shard.ball_build_seconds;
+      totals.refine_seconds += shard.refine_seconds;
     }
   }
 
@@ -490,15 +560,16 @@ Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
 Result<size_t> MatchStrongRegexParallelStream(
     const RegexQuery& query, const Graph& g, uint32_t radius,
     size_t num_threads, const SubgraphSink& sink, MatchStats* stats,
-    const DualFilterResult* filter) {
+    const DualFilterResult* filter, const CsrGraph* csr) {
   return StreamRegexBallsParallel(query, g, radius, num_threads,
                                   /*dedup_in_stream=*/true, sink, stats,
-                                  filter);
+                                  filter, csr);
 }
 
 Result<std::vector<PerfectSubgraph>> MatchStrongRegexParallel(
     const RegexQuery& query, const Graph& g, uint32_t radius,
-    size_t num_threads, MatchStats* stats, const DualFilterResult* filter) {
+    size_t num_threads, MatchStats* stats, const DualFilterResult* filter,
+    const CsrGraph* csr) {
   // Collect the raw (un-dedup'd) stream; canonicalization picks the
   // min-center representatives arrival-order dedup cannot — byte-identical
   // to MatchStrongRegex for every thread count.
@@ -512,7 +583,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrongRegexParallel(
                                  results.push_back(std::move(pg));
                                  return true;
                                },
-                               &totals, filter)
+                               &totals, filter, csr)
           .status());
   totals.duplicates_removed = CanonicalizeSubgraphs(/*dedup=*/true, &results);
   totals.subgraphs_found = results.size();

@@ -27,11 +27,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/bitset.h"
 #include "common/result.h"
+#include "common/timer.h"
 #include "extensions/regex_pattern.h"
+#include "matching/ball.h"
+#include "matching/match_relation.h"
 #include "matching/strong_simulation.h"
 
 namespace gpm {
@@ -66,12 +70,19 @@ Result<DualFilterResult> ComputeRegexFilter(const RegexQuery& query,
 /// representative) and sorted by (center, content hash); `radius` 0 means
 /// DefaultRegexRadius. PerfectSubgraph::edges holds the *virtual*
 /// regex-witness edges between matched nodes. InvalidArgument if the
-/// pattern is empty or disconnected. `filter`, when non-null, supplies a
-/// memoized ComputeRegexFilter result for the same (query, g) — the ball
-/// loop then visits only surviving centers.
+/// pattern is empty or disconnected. The global regex filter is always
+/// applied: `filter`, when non-null, supplies a memoized
+/// ComputeRegexFilter result for the same (query, g); when null the run
+/// computes it itself (charged to MatchStats::global_filter_seconds).
+/// Either way the ball loop visits only surviving centers and the pruned
+/// rest is reported in MatchStats::balls_skipped_filter. `csr`, when
+/// non-null, supplies a memoized CsrGraph::FromGraph(g) snapshot the ball
+/// builders read; when null the run converts locally. Results are
+/// identical either way.
 Result<std::vector<PerfectSubgraph>> MatchStrongRegex(
     const RegexQuery& query, const Graph& g, uint32_t radius = 0,
-    MatchStats* stats = nullptr, const DualFilterResult* filter = nullptr);
+    MatchStats* stats = nullptr, const DualFilterResult* filter = nullptr,
+    const CsrGraph* csr = nullptr);
 
 /// MatchStrongRegex semantics with each perfect subgraph handed to `sink`
 /// as its ball completes (ball-center order, first-arrival dedup) instead
@@ -80,7 +91,8 @@ Result<std::vector<PerfectSubgraph>> MatchStrongRegex(
 Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
                                       uint32_t radius, const SubgraphSink& sink,
                                       MatchStats* stats = nullptr,
-                                      const DualFilterResult* filter = nullptr);
+                                      const DualFilterResult* filter = nullptr,
+                                      const CsrGraph* csr = nullptr);
 
 /// MatchStrongRegex computed on `num_threads` ball workers
 /// (0 = hardware concurrency) through the shared BoundedQueue
@@ -89,7 +101,7 @@ Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
 Result<std::vector<PerfectSubgraph>> MatchStrongRegexParallel(
     const RegexQuery& query, const Graph& g, uint32_t radius = 0,
     size_t num_threads = 0, MatchStats* stats = nullptr,
-    const DualFilterResult* filter = nullptr);
+    const DualFilterResult* filter = nullptr, const CsrGraph* csr = nullptr);
 
 /// MatchStrongRegexStream on `num_threads` workers: ball workers push
 /// completed subgraphs into a bounded queue, the calling thread dedups
@@ -99,7 +111,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrongRegexParallel(
 Result<size_t> MatchStrongRegexParallelStream(
     const RegexQuery& query, const Graph& g, uint32_t radius,
     size_t num_threads, const SubgraphSink& sink, MatchStats* stats = nullptr,
-    const DualFilterResult* filter = nullptr);
+    const DualFilterResult* filter = nullptr, const CsrGraph* csr = nullptr);
 
 namespace internal {
 
@@ -114,24 +126,55 @@ struct RegexMatchContext {
 };
 
 /// Per-run preprocessing shared by the serial, parallel, and batched
-/// regex executors: the resolved radius and the center list (label-class
-/// centers, or the filter's surviving centers when one is supplied).
-/// Owns the storage `context` points into; keep it alive (and unmoved)
-/// for the whole run.
+/// regex executors: the resolved radius and the center list (the regex
+/// filter's surviving centers — computed into `filter_storage` when the
+/// caller has no memoized one). Owns the storage `context` points into;
+/// keep it alive (and unmoved) for the whole run.
 struct RegexRunState {
   RegexMatchContext context;
   std::vector<NodeId> centers_storage;
   const std::vector<NodeId>* centers = nullptr;
-  /// The supplied filter proved Θ = ∅; skip the ball loop.
+  /// ComputeRegexFilter result computed by BuildRegexRunState when the
+  /// caller supplied none — the filter is always on.
+  DualFilterResult filter_storage;
+  /// The filter proved Θ = ∅; skip the ball loop.
   bool proven_empty = false;
 };
 
 /// Validates (non-empty, connected pattern), resolves `radius` (0 means
-/// DefaultRegexRadius), and fills the center list. `filter`, when
-/// non-null, must come from ComputeRegexFilter on the same (query, g).
+/// DefaultRegexRadius), and fills the center list from the global regex
+/// filter. `filter`, when non-null, must come from ComputeRegexFilter on
+/// the same (query, g); when null the filter is computed here (into
+/// `state->filter_storage`, charged to stats->global_filter_seconds), so
+/// every executor prunes centers and reports balls_skipped_filter.
 Status BuildRegexRunState(const RegexQuery& query, const Graph& g,
                           uint32_t radius, const DualFilterResult* filter,
                           RegexRunState* state, MatchStats* stats);
+
+/// Per-worker scratch for ProcessRegexBall — the regex mirror of
+/// internal::MatchScratch. All buffers grow to the worker's high-water
+/// ball size and are reused verbatim; a worker processing thousands of
+/// balls allocates only while the high-water mark still rises. The
+/// reversed constraint paths are cached per query identity so backward
+/// witness checks stop re-reversing atom lists per candidate.
+struct RegexBallScratch {
+  std::vector<std::vector<NodeId>> cand;
+  /// Ball transpose for backward witness walks (built via ReversedInto).
+  Graph reversed;
+  MatchRelation sw;
+  /// Candidate membership bitmaps; after the fixpoint these exactly
+  /// mirror sw.sim (pairs are cleared as they are removed), so the
+  /// match-graph stage reads them directly.
+  std::vector<DynamicBitset> member;
+  const RegexQuery* paths_for_query = nullptr;
+  std::vector<RegexPath> reversed_paths;
+  std::vector<size_t> in_path_offsets;
+  /// Virtual match graph, dense per local node id.
+  std::vector<std::vector<NodeId>> adj;
+  std::vector<std::pair<NodeId, NodeId>> virtual_edges;
+  DynamicBitset in_component;
+  std::vector<NodeId> stack;
+};
 
 /// The per-ball pipeline — the regex mirror of internal::ProcessBall:
 /// dual regex-simulation on one prebuilt weighted-radius ball (seeded
@@ -140,8 +183,27 @@ Status BuildRegexRunState(const RegexQuery& query, const Graph& g,
 /// component extracted as the perfect subgraph (global ids). Returns
 /// nullopt when the ball yields none. The ball must come from
 /// BallBuilder::Build on the run's data graph with context.radius.
+/// `scratch`, when non-null, supplies reusable buffers (one per worker;
+/// not thread-safe); elapsed time is charged to stats->refine_seconds.
 std::optional<PerfectSubgraph> ProcessRegexBall(
-    const RegexMatchContext& context, const Ball& ball, MatchStats* stats);
+    const RegexMatchContext& context, const Ball& ball, MatchStats* stats,
+    RegexBallScratch* scratch = nullptr);
+
+/// Build-then-process for one center — the regex mirror of
+/// internal::ProcessCenter, charging the ball construction to
+/// stats->ball_build_seconds. Works over any graph type with a
+/// BallBuilderT specialization (the executors use CsrBallBuilder over a
+/// shared snapshot).
+template <typename GraphT>
+std::optional<PerfectSubgraph> ProcessRegexCenter(
+    const RegexMatchContext& context, NodeId center,
+    BallBuilderT<GraphT>* builder, Ball* ball, MatchStats* stats,
+    RegexBallScratch* scratch = nullptr) {
+  Timer build_timer;
+  builder->Build(center, context.radius, ball);
+  stats->ball_build_seconds += build_timer.Seconds();
+  return ProcessRegexBall(context, *ball, stats, scratch);
+}
 
 }  // namespace internal
 

@@ -32,9 +32,12 @@ NodeId Graph::AddNode(Label label) {
   GPM_CHECK(!finalized_) << "AddNode after Finalize()";
   NodeId id = static_cast<NodeId>(labels_.size());
   labels_.push_back(label);
-  out_.emplace_back();
-  in_.emplace_back();
-  out_labels_.emplace_back();
+  if (out_.size() < labels_.size()) {
+    // Past ResetForReuse() high-water mark: grow the adjacency tables.
+    out_.emplace_back();
+    in_.emplace_back();
+    out_labels_.emplace_back();
+  }
   return id;
 }
 
@@ -53,49 +56,79 @@ void Graph::Finalize() {
   static std::atomic<uint64_t> next_instance_id{0};
   instance_id_ = next_instance_id.fetch_add(1, std::memory_order_relaxed) + 1;
   size_t edges = 0;
+  // Scratch hoisted out of the per-node loop: finalizing thousands of
+  // small ball graphs must not allocate three vectors per node.
+  std::vector<size_t> order;
+  std::vector<NodeId> sorted_nbrs;
+  std::vector<EdgeLabel> sorted_labels;
   for (NodeId v = 0; v < labels_.size(); ++v) {
     // Sort (neighbor, edge label) pairs together, then drop duplicate
     // neighbors (keeping the first label).
     auto& nbrs = out_[v];
     auto& elabels = out_labels_[v];
     const size_t d = nbrs.size();
-    std::vector<size_t> order(d);
+    order.resize(d);
     std::iota(order.begin(), order.end(), size_t{0});
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
       return nbrs[a] != nbrs[b] ? nbrs[a] < nbrs[b] : elabels[a] < elabels[b];
     });
-    std::vector<NodeId> sorted_nbrs;
-    std::vector<EdgeLabel> sorted_labels;
-    sorted_nbrs.reserve(d);
-    sorted_labels.reserve(d);
+    sorted_nbrs.clear();
+    sorted_labels.clear();
     for (size_t idx : order) {
       if (!sorted_nbrs.empty() && sorted_nbrs.back() == nbrs[idx]) continue;
       sorted_nbrs.push_back(nbrs[idx]);
       sorted_labels.push_back(elabels[idx]);
     }
-    nbrs = std::move(sorted_nbrs);
-    elabels = std::move(sorted_labels);
+    nbrs.assign(sorted_nbrs.begin(), sorted_nbrs.end());
+    elabels.assign(sorted_labels.begin(), sorted_labels.end());
     edges += nbrs.size();
   }
   // Rebuild in-adjacency from the dedup'd out-adjacency.
-  for (auto& nbrs : in_) nbrs.clear();
+  for (NodeId v = 0; v < labels_.size(); ++v) in_[v].clear();
   for (NodeId u = 0; u < labels_.size(); ++u) {
     for (NodeId v : out_[u]) in_[v].push_back(u);
   }
-  for (auto& nbrs : in_) std::sort(nbrs.begin(), nbrs.end());
+  for (NodeId v = 0; v < labels_.size(); ++v) {
+    std::sort(in_[v].begin(), in_[v].end());
+  }
   num_edges_ = edges;
 
-  // Label index.
-  label_index_.clear();
-  for (NodeId v = 0; v < labels_.size(); ++v) {
-    label_index_[labels_[v]].push_back(v);
-  }
+  // Label index: nodes sorted by (label, id), sliced per distinct label.
+  const size_t n = labels_.size();
+  label_sorted_nodes_.resize(n);
+  std::iota(label_sorted_nodes_.begin(), label_sorted_nodes_.end(), NodeId{0});
+  std::sort(label_sorted_nodes_.begin(), label_sorted_nodes_.end(),
+            [this](NodeId a, NodeId b) {
+              return labels_[a] != labels_[b] ? labels_[a] < labels_[b]
+                                              : a < b;
+            });
   distinct_labels_.clear();
-  distinct_labels_.reserve(label_index_.size());
-  for (const auto& [label, nodes] : label_index_) distinct_labels_.push_back(label);
-  std::sort(distinct_labels_.begin(), distinct_labels_.end());
+  label_offsets_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (i == 0 ||
+        labels_[label_sorted_nodes_[i]] != labels_[label_sorted_nodes_[i - 1]]) {
+      distinct_labels_.push_back(labels_[label_sorted_nodes_[i]]);
+      label_offsets_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  label_offsets_.push_back(static_cast<uint32_t>(n));
 
   finalized_ = true;
+}
+
+void Graph::ResetForReuse() {
+  for (size_t v = 0; v < labels_.size(); ++v) {
+    out_[v].clear();
+    in_[v].clear();
+    out_labels_[v].clear();
+  }
+  labels_.clear();
+  num_edges_ = 0;
+  finalized_ = false;
+  instance_id_ = 0;
+  label_sorted_nodes_.clear();
+  label_offsets_.clear();
+  distinct_labels_.clear();
 }
 
 bool Graph::HasEdge(NodeId u, NodeId v) const {
@@ -108,9 +141,12 @@ bool Graph::HasEdge(NodeId u, NodeId v) const {
 
 std::span<const NodeId> Graph::NodesWithLabel(Label label) const {
   GPM_CHECK(finalized_) << "NodesWithLabel requires Finalize()";
-  auto it = label_index_.find(label);
-  if (it == label_index_.end()) return {};
-  return {it->second.data(), it->second.size()};
+  auto it = std::lower_bound(distinct_labels_.begin(), distinct_labels_.end(),
+                             label);
+  if (it == distinct_labels_.end() || *it != label) return {};
+  const size_t i = static_cast<size_t>(it - distinct_labels_.begin());
+  return {label_sorted_nodes_.data() + label_offsets_[i],
+          label_offsets_[i + 1] - label_offsets_[i]};
 }
 
 Graph Graph::InducedSubgraph(std::span<const NodeId> nodes,
@@ -145,17 +181,22 @@ Graph Graph::InducedSubgraph(std::span<const NodeId> nodes,
 
 Graph Graph::Reversed() const {
   Graph rev;
-  for (NodeId v = 0; v < labels_.size(); ++v) rev.AddNode(labels_[v]);
+  ReversedInto(&rev);
+  return rev;
+}
+
+void Graph::ReversedInto(Graph* out) const {
+  out->ResetForReuse();
+  for (NodeId v = 0; v < labels_.size(); ++v) out->AddNode(labels_[v]);
   for (NodeId u = 0; u < labels_.size(); ++u) {
     auto elabels = OutEdgeLabels(u);
     size_t i = 0;
     for (NodeId v : out_[u]) {
-      rev.AddEdge(v, u, i < elabels.size() ? elabels[i] : 0);
+      out->AddEdge(v, u, i < elabels.size() ? elabels[i] : 0);
       ++i;
     }
   }
-  rev.Finalize();
-  return rev;
+  out->Finalize();
 }
 
 uint64_t Graph::ContentHash() const {

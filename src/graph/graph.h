@@ -62,6 +62,14 @@ class Graph {
   /// Idempotent. Adding nodes/edges afterwards is a checked error.
   void Finalize();
 
+  /// Returns the graph to the empty unfinalized state while keeping every
+  /// allocated buffer (per-node adjacency capacity, label-index storage) so
+  /// a rebuild into the same object allocates nothing. This is the ball
+  /// executors' per-worker reuse hook: a worker builds thousands of small
+  /// ball graphs into one Graph, and `= Graph()` would free and reallocate
+  /// every adjacency list each time.
+  void ResetForReuse();
+
   bool finalized() const { return finalized_; }
 
   size_t num_nodes() const { return labels_.size(); }
@@ -112,6 +120,12 @@ class Graph {
   /// materialized). The label index is preserved.
   Graph Reversed() const;
 
+  /// Reversed() into a caller-owned graph via ResetForReuse: `*out` keeps
+  /// its allocated buffers, so per-ball transposes (the regex executors
+  /// reverse every ball) stop allocating once the scratch graph reaches
+  /// its high-water size.
+  void ReversedInto(Graph* out) const;
+
   /// Structural equality: same labels, same edge sets. Requires both
   /// finalized. Ignores edge labels unless `compare_edge_labels`.
   bool StructurallyEqual(const Graph& other,
@@ -137,6 +151,9 @@ class Graph {
   friend class GraphBuilderForIO;
 
   std::vector<Label> labels_;
+  // Adjacency vectors may outlive labels_ across ResetForReuse(): only the
+  // first num_nodes() entries are live; the rest keep their capacity for
+  // the next build.
   std::vector<std::vector<NodeId>> out_;
   std::vector<std::vector<NodeId>> in_;
   std::vector<std::vector<EdgeLabel>> out_labels_;
@@ -144,8 +161,13 @@ class Graph {
   bool finalized_ = false;
   uint64_t instance_id_ = 0;
 
-  // Label index: for each distinct label, the sorted nodes carrying it.
-  std::unordered_map<Label, std::vector<NodeId>> label_index_;
+  // Label index, flat (struct-of-arrays): all nodes sorted by (label, id),
+  // with distinct_labels_[i]'s nodes at
+  // label_sorted_nodes_[label_offsets_[i] .. label_offsets_[i+1]). A
+  // sort-based index rebuilds with zero allocations on reuse, unlike a
+  // hash map of per-label vectors.
+  std::vector<NodeId> label_sorted_nodes_;
+  std::vector<uint32_t> label_offsets_;
   std::vector<Label> distinct_labels_;
 };
 

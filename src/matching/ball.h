@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "graph/csr_graph.h"
 #include "graph/graph.h"
 #include "graph/traversal.h"
 #include "graph/types.h"
@@ -63,7 +64,10 @@ class BallBuilderT {
     }
     out->center = center;
     out->radius = radius;
-    out->graph = Graph();
+    // Reuse the Ball's buffers: a worker rebuilds into the same Ball for
+    // thousands of centers, and the local graph keeps its adjacency
+    // capacity across builds.
+    out->graph.ResetForReuse();
     out->to_global.clear();
     out->is_border.clear();
 
@@ -109,6 +113,13 @@ class BallBuilderT {
 
 /// The common case: balls over a finalized data graph.
 using BallBuilder = BallBuilderT<Graph>;
+
+/// Balls over a CSR snapshot of the data graph (see graph/csr_graph.h):
+/// the flat adjacency arrays make the induced-edge scan sequential in
+/// memory, which is what the parallel executors traverse per ball. The
+/// produced balls are node/edge-identical to BallBuilderT<Graph> because
+/// CsrGraph::FromGraph preserves the finalized adjacency order.
+using CsrBallBuilder = BallBuilderT<CsrGraph>;
 
 }  // namespace gpm
 

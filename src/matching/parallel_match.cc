@@ -31,7 +31,8 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
                                    size_t num_threads, bool dedup_in_stream,
                                    const SubgraphSink& emit, MatchStats* totals_out,
                                    const PatternPrep* prep,
-                                   const DualFilterResult* filter) {
+                                   const DualFilterResult* filter,
+                                   const CsrGraph* csr) {
   GPM_CHECK(q.finalized() && g.finalized());
   PatternPrep local_prep;
   if (prep == nullptr) {
@@ -62,6 +63,13 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
     context.radius = state.radius;
     context.options = options;
 
+    // All workers build balls from one shared CSR snapshot (read-only).
+    CsrGraph local_csr;
+    if (csr == nullptr) {
+      local_csr = CsrGraph::FromGraph(g);
+      csr = &local_csr;
+    }
+
     // Contiguous center ranges, one scratch set and stats block each.
     const size_t shards_count =
         std::min(num_threads, std::max<size_t>(1, centers.size()));
@@ -77,13 +85,14 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
         pool.Submit([&, s] {
           const size_t begin = s * per_shard;
           const size_t end = std::min(centers.size(), begin + per_shard);
-          BallBuilder builder(g);
+          CsrBallBuilder builder(*csr);
           Ball ball;
+          internal::MatchScratch scratch;
           for (size_t i = begin; i < end; ++i) {
             if (queue.token().IsCancelled()) break;
-            auto pg = internal::ProcessCenter(context, g, centers[i],
-                                              &builder, &ball,
-                                              &shard_stats[s]);
+            auto pg = internal::ProcessCenter(context, centers[i], &builder,
+                                              &ball, &shard_stats[s],
+                                              &scratch);
             if (pg.has_value() && !queue.Push(std::move(*pg))) break;
           }
           // Last producer out closes the stream so the drainer unblocks.
@@ -94,9 +103,11 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
       // Single drainer: this thread. Arrival order, shared dedup set.
       std::unordered_set<uint64_t> seen_hashes;
       while (std::optional<PerfectSubgraph> pg = queue.Pop()) {
+        Timer emit_timer;
         if (dedup_in_stream &&
             !seen_hashes.insert(pg->ContentHash()).second) {
           ++totals.duplicates_removed;
+          totals.emit_seconds += emit_timer.Seconds();
           continue;
         }
         if (delivered == 0) {
@@ -104,7 +115,9 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
         }
         ++delivered;
         ++totals.subgraphs_found;
-        if (!emit(std::move(*pg))) {
+        const bool keep_going = emit(std::move(*pg));
+        totals.emit_seconds += emit_timer.Seconds();
+        if (!keep_going) {
           queue.Cancel();
           break;
         }
@@ -117,6 +130,9 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
       totals.balls_skipped_pruning += shard.balls_skipped_pruning;
       totals.balls_center_unmatched += shard.balls_center_unmatched;
       totals.candidate_pairs_refined += shard.candidate_pairs_refined;
+      // Stage times are CPU-seconds: summed across workers.
+      totals.ball_build_seconds += shard.ball_build_seconds;
+      totals.refine_seconds += shard.refine_seconds;
     }
   }
 
@@ -133,16 +149,17 @@ Result<size_t> MatchStrongParallelStream(const Graph& q, const Graph& g,
                                          const SubgraphSink& sink,
                                          MatchStats* stats,
                                          const PatternPrep* prep,
-                                         const DualFilterResult* filter) {
+                                         const DualFilterResult* filter,
+                                         const CsrGraph* csr) {
   return StreamBallsParallel(q, g, options, num_threads,
                              /*dedup_in_stream=*/options.dedup, sink, stats,
-                             prep, filter);
+                             prep, filter, csr);
 }
 
 Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
     const Graph& q, const Graph& g, const MatchOptions& options,
     size_t num_threads, MatchStats* stats, const PatternPrep* prep,
-    const DualFilterResult* filter) {
+    const DualFilterResult* filter, const CsrGraph* csr) {
   // Collect the raw (un-dedup'd) stream; canonicalization below picks
   // deterministic representatives, which arrival-order dedup cannot —
   // byte-identical to MatchStrong for every thread count (Theorem 1 fixes
@@ -157,7 +174,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
                             results.push_back(std::move(pg));
                             return true;
                           },
-                          &totals, prep, filter)
+                          &totals, prep, filter, csr)
           .status());
   totals.duplicates_removed = CanonicalizeSubgraphs(options.dedup, &results);
   totals.subgraphs_found = results.size();

@@ -31,11 +31,15 @@ namespace gpm {
 /// PreparePattern on the same pattern).
 /// `filter`, when non-null and options.dual_filter is set, supplies a
 /// memoized ComputeDualFilter result for the same (q, g,
-/// options.minimize_query), skipping the global fixpoint.
+/// options.minimize_query), skipping the global fixpoint. `csr`, when
+/// non-null, supplies a memoized CSR snapshot of g (CsrGraph::FromGraph on
+/// the same finalized graph) that all workers build balls from; a local
+/// conversion is made otherwise. Results are identical either way.
 Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
     const Graph& q, const Graph& g, const MatchOptions& options = {},
     size_t num_threads = 0, MatchStats* stats = nullptr,
-    const PatternPrep* prep = nullptr, const DualFilterResult* filter = nullptr);
+    const PatternPrep* prep = nullptr, const DualFilterResult* filter = nullptr,
+    const CsrGraph* csr = nullptr);
 
 /// MatchStrongStream semantics on `num_threads` workers: ball workers push
 /// perfect subgraphs into a bounded queue as each ball completes, and the
@@ -47,7 +51,8 @@ Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
 Result<size_t> MatchStrongParallelStream(
     const Graph& q, const Graph& g, const MatchOptions& options,
     size_t num_threads, const SubgraphSink& sink, MatchStats* stats = nullptr,
-    const PatternPrep* prep = nullptr, const DualFilterResult* filter = nullptr);
+    const PatternPrep* prep = nullptr, const DualFilterResult* filter = nullptr,
+    const CsrGraph* csr = nullptr);
 
 }  // namespace gpm
 

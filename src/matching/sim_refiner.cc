@@ -1,36 +1,42 @@
 #include "matching/sim_refiner.h"
 
 #include <algorithm>
-#include <deque>
 
-#include "common/bitset.h"
 #include "common/logging.h"
 
 namespace gpm::internal {
 
-namespace {
-
-// One flattened query edge.
-struct QueryEdge {
-  NodeId src;
-  NodeId dst;
-};
-
-}  // namespace
-
 MatchRelation RefineSimulation(const Graph& q, const Graph& g, bool dual,
                                const std::vector<std::vector<NodeId>>* initial,
                                const std::vector<NodeId>* seeds) {
+  SimRefineWorkspace ws;
+  MatchRelation result;
+  RefineSimulationInto(q, g, dual, initial, seeds, &ws, &result);
+  return result;
+}
+
+void RefineSimulationInto(const Graph& q, const Graph& g, bool dual,
+                          const std::vector<std::vector<NodeId>>* initial,
+                          const std::vector<NodeId>* seeds,
+                          SimRefineWorkspace* ws, MatchRelation* out) {
   GPM_CHECK(q.finalized() && g.finalized());
   const size_t nq = q.num_nodes();
   const size_t n = g.num_nodes();
-  MatchRelation result(nq);
-  if (nq == 0) return result;
+  out->sim.resize(nq);
+  for (auto& list : out->sim) list.clear();
+  if (nq == 0) return;
 
   // --- Query edge tables -------------------------------------------------
-  std::vector<QueryEdge> qedges;
-  std::vector<std::vector<uint32_t>> out_eids(nq);  // edges with src == u
-  std::vector<std::vector<uint32_t>> in_eids(nq);   // edges with dst == u
+  auto& qedges = ws->qedges;
+  auto& out_eids = ws->out_eids;  // edges with src == u
+  auto& in_eids = ws->in_eids;    // edges with dst == u
+  qedges.clear();
+  out_eids.resize(std::max(out_eids.size(), nq));
+  in_eids.resize(std::max(in_eids.size(), nq));
+  for (NodeId u = 0; u < nq; ++u) {
+    out_eids[u].clear();
+    in_eids[u].clear();
+  }
   for (NodeId u = 0; u < nq; ++u) {
     for (NodeId u2 : q.OutNeighbors(u)) {
       const uint32_t eid = static_cast<uint32_t>(qedges.size());
@@ -44,17 +50,19 @@ MatchRelation RefineSimulation(const Graph& q, const Graph& g, bool dual,
   // cand[u] ⊆ label-class(l(u)); counters are indexed by the candidate's
   // rank inside its *full* label class so that all query nodes sharing a
   // label share one rank array.
-  std::vector<uint32_t> class_rank(n, 0);
+  auto& class_rank = ws->class_rank;
+  class_rank.resize(n);  // every node gets written below
   for (Label label : g.DistinctLabels()) {
     auto cls = g.NodesWithLabel(label);
     for (uint32_t i = 0; i < cls.size(); ++i) class_rank[cls[i]] = i;
   }
 
-  std::vector<std::vector<NodeId>> cand(nq);
+  auto& cand = ws->cand;
+  cand.resize(std::max(cand.size(), nq));
   for (NodeId u = 0; u < nq; ++u) {
     if (initial != nullptr) {
       GPM_CHECK_EQ(initial->size(), nq);
-      cand[u] = (*initial)[u];
+      cand[u].assign((*initial)[u].begin(), (*initial)[u].end());
       GPM_CHECK(std::is_sorted(cand[u].begin(), cand[u].end()));
       for (NodeId v : cand[u]) GPM_CHECK_EQ(g.label(v), q.label(u));
     } else {
@@ -64,9 +72,10 @@ MatchRelation RefineSimulation(const Graph& q, const Graph& g, bool dual,
   }
 
   // in_sim[u]: current membership bitmap over data nodes.
-  std::vector<DynamicBitset> in_sim(nq);
+  auto& in_sim = ws->in_sim;
+  in_sim.resize(std::max(in_sim.size(), nq));
   for (NodeId u = 0; u < nq; ++u) {
-    in_sim[u] = DynamicBitset(n);
+    in_sim[u].Reinit(n);
     for (NodeId v : cand[u]) in_sim[u].Set(v);
   }
 
@@ -75,10 +84,12 @@ MatchRelation RefineSimulation(const Graph& q, const Graph& g, bool dual,
   //   reaching 0 violates the child condition for (src, v).
   // in_cnt[e][rank(v')] = |pred(v') ∩ sim(src)| for v' ∈ cand(dst):
   //   reaching 0 violates the parent condition for (dst, v') (dual only).
-  std::vector<std::vector<uint32_t>> out_cnt(qedges.size());
-  std::vector<std::vector<uint32_t>> in_cnt(dual ? qedges.size() : 0);
+  auto& out_cnt = ws->out_cnt;
+  auto& in_cnt = ws->in_cnt;
+  out_cnt.resize(std::max(out_cnt.size(), qedges.size()));
+  if (dual) in_cnt.resize(std::max(in_cnt.size(), qedges.size()));
   for (uint32_t e = 0; e < qedges.size(); ++e) {
-    const QueryEdge& qe = qedges[e];
+    const auto& qe = qedges[e];
     out_cnt[e].assign(g.NodesWithLabel(q.label(qe.src)).size(), 0);
     for (NodeId v : cand[qe.src]) {
       uint32_t c = 0;
@@ -100,7 +111,9 @@ MatchRelation RefineSimulation(const Graph& q, const Graph& g, bool dual,
   }
 
   // --- Seed violations -------------------------------------------------------
-  std::deque<std::pair<NodeId, NodeId>> worklist;  // (query node, data node)
+  auto& worklist = ws->worklist;  // FIFO via head index (no deque churn)
+  worklist.clear();
+  size_t work_head = 0;
   auto violates = [&](NodeId u, NodeId v) {
     for (uint32_t e : out_eids[u]) {
       if (out_cnt[e][class_rank[v]] == 0) return true;
@@ -132,9 +145,8 @@ MatchRelation RefineSimulation(const Graph& q, const Graph& g, bool dual,
   }
 
   // --- Propagation -----------------------------------------------------------
-  while (!worklist.empty()) {
-    auto [u, v] = worklist.front();
-    worklist.pop_front();
+  while (work_head < worklist.size()) {
+    auto [u, v] = worklist[work_head++];
     // v no longer matches u: every data parent v2 that matched a query
     // parent u2 of u loses one unit of child support on edge (u2, u) ...
     for (uint32_t e : in_eids[u]) {
@@ -160,10 +172,9 @@ MatchRelation RefineSimulation(const Graph& q, const Graph& g, bool dual,
   // --- Collect ---------------------------------------------------------------
   for (NodeId u = 0; u < nq; ++u) {
     for (NodeId v : cand[u]) {
-      if (in_sim[u].Test(v)) result.sim[u].push_back(v);
+      if (in_sim[u].Test(v)) out->sim[u].push_back(v);
     }
   }
-  return result;
 }
 
 }  // namespace gpm::internal

@@ -9,12 +9,35 @@
 #ifndef GPM_MATCHING_SIM_REFINER_H_
 #define GPM_MATCHING_SIM_REFINER_H_
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/bitset.h"
 #include "graph/graph.h"
 #include "matching/match_relation.h"
 
 namespace gpm::internal {
+
+/// \brief Grow-once scratch for RefineSimulationInto: every per-call array
+/// of the refinement fixpoint lives here, so a worker that refines
+/// thousands of balls stops allocating after the first few. One workspace
+/// per thread; contents are meaningless between calls.
+struct SimRefineWorkspace {
+  struct QueryEdge {
+    NodeId src;
+    NodeId dst;
+  };
+  std::vector<QueryEdge> qedges;
+  std::vector<std::vector<uint32_t>> out_eids;  // edges with src == u
+  std::vector<std::vector<uint32_t>> in_eids;   // edges with dst == u
+  std::vector<uint32_t> class_rank;             // rank within label class
+  std::vector<std::vector<NodeId>> cand;        // working candidate lists
+  std::vector<DynamicBitset> in_sim;            // membership bitmaps
+  std::vector<std::vector<uint32_t>> out_cnt;   // child-support counters
+  std::vector<std::vector<uint32_t>> in_cnt;    // parent-support counters
+  std::vector<std::pair<NodeId, NodeId>> worklist;  // FIFO via head index
+};
 
 /// Computes the maximum (dual) simulation relation of q in g.
 ///
@@ -38,6 +61,15 @@ namespace gpm::internal {
 MatchRelation RefineSimulation(const Graph& q, const Graph& g, bool dual,
                                const std::vector<std::vector<NodeId>>* initial,
                                const std::vector<NodeId>* seeds);
+
+/// Allocation-reusing form: identical semantics, with every internal array
+/// drawn from *ws (grown on demand, reused across calls) and the relation
+/// written into *out (sim lists cleared, capacity kept). The hot per-ball
+/// path of the executors.
+void RefineSimulationInto(const Graph& q, const Graph& g, bool dual,
+                          const std::vector<std::vector<NodeId>>* initial,
+                          const std::vector<NodeId>* seeds,
+                          SimRefineWorkspace* ws, MatchRelation* out);
 
 }  // namespace gpm::internal
 

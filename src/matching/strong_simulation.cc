@@ -1,6 +1,7 @@
 #include "matching/strong_simulation.h"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -8,6 +9,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "graph/components.h"
+#include "graph/csr_graph.h"
 #include "graph/diameter.h"
 #include "matching/ball.h"
 #include "matching/dual_simulation.h"
@@ -51,9 +53,11 @@ namespace {
 // justified by Theorem 2). Returns false if the center is not a candidate
 // at all (the ball cannot yield a perfect subgraph).
 bool PruneToCenterComponent(const Ball& ball,
-                            std::vector<std::vector<NodeId>>* cand) {
+                            std::vector<std::vector<NodeId>>* cand,
+                            internal::MatchScratch* scratch) {
   const size_t bn = ball.graph.num_nodes();
-  DynamicBitset is_candidate(bn);
+  DynamicBitset& is_candidate = scratch->is_candidate;
+  is_candidate.Reinit(bn);
   for (const auto& list : *cand) {
     for (NodeId v : list) is_candidate.Set(v);
   }
@@ -62,9 +66,12 @@ bool PruneToCenterComponent(const Ball& ball,
 
   // BFS over candidate nodes only (edges of the candidate-induced
   // subgraph), undirected.
-  DynamicBitset in_component(bn);
+  DynamicBitset& in_component = scratch->in_component;
+  in_component.Reinit(bn);
   in_component.Set(center);
-  std::vector<NodeId> stack{center};
+  std::vector<NodeId>& stack = scratch->stack;
+  stack.clear();
+  stack.push_back(center);
   while (!stack.empty()) {
     NodeId v = stack.back();
     stack.pop_back();
@@ -86,38 +93,102 @@ bool PruneToCenterComponent(const Ball& ball,
 
 // ExtractMaxPG (Fig. 3): the connected component containing the center of
 // the match graph w.r.t. Sw. Returns false if the center is unmatched.
+// Outputs land in scratch->pg_nodes / pg_edges / in_component (all local
+// ball ids); everything transient comes from scratch->arena, so repeated
+// balls run allocation-free. The match graph is built inline on flat
+// bit-matrices instead of the std::unordered_map path of BuildMatchGraph:
+// same definition (§2.2), ball-local id space.
 bool ExtractMaxPG(const Graph& qeff, const Ball& ball, const MatchRelation& sw,
-                  std::vector<NodeId>* nodes_out,
-                  std::vector<std::pair<NodeId, NodeId>>* edges_out,
-                  DynamicBitset* component_out) {
+                  internal::MatchScratch* scratch) {
+  const size_t bn = ball.graph.num_nodes();
+  const size_t nq = qeff.num_nodes();
   const NodeId center = ball.LocalCenter();
-  bool center_matched = false;
-  for (const auto& list : sw.sim) {
-    if (std::binary_search(list.begin(), list.end(), center)) {
-      center_matched = true;
-      break;
+
+  ScratchArena& arena = scratch->arena;
+  arena.Reset();
+
+  // match_bits row v: which query nodes ball node v matches.
+  const size_t nw = (nq + 63) / 64;
+  auto match_bits = arena.AllocSpan<uint64_t>(bn * nw);
+  for (size_t u = 0; u < nq; ++u) {
+    for (NodeId v : sw.sim[u]) {
+      match_bits[v * nw + (u >> 6)] |= uint64_t{1} << (u & 63);
     }
   }
-  if (!center_matched) return false;
+  auto matched = [&](NodeId v) {
+    for (size_t i = 0; i < nw; ++i) {
+      if (match_bits[v * nw + i]) return true;
+    }
+    return false;
+  };
+  if (!matched(center)) return false;
 
-  const MatchGraph mg = BuildMatchGraph(qeff, ball.graph, sw);
-
-  // Undirected component of `center` inside the match graph.
-  std::unordered_map<NodeId, std::vector<NodeId>> adj;
-  adj.reserve(mg.nodes.size());
-  for (const auto& [a, b] : mg.edges) {
-    adj[a].push_back(b);
-    adj[b].push_back(a);
+  // child_bits row u: query children of u. (v, w) is a match-graph edge
+  // iff (v, w) is a ball edge and reach(v) ∩ match_bits(w) ≠ ∅, where
+  // reach(v) = ∪_{u ∈ match_bits(v)} child_bits(u).
+  auto child_bits = arena.AllocSpan<uint64_t>(nq * nw);
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId u2 : qeff.OutNeighbors(u)) {
+      child_bits[static_cast<size_t>(u) * nw + (u2 >> 6)] |=
+          uint64_t{1} << (u2 & 63);
+    }
   }
-  DynamicBitset in_component(ball.graph.num_nodes());
+  auto reach = arena.AllocSpan<uint64_t>(nw);
+  auto degree = arena.AllocSpan<uint32_t>(bn);  // undirected mg degree
+
+  // Pass 1: collect the directed match-graph edges (lexicographically
+  // sorted by construction: v ascending, sorted adjacency) and count
+  // undirected degrees for the flat component adjacency.
+  auto& mg_edges = scratch->pg_edges;  // filtered to the component below
+  mg_edges.clear();
+  for (NodeId v = 0; v < bn; ++v) {
+    bool has_match = false;
+    for (size_t i = 0; i < nw; ++i) reach[i] = 0;
+    for (size_t i = 0; i < nw; ++i) {
+      uint64_t bits = match_bits[v * nw + i];
+      if (bits) has_match = true;
+      while (bits) {
+        const size_t u = i * 64 + static_cast<size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        for (size_t j = 0; j < nw; ++j) reach[j] |= child_bits[u * nw + j];
+      }
+    }
+    if (!has_match) continue;
+    for (NodeId w : ball.graph.OutNeighbors(v)) {
+      bool hit = false;
+      for (size_t j = 0; j < nw && !hit; ++j) {
+        hit = (reach[j] & match_bits[w * nw + j]) != 0;
+      }
+      if (hit) {
+        mg_edges.emplace_back(v, w);
+        ++degree[v];
+        ++degree[w];
+      }
+    }
+  }
+
+  // Undirected component of `center` over a flat CSR of the match graph.
+  auto offsets = arena.AllocSpan<uint32_t>(bn + 1);
+  for (NodeId v = 0; v < bn; ++v) offsets[v + 1] = offsets[v] + degree[v];
+  auto cursor = arena.AllocSpan<uint32_t>(bn);
+  for (NodeId v = 0; v < bn; ++v) cursor[v] = offsets[v];
+  auto targets = arena.AllocSpan<NodeId>(mg_edges.size() * 2);
+  for (const auto& [a, b] : mg_edges) {
+    targets[cursor[a]++] = b;
+    targets[cursor[b]++] = a;
+  }
+
+  DynamicBitset& in_component = scratch->in_component;
+  in_component.Reinit(bn);
   in_component.Set(center);
-  std::vector<NodeId> stack{center};
+  std::vector<NodeId>& stack = scratch->stack;
+  stack.clear();
+  stack.push_back(center);
   while (!stack.empty()) {
-    NodeId v = stack.back();
+    const NodeId v = stack.back();
     stack.pop_back();
-    auto it = adj.find(v);
-    if (it == adj.end()) continue;
-    for (NodeId w : it->second) {
+    for (uint32_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const NodeId w = targets[i];
       if (!in_component.Test(w)) {
         in_component.Set(w);
         stack.push_back(w);
@@ -125,16 +196,16 @@ bool ExtractMaxPG(const Graph& qeff, const Ball& ball, const MatchRelation& sw,
     }
   }
 
-  nodes_out->clear();
-  for (NodeId v : mg.nodes) {
-    if (in_component.Test(v)) nodes_out->push_back(v);
-  }
-  edges_out->clear();
-  for (const auto& [a, b] : mg.edges) {
-    if (in_component.Test(a) && in_component.Test(b))
-      edges_out->emplace_back(a, b);
-  }
-  *component_out = std::move(in_component);
+  // Every component member is a match-graph node (the DFS only follows
+  // match-graph edges from the matched center), so the component bits ARE
+  // the output node set.
+  auto& nodes_out = scratch->pg_nodes;
+  nodes_out.clear();
+  in_component.ForEach(
+      [&](size_t v) { nodes_out.push_back(static_cast<NodeId>(v)); });
+  std::erase_if(mg_edges, [&](const std::pair<NodeId, NodeId>& e) {
+    return !in_component.Test(e.first) || !in_component.Test(e.second);
+  });
   return true;
 }
 
@@ -167,17 +238,13 @@ void FillDualFilter(const Graph& qeff, const Graph& g, DualFilterResult* out) {
 
 namespace internal {
 
-std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
-                                             const Graph& /*g*/, NodeId center,
-                                             BallBuilder* builder, Ball* ball,
-                                             MatchStats* stats) {
-  builder->Build(center, context.radius, ball);
-  return ProcessBall(context, *ball, stats);
-}
-
 std::optional<PerfectSubgraph> ProcessBall(const MatchContext& context,
-                                           const Ball& ball,
-                                           MatchStats* stats) {
+                                           const Ball& ball, MatchStats* stats,
+                                           MatchScratch* scratch) {
+  MatchScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+  ScopedSecondsAccumulator stage(&stats->refine_seconds);
+
   const Graph& qeff = *context.effective_pattern;
   const Graph& q = *context.original_pattern;
   const size_t nq_eff = qeff.num_nodes();
@@ -187,7 +254,9 @@ std::optional<PerfectSubgraph> ProcessBall(const MatchContext& context,
 
   // Candidate sets (local ids). With the dual filter on, project the
   // global relation into the ball; otherwise label classes.
-  std::vector<std::vector<NodeId>> cand(nq_eff);
+  auto& cand = scratch->cand;
+  cand.resize(nq_eff);
+  for (auto& list : cand) list.clear();
   if (context.global_bits != nullptr) {
     for (size_t u = 0; u < nq_eff; ++u) {
       const DynamicBitset& bits = (*context.global_bits)[u];
@@ -203,7 +272,7 @@ std::optional<PerfectSubgraph> ProcessBall(const MatchContext& context,
   }
 
   if (options.connectivity_pruning) {
-    if (!PruneToCenterComponent(ball, &cand)) {
+    if (!PruneToCenterComponent(ball, &cand, scratch)) {
       ++stats->balls_skipped_pruning;
       return std::nullopt;
     }
@@ -212,22 +281,25 @@ std::optional<PerfectSubgraph> ProcessBall(const MatchContext& context,
 
   // Refine. With the dual filter on, only border nodes can seed
   // violations (Prop 5 / Fig. 5 dualFilter).
-  MatchRelation sw;
+  MatchRelation& sw = scratch->sw;
   if (context.global_bits != nullptr) {
-    const std::vector<NodeId> seeds = ball.BorderNodes();
-    sw = RefineSimulation(qeff, ball.graph, /*dual=*/true, &cand, &seeds);
+    auto& seeds = scratch->seeds;
+    seeds.clear();
+    for (NodeId v = 0; v < ball.is_border.size(); ++v) {
+      if (ball.is_border[v]) seeds.push_back(v);
+    }
+    RefineSimulationInto(qeff, ball.graph, /*dual=*/true, &cand, &seeds,
+                         &scratch->refine, &sw);
   } else {
-    sw = RefineSimulation(qeff, ball.graph, /*dual=*/true, &cand, nullptr);
+    RefineSimulationInto(qeff, ball.graph, /*dual=*/true, &cand, nullptr,
+                         &scratch->refine, &sw);
   }
   if (!sw.IsTotal()) {
     ++stats->balls_center_unmatched;
     return std::nullopt;
   }
 
-  std::vector<NodeId> pg_nodes;
-  std::vector<std::pair<NodeId, NodeId>> pg_edges;
-  DynamicBitset component;
-  if (!ExtractMaxPG(qeff, ball, sw, &pg_nodes, &pg_edges, &component)) {
+  if (!ExtractMaxPG(qeff, ball, sw, scratch)) {
     ++stats->balls_center_unmatched;
     return std::nullopt;
   }
@@ -237,17 +309,18 @@ std::optional<PerfectSubgraph> ProcessBall(const MatchContext& context,
   PerfectSubgraph pg;
   pg.center = ball.center;
   pg.radius = context.radius;
-  pg.nodes.reserve(pg_nodes.size());
-  for (NodeId v : pg_nodes) pg.nodes.push_back(ball.to_global[v]);
+  pg.nodes.reserve(scratch->pg_nodes.size());
+  for (NodeId v : scratch->pg_nodes) pg.nodes.push_back(ball.to_global[v]);
   std::sort(pg.nodes.begin(), pg.nodes.end());
-  pg.edges.reserve(pg_edges.size());
-  for (const auto& [a, b] : pg_edges) {
+  pg.edges.reserve(scratch->pg_edges.size());
+  for (const auto& [a, b] : scratch->pg_edges) {
     pg.edges.emplace_back(ball.to_global[a], ball.to_global[b]);
   }
   std::sort(pg.edges.begin(), pg.edges.end());
 
   // Relation restricted to the component, expanded to original query
   // nodes when minimization ran, translated to global ids.
+  const DynamicBitset& component = scratch->in_component;
   pg.relation = MatchRelation(q.num_nodes());
   for (NodeId u = 0; u < q.num_nodes(); ++u) {
     const NodeId ue =
@@ -404,7 +477,8 @@ Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
                                  const MatchOptions& options,
                                  const SubgraphSink& sink, MatchStats* stats,
                                  const PatternPrep* prep,
-                                 const DualFilterResult* filter) {
+                                 const DualFilterResult* filter,
+                                 const CsrGraph* csr) {
   GPM_CHECK(q.finalized() && g.finalized());
   PatternPrep local_prep;
   if (prep == nullptr) {
@@ -429,13 +503,23 @@ Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
     context.radius = state.radius;
     context.options = options;
 
+    // The ball loop runs on a CSR snapshot of g (flat adjacency): the
+    // caller's memoized one if provided, a local conversion otherwise.
+    CsrGraph local_csr;
+    if (csr == nullptr) {
+      local_csr = CsrGraph::FromGraph(g);
+      csr = &local_csr;
+    }
+
     std::unordered_set<uint64_t> seen_hashes;
-    BallBuilder builder(g);
+    CsrBallBuilder builder(*csr);
     Ball ball;
+    internal::MatchScratch scratch;
     for (NodeId w : *state.centers) {
-      auto pg = internal::ProcessCenter(context, g, w, &builder, &ball,
-                                        &local_stats);
+      auto pg = internal::ProcessCenter(context, w, &builder, &ball,
+                                        &local_stats, &scratch);
       if (!pg.has_value()) continue;
+      ScopedSecondsAccumulator emit_stage(&local_stats.emit_seconds);
       if (options.dedup && !seen_hashes.insert(pg->ContentHash()).second) {
         ++local_stats.duplicates_removed;
         continue;
@@ -459,7 +543,8 @@ Result<std::vector<PerfectSubgraph>> MatchStrong(const Graph& q,
                                                  const MatchOptions& options,
                                                  MatchStats* stats,
                                                  const PatternPrep* prep,
-                                                 const DualFilterResult* filter) {
+                                                 const DualFilterResult* filter,
+                                                 const CsrGraph* csr) {
   std::vector<PerfectSubgraph> results;
   auto delivered = MatchStrongStream(
       q, g, options,
@@ -467,7 +552,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrong(const Graph& q,
         results.push_back(std::move(pg));
         return true;
       },
-      stats, prep, filter);
+      stats, prep, filter, csr);
   if (!delivered.ok()) return delivered.status();
   return results;
 }
@@ -491,25 +576,23 @@ std::optional<PerfectSubgraph> MatchSingleBall(const Graph& q,
       internal::RefineSimulation(q, ball.graph, /*dual=*/true, &cand, nullptr);
   if (!sw.IsTotal()) return std::nullopt;
 
-  std::vector<NodeId> pg_nodes;
-  std::vector<std::pair<NodeId, NodeId>> pg_edges;
-  DynamicBitset component;
-  if (!ExtractMaxPG(q, ball, sw, &pg_nodes, &pg_edges, &component))
-    return std::nullopt;
+  internal::MatchScratch scratch;
+  if (!ExtractMaxPG(q, ball, sw, &scratch)) return std::nullopt;
 
   PerfectSubgraph pg;
   pg.center = ball.center;
   pg.radius = ball.radius;
-  for (NodeId v : pg_nodes) pg.nodes.push_back(ball.to_global[v]);
+  for (NodeId v : scratch.pg_nodes) pg.nodes.push_back(ball.to_global[v]);
   std::sort(pg.nodes.begin(), pg.nodes.end());
-  for (const auto& [a, b] : pg_edges) {
+  for (const auto& [a, b] : scratch.pg_edges) {
     pg.edges.emplace_back(ball.to_global[a], ball.to_global[b]);
   }
   std::sort(pg.edges.begin(), pg.edges.end());
   pg.relation = MatchRelation(nq);
   for (NodeId u = 0; u < nq; ++u) {
     for (NodeId v : sw.sim[u]) {
-      if (component.Test(v)) pg.relation.sim[u].push_back(ball.to_global[v]);
+      if (scratch.in_component.Test(v))
+        pg.relation.sim[u].push_back(ball.to_global[v]);
     }
     std::sort(pg.relation.sim[u].begin(), pg.relation.sim[u].end());
   }

@@ -24,6 +24,8 @@
 
 namespace gpm {
 
+class CsrGraph;  // graph/csr_graph.h
+
 /// \brief One maximum perfect subgraph Gs: the connected component
 /// containing the ball center of the match graph w.r.t. the maximum dual
 /// match relation on the ball (Theorems 1-2).
@@ -96,6 +98,14 @@ struct MatchStats {
   size_t duplicates_removed = 0;
   size_t candidate_pairs_refined = 0;  ///< Σ per-ball initial candidates
   double global_filter_seconds = 0;
+  /// Per-stage wall-clock breakdown of the ball loop, so a regression
+  /// localizes to a stage instead of a total. Under the parallel executors
+  /// these are summed across workers (CPU-seconds), so they can exceed
+  /// total_seconds.
+  double ball_build_seconds = 0;  ///< BFS + induced-subgraph construction
+  double refine_seconds = 0;      ///< candidate projection, pruning, dual
+                                  ///< fixpoint, ExtractMaxPG per ball
+  double emit_seconds = 0;        ///< dedup + canonicalize + sink delivery
   double total_seconds = 0;
   /// Wall clock from the start of the run until the first perfect subgraph
   /// was emitted (0 when none were). Streaming executors hand that first
@@ -194,10 +204,15 @@ size_t CanonicalizeSubgraphs(bool dedup,
 /// non-null and options.dual_filter is set, supplies a memoized
 /// ComputeDualFilter result for the same (q, g, options.minimize_query) —
 /// the §4.2 fixpoint is skipped and the run starts at the ball loop.
+/// `csr`, when non-null, supplies a CSR snapshot of g (from
+/// CsrGraph::FromGraph on the same finalized graph — the engine memoizes
+/// one alongside the dual-filter memo); the ball loop then builds balls on
+/// the flat adjacency instead of converting g locally. Results are
+/// identical either way.
 Result<std::vector<PerfectSubgraph>> MatchStrong(
     const Graph& q, const Graph& g, const MatchOptions& options = {},
     MatchStats* stats = nullptr, const PatternPrep* prep = nullptr,
-    const DualFilterResult* filter = nullptr);
+    const DualFilterResult* filter = nullptr, const CsrGraph* csr = nullptr);
 
 /// MatchStrong semantics with each perfect subgraph handed to `sink`
 /// instead of materialized into Θ — perfect subgraphs can be consumed
@@ -209,7 +224,8 @@ Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
                                  const SubgraphSink& sink,
                                  MatchStats* stats = nullptr,
                                  const PatternPrep* prep = nullptr,
-                                 const DualFilterResult* filter = nullptr);
+                                 const DualFilterResult* filter = nullptr,
+                                 const CsrGraph* csr = nullptr);
 
 /// Match with all optimizations (the paper's Match+).
 Result<std::vector<PerfectSubgraph>> MatchStrongPlus(
@@ -218,7 +234,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrongPlus(
 /// True iff Q ≺LD G (at least one perfect subgraph exists).
 Result<bool> StronglySimulates(const Graph& q, const Graph& g);
 
-// Forward declaration; defined in matching/ball.h.
+// Forward declarations; defined in matching/ball.h and graph/csr_graph.h.
 struct Ball;
 
 /// Processes one prebuilt ball (lines 3-5 of Fig. 3): dual simulation on

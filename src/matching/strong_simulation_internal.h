@@ -6,10 +6,14 @@
 #define GPM_MATCHING_STRONG_SIMULATION_INTERNAL_H_
 
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bitset.h"
+#include "common/timer.h"
 #include "matching/ball.h"
+#include "matching/sim_refiner.h"
 #include "matching/strong_simulation.h"
 
 namespace gpm::internal {
@@ -61,26 +65,55 @@ Status BuildRunState(const Graph& q, const Graph& g,
                      RunState* state, MatchStats* stats,
                      const DualFilterResult* filter = nullptr);
 
-/// Runs lines 2-5 of Fig. 3 for one center: ball construction, candidate
-/// selection (projection under the dual filter, label classes otherwise),
-/// optional connectivity pruning, dual refinement (border-seeded under the
-/// filter), ExtractMaxPG, and relation expansion to the original pattern.
-/// Returns nullopt when the center yields no perfect subgraph.
-/// `builder`/`ball` are caller-owned scratch (one pair per thread);
-/// `stats` accumulates the per-center counters (never the timing fields).
-std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
-                                             const Graph& g, NodeId center,
-                                             BallBuilder* builder, Ball* ball,
-                                             MatchStats* stats);
+/// Per-worker scratch for the ball loop: every transient container of
+/// ProcessBall lives here and is reused across balls, so a worker reaches
+/// its high-water allocation after the first few balls and then runs
+/// allocation-free. One instance per thread; contents are meaningless
+/// between balls. Callers that pass nullptr get a per-call local (correct
+/// but slow — the old behavior).
+struct MatchScratch {
+  std::vector<std::vector<NodeId>> cand;  ///< per-query-node candidates
+  std::vector<NodeId> seeds;              ///< border-node refinement seeds
+  SimRefineWorkspace refine;              ///< dual-fixpoint internals
+  MatchRelation sw;                       ///< ball-local maximum dual relation
+  DynamicBitset is_candidate;             ///< connectivity-pruning mask
+  DynamicBitset in_component;             ///< center component / PG membership
+  std::vector<NodeId> stack;              ///< DFS stack (pruning + ExtractMaxPG)
+  std::vector<NodeId> pg_nodes;           ///< ExtractMaxPG output nodes
+  std::vector<std::pair<NodeId, NodeId>> pg_edges;  ///< ... and edges
+  ScratchArena arena;  ///< flat match-graph adjacency per ball
+};
 
-/// The ball-reuse seam of ProcessCenter: identical pipeline, but on a ball
-/// the caller already built (Engine::MatchBatch builds each distinct
+/// The ball-reuse seam of ProcessCenter: the per-ball pipeline (candidate
+/// selection — projection under the dual filter, label classes otherwise —
+/// optional connectivity pruning, border-seeded dual refinement,
+/// ExtractMaxPG, relation expansion to the original pattern) on a ball the
+/// caller already built (Engine::MatchBatch builds each distinct
 /// (center, radius) ball once and runs this per interested request). The
-/// ball must come from BallBuilder::Build on the run's data graph with
-/// context.radius.
+/// ball must come from a ball builder on the run's data graph with
+/// context.radius. Accumulates per-center counters and refine_seconds into
+/// `stats`. Returns nullopt when the center yields no perfect subgraph.
 std::optional<PerfectSubgraph> ProcessBall(const MatchContext& context,
-                                           const Ball& ball,
-                                           MatchStats* stats);
+                                           const Ball& ball, MatchStats* stats,
+                                           MatchScratch* scratch = nullptr);
+
+/// Runs lines 2-5 of Fig. 3 for one center: ball construction (timed into
+/// stats->ball_build_seconds) followed by ProcessBall. Works on any graph
+/// representation a BallBuilderT exists for — the executors pass
+/// CsrBallBuilder over the run's CSR snapshot; the distributed runtime
+/// still uses the adjacency-list BallBuilder. `builder`/`ball`/`scratch`
+/// are caller-owned per-thread scratch.
+template <typename GraphT>
+std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
+                                             NodeId center,
+                                             BallBuilderT<GraphT>* builder,
+                                             Ball* ball, MatchStats* stats,
+                                             MatchScratch* scratch = nullptr) {
+  Timer build_timer;
+  builder->Build(center, context.radius, ball);
+  stats->ball_build_seconds += build_timer.Seconds();
+  return ProcessBall(context, *ball, stats, scratch);
+}
 
 }  // namespace gpm::internal
 

@@ -116,5 +116,164 @@ TEST(BoundedQueueTest, ConsumerCancelStopsProducersPromptly) {
   EXPECT_FALSE(queue.Pop().has_value());
 }
 
+TEST(BoundedQueueTest, NonPowerOfTwoCapacityRoundsUp) {
+  BoundedQueue<int> queue(3);
+  EXPECT_EQ(queue.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.TryPush(i));
+  int overflow = 99;
+  EXPECT_FALSE(queue.TryPush(overflow)) << "ring holds exactly capacity()";
+  EXPECT_EQ(overflow, 99) << "a refused TryPush must not consume the item";
+  queue.Close();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(queue.Pop().value(), i);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, WraparoundAtCapacityBoundary) {
+  // Many laps around a tiny ring: the slot sequence counters must keep
+  // handing the same physical slots back and forth without reordering,
+  // duplicating, or dropping. The fill size cycles 1..kCapacity so the
+  // head/tail indices cross the wrap point at every alignment.
+  constexpr size_t kCapacity = 4;
+  BoundedQueue<int> queue(kCapacity);
+  int pushed = 0;
+  int popped = 0;
+  for (int round = 0; round < 1000; ++round) {
+    size_t fill = 1 + static_cast<size_t>(round) % kCapacity;
+    for (size_t i = 0; i < fill; ++i) ASSERT_TRUE(queue.Push(pushed++));
+    for (size_t i = 0; i < fill; ++i) {
+      auto v = queue.Pop();
+      ASSERT_TRUE(v.has_value());
+      ASSERT_EQ(*v, popped++);
+    }
+  }
+  queue.Close();
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_EQ(pushed, popped);
+}
+
+TEST(BoundedQueueTest, SingleProducerStressAcrossManyLaps) {
+  constexpr int kItems = 20000;
+  BoundedQueue<int> queue(8);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(queue.Push(i));
+    queue.Close();
+  });
+  int expected = 0;
+  while (auto v = queue.Pop()) {
+    ASSERT_EQ(*v, expected++) << "SP stream must stay strictly FIFO";
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+TEST(BoundedQueueTest, CancelWakesManyProducersBlockedInPush) {
+  constexpr int kProducers = 6;
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(0));  // ring is now full
+  std::atomic<int> refused{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      if (!queue.Push(1)) refused.fetch_add(1);  // all block, then bail
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  queue.Cancel();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(refused.load(), kProducers)
+      << "every push blocked at cancel time must return false";
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, BulkPushPopMatchesSingles) {
+  // The same item stream through PushBulk/PopBulk must arrive exactly as
+  // it would through single Push/Pop: same order, same count.
+  constexpr int kItems = 5000;
+  std::vector<int> singles_out;
+  {
+    BoundedQueue<int> queue(8);
+    std::thread producer([&] {
+      for (int i = 0; i < kItems; ++i) ASSERT_TRUE(queue.Push(i));
+      queue.Close();
+    });
+    while (auto v = queue.Pop()) singles_out.push_back(*v);
+    producer.join();
+  }
+  std::vector<int> bulk_out;
+  {
+    BoundedQueue<int> queue(8);
+    std::thread producer([&] {
+      std::vector<int> chunk;
+      int i = 0;
+      int chunk_size = 1;
+      while (i < kItems) {
+        chunk.clear();
+        for (int k = 0; k < chunk_size && i < kItems; ++k) chunk.push_back(i++);
+        ASSERT_EQ(queue.PushBulk(chunk.data(), chunk.size()), chunk.size());
+        chunk_size = chunk_size % 13 + 1;  // vary run lengths across laps
+      }
+      queue.Close();
+    });
+    while (queue.PopBulk(&bulk_out, 5) > 0) {
+    }
+    producer.join();
+  }
+  ASSERT_EQ(bulk_out.size(), singles_out.size());
+  EXPECT_EQ(bulk_out, singles_out);
+}
+
+TEST(BoundedQueueTest, BulkOpsHonorTermination) {
+  BoundedQueue<int> queue(2);
+  std::vector<int> items = {1, 2, 3, 4, 5};
+  std::thread producer([&] {
+    // Blocks mid-way (capacity 2), finishes once the consumer drains.
+    EXPECT_EQ(queue.PushBulk(items.data(), items.size()), items.size());
+    queue.Close();
+  });
+  std::vector<int> out;
+  while (queue.PopBulk(&out, 2) > 0) {
+  }
+  producer.join();
+  EXPECT_EQ(out, items);
+  EXPECT_EQ(queue.PopBulk(&out, 4), 0u) << "closed+drained stream ends";
+
+  BoundedQueue<int> cancelled(2);
+  cancelled.Cancel();
+  int v = 7;
+  EXPECT_EQ(cancelled.PushBulk(&v, 1), 0u);
+  EXPECT_EQ(cancelled.PopBulk(&out, 4), 0u);
+}
+
+TEST(BoundedQueueTest, ManyProducersBulkUnderContention) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 600;
+  BoundedQueue<int> queue(4);
+  std::atomic<int> active{kProducers};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<int> chunk;
+      for (int i = 0; i < kPerProducer;) {
+        chunk.clear();
+        for (int k = 0; k < 7 && i < kPerProducer; ++k) {
+          chunk.push_back(p * kPerProducer + i++);
+        }
+        ASSERT_EQ(queue.PushBulk(chunk.data(), chunk.size()), chunk.size());
+      }
+      if (active.fetch_sub(1) == 1) queue.Close();
+    });
+  }
+  std::vector<int> got;
+  while (queue.PopBulk(&got, 3) > 0) {
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_EQ(got.size(), static_cast<size_t>(kProducers) * kPerProducer);
+  std::vector<bool> seen(got.size(), false);
+  for (int v : got) {
+    ASSERT_FALSE(seen[v]) << "duplicate delivery of " << v;
+    seen[v] = true;
+  }
+}
+
 }  // namespace
 }  // namespace gpm

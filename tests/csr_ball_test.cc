@@ -1,0 +1,157 @@
+// Differential coverage for the CSR ball path: BallBuilderT<CsrGraph>
+// must produce node/edge-identical balls to BallBuilderT<Graph> — same
+// local graph (including edge labels), same to_global mapping, same
+// border flags — because CsrGraph::FromGraph preserves the finalized
+// adjacency order, so the BFS visits nodes identically. The parallel and
+// batch executors build every ball through the CSR snapshot; any drift
+// here would silently change Θ.
+
+#include "matching/ball.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csr_graph.h"
+#include "graph/generator.h"
+#include "graph/mutable_graph.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+// Exact equality of two balls built over the same finalized content.
+void ExpectBallsIdentical(const Ball& a, const Ball& b) {
+  ASSERT_EQ(a.center, b.center);
+  ASSERT_EQ(a.radius, b.radius);
+  EXPECT_EQ(a.to_global, b.to_global);
+  EXPECT_EQ(a.is_border, b.is_border);
+  EXPECT_TRUE(a.graph.StructurallyEqual(b.graph, /*compare_edge_labels=*/true))
+      << "center " << a.center << " radius " << a.radius;
+}
+
+TEST(CsrBallTest, TinyGraphBallsMatch) {
+  Graph g = MakeGraph({0, 1, 0, 2}, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  BallBuilder plain(g);
+  CsrBallBuilder flat(csr);
+  Ball a, b;
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
+    for (uint32_t r : {0u, 1u, 2u, 3u}) {
+      plain.Build(w, r, &a);
+      flat.Build(w, r, &b);
+      ExpectBallsIdentical(a, b);
+    }
+  }
+}
+
+TEST(CsrBallTest, RandomizedDifferentialAcrossGraphsAndRadii) {
+  Rng rng(20260808);
+  for (int round = 0; round < 6; ++round) {
+    const uint32_t n = 40 + static_cast<uint32_t>(rng.Uniform(160));
+    const double alpha = 1.0 + rng.NextDouble();
+    const uint32_t labels = 2 + static_cast<uint32_t>(rng.Uniform(5));
+    const Graph g = MakeUniform(n, alpha, labels, rng.Next());
+    const CsrGraph csr = CsrGraph::FromGraph(g);
+    BallBuilder plain(g);
+    CsrBallBuilder flat(csr);
+    Ball a, b;
+    for (int probe = 0; probe < 25; ++probe) {
+      const NodeId w = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+      const uint32_t r = static_cast<uint32_t>(rng.Uniform(4));
+      plain.Build(w, r, &a);
+      flat.Build(w, r, &b);
+      ExpectBallsIdentical(a, b);
+    }
+  }
+}
+
+TEST(CsrBallTest, BuilderReuseDoesNotLeakStateBetweenBalls) {
+  // One builder pair across many centers: the epoch-stamped scratch must
+  // never let a previous ball's membership bleed into the next.
+  const Graph g = MakeUniform(250, 1.3, 4, 77);
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  BallBuilder plain(g);
+  CsrBallBuilder flat(csr);
+  Ball a, b;
+  for (NodeId w = 0; w < 250; w += 3) {
+    plain.Build(w, 2, &a);
+    flat.Build(w, 2, &b);
+    ExpectBallsIdentical(a, b);
+  }
+}
+
+TEST(CsrBallTest, MutableGraphSnapshotInterop) {
+  // Evolve a MutableGraph through random inserts/removes, then check the
+  // incremental path's interop point: balls over the finalized Snapshot()
+  // equal balls over its CSR conversion, at every step.
+  Rng rng(431);
+  const Graph seed = MakeUniform(120, 1.2, 3, 9);
+  MutableGraph mg(seed);
+  Ball a, b;
+  for (int step = 0; step < 5; ++step) {
+    for (int mutation = 0; mutation < 10; ++mutation) {
+      const NodeId u = static_cast<NodeId>(rng.Uniform(mg.num_nodes()));
+      const NodeId v = static_cast<NodeId>(rng.Uniform(mg.num_nodes()));
+      if (rng.Uniform(3) == 0) {
+        (void)mg.RemoveEdge(u, v);
+      } else {
+        (void)mg.InsertEdge(u, v);
+      }
+    }
+    const Graph snapshot = mg.Snapshot();
+    const CsrGraph csr = CsrGraph::FromGraph(snapshot);
+    BallBuilder plain(snapshot);
+    CsrBallBuilder flat(csr);
+    for (int probe = 0; probe < 15; ++probe) {
+      const NodeId w = static_cast<NodeId>(rng.Uniform(snapshot.num_nodes()));
+      const uint32_t r = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      plain.Build(w, r, &a);
+      flat.Build(w, r, &b);
+      ExpectBallsIdentical(a, b);
+    }
+  }
+}
+
+TEST(CsrBallTest, MutableGraphBuilderAgreesOnBallContent) {
+  // BallBuilderT<MutableGraph> (the incremental executor's builder) sees
+  // insertion-order adjacency, so its BFS numbering may differ — but the
+  // ball *content* must agree with the finalized-snapshot builders: same
+  // member set, same border set, same induced edge count.
+  Rng rng(1213);
+  const Graph seed = MakeUniform(150, 1.25, 4, 5);
+  MutableGraph mg(seed);
+  for (int mutation = 0; mutation < 30; ++mutation) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(mg.num_nodes()));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(mg.num_nodes()));
+    (void)mg.InsertEdge(u, v);
+  }
+  const Graph snapshot = mg.Snapshot();
+  const CsrGraph csr = CsrGraph::FromGraph(snapshot);
+  BallBuilderT<MutableGraph> live(mg);
+  CsrBallBuilder flat(csr);
+  Ball a, b;
+  for (int probe = 0; probe < 20; ++probe) {
+    const NodeId w = static_cast<NodeId>(rng.Uniform(snapshot.num_nodes()));
+    const uint32_t r = 1 + static_cast<uint32_t>(rng.Uniform(3));
+    live.Build(w, r, &a);
+    flat.Build(w, r, &b);
+    const std::set<NodeId> live_nodes(a.to_global.begin(), a.to_global.end());
+    const std::set<NodeId> flat_nodes(b.to_global.begin(), b.to_global.end());
+    EXPECT_EQ(live_nodes, flat_nodes) << "center " << w << " radius " << r;
+    std::set<NodeId> live_border, flat_border;
+    for (NodeId local : a.BorderNodes()) live_border.insert(a.to_global[local]);
+    for (NodeId local : b.BorderNodes()) flat_border.insert(b.to_global[local]);
+    EXPECT_EQ(live_border, flat_border) << "center " << w << " radius " << r;
+    EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges())
+        << "center " << w << " radius " << r;
+  }
+}
+
+}  // namespace
+}  // namespace gpm

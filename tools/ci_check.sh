@@ -5,6 +5,7 @@
 #   tools/ci_check.sh            # fast gate (default)
 #   GPM_CI_SLOW=1 tools/ci_check.sh   # also run the slow-labeled suites
 #   GPM_CI_TSAN=1 tools/ci_check.sh   # ThreadSanitizer build + fast tests
+#   GPM_CI_ASAN=1 tools/ci_check.sh   # ASan+UBSan build + fast tests
 #   GPM_CI_UPDATE_BASELINE=1 tools/ci_check.sh   # refresh the snapshots
 #
 # The perf gates compare each bench in GATED_BENCHES against its
@@ -32,6 +33,21 @@ if [[ "${GPM_CI_TSAN:-0}" == "1" ]]; then
   echo "== TSan fast tests (ctest -L fast) =="
   ctest --test-dir "$TSAN_DIR" -L fast --output-on-failure -j "$(nproc)"
   echo "ci_check: TSan OK"
+  exit 0
+fi
+
+# ASan+UBSan mode: a separate -DGPM_ASAN=ON build tree running the fast
+# suite — lifetime/bounds coverage for the lock-free ring and the
+# per-worker scratch arenas, which TSan cannot see. Benches are skipped
+# for the same reason as under TSan.
+if [[ "${GPM_CI_ASAN:-0}" == "1" ]]; then
+  ASAN_DIR="${GPM_ASAN_BUILD_DIR:-build-asan}"
+  echo "== ASan configure + build ($ASAN_DIR) =="
+  cmake -B "$ASAN_DIR" -S . -DGPM_ASAN=ON >/dev/null
+  cmake --build "$ASAN_DIR" -j >/dev/null
+  echo "== ASan fast tests (ctest -L fast) =="
+  ctest --test-dir "$ASAN_DIR" -L fast --output-on-failure -j "$(nproc)"
+  echo "ci_check: ASan OK"
   exit 0
 fi
 

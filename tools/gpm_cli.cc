@@ -350,7 +350,7 @@ int RunBatch(const Args& args) {
   }
   std::vector<BatchItem> items;
   for (uint64_t r = 0; r < *repeat; ++r) {
-    for (const auto& pq : prepared) items.push_back({pq.get(), *request});
+    for (const auto& pq : prepared) items.push_back({pq.get(), *request, {}});
   }
 
   auto responses = engine.MatchBatch(*g, items);
