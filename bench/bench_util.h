@@ -43,6 +43,7 @@ inline Engine MeasurementEngine() {
   options.regex_filter_cache_capacity = 0;
   options.result_cache_capacity = 0;
   options.csr_snapshot_cache_capacity = 0;
+  options.aux_graph_cache_capacity = 0;
   return Engine(options);
 }
 

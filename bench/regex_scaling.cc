@@ -174,6 +174,27 @@ int main() {
   }
   std::printf("%s\n", site_table.Render().c_str());
 
+  // -- bounded radius: the landmark center index ---------------------------
+  // radius_override below the weighted radius is where the aux graph's
+  // landmark index fires for regex runs: a center that cannot reach a
+  // regex-filter survivor of every pattern node within the bounded radius
+  // skips its ball outright (balls_skipped_index). At the default
+  // weighted radius the index provably never fires.
+  request.policy = ExecPolicy::Serial();
+  request.options.radius_override = 1;
+  auto bounded = engine.Match(*prepared, g, request);
+  if (!bounded.ok()) {
+    std::printf("error: %s\n", bounded.status().ToString().c_str());
+    return 1;
+  }
+  request.options.radius_override = 0;
+  report.Add("bounded_radius", bounded->stats.total_seconds, bounded->stats);
+  std::printf("bounded radius 1: %zu results, %zu centers skipped by the "
+              "landmark index, %zu by the filter\n",
+              bounded->subgraphs.size(),
+              bounded->stats.balls_skipped_index,
+              bounded->stats.balls_skipped_filter);
+
   const double speedup4 = t4 > 0 ? t1 / t4 : 0;
   const double speedup8 = t8 > 0 ? t1 / t8 : 0;
   std::printf("4-thread speedup: %.2fx, 8-thread speedup: %.2fx\n", speedup4,
@@ -186,6 +207,9 @@ int main() {
   bench::ShapeCheck(balls_skipped_filter > 0,
                     "the global regex filter prunes centers "
                     "(balls_skipped_filter > 0)");
+  bench::ShapeCheck(bounded->stats.balls_skipped_index > 0,
+                    "the landmark index skips centers at bounded radius "
+                    "(balls_skipped_index > 0)");
   const unsigned cores = std::thread::hardware_concurrency();
   if (cores >= 4) {
     bench::ShapeCheck(speedup4 > 1.5,

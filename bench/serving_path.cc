@@ -86,6 +86,7 @@ int main() {
     total->result_cache_hits += one.result_cache_hits;
     total->result_cache_misses += one.result_cache_misses;
     total->balls_shared += one.balls_shared;
+    total->balls_skipped_index += one.balls_skipped_index;
     if (total->seconds_to_first_subgraph == 0) {
       total->seconds_to_first_subgraph = one.seconds_to_first_subgraph;
     }
@@ -281,5 +282,60 @@ int main() {
                         batch_ttfs <= 10 * lone_ttfs,
                     "streaming MatchBatch delivers its first subgraph "
                     "within 10x of a lone streaming match");
+
+  // -- 4. bounded radius: the landmark center index -----------------------
+  // radius_override below the pattern diameter is the serving shape where
+  // the aux graph's landmark index fires: a center whose ball cannot hold
+  // a witness for every pattern label within the radius skips its BFS
+  // entirely (MatchStats::balls_skipped_index). At the default radius dQ
+  // the index provably never fires — every dual-filter survivor has its
+  // witnesses within dQ by construction — so this section is the one that
+  // exercises (and gates) the skip path. The warm pass additionally hits
+  // the engine's aux-graph memo, skipping the pruned-adjacency build.
+  // Result cache off so the warm pass re-runs the ball loop (hitting the
+  // filter + aux memos) instead of being served the materialized answer.
+  EngineOptions bounded_options;
+  bounded_options.result_cache_capacity = 0;
+  const Engine bounded_engine(bounded_options);
+  MatchRequest bounded_request = request;
+  bounded_request.options.radius_override = 1;
+  TablePrinter bounded_table(
+      {"pass", "time(s)", "results", "balls skipped (index)"});
+  size_t bounded_skips = 0;
+  size_t bounded_results[2] = {0, 0};
+  for (int pass = 0; pass < 2; ++pass) {
+    MatchStats bounded_stats;
+    Timer bounded_timer;
+    for (const auto& pq : prepared) {
+      auto response = bounded_engine.Match(*pq, g, bounded_request);
+      if (!response.ok()) {
+        std::printf("error: %s\n", response.status().ToString().c_str());
+        return 1;
+      }
+      bounded_results[pass] += response->subgraphs.size();
+      accumulate(&bounded_stats, response->stats);
+    }
+    bounded_stats.total_seconds = bounded_timer.Seconds();
+    bounded_skips = bounded_stats.balls_skipped_index;
+    report.Add(pass == 0 ? "bounded_radius_cold" : "bounded_radius_warm",
+               bounded_stats.total_seconds, bounded_stats);
+    bounded_table.AddRow({pass == 0 ? "cold" : "warm",
+                          FormatDouble(bounded_stats.total_seconds, 4),
+                          std::to_string(bounded_results[pass]),
+                          std::to_string(bounded_stats.balls_skipped_index)});
+  }
+  std::printf("\nbounded radius (radius_override=1):\n%s",
+              bounded_table.Render().c_str());
+  const EngineCacheStats bounded_cache = bounded_engine.cache_stats();
+  std::printf("aux-graph memo: %llu/%llu hits\n",
+              static_cast<unsigned long long>(bounded_cache.aux.hits),
+              static_cast<unsigned long long>(bounded_cache.aux.lookups));
+  bench::ShapeCheck(bounded_results[0] == bounded_results[1],
+                    "bounded-radius warm pass returns the cold results");
+  bench::ShapeCheck(bounded_skips > 0,
+                    "the landmark index skips centers at bounded radius "
+                    "(balls_skipped_index > 0)");
+  bench::ShapeCheck(bounded_cache.aux.hits > 0,
+                    "warm bounded-radius passes hit the aux-graph memo");
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "common/timer.h"
 #include "extensions/regex_strong.h"
 #include "graph/components.h"
+#include "matching/aux_graph.h"
 #include "matching/ball.h"
 #include "matching/bounded_simulation.h"
 #include "matching/dual_simulation.h"
@@ -27,24 +28,26 @@
 namespace gpm {
 
 /// The shared, thread-safe serving-path state behind every copy of one
-/// Engine: the five LRU caches plus the data-version counter that keys
+/// Engine: the six LRU caches plus the data-version counter that keys
 /// the data-dependent memos (see engine_cache.h for the invalidation
 /// contract).
 struct Engine::CacheState {
   CacheState(size_t prepared_capacity, size_t filter_capacity,
              size_t regex_filter_capacity, size_t result_capacity,
-             size_t csr_capacity)
+             size_t csr_capacity, size_t aux_capacity)
       : prepared(prepared_capacity),
         filter(filter_capacity),
         regex_filter(regex_filter_capacity),
         results(result_capacity),
-        csr(csr_capacity) {}
+        csr(csr_capacity),
+        aux(aux_capacity) {}
 
   PreparedQueryCache prepared;
   DualFilterCache filter;
   RegexFilterCache regex_filter;
   MatchResultCache results;
   CsrSnapshotCache csr;
+  AuxGraphCache aux;
   std::atomic<uint64_t> data_version{0};
 };
 
@@ -55,7 +58,8 @@ Engine::Engine(EngineOptions options)
       caches_(std::make_shared<CacheState>(
           options.prepared_cache_capacity, options.filter_cache_capacity,
           options.regex_filter_cache_capacity, options.result_cache_capacity,
-          options.csr_snapshot_cache_capacity)) {}
+          options.csr_snapshot_cache_capacity,
+          options.aux_graph_cache_capacity)) {}
 
 void Engine::TickDataVersion() const {
   caches_->data_version.fetch_add(1, std::memory_order_acq_rel);
@@ -68,6 +72,7 @@ EngineCacheStats Engine::cache_stats() const {
   out.regex_filter = caches_->regex_filter.Stats();
   out.results = caches_->results.Stats();
   out.csr = caches_->csr.Stats();
+  out.aux = caches_->aux.Stats();
   out.data_version = caches_->data_version.load(std::memory_order_acquire);
   return out;
 }
@@ -103,6 +108,40 @@ MatchOptions EffectiveOptions(const MatchRequest& request) {
     return options;
   }
   return request.options;
+}
+
+// The MatchOptions a kRegexStrong request actually executes: `dedup` and
+// `radius_override` are honored (same fields kStrongPlus honors); the
+// §4.2 toggles are meaningless for the regex notion — the regex filter is
+// always on and the minQ quotient is defined for plain patterns only — so
+// a request that sets one gets a named error instead of a silent ignore.
+// The returned options also key the result cache, so requests differing
+// only in the always-on dual_filter flag share one entry.
+Result<MatchOptions> EffectiveRegexOptions(const MatchRequest& request) {
+  const MatchOptions& requested = request.options;
+  if (requested.minimize_query) {
+    return Status::InvalidArgument(
+        "MatchOptions::minimize_query does not apply to Algo::kRegexStrong: "
+        "the minQ quotient is defined for plain patterns only");
+  }
+  if (requested.connectivity_pruning) {
+    return Status::InvalidArgument(
+        "MatchOptions::connectivity_pruning does not apply to "
+        "Algo::kRegexStrong: the virtual match graph has its own "
+        "center-component extraction");
+  }
+  if (request.policy.kind == ExecPolicy::Kind::kDistributed &&
+      !requested.dedup) {
+    return Status::InvalidArgument(
+        "MatchOptions::dedup=false is not supported by distributed "
+        "Algo::kRegexStrong runs: sites dedup during reassembly; rerun "
+        "under ExecPolicy::Serial or ExecPolicy::Parallel for the raw "
+        "one-result-per-ball stream");
+  }
+  MatchOptions effective;
+  effective.dedup = requested.dedup;
+  effective.radius_override = requested.radius_override;
+  return effective;
 }
 
 // Key of the materialized-result cache for one (query, options, policy,
@@ -265,6 +304,25 @@ std::shared_ptr<const CsrGraph> Engine::LookupCsr(const Graph& g) const {
   return caches_->csr.Put(key, CsrGraph::FromGraph(g));
 }
 
+std::shared_ptr<const AuxGraphResult> Engine::LookupAux(
+    const PreparedQuery& query, const Graph& g, bool minimize_query,
+    uint32_t radius, const CsrGraph& csr, const DualFilterResult& filter,
+    bool* aux_miss) const {
+  if (caches_->aux.capacity() == 0) return nullptr;
+  AuxGraphKey key;
+  key.pattern_fingerprint = query.fingerprint();
+  key.minimize_query = minimize_query;
+  key.radius = radius;
+  key.data_graph_id = g.instance_id();
+  key.data_version = caches_->data_version.load(std::memory_order_acquire);
+  if (auto hit = caches_->aux.Get(key)) return hit;
+  *aux_miss = true;
+  return caches_->aux.Put(
+      key, query.has_regex()
+               ? BuildRegexAuxGraph(query.regex(), csr, filter, radius)
+               : BuildAuxGraph(csr, filter, radius));
+}
+
 Result<MatchResponse> Engine::Match(const PreparedQuery& query, const Graph& g,
                                     const MatchRequest& request) const {
   return Dispatch(query, g, request, nullptr);
@@ -341,15 +399,18 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
   if (request.algo == Algo::kRegexStrong) {
     if (!query.strong_status().ok()) return query.strong_status();
     // Same serving path as the plain strong family: result cache for
-    // exact repeats (request.options are ignored by regex runs, so the
-    // key carries the defaults — requests differing only in ignored
-    // knobs share one entry), regex-filter memo for warm starts.
+    // exact repeats (keyed on the *effective* regex options — dedup and
+    // radius_override; the §4.2 toggles are named errors above, so
+    // requests differing only in normalized-away knobs share one entry),
+    // regex-filter memo for warm starts.
+    GPM_ASSIGN_OR_RETURN(const MatchOptions regex_options,
+                         EffectiveRegexOptions(request));
     std::optional<MatchResultKey> result_key;
     if (sink == nullptr &&
         request.policy.kind != ExecPolicy::Kind::kDistributed &&
         caches_->results.capacity() > 0) {
       result_key = MakeResultKey(
-          query.fingerprint(), MatchOptions{}, request.policy, &g,
+          query.fingerprint(), regex_options, request.policy, &g,
           caches_->data_version.load(std::memory_order_acquire));
       if (auto hit = caches_->results.Get(*result_key)) {
         response.subgraphs = hit->subgraphs;
@@ -375,24 +436,43 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
         request.policy.kind != ExecPolicy::Kind::kDistributed ? LookupCsr(g)
                                                               : nullptr;
     const CsrGraph* csr = csr_keepalive.get();
-    const auto annotate = [&memo](MatchStats* stats) {
+    // Memoized pruned auxiliary graph + landmark center index for the
+    // in-process executors (they build one locally when null — the aux
+    // cache is off, or the filter was bypassed/proved Θ empty).
+    const uint32_t radius = regex_options.radius_override != 0
+                                ? regex_options.radius_override
+                                : query.regex_radius();
+    std::shared_ptr<const AuxGraphResult> aux_keepalive;
+    bool aux_miss = false;
+    if (memo.filter != nullptr && !memo.filter->proven_empty &&
+        csr != nullptr) {
+      aux_keepalive = LookupAux(query, g, /*minimize_query=*/false, radius,
+                                *csr, *memo.filter, &aux_miss);
+    }
+    const AuxGraphResult* aux = aux_keepalive.get();
+    const auto annotate = [&memo, &aux_keepalive, aux_miss](MatchStats* stats) {
       stats->filter_cache_hits = memo.hit ? 1 : 0;
       stats->filter_cache_misses = memo.miss ? 1 : 0;
       // A miss paid the global regex fixpoint while filling the cache;
-      // put that cost back on this call's ledger (see LookupFilter).
+      // put that cost back on this call's ledger (see LookupFilter). Same
+      // for the aux build LookupAux paid on its miss.
       if (memo.miss) {
-        stats->global_filter_seconds = memo.filter->seconds;
+        stats->global_filter_seconds += memo.filter->seconds;
         stats->total_seconds += memo.filter->seconds;
       }
+      if (aux_miss) {
+        stats->global_filter_seconds += aux_keepalive->seconds;
+        stats->total_seconds += aux_keepalive->seconds;
+      }
     };
-    const uint32_t radius = query.regex_radius();
     switch (request.policy.kind) {
       case ExecPolicy::Kind::kSerial: {
         if (sink != nullptr) {
           GPM_ASSIGN_OR_RETURN(
               response.subgraphs_delivered,
               MatchStrongRegexStream(query.regex(), g, radius, *sink,
-                                     &response.stats, filter, csr));
+                                     &response.stats, filter, csr, aux,
+                                     regex_options.dedup));
           annotate(&response.stats);
           response.matched = response.subgraphs_delivered > 0;
           response.seconds = timer.Seconds();
@@ -400,7 +480,8 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
         }
         GPM_ASSIGN_OR_RETURN(response.subgraphs,
                              MatchStrongRegex(query.regex(), g, radius,
-                                              &response.stats, filter, csr));
+                                              &response.stats, filter, csr,
+                                              aux, regex_options.dedup));
         break;
       }
       case ExecPolicy::Kind::kParallel: {
@@ -410,7 +491,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
               MatchStrongRegexParallelStream(query.regex(), g, radius,
                                              request.policy.num_threads,
                                              *sink, &response.stats, filter,
-                                             csr));
+                                             csr, aux, regex_options.dedup));
           annotate(&response.stats);
           response.matched = response.subgraphs_delivered > 0;
           response.seconds = timer.Seconds();
@@ -420,7 +501,8 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
             response.subgraphs,
             MatchStrongRegexParallel(query.regex(), g, radius,
                                      request.policy.num_threads,
-                                     &response.stats, filter, csr));
+                                     &response.stats, filter, csr, aux,
+                                     regex_options.dedup));
         break;
       }
       case ExecPolicy::Kind::kDistributed: {
@@ -490,16 +572,35 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
         request.policy.kind != ExecPolicy::Kind::kDistributed ? LookupCsr(g)
                                                               : nullptr;
     const CsrGraph* csr = csr_keepalive.get();
-    const auto annotate = [&memo](MatchStats* stats) {
+    // Memoized pruned auxiliary graph + landmark center index for
+    // dual-filtered in-process runs (the executors build one locally when
+    // null and the dual filter is on; non-filtered runs never use one).
+    std::shared_ptr<const AuxGraphResult> aux_keepalive;
+    bool aux_miss = false;
+    if (options.dual_filter && memo.filter != nullptr &&
+        !memo.filter->proven_empty && csr != nullptr) {
+      const uint32_t radius = options.radius_override != 0
+                                  ? options.radius_override
+                                  : query.diameter();
+      aux_keepalive = LookupAux(query, g, options.minimize_query, radius,
+                                *csr, *memo.filter, &aux_miss);
+    }
+    const AuxGraphResult* aux = aux_keepalive.get();
+    const auto annotate = [&memo, &aux_keepalive, aux_miss](MatchStats* stats) {
       stats->filter_cache_hits = memo.hit ? 1 : 0;
       stats->filter_cache_misses = memo.miss ? 1 : 0;
       // The miss paid the fixpoint while filling the cache, outside the
       // matcher's own timer; put its cost back on this call's ledger —
       // both fields, preserving total_seconds >= global_filter_seconds.
-      // A hit's cost is ~0.
+      // A hit's cost is ~0. Same for the aux build LookupAux paid on its
+      // miss.
       if (memo.miss) {
-        stats->global_filter_seconds = memo.filter->seconds;
+        stats->global_filter_seconds += memo.filter->seconds;
         stats->total_seconds += memo.filter->seconds;
+      }
+      if (aux_miss) {
+        stats->global_filter_seconds += aux_keepalive->seconds;
+        stats->total_seconds += aux_keepalive->seconds;
       }
     };
     switch (request.policy.kind) {
@@ -509,7 +610,8 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
           GPM_ASSIGN_OR_RETURN(
               response.subgraphs_delivered,
               MatchStrongStream(query.pattern(), g, options, *sink,
-                                &response.stats, &query.prep(), filter, csr));
+                                &response.stats, &query.prep(), filter, csr,
+                                aux));
           annotate(&response.stats);
           response.matched = response.subgraphs_delivered > 0;
           response.seconds = timer.Seconds();
@@ -518,7 +620,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
         GPM_ASSIGN_OR_RETURN(response.subgraphs,
                              MatchStrong(query.pattern(), g, options,
                                          &response.stats, &query.prep(),
-                                         filter, csr));
+                                         filter, csr, aux));
         break;
       }
       case ExecPolicy::Kind::kParallel: {
@@ -530,7 +632,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
               MatchStrongParallelStream(query.pattern(), g, options,
                                         request.policy.num_threads, *sink,
                                         &response.stats, &query.prep(),
-                                        filter, csr));
+                                        filter, csr, aux));
           annotate(&response.stats);
           response.matched = response.subgraphs_delivered > 0;
           response.seconds = timer.Seconds();
@@ -540,7 +642,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
             response.subgraphs,
             MatchStrongParallel(query.pattern(), g, options,
                                 request.policy.num_threads, &response.stats,
-                                &query.prep(), filter, csr));
+                                &query.prep(), filter, csr, aux));
         break;
       }
       case ExecPolicy::Kind::kDistributed: {
@@ -608,6 +710,16 @@ struct BatchPlan {
   internal::RunState state;
   internal::MatchContext context;
   internal::RegexRunState regex_state;
+  // The pruned auxiliary graph this plan's ball loop runs over (null for
+  // non-dual-filtered plain plans): the engine memo when the aux cache
+  // hit, `aux_storage` when the plan built its own. Only its
+  // landmark-filtered center list feeds the shared loop unconditionally;
+  // its adjacency is used iff the whole radius group shares one aux (see
+  // MatchBatch).
+  std::shared_ptr<const AuxGraphResult> aux_keepalive;
+  AuxGraphResult aux_storage;
+  const AuxGraphResult* aux = nullptr;
+  bool aux_miss = false;
   DynamicBitset wants;  // over V(g): centers this request visits
   bool parallel = false;
   size_t threads = 0;
@@ -633,8 +745,10 @@ struct BatchPlan {
   }
 
   // The centers this plan's ball loop visits (valid once its run state
-  // is built and not proven empty).
+  // is built and not proven empty): the landmark-filtered list when an
+  // aux graph is attached, the filter's survivors otherwise.
   const std::vector<NodeId>& Centers() const {
+    if (aux != nullptr) return aux->centers;
     return is_regex ? *regex_state.centers : *state.centers;
   }
 
@@ -651,8 +765,9 @@ struct BatchPlan {
     MatchStats& stats = response.stats;
     ScopedSecondsAccumulator emit_stage(&stats.emit_seconds);
     // First-arrival dedup, like the lone streaming Match (regex plans
-    // carry default options, whose dedup is on — matching the lone regex
-    // stream's unconditional dedup).
+    // carry their effective options — EffectiveRegexOptions — so a
+    // dedup=false regex item streams raw, matching the lone regex
+    // stream).
     if (options.dedup && !seen_hashes.insert(pg.ContentHash()).second) {
       ++stats.duplicates_removed;
       return;
@@ -683,37 +798,50 @@ size_t CountInterested(const std::vector<BatchPlan*>& group, NodeId center) {
 // plan see exactly the center sequence of its lone serial Match — which
 // is also what lets streaming plans deliver with first-arrival dedup and
 // match the lone stream byte for byte.
-void RunBatchGroupSerial(const CsrGraph& csr, uint32_t radius,
-                         const std::vector<NodeId>& merged,
+void RunBatchGroupSerial(const CsrGraph& csr, const AuxGraphResult* group_aux,
+                         uint32_t radius, const std::vector<NodeId>& merged,
                          const std::vector<BatchPlan*>& group,
                          const Timer& batch_timer) {
-  CsrBallBuilder builder(csr);
   Ball ball;
   internal::MatchScratch scratch;
   internal::RegexBallScratch regex_scratch;
-  for (NodeId center : merged) {
-    const size_t interested = CountInterested(group, center);
-    if (interested == 0) continue;  // every wanting plan has stopped
-    Timer build_timer;
-    builder.Build(center, radius, &ball);
-    const double build_seconds = build_timer.Seconds();
-    for (BatchPlan* plan : group) {
-      if (!plan->Wants(center)) continue;
-      plan->response.stats.ball_build_seconds += build_seconds;
-      if (interested > 1) ++plan->response.stats.balls_shared;
-      auto pg = plan->Process(ball, &plan->response.stats, &scratch,
-                              &regex_scratch);
-      if (!pg.has_value()) continue;
-      if (plan->sink != nullptr) {
-        plan->Deliver(std::move(*pg), batch_timer);
-        continue;
+  auto scan = [&](auto& builder) {
+    for (NodeId center : merged) {
+      const size_t interested = CountInterested(group, center);
+      if (interested == 0) continue;  // every wanting plan has stopped
+      Timer build_timer;
+      builder.Build(center, radius, &ball);
+      // One shared build, its cost amortized across the plans that use
+      // it: each interested plan is charged its share, so summed batch
+      // stats reflect the work actually done (not `interested` copies
+      // of it).
+      const double build_seconds =
+          build_timer.Seconds() / static_cast<double>(interested);
+      for (BatchPlan* plan : group) {
+        if (!plan->Wants(center)) continue;
+        plan->response.stats.ball_build_seconds += build_seconds;
+        if (interested > 1) ++plan->response.stats.balls_shared;
+        auto pg = plan->Process(ball, &plan->response.stats, &scratch,
+                                &regex_scratch);
+        if (!pg.has_value()) continue;
+        if (plan->sink != nullptr) {
+          plan->Deliver(std::move(*pg), batch_timer);
+          continue;
+        }
+        if (plan->raw.empty()) {
+          plan->response.stats.seconds_to_first_subgraph =
+              batch_timer.Seconds();
+        }
+        plan->raw.push_back(std::move(*pg));
       }
-      if (plan->raw.empty()) {
-        plan->response.stats.seconds_to_first_subgraph =
-            batch_timer.Seconds();
-      }
-      plan->raw.push_back(std::move(*pg));
     }
+  };
+  if (group_aux != nullptr) {
+    AuxBallBuilder builder(csr, *group_aux);
+    scan(builder);
+  } else {
+    CsrBallBuilder builder(csr);
+    scan(builder);
   }
 }
 
@@ -723,7 +851,8 @@ void RunBatchGroupSerial(const CsrGraph& csr, uint32_t radius,
 // queue to the draining caller — the PR 2 streaming pipeline with a plan
 // tag on each item. The drainer hands streaming plans' subgraphs to their
 // sinks in arrival order (one thread, honoring the sink contract).
-void RunBatchGroupParallel(const CsrGraph& csr, uint32_t radius,
+void RunBatchGroupParallel(const CsrGraph& csr,
+                           const AuxGraphResult* group_aux, uint32_t radius,
                            const std::vector<NodeId>& merged,
                            const std::vector<BatchPlan*>& group,
                            size_t num_threads, const Timer& batch_timer) {
@@ -745,29 +874,40 @@ void RunBatchGroupParallel(const CsrGraph& csr, uint32_t radius,
       pool.Submit([&, s] {
         const size_t begin = s * per_shard;
         const size_t end = std::min(merged.size(), begin + per_shard);
-        CsrBallBuilder builder(csr);
         Ball ball;
         internal::MatchScratch scratch;
         internal::RegexBallScratch regex_scratch;
-        for (size_t i = begin; i < end; ++i) {
-          const NodeId center = merged[i];
-          const size_t interested = CountInterested(group, center);
-          if (interested == 0) continue;  // every wanting plan stopped
-          Timer build_timer;
-          builder.Build(center, radius, &ball);
-          const double build_seconds = build_timer.Seconds();
-          for (size_t p = 0; p < group.size(); ++p) {
-            if (!group[p]->Wants(center)) continue;
-            shard_stats[s][p].ball_build_seconds += build_seconds;
-            if (interested > 1) ++shard_stats[s][p].balls_shared;
-            auto pg = group[p]->Process(ball, &shard_stats[s][p], &scratch,
-                                        &regex_scratch);
-            // Push cannot fail here: a batch has no whole-queue early
-            // stop (a stopped streaming plan just stops being wanted), so
-            // the drainer never cancels and Close happens only after the
-            // last producer exits.
-            if (pg.has_value()) queue.Push({p, std::move(*pg)});
+        auto run = [&](auto& builder) {
+          for (size_t i = begin; i < end; ++i) {
+            const NodeId center = merged[i];
+            const size_t interested = CountInterested(group, center);
+            if (interested == 0) continue;  // every wanting plan stopped
+            Timer build_timer;
+            builder.Build(center, radius, &ball);
+            // Shared build cost amortized across interested plans (see
+            // RunBatchGroupSerial).
+            const double build_seconds =
+                build_timer.Seconds() / static_cast<double>(interested);
+            for (size_t p = 0; p < group.size(); ++p) {
+              if (!group[p]->Wants(center)) continue;
+              shard_stats[s][p].ball_build_seconds += build_seconds;
+              if (interested > 1) ++shard_stats[s][p].balls_shared;
+              auto pg = group[p]->Process(ball, &shard_stats[s][p], &scratch,
+                                          &regex_scratch);
+              // Push cannot fail here: a batch has no whole-queue early
+              // stop (a stopped streaming plan just stops being wanted),
+              // so the drainer never cancels and Close happens only after
+              // the last producer exits.
+              if (pg.has_value()) queue.Push({p, std::move(*pg)});
+            }
           }
+        };
+        if (group_aux != nullptr) {
+          AuxBallBuilder builder(csr, *group_aux);
+          run(builder);
+        } else {
+          CsrBallBuilder builder(csr);
+          run(builder);
         }
         if (active_producers.fetch_sub(1) == 1) queue.Close();
       });
@@ -894,9 +1034,20 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     plan.index = i;
     plan.is_regex = regex_strong;
     if (item.sink) plan.sink = &item.sink;
-    // Regex runs ignore request.options (same rule as lone Dispatch, so
-    // the result-cache key below matches the lone Match's).
-    plan.options = regex_strong ? MatchOptions{} : EffectiveOptions(request);
+    // Effective options — the same normalization as lone Dispatch, so the
+    // result-cache key below matches the lone Match's. A regex item with
+    // unsupported §4.2 toggles gets the same named error a lone Match
+    // would.
+    if (regex_strong) {
+      Result<MatchOptions> regex_options = EffectiveRegexOptions(request);
+      if (!regex_options.ok()) {
+        out[i] = regex_options.status();
+        continue;
+      }
+      plan.options = std::move(regex_options).ValueOrDie();
+    } else {
+      plan.options = EffectiveOptions(request);
+    }
     // An exactly repeated request is served from the result cache — same
     // contract as a lone Match (batch items are non-distributed by the
     // batchable definition above; streaming items always execute, like a
@@ -941,6 +1092,22 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     plans.push_back(std::move(plan));
   }
 
+  // One CSR snapshot serves every group (memoized across calls when the
+  // snapshot cache is on). Resolved before the run states so the per-plan
+  // aux graphs below can be built from it.
+  std::shared_ptr<const CsrGraph> csr_keepalive;
+  CsrGraph local_csr;
+  const CsrGraph* csr = nullptr;
+  if (!plans.empty()) {
+    csr_keepalive = LookupCsr(g);
+    if (csr_keepalive != nullptr) {
+      csr = csr_keepalive.get();
+    } else {
+      local_csr = CsrGraph::FromGraph(g);
+      csr = &local_csr;
+    }
+  }
+
   // Build run states at the plans' final addresses and group by radius —
   // balls are shareable exactly within one (center, radius) space, so a
   // regex plan lands in the same group as plain plans whose diameter
@@ -950,9 +1117,12 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     const BatchItem& item = items[plan.index];
     uint32_t plan_radius = 0;
     if (plan.is_regex) {
+      const uint32_t requested_radius = plan.options.radius_override != 0
+                                            ? plan.options.radius_override
+                                            : item.query->regex_radius();
       const Status built = internal::BuildRegexRunState(
-          item.query->regex(), g, item.query->regex_radius(),
-          plan.memo.get(), &plan.regex_state, &plan.response.stats);
+          item.query->regex(), g, requested_radius, plan.memo.get(),
+          &plan.regex_state, &plan.response.stats);
       if (!built.ok()) {
         out[plan.index] = built;
         plan.dead = true;
@@ -960,8 +1130,6 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
       }
       if (plan.regex_state.proven_empty) continue;  // finalized below
       plan_radius = plan.regex_state.context.radius;
-      plan.wants = DynamicBitset(g.num_nodes());
-      for (NodeId center : *plan.regex_state.centers) plan.wants.Set(center);
     } else {
       const Status built = internal::BuildRunState(
           item.query->pattern(), g, plan.options, item.query->prep(),
@@ -979,25 +1147,42 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
       plan.context.radius = plan.state.radius;
       plan.context.options = plan.options;
       plan_radius = plan.state.radius;
-      plan.wants = DynamicBitset(g.num_nodes());
-      for (NodeId center : *plan.state.centers) plan.wants.Set(center);
     }
+    // Attach the pruned auxiliary graph + landmark center index (the
+    // engine memo when the aux cache is on, a local build otherwise) —
+    // same eligibility as lone Dispatch: regex plans always, plain plans
+    // when the dual filter ran. Identical repeated queries get the same
+    // shared memo, which is what lets a whole radius group run over one
+    // pruned adjacency below.
+    const DualFilterResult* aux_filter = nullptr;
+    if (plan.is_regex) {
+      aux_filter = plan.memo != nullptr ? plan.memo.get()
+                                        : &plan.regex_state.filter_storage;
+    } else if (plan.state.global_bits != nullptr) {
+      aux_filter =
+          plan.memo != nullptr ? plan.memo.get() : &plan.state.filter_storage;
+    }
+    if (aux_filter != nullptr) {
+      plan.aux_keepalive =
+          LookupAux(*item.query, g, plan.options.minimize_query, plan_radius,
+                    *csr, *aux_filter, &plan.aux_miss);
+      if (plan.aux_keepalive != nullptr) {
+        plan.aux = plan.aux_keepalive.get();
+      } else {
+        plan.aux_storage =
+            plan.is_regex
+                ? BuildRegexAuxGraph(item.query->regex(), *csr, *aux_filter,
+                                     plan_radius)
+                : BuildAuxGraph(*csr, *aux_filter, plan_radius);
+        plan.aux = &plan.aux_storage;
+        plan.aux_miss = true;
+      }
+      plan.response.stats.balls_skipped_index =
+          plan.aux->centers_skipped_index;
+    }
+    plan.wants = DynamicBitset(g.num_nodes());
+    for (NodeId center : plan.Centers()) plan.wants.Set(center);
     by_radius[plan_radius].push_back(&plan);
-  }
-
-  // One CSR snapshot serves every group (memoized across calls when the
-  // snapshot cache is on).
-  std::shared_ptr<const CsrGraph> csr_keepalive;
-  CsrGraph local_csr;
-  const CsrGraph* csr = nullptr;
-  if (!by_radius.empty()) {
-    csr_keepalive = LookupCsr(g);
-    if (csr_keepalive != nullptr) {
-      csr = csr_keepalive.get();
-    } else {
-      local_csr = CsrGraph::FromGraph(g);
-      csr = &local_csr;
-    }
   }
 
   for (auto& [radius, group] : by_radius) {
@@ -1014,6 +1199,21 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     std::sort(merged.begin(), merged.end());
     merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
 
+    // The group's shared balls come from the pruned adjacency only when
+    // every member runs over the *same* aux graph (identical repeated
+    // queries sharing one engine memo — the common serving shape): a
+    // ball's kept-node rule is per-pattern, so mixed groups build full
+    // balls instead and let each plan's refinement discard the rest —
+    // byte-identical either way (the per-ball fixpoint kills
+    // non-survivors the pruned builder would have omitted).
+    const AuxGraphResult* group_aux = group.front()->aux;
+    for (const BatchPlan* plan : group) {
+      if (plan->aux != group_aux) {
+        group_aux = nullptr;
+        break;
+      }
+    }
+
     // The group runs multi-threaded iff any member asked for it, with the
     // largest requested worker count (0 = hardware concurrency).
     bool parallel = false;
@@ -1028,10 +1228,11 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
       threads = std::max(threads, requested);
     }
     if (parallel && threads > 1) {
-      RunBatchGroupParallel(*csr, radius, merged, group, threads,
+      RunBatchGroupParallel(*csr, group_aux, radius, merged, group, threads,
                             batch_timer);
     } else {
-      RunBatchGroupSerial(*csr, radius, merged, group, batch_timer);
+      RunBatchGroupSerial(*csr, group_aux, radius, merged, group,
+                          batch_timer);
     }
   }
 
@@ -1059,7 +1260,13 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     response.stats.filter_cache_hits = plan.memo_hit ? 1 : 0;
     response.stats.filter_cache_misses = plan.memo_miss ? 1 : 0;
     if (plan.memo_miss) {
-      response.stats.global_filter_seconds = plan.memo->seconds;
+      response.stats.global_filter_seconds += plan.memo->seconds;
+    }
+    // An aux-cache miss (or a local build when the cache is off) paid the
+    // pruned-adjacency + landmark-index construction on this plan's
+    // behalf; put it on the same ledger as the filter it derives from.
+    if (plan.aux_miss) {
+      response.stats.global_filter_seconds += plan.aux->seconds;
     }
     response.stats.total_seconds = batch_timer.Seconds();
     response.seconds = batch_timer.Seconds();

@@ -51,7 +51,7 @@
 //     subgraph reached the sink — the serving-path latency metric
 //     (strictly below total wall time whenever the run found anything).
 //
-// Serving path (caching + batching): the engine carries five bounded,
+// Serving path (caching + batching): the engine carries six bounded,
 // thread-safe LRU caches shared by every copy of it —
 //
 //   - PrepareCached(pattern) keys compiled queries on the pattern's
@@ -75,6 +75,12 @@
 //   - The flat CSR snapshot the ball builders read is memoized per (data
 //     graph, data version), so repeat requests — any pattern — skip the
 //     O(V + E) conversion (EngineOptions::csr_snapshot_cache_capacity).
+//   - The pruned auxiliary adjacency + landmark center index the ball
+//     executors run over (matching/aux_graph.h) is memoized per
+//     (pattern, effective radius, data graph, data version), so repeat
+//     requests skip rebuilding it and start the ball loop directly on
+//     the index-filtered center list
+//     (EngineOptions::aux_graph_cache_capacity).
 //   - MatchBatch(g, items) answers many requests against one data graph,
 //     building each distinct (center, radius) ball once — plain strong
 //     and regex items with the same (center, weighted-radius) share the
@@ -149,6 +155,13 @@ struct EngineOptions {
   /// graph skip the O(V + E) conversion. 0 disables memoization (each run
   /// converts locally — results identical).
   size_t csr_snapshot_cache_capacity = 8;
+  /// Capacity of the per-(pattern, radius, data graph) auxiliary-graph
+  /// memo LRU (matching/aux_graph.h): the pruned survivor-only adjacency
+  /// plus the landmark-filtered center list every ball executor runs
+  /// over. Memoizing it means repeat requests skip rebuilding the pruned
+  /// CSR and the bounded landmark BFS. 0 disables memoization (each run
+  /// builds locally — results identical).
+  size_t aux_graph_cache_capacity = 8;
 };
 
 /// \brief One request of a MatchBatch: a prepared query plus the request
@@ -169,11 +182,12 @@ struct BatchItem {
 /// \brief The unified facade over every matcher in the library.
 ///
 /// Carries no per-call state: cheap to copy and safe to share across
-/// threads (each Match call has its own scratch). Copies share the five
+/// threads (each Match call has its own scratch). Copies share the six
 /// serving-path caches — prepared queries, dual-filter memos, regex-filter
-/// memos, materialized results, CSR snapshots (thread-safe; see
-/// engine_cache.h and EngineCacheStats) — so handing the same engine — or
-/// copies of it — to many serving threads is the intended deployment.
+/// memos, materialized results, CSR snapshots, auxiliary-graph memos
+/// (thread-safe; see engine_cache.h and EngineCacheStats) — so handing the
+/// same engine — or copies of it — to many serving threads is the intended
+/// deployment.
 class Engine {
  public:
   Engine();
@@ -265,7 +279,7 @@ class Engine {
   /// "recompute everything" moments. See engine_cache.h.
   void TickDataVersion() const;
 
-  /// Snapshot of all five caches' counters plus the current data version.
+  /// Snapshot of all six caches' counters plus the current data version.
   EngineCacheStats cache_stats() const;
 
   const EngineOptions& options() const { return options_; }
@@ -304,6 +318,18 @@ class Engine {
   /// null when the snapshot cache is disabled (callees then convert
   /// locally).
   std::shared_ptr<const CsrGraph> LookupCsr(const Graph& g) const;
+
+  /// The memoized auxiliary graph (pruned adjacency + landmark center
+  /// index) for one strong-family call at the given effective ball
+  /// radius, or null when the aux cache is disabled (callees then build
+  /// locally). On a miss the aux graph is built here — from
+  /// BuildRegexAuxGraph for regex queries, BuildAuxGraph otherwise — and
+  /// cached; `*aux_miss` is set so the caller can charge the build time
+  /// to the run's stats.
+  std::shared_ptr<const AuxGraphResult> LookupAux(
+      const PreparedQuery& query, const Graph& g, bool minimize_query,
+      uint32_t radius, const CsrGraph& csr, const DualFilterResult& filter,
+      bool* aux_miss) const;
 
   EngineOptions options_;
   std::shared_ptr<CacheState> caches_;

@@ -30,6 +30,16 @@
 //     regex-simulation product (ComputeRegexFilter): candidate bitmaps
 //     plus surviving ball centers, reused by every executor of a repeat
 //     request against the unchanged data graph.
+//   - Aux-graph memos (the pruned auxiliary adjacency + landmark center
+//     index of matching/aux_graph.h) are derived from a filter memo plus
+//     the data graph at one ball radius, so they follow the dual-filter
+//     contract with the radius folded into the key: a radius_override
+//     lands in its own entry, and the same (instance_id, data_version)
+//     story — plus TickDataVersion — invalidates them exactly when the
+//     filter memo they were built from goes stale. One cache serves both
+//     plain and regex runs: fingerprints of plain patterns and regex
+//     queries never collide (the regex tag), so the kept-edge rule is
+//     implied by the key.
 
 #ifndef GPM_API_ENGINE_CACHE_H_
 #define GPM_API_ENGINE_CACHE_H_
@@ -40,6 +50,7 @@
 #include "api/prepared_query.h"
 #include "common/lru_cache.h"
 #include "graph/csr_graph.h"
+#include "matching/aux_graph.h"
 #include "matching/strong_simulation.h"
 
 namespace gpm {
@@ -121,6 +132,41 @@ struct CsrSnapshotKeyHash {
 using CsrSnapshotCache = LruCache<CsrSnapshotKey, CsrGraph,
                                   CsrSnapshotKeyHash>;
 
+/// \brief Key of one memoized auxiliary graph (matching/aux_graph.h):
+/// which pattern (the fingerprint implies plain vs regex and with it the
+/// kept-edge rule), which effective-pattern variant, which ball radius the
+/// landmark index was bounded by, and which data graph at which engine
+/// data version.
+struct AuxGraphKey {
+  uint64_t pattern_fingerprint = 0;
+  bool minimize_query = false;  ///< always false for regex entries
+  uint32_t radius = 0;          ///< the run's effective ball radius
+  uint64_t data_graph_id = 0;   ///< Graph::instance_id() of the data graph
+  uint64_t data_version = 0;    ///< Engine::TickDataVersion count
+
+  bool operator==(const AuxGraphKey&) const = default;
+};
+
+struct AuxGraphKeyHash {
+  size_t operator()(const AuxGraphKey& key) const {
+    uint64_t h = 14695981039346656037ULL;
+    auto mix = [&h](uint64_t x) {
+      h ^= x;
+      h *= 1099511628211ULL;
+      h ^= h >> 29;
+    };
+    mix(key.pattern_fingerprint);
+    mix(key.minimize_query ? 1 : 2);
+    mix(key.radius);
+    mix(key.data_graph_id);
+    mix(key.data_version);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// AuxGraphKey -> memoized pruned adjacency + landmark center index.
+using AuxGraphCache = LruCache<AuxGraphKey, AuxGraphResult, AuxGraphKeyHash>;
+
 /// \brief Key of one materialized result set: the pattern, the *effective*
 /// strong-family options (which fully determine Θ — Theorem 1 makes the
 /// result policy-independent), the executor identity, and the data graph
@@ -186,6 +232,7 @@ struct EngineCacheStats {
   CacheStats regex_filter;
   CacheStats results;
   CacheStats csr;
+  CacheStats aux;
   uint64_t data_version = 0;
 };
 

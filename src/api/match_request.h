@@ -33,9 +33,15 @@ struct MatchRequest {
   ExecPolicy policy;
   /// Strong-family knobs (§4.2 toggles, dedup, radius override). Applied
   /// verbatim for kStrong. For kStrongPlus the §4.2 toggles are forced on
-  /// and only `dedup` / `radius_override` are honored. Ignored by the
-  /// relation notions, kRegexStrong, and Distributed runs (which always
-  /// execute the plain per-ball pipeline — same Θ by Theorem 1).
+  /// and only `dedup` / `radius_override` are honored. kRegexStrong also
+  /// honors `dedup` and `radius_override` — lone, batched, and streaming
+  /// alike — but the §4.2 toggles have no regex meaning, so setting
+  /// `minimize_query` or `connectivity_pruning` there is an
+  /// InvalidArgument (never a silent ignore); distributed regex runs
+  /// additionally reject `dedup=false` (sites dedup during reassembly)
+  /// while honoring `radius_override`. Ignored by the relation notions
+  /// and by plain Distributed runs (which always execute the plain
+  /// per-ball pipeline — same Θ by Theorem 1).
   MatchOptions options;
 };
 

@@ -13,6 +13,7 @@
 #include "common/timer.h"
 #include "graph/components.h"
 #include "graph/csr_graph.h"
+#include "matching/aux_graph.h"
 #include "matching/ball.h"
 
 namespace gpm {
@@ -384,11 +385,44 @@ std::optional<PerfectSubgraph> ProcessRegexBall(
 
 }  // namespace internal
 
+AuxGraphResult BuildRegexAuxGraph(const RegexQuery& query, const CsrGraph& csr,
+                                  const DualFilterResult& filter,
+                                  uint32_t radius) {
+  // The kept-edge rule: the union of constraint-atom labels across every
+  // pattern edge — ConstraintFor supplies the one-wildcard-hop default for
+  // unconstrained edges, so those (and any explicit wildcard atom) force
+  // the keep-everything rule.
+  AuxEdgeRule rule;
+  rule.by_label = true;
+  const Graph& q = query.pattern();
+  for (NodeId u = 0; u < q.num_nodes() && !rule.any_label; ++u) {
+    for (NodeId u2 : q.OutNeighbors(u)) {
+      for (const RegexAtom& atom : query.ConstraintFor(u, u2)) {
+        if (atom.label == kAnyEdgeLabel) {
+          rule.any_label = true;
+          break;
+        }
+        rule.labels.push_back(atom.label);
+      }
+      if (rule.any_label) break;
+    }
+  }
+  if (rule.any_label) {
+    rule.labels.clear();
+  } else {
+    std::sort(rule.labels.begin(), rule.labels.end());
+    rule.labels.erase(std::unique(rule.labels.begin(), rule.labels.end()),
+                      rule.labels.end());
+  }
+  return BuildAuxGraph(csr, filter, radius, rule);
+}
+
 Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
                                       uint32_t radius, const SubgraphSink& sink,
                                       MatchStats* stats,
                                       const DualFilterResult* filter,
-                                      const CsrGraph* csr) {
+                                      const CsrGraph* csr,
+                                      const AuxGraphResult* aux, bool dedup) {
   Timer total_timer;
   MatchStats local_stats;
   internal::RegexRunState state;
@@ -402,15 +436,29 @@ Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
       local_csr = CsrGraph::FromGraph(g);
       csr = &local_csr;
     }
-    CsrBallBuilder builder(*csr);
+    // The regex filter is always on, so the ball loop always runs over
+    // the pruned constraint-label adjacency: the caller's memoized one if
+    // provided, a local build otherwise.
+    AuxGraphResult local_aux;
+    if (aux == nullptr) {
+      const DualFilterResult* source =
+          filter != nullptr ? filter : &state.filter_storage;
+      local_aux =
+          BuildRegexAuxGraph(query, *csr, *source, state.context.radius);
+      local_stats.global_filter_seconds += local_aux.seconds;
+      aux = &local_aux;
+    }
+    GPM_CHECK_EQ(aux->radius, state.context.radius);
+    local_stats.balls_skipped_index = aux->centers_skipped_index;
+    AuxBallBuilder builder(*csr, *aux);
     Ball ball;
     internal::RegexBallScratch scratch;
-    for (NodeId w : *state.centers) {
+    for (NodeId w : aux->centers) {
       auto pg = internal::ProcessRegexCenter(state.context, w, &builder,
                                              &ball, &local_stats, &scratch);
       if (!pg.has_value()) continue;
       ScopedSecondsAccumulator emit_stage(&local_stats.emit_seconds);
-      if (!seen_hashes.insert(pg->ContentHash()).second) {
+      if (dedup && !seen_hashes.insert(pg->ContentHash()).second) {
         ++local_stats.duplicates_removed;
         continue;
       }
@@ -429,7 +477,8 @@ Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
 
 Result<std::vector<PerfectSubgraph>> MatchStrongRegex(
     const RegexQuery& query, const Graph& g, uint32_t radius,
-    MatchStats* stats, const DualFilterResult* filter, const CsrGraph* csr) {
+    MatchStats* stats, const DualFilterResult* filter, const CsrGraph* csr,
+    const AuxGraphResult* aux, bool dedup) {
   // The serial center scan visits centers ascending, so first-arrival
   // dedup keeps the min-center representative and the collected list is
   // already in canonical (center, content-hash) order — the batch form
@@ -441,7 +490,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrongRegex(
         results.push_back(std::move(pg));
         return true;
       },
-      stats, filter, csr);
+      stats, filter, csr, aux, dedup);
   if (!delivered.ok()) return delivered.status();
   return results;
 }
@@ -465,7 +514,8 @@ Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
                                         const SubgraphSink& emit,
                                         MatchStats* totals_out,
                                         const DualFilterResult* filter,
-                                        const CsrGraph* csr) {
+                                        const CsrGraph* csr,
+                                        const AuxGraphResult* aux) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -477,14 +527,27 @@ Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
 
   size_t delivered = 0;
   if (!state.proven_empty) {
-    const std::vector<NodeId>& centers = *state.centers;
-
     // All workers build balls from one shared CSR snapshot (read-only).
     CsrGraph local_csr;
     if (csr == nullptr) {
       local_csr = CsrGraph::FromGraph(g);
       csr = &local_csr;
     }
+
+    // ... and from one shared pruned constraint-label adjacency (the
+    // regex filter is always on; see MatchStrongRegexStream).
+    AuxGraphResult local_aux;
+    if (aux == nullptr) {
+      const DualFilterResult* source =
+          filter != nullptr ? filter : &state.filter_storage;
+      local_aux =
+          BuildRegexAuxGraph(query, *csr, *source, state.context.radius);
+      totals.global_filter_seconds += local_aux.seconds;
+      aux = &local_aux;
+    }
+    GPM_CHECK_EQ(aux->radius, state.context.radius);
+    totals.balls_skipped_index = aux->centers_skipped_index;
+    const std::vector<NodeId>& centers = aux->centers;
 
     const size_t shards_count =
         std::min(num_threads, std::max<size_t>(1, centers.size()));
@@ -500,7 +563,7 @@ Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
         pool.Submit([&, s] {
           const size_t begin = s * per_shard;
           const size_t end = std::min(centers.size(), begin + per_shard);
-          CsrBallBuilder builder(*csr);
+          AuxBallBuilder builder(*csr, *aux);
           Ball ball;
           internal::RegexBallScratch scratch;
           for (size_t i = begin; i < end; ++i) {
@@ -560,16 +623,17 @@ Result<size_t> StreamRegexBallsParallel(const RegexQuery& query,
 Result<size_t> MatchStrongRegexParallelStream(
     const RegexQuery& query, const Graph& g, uint32_t radius,
     size_t num_threads, const SubgraphSink& sink, MatchStats* stats,
-    const DualFilterResult* filter, const CsrGraph* csr) {
+    const DualFilterResult* filter, const CsrGraph* csr,
+    const AuxGraphResult* aux, bool dedup) {
   return StreamRegexBallsParallel(query, g, radius, num_threads,
-                                  /*dedup_in_stream=*/true, sink, stats,
-                                  filter, csr);
+                                  /*dedup_in_stream=*/dedup, sink, stats,
+                                  filter, csr, aux);
 }
 
 Result<std::vector<PerfectSubgraph>> MatchStrongRegexParallel(
     const RegexQuery& query, const Graph& g, uint32_t radius,
     size_t num_threads, MatchStats* stats, const DualFilterResult* filter,
-    const CsrGraph* csr) {
+    const CsrGraph* csr, const AuxGraphResult* aux, bool dedup) {
   // Collect the raw (un-dedup'd) stream; canonicalization picks the
   // min-center representatives arrival-order dedup cannot — byte-identical
   // to MatchStrongRegex for every thread count.
@@ -583,9 +647,9 @@ Result<std::vector<PerfectSubgraph>> MatchStrongRegexParallel(
                                  results.push_back(std::move(pg));
                                  return true;
                                },
-                               &totals, filter, csr)
+                               &totals, filter, csr, aux)
           .status());
-  totals.duplicates_removed = CanonicalizeSubgraphs(/*dedup=*/true, &results);
+  totals.duplicates_removed = CanonicalizeSubgraphs(dedup, &results);
   totals.subgraphs_found = results.size();
   totals.total_seconds = total_timer.Seconds();
   if (stats != nullptr) *stats = totals;

@@ -77,12 +77,19 @@ Result<DualFilterResult> ComputeRegexFilter(const RegexQuery& query,
 /// Either way the ball loop visits only surviving centers and the pruned
 /// rest is reported in MatchStats::balls_skipped_filter. `csr`, when
 /// non-null, supplies a memoized CsrGraph::FromGraph(g) snapshot the ball
-/// builders read; when null the run converts locally. Results are
-/// identical either way.
+/// builders read; when null the run converts locally. `aux`, when
+/// non-null, supplies a memoized BuildRegexAuxGraph result for the same
+/// (query, filter, csr) at the run's radius — the pruned adjacency holding
+/// only constraint-atom-labeled edges plus the landmark-filtered center
+/// list; when null the run builds one locally (the ball loop always
+/// executes over it). `dedup` mirrors MatchOptions::dedup: when cleared,
+/// the raw one-result-per-ball stream is returned. Results are identical
+/// with or without the memoized arguments.
 Result<std::vector<PerfectSubgraph>> MatchStrongRegex(
     const RegexQuery& query, const Graph& g, uint32_t radius = 0,
     MatchStats* stats = nullptr, const DualFilterResult* filter = nullptr,
-    const CsrGraph* csr = nullptr);
+    const CsrGraph* csr = nullptr, const AuxGraphResult* aux = nullptr,
+    bool dedup = true);
 
 /// MatchStrongRegex semantics with each perfect subgraph handed to `sink`
 /// as its ball completes (ball-center order, first-arrival dedup) instead
@@ -92,7 +99,9 @@ Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
                                       uint32_t radius, const SubgraphSink& sink,
                                       MatchStats* stats = nullptr,
                                       const DualFilterResult* filter = nullptr,
-                                      const CsrGraph* csr = nullptr);
+                                      const CsrGraph* csr = nullptr,
+                                      const AuxGraphResult* aux = nullptr,
+                                      bool dedup = true);
 
 /// MatchStrongRegex computed on `num_threads` ball workers
 /// (0 = hardware concurrency) through the shared BoundedQueue
@@ -101,7 +110,8 @@ Result<size_t> MatchStrongRegexStream(const RegexQuery& query, const Graph& g,
 Result<std::vector<PerfectSubgraph>> MatchStrongRegexParallel(
     const RegexQuery& query, const Graph& g, uint32_t radius = 0,
     size_t num_threads = 0, MatchStats* stats = nullptr,
-    const DualFilterResult* filter = nullptr, const CsrGraph* csr = nullptr);
+    const DualFilterResult* filter = nullptr, const CsrGraph* csr = nullptr,
+    const AuxGraphResult* aux = nullptr, bool dedup = true);
 
 /// MatchStrongRegexStream on `num_threads` workers: ball workers push
 /// completed subgraphs into a bounded queue, the calling thread dedups
@@ -111,7 +121,19 @@ Result<std::vector<PerfectSubgraph>> MatchStrongRegexParallel(
 Result<size_t> MatchStrongRegexParallelStream(
     const RegexQuery& query, const Graph& g, uint32_t radius,
     size_t num_threads, const SubgraphSink& sink, MatchStats* stats = nullptr,
-    const DualFilterResult* filter = nullptr, const CsrGraph* csr = nullptr);
+    const DualFilterResult* filter = nullptr, const CsrGraph* csr = nullptr,
+    const AuxGraphResult* aux = nullptr, bool dedup = true);
+
+/// The regex analog of BuildAuxGraph (matching/aux_graph.h): the pruned
+/// adjacency keeps edges whose label appears in some constraint atom of
+/// `query` (every edge when any atom — including the one-wildcard-hop
+/// default of unconstrained pattern edges — is the any-label wildcard;
+/// RegexReachableSet never walks anything else), and the landmark index
+/// filters `filter`'s centers at `radius`. `filter` must be a
+/// non-proven-empty ComputeRegexFilter result for the same (query, g).
+AuxGraphResult BuildRegexAuxGraph(const RegexQuery& query, const CsrGraph& csr,
+                                  const DualFilterResult& filter,
+                                  uint32_t radius);
 
 namespace internal {
 
@@ -191,14 +213,14 @@ std::optional<PerfectSubgraph> ProcessRegexBall(
 
 /// Build-then-process for one center — the regex mirror of
 /// internal::ProcessCenter, charging the ball construction to
-/// stats->ball_build_seconds. Works over any graph type with a
-/// BallBuilderT specialization (the executors use CsrBallBuilder over a
-/// shared snapshot).
-template <typename GraphT>
+/// stats->ball_build_seconds. Works over anything with a
+/// BallBuilderT-shaped Build(center, radius, ball) — the executors use
+/// AuxBallBuilder over the pruned constraint-label adjacency; the
+/// distributed runtime uses BallBuilder over fragment graphs.
+template <typename BuilderT>
 std::optional<PerfectSubgraph> ProcessRegexCenter(
-    const RegexMatchContext& context, NodeId center,
-    BallBuilderT<GraphT>* builder, Ball* ball, MatchStats* stats,
-    RegexBallScratch* scratch = nullptr) {
+    const RegexMatchContext& context, NodeId center, BuilderT* builder,
+    Ball* ball, MatchStats* stats, RegexBallScratch* scratch = nullptr) {
   Timer build_timer;
   builder->Build(center, context.radius, ball);
   stats->ball_build_seconds += build_timer.Seconds();

@@ -1,0 +1,185 @@
+#include "matching/aux_graph.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace gpm {
+
+size_t AuxGraphResult::MemoryBytes() const {
+  return kept.size() / 8 + out_offsets.capacity() * sizeof(uint64_t) +
+         out_targets.capacity() * sizeof(NodeId) +
+         out_edge_labels.capacity() * sizeof(EdgeLabel) +
+         centers.capacity() * sizeof(NodeId);
+}
+
+namespace {
+
+// Marks, for every effective query node u, the data nodes within `radius`
+// undirected hops of some member of bits[u] (one bounded multi-source BFS
+// per u over the full graph — ball distance is full-graph distance). A
+// center survives iff all nq query nodes cover it: otherwise some cand(u)
+// is empty in its ball and the ball relation cannot be total.
+std::vector<NodeId> LandmarkFilterCenters(const CsrGraph& g,
+                                          const DualFilterResult& filter,
+                                          uint32_t radius,
+                                          size_t* skipped) {
+  const size_t n = g.num_nodes();
+  const size_t nq = filter.bits.size();
+  std::vector<uint32_t> reach_count(n, 0);
+  std::vector<uint32_t> seen(n, 0);
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> next;
+  uint32_t epoch = 0;
+  for (size_t u = 0; u < nq; ++u) {
+    ++epoch;
+    frontier.clear();
+    filter.bits[u].ForEach([&](size_t v) {
+      seen[v] = epoch;
+      ++reach_count[v];
+      frontier.push_back(static_cast<NodeId>(v));
+    });
+    for (uint32_t d = 0; d < radius && !frontier.empty(); ++d) {
+      next.clear();
+      for (NodeId v : frontier) {
+        auto visit = [&](NodeId w) {
+          if (seen[w] != epoch) {
+            seen[w] = epoch;
+            ++reach_count[w];
+            next.push_back(w);
+          }
+        };
+        for (NodeId w : g.OutNeighbors(v)) visit(w);
+        for (NodeId w : g.InNeighbors(v)) visit(w);
+      }
+      frontier.swap(next);
+    }
+  }
+  std::vector<NodeId> centers;
+  centers.reserve(filter.centers.size());
+  for (NodeId w : filter.centers) {
+    if (reach_count[w] == nq) centers.push_back(w);
+  }
+  *skipped = filter.centers.size() - centers.size();
+  return centers;
+}
+
+}  // namespace
+
+AuxGraphResult BuildAuxGraph(const CsrGraph& g, const DualFilterResult& filter,
+                             uint32_t radius, const AuxEdgeRule& rule) {
+  Timer timer;
+  GPM_CHECK(!filter.proven_empty);
+  GPM_CHECK(!filter.bits.empty());
+  const size_t n = g.num_nodes();
+
+  AuxGraphResult out;
+  out.radius = radius;
+
+  // Survivors: data nodes matched by at least one effective query node.
+  DynamicBitset survivor(n);
+  for (const DynamicBitset& bits : filter.bits) survivor |= bits;
+
+  auto label_kept = [&](EdgeLabel label) {
+    return rule.any_label ||
+           std::binary_search(rule.labels.begin(), rule.labels.end(), label);
+  };
+
+  // Count kept edges per row, then fill. Plain rule: both endpoints are
+  // survivors (anything else cannot appear in a projected candidate set,
+  // seed a border refinement, or become a match-graph edge). Regex rule:
+  // the edge label appears in some constraint atom (the only edges
+  // RegexReachableSet walks) — endpoints unrestricted, because witness
+  // paths may route through non-survivor intermediates.
+  out.out_offsets.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (!rule.by_label && !survivor.Test(u)) continue;
+    auto targets = g.OutNeighbors(u);
+    auto labels = g.OutEdgeLabels(u);
+    uint64_t kept_row = 0;
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (rule.by_label ? label_kept(labels[i]) : survivor.Test(targets[i])) {
+        ++kept_row;
+      }
+    }
+    out.out_offsets[u + 1] = kept_row;
+  }
+  for (size_t u = 0; u < n; ++u) out.out_offsets[u + 1] += out.out_offsets[u];
+  const uint64_t kept_edges = out.out_offsets[n];
+  out.out_targets.resize(kept_edges);
+  out.out_edge_labels.resize(kept_edges);
+
+  // Kept nodes: survivors, plus (regex rule) every endpoint of a kept
+  // edge so label-matching witness paths stay intact inside the ball.
+  out.kept = survivor;
+  for (NodeId u = 0; u < n; ++u) {
+    uint64_t cursor = out.out_offsets[u];
+    if (cursor == out.out_offsets[u + 1]) continue;
+    auto targets = g.OutNeighbors(u);
+    auto labels = g.OutEdgeLabels(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (rule.by_label ? label_kept(labels[i]) : survivor.Test(targets[i])) {
+        out.out_targets[cursor] = targets[i];
+        out.out_edge_labels[cursor] = labels[i];
+        ++cursor;
+        if (rule.by_label) {
+          out.kept.Set(u);
+          out.kept.Set(targets[i]);
+        }
+      }
+    }
+    GPM_CHECK_EQ(cursor, out.out_offsets[u + 1]);
+  }
+
+  out.centers =
+      LandmarkFilterCenters(g, filter, radius, &out.centers_skipped_index);
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+void AuxBallBuilder::Build(NodeId center, uint32_t radius, Ball* out) {
+  GPM_CHECK_LT(center, g_.num_nodes());
+  GPM_CHECK(aux_.kept.Test(center));  // centers are filter survivors
+  out->center = center;
+  out->radius = radius;
+  out->graph.ResetForReuse();
+  out->to_global.clear();
+  out->is_border.clear();
+
+  // Membership/distance from the FULL graph; see the header comment.
+  bfs_.Run(g_, center, EdgeDirection::kUndirected, radius, &bfs_out_);
+
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(local_epoch_.begin(), local_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+  // BFS order puts the center first and the center is kept, so
+  // LocalCenter() == 0.
+  for (const BfsEntry& e : bfs_out_) {
+    if (!aux_.kept.Test(e.node)) continue;
+    const NodeId local = out->graph.AddNode(g_.label(e.node));
+    global_to_local_[e.node] = local;
+    local_epoch_[e.node] = epoch_;
+    out->to_global.push_back(e.node);
+    out->is_border.push_back(e.distance == radius);
+  }
+  // Induce edges from the pruned rows: both endpoints must be kept ball
+  // members (the epoch stamp covers membership; kept is implied because
+  // only kept nodes were stamped).
+  for (size_t lu = 0; lu < out->to_global.size(); ++lu) {
+    const NodeId u = out->to_global[lu];
+    const uint64_t begin = aux_.out_offsets[u];
+    const uint64_t end = aux_.out_offsets[u + 1];
+    for (uint64_t i = begin; i < end; ++i) {
+      const NodeId w = aux_.out_targets[i];
+      if (local_epoch_[w] == epoch_) {
+        out->graph.AddEdge(static_cast<NodeId>(lu), global_to_local_[w],
+                           aux_.out_edge_labels[i]);
+      }
+    }
+  }
+  out->graph.Finalize();
+}
+
+}  // namespace gpm

@@ -1,0 +1,133 @@
+// Pruned auxiliary adjacency + landmark distance index for the §4.2 ball
+// loop (the GraphMini idea ported to strong simulation): after the global
+// dual filter, almost every edge the per-ball refinement walks is wasted —
+// non-survivor endpoints contribute no candidates, no border seeds with
+// candidate pairs, and no match-graph edges. BuildAuxGraph materializes a
+// CSR adjacency holding only the edges a ball's refinement can ever use,
+// and AuxBallBuilder builds balls whose induced edges come from that
+// pruned adjacency while ball *membership* still comes from a full-graph
+// BFS (survivors reachable only through non-survivor bridges are real
+// Ĝ[w,r] members and must keep their distance/border classification).
+// Results are identical to the full-graph path by construction; the
+// differential suite in tests/aux_graph_test.cc locks that down.
+//
+// The landmark index rides along: one bounded multi-source BFS per
+// effective query node u, seeded from u's candidate set, marks every data
+// node within `radius` undirected hops of some candidate of u. A center
+// not covered by ALL query nodes cannot yield a total ball relation
+// (cand(u) empty inside the ball ⇒ Sw not total), so its ball is skipped
+// without running Bfs at all — `AuxGraphResult::centers` is the surviving
+// subset and `centers_skipped_index` counts the skips.
+
+#ifndef GPM_MATCHING_AUX_GRAPH_H_
+#define GPM_MATCHING_AUX_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/logging.h"
+#include "graph/csr_graph.h"
+#include "graph/traversal.h"
+#include "graph/types.h"
+#include "matching/ball.h"
+#include "matching/strong_simulation.h"
+
+namespace gpm {
+
+/// \brief Which full-graph edges survive into the auxiliary adjacency.
+///
+/// The default (plain strong simulation with the dual filter on) keeps an
+/// edge iff both endpoints are dual-sim survivors. The regex path keeps
+/// edges by *label* instead: RegexReachableSet only ever walks edges whose
+/// label appears in some constraint atom, but its witness paths may pass
+/// through non-survivor intermediates — so endpoints stay unrestricted and
+/// the kept-node set grows to cover every kept edge (see BuildAuxGraph).
+struct AuxEdgeRule {
+  /// Filter edges by label (the regex rule) instead of by endpoint
+  /// survivorship (the plain rule).
+  bool by_label = false;
+  /// With by_label: some constraint atom is the any-label wildcard, so
+  /// label pruning buys nothing — keep every edge. (The landmark center
+  /// filter still applies.)
+  bool any_label = false;
+  /// With by_label and !any_label: the sorted, deduplicated union of
+  /// constraint-atom labels.
+  std::vector<EdgeLabel> labels;
+};
+
+/// \brief The memoizable product of BuildAuxGraph for one
+/// (effective pattern, data graph, radius): the pruned out-adjacency in
+/// data-graph node ids, the kept-node set balls may emit, and the
+/// landmark-filtered center list. Depends on the data graph exactly like
+/// DualFilterResult — the engine caches it per (pattern × data version)
+/// and the data-version/snapshot story invalidates it.
+struct AuxGraphResult {
+  /// Nodes a ball is allowed to contain. Plain rule: the dual-sim
+  /// survivors (any bits[u] set). Regex rule: survivors plus every
+  /// endpoint of a kept edge (witness-path intermediates).
+  DynamicBitset kept;
+  /// Pruned out-adjacency over *global* node ids; rows of dropped nodes
+  /// are empty. Layout mirrors CsrGraph's out side.
+  std::vector<uint64_t> out_offsets;  // size = num_nodes + 1
+  std::vector<NodeId> out_targets;
+  std::vector<EdgeLabel> out_edge_labels;
+  /// The filter's surviving centers minus those the landmark index proved
+  /// radius-unreachable from some query node's candidates. Ascending (a
+  /// subsequence of DualFilterResult::centers), so serial scans keep the
+  /// same min-center dedup representatives.
+  std::vector<NodeId> centers;
+  /// Centers the landmark index removed (filter.centers − centers).
+  size_t centers_skipped_index = 0;
+  /// The ball radius the index was computed for; a memoized result is
+  /// only valid for runs at this exact radius.
+  uint32_t radius = 0;
+  /// Wall clock of the build when it was computed (a reuse costs ~0).
+  double seconds = 0;
+
+  size_t MemoryBytes() const;
+};
+
+/// Builds the pruned adjacency + landmark index for (filter, g) at
+/// `radius`. `filter` must be a non-proven-empty ComputeDualFilter (or
+/// regex-filter) result for the same data graph.
+AuxGraphResult BuildAuxGraph(const CsrGraph& g, const DualFilterResult& filter,
+                             uint32_t radius, const AuxEdgeRule& rule = {});
+
+/// \brief Ball builder over the pruned auxiliary adjacency — the drop-in
+/// replacement for CsrBallBuilder in dual-filtered runs (same Build
+/// interface, one builder per thread).
+///
+/// Membership BFS runs on the FULL graph so every ball node keeps its true
+/// undirected distance (and border flag); only the node *emission* and the
+/// induced-edge scan consult the pruned structure. The center must be a
+/// kept node (every filter-surviving center is), so LocalCenter() == 0
+/// still holds.
+class AuxBallBuilder {
+ public:
+  AuxBallBuilder(const CsrGraph& g, const AuxGraphResult& aux)
+      : g_(g),
+        aux_(aux),
+        bfs_(g.num_nodes()),
+        global_to_local_(g.num_nodes(), 0),
+        local_epoch_(g.num_nodes(), 0) {
+    GPM_CHECK_EQ(aux.out_offsets.size(), g.num_nodes() + 1);
+  }
+
+  /// Builds the kept-node projection of Ĝ[center, radius] into *out
+  /// (contents replaced), with edges induced from the pruned adjacency.
+  void Build(NodeId center, uint32_t radius, Ball* out);
+
+ private:
+  const CsrGraph& g_;
+  const AuxGraphResult& aux_;
+  BfsWorkspace bfs_;
+  std::vector<BfsEntry> bfs_out_;
+  std::vector<NodeId> global_to_local_;
+  std::vector<uint32_t> local_epoch_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace gpm
+
+#endif  // GPM_MATCHING_AUX_GRAPH_H_

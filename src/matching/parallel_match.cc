@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "matching/aux_graph.h"
 #include "matching/strong_simulation_internal.h"
 
 namespace gpm {
@@ -32,7 +33,8 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
                                    const SubgraphSink& emit, MatchStats* totals_out,
                                    const PatternPrep* prep,
                                    const DualFilterResult* filter,
-                                   const CsrGraph* csr) {
+                                   const CsrGraph* csr,
+                                   const AuxGraphResult* aux) {
   GPM_CHECK(q.finalized() && g.finalized());
   PatternPrep local_prep;
   if (prep == nullptr) {
@@ -53,8 +55,6 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
 
   size_t delivered = 0;
   if (!state.proven_empty) {
-    const std::vector<NodeId>& centers = *state.centers;
-
     internal::MatchContext context;
     context.original_pattern = &q;
     context.effective_pattern = state.effective_pattern;
@@ -69,6 +69,25 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
       local_csr = CsrGraph::FromGraph(g);
       csr = &local_csr;
     }
+
+    // Dual-filtered runs execute over the shared pruned auxiliary
+    // adjacency (matching/aux_graph.h), built here when the caller holds
+    // no memoized one.
+    AuxGraphResult local_aux;
+    if (aux == nullptr && state.global_bits != nullptr) {
+      const DualFilterResult* source =
+          filter != nullptr ? filter : &state.filter_storage;
+      local_aux = BuildAuxGraph(*csr, *source, state.radius);
+      totals.global_filter_seconds += local_aux.seconds;
+      aux = &local_aux;
+    }
+    const std::vector<NodeId>* centers_ptr = state.centers;
+    if (aux != nullptr) {
+      GPM_CHECK_EQ(aux->radius, state.radius);
+      centers_ptr = &aux->centers;
+      totals.balls_skipped_index = aux->centers_skipped_index;
+    }
+    const std::vector<NodeId>& centers = *centers_ptr;
 
     // Contiguous center ranges, one scratch set and stats block each.
     const size_t shards_count =
@@ -85,15 +104,23 @@ Result<size_t> StreamBallsParallel(const Graph& q, const Graph& g,
         pool.Submit([&, s] {
           const size_t begin = s * per_shard;
           const size_t end = std::min(centers.size(), begin + per_shard);
-          CsrBallBuilder builder(*csr);
-          Ball ball;
-          internal::MatchScratch scratch;
-          for (size_t i = begin; i < end; ++i) {
-            if (queue.token().IsCancelled()) break;
-            auto pg = internal::ProcessCenter(context, centers[i], &builder,
-                                              &ball, &shard_stats[s],
-                                              &scratch);
-            if (pg.has_value() && !queue.Push(std::move(*pg))) break;
+          auto run = [&](auto& builder) {
+            Ball ball;
+            internal::MatchScratch scratch;
+            for (size_t i = begin; i < end; ++i) {
+              if (queue.token().IsCancelled()) break;
+              auto pg = internal::ProcessCenter(context, centers[i], &builder,
+                                                &ball, &shard_stats[s],
+                                                &scratch);
+              if (pg.has_value() && !queue.Push(std::move(*pg))) break;
+            }
+          };
+          if (aux != nullptr) {
+            AuxBallBuilder builder(*csr, *aux);
+            run(builder);
+          } else {
+            CsrBallBuilder builder(*csr);
+            run(builder);
           }
           // Last producer out closes the stream so the drainer unblocks.
           if (active_producers.fetch_sub(1) == 1) queue.Close();
@@ -150,16 +177,18 @@ Result<size_t> MatchStrongParallelStream(const Graph& q, const Graph& g,
                                          MatchStats* stats,
                                          const PatternPrep* prep,
                                          const DualFilterResult* filter,
-                                         const CsrGraph* csr) {
+                                         const CsrGraph* csr,
+                                         const AuxGraphResult* aux) {
   return StreamBallsParallel(q, g, options, num_threads,
                              /*dedup_in_stream=*/options.dedup, sink, stats,
-                             prep, filter, csr);
+                             prep, filter, csr, aux);
 }
 
 Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
     const Graph& q, const Graph& g, const MatchOptions& options,
     size_t num_threads, MatchStats* stats, const PatternPrep* prep,
-    const DualFilterResult* filter, const CsrGraph* csr) {
+    const DualFilterResult* filter, const CsrGraph* csr,
+    const AuxGraphResult* aux) {
   // Collect the raw (un-dedup'd) stream; canonicalization below picks
   // deterministic representatives, which arrival-order dedup cannot —
   // byte-identical to MatchStrong for every thread count (Theorem 1 fixes
@@ -174,7 +203,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
                             results.push_back(std::move(pg));
                             return true;
                           },
-                          &totals, prep, filter, csr)
+                          &totals, prep, filter, csr, aux)
           .status());
   totals.duplicates_removed = CanonicalizeSubgraphs(options.dedup, &results);
   totals.subgraphs_found = results.size();

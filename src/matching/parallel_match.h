@@ -34,12 +34,15 @@ namespace gpm {
 /// options.minimize_query), skipping the global fixpoint. `csr`, when
 /// non-null, supplies a memoized CSR snapshot of g (CsrGraph::FromGraph on
 /// the same finalized graph) that all workers build balls from; a local
-/// conversion is made otherwise. Results are identical either way.
+/// conversion is made otherwise. `aux`, when non-null, supplies a memoized
+/// BuildAuxGraph result (pruned adjacency + landmark-filtered centers) for
+/// the same (filter, csr) at the run's radius; dual-filtered runs build
+/// one locally otherwise. Results are identical either way.
 Result<std::vector<PerfectSubgraph>> MatchStrongParallel(
     const Graph& q, const Graph& g, const MatchOptions& options = {},
     size_t num_threads = 0, MatchStats* stats = nullptr,
     const PatternPrep* prep = nullptr, const DualFilterResult* filter = nullptr,
-    const CsrGraph* csr = nullptr);
+    const CsrGraph* csr = nullptr, const AuxGraphResult* aux = nullptr);
 
 /// MatchStrongStream semantics on `num_threads` workers: ball workers push
 /// perfect subgraphs into a bounded queue as each ball completes, and the
@@ -52,7 +55,7 @@ Result<size_t> MatchStrongParallelStream(
     const Graph& q, const Graph& g, const MatchOptions& options,
     size_t num_threads, const SubgraphSink& sink, MatchStats* stats = nullptr,
     const PatternPrep* prep = nullptr, const DualFilterResult* filter = nullptr,
-    const CsrGraph* csr = nullptr);
+    const CsrGraph* csr = nullptr, const AuxGraphResult* aux = nullptr);
 
 }  // namespace gpm
 

@@ -11,6 +11,7 @@
 #include "graph/components.h"
 #include "graph/csr_graph.h"
 #include "graph/diameter.h"
+#include "matching/aux_graph.h"
 #include "matching/ball.h"
 #include "matching/dual_simulation.h"
 #include "matching/query_minimization.h"
@@ -478,7 +479,8 @@ Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
                                  const SubgraphSink& sink, MatchStats* stats,
                                  const PatternPrep* prep,
                                  const DualFilterResult* filter,
-                                 const CsrGraph* csr) {
+                                 const CsrGraph* csr,
+                                 const AuxGraphResult* aux) {
   GPM_CHECK(q.finalized() && g.finalized());
   PatternPrep local_prep;
   if (prep == nullptr) {
@@ -511,25 +513,51 @@ Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
       csr = &local_csr;
     }
 
+    // Dual-filtered runs execute over the pruned auxiliary adjacency
+    // (matching/aux_graph.h): the caller's memoized one if provided, a
+    // local build otherwise (charged like the filter it extends).
+    AuxGraphResult local_aux;
+    if (aux == nullptr && state.global_bits != nullptr) {
+      const DualFilterResult* source =
+          filter != nullptr ? filter : &state.filter_storage;
+      local_aux = BuildAuxGraph(*csr, *source, state.radius);
+      local_stats.global_filter_seconds += local_aux.seconds;
+      aux = &local_aux;
+    }
+    const std::vector<NodeId>* centers = state.centers;
+    if (aux != nullptr) {
+      GPM_CHECK_EQ(aux->radius, state.radius);
+      centers = &aux->centers;
+      local_stats.balls_skipped_index = aux->centers_skipped_index;
+    }
+
     std::unordered_set<uint64_t> seen_hashes;
-    CsrBallBuilder builder(*csr);
     Ball ball;
     internal::MatchScratch scratch;
-    for (NodeId w : *state.centers) {
-      auto pg = internal::ProcessCenter(context, w, &builder, &ball,
-                                        &local_stats, &scratch);
-      if (!pg.has_value()) continue;
-      ScopedSecondsAccumulator emit_stage(&local_stats.emit_seconds);
-      if (options.dedup && !seen_hashes.insert(pg->ContentHash()).second) {
-        ++local_stats.duplicates_removed;
-        continue;
+    auto scan = [&](auto& builder) {
+      for (NodeId w : *centers) {
+        auto pg = internal::ProcessCenter(context, w, &builder, &ball,
+                                          &local_stats, &scratch);
+        if (!pg.has_value()) continue;
+        ScopedSecondsAccumulator emit_stage(&local_stats.emit_seconds);
+        if (options.dedup && !seen_hashes.insert(pg->ContentHash()).second) {
+          ++local_stats.duplicates_removed;
+          continue;
+        }
+        if (delivered == 0) {
+          local_stats.seconds_to_first_subgraph = total_timer.Seconds();
+        }
+        ++delivered;
+        ++local_stats.subgraphs_found;
+        if (!sink(std::move(*pg))) break;
       }
-      if (delivered == 0) {
-        local_stats.seconds_to_first_subgraph = total_timer.Seconds();
-      }
-      ++delivered;
-      ++local_stats.subgraphs_found;
-      if (!sink(std::move(*pg))) break;
+    };
+    if (aux != nullptr) {
+      AuxBallBuilder builder(*csr, *aux);
+      scan(builder);
+    } else {
+      CsrBallBuilder builder(*csr);
+      scan(builder);
     }
   }
 
@@ -544,7 +572,8 @@ Result<std::vector<PerfectSubgraph>> MatchStrong(const Graph& q,
                                                  MatchStats* stats,
                                                  const PatternPrep* prep,
                                                  const DualFilterResult* filter,
-                                                 const CsrGraph* csr) {
+                                                 const CsrGraph* csr,
+                                                 const AuxGraphResult* aux) {
   std::vector<PerfectSubgraph> results;
   auto delivered = MatchStrongStream(
       q, g, options,
@@ -552,7 +581,7 @@ Result<std::vector<PerfectSubgraph>> MatchStrong(const Graph& q,
         results.push_back(std::move(pg));
         return true;
       },
-      stats, prep, filter, csr);
+      stats, prep, filter, csr, aux);
   if (!delivered.ok()) return delivered.status();
   return results;
 }

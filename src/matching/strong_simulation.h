@@ -24,7 +24,8 @@
 
 namespace gpm {
 
-class CsrGraph;  // graph/csr_graph.h
+class CsrGraph;        // graph/csr_graph.h
+struct AuxGraphResult;  // matching/aux_graph.h
 
 /// \brief One maximum perfect subgraph Gs: the connected component
 /// containing the ball center of the match graph w.r.t. the maximum dual
@@ -90,6 +91,10 @@ struct MatchStats {
   size_t balls_considered = 0;       ///< centers for which a ball was built
   size_t balls_skipped_filter = 0;   ///< centers skipped by dual filter
   size_t balls_skipped_pruning = 0;  ///< centers skipped by pruning
+  /// Filter-surviving centers additionally skipped by the landmark
+  /// distance index (matching/aux_graph.h): their balls provably miss all
+  /// candidates of some query node, so no BFS ran at all.
+  size_t balls_skipped_index = 0;
   size_t balls_center_unmatched = 0; ///< Sw empty or center not in Sw
   /// Emitted (post-dedup) perfect subgraphs — identical across Serial,
   /// Parallel, and Distributed runs of the same request. The raw per-ball
@@ -207,12 +212,17 @@ size_t CanonicalizeSubgraphs(bool dedup,
 /// `csr`, when non-null, supplies a CSR snapshot of g (from
 /// CsrGraph::FromGraph on the same finalized graph — the engine memoizes
 /// one alongside the dual-filter memo); the ball loop then builds balls on
-/// the flat adjacency instead of converting g locally. Results are
-/// identical either way.
+/// the flat adjacency instead of converting g locally. `aux`, when
+/// non-null, supplies a memoized BuildAuxGraph result for the same
+/// (filter, csr) at the run's effective radius — dual-filtered runs then
+/// skip materializing the pruned adjacency locally (they always execute
+/// over one: when `aux` is null and the dual filter is on, the executor
+/// builds its own). Results are identical either way.
 Result<std::vector<PerfectSubgraph>> MatchStrong(
     const Graph& q, const Graph& g, const MatchOptions& options = {},
     MatchStats* stats = nullptr, const PatternPrep* prep = nullptr,
-    const DualFilterResult* filter = nullptr, const CsrGraph* csr = nullptr);
+    const DualFilterResult* filter = nullptr, const CsrGraph* csr = nullptr,
+    const AuxGraphResult* aux = nullptr);
 
 /// MatchStrong semantics with each perfect subgraph handed to `sink`
 /// instead of materialized into Θ — perfect subgraphs can be consumed
@@ -225,7 +235,8 @@ Result<size_t> MatchStrongStream(const Graph& q, const Graph& g,
                                  MatchStats* stats = nullptr,
                                  const PatternPrep* prep = nullptr,
                                  const DualFilterResult* filter = nullptr,
-                                 const CsrGraph* csr = nullptr);
+                                 const CsrGraph* csr = nullptr,
+                                 const AuxGraphResult* aux = nullptr);
 
 /// Match with all optimizations (the paper's Match+).
 Result<std::vector<PerfectSubgraph>> MatchStrongPlus(

@@ -98,15 +98,15 @@ std::optional<PerfectSubgraph> ProcessBall(const MatchContext& context,
                                            MatchScratch* scratch = nullptr);
 
 /// Runs lines 2-5 of Fig. 3 for one center: ball construction (timed into
-/// stats->ball_build_seconds) followed by ProcessBall. Works on any graph
-/// representation a BallBuilderT exists for — the executors pass
-/// CsrBallBuilder over the run's CSR snapshot; the distributed runtime
-/// still uses the adjacency-list BallBuilder. `builder`/`ball`/`scratch`
-/// are caller-owned per-thread scratch.
-template <typename GraphT>
+/// stats->ball_build_seconds) followed by ProcessBall. Works on anything
+/// with a BallBuilderT-shaped Build(center, radius, ball) — the executors
+/// pass CsrBallBuilder over the run's CSR snapshot or AuxBallBuilder over
+/// the pruned auxiliary adjacency (matching/aux_graph.h); the distributed
+/// runtime still uses the adjacency-list BallBuilder.
+/// `builder`/`ball`/`scratch` are caller-owned per-thread scratch.
+template <typename BuilderT>
 std::optional<PerfectSubgraph> ProcessCenter(const MatchContext& context,
-                                             NodeId center,
-                                             BallBuilderT<GraphT>* builder,
+                                             NodeId center, BuilderT* builder,
                                              Ball* ball, MatchStats* stats,
                                              MatchScratch* scratch = nullptr) {
   Timer build_timer;
