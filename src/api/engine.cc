@@ -12,6 +12,7 @@
 
 #include "api/algo_names.h"
 #include "common/bounded_queue.h"
+#include "matching/containment.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -48,6 +49,9 @@ struct Engine::CacheState {
   MatchResultCache results;
   CsrSnapshotCache csr;
   AuxGraphCache aux;
+  /// Roster of recently prepared patterns + the cross-query reuse
+  /// counters (advisory; see CrossQueryIndex).
+  CrossQueryIndex cross_query;
   std::atomic<uint64_t> data_version{0};
 };
 
@@ -74,6 +78,14 @@ EngineCacheStats Engine::cache_stats() const {
   out.csr = caches_->csr.Stats();
   out.aux = caches_->aux.Stats();
   out.data_version = caches_->data_version.load(std::memory_order_acquire);
+  out.equivalent_result_hits = caches_->cross_query.equivalent_result_hits.load(
+      std::memory_order_relaxed);
+  out.containment_filter_seeds =
+      caches_->cross_query.containment_filter_seeds.load(
+          std::memory_order_relaxed);
+  out.dual_relations_shared = caches_->cross_query.dual_relations_shared.load(
+      std::memory_order_relaxed);
+  out.cross_query_entries = caches_->cross_query.size();
   return out;
 }
 
@@ -187,6 +199,19 @@ Result<PreparedQuery> Engine::Prepare(const Graph& pattern) const {
   PreparedQuery query;
   query.pattern_ = pattern;
   query.fingerprint_ = pattern.ContentHash();
+  // Canonical identity: isomorphic copies of one pattern share a
+  // fingerprint (and carry the node order that witnesses it), which is
+  // what lets PrepareCached collapse permuted duplicates and Dispatch
+  // serve a renamed pattern from an equivalent cached result. When the
+  // permutation search gives up, identity degrades to the exact hash.
+  std::vector<NodeId> canonical_order;
+  if (CanonicalOrder(query.pattern_, &canonical_order)) {
+    query.canonical_order_ = std::move(canonical_order);
+    query.canonical_fingerprint_ =
+        CanonicalFingerprint(query.pattern_, query.canonical_order_);
+  } else {
+    query.canonical_fingerprint_ = query.fingerprint_;
+  }
   auto prep = PreparePattern(query.pattern_, options_.minimize_on_prepare);
   if (prep.ok()) {
     query.prep_ = std::move(prep).ValueOrDie();
@@ -209,6 +234,10 @@ Result<PreparedQuery> Engine::Prepare(RegexQuery regex) const {
   // regex-filter memo) must re-key when a constraint changes, and must
   // never collide with the plain pattern graph's entries.
   query.fingerprint_ = regex.ContentHash();
+  // Regex queries keep exact identity: cross-query reuse is defined for
+  // the plain dual filter only (a regex constraint set changes both the
+  // filter semantics and the ball radius).
+  query.canonical_fingerprint_ = query.fingerprint_;
   if (IsConnected(query.pattern_)) {
     query.regex_radius_ =
         DefaultRegexRadius(regex, options_.regex_unbounded_cap);
@@ -227,15 +256,37 @@ Result<std::shared_ptr<const PreparedQuery>> Engine::PrepareCached(
   if (pattern.num_nodes() == 0)
     return Status::InvalidArgument("pattern graph is empty");
   const uint64_t fingerprint = pattern.ContentHash();
-  if (auto cached = caches_->prepared.Get(fingerprint)) {
+  // Key on the canonical (isomorphism-class) fingerprint: structurally
+  // identical patterns with permuted node ids land on one cache entry
+  // instead of one each. When canonicalization gives up (permutation
+  // budget), the key degrades to the exact content hash — the old
+  // behavior.
+  std::vector<NodeId> order;
+  const uint64_t cache_key = CanonicalOrder(pattern, &order)
+                                 ? CanonicalFingerprint(pattern, order)
+                                 : fingerprint;
+  if (auto cached = caches_->prepared.Get(cache_key)) {
     // Trust the 64-bit key only after a structural re-check: a hash
     // collision compiles uncached instead of serving the wrong query.
-    if (cached->pattern().StructurallyEqual(pattern)) return cached;
+    if (cached->fingerprint() == fingerprint &&
+        cached->pattern().StructurallyEqual(pattern,
+                                            /*compare_edge_labels=*/true)) {
+      return cached;
+    }
+    // Same isomorphism class under a different node numbering (or a
+    // collision): compile fresh without occupying a second slot — the
+    // resident entry already covers the class, and a compiled prep must
+    // stay a function of its own pattern's numbering (the quotient and
+    // the data-side memos are all indexed by it).
     GPM_ASSIGN_OR_RETURN(PreparedQuery fresh, Prepare(pattern));
-    return std::make_shared<const PreparedQuery>(std::move(fresh));
+    auto owned = std::make_shared<const PreparedQuery>(std::move(fresh));
+    caches_->cross_query.Register(owned);
+    return owned;
   }
   GPM_ASSIGN_OR_RETURN(PreparedQuery fresh, Prepare(pattern));
-  return caches_->prepared.Put(fingerprint, std::move(fresh));
+  auto stored = caches_->prepared.Put(cache_key, std::move(fresh));
+  caches_->cross_query.Register(stored);
+  return stored;
 }
 
 Status Engine::LookupFilter(const PreparedQuery& query, const Graph& g,
@@ -258,12 +309,26 @@ Status Engine::LookupFilter(const PreparedQuery& query, const Graph& g,
     memo->hit = true;
     return Status::OK();
   }
-  GPM_ASSIGN_OR_RETURN(DualFilterResult computed,
-                       ComputeDualFilter(query.pattern(), g,
-                                         options.minimize_query,
-                                         &query.prep()));
+  // Miss: before paying the cold fixpoint, try to seed it from a cached
+  // pattern that dual-contains this one (candidate sets start from the
+  // container's survivors — byte-identical result, smaller worklist).
+  DualFilterResult computed;
+  if (TrySeedFilter(query, g, options.minimize_query, &computed)) {
+    memo->seeded = true;
+  } else {
+    GPM_ASSIGN_OR_RETURN(computed,
+                         ComputeDualFilter(query.pattern(), g,
+                                           options.minimize_query,
+                                           &query.prep()));
+  }
   memo->filter = caches_->filter.Put(key, std::move(computed));
   memo->miss = true;
+  // This pattern now has a resident filter memo — put it on the
+  // cross-query roster so later queries can probe it as a donor.
+  if (!caches_->cross_query.Contains(query.fingerprint())) {
+    caches_->cross_query.Register(
+        std::make_shared<const PreparedQuery>(query));
+  }
   return Status::OK();
 }
 
@@ -293,6 +358,161 @@ Status Engine::LookupRegexFilter(const PreparedQuery& query, const Graph& g,
   memo->filter = caches_->regex_filter.Put(key, std::move(computed));
   memo->miss = true;
   return Status::OK();
+}
+
+bool Engine::TrySeedFilter(const PreparedQuery& query, const Graph& g,
+                           bool minimize_query, DualFilterResult* out) const {
+  if (query.has_regex()) return false;
+  // Resolve the effective pattern the filter will run on, mirroring
+  // ComputeDualFilter. When the request minimizes but the prep carries no
+  // quotient (minimize_on_prepare off), decline rather than re-minimize
+  // here — the cold path handles it.
+  const Graph* qeff = &query.pattern();
+  if (minimize_query) {
+    if (!query.prep().has_minimized) return false;
+    qeff = &query.prep().minimized;
+  }
+  const uint64_t version =
+      caches_->data_version.load(std::memory_order_acquire);
+  const auto roster = caches_->cross_query.Snapshot();
+  // Newest donors first, a bounded number of them: the roster is
+  // advisory and the containment check is cheap but not free.
+  constexpr size_t kMaxDonors = 8;
+  size_t examined = 0;
+  for (auto it = roster.rbegin();
+       it != roster.rend() && examined < kMaxDonors; ++it) {
+    const CrossQueryIndex::Entry& entry = *it;
+    if (entry.query == nullptr || entry.query->has_regex()) continue;
+    if (entry.fingerprint == query.fingerprint()) continue;
+    ++examined;
+    // A donor is usable under either minimize flag — the composition
+    // lemma only needs its survivor sets, whichever quotient they are
+    // indexed by. Try the caller's flag first (the likelier resident).
+    for (const bool donor_min : {minimize_query, !minimize_query}) {
+      const Graph* donor_qeff = &entry.query->pattern();
+      if (donor_min) {
+        if (!entry.query->prep().has_minimized) continue;
+        donor_qeff = &entry.query->prep().minimized;
+      }
+      DualFilterKey donor_key;
+      donor_key.pattern_fingerprint = entry.fingerprint;
+      donor_key.minimize_query = donor_min;
+      donor_key.data_graph_id = g.instance_id();
+      donor_key.data_version = version;
+      const auto donor_filter = caches_->filter.Peek(donor_key);
+      if (donor_filter == nullptr) continue;
+      const ContainmentWitness witness =
+          CheckDualContainment(*donor_qeff, *qeff);
+      if (!witness.contained) continue;
+      if (donor_filter->proven_empty) {
+        // Emptiness transfers: the donor pattern is connected, so its
+        // non-total relation cascaded to all-empty survivor sets, and
+        // every covered node of ours (containment guarantees at least
+        // one) is bounded by an empty set.
+        *out = DualFilterResult{};
+        out->proven_empty = true;
+        caches_->cross_query.containment_filter_seeds.fetch_add(
+            1, std::memory_order_relaxed);
+        return true;
+      }
+      if (donor_filter->bits.size() != donor_qeff->num_nodes()) continue;
+      // Initial candidates: the donor's survivors for witnessed nodes
+      // (already label-consistent — both dual simulations preserve
+      // labels), whole label classes for uncovered ones. Both are
+      // supersets of the maximum relation, which is all the seeded
+      // fixpoint needs to land on the exact cold-run result.
+      std::vector<std::vector<NodeId>> initial(qeff->num_nodes());
+      for (NodeId u = 0; u < qeff->num_nodes(); ++u) {
+        if (witness.map[u] != kInvalidNode) {
+          const DynamicBitset& survivors = donor_filter->bits[witness.map[u]];
+          const Label want = qeff->label(u);
+          survivors.ForEach([&](size_t v) {
+            if (g.label(static_cast<NodeId>(v)) == want) {
+              initial[u].push_back(static_cast<NodeId>(v));
+            }
+          });
+        } else {
+          const auto cls = g.NodesWithLabel(qeff->label(u));
+          initial[u].assign(cls.begin(), cls.end());
+        }
+      }
+      auto seeded = ComputeDualFilterSeeded(query.pattern(), g,
+                                            minimize_query, &query.prep(),
+                                            initial);
+      if (!seeded.ok()) continue;
+      *out = std::move(seeded).ValueOrDie();
+      caches_->cross_query.containment_filter_seeds.fetch_add(
+          1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Engine::TryServeEquivalentResult(const PreparedQuery& query,
+                                      const Graph& g,
+                                      const MatchOptions& options,
+                                      const MatchRequest& request,
+                                      MatchResponse* response) const {
+  if (query.has_regex() || query.canonical_order().empty()) return false;
+  if (caches_->results.capacity() == 0) return false;
+  const uint64_t version =
+      caches_->data_version.load(std::memory_order_acquire);
+  const size_t n = query.pattern().num_nodes();
+  const auto roster = caches_->cross_query.Snapshot();
+  for (auto it = roster.rbegin(); it != roster.rend(); ++it) {
+    const CrossQueryIndex::Entry& entry = *it;
+    if (entry.query == nullptr || entry.query->has_regex()) continue;
+    if (entry.canonical_fingerprint != query.canonical_fingerprint())
+      continue;
+    if (entry.fingerprint == query.fingerprint()) continue;
+    if (entry.query->canonical_order().empty()) continue;
+    const MatchResultKey donor_key =
+        MakeResultKey(entry.fingerprint, options, request.policy, &g, version);
+    const auto donor = caches_->results.Peek(donor_key);
+    if (donor == nullptr) continue;
+    // The canonical orders imply a renaming phi : ours -> donor's; verify
+    // it is a labeled isomorphism (fingerprint collisions must fall
+    // through to execution, never to a wrong answer).
+    const auto phi = WitnessFromCanonicalOrders(
+        query.pattern(), query.canonical_order(), entry.query->pattern(),
+        entry.query->canonical_order());
+    if (!phi.has_value()) continue;
+    bool shapes_ok = true;
+    for (const PerfectSubgraph& pg : donor->subgraphs) {
+      if (pg.relation.sim.size() != n) {
+        shapes_ok = false;
+        break;
+      }
+    }
+    if (!shapes_ok) continue;
+    // Serve through the renaming. A perfect subgraph's nodes, edges,
+    // center, and radius are data-graph facts, identical for isomorphic
+    // patterns (so the (center, content-hash) canonical order is too);
+    // only the relation is indexed by pattern node, so only it is
+    // translated: our node u matched what the donor's phi[u] matched.
+    response->subgraphs = donor->subgraphs;
+    for (PerfectSubgraph& pg : response->subgraphs) {
+      MatchRelation renamed(n);
+      for (NodeId u = 0; u < n; ++u) {
+        renamed.sim[u] = std::move(pg.relation.sim[(*phi)[u]]);
+      }
+      pg.relation = std::move(renamed);
+    }
+    response->stats = donor->stats;
+    response->stats.result_cache_hits = 1;
+    response->stats.result_cache_misses = 0;
+    response->stats.filter_cache_hits = 0;
+    response->stats.filter_cache_misses = 0;
+    response->stats.filter_seeded_containment = 0;
+    response->stats.result_served_equivalent = 1;
+    response->subgraphs_delivered = response->subgraphs.size();
+    response->matched = !response->subgraphs.empty();
+    caches_->cross_query.equivalent_result_hits.fetch_add(
+        1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 std::shared_ptr<const CsrGraph> Engine::LookupCsr(const Graph& g) const {
@@ -419,6 +639,8 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
         response.stats.result_cache_misses = 0;
         response.stats.filter_cache_hits = 0;
         response.stats.filter_cache_misses = 0;
+        response.stats.filter_seeded_containment = 0;
+        response.stats.result_served_equivalent = 0;
         response.subgraphs_delivered = response.subgraphs.size();
         response.matched = !response.subgraphs.empty();
         response.seconds = timer.Seconds();
@@ -553,8 +775,18 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
         response.stats.result_cache_misses = 0;
         response.stats.filter_cache_hits = 0;
         response.stats.filter_cache_misses = 0;
+        response.stats.filter_seeded_containment = 0;
+        response.stats.result_served_equivalent = 0;
         response.subgraphs_delivered = response.subgraphs.size();
         response.matched = !response.subgraphs.empty();
+        response.seconds = timer.Seconds();
+        response.stats.total_seconds = response.seconds;
+        return response;
+      }
+      // Exact miss: a cached result for an *isomorphic* pattern (same
+      // canonical fingerprint, different node numbering) still answers
+      // this request — serve it through the witness renaming.
+      if (TryServeEquivalentResult(query, g, options, request, &response)) {
         response.seconds = timer.Seconds();
         response.stats.total_seconds = response.seconds;
         return response;
@@ -589,6 +821,7 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
     const auto annotate = [&memo, &aux_keepalive, aux_miss](MatchStats* stats) {
       stats->filter_cache_hits = memo.hit ? 1 : 0;
       stats->filter_cache_misses = memo.miss ? 1 : 0;
+      stats->filter_seeded_containment = memo.seeded ? 1 : 0;
       // The miss paid the fixpoint while filling the cache, outside the
       // matcher's own timer; put its cost back on this call's ledger —
       // both fields, preserving total_seconds >= global_filter_seconds.
@@ -673,6 +906,12 @@ Result<MatchResponse> Engine::Dispatch(const PreparedQuery& query,
       response.stats.result_cache_misses = 1;
       caches_->results.Put(*result_key,
                            {response.subgraphs, response.stats});
+      // A freshly materialized result makes this pattern a donor for
+      // later isomorphic (renamed) queries.
+      if (!caches_->cross_query.Contains(query.fingerprint())) {
+        caches_->cross_query.Register(
+            std::make_shared<const PreparedQuery>(query));
+      }
     }
   }
 
@@ -700,11 +939,13 @@ namespace {
 // weighted radius equals a plain item's diameter shares its balls.
 struct BatchPlan {
   size_t index = 0;  // position in the batch / output vector
+  const PreparedQuery* query = nullptr;
   MatchOptions options;
   std::optional<MatchResultKey> result_key;  // set => populate on finalize
   std::shared_ptr<const DualFilterResult> memo;  // keepalive for run state
   bool memo_hit = false;
   bool memo_miss = false;
+  bool memo_seeded = false;
   bool dead = false;  // BuildRunState failed; response already written
   bool is_regex = false;
   internal::RunState state;
@@ -782,14 +1023,66 @@ struct BatchPlan {
   }
 };
 
-// Number of batch plans that visit center c — a ball shared by >1 of them
-// is built once instead of `interested` times.
-size_t CountInterested(const std::vector<BatchPlan*>& group, NodeId center) {
-  size_t interested = 0;
-  for (const BatchPlan* plan : group) {
-    if (plan->Wants(center)) ++interested;
+// Whether two batch plans run the identical per-ball pipeline — same
+// effective pattern, same refinement inputs — so their Process on one
+// shared ball returns the identical (subgraph, stats delta) and the
+// refined per-ball dual relation can be computed once and reused. Plain
+// plans match by structural pattern equality (edge labels included);
+// regex plans only by prepared-query identity (the NFA product is not
+// canonicalized).
+bool SamePerBallPipeline(const BatchPlan& a, const BatchPlan& b) {
+  if (a.is_regex != b.is_regex) return false;
+  if (a.options.minimize_query != b.options.minimize_query ||
+      a.options.dual_filter != b.options.dual_filter ||
+      a.options.connectivity_pruning != b.options.connectivity_pruning) {
+    return false;
   }
-  return interested;
+  if (a.query == b.query) return true;
+  if (a.is_regex) return false;
+  return a.query != nullptr && b.query != nullptr &&
+         a.query->fingerprint() == b.query->fingerprint() &&
+         a.query->pattern().StructurallyEqual(b.query->pattern(),
+                                              /*compare_edge_labels=*/true);
+}
+
+// For each plan, the lowest-indexed group member with the same per-ball
+// pipeline (itself when unique). The root member evaluates each shared
+// ball once; the others reuse its refined relation.
+std::vector<size_t> ComputeShareRoots(const std::vector<BatchPlan*>& group) {
+  std::vector<size_t> root(group.size());
+  for (size_t p = 0; p < group.size(); ++p) {
+    root[p] = p;
+    for (size_t q = 0; q < p; ++q) {
+      if (root[q] == q && SamePerBallPipeline(*group[q], *group[p])) {
+        root[p] = q;
+        break;
+      }
+    }
+  }
+  return root;
+}
+
+// One shared per-ball evaluation, in flight: the root's refined result
+// and stats delta, handed to each sharing member until `remaining` hits
+// zero (then the slot resets for the next center).
+struct SharedEval {
+  bool computed = false;
+  size_t remaining = 0;
+  std::optional<PerfectSubgraph> pg;
+  MatchStats delta;
+};
+
+// Replicates the shared evaluation's counters onto one member — each
+// member reports the lone-run counts (the work its query logically
+// required), mirroring how balls_shared members each count the ball.
+// Wall time (refine_seconds) is instead divided by the root, like
+// ball_build_seconds, so summed batch stats reflect work actually done.
+void AccumulateSharedEval(const MatchStats& delta, MatchStats* stats) {
+  stats->balls_considered += delta.balls_considered;
+  stats->balls_skipped_pruning += delta.balls_skipped_pruning;
+  stats->balls_center_unmatched += delta.balls_center_unmatched;
+  stats->candidate_pairs_refined += delta.candidate_pairs_refined;
+  stats->refine_seconds += delta.refine_seconds;
 }
 
 // The shared ball loop, single-threaded: merged centers in ascending
@@ -801,14 +1094,23 @@ size_t CountInterested(const std::vector<BatchPlan*>& group, NodeId center) {
 void RunBatchGroupSerial(const CsrGraph& csr, const AuxGraphResult* group_aux,
                          uint32_t radius, const std::vector<NodeId>& merged,
                          const std::vector<BatchPlan*>& group,
+                         const std::vector<size_t>& share_root,
                          const Timer& batch_timer) {
   Ball ball;
   internal::MatchScratch scratch;
   internal::RegexBallScratch regex_scratch;
+  std::vector<size_t> active;
+  std::vector<size_t> root_active(group.size(), 0);
+  std::vector<SharedEval> eval(group.size());
   auto scan = [&](auto& builder) {
     for (NodeId center : merged) {
-      const size_t interested = CountInterested(group, center);
-      if (interested == 0) continue;  // every wanting plan has stopped
+      active.clear();
+      for (size_t p = 0; p < group.size(); ++p) {
+        if (group[p]->Wants(center)) active.push_back(p);
+      }
+      if (active.empty()) continue;  // every wanting plan has stopped
+      for (const size_t p : active) root_active[share_root[p]] = 0;
+      for (const size_t p : active) ++root_active[share_root[p]];
       Timer build_timer;
       builder.Build(center, radius, &ball);
       // One shared build, its cost amortized across the plans that use
@@ -816,21 +1118,42 @@ void RunBatchGroupSerial(const CsrGraph& csr, const AuxGraphResult* group_aux,
       // stats reflect the work actually done (not `interested` copies
       // of it).
       const double build_seconds =
-          build_timer.Seconds() / static_cast<double>(interested);
-      for (BatchPlan* plan : group) {
-        if (!plan->Wants(center)) continue;
-        plan->response.stats.ball_build_seconds += build_seconds;
-        if (interested > 1) ++plan->response.stats.balls_shared;
-        auto pg = plan->Process(ball, &plan->response.stats, &scratch,
-                                &regex_scratch);
+          build_timer.Seconds() / static_cast<double>(active.size());
+      for (const size_t p : active) {
+        BatchPlan* plan = group[p];
+        MatchStats& stats = plan->response.stats;
+        stats.ball_build_seconds += build_seconds;
+        if (active.size() > 1) ++stats.balls_shared;
+        // The shared evaluation: the root member refines the ball once;
+        // identical-pipeline members replicate its counters (and split
+        // its wall time) instead of re-running the fixpoint.
+        const size_t r = share_root[p];
+        SharedEval& ev = eval[r];
+        if (!ev.computed) {
+          ev.computed = true;
+          ev.delta = MatchStats{};
+          ev.pg =
+              group[r]->Process(ball, &ev.delta, &scratch, &regex_scratch);
+          ev.delta.refine_seconds /= static_cast<double>(root_active[r]);
+          ev.remaining = root_active[r];
+        }
+        AccumulateSharedEval(ev.delta, &stats);
+        if (root_active[r] > 1) ++stats.dual_relations_shared;
+        --ev.remaining;
+        std::optional<PerfectSubgraph> pg;
+        if (ev.remaining == 0) {
+          pg = std::move(ev.pg);
+          ev = SharedEval{};
+        } else {
+          pg = ev.pg;
+        }
         if (!pg.has_value()) continue;
         if (plan->sink != nullptr) {
           plan->Deliver(std::move(*pg), batch_timer);
           continue;
         }
         if (plan->raw.empty()) {
-          plan->response.stats.seconds_to_first_subgraph =
-              batch_timer.Seconds();
+          stats.seconds_to_first_subgraph = batch_timer.Seconds();
         }
         plan->raw.push_back(std::move(*pg));
       }
@@ -855,6 +1178,7 @@ void RunBatchGroupParallel(const CsrGraph& csr,
                            const AuxGraphResult* group_aux, uint32_t radius,
                            const std::vector<NodeId>& merged,
                            const std::vector<BatchPlan*>& group,
+                           const std::vector<size_t>& share_root,
                            size_t num_threads, const Timer& batch_timer) {
   constexpr size_t kQueueDepthPerWorker = 8;
   const size_t shards_count =
@@ -877,23 +1201,53 @@ void RunBatchGroupParallel(const CsrGraph& csr,
         Ball ball;
         internal::MatchScratch scratch;
         internal::RegexBallScratch regex_scratch;
+        std::vector<size_t> active;
+        std::vector<size_t> root_active(group.size(), 0);
+        std::vector<SharedEval> eval(group.size());
         auto run = [&](auto& builder) {
           for (size_t i = begin; i < end; ++i) {
             const NodeId center = merged[i];
-            const size_t interested = CountInterested(group, center);
-            if (interested == 0) continue;  // every wanting plan stopped
+            active.clear();
+            for (size_t p = 0; p < group.size(); ++p) {
+              if (group[p]->Wants(center)) active.push_back(p);
+            }
+            if (active.empty()) continue;  // every wanting plan stopped
+            for (const size_t p : active) root_active[share_root[p]] = 0;
+            for (const size_t p : active) ++root_active[share_root[p]];
             Timer build_timer;
             builder.Build(center, radius, &ball);
             // Shared build cost amortized across interested plans (see
             // RunBatchGroupSerial).
             const double build_seconds =
-                build_timer.Seconds() / static_cast<double>(interested);
-            for (size_t p = 0; p < group.size(); ++p) {
-              if (!group[p]->Wants(center)) continue;
-              shard_stats[s][p].ball_build_seconds += build_seconds;
-              if (interested > 1) ++shard_stats[s][p].balls_shared;
-              auto pg = group[p]->Process(ball, &shard_stats[s][p], &scratch,
+                build_timer.Seconds() / static_cast<double>(active.size());
+            for (const size_t p : active) {
+              MatchStats& stats = shard_stats[s][p];
+              stats.ball_build_seconds += build_seconds;
+              if (active.size() > 1) ++stats.balls_shared;
+              // Shared evaluation, as in the serial loop: the root
+              // refines once per (pipeline, ball); members replicate
+              // counters and split wall time.
+              const size_t r = share_root[p];
+              SharedEval& ev = eval[r];
+              if (!ev.computed) {
+                ev.computed = true;
+                ev.delta = MatchStats{};
+                ev.pg = group[r]->Process(ball, &ev.delta, &scratch,
                                           &regex_scratch);
+                ev.delta.refine_seconds /=
+                    static_cast<double>(root_active[r]);
+                ev.remaining = root_active[r];
+              }
+              AccumulateSharedEval(ev.delta, &stats);
+              if (root_active[r] > 1) ++stats.dual_relations_shared;
+              --ev.remaining;
+              std::optional<PerfectSubgraph> pg;
+              if (ev.remaining == 0) {
+                pg = std::move(ev.pg);
+                ev = SharedEval{};
+              } else {
+                pg = ev.pg;
+              }
               // Push cannot fail here: a batch has no whole-queue early
               // stop (a stopped streaming plan just stops being wanted),
               // so the drainer never cancels and Close happens only after
@@ -944,6 +1298,7 @@ void RunBatchGroupParallel(const CsrGraph& csr,
       total.balls_center_unmatched += shard.balls_center_unmatched;
       total.candidate_pairs_refined += shard.candidate_pairs_refined;
       total.balls_shared += shard.balls_shared;
+      total.dual_relations_shared += shard.dual_relations_shared;
       // Stage times are CPU-seconds: summed across workers.
       total.ball_build_seconds += shard.ball_build_seconds;
       total.refine_seconds += shard.refine_seconds;
@@ -1032,6 +1387,7 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     }
     BatchPlan plan;
     plan.index = i;
+    plan.query = item.query;
     plan.is_regex = regex_strong;
     if (item.sink) plan.sink = &item.sink;
     // Effective options — the same normalization as lone Dispatch, so the
@@ -1064,8 +1420,20 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
         served.stats.result_cache_misses = 0;
         served.stats.filter_cache_hits = 0;
         served.stats.filter_cache_misses = 0;
+        served.stats.filter_seeded_containment = 0;
+        served.stats.result_served_equivalent = 0;
         served.subgraphs_delivered = served.subgraphs.size();
         served.matched = !served.subgraphs.empty();
+        served.seconds = batch_timer.Seconds();
+        served.stats.total_seconds = served.seconds;
+        out[i] = std::move(served);
+        continue;
+      }
+      // Same fallback as lone Dispatch: an isomorphic donor's cached
+      // result answers this item through the witness renaming.
+      MatchResponse served;
+      if (TryServeEquivalentResult(*item.query, g, plan.options, request,
+                                   &served)) {
         served.seconds = batch_timer.Seconds();
         served.stats.total_seconds = served.seconds;
         out[i] = std::move(served);
@@ -1085,6 +1453,7 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     plan.memo = std::move(memo.filter);
     plan.memo_hit = memo.hit;
     plan.memo_miss = memo.miss;
+    plan.memo_seeded = memo.seeded;
     if (request.policy.kind == ExecPolicy::Kind::kParallel) {
       plan.parallel = true;
       plan.threads = request.policy.num_threads;
@@ -1227,11 +1596,15 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
               : std::max(1u, std::thread::hardware_concurrency());
       threads = std::max(threads, requested);
     }
+    // Identical-pipeline members of the group evaluate each shared ball
+    // once (the root refines, the rest reuse its relation).
+    const std::vector<size_t> share_root = ComputeShareRoots(group);
+
     if (parallel && threads > 1) {
-      RunBatchGroupParallel(*csr, group_aux, radius, merged, group, threads,
-                            batch_timer);
+      RunBatchGroupParallel(*csr, group_aux, radius, merged, group,
+                            share_root, threads, batch_timer);
     } else {
-      RunBatchGroupSerial(*csr, group_aux, radius, merged, group,
+      RunBatchGroupSerial(*csr, group_aux, radius, merged, group, share_root,
                           batch_timer);
     }
   }
@@ -1259,6 +1632,11 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
     }
     response.stats.filter_cache_hits = plan.memo_hit ? 1 : 0;
     response.stats.filter_cache_misses = plan.memo_miss ? 1 : 0;
+    response.stats.filter_seeded_containment = plan.memo_seeded ? 1 : 0;
+    if (response.stats.dual_relations_shared > 0) {
+      caches_->cross_query.dual_relations_shared.fetch_add(
+          response.stats.dual_relations_shared, std::memory_order_relaxed);
+    }
     if (plan.memo_miss) {
       response.stats.global_filter_seconds += plan.memo->seconds;
     }
@@ -1274,6 +1652,10 @@ std::vector<Result<MatchResponse>> Engine::MatchBatch(
       response.stats.result_cache_misses = 1;
       caches_->results.Put(*plan.result_key,
                            {response.subgraphs, response.stats});
+      if (!caches_->cross_query.Contains(plan.query->fingerprint())) {
+        caches_->cross_query.Register(
+            std::make_shared<const PreparedQuery>(*plan.query));
+      }
     }
     out[plan.index] = std::move(response);
   }

@@ -279,7 +279,9 @@ class Engine {
   /// "recompute everything" moments. See engine_cache.h.
   void TickDataVersion() const;
 
-  /// Snapshot of all six caches' counters plus the current data version.
+  /// Snapshot of all six caches' counters, the cross-query reuse counters
+  /// (equivalent-result hits, containment filter seeds, shared per-ball
+  /// relations), and the current data version.
   EngineCacheStats cache_stats() const;
 
   const EngineOptions& options() const { return options_; }
@@ -294,6 +296,9 @@ class Engine {
     std::shared_ptr<const DualFilterResult> filter;
     bool hit = false;
     bool miss = false;
+    /// This call's filter fixpoint was seeded from a containing cached
+    /// pattern's survivors (MatchStats::filter_seeded_containment).
+    bool seeded = false;
   };
 
   Result<MatchResponse> Dispatch(const PreparedQuery& query, const Graph& g,
@@ -313,6 +318,29 @@ class Engine {
   /// the executor then computes the filter itself, uncached.
   Status LookupRegexFilter(const PreparedQuery& query, const Graph& g,
                            ExecPolicy::Kind kind, FilterMemo* memo) const;
+
+  /// Containment-seeded filter computation (the LookupFilter miss path):
+  /// scans the cross-query index for a cached pattern that dual-contains
+  /// `query`, whose own filter memo for (g, current version) is resident;
+  /// when found, computes this query's filter starting from the donor's
+  /// survivor sets (translated through the containment witness) instead of
+  /// whole label classes — byte-identical result, smaller fixpoint. Writes
+  /// the result into *out and returns true; false means "no usable donor,
+  /// compute cold".
+  bool TrySeedFilter(const PreparedQuery& query, const Graph& g,
+                     bool minimize_query, DualFilterResult* out) const;
+
+  /// Equivalent-result serving (the result-cache miss path): scans the
+  /// cross-query index for a cached *isomorphic* pattern (same canonical
+  /// fingerprint, different exact fingerprint) whose materialized result
+  /// for the same (options, policy, g, version) is resident, verifies the
+  /// node renaming, and serves that entry with the relation translated to
+  /// this query's node ids. Returns true and fills *response (stats
+  /// stamped as a cross-query hit); false means "no donor, execute".
+  bool TryServeEquivalentResult(const PreparedQuery& query, const Graph& g,
+                                const MatchOptions& options,
+                                const MatchRequest& request,
+                                MatchResponse* response) const;
 
   /// The memoized CSR snapshot of `g` at the current data version, or
   /// null when the snapshot cache is disabled (callees then convert

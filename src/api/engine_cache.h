@@ -44,8 +44,13 @@
 #ifndef GPM_API_ENGINE_CACHE_H_
 #define GPM_API_ENGINE_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "api/prepared_query.h"
 #include "common/lru_cache.h"
@@ -225,6 +230,73 @@ struct CachedMatchResult {
 using MatchResultCache = LruCache<MatchResultKey, CachedMatchResult,
                                   MatchResultKeyHash>;
 
+/// \brief The cross-query containment index: a small bounded roster of
+/// recently prepared patterns, scanned when an *unseen* query arrives to
+/// find (a) an isomorphic donor whose materialized results can be served
+/// through a node renaming, or (b) a containing donor whose memoized dual
+/// filter can seed the new query's fixpoint (matching/containment.h).
+///
+/// Advisory only: every authoritative value still lives in the LRU caches
+/// and is re-validated at use time (witness verification, filter Peek), so
+/// a stale roster entry costs a failed probe, never a wrong answer. FIFO
+/// eviction keeps the scan bounded and the structure trivially correct
+/// under the engine's const-threaded use.
+class CrossQueryIndex {
+ public:
+  struct Entry {
+    uint64_t fingerprint = 0;            ///< exact ContentHash identity
+    uint64_t canonical_fingerprint = 0;  ///< isomorphism class (or exact)
+    std::shared_ptr<const PreparedQuery> query;
+  };
+
+  /// Adds `query` to the roster (dedup'd by exact fingerprint; refreshes
+  /// nothing — FIFO). Regex queries may be registered too — the scan side
+  /// skips them (their filter semantics differ from the plain dual
+  /// filter), but accepting them keeps the call sites uniform.
+  void Register(std::shared_ptr<const PreparedQuery> query) {
+    if (query == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& e : entries_) {
+      if (e.fingerprint == query->fingerprint()) return;
+    }
+    if (entries_.size() >= kCapacity) entries_.pop_front();
+    entries_.push_back(Entry{query->fingerprint(),
+                             query->canonical_fingerprint(), std::move(query)});
+  }
+
+  /// True iff an entry with this exact fingerprint is on the roster —
+  /// lets callers skip the PreparedQuery copy Register would dedup away.
+  bool Contains(uint64_t fingerprint) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& e : entries_) {
+      if (e.fingerprint == fingerprint) return true;
+    }
+    return false;
+  }
+
+  /// A point-in-time copy of the roster (newest last). Cheap: shared_ptr
+  /// copies of at most kCapacity entries.
+  std::vector<Entry> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {entries_.begin(), entries_.end()};
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  /// Cross-query reuse counters (monotonic, engine lifetime).
+  std::atomic<uint64_t> equivalent_result_hits{0};
+  std::atomic<uint64_t> containment_filter_seeds{0};
+  std::atomic<uint64_t> dual_relations_shared{0};
+
+ private:
+  static constexpr size_t kCapacity = 64;
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+};
+
 /// \brief Snapshot of the engine caches (Engine::cache_stats()).
 struct EngineCacheStats {
   CacheStats prepared;
@@ -234,6 +306,14 @@ struct EngineCacheStats {
   CacheStats csr;
   CacheStats aux;
   uint64_t data_version = 0;
+  /// Cross-query reuse: responses served from an isomorphic pattern's
+  /// cached result, dual filters seeded from a containing pattern's memo,
+  /// per-ball dual relations reused across batch plans, and the current
+  /// containment-index roster size.
+  uint64_t equivalent_result_hits = 0;
+  uint64_t containment_filter_seeds = 0;
+  uint64_t dual_relations_shared = 0;
+  size_t cross_query_entries = 0;
 };
 
 }  // namespace gpm

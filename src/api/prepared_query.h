@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/status.h"
 #include "extensions/regex_pattern.h"
@@ -57,6 +58,22 @@ class PreparedQuery {
   /// and per-(pattern, data) dual-filter memos both key on it).
   uint64_t fingerprint() const { return fingerprint_; }
 
+  /// Isomorphism-invariant fingerprint: equal for plain patterns that are
+  /// node-renamings of each other (CanonicalFingerprint over
+  /// canonical_order()). Falls back to fingerprint() when canonicalization
+  /// gave up or the query is a regex query — then it is exact-identity,
+  /// never cross-pattern. PrepareCached keys its cache on this, so a
+  /// permuted copy of a cached pattern finds the existing entry.
+  uint64_t canonical_fingerprint() const { return canonical_fingerprint_; }
+
+  /// The canonical node order behind canonical_fingerprint(); empty when
+  /// canonicalization was skipped (regex) or gave up (permutation budget).
+  /// Two prepared patterns with equal canonical fingerprints and non-empty
+  /// orders yield a node renaming via WitnessFromCanonicalOrders.
+  const std::vector<NodeId>& canonical_order() const {
+    return canonical_order_;
+  }
+
  private:
   friend class Engine;
   PreparedQuery() = default;
@@ -67,6 +84,8 @@ class PreparedQuery {
   std::optional<RegexQuery> regex_;
   uint32_t regex_radius_ = 0;
   uint64_t fingerprint_ = 0;
+  uint64_t canonical_fingerprint_ = 0;
+  std::vector<NodeId> canonical_order_;
 };
 
 }  // namespace gpm

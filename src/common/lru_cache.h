@@ -90,6 +90,16 @@ class LruCache {
     return stored;
   }
 
+  /// Quiet probe: returns the cached value without counting a lookup or
+  /// refreshing recency. For opportunistic donor checks (cross-query
+  /// containment scans) that must not skew the hit-rate counters or keep
+  /// entries alive that the serving path itself no longer touches.
+  std::shared_ptr<const Value> Peek(const Key& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : it->second.value;
+  }
+
   /// Drops every entry (outstanding shared_ptrs stay valid). Counters are
   /// kept — Clear is invalidation, not a statistics reset.
   void Clear() {

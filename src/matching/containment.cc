@@ -1,0 +1,253 @@
+#include "matching/containment.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <tuple>
+
+#include "common/logging.h"
+#include "matching/dual_simulation.h"
+#include "matching/match_relation.h"
+
+namespace gpm {
+namespace {
+
+// Hard cap on the number of within-class assignments CanonicalOrder will
+// enumerate. 10080 = 7!·2: generous for the hand-sized patterns the
+// engine compiles, tiny against a ball refinement. The cap is a function
+// of the refined class sizes only, which are isomorphism-invariant, so
+// every isomorphic copy of a pattern gives up (or not) together.
+constexpr uint64_t kPermutationBudget = 10080;
+
+// One WL-1 round: signature of v = (current color, sorted out-edge
+// (label, child color) pairs, sorted in-edge parent colors), canonically
+// renumbered by sorting. Returns the number of distinct colors.
+size_t RefineColors(const Graph& q, std::vector<uint32_t>* colors) {
+  const size_t n = q.num_nodes();
+  std::vector<std::vector<uint64_t>> sig(n);
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<uint64_t>& s = sig[v];
+    s.push_back((*colors)[v]);
+    auto children = q.OutNeighbors(v);
+    auto elabels = q.OutEdgeLabels(v);
+    std::vector<uint64_t> out_items;
+    out_items.reserve(children.size());
+    for (size_t i = 0; i < children.size(); ++i) {
+      out_items.push_back((static_cast<uint64_t>(elabels[i]) << 32) |
+                          (*colors)[children[i]]);
+    }
+    std::sort(out_items.begin(), out_items.end());
+    s.push_back(out_items.size());
+    s.insert(s.end(), out_items.begin(), out_items.end());
+    std::vector<uint64_t> in_items;
+    in_items.reserve(q.InDegree(v));
+    for (NodeId p : q.InNeighbors(v)) in_items.push_back((*colors)[p]);
+    std::sort(in_items.begin(), in_items.end());
+    s.insert(s.end(), in_items.begin(), in_items.end());
+  }
+  std::vector<NodeId> by_sig(n);
+  for (NodeId v = 0; v < n; ++v) by_sig[v] = v;
+  std::sort(by_sig.begin(), by_sig.end(),
+            [&sig](NodeId a, NodeId b) { return sig[a] < sig[b]; });
+  size_t num_colors = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && sig[by_sig[i]] != sig[by_sig[i - 1]]) ++num_colors;
+    (*colors)[by_sig[i]] = static_cast<uint32_t>(num_colors);
+  }
+  return n == 0 ? 0 : num_colors + 1;
+}
+
+// The reordered edge list under a node -> position assignment: sorted
+// (pos(u), pos(v), edge label) triples. The tie-break objective of the
+// permutation search and the payload of CanonicalFingerprint.
+using EdgeSig = std::vector<std::tuple<uint32_t, uint32_t, uint32_t>>;
+
+EdgeSig EdgeSignature(const Graph& q, const std::vector<uint32_t>& pos) {
+  EdgeSig sig;
+  sig.reserve(q.num_edges());
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    auto children = q.OutNeighbors(u);
+    auto elabels = q.OutEdgeLabels(u);
+    for (size_t i = 0; i < children.size(); ++i) {
+      sig.emplace_back(pos[u], pos[children[i]], elabels[i]);
+    }
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+// Edge label of (u, v) in q, assuming the edge exists (parallel edges are
+// removed by Finalize, so the label is unique).
+EdgeLabel LabelOfEdge(const Graph& q, NodeId u, NodeId v) {
+  auto children = q.OutNeighbors(u);
+  auto it = std::lower_bound(children.begin(), children.end(), v);
+  GPM_CHECK(it != children.end() && *it == v);
+  return q.OutEdgeLabels(u)[static_cast<size_t>(it - children.begin())];
+}
+
+}  // namespace
+
+ContainmentWitness CheckDualContainment(const Graph& container,
+                                        const Graph& contained) {
+  GPM_CHECK(container.finalized() && contained.finalized());
+  ContainmentWitness w;
+  const MatchRelation r = ComputeDualSimulation(container, contained);
+  w.contained = !r.sim.empty() && r.IsTotal();
+  w.map.assign(contained.num_nodes(), kInvalidNode);
+  if (!w.contained) return w;
+  // Smallest witness wins: iterate container nodes in ascending order and
+  // keep the first cover of each contained node.
+  for (NodeId cw = 0; cw < container.num_nodes(); ++cw) {
+    for (NodeId u : r.sim[cw]) {
+      if (w.map[u] == kInvalidNode) {
+        w.map[u] = cw;
+        ++w.covered;
+      }
+    }
+  }
+  return w;
+}
+
+bool CanonicalOrder(const Graph& q, std::vector<NodeId>* order) {
+  GPM_CHECK(q.finalized());
+  order->clear();
+  const size_t n = q.num_nodes();
+  if (n == 0) return true;
+
+  // Initial colors: dense rank of the node label (label ids may be
+  // arbitrary, but their relative order is content, not identity).
+  std::vector<Label> distinct(q.DistinctLabels().begin(),
+                              q.DistinctLabels().end());
+  std::vector<uint32_t> colors(n);
+  for (NodeId v = 0; v < n; ++v) {
+    colors[v] = static_cast<uint32_t>(
+        std::lower_bound(distinct.begin(), distinct.end(), q.label(v)) -
+        distinct.begin());
+  }
+
+  // WL-1 to a fixpoint: the class count is nondecreasing and bounded by n.
+  size_t num_colors = RefineColors(q, &colors);
+  for (size_t round = 0; round < n; ++round) {
+    const size_t next = RefineColors(q, &colors);
+    if (next == num_colors) break;
+    num_colors = next;
+  }
+
+  // Group nodes by final color; class k holds positions
+  // [offsets[k], offsets[k] + classes[k].size()).
+  std::vector<std::vector<NodeId>> classes(num_colors);
+  for (NodeId v = 0; v < n; ++v) classes[colors[v]].push_back(v);
+
+  // Budget: product of class factorials, the exact number of assignments
+  // the odometer below enumerates.
+  uint64_t budget = 1;
+  for (const auto& cls : classes) {
+    if (cls.size() > 7) return false;  // 8! alone exceeds the budget
+    static constexpr std::array<uint64_t, 8> kFact = {1,   1,   2,    6,
+                                                      24,  120, 720,  5040};
+    budget *= kFact[cls.size()];
+    if (budget > kPermutationBudget) return false;
+  }
+
+  std::vector<uint32_t> offsets(num_colors, 0);
+  for (size_t k = 1; k < num_colors; ++k) {
+    offsets[k] = offsets[k - 1] + static_cast<uint32_t>(classes[k - 1].size());
+  }
+
+  // Odometer over per-class permutations (each class list starts sorted,
+  // so next_permutation cycles through all |cls|! arrangements). The
+  // minimum edge signature over every enumerated assignment is canonical:
+  // the enumeration covers the whole automorphism-candidate space, so the
+  // min does not depend on input node numbering.
+  std::vector<uint32_t> pos(n);
+  EdgeSig best_sig;
+  std::vector<NodeId> best_order;
+  bool have_best = false;
+  while (true) {
+    for (size_t k = 0; k < num_colors; ++k) {
+      for (size_t i = 0; i < classes[k].size(); ++i) {
+        pos[classes[k][i]] = offsets[k] + static_cast<uint32_t>(i);
+      }
+    }
+    EdgeSig sig = EdgeSignature(q, pos);
+    if (!have_best || sig < best_sig) {
+      best_sig = std::move(sig);
+      best_order.assign(n, 0);
+      for (NodeId v = 0; v < n; ++v) best_order[pos[v]] = v;
+      have_best = true;
+    }
+    // Advance the odometer: lowest class first.
+    size_t k = 0;
+    while (k < num_colors &&
+           !std::next_permutation(classes[k].begin(), classes[k].end())) {
+      ++k;  // this class wrapped back to sorted order; carry
+    }
+    if (k == num_colors) break;
+  }
+  *order = std::move(best_order);
+  return true;
+}
+
+uint64_t CanonicalFingerprint(const Graph& q,
+                              const std::vector<NodeId>& order) {
+  GPM_CHECK_EQ(order.size(), q.num_nodes());
+  uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  const size_t n = q.num_nodes();
+  mix(n);
+  std::vector<uint32_t> pos(n);
+  for (size_t i = 0; i < n; ++i) pos[order[i]] = static_cast<uint32_t>(i);
+  for (size_t i = 0; i < n; ++i) mix(q.label(order[i]));
+  EdgeSig sig = EdgeSignature(q, pos);
+  mix(sig.size());
+  for (const auto& [pu, pv, el] : sig) {
+    mix((static_cast<uint64_t>(pu) << 32) | pv);
+    mix(el);
+  }
+  return h;
+}
+
+std::optional<std::vector<NodeId>> WitnessFromCanonicalOrders(
+    const Graph& a, const std::vector<NodeId>& order_a, const Graph& b,
+    const std::vector<NodeId>& order_b) {
+  const size_t n = a.num_nodes();
+  if (b.num_nodes() != n || a.num_edges() != b.num_edges() ||
+      order_a.size() != n || order_b.size() != n) {
+    return std::nullopt;
+  }
+  std::vector<NodeId> phi(n, kInvalidNode);
+  for (size_t i = 0; i < n; ++i) phi[order_a[i]] = order_b[i];
+  // Verify phi is a labeled isomorphism; any mismatch means the canonical
+  // fingerprints collided and the caller must not reuse anything.
+  for (NodeId u = 0; u < n; ++u) {
+    if (phi[u] == kInvalidNode) return std::nullopt;
+    if (a.label(u) != b.label(phi[u])) return std::nullopt;
+    auto children = a.OutNeighbors(u);
+    auto elabels = a.OutEdgeLabels(u);
+    if (children.size() != b.OutDegree(phi[u])) return std::nullopt;
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (!b.HasEdge(phi[u], phi[children[i]])) return std::nullopt;
+      if (LabelOfEdge(b, phi[u], phi[children[i]]) != elabels[i]) {
+        return std::nullopt;
+      }
+    }
+  }
+  return phi;
+}
+
+std::optional<std::vector<NodeId>> EquivalenceWitness(const Graph& a,
+                                                      const Graph& b) {
+  std::vector<NodeId> order_a;
+  std::vector<NodeId> order_b;
+  if (!CanonicalOrder(a, &order_a) || !CanonicalOrder(b, &order_b)) {
+    return std::nullopt;
+  }
+  return WitnessFromCanonicalOrders(a, order_a, b, order_b);
+}
+
+}  // namespace gpm

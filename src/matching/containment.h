@@ -1,0 +1,101 @@
+// Simulation-family pattern containment and equivalence, decided in PTIME
+// ("Revisited Containment for Graph Patterns", Mahfoud).
+//
+// Containment here is the semantic notion the serving path needs: Qa
+// contains Qb (written Qb ⊑ Qa) iff for *every* data graph G the maximum
+// dual-simulation relation of Qb in G is covered by the one of Qa. The
+// PTIME decision procedure treats the contained pattern as data: compute
+// R = ComputeDualSimulation(Qa, Qb); Qb ⊑ Qa iff R is total on V(Qa).
+//
+// Why that is sound (the composition lemma used by the engine's filter
+// seeding): let S be the maximum dual simulation of Qb in any G. For
+// (w, u) ∈ R, define T.sim[w] = ∪_{u ∈ R.sim[w]} S.sim[u]. T is a dual
+// simulation of Qa in G (child/parent obligations compose through R and
+// S), hence T ⊆ S_max(Qa, G). In particular, for every u ∈ V(Qb) and any
+// witness w with (w, u) ∈ R: sim_G(Qb)[u] ⊆ sim_G(Qa)[w]. So the
+// container's memoized filter survivors are a correct superset to start
+// the contained query's fixpoint from — the greatest fixpoint below a
+// superset of the maximum relation is the maximum relation itself, and
+// results stay byte-identical to a cold run.
+//
+// Equivalence, by contrast, must be *isomorphism*: dual containment both
+// ways is not enough to serve one pattern's strong-simulation results as
+// another's (a 2-cycle and a 4-cycle are dual-equivalent yet have
+// different diameters, so their balls — and their Θ — differ). The
+// canonical-order machinery below decides labeled-digraph isomorphism for
+// the small patterns the engine sees: WL-1 color refinement plus a
+// budgeted within-class permutation search, yielding a canonical node
+// order whose induced fingerprint is equal for two patterns iff they are
+// isomorphic (up to hash collision, which callers re-check via a witness).
+
+#ifndef GPM_MATCHING_CONTAINMENT_H_
+#define GPM_MATCHING_CONTAINMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gpm {
+
+/// \brief Outcome of a dual-containment test Qb ⊑ Qa, with the witness
+/// embedding the engine uses to translate candidate sets.
+struct ContainmentWitness {
+  /// True iff the contained pattern is dual-contained in the container.
+  bool contained = false;
+  /// For each node u of the contained pattern, one container node w with
+  /// (w, u) in the maximum dual simulation of container-in-contained —
+  /// i.e. sim_G(contained)[u] ⊆ sim_G(container)[w] for every G. Nodes the
+  /// relation leaves uncovered hold kInvalidNode (callers fall back to the
+  /// label class for those).
+  std::vector<NodeId> map;
+  /// Number of entries of `map` that are not kInvalidNode.
+  size_t covered = 0;
+};
+
+/// Decides `contained` ⊑ `container` (dual-simulation containment, edge
+/// labels ignored — matching ComputeDualSimulation's semantics). Both
+/// graphs must be finalized, non-empty, and are expected to be connected
+/// patterns (the engine's invariant); for a connected container a
+/// non-total relation cascades to empty, so `contained == false` means no
+/// witness at all. O((|Va|+|Ea|)(|Vb|+|Eb|)).
+ContainmentWitness CheckDualContainment(const Graph& container,
+                                        const Graph& contained);
+
+/// Computes a canonical node order of pattern q: a permutation of V(q)
+/// such that isomorphic patterns (same node labels, edges, and edge
+/// labels) produce element-wise corresponding orders. WL-1 color
+/// refinement first; ties inside refined classes are broken by an
+/// exhaustive per-class permutation search minimizing the reordered edge
+/// signature, bounded by a fixed budget (Π class-factorials ≤ ~10k). The
+/// budget is isomorphism-invariant, so a give-up is consistent across all
+/// isomorphic copies. Returns false (order cleared) when the budget is
+/// exceeded; callers then fall back to exact-hash identity.
+bool CanonicalOrder(const Graph& q, std::vector<NodeId>* order);
+
+/// Fingerprint of q under a canonical order from CanonicalOrder: FNV-1a
+/// over node count, labels in order, and the sorted (pos(u), pos(v),
+/// edge label) edge list. Equal for isomorphic patterns; unequal for
+/// non-isomorphic ones up to hash collision.
+uint64_t CanonicalFingerprint(const Graph& q,
+                              const std::vector<NodeId>& order);
+
+/// Builds the node renaming phi : V(a) -> V(b) implied by two canonical
+/// orders (phi[order_a[i]] = order_b[i]) and *verifies* it is a labeled
+/// isomorphism (node labels, edge sets, edge labels). Returns nullopt on
+/// any mismatch — the fingerprint-collision escape hatch.
+std::optional<std::vector<NodeId>> WitnessFromCanonicalOrders(
+    const Graph& a, const std::vector<NodeId>& order_a, const Graph& b,
+    const std::vector<NodeId>& order_b);
+
+/// Convenience: canonical orders for both graphs, then
+/// WitnessFromCanonicalOrders. nullopt when either canonicalization gives
+/// up or the graphs are not isomorphic.
+std::optional<std::vector<NodeId>> EquivalenceWitness(const Graph& a,
+                                                      const Graph& b);
+
+}  // namespace gpm
+
+#endif  // GPM_MATCHING_CONTAINMENT_H_

@@ -212,10 +212,18 @@ bool ExtractMaxPG(const Graph& qeff, const Ball& ball, const MatchRelation& sw,
 
 // Runs the §4.2 global dual-simulation fixpoint on (qeff, g) and packs
 // its memoizable product: per-query-node bitmaps and the surviving
-// centers (or proven_empty when the relation is not total).
-void FillDualFilter(const Graph& qeff, const Graph& g, DualFilterResult* out) {
+// centers (or proven_empty when the relation is not total). `initial`,
+// when non-null, supplies the starting candidate lists (one sorted unique
+// superset of the maximum relation per qeff node) instead of whole label
+// classes — the cross-query seeding path; the fixpoint below a superset
+// of the maximum relation lands on the maximum relation, so the packed
+// result is identical either way.
+void FillDualFilter(const Graph& qeff, const Graph& g,
+                    const std::vector<std::vector<NodeId>>* initial,
+                    DualFilterResult* out) {
   Timer filter_timer;
-  const MatchRelation global = ComputeDualSimulation(qeff, g);
+  const MatchRelation global = internal::RefineSimulation(
+      qeff, g, /*dual=*/true, initial, /*seeds=*/nullptr);
   if (!global.IsTotal()) {
     out->proven_empty = true;
     out->seconds = filter_timer.Seconds();
@@ -422,7 +430,8 @@ Status BuildRunState(const Graph& q, const Graph& g,
   // is pointed into instead of recomputed: the serving-path reuse seam.
   if (options.dual_filter) {
     if (filter == nullptr) {
-      FillDualFilter(*state->effective_pattern, g, &state->filter_storage);
+      FillDualFilter(*state->effective_pattern, g, /*initial=*/nullptr,
+                     &state->filter_storage);
       stats->global_filter_seconds = state->filter_storage.seconds;
       filter = &state->filter_storage;
     }
@@ -470,7 +479,33 @@ Result<DualFilterResult> ComputeDualFilter(const Graph& q, const Graph& g,
     }
   }
   DualFilterResult out;
-  FillDualFilter(*qeff, g, &out);
+  FillDualFilter(*qeff, g, /*initial=*/nullptr, &out);
+  return out;
+}
+
+Result<DualFilterResult> ComputeDualFilterSeeded(
+    const Graph& q, const Graph& g, bool minimize_query,
+    const PatternPrep* prep, const std::vector<std::vector<NodeId>>& initial) {
+  GPM_CHECK(q.finalized() && g.finalized());
+  PatternPrep local_prep;
+  if (prep == nullptr) {
+    GPM_ASSIGN_OR_RETURN(local_prep, PreparePattern(q, minimize_query));
+    prep = &local_prep;
+  }
+  const Graph* qeff = &q;
+  Graph qmin_storage;
+  if (minimize_query) {
+    if (prep->has_minimized) {
+      qeff = &prep->minimized;
+    } else {
+      GPM_ASSIGN_OR_RETURN(MinimizedQuery mq, MinimizeQuery(q));
+      qmin_storage = std::move(mq.minimized);
+      qeff = &qmin_storage;
+    }
+  }
+  GPM_CHECK_EQ(initial.size(), qeff->num_nodes());
+  DualFilterResult out;
+  FillDualFilter(*qeff, g, &initial, &out);
   return out;
 }
 

@@ -133,6 +133,18 @@ struct MatchStats {
   /// MatchBatch only: balls this request evaluated whose construction was
   /// shared with at least one other request of the same batch.
   size_t balls_shared = 0;
+  /// MatchBatch only: balls whose refined per-ball dual relation (the
+  /// expensive fixpoint + ExtractMaxPG) was computed once and reused
+  /// across requests over the same effective pattern, this one included.
+  size_t dual_relations_shared = 0;
+  /// Engine cross-query counters (0/1 each). result_served_equivalent: the
+  /// response was a cached result of an isomorphic pattern, translated
+  /// through the canonical-order witness. filter_seeded_containment: the
+  /// global dual filter's fixpoint started from a containing cached
+  /// pattern's survivors instead of whole label classes (byte-identical
+  /// outcome, less work).
+  size_t result_served_equivalent = 0;
+  size_t filter_seeded_containment = 0;
 };
 
 /// \brief Per-pattern state reusable across data graphs: the §4.2
@@ -182,6 +194,21 @@ struct DualFilterResult {
 Result<DualFilterResult> ComputeDualFilter(const Graph& q, const Graph& g,
                                            bool minimize_query,
                                            const PatternPrep* prep = nullptr);
+
+/// ComputeDualFilter with explicit initial candidate sets: `initial` must
+/// hold one sorted unique data-node list per *effective* pattern node
+/// (the minQ quotient node when `minimize_query`), each candidate
+/// carrying that node's label, and every list must be a superset of the
+/// node's slice of the maximum dual relation. Then the greatest fixpoint
+/// below `initial` *is* the maximum relation, and the result is
+/// byte-identical to ComputeDualFilter — only cheaper, because the
+/// worklist starts from the smaller sets. The engine uses this to seed a
+/// contained query's filter from a containing pattern's memoized
+/// survivors (see matching/containment.h for the composition lemma that
+/// justifies the superset property).
+Result<DualFilterResult> ComputeDualFilterSeeded(
+    const Graph& q, const Graph& g, bool minimize_query,
+    const PatternPrep* prep, const std::vector<std::vector<NodeId>>& initial);
 
 /// \brief Streaming consumer of perfect subgraphs. Return false to stop
 /// the scan early (parallel executors cancel outstanding shards; nothing

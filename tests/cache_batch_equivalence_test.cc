@@ -609,6 +609,250 @@ TEST(RegexCacheInvalidationTest, InPlaceGraphReplacementServesFreshAnswers) {
   EXPECT_FALSE(after->matched);
 }
 
+// ---------------------------------------------------------------------------
+// Cross-query axis: renamed (isomorphic) patterns are served from the
+// donor's cached result through the canonical-order witness; specialized
+// (contained) patterns seed their dual filter from the container's memo;
+// duplicated batch items compute each per-ball dual relation once. Every
+// served or seeded answer must stay byte-identical to a cold, cacheless
+// run of the same request.
+// ---------------------------------------------------------------------------
+
+// Relabels q's nodes through perm (perm[old] = new id), preserving node
+// labels and edge labels — a random isomorphic copy.
+Graph Permute(const Graph& q, const std::vector<NodeId>& perm) {
+  const size_t n = q.num_nodes();
+  std::vector<Label> labels(n);
+  for (NodeId u = 0; u < n; ++u) labels[perm[u]] = q.label(u);
+  Graph out;
+  for (Label l : labels) out.AddNode(l);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = q.OutNeighbors(u);
+    const auto elabels = q.OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      out.AddEdge(perm[u], perm[nbrs[i]], elabels[i]);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+// A renamed copy of q guaranteed to carry a different exact content hash
+// (so the prepared/result caches cannot serve it as an exact repeat).
+Graph RenamedCopy(const Graph& q, Rng* rng) {
+  const size_t n = q.num_nodes();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<NodeId> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);
+    for (size_t i = n; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng->Uniform(i)]);
+    }
+    Graph renamed = Permute(q, perm);
+    if (renamed.ContentHash() != q.ContentHash()) return renamed;
+  }
+  ADD_FAILURE() << "could not find a non-trivial renaming";
+  return q;
+}
+
+// Specializes q: a copy with an extra fresh-label path hung off node 0 —
+// dual-contained in q via the identity embedding.
+Graph Specialize(const Graph& q, size_t extra_nodes) {
+  Graph out;
+  for (NodeId u = 0; u < q.num_nodes(); ++u) out.AddNode(q.label(u));
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    const auto nbrs = q.OutNeighbors(u);
+    const auto elabels = q.OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      out.AddEdge(u, nbrs[i], elabels[i]);
+    }
+  }
+  Label fresh = 1;
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    fresh = std::max(fresh, static_cast<Label>(q.label(u) + 1));
+  }
+  NodeId tail = 0;
+  for (size_t i = 0; i < extra_nodes; ++i) {
+    const NodeId fresh_node = out.AddNode(fresh + static_cast<Label>(i));
+    out.AddEdge(tail, fresh_node);
+    tail = fresh_node;
+  }
+  out.Finalize();
+  return out;
+}
+
+// A renamed pattern is answered from the isomorphic donor's cached
+// result — flagged as such — and equals the cacheless cold run, lone and
+// batched, Serial and Parallel.
+TEST(CrossQueryEquivalenceTest, RenamedPatternServedFromCachedResult) {
+  for (uint64_t seed : {11u, 37u}) {
+    Rng rng(seed * 57 + 3);
+    const Graph g = MakeAmazonLike(/*n=*/400, seed, /*num_labels=*/12);
+    auto q = ExtractPattern(g, /*nq=*/4, &rng);
+    ASSERT_TRUE(q.ok());
+    const Graph renamed = RenamedCopy(*q, &rng);
+    const Engine baseline_engine = UncachedEngine();
+    for (Algo algo : kStrongAlgos) {
+      for (const ExecPolicy& policy :
+           {ExecPolicy::Serial(), ExecPolicy::Parallel(3)}) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) + " algo=" +
+                     std::to_string(static_cast<int>(algo)) + " policy=" +
+                     std::string(ExecPolicyName(policy.kind)));
+        const Engine engine;  // fresh roster per combination
+        auto donor = engine.PrepareCached(*q);
+        ASSERT_TRUE(donor.ok());
+        auto cold = engine.Match(**donor, g, Request(algo, policy));
+        ASSERT_TRUE(cold.ok());
+
+        auto caller = engine.PrepareCached(renamed);
+        ASSERT_TRUE(caller.ok());
+        EXPECT_NE((*caller)->fingerprint(), (*donor)->fingerprint());
+        EXPECT_EQ((*caller)->canonical_fingerprint(),
+                  (*donor)->canonical_fingerprint());
+
+        auto lone = baseline_engine.Match(renamed, g, Request(algo, policy));
+        ASSERT_TRUE(lone.ok());
+
+        auto served = engine.Match(**caller, g, Request(algo, policy));
+        ASSERT_TRUE(served.ok());
+        EXPECT_EQ(served->stats.result_served_equivalent, 1u);
+        EXPECT_EQ(served->stats.result_cache_hits, 1u);
+        ExpectSameResults(lone->subgraphs, served->subgraphs,
+                          "renamed lone");
+        EXPECT_EQ(engine.cache_stats().equivalent_result_hits, 1u);
+
+        // The same serve works from inside MatchBatch.
+        std::vector<BatchItem> items;
+        items.push_back({caller->get(), Request(algo, policy)});
+        auto batch = engine.MatchBatch(g, items);
+        ASSERT_EQ(batch.size(), 1u);
+        ASSERT_TRUE(batch[0].ok());
+        EXPECT_EQ(batch[0]->stats.result_served_equivalent, 1u);
+        ExpectSameResults(lone->subgraphs, batch[0]->subgraphs,
+                          "renamed batch");
+        EXPECT_EQ(engine.cache_stats().equivalent_result_hits, 2u);
+      }
+    }
+  }
+}
+
+// A specialized (dual-contained) pattern starts its fixpoint from the
+// container's memoized survivors — flagged as seeded — and the answer
+// equals the cacheless cold run across policies and algos.
+TEST(CrossQueryEquivalenceTest, ContainedPatternSeededFromDonorFilter) {
+  for (uint64_t seed : {9u, 23u, 58u}) {
+    Rng rng(seed * 413 + 7);
+    const Graph g = MakeAmazonLike(/*n=*/350, seed, /*num_labels=*/10);
+    auto q = ExtractPattern(g, /*nq=*/4, &rng);
+    ASSERT_TRUE(q.ok());
+    const Graph spec = Specialize(*q, /*extra_nodes=*/2);
+    const Engine baseline_engine = UncachedEngine();
+    // Two seeding shapes: the bare filter (kStrong + dual_filter, no
+    // quotient) and the full §4.2 pipeline (kStrongPlus minimizes, so the
+    // donor survivors are translated between the minimized patterns).
+    MatchRequest filter_only = Request(Algo::kStrong);
+    filter_only.options.dual_filter = true;
+    const MatchRequest variants[] = {filter_only,
+                                     Request(Algo::kStrongPlus)};
+    for (const MatchRequest& base : variants) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " algo=" +
+                   std::to_string(static_cast<int>(base.algo)));
+      const Engine engine;
+      auto donor = engine.PrepareCached(*q);
+      ASSERT_TRUE(donor.ok());
+      // Materialize the donor's dual filter in the memo.
+      auto warm = engine.Match(**donor, g, base);
+      ASSERT_TRUE(warm.ok());
+
+      auto caller = engine.PrepareCached(spec);
+      ASSERT_TRUE(caller.ok());
+      auto seeded = engine.Match(**caller, g, base);
+      ASSERT_TRUE(seeded.ok());
+      EXPECT_EQ(seeded->stats.filter_seeded_containment, 1u);
+      EXPECT_EQ(seeded->stats.result_served_equivalent, 0u);
+      auto lone = baseline_engine.Match(spec, g, base);
+      ASSERT_TRUE(lone.ok());
+      ExpectSameResults(lone->subgraphs, seeded->subgraphs, "seeded serial");
+
+      // Parallel reuses the (identical) memoized filter — still equal.
+      MatchRequest parallel_request = base;
+      parallel_request.policy = ExecPolicy::Parallel(3);
+      auto parallel = engine.Match(**caller, g, parallel_request);
+      ASSERT_TRUE(parallel.ok());
+      auto lone_parallel = baseline_engine.Match(spec, g, parallel_request);
+      ASSERT_TRUE(lone_parallel.ok());
+      ExpectSameResults(lone_parallel->subgraphs, parallel->subgraphs,
+                        "seeded parallel");
+      EXPECT_GT(engine.cache_stats().containment_filter_seeds, 0u);
+    }
+  }
+}
+
+// Duplicated batch items — by pointer and by structural equality — refine
+// each shared ball once and report it, with answers identical to lone
+// cacheless runs.
+TEST(CrossQueryBatchTest, DuplicateItemsShareDualRelations) {
+  const Workload w = MakeWorkload(83);
+  ASSERT_FALSE(w.patterns.empty());
+  EngineOptions no_result_cache;
+  no_result_cache.result_cache_capacity = 0;
+  const Engine engine(no_result_cache);
+  const Engine baseline_engine = UncachedEngine();
+  // Two distinct PreparedQuery objects over one pattern: sharing must
+  // also engage through structural equality, not just pointer identity.
+  auto pq1 = engine.Prepare(w.patterns[0]);
+  auto pq2 = engine.Prepare(w.patterns[0]);
+  ASSERT_TRUE(pq1.ok() && pq2.ok());
+  for (const ExecPolicy& policy :
+       {ExecPolicy::Serial(), ExecPolicy::Parallel(3)}) {
+    SCOPED_TRACE(std::string("policy=") + ExecPolicyName(policy.kind));
+    auto lone = baseline_engine.Match(w.patterns[0], w.g,
+                                      Request(Algo::kStrongPlus, policy));
+    ASSERT_TRUE(lone.ok());
+    std::vector<BatchItem> items;
+    items.push_back({&*pq1, Request(Algo::kStrongPlus, policy)});
+    items.push_back({&*pq1, Request(Algo::kStrongPlus, policy)});
+    items.push_back({&*pq2, Request(Algo::kStrongPlus, policy)});
+    auto responses = engine.MatchBatch(w.g, items);
+    ASSERT_EQ(responses.size(), items.size());
+    size_t shared = 0;
+    for (size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_TRUE(responses[i].ok()) << i;
+      ExpectSameResults(lone->subgraphs, responses[i]->subgraphs,
+                        "shared-relation item " + std::to_string(i));
+      shared += responses[i]->stats.dual_relations_shared;
+    }
+    if (!lone->subgraphs.empty()) {
+      EXPECT_GT(shared, 0u);
+      EXPECT_GT(engine.cache_stats().dual_relations_shared, 0u);
+    }
+  }
+}
+
+// Permuted isomorphic patterns occupy one prepared-cache slot; the
+// renamed compile stays a function of its own numbering and exact
+// repeats still hit.
+TEST(CrossQueryCacheTest, PrepareCachedDedupsRenamedPatterns) {
+  Rng rng(777);
+  const Graph g = MakeAmazonLike(/*n=*/300, /*seed=*/777, /*num_labels=*/9);
+  auto q = ExtractPattern(g, /*nq=*/5, &rng);
+  ASSERT_TRUE(q.ok());
+  const Graph renamed = RenamedCopy(*q, &rng);
+
+  const Engine engine;
+  auto a = engine.PrepareCached(*q);
+  auto b = engine.PrepareCached(renamed);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE((*a)->fingerprint(), (*b)->fingerprint());
+  EXPECT_EQ((*a)->canonical_fingerprint(), (*b)->canonical_fingerprint());
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ(engine.cache_stats().prepared.entries, 1u);
+
+  auto c = engine.PrepareCached(*q);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->get(), c->get());
+  EXPECT_EQ(engine.cache_stats().prepared.entries, 1u);
+}
+
 // Streaming (sink) calls bypass the result cache: they must deliver the
 // dedup'd set even right after a materialized answer was cached.
 TEST(CacheEquivalenceTest, StreamingStillDeliversAfterResultCached) {

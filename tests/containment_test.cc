@@ -1,0 +1,241 @@
+// Unit tests for simulation-family pattern containment and the canonical
+// order / equivalence-witness machinery behind the engine's cross-query
+// cache: handcrafted contained / non-contained pairs, the composition
+// property the filter seeding relies on (checked against real dual
+// simulations on random data graphs), canonical invariance under node
+// renaming, and the containment-vs-isomorphism distinction.
+
+#include "matching/containment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "matching/dual_simulation.h"
+#include "tests/test_util.h"
+
+namespace gpm {
+namespace {
+
+using testutil::MakeGraph;
+
+// Relabels q's nodes through perm (perm[old] = new id), preserving node
+// labels and edge labels — a random isomorphic copy.
+Graph Permute(const Graph& q, const std::vector<NodeId>& perm) {
+  const size_t n = q.num_nodes();
+  std::vector<Label> labels(n);
+  for (NodeId u = 0; u < n; ++u) labels[perm[u]] = q.label(u);
+  Graph out;
+  for (Label l : labels) out.AddNode(l);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = q.OutNeighbors(u);
+    const auto elabels = q.OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      out.AddEdge(perm[u], perm[nbrs[i]], elabels[i]);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+std::vector<NodeId> RandomPermutation(size_t n, Rng* rng) {
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng->Uniform(i)]);
+  }
+  return perm;
+}
+
+// Specializes q: a copy with an extra path of fresh-label nodes hung off
+// node 0. The identity embedding of q into the copy makes the copy
+// dual-contained in q.
+Graph Specialize(const Graph& q, size_t extra_nodes) {
+  Graph out;
+  for (NodeId u = 0; u < q.num_nodes(); ++u) out.AddNode(q.label(u));
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    const auto nbrs = q.OutNeighbors(u);
+    const auto elabels = q.OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      out.AddEdge(u, nbrs[i], elabels[i]);
+    }
+  }
+  Label fresh = 1;
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    fresh = std::max(fresh, static_cast<Label>(q.label(u) + 1));
+  }
+  NodeId tail = 0;
+  for (size_t i = 0; i < extra_nodes; ++i) {
+    const NodeId fresh_node = out.AddNode(fresh + static_cast<Label>(i));
+    out.AddEdge(tail, fresh_node);
+    tail = fresh_node;
+  }
+  out.Finalize();
+  return out;
+}
+
+TEST(ContainmentTest, EdgeContainsLongerPath) {
+  // Qa = 1->2; Qb = 1->2->3. Every dual match of Qb's first edge is a
+  // dual match of Qa, so Qb ⊑ Qa — and not the other way around (Qa has
+  // no node that can simulate Qb's label-3 node).
+  const Graph qa = MakeGraph({1, 2}, {{0, 1}});
+  const Graph qb = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});
+  const ContainmentWitness forward = CheckDualContainment(qa, qb);
+  EXPECT_TRUE(forward.contained);
+  EXPECT_GT(forward.covered, 0u);
+  ASSERT_EQ(forward.map.size(), qb.num_nodes());
+  for (NodeId u = 0; u < qb.num_nodes(); ++u) {
+    if (forward.map[u] != kInvalidNode) {
+      EXPECT_EQ(qa.label(forward.map[u]), qb.label(u)) << "node " << u;
+    }
+  }
+  EXPECT_FALSE(CheckDualContainment(qb, qa).contained);
+}
+
+TEST(ContainmentTest, LabelMismatchIsNotContained) {
+  const Graph qa = MakeGraph({1, 2}, {{0, 1}});
+  const Graph qb = MakeGraph({1, 3}, {{0, 1}});
+  EXPECT_FALSE(CheckDualContainment(qa, qb).contained);
+}
+
+TEST(ContainmentTest, SpecializedPatternIsContained) {
+  Rng rng(911);
+  const Graph g = MakeAmazonLike(/*n=*/250, /*seed=*/911, /*num_labels=*/9);
+  for (uint32_t nq = 3; nq <= 5; ++nq) {
+    auto q = ExtractPattern(g, nq, &rng);
+    if (!q.ok()) continue;
+    const Graph spec = Specialize(*q, /*extra_nodes=*/2);
+    const ContainmentWitness w = CheckDualContainment(*q, spec);
+    EXPECT_TRUE(w.contained) << "nq=" << nq;
+  }
+}
+
+// The property the engine's filter seeding is built on: whenever
+// CheckDualContainment says contained with witness map, then for every
+// data graph G and every covered node u,
+//   sim_G(contained)[u] ⊆ sim_G(container)[map[u]].
+TEST(ContainmentTest, WitnessBoundsDualSimulationOnRandomGraphs) {
+  for (uint64_t seed : {3u, 19u, 77u}) {
+    Rng rng(seed * 131 + 5);
+    const Graph g = MakeAmazonLike(/*n=*/300, seed, /*num_labels=*/8);
+    auto q = ExtractPattern(g, /*nq=*/4, &rng);
+    ASSERT_TRUE(q.ok());
+    const Graph spec = Specialize(*q, /*extra_nodes=*/2);
+    const ContainmentWitness w = CheckDualContainment(*q, spec);
+    ASSERT_TRUE(w.contained);
+
+    const MatchRelation big = ComputeDualSimulation(*q, g);
+    const MatchRelation small = ComputeDualSimulation(spec, g);
+    ASSERT_EQ(small.sim.size(), spec.num_nodes());
+    for (NodeId u = 0; u < spec.num_nodes(); ++u) {
+      if (w.map[u] == kInvalidNode) continue;
+      const std::set<NodeId> superset(big.sim[w.map[u]].begin(),
+                                      big.sim[w.map[u]].end());
+      for (NodeId v : small.sim[u]) {
+        EXPECT_TRUE(superset.count(v))
+            << "seed=" << seed << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(ContainmentTest, CanonicalFingerprintInvariantUnderRenaming) {
+  for (uint64_t seed : {2u, 13u, 41u, 67u}) {
+    Rng rng(seed * 733 + 1);
+    const Graph g = MakeAmazonLike(/*n=*/200, seed, /*num_labels=*/7);
+    for (uint32_t nq = 3; nq <= 6; ++nq) {
+      auto q = ExtractPattern(g, nq, &rng);
+      if (!q.ok()) continue;
+      std::vector<NodeId> order_q;
+      ASSERT_TRUE(CanonicalOrder(*q, &order_q));
+      const uint64_t fp_q = CanonicalFingerprint(*q, order_q);
+      for (int trial = 0; trial < 4; ++trial) {
+        const Graph renamed =
+            Permute(*q, RandomPermutation(q->num_nodes(), &rng));
+        std::vector<NodeId> order_r;
+        ASSERT_TRUE(CanonicalOrder(renamed, &order_r));
+        EXPECT_EQ(CanonicalFingerprint(renamed, order_r), fp_q)
+            << "seed=" << seed << " nq=" << nq;
+        const auto phi = WitnessFromCanonicalOrders(renamed, order_r, *q,
+                                                    order_q);
+        ASSERT_TRUE(phi.has_value()) << "seed=" << seed << " nq=" << nq;
+        for (NodeId u = 0; u < renamed.num_nodes(); ++u) {
+          EXPECT_EQ(renamed.label(u), q->label((*phi)[u]));
+        }
+      }
+    }
+  }
+}
+
+TEST(ContainmentTest, EquivalenceWitnessVerifiesIsomorphism) {
+  const Graph path = MakeGraph({1, 2, 3}, {{0, 1}, {1, 2}});
+  const Graph star = MakeGraph({1, 2, 3}, {{0, 1}, {0, 2}});
+  EXPECT_FALSE(EquivalenceWitness(path, star).has_value());
+
+  const Graph renamed = MakeGraph({3, 1, 2}, {{1, 2}, {2, 0}});
+  const auto phi = EquivalenceWitness(renamed, path);
+  ASSERT_TRUE(phi.has_value());
+  EXPECT_EQ((*phi)[1], 0u);
+  EXPECT_EQ((*phi)[2], 1u);
+  EXPECT_EQ((*phi)[0], 2u);
+}
+
+TEST(ContainmentTest, EdgeLabelsDistinguishEquivalence) {
+  // Same shape, different edge label: dual-contained both ways (the
+  // containment notion is edge-label-blind, like ComputeDualSimulation)
+  // but *not* equivalent for result serving.
+  Graph a;
+  a.AddNode(1);
+  a.AddNode(2);
+  a.AddEdge(0, 1, 5);
+  a.Finalize();
+  Graph b;
+  b.AddNode(1);
+  b.AddNode(2);
+  b.AddEdge(0, 1, 9);
+  b.Finalize();
+  EXPECT_TRUE(CheckDualContainment(a, b).contained);
+  EXPECT_TRUE(CheckDualContainment(b, a).contained);
+  EXPECT_FALSE(EquivalenceWitness(a, b).has_value());
+}
+
+TEST(ContainmentTest, DualEquivalentCyclesAreNotIsomorphic) {
+  // The header's cautionary pair: a 2-cycle and a 4-cycle with
+  // alternating labels dual-contain each other, yet have different
+  // diameters — equivalence (isomorphism) must reject them.
+  const Graph two = MakeGraph({1, 2}, {{0, 1}, {1, 0}});
+  const Graph four = MakeGraph({1, 2, 1, 2},
+                               {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_TRUE(CheckDualContainment(two, four).contained);
+  EXPECT_TRUE(CheckDualContainment(four, two).contained);
+  EXPECT_FALSE(EquivalenceWitness(two, four).has_value());
+}
+
+TEST(ContainmentTest, CanonicalOrderBreaksSymmetricTies) {
+  // All-same-label directed triangle plus a tail: WL alone cannot split
+  // the triangle, the permutation search must — consistently across
+  // renamings.
+  const Graph q = MakeGraph({1, 1, 1, 2},
+                            {{0, 1}, {1, 2}, {2, 0}, {1, 3}});
+  std::vector<NodeId> order;
+  ASSERT_TRUE(CanonicalOrder(q, &order));
+  Rng rng(4242);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph renamed = Permute(q, RandomPermutation(q.num_nodes(), &rng));
+    std::vector<NodeId> order_r;
+    ASSERT_TRUE(CanonicalOrder(renamed, &order_r));
+    EXPECT_EQ(CanonicalFingerprint(renamed, order_r),
+              CanonicalFingerprint(q, order));
+    EXPECT_TRUE(
+        WitnessFromCanonicalOrders(renamed, order_r, q, order).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace gpm

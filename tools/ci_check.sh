@@ -20,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${GPM_BUILD_DIR:-build}"
-GATED_BENCHES=(serving_path regex_scaling incremental_updates serving_load)
+GATED_BENCHES=(serving_path regex_scaling incremental_updates serving_load cross_query)
 
 # TSan mode: a separate -DGPM_TSAN=ON build tree running the fast suite
 # (which includes the serving concurrency tests — the reason this mode

@@ -168,11 +168,14 @@ int RunExtract(const Args& args) {
   return 0;
 }
 
-// One line of cache telemetry after a repeated/batched run.
+// Two lines of cache telemetry after a repeated/batched run: the LRU
+// hit ratios, then the cross-query reuse counters (isomorphic results
+// served, containment-seeded filters, per-ball relations shared).
 void PrintCacheStats(const Engine& engine) {
   const EngineCacheStats cache = engine.cache_stats();
   std::printf("caches: prepared %llu/%llu hits, filter %llu/%llu hits, "
-              "regex filter %llu/%llu hits, results %llu/%llu hits\n",
+              "regex filter %llu/%llu hits, results %llu/%llu hits, "
+              "csr %llu/%llu hits, aux %llu/%llu hits\n",
               static_cast<unsigned long long>(cache.prepared.hits),
               static_cast<unsigned long long>(cache.prepared.lookups),
               static_cast<unsigned long long>(cache.filter.hits),
@@ -180,7 +183,18 @@ void PrintCacheStats(const Engine& engine) {
               static_cast<unsigned long long>(cache.regex_filter.hits),
               static_cast<unsigned long long>(cache.regex_filter.lookups),
               static_cast<unsigned long long>(cache.results.hits),
-              static_cast<unsigned long long>(cache.results.lookups));
+              static_cast<unsigned long long>(cache.results.lookups),
+              static_cast<unsigned long long>(cache.csr.hits),
+              static_cast<unsigned long long>(cache.csr.lookups),
+              static_cast<unsigned long long>(cache.aux.hits),
+              static_cast<unsigned long long>(cache.aux.lookups));
+  std::printf("cross-query: %llu equivalent results served, %llu filters "
+              "seeded by containment, %llu ball relations shared, "
+              "%zu patterns indexed\n",
+              static_cast<unsigned long long>(cache.equivalent_result_hits),
+              static_cast<unsigned long long>(cache.containment_filter_seeds),
+              static_cast<unsigned long long>(cache.dual_relations_shared),
+              cache.cross_query_entries);
 }
 
 // Parses the --regex spec ("u-v:l{min,max}[+atom...][;edge...]") against
